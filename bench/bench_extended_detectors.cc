@@ -1,0 +1,90 @@
+// Extension beyond the paper's Table II: the full detector registry
+// including LOF and ECOD (both cited in the paper's Related Work but not
+// benchmarked there), plus the TargAdEnsemble, on the UNSW-NB15-like
+// profile. Also reports generic anomaly-vs-normal AUROC alongside the
+// target-only metrics, which makes the paper's core point visible in one
+// table: the unsupervised methods detect ANOMALIES fine — they just cannot
+// prioritize the right ones.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/ensemble.h"
+
+using namespace targad;  // NOLINT(build/namespaces)
+
+int main() {
+  const double scale = bench::BenchScale(0.05);
+  const int runs = bench::BenchRuns(2);
+  const data::DatasetProfile profile = data::UnswLikeProfile(scale);
+
+  std::printf("Extended detector comparison on %s (%d runs, scale %.2f)\n\n",
+              profile.name.c_str(), runs, scale);
+  std::printf("%-14s %14s %14s %16s\n", "model", "target AUPRC", "target AUROC",
+              "anomaly AUROC");
+  bench::CsvSink csv("bench_extended_detectors.csv",
+                     {"model", "target_auprc", "target_auroc", "anomaly_auroc"});
+
+  auto evaluate = [&](const std::string& name,
+                      const std::function<std::vector<double>(
+                          const data::DatasetBundle&, uint64_t)>& run_fn) {
+    std::vector<double> auprcs, aurocs, anomaly_aurocs;
+    for (int run = 0; run < runs; ++run) {
+      auto bundle =
+          data::MakeBundle(profile, static_cast<uint64_t>(run)).ValueOrDie();
+      const auto scores = run_fn(bundle, static_cast<uint64_t>(run));
+      const auto target_labels = bundle.test.BinaryTargetLabels();
+      std::vector<int> anomaly_labels;
+      for (auto kind : bundle.test.kind) {
+        anomaly_labels.push_back(kind == data::InstanceKind::kNormal ? 0 : 1);
+      }
+      auprcs.push_back(eval::Auprc(scores, target_labels).ValueOrDie());
+      aurocs.push_back(eval::Auroc(scores, target_labels).ValueOrDie());
+      anomaly_aurocs.push_back(
+          eval::Auroc(scores, anomaly_labels).ValueOrDie());
+    }
+    std::printf("%-14s %14s %14s %16s\n", name.c_str(),
+                bench::MeanStdCell(auprcs).c_str(),
+                bench::MeanStdCell(aurocs).c_str(),
+                bench::MeanStdCell(anomaly_aurocs).c_str());
+    std::fflush(stdout);
+    csv.AddRow({name, FormatDouble(eval::ComputeMeanStd(auprcs).mean),
+                FormatDouble(eval::ComputeMeanStd(aurocs).mean),
+                FormatDouble(eval::ComputeMeanStd(anomaly_aurocs).mean)});
+  };
+
+  for (const std::string& name : baselines::ExtendedDetectorNames()) {
+    evaluate(name, [&](const data::DatasetBundle& bundle, uint64_t seed) {
+      auto detector = baselines::MakeDetector(name, seed).ValueOrDie();
+      TARGAD_CHECK_OK(
+          detector->FitWithValidation(bundle.train, bundle.validation));
+      return detector->Score(bundle.test.x);
+    });
+  }
+
+  evaluate("TargAD-GMM", [&](const data::DatasetBundle& bundle, uint64_t seed) {
+    core::TargADConfig config;
+    config.seed = seed;
+    config.selection.clusterer = core::Clusterer::kGmm;
+    config.selection.k = 4;  // UNSW-like profile's true group count.
+    auto model = core::TargAD::Make(config).ValueOrDie();
+    TARGAD_CHECK_OK(model.FitWithValidation(bundle.train, bundle.validation));
+    return model.Score(bundle.test.x);
+  });
+
+  evaluate("TargAD-ens3", [&](const data::DatasetBundle& bundle, uint64_t seed) {
+    core::EnsembleConfig config;
+    config.base.seed = seed * 101;
+    config.base.selection.k = 4;  // UNSW-like profile's true group count.
+    config.size = 3;
+    auto ensemble = core::TargAdEnsemble::Make(config).ValueOrDie();
+    TARGAD_CHECK_OK(ensemble.Fit(bundle.train, &bundle.validation));
+    return ensemble.Score(bundle.test.x);
+  });
+
+  std::printf(
+      "\nReading guide: LOF/ECOD/iForest post decent anomaly-vs-normal AUROC"
+      "\nbut poor TARGET AUPRC — they flag the (more numerous, more extreme)"
+      "\nnon-target anomalies first. That gap is the paper's motivation.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Reproduces Fig. 3: convergence analysis on the UNSW-NB15-like profile.
+//  (a) TargAD's training-loss value at each epoch (total + per-term).
+//  (b) Test AUPRC per epoch for TargAD (via the epoch hook) and for a set
+//      of semi-supervised baselines (re-trained at epoch milestones, since
+//      generic detectors expose no epoch hook).
+
+#include <cstdio>
+
+#include "baselines/deepsad.h"
+#include "baselines/devnet.h"
+#include "baselines/prenet.h"
+#include "bench_util.h"
+#include "core/targad.h"
+
+using namespace targad;  // NOLINT(build/namespaces)
+
+int main() {
+  const double scale = bench::BenchScale(0.05);
+  auto bundle =
+      data::MakeBundle(data::UnswLikeProfile(scale), /*run_seed=*/1).ValueOrDie();
+  const std::vector<int> labels = bundle.test.BinaryTargetLabels();
+
+  // --- (a) + TargAD's curve for (b).
+  core::TargADConfig config;
+  config.seed = 7;
+  auto model = core::TargAD::Make(config).ValueOrDie();
+  std::vector<double> targad_auprc;
+  TARGAD_CHECK_OK(model.Fit(bundle.train, [&](int, core::TargAD& m) {
+    targad_auprc.push_back(
+        eval::Auprc(m.Score(bundle.test.x), labels).ValueOrDie());
+  }));
+
+  bench::CsvSink loss_csv("bench_fig3a_loss.csv",
+                          {"epoch", "total", "ce", "oe", "re"});
+  std::printf("Fig. 3(a) — TargAD loss per epoch (scale %.2f)\n", scale);
+  std::printf("%5s %10s %10s %10s %10s\n", "epoch", "total", "L_CE", "L_OE",
+              "L_RE");
+  const auto& losses = model.diagnostics().epoch_losses;
+  for (size_t e = 0; e < losses.size(); ++e) {
+    if (e % 5 == 0 || e + 1 == losses.size()) {
+      std::printf("%5zu %10.4f %10.4f %10.4f %10.4f\n", e + 1, losses[e].total,
+                  losses[e].ce, losses[e].oe, losses[e].re);
+    }
+    loss_csv.AddRow({std::to_string(e + 1), FormatDouble(losses[e].total, 5),
+                     FormatDouble(losses[e].ce, 5), FormatDouble(losses[e].oe, 5),
+                     FormatDouble(losses[e].re, 5)});
+  }
+
+  // --- (b): baselines re-trained at epoch milestones.
+  std::printf("\nFig. 3(b) — test AUPRC per training epoch\n");
+  bench::CsvSink curve_csv("bench_fig3b_auprc.csv", {"model", "epoch", "auprc"});
+  for (size_t e = 0; e < targad_auprc.size(); ++e) {
+    curve_csv.AddRow({"TargAD", std::to_string(e + 1),
+                      FormatDouble(targad_auprc[e])});
+  }
+  std::printf("%-8s:", "TargAD");
+  for (size_t e = 4; e < targad_auprc.size(); e += 10) {
+    std::printf(" e%zu=%.3f", e + 1, targad_auprc[e]);
+  }
+  std::printf(" final=%.3f\n", targad_auprc.back());
+
+  const std::vector<int> milestones = {5, 10, 20, 30};
+  struct BaselineRun {
+    const char* name;
+  };
+  for (const char* name : {"DevNet", "DeepSAD", "PReNet"}) {
+    std::printf("%-8s:", name);
+    for (int epochs : milestones) {
+      std::unique_ptr<baselines::AnomalyDetector> detector;
+      if (std::string(name) == "DevNet") {
+        baselines::DevNetConfig c;
+        c.epochs = epochs;
+        c.seed = 7;
+        detector = baselines::DevNet::Make(c).ValueOrDie();
+      } else if (std::string(name) == "DeepSAD") {
+        baselines::DeepSadConfig c;
+        c.epochs = epochs;
+        c.seed = 7;
+        detector = baselines::DeepSad::Make(c).ValueOrDie();
+      } else {
+        baselines::PrenetConfig c;
+        c.epochs = epochs;
+        c.seed = 7;
+        detector = baselines::Prenet::Make(c).ValueOrDie();
+      }
+      TARGAD_CHECK_OK(detector->Fit(bundle.train));
+      const double auprc =
+          eval::Auprc(detector->Score(bundle.test.x), labels).ValueOrDie();
+      std::printf(" e%d=%.3f", epochs, auprc);
+      std::fflush(stdout);
+      curve_csv.AddRow({name, std::to_string(epochs), FormatDouble(auprc)});
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper: TargAD converges within ~15 epochs and tops the baselines'\n"
+      "per-epoch AUPRC throughout (Fig. 3(b)).\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Fig. 4: robustness of TargAD vs semi-supervised baselines on
+// the UNSW-NB15-like profile under four perturbations:
+//  (a) 0-3 NEW non-target anomaly types appearing only at test time,
+//  (b) m = 1..6 target anomaly classes (7 anomaly classes re-partitioned),
+//  (c) labeled anomalies per class in {20, 60, 100},
+//  (d) anomaly contamination of the unlabeled pool in {3, 5, 7, 9}%.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace targad;  // NOLINT(build/namespaces)
+
+namespace {
+
+const std::vector<std::string> kModels = {"TargAD", "DevNet", "DeepSAD",
+                                          "PReNet", "Dual-MGAN"};
+
+void RunSetting(const char* section, const std::string& setting,
+                const data::DatasetProfile& profile, bench::CsvSink* csv) {
+  std::printf("%-24s", setting.c_str());
+  for (const std::string& name : kModels) {
+    auto bundle = data::MakeBundle(profile, /*run_seed=*/1).ValueOrDie();
+    const bench::EvalScores scores = bench::RunDetector(name, 7, bundle);
+    std::printf(" %8.3f", scores.auprc);
+    std::fflush(stdout);
+    csv->AddRow({section, setting, name, FormatDouble(scores.auprc),
+                 FormatDouble(scores.auroc)});
+  }
+  std::printf("\n");
+}
+
+void PrintHeader() {
+  std::printf("%-24s", "setting");
+  for (const auto& name : kModels) std::printf(" %8s", name.c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::BenchScale(0.05);
+  bench::CsvSink csv("bench_fig4_robustness.csv",
+                     {"section", "setting", "model", "auprc", "auroc"});
+
+  // --- (a) New non-target types at test time.
+  std::printf("Fig. 4(a) — new non-target types in testing data (scale %.2f)\n",
+              scale);
+  PrintHeader();
+  const std::vector<std::vector<int>> train_class_sets = {
+      {0, 1, 2, 3},  // 0 new types.
+      {0, 1, 3},     // 1 new type  (paper: Fuzzers, Analysis, Recon kept).
+      {1, 3},        // 2 new types (Analysis, Recon kept).
+      {3},           // 3 new types (Recon kept).
+  };
+  for (size_t i = 0; i < train_class_sets.size(); ++i) {
+    data::DatasetProfile profile = data::UnswLikeProfile(scale);
+    profile.assembly.train_nontarget_classes = train_class_sets[i];
+    RunSetting("a", std::to_string(i) + " new types", profile, &csv);
+  }
+
+  // --- (b) Number of target anomaly classes m = 1..6 (of 7 total).
+  std::printf("\nFig. 4(b) — number of target anomaly classes\n");
+  PrintHeader();
+  for (int m = 1; m <= 6; ++m) {
+    data::DatasetProfile profile = data::UnswLikeProfile(scale);
+    profile.world.num_target_classes = m;
+    profile.world.num_nontarget_classes = 7 - m;
+    profile.assembly.num_target_classes = m;
+    // Keep the total labeled budget roughly constant (paper: 300).
+    profile.assembly.labeled_per_class =
+        std::max<size_t>(20, 300 / static_cast<size_t>(m));
+    RunSetting("b", "m=" + std::to_string(m), profile, &csv);
+  }
+
+  // --- (c) Labeled anomalies per class.
+  std::printf("\nFig. 4(c) — labeled target anomalies per class\n");
+  PrintHeader();
+  for (size_t labels_per_class : {20UL, 60UL, 100UL}) {
+    data::DatasetProfile profile = data::UnswLikeProfile(scale);
+    profile.assembly.labeled_per_class = labels_per_class;
+    RunSetting("c", std::to_string(labels_per_class) + " labels/class", profile,
+               &csv);
+  }
+
+  // --- (d) Contamination rate.
+  std::printf("\nFig. 4(d) — contamination rate of the unlabeled pool\n");
+  PrintHeader();
+  for (double contamination : {0.03, 0.05, 0.07, 0.09}) {
+    data::DatasetProfile profile = data::UnswLikeProfile(scale);
+    profile.assembly.contamination = contamination;
+    RunSetting("d", FormatDouble(contamination * 100, 0) + "% contamination",
+               profile, &csv);
+  }
+
+  std::printf(
+      "\nPaper: TargAD holds ~0.8 AUPRC across (a) while baselines stay below"
+      "\n0.72 and decline; TargAD leads across (b)-(d), with every method"
+      "\npeaking at mid-range contamination in (d).\n");
+  return 0;
+}

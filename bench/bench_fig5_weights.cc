@@ -1,0 +1,88 @@
+// Reproduces Fig. 5: the weight-updating strategy's effect on the three
+// instance types hidden inside the non-target anomaly candidate set D_U^A.
+//  (a) mean weight per instance type at each classifier epoch,
+//  (b) weight density (histogram) per instance type at the final epoch.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/targad.h"
+
+using namespace targad;  // NOLINT(build/namespaces)
+
+int main() {
+  const double scale = bench::BenchScale(0.05);
+  auto bundle =
+      data::MakeBundle(data::UnswLikeProfile(scale), /*run_seed=*/1).ValueOrDie();
+
+  core::TargADConfig config;
+  config.seed = 7;
+  config.trace_weights = true;
+  auto model = core::TargAD::Make(config).ValueOrDie();
+  TARGAD_CHECK_OK(model.Fit(bundle.train));
+
+  const auto& selection = model.diagnostics().selection;
+  const auto& history = model.diagnostics().weight_history;
+  const auto& truth = bundle.train.unlabeled_truth;
+
+  // Per-candidate ground-truth kind.
+  std::vector<int> kind(selection.anomaly_candidates.size());
+  for (size_t i = 0; i < kind.size(); ++i) {
+    kind[i] = static_cast<int>(truth[selection.anomaly_candidates[i]]);
+  }
+
+  std::printf("Fig. 5(a) — mean candidate weight per epoch (scale %.2f)\n",
+              scale);
+  std::printf("%5s %22s %18s %20s\n", "epoch", "(mis-selected) normal",
+              "target anomaly", "non-target anomaly");
+  bench::CsvSink curve_csv("bench_fig5a_weights.csv",
+                           {"epoch", "normal", "target", "nontarget"});
+  for (size_t e = 0; e < history.size(); ++e) {
+    double sum[3] = {0, 0, 0};
+    int n[3] = {0, 0, 0};
+    for (size_t i = 0; i < kind.size(); ++i) {
+      sum[kind[i]] += history[e][i];
+      n[kind[i]]++;
+    }
+    double mean[3];
+    for (int k = 0; k < 3; ++k) mean[k] = n[k] > 0 ? sum[k] / n[k] : 0.0;
+    if (e % 5 == 0 || e + 1 == history.size()) {
+      std::printf("%5zu %22.3f %18.3f %20.3f\n", e + 1, mean[0], mean[1],
+                  mean[2]);
+    }
+    curve_csv.AddRow({std::to_string(e + 1), FormatDouble(mean[0]),
+                      FormatDouble(mean[1]), FormatDouble(mean[2])});
+  }
+
+  // (b) Final-epoch weight histogram.
+  std::printf("\nFig. 5(b) — final-epoch weight density (10 bins)\n");
+  std::printf("%10s %10s %10s %12s\n", "bin", "normal", "target", "non-target");
+  bench::CsvSink hist_csv("bench_fig5b_density.csv",
+                          {"bin_low", "bin_high", "normal", "target",
+                           "nontarget"});
+  const auto& final_weights = history.back();
+  int hist[3][10] = {};
+  int totals[3] = {};
+  for (size_t i = 0; i < kind.size(); ++i) {
+    int bin = static_cast<int>(final_weights[i] * 10.0);
+    bin = std::min(bin, 9);
+    hist[kind[i]][bin]++;
+    totals[kind[i]]++;
+  }
+  for (int b = 0; b < 10; ++b) {
+    double dens[3];
+    for (int k = 0; k < 3; ++k) {
+      dens[k] = totals[k] > 0 ? static_cast<double>(hist[k][b]) / totals[k] : 0.0;
+    }
+    std::printf(" [%.1f,%.1f) %10.3f %10.3f %12.3f\n", b / 10.0, (b + 1) / 10.0,
+                dens[0], dens[1], dens[2]);
+    hist_csv.AddRow({FormatDouble(b / 10.0, 1), FormatDouble((b + 1) / 10.0, 1),
+                     FormatDouble(dens[0]), FormatDouble(dens[1]),
+                     FormatDouble(dens[2])});
+  }
+  std::printf(
+      "\nPaper: normals start highest (Eq. 5) then fall; by late epochs the"
+      "\nnon-target anomalies carry the highest weights and their density"
+      "\nconcentrates in the high-weight region.\n");
+  return 0;
+}

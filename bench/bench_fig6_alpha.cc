@@ -1,0 +1,64 @@
+// Reproduces Fig. 6: TargAD's AUPRC/AUROC matrix over the candidate
+// threshold alpha {1, 5, 10, 15, 20}% and the ground-truth contamination
+// rate {1, 5, 10, 15}% of the UNSW-NB15-like unlabeled pool.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/targad.h"
+
+using namespace targad;  // NOLINT(build/namespaces)
+
+int main() {
+  const double scale = bench::BenchScale(0.05);
+  const std::vector<double> alphas = {0.01, 0.05, 0.10, 0.15, 0.20};
+  const std::vector<double> contaminations = {0.01, 0.05, 0.10, 0.15};
+
+  bench::CsvSink csv("bench_fig6_alpha.csv",
+                     {"alpha", "contamination", "auprc", "auroc"});
+  std::vector<std::vector<bench::EvalScores>> grid(
+      alphas.size(), std::vector<bench::EvalScores>(contaminations.size()));
+
+  for (size_t ci = 0; ci < contaminations.size(); ++ci) {
+    data::DatasetProfile profile = data::UnswLikeProfile(scale);
+    profile.assembly.contamination = contaminations[ci];
+    auto bundle = data::MakeBundle(profile, /*run_seed=*/1).ValueOrDie();
+    for (size_t ai = 0; ai < alphas.size(); ++ai) {
+      core::TargADConfig config;
+      config.seed = 7;
+      config.selection.alpha = alphas[ai];
+      auto model = core::TargAD::Make(config).ValueOrDie();
+      TARGAD_CHECK_OK(model.Fit(bundle.train));
+      grid[ai][ci] =
+          bench::EvaluateScores(model.Score(bundle.test.x), bundle.test);
+      csv.AddRow({FormatDouble(alphas[ai], 2),
+                  FormatDouble(contaminations[ci], 2),
+                  FormatDouble(grid[ai][ci].auprc),
+                  FormatDouble(grid[ai][ci].auroc)});
+      std::fprintf(stderr, ".");
+    }
+  }
+  std::fprintf(stderr, "\n");
+
+  for (int metric = 0; metric < 2; ++metric) {
+    std::printf("\nFig. 6(%c) — %s over alpha (rows) x contamination (cols), "
+                "scale %.2f\n",
+                metric == 0 ? 'a' : 'b', metric == 0 ? "AUPRC" : "AUROC", scale);
+    std::printf("%8s", "alpha\\c");
+    for (double c : contaminations) std::printf(" %7.0f%%", c * 100);
+    std::printf("\n");
+    for (size_t ai = 0; ai < alphas.size(); ++ai) {
+      std::printf("%7.0f%%", alphas[ai] * 100);
+      for (size_t ci = 0; ci < contaminations.size(); ++ci) {
+        std::printf(" %8.3f",
+                    metric == 0 ? grid[ai][ci].auprc : grid[ai][ci].auroc);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nPaper: performance is robust while alpha stays at or below the true"
+      "\ncontamination rate and declines consistently once alpha exceeds it"
+      "\n(real normals flood the candidate set).\n");
+  return 0;
+}

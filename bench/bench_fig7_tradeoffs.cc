@@ -1,0 +1,82 @@
+// Reproduces Fig. 7: trade-off parameter sensitivity on the UNSW-NB15-like
+// profile.
+//  (a) eta in {0, 0.01, 0.1, 1, 10, 100} — the SAD autoencoder's
+//      inverse-error weight (Eq. 1).
+//  (b)(c) lambda1 x lambda2 in {0.01, 0.1, 1, 2, 5, 10}^2 — the classifier
+//      loss trade-offs (Eq. 8). AUPRC and AUROC grids.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/targad.h"
+
+using namespace targad;  // NOLINT(build/namespaces)
+
+int main() {
+  const double scale = bench::BenchScale(0.05);
+  auto bundle =
+      data::MakeBundle(data::UnswLikeProfile(scale), /*run_seed=*/1).ValueOrDie();
+
+  // --- (a) eta sweep.
+  std::printf("Fig. 7(a) — eta sensitivity (scale %.2f)\n%8s %8s %8s\n", scale,
+              "eta", "AUPRC", "AUROC");
+  bench::CsvSink eta_csv("bench_fig7a_eta.csv", {"eta", "auprc", "auroc"});
+  for (double eta : {0.0, 0.01, 0.1, 1.0, 10.0, 100.0}) {
+    core::TargADConfig config;
+    config.seed = 7;
+    config.selection.autoencoder.eta = eta;
+    auto model = core::TargAD::Make(config).ValueOrDie();
+    TARGAD_CHECK_OK(model.Fit(bundle.train));
+    const bench::EvalScores scores =
+        bench::EvaluateScores(model.Score(bundle.test.x), bundle.test);
+    std::printf("%8.2f %8.3f %8.3f\n", eta, scores.auprc, scores.auroc);
+    std::fflush(stdout);
+    eta_csv.AddRow({FormatDouble(eta, 2), FormatDouble(scores.auprc),
+                    FormatDouble(scores.auroc)});
+  }
+
+  // --- (b)(c) lambda1 x lambda2 grids.
+  const std::vector<double> lambdas = {0.01, 0.1, 1.0, 2.0, 5.0, 10.0};
+  std::vector<std::vector<bench::EvalScores>> grid(
+      lambdas.size(), std::vector<bench::EvalScores>(lambdas.size()));
+  bench::CsvSink grid_csv("bench_fig7bc_lambda.csv",
+                          {"lambda1", "lambda2", "auprc", "auroc"});
+  for (size_t i = 0; i < lambdas.size(); ++i) {
+    for (size_t j = 0; j < lambdas.size(); ++j) {
+      core::TargADConfig config;
+      config.seed = 7;
+      config.classifier.lambda1 = lambdas[i];
+      config.classifier.lambda2 = lambdas[j];
+      auto model = core::TargAD::Make(config).ValueOrDie();
+      TARGAD_CHECK_OK(model.Fit(bundle.train));
+      grid[i][j] = bench::EvaluateScores(model.Score(bundle.test.x), bundle.test);
+      grid_csv.AddRow({FormatDouble(lambdas[i], 2), FormatDouble(lambdas[j], 2),
+                       FormatDouble(grid[i][j].auprc),
+                       FormatDouble(grid[i][j].auroc)});
+      std::fprintf(stderr, ".");
+    }
+  }
+  std::fprintf(stderr, "\n");
+  for (int metric = 0; metric < 2; ++metric) {
+    std::printf("\nFig. 7(%c) — %s over lambda1 (rows) x lambda2 (cols)\n",
+                metric == 0 ? 'b' : 'c', metric == 0 ? "AUPRC" : "AUROC");
+    std::printf("%9s", "l1\\l2");
+    for (double l : lambdas) std::printf(" %8.2f", l);
+    std::printf("\n");
+    for (size_t i = 0; i < lambdas.size(); ++i) {
+      std::printf("%9.2f", lambdas[i]);
+      for (size_t j = 0; j < lambdas.size(); ++j) {
+        std::printf(" %8.3f",
+                    metric == 0 ? grid[i][j].auprc : grid[i][j].auroc);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nPaper: eta = 0 collapses (the autoencoders lose their supervision);"
+      "\nperformance is robust for eta > 0. The lambda surface is unimodal"
+      "\nand declines at large lambda1/lambda2 (paper optimum 0.1/1 on real"
+      "\nUNSW-NB15; on this synthetic substrate the lambda1 optimum sits at"
+      "\n~1-2, same shape — see DESIGN.md).\n");
+  return 0;
+}

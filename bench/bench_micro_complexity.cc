@@ -1,0 +1,132 @@
+// google-benchmark micro-benchmarks backing the Section III-B4 complexity
+// analysis: candidate selection and classifier training are O(N*D) in the
+// input volume and dimensionality (plus the O(N log N) ranking step).
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "core/classifier.h"
+#include "core/sad_autoencoder.h"
+#include "baselines/iforest.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace {
+
+nn::Matrix RandomData(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  nn::Matrix x(n, d);
+  for (double& v : x.data()) v = rng.Uniform();
+  return x;
+}
+
+// O(t*k*N*D) k-means: linear in N at fixed k, t.
+void BM_KMeans(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto d = static_cast<size_t>(state.range(1));
+  nn::Matrix x = RandomData(n, d, 1);
+  cluster::KMeansConfig config;
+  config.k = 4;
+  config.max_iterations = 10;
+  for (auto _ : state) {
+    auto result = cluster::KMeans(x, config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n * d));
+}
+BENCHMARK(BM_KMeans)
+    ->Args({512, 32})
+    ->Args({1024, 32})
+    ->Args({2048, 32})
+    ->Args({1024, 64})
+    ->Args({1024, 128})
+    ->Complexity(benchmark::oN);
+
+// One SAD-autoencoder epoch: O(N*D) feed-forward cost.
+void BM_SadAutoencoderEpoch(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto d = static_cast<size_t>(state.range(1));
+  nn::Matrix unlabeled = RandomData(n, d, 2);
+  nn::Matrix labeled = RandomData(32, d, 3);
+  core::SadAutoencoderConfig config;
+  config.input_dim = d;
+  config.epochs = 1;
+  config.seed = 4;
+  for (auto _ : state) {
+    auto sad = core::SadAutoencoder::Make(config).ValueOrDie();
+    auto losses = sad.Fit(unlabeled, labeled);
+    benchmark::DoNotOptimize(losses);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n * d));
+}
+BENCHMARK(BM_SadAutoencoderEpoch)
+    ->Args({512, 32})
+    ->Args({1024, 32})
+    ->Args({2048, 32})
+    ->Args({1024, 64})
+    ->Args({1024, 128})
+    ->Complexity(benchmark::oN);
+
+// One classifier epoch over the three roles: O(N*D).
+void BM_ClassifierEpoch(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto d = static_cast<size_t>(state.range(1));
+  nn::Matrix labeled = RandomData(64, d, 5);
+  std::vector<int> labeled_class(64);
+  for (size_t i = 0; i < 64; ++i) labeled_class[i] = static_cast<int>(i % 2);
+  nn::Matrix normal = RandomData(n, d, 6);
+  std::vector<int> clusters(n);
+  for (size_t i = 0; i < n; ++i) clusters[i] = static_cast<int>(i % 3);
+  nn::Matrix anomaly = RandomData(n / 20 + 1, d, 7);
+  std::vector<double> weights(anomaly.rows(), 1.0);
+  core::ClassifierConfig config;
+  config.seed = 8;
+  auto clf = core::TargAdClassifier::Make(config, d, 2, 3).ValueOrDie();
+  Rng rng(9);
+  for (auto _ : state) {
+    auto loss = clf.TrainEpoch(labeled, labeled_class, normal, clusters,
+                               anomaly, weights, &rng);
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n * d));
+}
+BENCHMARK(BM_ClassifierEpoch)
+    ->Args({512, 32})
+    ->Args({1024, 32})
+    ->Args({2048, 32})
+    ->Args({1024, 64})
+    ->Complexity(benchmark::oN);
+
+// iForest scoring throughput.
+void BM_IForestScore(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  nn::Matrix train = RandomData(2048, 32, 10);
+  nn::Matrix test = RandomData(n, 32, 11);
+  auto forest = baselines::IsolationForest::Make({}).ValueOrDie();
+  TARGAD_CHECK_OK(forest->FitMatrix(train));
+  for (auto _ : state) {
+    auto scores = forest->Score(test);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_IForestScore)->Arg(512)->Arg(2048)->Arg(8192);
+
+// Dense matmul (the NN substrate's hot loop).
+void BM_MatMul(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  nn::Matrix a = RandomData(n, n, 12);
+  nn::Matrix b = RandomData(n, n, 13);
+  for (auto _ : state) {
+    nn::Matrix c = a.MatMul(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+}  // namespace targad
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Reproduces Table II: AUPRC and AUROC (mean ± std over independent runs)
+// of TargAD and the eleven baselines on the four dataset profiles.
+//
+// Paper reference values (AUPRC / AUROC on UNSW-NB15):
+//   iForest .301/.783  REPEN .276/.875  ADOA .226/.852  FEAWAD .540/.946
+//   PUMAD .573/.903    DevNet .671/.950 DeepSAD .677/.974 DPLAN .658/.951
+//   PIA-WAL .698/.946  Dual-MGAN .646/.913 PReNet .712/.937
+//   TargAD .804/.978
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace targad;  // NOLINT(build/namespaces)
+
+int main() {
+  const double scale = bench::BenchScale();
+  const int runs = bench::BenchRuns();
+  std::printf("Table II — overall AUPRC/AUROC, %d runs, scale %.2f\n", runs,
+              scale);
+
+  bench::CsvSink csv("bench_table2_overall.csv",
+                     {"dataset", "model", "auprc_mean", "auprc_std",
+                      "auroc_mean", "auroc_std"});
+
+  for (const auto& profile : data::AllProfiles(scale)) {
+    std::printf("\n=== %s ===\n%-10s %14s %14s\n", profile.name.c_str(),
+                "model", "AUPRC", "AUROC");
+    for (const std::string& name : baselines::AllDetectorNames()) {
+      std::vector<double> auprcs, aurocs;
+      for (int run = 0; run < runs; ++run) {
+        auto bundle =
+            data::MakeBundle(profile, static_cast<uint64_t>(run)).ValueOrDie();
+        const bench::EvalScores scores =
+            bench::RunDetector(name, static_cast<uint64_t>(run), bundle);
+        auprcs.push_back(scores.auprc);
+        aurocs.push_back(scores.auroc);
+      }
+      std::printf("%-10s %14s %14s\n", name.c_str(),
+                  bench::MeanStdCell(auprcs).c_str(),
+                  bench::MeanStdCell(aurocs).c_str());
+      std::fflush(stdout);
+      const auto pr = eval::ComputeMeanStd(auprcs);
+      const auto roc = eval::ComputeMeanStd(aurocs);
+      csv.AddRow({profile.name, name, FormatDouble(pr.mean), FormatDouble(pr.stddev),
+                  FormatDouble(roc.mean), FormatDouble(roc.stddev)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Table III: ablation of the classifier loss terms on the
+// UNSW-NB15-like profile.
+//   TargAD        = L_CE + lambda1 L_OE + lambda2 L_RE
+//   TargAD_-O     = drop L_OE
+//   TargAD_-R     = drop L_RE
+//   TargAD_-O-R   = L_CE only
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/targad.h"
+
+using namespace targad;  // NOLINT(build/namespaces)
+
+int main() {
+  const double scale = bench::BenchScale();
+  const int runs = bench::BenchRuns();
+  const data::DatasetProfile profile = data::UnswLikeProfile(scale);
+
+  struct Variant {
+    const char* name;
+    bool use_oe;
+    bool use_re;
+  };
+  const Variant variants[] = {
+      {"TargAD", true, true},
+      {"TargAD_-O", false, true},
+      {"TargAD_-R", true, false},
+      {"TargAD_-O-R", false, false},
+  };
+
+  std::printf("Table III — loss ablation on %s (%d runs, scale %.2f)\n\n",
+              profile.name.c_str(), runs, scale);
+  std::printf("%-12s %14s %14s\n", "variant", "AUPRC", "AUROC");
+  bench::CsvSink csv("bench_table3_ablation.csv",
+                     {"variant", "auprc_mean", "auprc_std", "auroc_mean",
+                      "auroc_std"});
+
+  for (const Variant& variant : variants) {
+    std::vector<double> auprcs, aurocs;
+    for (int run = 0; run < runs; ++run) {
+      auto bundle =
+          data::MakeBundle(profile, static_cast<uint64_t>(run)).ValueOrDie();
+      core::TargADConfig config;
+      config.seed = static_cast<uint64_t>(run);
+      config.classifier.use_oe = variant.use_oe;
+      config.classifier.use_re = variant.use_re;
+      auto model = core::TargAD::Make(config).ValueOrDie();
+      TARGAD_CHECK_OK(model.Fit(bundle.train));
+      const bench::EvalScores scores =
+          bench::EvaluateScores(model.Score(bundle.test.x), bundle.test);
+      auprcs.push_back(scores.auprc);
+      aurocs.push_back(scores.auroc);
+    }
+    std::printf("%-12s %14s %14s\n", variant.name,
+                bench::MeanStdCell(auprcs).c_str(),
+                bench::MeanStdCell(aurocs).c_str());
+    std::fflush(stdout);
+    const auto pr = eval::ComputeMeanStd(auprcs);
+    const auto roc = eval::ComputeMeanStd(aurocs);
+    csv.AddRow({variant.name, FormatDouble(pr.mean), FormatDouble(pr.stddev),
+                FormatDouble(roc.mean), FormatDouble(roc.stddev)});
+  }
+  // Extension beyond the paper's Table III: ablating the Eq. (4)/(5)
+  // weight-updating mechanism itself (the paper's RQ4 analyses it
+  // qualitatively; here it gets numbers).
+  std::printf("\nWeight-mechanism ablation (extension):\n%-14s %14s %14s\n",
+              "weights", "AUPRC", "AUROC");
+  for (core::WeightMode mode :
+       {core::WeightMode::kDynamic, core::WeightMode::kInitialOnly,
+        core::WeightMode::kFixedOnes}) {
+    std::vector<double> auprcs, aurocs;
+    for (int run = 0; run < runs; ++run) {
+      auto bundle =
+          data::MakeBundle(profile, static_cast<uint64_t>(run)).ValueOrDie();
+      core::TargADConfig config;
+      config.seed = static_cast<uint64_t>(run);
+      config.weight_mode = mode;
+      auto model = core::TargAD::Make(config).ValueOrDie();
+      TARGAD_CHECK_OK(model.Fit(bundle.train));
+      const bench::EvalScores scores =
+          bench::EvaluateScores(model.Score(bundle.test.x), bundle.test);
+      auprcs.push_back(scores.auprc);
+      aurocs.push_back(scores.auroc);
+    }
+    std::printf("%-14s %14s %14s\n", core::WeightModeName(mode),
+                bench::MeanStdCell(auprcs).c_str(),
+                bench::MeanStdCell(aurocs).c_str());
+    std::fflush(stdout);
+    const auto pr = eval::ComputeMeanStd(auprcs);
+    const auto roc = eval::ComputeMeanStd(aurocs);
+    csv.AddRow({std::string("weights:") + core::WeightModeName(mode),
+                FormatDouble(pr.mean), FormatDouble(pr.stddev),
+                FormatDouble(roc.mean), FormatDouble(roc.stddev)});
+  }
+
+  std::printf(
+      "\nPaper: full TargAD leads by 2-4%% AUPRC / 0.5-2%% AUROC; dropping"
+      "\nboth L_OE and L_RE is worst.\n");
+  return 0;
+}

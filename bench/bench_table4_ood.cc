@@ -1,0 +1,66 @@
+// Reproduces Table IV: three-way identification (normal / target /
+// non-target) with the MSP, Energy Score, and Energy Discrepancy strategies
+// (Section III-C) on the UNSW-NB15-like profile. Reports per-class
+// Precision / Recall / F1 plus macro and weighted averages.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/targad.h"
+#include "eval/confusion.h"
+
+using namespace targad;  // NOLINT(build/namespaces)
+
+int main() {
+  const double scale = bench::BenchScale();
+  auto bundle =
+      data::MakeBundle(data::UnswLikeProfile(scale), /*run_seed=*/1).ValueOrDie();
+
+  core::TargADConfig config;
+  config.seed = 7;
+  auto model = core::TargAD::Make(config).ValueOrDie();
+  TARGAD_CHECK_OK(model.Fit(bundle.train));
+
+  std::vector<int> truth;
+  truth.reserve(bundle.test.size());
+  for (auto kind : bundle.test.kind) {
+    truth.push_back(core::KindToThreeWay(kind));
+  }
+  const nn::Matrix test_logits = model.Logits(bundle.test.x);
+
+  bench::CsvSink csv("bench_table4_ood.csv",
+                     {"strategy", "group", "precision", "recall", "f1"});
+  std::printf("Table IV — three-way identification (scale %.2f)\n", scale);
+
+  const char* group_names[] = {"normal instances", "target anomalies",
+                               "non-target anomalies"};
+  for (core::OodStrategy strategy :
+       {core::OodStrategy::kMsp, core::OodStrategy::kEnergy,
+        core::OodStrategy::kEnergyDiscrepancy}) {
+    auto three_way =
+        model.FitThreeWay(bundle.validation, strategy).ValueOrDie();
+    const std::vector<int> pred = three_way.Predict(test_logits);
+    auto cm = eval::ConfusionMatrix::Make(truth, pred, 3).ValueOrDie();
+
+    std::printf("\n--- %s (threshold %.3f) ---\n",
+                core::OodStrategyName(strategy), three_way.threshold());
+    std::printf("%-22s %10s %10s %10s\n", "group", "Precision", "Recall",
+                "F1-Score");
+    auto emit = [&](const char* label, const eval::ClassReport& report) {
+      std::printf("%-22s %10.3f %10.3f %10.3f\n", label, report.precision,
+                  report.recall, report.f1);
+      csv.AddRow({core::OodStrategyName(strategy), label,
+                  FormatDouble(report.precision), FormatDouble(report.recall),
+                  FormatDouble(report.f1)});
+    };
+    for (int cls = 0; cls < 3; ++cls) {
+      emit(group_names[cls], cm.Report(cls));
+    }
+    emit("macro avg", cm.MacroAverage());
+    emit("weighted avg", cm.WeightedAverage());
+  }
+  std::printf(
+      "\nPaper: ED leads on non-target recognition (P .449 / R .467 / F1 .458"
+      "\nvs MSP F1 .278, ES F1 .362) and on macro/weighted averages.\n");
+  return 0;
+}

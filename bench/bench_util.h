@@ -1,0 +1,90 @@
+// Shared plumbing for the reproduction benches: environment knobs, detector
+// evaluation, and table/CSV output.
+//
+// Environment variables:
+//   TARGAD_BENCH_SCALE  multiplies dataset sizes (default 0.1; 1.0 = Table I)
+//   TARGAD_BENCH_RUNS   independent runs averaged per cell (default 3)
+
+#ifndef TARGAD_BENCH_BENCH_UTIL_H_
+#define TARGAD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "data/csv.h"
+#include "data/profiles.h"
+#include "eval/metrics.h"
+
+namespace targad {
+namespace bench {
+
+inline double BenchScale(double fallback = 0.1) {
+  return GetEnvDouble("TARGAD_BENCH_SCALE", fallback);
+}
+
+inline int BenchRuns(int fallback = 3) {
+  return GetEnvInt("TARGAD_BENCH_RUNS", fallback);
+}
+
+/// AUPRC/AUROC of one fitted detector on an eval set.
+struct EvalScores {
+  double auprc = 0.0;
+  double auroc = 0.0;
+};
+
+inline EvalScores EvaluateScores(const std::vector<double>& scores,
+                                 const data::EvalSet& eval_set) {
+  const std::vector<int> labels = eval_set.BinaryTargetLabels();
+  EvalScores out;
+  out.auprc = eval::Auprc(scores, labels).ValueOrDie();
+  out.auroc = eval::Auroc(scores, labels).ValueOrDie();
+  return out;
+}
+
+/// Fits detector `name` on the bundle's training data (with `seed`) and
+/// evaluates on the test set.
+inline EvalScores RunDetector(const std::string& name, uint64_t seed,
+                              const data::DatasetBundle& bundle) {
+  auto detector = baselines::MakeDetector(name, seed).ValueOrDie();
+  TARGAD_CHECK_OK(detector->FitWithValidation(bundle.train, bundle.validation));
+  return EvaluateScores(detector->Score(bundle.test.x), bundle.test);
+}
+
+/// Accumulates rows and writes them as CSV on destruction.
+class CsvSink {
+ public:
+  CsvSink(std::string path, std::vector<std::string> header)
+      : path_(std::move(path)), header_(std::move(header)) {}
+
+  ~CsvSink() {
+    Status st = data::WriteCsvRows(path_, header_, rows_);
+    if (st.ok()) {
+      std::printf("\nwrote %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "CSV write failed: %s\n", st.ToString().c_str());
+    }
+  }
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+ private:
+  std::string path_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "0.804±0.001"-style cell.
+inline std::string MeanStdCell(const std::vector<double>& values, int precision = 3) {
+  const eval::MeanStd ms = eval::ComputeMeanStd(values);
+  return FormatDouble(ms.mean, precision) + "±" + FormatDouble(ms.stddev, precision);
+}
+
+}  // namespace bench
+}  // namespace targad
+
+#endif  // TARGAD_BENCH_BENCH_UTIL_H_

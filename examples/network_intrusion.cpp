@@ -1,0 +1,71 @@
+// Network-intrusion scenario (the paper's UNSW-NB15 setting): detect
+// high-risk attack families (the target classes) while ignoring the more
+// numerous low-risk attack traffic — including non-target attack types
+// that were NEVER seen during training (Fig. 4(a)'s robustness scenario).
+//
+//   ./examples/network_intrusion [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/targad.h"
+#include "data/profiles.h"
+#include "eval/metrics.h"
+
+using namespace targad;  // NOLINT(build/namespaces)
+
+namespace {
+
+void Evaluate(const char* label, core::TargAD* model,
+              const data::DatasetBundle& bundle) {
+  const auto labels = bundle.test.BinaryTargetLabels();
+  const auto scores = model->Score(bundle.test.x);
+  double mean[3] = {0, 0, 0};
+  int count[3] = {0, 0, 0};
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const int kind = static_cast<int>(bundle.test.kind[i]);
+    mean[kind] += scores[i];
+    count[kind]++;
+  }
+  std::printf("%-28s AUPRC=%.3f AUROC=%.3f | mean S^tar: normal=%.3f "
+              "target=%.3f non-target=%.3f\n",
+              label, eval::Auprc(scores, labels).ValueOrDie(),
+              eval::Auroc(scores, labels).ValueOrDie(), mean[0] / count[0],
+              mean[1] / count[1], mean[2] / count[2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+
+  std::printf("=== Scenario 1: all four non-target attack families present "
+              "in training ===\n");
+  data::DatasetProfile profile = data::UnswLikeProfile(scale);
+  auto bundle = data::MakeBundle(profile, /*run_seed=*/3).ValueOrDie();
+  std::printf("training: %zu labeled target attacks (%d classes), %zu "
+              "unlabeled flows\n",
+              bundle.train.num_labeled(), bundle.train.num_target_classes,
+              bundle.train.num_unlabeled());
+
+  core::TargADConfig config;
+  config.seed = 11;
+  auto model = core::TargAD::Make(config).ValueOrDie();
+  TARGAD_CHECK_OK(model.Fit(bundle.train));
+  Evaluate("all families seen:", &model, bundle);
+
+  std::printf("\n=== Scenario 2: three of four non-target families are NEW "
+              "at test time ===\n");
+  data::DatasetProfile held_out = data::UnswLikeProfile(scale);
+  held_out.assembly.train_nontarget_classes = {3};  // Only one family seen.
+  auto bundle2 = data::MakeBundle(held_out, /*run_seed=*/3).ValueOrDie();
+  auto model2 = core::TargAD::Make(config).ValueOrDie();
+  TARGAD_CHECK_OK(model2.Fit(bundle2.train));
+  Evaluate("3 families unseen:", &model2, bundle2);
+
+  std::printf(
+      "\nThe outlier-exposure pseudo-labels calibrate novel non-target\n"
+      "attacks toward a uniform predictive distribution, so S^tar stays\n"
+      "low for them and target detection holds up (paper Fig. 4(a)).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Payment-platform scenario (the paper's SQB setting): millions of
+// merchants, a handful of high-risk anomalies (fraud, gambling recharge)
+// and 20-60x as many low-risk anomalies (click farming, cash out). The
+// review team can only verify a small daily queue — precision at the top
+// of the ranking is what matters, and the Section III-C three-way rule
+// lets the platform route low-risk anomalies to a slow queue instead of
+// wasting analysts on them.
+//
+//   ./examples/payment_fraud [scale]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "core/targad.h"
+#include "data/profiles.h"
+#include "eval/confusion.h"
+#include "eval/metrics.h"
+
+using namespace targad;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+  auto bundle =
+      data::MakeBundle(data::SqbLikeProfile(scale), /*run_seed=*/2).ValueOrDie();
+  const auto counts = bundle.test.CountsByKind();
+  std::printf("merchant population under review: %zu (%zu high-risk, %zu "
+              "low-risk anomalies hidden inside)\n",
+              bundle.test.size(), counts[1], counts[2]);
+
+  core::TargADConfig config;
+  config.seed = 5;
+  auto model = core::TargAD::Make(config).ValueOrDie();
+  TARGAD_CHECK_OK(model.Fit(bundle.train));
+
+  // --- The daily review queue: top-K merchants by S^tar.
+  const auto scores = model.Score(bundle.test.x);
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  for (size_t queue : {20UL, 50UL, 100UL}) {
+    const size_t k = std::min(queue, order.size());
+    size_t hit[3] = {0, 0, 0};
+    for (size_t i = 0; i < k; ++i) {
+      hit[static_cast<int>(bundle.test.kind[order[i]])]++;
+    }
+    std::printf("review queue of %3zu: %zu high-risk, %zu low-risk, %zu "
+                "normal merchants\n",
+                k, hit[1], hit[2], hit[0]);
+  }
+  const auto labels = bundle.test.BinaryTargetLabels();
+  std::printf("ranking quality: AUPRC=%.3f AUROC=%.3f\n",
+              eval::Auprc(scores, labels).ValueOrDie(),
+              eval::Auroc(scores, labels).ValueOrDie());
+
+  // --- Three-way triage with the Energy Discrepancy strategy.
+  auto three_way =
+      model.FitThreeWay(bundle.validation, core::OodStrategy::kEnergyDiscrepancy)
+          .ValueOrDie();
+  const std::vector<int> pred = three_way.Predict(model.Logits(bundle.test.x));
+  std::vector<int> truth;
+  for (auto kind : bundle.test.kind) truth.push_back(core::KindToThreeWay(kind));
+  auto cm = eval::ConfusionMatrix::Make(truth, pred, 3).ValueOrDie();
+
+  std::printf("\nthree-way triage (ED strategy, threshold fit on validation):\n");
+  const char* names[3] = {"normal", "high-risk", "low-risk"};
+  std::printf("%-10s %10s %10s %10s\n", "group", "precision", "recall", "F1");
+  for (int cls = 0; cls < 3; ++cls) {
+    const auto report = cm.Report(cls);
+    std::printf("%-10s %10.3f %10.3f %10.3f\n", names[cls], report.precision,
+                report.recall, report.f1);
+  }
+  std::printf("accuracy %.3f — high-risk cases go to analysts now; low-risk\n"
+              "anomalies wait for the slow queue (Section III-C).\n",
+              cm.Accuracy());
+  return 0;
+}

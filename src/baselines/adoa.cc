@@ -1,0 +1,159 @@
+#include "baselines/adoa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "cluster/kmeans.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/losses.h"
+
+namespace targad {
+namespace baselines {
+
+Result<std::unique_ptr<Adoa>> Adoa::Make(const AdoaConfig& config) {
+  if (config.anomaly_clusters <= 0) {
+    return Status::InvalidArgument("ADOA: anomaly_clusters must be positive");
+  }
+  if (config.theta < 0.0 || config.theta > 1.0) {
+    return Status::InvalidArgument("ADOA: theta must be in [0, 1]");
+  }
+  if (config.anomaly_percentile <= config.normal_percentile) {
+    return Status::InvalidArgument("ADOA: anomaly percentile must exceed normal");
+  }
+  return std::unique_ptr<Adoa>(new Adoa(config));
+}
+
+Status Adoa::Fit(const data::TrainingSet& train) {
+  TARGAD_RETURN_NOT_OK(train.Validate());
+  Rng rng(config_.seed);
+  const size_t d = train.dim();
+  const size_t n_u = train.unlabeled_x.rows();
+
+  // 1. Cluster the observed anomalies.
+  const int k_anom = std::min<int>(config_.anomaly_clusters,
+                                   static_cast<int>(train.labeled_x.rows()));
+  cluster::KMeansConfig km_config;
+  km_config.k = k_anom;
+  km_config.seed = config_.seed;
+  TARGAD_ASSIGN_OR_RETURN(cluster::KMeansResult km,
+                          cluster::KMeans(train.labeled_x, km_config));
+
+  // 2. Isolation scores for the unlabeled pool.
+  IForestConfig if_config = config_.iforest;
+  if_config.seed = config_.seed ^ 0xAD0AULL;
+  TARGAD_ASSIGN_OR_RETURN(std::unique_ptr<IsolationForest> iforest,
+                          IsolationForest::Make(if_config));
+  TARGAD_RETURN_NOT_OK(iforest->FitMatrix(train.unlabeled_x));
+  const std::vector<double> iso = iforest->Score(train.unlabeled_x);
+
+  // 3. Similarity to the nearest anomaly center (Gaussian kernel over the
+  // squared distance, bandwidth = mean intra-anomaly distance).
+  double bandwidth = 0.0;
+  for (size_t i = 0; i < train.labeled_x.rows(); ++i) {
+    const auto c = static_cast<size_t>(km.assignments[i]);
+    bandwidth += train.labeled_x.RowSquaredDistance(i, km.centers, c);
+  }
+  bandwidth = std::max(1e-6, bandwidth / static_cast<double>(train.labeled_x.rows()));
+  std::vector<double> sim(n_u, 0.0);
+  std::vector<int> nearest_cluster(n_u, 0);
+  for (size_t i = 0; i < n_u; ++i) {
+    double best = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < km.centers.rows(); ++c) {
+      const double dist = train.unlabeled_x.RowSquaredDistance(i, km.centers, c);
+      if (dist < best) {
+        best = dist;
+        nearest_cluster[i] = static_cast<int>(c);
+      }
+    }
+    sim[i] = std::exp(-best / (2.0 * bandwidth));
+  }
+
+  // 4. Total score and percentile cuts -> weighted pseudo-labeled sets.
+  std::vector<double> total(n_u);
+  for (size_t i = 0; i < n_u; ++i) {
+    total[i] = config_.theta * iso[i] + (1.0 - config_.theta) * sim[i];
+  }
+  std::vector<double> sorted = total;
+  std::sort(sorted.begin(), sorted.end());
+  auto percentile = [&](double p) {
+    const size_t idx = std::min(
+        n_u - 1, static_cast<size_t>(p * static_cast<double>(n_u)));
+    return sorted[idx];
+  };
+  const double anom_cut = percentile(config_.anomaly_percentile);
+  const double norm_cut = percentile(config_.normal_percentile);
+  const double score_min = sorted.front();
+  const double score_max = sorted.back();
+  const double range = std::max(1e-12, score_max - score_min);
+
+  num_classes_ = k_anom + 1;  // Classes [0, k_anom) anomalies, k_anom = normal.
+  std::vector<size_t> rows;
+  std::vector<int> labels;
+  std::vector<double> weights;
+  for (size_t i = 0; i < n_u; ++i) {
+    if (total[i] >= anom_cut) {
+      rows.push_back(i);
+      labels.push_back(nearest_cluster[i]);
+      weights.push_back((total[i] - score_min) / range);
+    } else if (total[i] <= norm_cut) {
+      rows.push_back(i);
+      labels.push_back(k_anom);
+      weights.push_back((score_max - total[i]) / range);
+    }
+  }
+
+  // Observed anomalies participate with weight 1 and their cluster label.
+  nn::Matrix train_x = train.unlabeled_x.SelectRows(rows);
+  train_x.AppendRows(train.labeled_x);
+  for (size_t i = 0; i < train.labeled_x.rows(); ++i) {
+    labels.push_back(km.assignments[i]);
+    weights.push_back(1.0);
+  }
+
+  // 5. Weighted multi-class classifier.
+  nn::MlpConfig mlp_config;
+  mlp_config.sizes.push_back(d);
+  for (size_t h : config_.hidden) mlp_config.sizes.push_back(h);
+  mlp_config.sizes.push_back(static_cast<size_t>(num_classes_));
+  mlp_config.learning_rate = config_.learning_rate;
+  mlp_config.seed = config_.seed;
+  net_ = std::make_unique<nn::Mlp>(mlp_config);
+
+  const size_t n = train_x.rows();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < n; start += config_.batch_size) {
+      const size_t end = std::min(n, start + config_.batch_size);
+      std::vector<size_t> idx(order.begin() + static_cast<long>(start),
+                              order.begin() + static_cast<long>(end));
+      nn::Matrix bx = train_x.SelectRows(idx);
+      nn::Matrix targets(idx.size(), static_cast<size_t>(num_classes_), 0.0);
+      std::vector<double> w(idx.size());
+      for (size_t i = 0; i < idx.size(); ++i) {
+        targets.At(i, static_cast<size_t>(labels[idx[i]])) = 1.0;
+        w[i] = weights[idx[i]];
+      }
+      net_->TrainStepCrossEntropy(bx, targets, w);
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> Adoa::Score(const nn::Matrix& x) {
+  TARGAD_CHECK(fitted_) << "ADOA::Score before Fit";
+  nn::Matrix p = net_->PredictProba(x);
+  // Anomaly score = 1 - P(normal class).
+  const auto normal_class = static_cast<size_t>(num_classes_ - 1);
+  std::vector<double> scores(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) scores[i] = 1.0 - p.At(i, normal_class);
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace targad

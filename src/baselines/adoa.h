@@ -1,0 +1,61 @@
+// ADOA (Zhang et al., WWW 2018 Companion): Anomaly Detection with partially
+// Observed Anomalies. The observed (labeled) anomalies are clustered; every
+// unlabeled instance receives a score combining an isolation score and its
+// similarity to the nearest anomaly cluster. High scorers become potential
+// anomalies (assigned to their nearest anomaly cluster), low scorers become
+// reliable normals, each with a confidence weight; a weighted multi-class
+// classifier is then trained over {anomaly cluster 1..K, normal}.
+
+#ifndef TARGAD_BASELINES_ADOA_H_
+#define TARGAD_BASELINES_ADOA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "baselines/iforest.h"
+#include "common/result.h"
+#include "nn/mlp.h"
+
+namespace targad {
+namespace baselines {
+
+struct AdoaConfig {
+  /// Anomaly clusters K (capped by the labeled count).
+  int anomaly_clusters = 2;
+  /// Mixing weight between isolation score and anomaly-cluster similarity.
+  double theta = 0.5;
+  /// Percentile cuts: scores above `anomaly_percentile` become potential
+  /// anomalies; below `normal_percentile`, reliable normals.
+  double anomaly_percentile = 0.95;
+  double normal_percentile = 0.60;
+  std::vector<size_t> hidden = {64, 32};
+  double learning_rate = 1e-3;
+  int epochs = 30;
+  size_t batch_size = 128;
+  IForestConfig iforest;
+  uint64_t seed = 0;
+};
+
+class Adoa : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<Adoa>> Make(const AdoaConfig& config);
+
+  Status Fit(const data::TrainingSet& train) override;
+  std::vector<double> Score(const nn::Matrix& x) override;
+  std::string name() const override { return "ADOA"; }
+
+ private:
+  explicit Adoa(const AdoaConfig& config) : config_(config) {}
+
+  AdoaConfig config_;
+  std::unique_ptr<nn::Mlp> net_;
+  int num_classes_ = 0;  // K anomaly clusters + 1 normal class.
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_ADOA_H_

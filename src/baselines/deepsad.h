@@ -1,0 +1,55 @@
+// DeepSAD (Ruff et al., ICLR 2020): deep semi-supervised one-class
+// classification. An autoencoder pretrains the encoder; the hypersphere
+// center c is the mean embedding of the unlabeled data; training pulls
+// unlabeled points toward c and pushes labeled anomalies away via an
+// inverse-distance penalty. Score = squared distance to c.
+
+#ifndef TARGAD_BASELINES_DEEPSAD_H_
+#define TARGAD_BASELINES_DEEPSAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "nn/autoencoder.h"
+
+namespace targad {
+namespace baselines {
+
+struct DeepSadConfig {
+  std::vector<size_t> encoder_dims = {64, 16};
+  double learning_rate = 1e-3;
+  int pretrain_epochs = 10;
+  int epochs = 30;
+  size_t batch_size = 128;
+  /// Weight of the labeled-anomaly term (paper default 1).
+  double eta = 1.0;
+  size_t anomalies_per_batch = 16;
+  uint64_t seed = 0;
+};
+
+class DeepSad : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<DeepSad>> Make(const DeepSadConfig& config);
+
+  Status Fit(const data::TrainingSet& train) override;
+  std::vector<double> Score(const nn::Matrix& x) override;
+  std::string name() const override { return "DeepSAD"; }
+
+  const std::vector<double>& center() const { return center_; }
+
+ private:
+  explicit DeepSad(const DeepSadConfig& config) : config_(config) {}
+
+  DeepSadConfig config_;
+  std::unique_ptr<nn::Autoencoder> ae_;
+  std::vector<double> center_;
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_DEEPSAD_H_

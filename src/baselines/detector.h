@@ -1,0 +1,52 @@
+// The common interface for all anomaly detectors compared in Table II:
+// eleven baselines plus a TargAD adapter (see registry.h).
+//
+// Semantics follow the paper's evaluation protocol: Fit sees the labeled
+// target anomalies (D_L) and the unlabeled pool (D_U); Score returns one
+// value per row where HIGHER means more anomalous. Generic baselines treat
+// all labeled anomalies as a single "anomaly" class — the inability to
+// prioritize target anomalies over non-target anomalies is exactly the
+// failure mode the paper studies.
+
+#ifndef TARGAD_BASELINES_DETECTOR_H_
+#define TARGAD_BASELINES_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace baselines {
+
+/// An anomaly detector trained on (D_L, D_U).
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  /// Trains the detector. Must be called before Score.
+  virtual Status Fit(const data::TrainingSet& train) = 0;
+
+  /// Trains with access to a labeled validation set for model selection
+  /// (Section IV-C tunes every method on validation data). The default
+  /// ignores the validation set; detectors with native validation-based
+  /// selection (TargAD) override it.
+  virtual Status FitWithValidation(const data::TrainingSet& train,
+                                   const data::EvalSet& validation) {
+    (void)validation;
+    return Fit(train);
+  }
+
+  /// Per-row anomaly scores; higher = more anomalous.
+  virtual std::vector<double> Score(const nn::Matrix& x) = 0;
+
+  /// The paper's name for the method ("iForest", "DevNet", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_DETECTOR_H_

@@ -1,0 +1,100 @@
+#include "baselines/devnet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace targad {
+namespace baselines {
+
+Result<std::unique_ptr<DevNet>> DevNet::Make(const DevNetConfig& config) {
+  if (config.epochs <= 0 || config.batch_size == 0) {
+    return Status::InvalidArgument("DevNet: bad epochs/batch_size");
+  }
+  if (config.margin <= 0.0) {
+    return Status::InvalidArgument("DevNet: margin must be positive");
+  }
+  return std::unique_ptr<DevNet>(new DevNet(config));
+}
+
+Status DevNet::Fit(const data::TrainingSet& train) {
+  TARGAD_RETURN_NOT_OK(train.Validate());
+  Rng rng(config_.seed);
+
+  // Reference scores from the Gaussian prior.
+  double sum = 0.0, sum_sq = 0.0;
+  for (size_t i = 0; i < config_.reference_samples; ++i) {
+    const double r = rng.Normal();
+    sum += r;
+    sum_sq += r * r;
+  }
+  const double n_ref = static_cast<double>(config_.reference_samples);
+  mu_ref_ = sum / n_ref;
+  sigma_ref_ = std::sqrt(std::max(1e-12, sum_sq / n_ref - mu_ref_ * mu_ref_));
+
+  nn::MlpConfig mlp_config;
+  mlp_config.sizes.push_back(train.dim());
+  for (size_t h : config_.hidden) mlp_config.sizes.push_back(h);
+  mlp_config.sizes.push_back(1);
+  mlp_config.learning_rate = config_.learning_rate;
+  mlp_config.seed = config_.seed;
+  net_ = std::make_unique<nn::Mlp>(mlp_config);
+
+  const size_t n_u = train.unlabeled_x.rows();
+  std::vector<size_t> order(n_u);
+  for (size_t i = 0; i < n_u; ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < n_u; start += config_.batch_size) {
+      const size_t end = std::min(n_u, start + config_.batch_size);
+      std::vector<size_t> u_idx(order.begin() + static_cast<long>(start),
+                                order.begin() + static_cast<long>(end));
+      // Oversample labeled anomalies into every batch.
+      const size_t n_a =
+          std::min<size_t>(config_.anomalies_per_batch, train.labeled_x.rows());
+      std::vector<size_t> a_idx(n_a);
+      for (size_t i = 0; i < n_a; ++i) {
+        a_idx[i] = static_cast<size_t>(rng.UniformInt(train.labeled_x.rows()));
+      }
+
+      nn::Matrix batch(0, 0);
+      batch.AppendRows(train.unlabeled_x.SelectRows(u_idx));
+      batch.AppendRows(train.labeled_x.SelectRows(a_idx));
+      const size_t rows = batch.rows();
+
+      nn::Matrix scores = net_->Forward(batch);
+      nn::Matrix grad(rows, 1, 0.0);
+      const double inv_rows = 1.0 / static_cast<double>(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        const double dev = (scores.At(i, 0) - mu_ref_) / sigma_ref_;
+        const bool is_anomaly = i >= u_idx.size();
+        if (is_anomaly) {
+          // max(0, a - dev): push deviation above the margin.
+          if (dev < config_.margin) {
+            grad.At(i, 0) = -inv_rows / sigma_ref_;
+          }
+        } else {
+          // |dev|: pull unlabeled toward the reference mean.
+          grad.At(i, 0) = (dev >= 0.0 ? 1.0 : -1.0) * inv_rows / sigma_ref_;
+        }
+      }
+      net_->StepOnGrad(grad);
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> DevNet::Score(const nn::Matrix& x) {
+  TARGAD_CHECK(fitted_) << "DevNet::Score before Fit";
+  nn::Matrix out = net_->Forward(x);
+  std::vector<double> scores(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) scores[i] = out.At(i, 0);
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace targad

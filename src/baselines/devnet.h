@@ -1,0 +1,56 @@
+// DevNet (Pang, Shen & van den Hengel, KDD 2019): end-to-end anomaly score
+// learning with a deviation loss. A reference score distribution is drawn
+// from a N(0,1) Gaussian prior; the network is trained so unlabeled data
+// deviates little from the reference mean while labeled anomalies deviate
+// by at least margin `a` standard deviations.
+
+#ifndef TARGAD_BASELINES_DEVNET_H_
+#define TARGAD_BASELINES_DEVNET_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "nn/mlp.h"
+
+namespace targad {
+namespace baselines {
+
+struct DevNetConfig {
+  /// The original uses a single 20-unit ReLU hidden layer for tabular data.
+  std::vector<size_t> hidden = {20};
+  double learning_rate = 1e-3;
+  int epochs = 30;
+  size_t batch_size = 128;
+  /// Confidence margin (paper: a = 5).
+  double margin = 5.0;
+  /// Gaussian prior reference sample size (paper: 5000).
+  size_t reference_samples = 5000;
+  /// Labeled anomalies per batch (oversampled, as in the original).
+  size_t anomalies_per_batch = 16;
+  uint64_t seed = 0;
+};
+
+class DevNet : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<DevNet>> Make(const DevNetConfig& config);
+
+  Status Fit(const data::TrainingSet& train) override;
+  std::vector<double> Score(const nn::Matrix& x) override;
+  std::string name() const override { return "DevNet"; }
+
+ private:
+  explicit DevNet(const DevNetConfig& config) : config_(config) {}
+
+  DevNetConfig config_;
+  std::unique_ptr<nn::Mlp> net_;
+  double mu_ref_ = 0.0;
+  double sigma_ref_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_DEVNET_H_

@@ -1,0 +1,76 @@
+// DPLAN (Pang et al., KDD 2021): deep reinforcement learning for anomaly
+// detection with partially labeled data. A DQN agent observes one instance
+// at a time and chooses {normal, anomaly}. Rewards combine an external
+// signal (+1 for flagging a labeled anomaly, small penalties otherwise)
+// with an intrinsic, iForest-based exploration bonus on unlabeled data.
+// The anomaly-biased simulator alternates between serving labeled
+// anomalies and unlabeled neighbourhoods of the current state. This is a
+// compact but mechanism-complete DQN: replay buffer, target network,
+// epsilon-greedy decay.
+
+#ifndef TARGAD_BASELINES_DPLAN_H_
+#define TARGAD_BASELINES_DPLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "baselines/iforest.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace targad {
+namespace baselines {
+
+struct DplanConfig {
+  std::vector<size_t> hidden = {64};
+  double learning_rate = 1e-3;
+  /// Total environment steps.
+  int training_steps = 4000;
+  size_t replay_capacity = 4096;
+  size_t batch_size = 32;
+  /// Steps between target-network syncs.
+  int target_sync_interval = 200;
+  double gamma = 0.95;
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.1;
+  /// Probability the simulator serves a labeled anomaly next.
+  double anomaly_sampling_prob = 0.5;
+  /// Candidate pool size for the distance-based unlabeled transition.
+  size_t neighbourhood_candidates = 32;
+  IForestConfig iforest;
+  uint64_t seed = 0;
+};
+
+class Dplan : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<Dplan>> Make(const DplanConfig& config);
+
+  Status Fit(const data::TrainingSet& train) override;
+  std::vector<double> Score(const nn::Matrix& x) override;
+  std::string name() const override { return "DPLAN"; }
+
+ private:
+  explicit Dplan(const DplanConfig& config) : config_(config) {}
+
+  struct Transition {
+    std::vector<double> state;
+    int action = 0;
+    double reward = 0.0;
+    std::vector<double> next_state;
+  };
+
+  DplanConfig config_;
+  nn::Sequential q_net_;
+  nn::Sequential target_net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_DPLAN_H_

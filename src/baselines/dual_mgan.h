@@ -1,0 +1,66 @@
+// Dual-MGAN (Li et al., TKDD 2022): semi-supervised outlier detection with
+// few identified anomalies via two cooperating sub-GANs. The AUGMENTATION
+// GAN densifies the scarce labeled anomalies (generator conditioned on
+// noise, adversarially matched to the real anomaly distribution); the
+// DETECTION GAN's discriminator learns unlabeled data as normal against
+// real + synthetic anomalies and generator samples, and serves as the
+// anomaly scorer.
+
+#ifndef TARGAD_BASELINES_DUAL_MGAN_H_
+#define TARGAD_BASELINES_DUAL_MGAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace targad {
+namespace baselines {
+
+struct DualMganConfig {
+  size_t noise_dim = 16;
+  std::vector<size_t> gen_hidden = {64};
+  std::vector<size_t> disc_hidden = {32};
+  double learning_rate = 1e-3;
+  /// Epochs for the augmentation GAN, then the detection phase.
+  int aug_epochs = 15;
+  int det_epochs = 20;
+  size_t batch_size = 128;
+  /// Synthetic anomalies generated per real labeled anomaly.
+  size_t augmentation_factor = 4;
+  size_t anomalies_per_batch = 16;
+  uint64_t seed = 0;
+};
+
+class DualMgan : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<DualMgan>> Make(const DualMganConfig& config);
+
+  Status Fit(const data::TrainingSet& train) override;
+  std::vector<double> Score(const nn::Matrix& x) override;
+  std::string name() const override { return "Dual-MGAN"; }
+
+ private:
+  explicit DualMgan(const DualMganConfig& config) : config_(config) {}
+
+  nn::Matrix SampleNoise(size_t rows, Rng* rng) const;
+
+  DualMganConfig config_;
+  nn::Sequential aug_generator_;
+  nn::Sequential aug_discriminator_;
+  nn::Sequential det_discriminator_;
+  std::unique_ptr<nn::Adam> aug_gen_opt_;
+  std::unique_ptr<nn::Adam> aug_disc_opt_;
+  std::unique_ptr<nn::Adam> det_disc_opt_;
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_DUAL_MGAN_H_

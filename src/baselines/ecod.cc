@@ -1,0 +1,78 @@
+#include "baselines/ecod.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace targad {
+namespace baselines {
+
+Result<std::unique_ptr<Ecod>> Ecod::Make(const EcodConfig& config) {
+  return std::unique_ptr<Ecod>(new Ecod(config));
+}
+
+Status Ecod::Fit(const data::TrainingSet& train) {
+  TARGAD_RETURN_NOT_OK(train.Validate());
+  const nn::Matrix& x = train.unlabeled_x;
+  if (x.rows() < 2) return Status::InvalidArgument("ECOD: need >= 2 rows");
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  sorted_.assign(d, {});
+  skewness_.assign(d, 0.0);
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<double>& col = sorted_[j];
+    col.resize(n);
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      col[i] = x.At(i, j);
+      mean += col[i];
+    }
+    mean /= static_cast<double>(n);
+    double m2 = 0.0, m3 = 0.0;
+    for (double v : col) {
+      const double c = v - mean;
+      m2 += c * c;
+      m3 += c * c * c;
+    }
+    m2 /= static_cast<double>(n);
+    m3 /= static_cast<double>(n);
+    skewness_[j] = m2 > 1e-12 ? m3 / std::pow(m2, 1.5) : 0.0;
+    std::sort(col.begin(), col.end());
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> Ecod::Score(const nn::Matrix& x) {
+  TARGAD_CHECK(fitted_) << "ECOD::Score before Fit";
+  TARGAD_CHECK(x.cols() == sorted_.size()) << "ECOD: dim mismatch";
+  const size_t d = x.cols();
+  std::vector<double> scores(x.rows(), 0.0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double left_sum = 0.0, right_sum = 0.0, auto_sum = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const std::vector<double>& col = sorted_[j];
+      const double n = static_cast<double>(col.size());
+      const double v = x.At(i, j);
+      // Left tail: P(X <= v); right tail: P(X >= v). The +1 smoothing
+      // keeps both probabilities strictly positive for unseen extremes.
+      const auto le = static_cast<double>(
+          std::upper_bound(col.begin(), col.end(), v) - col.begin());
+      const auto ge = static_cast<double>(
+          col.end() - std::lower_bound(col.begin(), col.end(), v));
+      const double p_left = (le + 1.0) / (n + 2.0);
+      const double p_right = (ge + 1.0) / (n + 2.0);
+      const double s_left = -std::log(p_left);
+      const double s_right = -std::log(p_right);
+      left_sum += s_left;
+      right_sum += s_right;
+      auto_sum += skewness_[j] < 0.0 ? s_left : s_right;
+    }
+    scores[i] = std::max({left_sum, right_sum, auto_sum});
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace targad

@@ -1,0 +1,51 @@
+// ECOD (Li et al., TKDE 2022): unsupervised outlier detection using
+// empirical cumulative distribution functions — the probability-based
+// detector the paper cites in Related Work [24]. Parameter-free: per
+// dimension, an instance's tail probability under the left and right
+// empirical CDFs is turned into a log-score and aggregated.
+// Included as an extension beyond the Table II roster.
+
+#ifndef TARGAD_BASELINES_ECOD_H_
+#define TARGAD_BASELINES_ECOD_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+
+namespace targad {
+namespace baselines {
+
+struct EcodConfig {
+  // ECOD is parameter-free; the struct exists for interface symmetry.
+};
+
+class Ecod : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<Ecod>> Make(const EcodConfig& config = {});
+
+  /// Stores sorted per-dimension training values (the ECDFs) and each
+  /// dimension's sample skewness (used to pick the tail per dimension).
+  Status Fit(const data::TrainingSet& train) override;
+
+  /// O_ecod(x) = max(left-tail score, right-tail score, skew-picked score),
+  /// each the sum over dimensions of -log(tail probability).
+  std::vector<double> Score(const nn::Matrix& x) override;
+
+  std::string name() const override { return "ECOD"; }
+
+ private:
+  explicit Ecod(const EcodConfig& config) : config_(config) {}
+
+  EcodConfig config_;
+  /// sorted_[j]: ascending training values of dimension j.
+  std::vector<std::vector<double>> sorted_;
+  std::vector<double> skewness_;
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_ECOD_H_

@@ -1,0 +1,129 @@
+#include "baselines/feawad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/losses.h"
+
+namespace targad {
+namespace baselines {
+
+Result<std::unique_ptr<Feawad>> Feawad::Make(const FeawadConfig& config) {
+  if (config.ae_epochs <= 0 || config.score_epochs <= 0 || config.batch_size == 0) {
+    return Status::InvalidArgument("FEAWAD: bad epochs/batch_size");
+  }
+  return std::unique_ptr<Feawad>(new Feawad(config));
+}
+
+nn::Matrix Feawad::EncodeFeatures(const nn::Matrix& x) {
+  nn::Matrix h = ae_->Encode(x);
+  nn::Matrix recon = ae_->decoder().Forward(h);
+  const size_t code_dim = h.cols();
+  const size_t d = x.cols();
+  // Features: code (code_dim) + normalized residual (d) + error scalar (1).
+  nn::Matrix feats(x.rows(), code_dim + d + 1);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double* out = feats.RowPtr(i);
+    const double* hi = h.RowPtr(i);
+    for (size_t j = 0; j < code_dim; ++j) out[j] = hi[j];
+    const double* xi = x.RowPtr(i);
+    const double* ri = recon.RowPtr(i);
+    double err = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = xi[j] - ri[j];
+      err += diff * diff;
+    }
+    const double norm = std::sqrt(err) + 1e-12;
+    for (size_t j = 0; j < d; ++j) {
+      out[code_dim + j] = (xi[j] - ri[j]) / norm;
+    }
+    out[code_dim + d] = err;
+  }
+  return feats;
+}
+
+Status Feawad::Fit(const data::TrainingSet& train) {
+  TARGAD_RETURN_NOT_OK(train.Validate());
+  Rng rng(config_.seed);
+
+  nn::AutoencoderConfig ae_config;
+  ae_config.input_dim = train.dim();
+  ae_config.encoder_dims = config_.encoder_dims;
+  ae_config.learning_rate = config_.ae_learning_rate;
+  ae_config.seed = config_.seed;
+  ae_ = std::make_unique<nn::Autoencoder>(ae_config);
+
+  const size_t n_u = train.unlabeled_x.rows();
+  std::vector<size_t> order(n_u);
+  for (size_t i = 0; i < n_u; ++i) order[i] = i;
+
+  // Stage 1: autoencoder on unlabeled data.
+  for (int epoch = 0; epoch < config_.ae_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < n_u; start += config_.batch_size) {
+      const size_t end = std::min(n_u, start + config_.batch_size);
+      std::vector<size_t> idx(order.begin() + static_cast<long>(start),
+                              order.begin() + static_cast<long>(end));
+      ae_->TrainStepMse(train.unlabeled_x.SelectRows(idx));
+    }
+  }
+
+  // Stage 2: scoring network over the encoded features.
+  const size_t feat_dim = config_.encoder_dims.back() + train.dim() + 1;
+  nn::MlpConfig score_config;
+  score_config.sizes.push_back(feat_dim);
+  for (size_t h : config_.score_hidden) score_config.sizes.push_back(h);
+  score_config.sizes.push_back(1);
+  score_config.learning_rate = config_.score_learning_rate;
+  score_config.seed = config_.seed ^ 0xFEA0ADULL;
+  score_net_ = std::make_unique<nn::Mlp>(score_config);
+
+  for (int epoch = 0; epoch < config_.score_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < n_u; start += config_.batch_size) {
+      const size_t end = std::min(n_u, start + config_.batch_size);
+      std::vector<size_t> u_idx(order.begin() + static_cast<long>(start),
+                                order.begin() + static_cast<long>(end));
+      const size_t n_a =
+          std::min<size_t>(config_.anomalies_per_batch, train.labeled_x.rows());
+      std::vector<size_t> a_idx(n_a);
+      for (size_t i = 0; i < n_a; ++i) {
+        a_idx[i] = static_cast<size_t>(rng.UniformInt(train.labeled_x.rows()));
+      }
+      nn::Matrix raw(0, 0);
+      raw.AppendRows(train.unlabeled_x.SelectRows(u_idx));
+      raw.AppendRows(train.labeled_x.SelectRows(a_idx));
+      nn::Matrix feats = EncodeFeatures(raw);
+
+      nn::Matrix scores = score_net_->Forward(feats);
+      nn::Matrix grad(feats.rows(), 1, 0.0);
+      const double inv_rows = 1.0 / static_cast<double>(feats.rows());
+      for (size_t i = 0; i < feats.rows(); ++i) {
+        const double s = scores.At(i, 0);
+        const bool is_anomaly = i >= u_idx.size();
+        if (is_anomaly) {
+          if (s < config_.margin) grad.At(i, 0) = -inv_rows;
+        } else {
+          grad.At(i, 0) = (s >= 0.0 ? 1.0 : -1.0) * inv_rows;
+        }
+      }
+      score_net_->StepOnGrad(grad);
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> Feawad::Score(const nn::Matrix& x) {
+  TARGAD_CHECK(fitted_) << "FEAWAD::Score before Fit";
+  nn::Matrix feats = EncodeFeatures(x);
+  nn::Matrix out = score_net_->Forward(feats);
+  std::vector<double> scores(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) scores[i] = out.At(i, 0);
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace targad

@@ -1,0 +1,59 @@
+// FEAWAD (Zhou et al., TNNLS 2021): Feature-Encoding Autoencoder for Weakly
+// supervised Anomaly Detection. An autoencoder supplies three ingredients —
+// the hidden representation h, the reconstruction residual direction r, and
+// the scalar reconstruction error e — which are concatenated and fed to an
+// anomaly scoring network trained with a deviation-style loss on unlabeled
+// (y = 0) and labeled-anomaly (y = 1) data.
+
+#ifndef TARGAD_BASELINES_FEAWAD_H_
+#define TARGAD_BASELINES_FEAWAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "nn/autoencoder.h"
+#include "nn/mlp.h"
+
+namespace targad {
+namespace baselines {
+
+struct FeawadConfig {
+  std::vector<size_t> encoder_dims = {64, 16};
+  std::vector<size_t> score_hidden = {20};
+  double ae_learning_rate = 1e-3;
+  double score_learning_rate = 1e-3;
+  int ae_epochs = 20;
+  int score_epochs = 20;
+  size_t batch_size = 128;
+  double margin = 5.0;
+  size_t anomalies_per_batch = 16;
+  uint64_t seed = 0;
+};
+
+class Feawad : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<Feawad>> Make(const FeawadConfig& config);
+
+  Status Fit(const data::TrainingSet& train) override;
+  std::vector<double> Score(const nn::Matrix& x) override;
+  std::string name() const override { return "FEAWAD"; }
+
+ private:
+  explicit Feawad(const FeawadConfig& config) : config_(config) {}
+
+  /// [h | r/||r|| | e] feature rows for the scoring network.
+  nn::Matrix EncodeFeatures(const nn::Matrix& x);
+
+  FeawadConfig config_;
+  std::unique_ptr<nn::Autoencoder> ae_;
+  std::unique_ptr<nn::Mlp> score_net_;
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_FEAWAD_H_

@@ -1,0 +1,140 @@
+#include "baselines/iforest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace targad {
+namespace baselines {
+
+double AveragePathLength(size_t n) {
+  if (n <= 1) return 0.0;
+  if (n == 2) return 1.0;
+  const double nd = static_cast<double>(n);
+  const double harmonic = std::log(nd - 1.0) + 0.5772156649015329;
+  return 2.0 * harmonic - 2.0 * (nd - 1.0) / nd;
+}
+
+Result<std::unique_ptr<IsolationForest>> IsolationForest::Make(
+    const IForestConfig& config) {
+  if (config.num_trees <= 0) {
+    return Status::InvalidArgument("iForest: num_trees must be positive");
+  }
+  if (config.subsample_size < 2) {
+    return Status::InvalidArgument("iForest: subsample_size must be >= 2");
+  }
+  return std::unique_ptr<IsolationForest>(new IsolationForest(config));
+}
+
+Status IsolationForest::Fit(const data::TrainingSet& train) {
+  TARGAD_RETURN_NOT_OK(train.Validate());
+  return FitMatrix(train.unlabeled_x);
+}
+
+Status IsolationForest::FitMatrix(const nn::Matrix& x) {
+  if (x.rows() < 2) return Status::InvalidArgument("iForest: need >= 2 rows");
+  dim_ = x.cols();
+  trees_.clear();
+  trees_.resize(static_cast<size_t>(config_.num_trees));
+  Rng rng(config_.seed);
+  psi_ = std::min(config_.subsample_size, x.rows());
+  for (Tree& tree : trees_) {
+    std::vector<size_t> rows = rng.SampleWithoutReplacement(x.rows(), psi_);
+    BuildTree(x, &rows, &tree, &rng);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+void IsolationForest::BuildTree(const nn::Matrix& x, std::vector<size_t>* rows,
+                                Tree* tree, Rng* rng) {
+  const int height_limit = static_cast<int>(
+      std::ceil(std::log2(std::max<double>(2.0, static_cast<double>(rows->size())))));
+  BuildNode(x, *rows, 0, height_limit, tree, rng);
+}
+
+int IsolationForest::BuildNode(const nn::Matrix& x, std::vector<size_t>& rows,
+                               int depth, int height_limit, Tree* tree, Rng* rng) {
+  const int node_id = static_cast<int>(tree->nodes.size());
+  tree->nodes.push_back(Node{});
+  tree->nodes[node_id].depth = depth;
+  tree->nodes[node_id].size = rows.size();
+
+  if (rows.size() <= 1 || depth >= height_limit) {
+    return node_id;  // Leaf.
+  }
+
+  // Pick a feature with spread; give up after a few attempts (constant
+  // region -> leaf).
+  int feature = -1;
+  double lo = 0.0, hi = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int f = static_cast<int>(rng->UniformInt(x.cols()));
+    lo = hi = x.At(rows[0], static_cast<size_t>(f));
+    for (size_t r : rows) {
+      lo = std::min(lo, x.At(r, static_cast<size_t>(f)));
+      hi = std::max(hi, x.At(r, static_cast<size_t>(f)));
+    }
+    if (hi > lo) {
+      feature = f;
+      break;
+    }
+  }
+  if (feature < 0) return node_id;  // Leaf: all candidate features constant.
+
+  const double threshold = rng->Uniform(lo, hi);
+  std::vector<size_t> left_rows, right_rows;
+  for (size_t r : rows) {
+    if (x.At(r, static_cast<size_t>(feature)) < threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  if (left_rows.empty() || right_rows.empty()) return node_id;  // Degenerate.
+
+  tree->nodes[node_id].feature = feature;
+  tree->nodes[node_id].threshold = threshold;
+  const int left = BuildNode(x, left_rows, depth + 1, height_limit, tree, rng);
+  tree->nodes[node_id].left = left;
+  const int right = BuildNode(x, right_rows, depth + 1, height_limit, tree, rng);
+  tree->nodes[node_id].right = right;
+  return node_id;
+}
+
+double IsolationForest::PathLength(const Tree& tree, const double* row) const {
+  int node_id = 0;
+  for (;;) {
+    const Node& node = tree.nodes[static_cast<size_t>(node_id)];
+    if (node.feature < 0) {
+      // External node: depth plus the c(size) adjustment for the subtree
+      // that was not grown.
+      return static_cast<double>(node.depth) + AveragePathLength(node.size);
+    }
+    node_id = row[node.feature] < node.threshold ? node.left : node.right;
+  }
+}
+
+double IsolationForest::AverageDepth(const double* row, size_t dim) const {
+  TARGAD_CHECK(fitted_) << "iForest::AverageDepth before Fit";
+  TARGAD_CHECK(dim == dim_) << "iForest: dim mismatch";
+  double total = 0.0;
+  for (const Tree& tree : trees_) total += PathLength(tree, row);
+  return total / static_cast<double>(trees_.size());
+}
+
+std::vector<double> IsolationForest::Score(const nn::Matrix& x) {
+  TARGAD_CHECK(fitted_) << "iForest::Score before Fit";
+  const double c_psi = AveragePathLength(psi_);
+  const double denom = c_psi > 0.0 ? c_psi : 1.0;
+  std::vector<double> scores(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double depth = AverageDepth(x.RowPtr(i), x.cols());
+    scores[i] = std::pow(2.0, -depth / denom);
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace targad

@@ -1,0 +1,78 @@
+// Isolation Forest (Liu, Ting & Zhou 2012): the unsupervised tree-ensemble
+// baseline. Full algorithm — random axis-parallel splits over subsamples,
+// path-length scores normalized by the average unsuccessful-search length
+// c(n) of a BST.
+
+#ifndef TARGAD_BASELINES_IFOREST_H_
+#define TARGAD_BASELINES_IFOREST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace targad {
+namespace baselines {
+
+struct IForestConfig {
+  int num_trees = 100;
+  size_t subsample_size = 256;
+  uint64_t seed = 0;
+};
+
+/// c(n): average path length of an unsuccessful BST search over n points;
+/// normalizes tree depths into the [0, 1] anomaly score.
+double AveragePathLength(size_t n);
+
+class IsolationForest : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<IsolationForest>> Make(const IForestConfig& config);
+
+  /// Fits on the unlabeled pool (labels are ignored — iForest is
+  /// unsupervised).
+  Status Fit(const data::TrainingSet& train) override;
+
+  /// Fits directly on a matrix (for unsupervised sub-uses by other
+  /// baselines, e.g. ADOA's isolation score and DPLAN's intrinsic reward).
+  Status FitMatrix(const nn::Matrix& x);
+
+  std::vector<double> Score(const nn::Matrix& x) override;
+  std::string name() const override { return "iForest"; }
+
+  /// Expected path length of one instance, averaged over trees.
+  double AverageDepth(const double* row, size_t dim) const;
+
+ private:
+  explicit IsolationForest(const IForestConfig& config) : config_(config) {}
+
+  struct Node {
+    int feature = -1;      // -1 for leaves.
+    double threshold = 0.0;
+    int left = -1, right = -1;
+    size_t size = 0;       // Instances that reached this node (leaves).
+    int depth = 0;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  void BuildTree(const nn::Matrix& x, std::vector<size_t>* rows, Tree* tree,
+                 Rng* rng);
+  int BuildNode(const nn::Matrix& x, std::vector<size_t>& rows, int depth,
+                int height_limit, Tree* tree, Rng* rng);
+  double PathLength(const Tree& tree, const double* row) const;
+
+  IForestConfig config_;
+  std::vector<Tree> trees_;
+  size_t dim_ = 0;
+  size_t psi_ = 0;  // Training subsample size actually used.
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_IFOREST_H_

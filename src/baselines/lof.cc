@@ -1,0 +1,107 @@
+#include "baselines/lof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace targad {
+namespace baselines {
+
+Result<std::unique_ptr<Lof>> Lof::Make(const LofConfig& config) {
+  if (config.k == 0) return Status::InvalidArgument("LOF: k must be positive");
+  if (config.max_reference <= config.k) {
+    return Status::InvalidArgument("LOF: max_reference must exceed k");
+  }
+  return std::unique_ptr<Lof>(new Lof(config));
+}
+
+void Lof::KNearest(const double* row, size_t exclude, std::vector<size_t>* idx,
+                   std::vector<double>* dist) const {
+  const size_t n = reference_.rows();
+  const size_t d = reference_.cols();
+  std::vector<std::pair<double, size_t>> all;
+  all.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i == exclude) continue;
+    const double* ref = reference_.RowPtr(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - ref[j];
+      acc += diff * diff;
+    }
+    all.emplace_back(std::sqrt(acc), i);
+  }
+  const size_t k = std::min(config_.k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end());
+  idx->resize(k);
+  dist->resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    (*dist)[i] = all[i].first;
+    (*idx)[i] = all[i].second;
+  }
+}
+
+Status Lof::Fit(const data::TrainingSet& train) {
+  TARGAD_RETURN_NOT_OK(train.Validate());
+  const nn::Matrix& pool = train.unlabeled_x;
+  if (pool.rows() <= config_.k) {
+    return Status::InvalidArgument("LOF: pool smaller than k");
+  }
+  if (pool.rows() > config_.max_reference) {
+    Rng rng(config_.seed);
+    reference_ = pool.SelectRows(
+        rng.SampleWithoutReplacement(pool.rows(), config_.max_reference));
+  } else {
+    reference_ = pool;
+  }
+
+  const size_t n = reference_.rows();
+  k_distance_.assign(n, 0.0);
+  std::vector<std::vector<size_t>> neighbours(n);
+  std::vector<std::vector<double>> distances(n);
+  for (size_t i = 0; i < n; ++i) {
+    KNearest(reference_.RowPtr(i), i, &neighbours[i], &distances[i]);
+    k_distance_[i] = distances[i].back();
+  }
+
+  // Local reachability density: inverse mean reachability distance.
+  lrd_.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (size_t t = 0; t < neighbours[i].size(); ++t) {
+      const size_t nb = neighbours[i][t];
+      reach_sum += std::max(k_distance_[nb], distances[i][t]);
+    }
+    lrd_[i] = reach_sum > 0.0
+                  ? static_cast<double>(neighbours[i].size()) / reach_sum
+                  : 1e12;  // Duplicated points: effectively infinite density.
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> Lof::Score(const nn::Matrix& x) {
+  TARGAD_CHECK(fitted_) << "LOF::Score before Fit";
+  std::vector<double> scores(x.rows(), 0.0);
+  std::vector<size_t> idx;
+  std::vector<double> dist;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    KNearest(x.RowPtr(i), static_cast<size_t>(-1), &idx, &dist);
+    double reach_sum = 0.0;
+    double lrd_sum = 0.0;
+    for (size_t t = 0; t < idx.size(); ++t) {
+      reach_sum += std::max(k_distance_[idx[t]], dist[t]);
+      lrd_sum += lrd_[idx[t]];
+    }
+    const double count = static_cast<double>(idx.size());
+    const double lrd_query = reach_sum > 0.0 ? count / reach_sum : 1e12;
+    scores[i] = lrd_sum / (count * lrd_query);
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace targad

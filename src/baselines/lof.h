@@ -1,0 +1,61 @@
+// Local Outlier Factor (Breunig et al., SIGMOD 2000) — the density-based
+// unsupervised detector the paper cites in Related Work [22]. Included as
+// an extension beyond the Table II roster (see ExtendedDetectorNames).
+
+#ifndef TARGAD_BASELINES_LOF_H_
+#define TARGAD_BASELINES_LOF_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+
+namespace targad {
+namespace baselines {
+
+struct LofConfig {
+  /// Neighbourhood size (MinPts).
+  size_t k = 20;
+  /// Cap on the reference sample used for neighbour search; the full pool
+  /// is subsampled beyond this for tractable exact k-NN.
+  size_t max_reference = 2048;
+  uint64_t seed = 0;
+};
+
+class Lof : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<Lof>> Make(const LofConfig& config);
+
+  /// Unsupervised: retains (a subsample of) the unlabeled pool as the
+  /// reference set and precomputes its local reachability densities.
+  Status Fit(const data::TrainingSet& train) override;
+
+  /// LOF of each query against the reference set; ~1 for inliers, larger
+  /// for outliers.
+  std::vector<double> Score(const nn::Matrix& x) override;
+
+  std::string name() const override { return "LOF"; }
+
+ private:
+  explicit Lof(const LofConfig& config) : config_(config) {}
+
+  /// Indices and distances of the k nearest reference rows to `row`
+  /// (excluding reference index `exclude`, pass SIZE_MAX to keep all).
+  void KNearest(const double* row, size_t exclude,
+                std::vector<size_t>* idx, std::vector<double>* dist) const;
+
+  LofConfig config_;
+  nn::Matrix reference_;
+  /// k-distance of every reference row.
+  std::vector<double> k_distance_;
+  /// Local reachability density of every reference row.
+  std::vector<double> lrd_;
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_LOF_H_

@@ -1,0 +1,61 @@
+// PIA-WAL (Zong, Zhou, Pavlovski & Qian, DASFAA 2022): peripheral instance
+// augmentation with weighted adversarial learning. A generator is trained
+// to emit PERIPHERAL normal instances — points the discriminator is least
+// sure about — by weighting the generator loss toward outputs near the
+// decision boundary; the discriminator learns unlabeled data as normal
+// while labeled anomalies are pushed to the anomalous side. The
+// discriminator's complement is the anomaly score.
+
+#ifndef TARGAD_BASELINES_PIAWAL_H_
+#define TARGAD_BASELINES_PIAWAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace targad {
+namespace baselines {
+
+struct PiawalConfig {
+  size_t noise_dim = 16;
+  std::vector<size_t> gen_hidden = {64};
+  std::vector<size_t> disc_hidden = {64, 32};
+  double gen_learning_rate = 1e-3;
+  double disc_learning_rate = 1e-3;
+  int epochs = 30;
+  size_t batch_size = 128;
+  size_t anomalies_per_batch = 32;
+  uint64_t seed = 0;
+};
+
+class Piawal : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<Piawal>> Make(const PiawalConfig& config);
+
+  Status Fit(const data::TrainingSet& train) override;
+  std::vector<double> Score(const nn::Matrix& x) override;
+  std::string name() const override { return "PIA-WAL"; }
+
+ private:
+  explicit Piawal(const PiawalConfig& config) : config_(config) {}
+
+  nn::Matrix SampleNoise(size_t rows, Rng* rng) const;
+
+  PiawalConfig config_;
+  nn::Sequential generator_;
+  nn::Sequential discriminator_;
+  std::unique_ptr<nn::Adam> gen_optimizer_;
+  std::unique_ptr<nn::Adam> disc_optimizer_;
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_PIAWAL_H_

@@ -1,0 +1,123 @@
+#include "baselines/prenet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace targad {
+namespace baselines {
+
+namespace {
+
+// Concatenates row a of xa with row b of xb into out's row r.
+void FillPairRow(const nn::Matrix& xa, size_t a, const nn::Matrix& xb, size_t b,
+                 nn::Matrix* out, size_t r) {
+  const size_t d = xa.cols();
+  double* dst = out->RowPtr(r);
+  const double* pa = xa.RowPtr(a);
+  const double* pb = xb.RowPtr(b);
+  for (size_t j = 0; j < d; ++j) dst[j] = pa[j];
+  for (size_t j = 0; j < d; ++j) dst[d + j] = pb[j];
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Prenet>> Prenet::Make(const PrenetConfig& config) {
+  if (config.epochs <= 0 || config.batch_size == 0 || config.pairs_per_epoch == 0) {
+    return Status::InvalidArgument("PReNet: bad epochs/batch/pairs");
+  }
+  if (config.score_pairs == 0) {
+    return Status::InvalidArgument("PReNet: score_pairs must be positive");
+  }
+  return std::unique_ptr<Prenet>(new Prenet(config));
+}
+
+Status Prenet::Fit(const data::TrainingSet& train) {
+  TARGAD_RETURN_NOT_OK(train.Validate());
+  Rng rng(config_.seed);
+  const size_t d = train.dim();
+
+  nn::MlpConfig mlp_config;
+  mlp_config.sizes.push_back(2 * d);
+  for (size_t h : config_.hidden) mlp_config.sizes.push_back(h);
+  mlp_config.sizes.push_back(1);
+  mlp_config.learning_rate = config_.learning_rate;
+  mlp_config.seed = config_.seed;
+  net_ = std::make_unique<nn::Mlp>(mlp_config);
+
+  const size_t n_a = train.labeled_x.rows();
+  const size_t n_u = train.unlabeled_x.rows();
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (size_t start = 0; start < config_.pairs_per_epoch;
+         start += config_.batch_size) {
+      const size_t rows =
+          std::min(config_.batch_size, config_.pairs_per_epoch - start);
+      nn::Matrix batch(rows, 2 * d);
+      std::vector<double> targets(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        // Balanced pair types: a third each of (a,a), (a,u), (u,u).
+        const uint64_t kind = rng.UniformInt(3);
+        if (kind == 0) {
+          FillPairRow(train.labeled_x, rng.UniformInt(n_a), train.labeled_x,
+                      rng.UniformInt(n_a), &batch, i);
+          targets[i] = config_.target_aa;
+        } else if (kind == 1) {
+          FillPairRow(train.labeled_x, rng.UniformInt(n_a), train.unlabeled_x,
+                      rng.UniformInt(n_u), &batch, i);
+          targets[i] = config_.target_au;
+        } else {
+          FillPairRow(train.unlabeled_x, rng.UniformInt(n_u), train.unlabeled_x,
+                      rng.UniformInt(n_u), &batch, i);
+          targets[i] = config_.target_uu;
+        }
+      }
+      // Absolute-deviation regression (the original's loss).
+      nn::Matrix pred = net_->Forward(batch);
+      nn::Matrix grad(rows, 1, 0.0);
+      const double inv_rows = 1.0 / static_cast<double>(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        const double e = pred.At(i, 0) - targets[i];
+        grad.At(i, 0) = (e >= 0.0 ? 1.0 : -1.0) * inv_rows;
+      }
+      net_->StepOnGrad(grad);
+    }
+  }
+
+  // Anchors for scoring.
+  const size_t n_anchor_a = std::min<size_t>(config_.score_pairs, n_a);
+  const size_t n_anchor_u = std::min<size_t>(config_.score_pairs, n_u);
+  anomaly_anchors_ =
+      train.labeled_x.SelectRows(rng.SampleWithoutReplacement(n_a, n_anchor_a));
+  unlabeled_anchors_ = train.unlabeled_x.SelectRows(
+      rng.SampleWithoutReplacement(n_u, n_anchor_u));
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> Prenet::Score(const nn::Matrix& x) {
+  TARGAD_CHECK(fitted_) << "PReNet::Score before Fit";
+  const size_t d = x.cols();
+  const size_t na = anomaly_anchors_.rows();
+  const size_t nu = unlabeled_anchors_.rows();
+  std::vector<double> scores(x.rows(), 0.0);
+  // score(x) = mean_a s(x, a) + mean_u s(x, u): high when x relates to
+  // anomalies like an anomaly does under both anchor sets.
+  for (size_t i = 0; i < x.rows(); ++i) {
+    nn::Matrix pairs(na + nu, 2 * d);
+    for (size_t j = 0; j < na; ++j) FillPairRow(x, i, anomaly_anchors_, j, &pairs, j);
+    for (size_t j = 0; j < nu; ++j) {
+      FillPairRow(x, i, unlabeled_anchors_, j, &pairs, na + j);
+    }
+    nn::Matrix pred = net_->Forward(pairs);
+    double sum_a = 0.0, sum_u = 0.0;
+    for (size_t j = 0; j < na; ++j) sum_a += pred.At(j, 0);
+    for (size_t j = 0; j < nu; ++j) sum_u += pred.At(na + j, 0);
+    scores[i] = sum_a / static_cast<double>(na) + sum_u / static_cast<double>(nu);
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace targad

@@ -1,0 +1,63 @@
+// PReNet (Pang et al., KDD 2023): deep weakly-supervised anomaly detection
+// via pairwise relation prediction. Instance pairs get ordinal targets —
+// (anomaly, anomaly) = 8, (anomaly, unlabeled) = 4, (unlabeled, unlabeled)
+// = 0 — and a network over concatenated pair features regresses the
+// relation. An instance's anomaly score aggregates its predicted relations
+// with sampled labeled anomalies and sampled unlabeled instances.
+
+#ifndef TARGAD_BASELINES_PRENET_H_
+#define TARGAD_BASELINES_PRENET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "nn/mlp.h"
+
+namespace targad {
+namespace baselines {
+
+struct PrenetConfig {
+  /// The original uses one small hidden layer for tabular data.
+  std::vector<size_t> hidden = {20};
+  double learning_rate = 1e-3;
+  int epochs = 20;
+  /// Training pairs sampled per epoch.
+  size_t pairs_per_epoch = 2048;
+  size_t batch_size = 128;
+  /// Ordinal targets for (a,a), (a,u), (u,u) pairs.
+  double target_aa = 8.0;
+  double target_au = 4.0;
+  double target_uu = 0.0;
+  /// Pairs sampled per instance at scoring time.
+  size_t score_pairs = 30;
+  uint64_t seed = 0;
+};
+
+class Prenet : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<Prenet>> Make(const PrenetConfig& config);
+
+  Status Fit(const data::TrainingSet& train) override;
+  std::vector<double> Score(const nn::Matrix& x) override;
+  std::string name() const override { return "PReNet"; }
+
+ private:
+  explicit Prenet(const PrenetConfig& config) : config_(config) {}
+
+  PrenetConfig config_;
+  std::unique_ptr<nn::Mlp> net_;
+  /// Retained anchors for scoring: a sample of labeled anomalies and of
+  /// unlabeled instances.
+  nn::Matrix anomaly_anchors_;
+  nn::Matrix unlabeled_anchors_;
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_PRENET_H_

@@ -1,0 +1,69 @@
+// PUMAD (Ju et al., Information Sciences 2020): PU metric learning for
+// anomaly detection. Random-hyperplane LSH partitions the space; unlabeled
+// instances whose hash codes lie far (in Hamming distance) from every
+// labeled positive are taken as reliable negatives; an embedding network is
+// trained with a contrastive/triplet objective to separate positives from
+// reliable negatives; the anomaly score compares distances to the negative
+// and positive prototypes in the learned space.
+
+#ifndef TARGAD_BASELINES_PUMAD_H_
+#define TARGAD_BASELINES_PUMAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace targad {
+namespace baselines {
+
+struct PumadConfig {
+  /// LSH: number of random hyperplanes (hash bits).
+  size_t hash_bits = 12;
+  /// Minimum Hamming distance from every positive for a reliable negative.
+  size_t min_hamming = 3;
+  std::vector<size_t> hidden = {64};
+  size_t embedding_dim = 16;
+  double learning_rate = 1e-3;
+  int epochs = 20;
+  size_t triplets_per_epoch = 1024;
+  size_t batch_size = 128;
+  double margin = 1.0;
+  uint64_t seed = 0;
+};
+
+class Pumad : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<Pumad>> Make(const PumadConfig& config);
+
+  Status Fit(const data::TrainingSet& train) override;
+  std::vector<double> Score(const nn::Matrix& x) override;
+  std::string name() const override { return "PUMAD"; }
+
+  /// Number of reliable negatives mined during Fit (for tests/diagnostics).
+  size_t num_reliable_negatives() const { return num_reliable_negatives_; }
+
+ private:
+  explicit Pumad(const PumadConfig& config) : config_(config) {}
+
+  std::vector<uint64_t> HashRows(const nn::Matrix& x) const;
+
+  PumadConfig config_;
+  nn::Matrix hyperplanes_;  // hash_bits x (dim + 1), last column is offset.
+  nn::Sequential net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  std::vector<double> pos_prototype_;
+  std::vector<double> neg_prototype_;
+  size_t num_reliable_negatives_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_PUMAD_H_

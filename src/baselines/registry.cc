@@ -1,0 +1,100 @@
+#include "baselines/registry.h"
+
+#include "baselines/adoa.h"
+#include "baselines/deepsad.h"
+#include "baselines/devnet.h"
+#include "baselines/dplan.h"
+#include "baselines/dual_mgan.h"
+#include "baselines/ecod.h"
+#include "baselines/feawad.h"
+#include "baselines/iforest.h"
+#include "baselines/lof.h"
+#include "baselines/piawal.h"
+#include "baselines/prenet.h"
+#include "baselines/pumad.h"
+#include "baselines/repen.h"
+
+namespace targad {
+namespace baselines {
+
+std::vector<std::string> AllDetectorNames() {
+  return {"iForest", "REPEN",   "ADOA",    "FEAWAD",    "PUMAD",  "DevNet",
+          "DeepSAD", "DPLAN",   "PIA-WAL", "Dual-MGAN", "PReNet", "TargAD"};
+}
+
+std::vector<std::string> ExtendedDetectorNames() {
+  std::vector<std::string> names = AllDetectorNames();
+  names.push_back("LOF");
+  names.push_back("ECOD");
+  return names;
+}
+
+std::vector<std::string> SemiSupervisedDetectorNames() {
+  return {"ADOA",    "FEAWAD",    "PUMAD",  "DevNet", "DeepSAD",
+          "DPLAN",   "PIA-WAL",   "Dual-MGAN", "PReNet", "TargAD"};
+}
+
+Status TargAdDetector::Fit(const data::TrainingSet& train) {
+  core::TargADConfig config = config_;
+  auto made = core::TargAD::Make(config);
+  if (!made.ok()) return made.status();
+  model_.emplace(std::move(made).ValueOrDie());
+  return model_->Fit(train);
+}
+
+Status TargAdDetector::FitWithValidation(const data::TrainingSet& train,
+                                         const data::EvalSet& validation) {
+  core::TargADConfig config = config_;
+  auto made = core::TargAD::Make(config);
+  if (!made.ok()) return made.status();
+  model_.emplace(std::move(made).ValueOrDie());
+  return model_->FitWithValidation(train, validation);
+}
+
+std::vector<double> TargAdDetector::Score(const nn::Matrix& x) {
+  TARGAD_CHECK(model_.has_value() && model_->fitted())
+      << "TargAdDetector::Score before Fit";
+  return model_->Score(x);
+}
+
+namespace {
+
+template <typename T, typename ConfigT>
+Result<std::unique_ptr<AnomalyDetector>> Build(ConfigT config, uint64_t seed) {
+  config.seed = seed;
+  auto made = T::Make(config);
+  if (!made.ok()) return made.status();
+  return std::unique_ptr<AnomalyDetector>(std::move(made).ValueOrDie().release());
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AnomalyDetector>> MakeDetector(const std::string& name,
+                                                      uint64_t seed) {
+  if (name == "iForest") return Build<IsolationForest>(IForestConfig{}, seed);
+  if (name == "LOF") return Build<Lof>(LofConfig{}, seed);
+  if (name == "ECOD") {
+    auto made = Ecod::Make();
+    if (!made.ok()) return made.status();
+    return std::unique_ptr<AnomalyDetector>(std::move(made).ValueOrDie().release());
+  }
+  if (name == "REPEN") return Build<Repen>(RepenConfig{}, seed);
+  if (name == "ADOA") return Build<Adoa>(AdoaConfig{}, seed);
+  if (name == "FEAWAD") return Build<Feawad>(FeawadConfig{}, seed);
+  if (name == "PUMAD") return Build<Pumad>(PumadConfig{}, seed);
+  if (name == "DevNet") return Build<DevNet>(DevNetConfig{}, seed);
+  if (name == "DeepSAD") return Build<DeepSad>(DeepSadConfig{}, seed);
+  if (name == "DPLAN") return Build<Dplan>(DplanConfig{}, seed);
+  if (name == "PIA-WAL") return Build<Piawal>(PiawalConfig{}, seed);
+  if (name == "Dual-MGAN") return Build<DualMgan>(DualMganConfig{}, seed);
+  if (name == "PReNet") return Build<Prenet>(PrenetConfig{}, seed);
+  if (name == "TargAD") {
+    core::TargADConfig config;
+    config.seed = seed;
+    return std::unique_ptr<AnomalyDetector>(new TargAdDetector(config));
+  }
+  return Status::NotFound("unknown detector '", name, "'");
+}
+
+}  // namespace baselines
+}  // namespace targad

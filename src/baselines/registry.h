@@ -1,0 +1,60 @@
+// Detector registry: builds any of the twelve Table II methods by name,
+// all behind the AnomalyDetector interface. A TargAD adapter wraps the core
+// model so the bench harness can iterate uniformly.
+
+#ifndef TARGAD_BASELINES_REGISTRY_H_
+#define TARGAD_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "core/targad.h"
+
+namespace targad {
+namespace baselines {
+
+/// The twelve method names, in Table II's row order (iForest, REPEN, ADOA,
+/// FEAWAD, PUMAD, DevNet, DeepSAD, DPLAN, PIA-WAL, Dual-MGAN, PReNet,
+/// TargAD).
+std::vector<std::string> AllDetectorNames();
+
+/// The semi/weakly-supervised subset (everything but iForest and REPEN),
+/// which the Fig. 3(b)/Fig. 4 robustness plots compare against.
+std::vector<std::string> SemiSupervisedDetectorNames();
+
+/// Table II's roster plus the extension detectors implemented beyond the
+/// paper's comparison (LOF, ECOD — both cited in its Related Work).
+std::vector<std::string> ExtendedDetectorNames();
+
+/// Instantiates a detector by its Table II name with default configuration
+/// and the given seed. NotFound for unknown names.
+Result<std::unique_ptr<AnomalyDetector>> MakeDetector(const std::string& name,
+                                                      uint64_t seed);
+
+/// AnomalyDetector adapter over core::TargAD.
+class TargAdDetector : public AnomalyDetector {
+ public:
+  explicit TargAdDetector(const core::TargADConfig& config) : config_(config) {}
+
+  Status Fit(const data::TrainingSet& train) override;
+  Status FitWithValidation(const data::TrainingSet& train,
+                           const data::EvalSet& validation) override;
+  std::vector<double> Score(const nn::Matrix& x) override;
+  std::string name() const override { return "TargAD"; }
+
+  /// The wrapped model (valid after Fit), e.g. for three-way prediction.
+  core::TargAD* model() { return model_ ? &*model_ : nullptr; }
+
+ private:
+  core::TargADConfig config_;
+  std::optional<core::TargAD> model_;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_REGISTRY_H_

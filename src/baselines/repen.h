@@ -1,0 +1,70 @@
+// REPEN (Pang et al., KDD 2018): representation learning for random
+// distance-based outlier detection. A LeSiNN-style nearest-subsample
+// ensemble provides initial outlier scores; its most-confident outlier and
+// inlier candidates supply triplets (inlier, inlier, outlier) that train a
+// low-dimensional representation with a hinge loss; the final score is the
+// same distance ensemble computed in the learned space. Labeled anomalies,
+// when available, are appended to the outlier-candidate pool (the RAMODO
+// framework's weak-supervision slot).
+
+#ifndef TARGAD_BASELINES_REPEN_H_
+#define TARGAD_BASELINES_REPEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "nn/sequential.h"
+#include "nn/optimizer.h"
+
+namespace targad {
+namespace baselines {
+
+struct RepenConfig {
+  /// Learned representation dimensionality.
+  size_t embedding_dim = 20;
+  /// LeSiNN ensemble: number of subsamples and subsample size.
+  size_t ensemble_size = 50;
+  size_t subsample_size = 8;
+  /// Fraction of the pool used as outlier candidates for triplet mining.
+  double candidate_fraction = 0.05;
+  size_t triplets_per_epoch = 1024;
+  int epochs = 20;
+  size_t batch_size = 128;
+  double margin = 1.0;
+  double learning_rate = 1e-3;
+  uint64_t seed = 0;
+};
+
+class Repen : public AnomalyDetector {
+ public:
+  static Result<std::unique_ptr<Repen>> Make(const RepenConfig& config);
+
+  Status Fit(const data::TrainingSet& train) override;
+  std::vector<double> Score(const nn::Matrix& x) override;
+  std::string name() const override { return "REPEN"; }
+
+ private:
+  explicit Repen(const RepenConfig& config) : config_(config) {}
+
+  /// LeSiNN score of each row of `x` against subsamples of `pool` (in the
+  /// space produced by `transform`, identity if nullptr).
+  std::vector<double> LesinnScores(const nn::Matrix& x, const nn::Matrix& pool,
+                                   bool use_embedding, Rng* rng);
+
+  nn::Matrix Embed(const nn::Matrix& x);
+
+  RepenConfig config_;
+  nn::Sequential net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  nn::Matrix train_pool_;  // Retained unlabeled data for the score ensemble.
+  bool fitted_ = false;
+};
+
+}  // namespace baselines
+}  // namespace targad
+
+#endif  // TARGAD_BASELINES_REPEN_H_

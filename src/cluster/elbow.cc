@@ -1,0 +1,42 @@
+#include "cluster/elbow.h"
+
+#include "common/logging.h"
+
+namespace targad {
+namespace cluster {
+
+Result<ElbowResult> SelectKByElbow(const nn::Matrix& x, int k_min, int k_max,
+                                   uint64_t seed) {
+  if (k_min < 1 || k_max < k_min) {
+    return Status::InvalidArgument("bad elbow range [", k_min, ", ", k_max, "]");
+  }
+  ElbowResult result;
+  for (int k = k_min; k <= k_max; ++k) {
+    if (x.rows() < static_cast<size_t>(k)) break;
+    KMeansConfig config;
+    config.k = k;
+    config.seed = seed + static_cast<uint64_t>(k);
+    TARGAD_ASSIGN_OR_RETURN(KMeansResult km, KMeans(x, config));
+    result.candidates.push_back(k);
+    result.inertias.push_back(km.inertia);
+  }
+  if (result.candidates.empty()) {
+    return Status::InvalidArgument("no feasible k in range for ", x.rows(), " rows");
+  }
+  result.k = result.candidates.front();
+  if (result.candidates.size() >= 3) {
+    double best_curvature = -1.0;
+    for (size_t i = 1; i + 1 < result.inertias.size(); ++i) {
+      const double second_diff = result.inertias[i - 1] - 2.0 * result.inertias[i] +
+                                 result.inertias[i + 1];
+      if (second_diff > best_curvature) {
+        best_curvature = second_diff;
+        result.k = result.candidates[i];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace targad

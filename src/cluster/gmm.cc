@@ -1,0 +1,163 @@
+#include "cluster/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "cluster/kmeans.h"
+#include "common/logging.h"
+
+namespace targad {
+namespace cluster {
+
+namespace {
+
+// Log-density of row `i` of x under component `c` (diagonal Gaussian).
+double LogComponentDensity(const nn::Matrix& x, size_t i, const GmmResult& model,
+                           size_t c) {
+  const size_t d = x.cols();
+  const double* row = x.RowPtr(i);
+  const double* mean = model.means.RowPtr(c);
+  const double* var = model.variances.RowPtr(c);
+  double acc = -0.5 * static_cast<double>(d) * std::log(2.0 * std::numbers::pi);
+  for (size_t j = 0; j < d; ++j) {
+    const double diff = row[j] - mean[j];
+    acc += -0.5 * std::log(var[j]) - 0.5 * diff * diff / var[j];
+  }
+  return acc;
+}
+
+// Fills `log_resp` (n x k) with log responsibilities; returns the mean
+// log-likelihood.
+double EStep(const nn::Matrix& x, const GmmResult& model, nn::Matrix* log_resp) {
+  const size_t n = x.rows();
+  const auto k = model.means.rows();
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double* lr = log_resp->RowPtr(i);
+    double row_max = -1e300;
+    for (size_t c = 0; c < k; ++c) {
+      lr[c] = std::log(std::max(model.weights[c], 1e-300)) +
+              LogComponentDensity(x, i, model, c);
+      row_max = std::max(row_max, lr[c]);
+    }
+    double denom = 0.0;
+    for (size_t c = 0; c < k; ++c) denom += std::exp(lr[c] - row_max);
+    const double log_denom = row_max + std::log(denom);
+    for (size_t c = 0; c < k; ++c) lr[c] -= log_denom;
+    total += log_denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace
+
+Result<GmmResult> FitGmm(const nn::Matrix& x, const GmmConfig& config) {
+  if (config.k < 1) return Status::InvalidArgument("GMM: k must be >= 1");
+  if (x.rows() < static_cast<size_t>(config.k)) {
+    return Status::InvalidArgument("GMM: ", x.rows(), " rows < k=", config.k);
+  }
+  if (x.cols() == 0) return Status::InvalidArgument("GMM on 0-dim data");
+
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  const auto k = static_cast<size_t>(config.k);
+
+  // Warm start from k-means.
+  KMeansConfig km_config;
+  km_config.k = config.k;
+  km_config.seed = config.seed;
+  TARGAD_ASSIGN_OR_RETURN(KMeansResult km, KMeans(x, km_config));
+
+  GmmResult model;
+  model.means = km.centers;
+  model.variances = nn::Matrix(k, d, 0.0);
+  model.weights.assign(k, 0.0);
+  {
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<size_t>(km.assignments[i]);
+      counts[c]++;
+      const double* row = x.RowPtr(i);
+      double* var = model.variances.RowPtr(c);
+      const double* mean = model.means.RowPtr(c);
+      for (size_t j = 0; j < d; ++j) {
+        var[j] += (row[j] - mean[j]) * (row[j] - mean[j]);
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      model.weights[c] =
+          static_cast<double>(counts[c]) / static_cast<double>(n);
+      double* var = model.variances.RowPtr(c);
+      for (size_t j = 0; j < d; ++j) {
+        var[j] = std::max(config.min_variance,
+                          counts[c] > 0 ? var[j] / static_cast<double>(counts[c])
+                                        : 1.0);
+      }
+    }
+  }
+
+  nn::Matrix log_resp(n, k);
+  double prev_ll = -1e300;
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    model.iterations = iter + 1;
+    const double ll = EStep(x, model, &log_resp);
+    model.log_likelihood = ll;
+    if (ll - prev_ll < config.tolerance && iter > 0) break;
+    prev_ll = ll;
+
+    // M-step.
+    for (size_t c = 0; c < k; ++c) {
+      double resp_sum = 0.0;
+      std::vector<double> mean(d, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        const double r = std::exp(log_resp.At(i, c));
+        resp_sum += r;
+        const double* row = x.RowPtr(i);
+        for (size_t j = 0; j < d; ++j) mean[j] += r * row[j];
+      }
+      resp_sum = std::max(resp_sum, 1e-12);
+      for (size_t j = 0; j < d; ++j) {
+        model.means.At(c, j) = mean[j] / resp_sum;
+      }
+      std::vector<double> var(d, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        const double r = std::exp(log_resp.At(i, c));
+        const double* row = x.RowPtr(i);
+        for (size_t j = 0; j < d; ++j) {
+          const double diff = row[j] - model.means.At(c, j);
+          var[j] += r * diff * diff;
+        }
+      }
+      for (size_t j = 0; j < d; ++j) {
+        model.variances.At(c, j) =
+            std::max(config.min_variance, var[j] / resp_sum);
+      }
+      model.weights[c] = resp_sum / static_cast<double>(n);
+    }
+  }
+
+  // Hard assignments from the final responsibilities.
+  EStep(x, model, &log_resp);
+  model.assignments.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    double best = log_resp.At(i, 0);
+    for (size_t c = 1; c < k; ++c) {
+      if (log_resp.At(i, c) > best) {
+        best = log_resp.At(i, c);
+        model.assignments[i] = static_cast<int>(c);
+      }
+    }
+  }
+  return model;
+}
+
+nn::Matrix GmmResponsibilities(const nn::Matrix& x, const GmmResult& model) {
+  nn::Matrix log_resp(x.rows(), model.means.rows());
+  EStep(x, model, &log_resp);
+  log_resp.MapInPlace([](double v) { return std::exp(v); });
+  return log_resp;
+}
+
+}  // namespace cluster
+}  // namespace targad

@@ -1,0 +1,53 @@
+// Diagonal-covariance Gaussian mixture model fit by EM — an alternative to
+// k-means for discovering the normal population's hidden groups (Section
+// III-B1 motivates groups that differ in SCALE as well as location, which
+// hard k-means cannot represent). Selectable in candidate selection via
+// CandidateSelectionConfig::clusterer.
+
+#ifndef TARGAD_CLUSTER_GMM_H_
+#define TARGAD_CLUSTER_GMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace cluster {
+
+struct GmmConfig {
+  int k = 3;
+  int max_iterations = 50;
+  /// Stop when the mean log-likelihood improves by less than this.
+  double tolerance = 1e-5;
+  /// Variance floor (keeps components from collapsing onto single points).
+  double min_variance = 1e-6;
+  uint64_t seed = 0;
+};
+
+struct GmmResult {
+  /// k x D component means.
+  nn::Matrix means;
+  /// k x D per-dimension variances.
+  nn::Matrix variances;
+  /// Mixing weights (length k, sums to 1).
+  std::vector<double> weights;
+  /// Hard assignment (argmax responsibility) per input row.
+  std::vector<int> assignments;
+  /// Final mean log-likelihood.
+  double log_likelihood = 0.0;
+  int iterations = 0;
+};
+
+/// Fits the mixture with EM (k-means++-style seeding via a k-means warm
+/// start). Fails if x has fewer rows than k.
+Result<GmmResult> FitGmm(const nn::Matrix& x, const GmmConfig& config);
+
+/// Responsibilities (n x k, rows sum to 1) of data under a fitted model.
+nn::Matrix GmmResponsibilities(const nn::Matrix& x, const GmmResult& model);
+
+}  // namespace cluster
+}  // namespace targad
+
+#endif  // TARGAD_CLUSTER_GMM_H_

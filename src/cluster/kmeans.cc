@@ -1,0 +1,163 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace targad {
+namespace cluster {
+
+namespace {
+
+double SquaredDistanceToRow(const nn::Matrix& x, size_t row,
+                            const nn::Matrix& centers, size_t center) {
+  return x.RowSquaredDistance(row, centers, center);
+}
+
+// k-means++ seeding: first center uniform, then proportional to squared
+// distance to the nearest chosen center.
+nn::Matrix SeedCenters(const nn::Matrix& x, int k, Rng* rng) {
+  const size_t n = x.rows();
+  nn::Matrix centers(static_cast<size_t>(k), x.cols());
+  std::vector<double> d2(n, std::numeric_limits<double>::max());
+
+  size_t first = static_cast<size_t>(rng->UniformInt(n));
+  std::copy(x.RowPtr(first), x.RowPtr(first) + x.cols(), centers.RowPtr(0));
+
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = SquaredDistanceToRow(x, i, centers, c - 1);
+      d2[i] = std::min(d2[i], d);
+      total += d2[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double u = rng->Uniform() * total;
+      for (size_t i = 0; i < n; ++i) {
+        if (u < d2[i]) {
+          chosen = i;
+          break;
+        }
+        u -= d2[i];
+      }
+    } else {
+      chosen = static_cast<size_t>(rng->UniformInt(n));
+    }
+    std::copy(x.RowPtr(chosen), x.RowPtr(chosen) + x.cols(), centers.RowPtr(c));
+  }
+  return centers;
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> KMeansResult::ClusterIndices() const {
+  std::vector<std::vector<size_t>> out(centers.rows());
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    out[static_cast<size_t>(assignments[i])].push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> AssignToCenters(const nn::Matrix& x, const nn::Matrix& centers) {
+  std::vector<int> assign(x.rows(), 0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    double best = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < centers.rows(); ++c) {
+      const double d = x.RowSquaredDistance(i, centers, c);
+      if (d < best) {
+        best = d;
+        assign[i] = static_cast<int>(c);
+      }
+    }
+  }
+  return assign;
+}
+
+Result<KMeansResult> KMeans(const nn::Matrix& x, const KMeansConfig& config) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1, got ", config.k);
+  if (x.rows() < static_cast<size_t>(config.k)) {
+    return Status::InvalidArgument("k-means: ", x.rows(), " rows < k=", config.k);
+  }
+  if (x.cols() == 0) return Status::InvalidArgument("k-means on 0-dim data");
+
+  Rng rng(config.seed);
+  KMeansResult result;
+  result.centers = SeedCenters(x, config.k, &rng);
+  const auto k = static_cast<size_t>(config.k);
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+
+  result.assignments.assign(n, -1);
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double dist = x.RowSquaredDistance(i, result.centers, c);
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+    }
+
+    // Update step.
+    nn::Matrix new_centers(k, d, 0.0);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<size_t>(result.assignments[i]);
+      const double* row = x.RowPtr(i);
+      double* ctr = new_centers.RowPtr(c);
+      for (size_t j = 0; j < d; ++j) ctr[j] += row[j];
+      counts[c]++;
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at the point farthest from its center.
+        size_t far_i = 0;
+        double far_d = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          const auto ci = static_cast<size_t>(result.assignments[i]);
+          const double dist = x.RowSquaredDistance(i, result.centers, ci);
+          if (dist > far_d) {
+            far_d = dist;
+            far_i = i;
+          }
+        }
+        std::copy(x.RowPtr(far_i), x.RowPtr(far_i) + d, new_centers.RowPtr(c));
+        result.assignments[far_i] = static_cast<int>(c);
+        changed = true;
+      } else {
+        double* ctr = new_centers.RowPtr(c);
+        for (size_t j = 0; j < d; ++j) ctr[j] /= static_cast<double>(counts[c]);
+      }
+    }
+
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      movement += new_centers.RowSquaredDistance(c, result.centers, c);
+    }
+    result.centers = std::move(new_centers);
+    if (!changed || movement < config.tolerance) break;
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<size_t>(result.assignments[i]);
+    result.inertia += x.RowSquaredDistance(i, result.centers, c);
+  }
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace targad

@@ -1,0 +1,54 @@
+// Lloyd's k-means with k-means++ initialization. Used by TargAD's candidate
+// selection (Algorithm 1, line 1) and by the ADOA baseline.
+
+#ifndef TARGAD_CLUSTER_KMEANS_H_
+#define TARGAD_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace cluster {
+
+struct KMeansConfig {
+  int k = 3;
+  /// t: maximum Lloyd iterations (the paper's complexity analysis treats t
+  /// as a constant).
+  int max_iterations = 50;
+  /// Stop early when total center movement falls below this.
+  double tolerance = 1e-6;
+  uint64_t seed = 0;
+};
+
+struct KMeansResult {
+  /// k x D cluster centers.
+  nn::Matrix centers;
+  /// Cluster index of each input row.
+  std::vector<int> assignments;
+  /// Sum of squared distances of rows to their centers.
+  double inertia = 0.0;
+  /// Lloyd iterations actually run.
+  int iterations = 0;
+
+  /// Row indices belonging to each cluster.
+  std::vector<std::vector<size_t>> ClusterIndices() const;
+};
+
+/// Runs k-means++ seeding followed by Lloyd iterations.
+/// Fails if x has fewer rows than k or k < 1. Empty clusters are re-seeded
+/// from the point farthest from its center; with at least k DISTINCT points
+/// every cluster in the result is non-empty (heavily duplicated data can
+/// still leave re-seeded duplicates empty).
+Result<KMeansResult> KMeans(const nn::Matrix& x, const KMeansConfig& config);
+
+/// Index of the nearest center for each row of x.
+std::vector<int> AssignToCenters(const nn::Matrix& x, const nn::Matrix& centers);
+
+}  // namespace cluster
+}  // namespace targad
+
+#endif  // TARGAD_CLUSTER_KMEANS_H_

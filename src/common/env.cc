@@ -1,0 +1,28 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace targad {
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return fallback;
+  double out = 0.0;
+  return ParseDouble(v, &out) ? out : fallback;
+}
+
+int GetEnvInt(const std::string& name, int fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return fallback;
+  long out = 0;  // NOLINT(runtime/int)
+  return ParseInt(v, &out) ? static_cast<int>(out) : fallback;
+}
+
+std::string GetEnvString(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  return v == nullptr ? fallback : std::string(v);
+}
+
+}  // namespace targad

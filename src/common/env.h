@@ -1,0 +1,21 @@
+// Environment-variable helpers for the benchmark harness (scaling knobs).
+
+#ifndef TARGAD_COMMON_ENV_H_
+#define TARGAD_COMMON_ENV_H_
+
+#include <string>
+
+namespace targad {
+
+/// Reads env var `name` as a double; returns `fallback` if unset/unparsable.
+double GetEnvDouble(const std::string& name, double fallback);
+
+/// Reads env var `name` as an int; returns `fallback` if unset/unparsable.
+int GetEnvInt(const std::string& name, int fallback);
+
+/// Reads env var `name`; returns `fallback` if unset.
+std::string GetEnvString(const std::string& name, const std::string& fallback);
+
+}  // namespace targad
+
+#endif  // TARGAD_COMMON_ENV_H_

@@ -1,0 +1,67 @@
+// Minimal streaming logger and CHECK macros (glog-flavoured, as used across
+// Arrow and RocksDB). CHECK failures abort: they indicate bugs, not bad input.
+
+#ifndef TARGAD_COMMON_LOGGING_H_
+#define TARGAD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace targad {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level actually emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+
+#define TARGAD_LOG(level)                                              \
+  ::targad::internal::LogMessage(::targad::LogLevel::k##level, __FILE__, __LINE__)
+
+#define TARGAD_CHECK(cond)                                             \
+  if (cond) {                                                          \
+  } else /* NOLINT */                                                  \
+    TARGAD_LOG(Fatal) << "Check failed: " #cond " "
+
+#define TARGAD_CHECK_OK(expr)                                          \
+  if (::targad::Status _st = (expr); _st.ok()) {                       \
+  } else /* NOLINT */                                                  \
+    TARGAD_LOG(Fatal) << "Check failed: " #expr " => " << _st.ToString()
+
+#define TARGAD_DCHECK(cond) TARGAD_CHECK(cond)
+
+}  // namespace targad
+
+#endif  // TARGAD_COMMON_LOGGING_H_

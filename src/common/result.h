@@ -1,0 +1,77 @@
+// Result<T>: a value or a Status, in the style of arrow::Result.
+
+#ifndef TARGAD_COMMON_RESULT_H_
+#define TARGAD_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace targad {
+
+/// Holds either a successfully computed T or the Status explaining why the
+/// computation failed. Accessing the value of a failed Result aborts (it is
+/// a programmer error; check ok() or use TARGAD_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (failure). Constructing from an OK status
+  /// is a programmer error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    TARGAD_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure status; Status::OK() if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    TARGAD_CHECK(ok()) << "ValueOrDie on failed Result: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    TARGAD_CHECK(ok()) << "ValueOrDie on failed Result: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    TARGAD_CHECK(ok()) << "ValueOrDie on failed Result: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates an expression yielding Result<T>; on failure returns the Status,
+/// on success assigns the value to `lhs`.
+#define TARGAD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define TARGAD_ASSIGN_OR_RETURN(lhs, rexpr) \
+  TARGAD_ASSIGN_OR_RETURN_IMPL(             \
+      TARGAD_CONCAT_NAME(_targad_result_, __COUNTER__), lhs, rexpr)
+
+#define TARGAD_CONCAT_NAME_INNER(x, y) x##y
+#define TARGAD_CONCAT_NAME(x, y) TARGAD_CONCAT_NAME_INNER(x, y)
+
+}  // namespace targad
+
+#endif  // TARGAD_COMMON_RESULT_H_

@@ -1,0 +1,58 @@
+// Fixed-size worker pool used to train the k cluster autoencoders in
+// parallel (Algorithm 1, lines 2-5) and to fan out independent model runs in
+// the benchmark harness.
+
+#ifndef TARGAD_COMMON_THREAD_POOL_H_
+#define TARGAD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace targad {
+
+/// A minimal fixed-size thread pool. Tasks are void() callables; exceptions
+/// must not escape tasks (the library is exception-free at its boundaries).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>=1; 0 means hardware_concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// fn must be safe to invoke concurrently for distinct i.
+  static void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                          size_t num_threads = 0);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace targad
+
+#endif  // TARGAD_COMMON_THREAD_POOL_H_

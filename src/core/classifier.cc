@@ -1,0 +1,198 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/pseudo_labels.h"
+#include "nn/losses.h"
+
+namespace targad {
+namespace core {
+
+namespace {
+
+/// Which of the three sets a pooled training instance belongs to.
+enum class Role : int { kLabeled = 0, kNormalCand = 1, kAnomalyCand = 2 };
+
+struct PooledIndex {
+  Role role;
+  size_t index;  // Within that role's own matrix.
+};
+
+}  // namespace
+
+Result<TargAdClassifier> TargAdClassifier::Make(const ClassifierConfig& config,
+                                                size_t input_dim, int m, int k) {
+  if (input_dim == 0) return Status::InvalidArgument("classifier: input_dim is 0");
+  if (m <= 0 || k <= 0) {
+    return Status::InvalidArgument("classifier needs m > 0 and k > 0, got m=", m,
+                                   " k=", k);
+  }
+  if (config.batch_size == 0) return Status::InvalidArgument("batch_size is 0");
+  if (config.lambda1 < 0.0 || config.lambda2 < 0.0) {
+    return Status::InvalidArgument("lambda1/lambda2 must be >= 0");
+  }
+  TargAdClassifier clf;
+  clf.config_ = config;
+  clf.m_ = m;
+  clf.k_ = k;
+  nn::MlpConfig mlp_config;
+  mlp_config.sizes.push_back(input_dim);
+  for (size_t h : config.hidden) mlp_config.sizes.push_back(h);
+  mlp_config.sizes.push_back(static_cast<size_t>(m + k));
+  mlp_config.hidden = nn::Activation::kReLU;
+  mlp_config.output = nn::Activation::kNone;
+  mlp_config.learning_rate = config.learning_rate;
+  mlp_config.seed = config.seed;
+  clf.mlp_ = std::make_unique<nn::Mlp>(mlp_config);
+  return clf;
+}
+
+EpochLoss TargAdClassifier::TrainEpoch(const nn::Matrix& labeled_x,
+                                       const std::vector<int>& labeled_class,
+                                       const nn::Matrix& normal_x,
+                                       const std::vector<int>& normal_cluster,
+                                       const nn::Matrix& anomaly_x,
+                                       const std::vector<double>& anomaly_weights,
+                                       Rng* rng) {
+  TARGAD_CHECK(labeled_x.rows() == labeled_class.size());
+  TARGAD_CHECK(normal_x.rows() == normal_cluster.size());
+  TARGAD_CHECK(anomaly_x.rows() == anomaly_weights.size());
+
+  // Pool the three roles and shuffle; every mini-batch carries a mix, and
+  // each loss term averages over the instances of its role in the batch —
+  // the unbiased mini-batch estimate of the full-set objective.
+  std::vector<PooledIndex> pool;
+  pool.reserve(labeled_x.rows() + normal_x.rows() + anomaly_x.rows());
+  for (size_t i = 0; i < labeled_x.rows(); ++i) pool.push_back({Role::kLabeled, i});
+  for (size_t i = 0; i < normal_x.rows(); ++i) pool.push_back({Role::kNormalCand, i});
+  if (config_.use_oe) {
+    for (size_t i = 0; i < anomaly_x.rows(); ++i) {
+      pool.push_back({Role::kAnomalyCand, i});
+    }
+  }
+  rng->Shuffle(&pool);
+
+  EpochLoss epoch;
+  size_t steps = 0;
+  const size_t total_cols = static_cast<size_t>(m_ + k_);
+
+  for (size_t start = 0; start < pool.size(); start += config_.batch_size) {
+    const size_t end = std::min(pool.size(), start + config_.batch_size);
+
+    std::vector<size_t> lab_idx, norm_idx, anom_idx;
+    for (size_t p = start; p < end; ++p) {
+      switch (pool[p].role) {
+        case Role::kLabeled: lab_idx.push_back(pool[p].index); break;
+        case Role::kNormalCand: norm_idx.push_back(pool[p].index); break;
+        case Role::kAnomalyCand: anom_idx.push_back(pool[p].index); break;
+      }
+    }
+    const size_t nl = lab_idx.size(), nn_count = norm_idx.size(),
+                 na = anom_idx.size();
+    const size_t batch_rows = nl + nn_count + na;
+    if (batch_rows == 0) continue;
+
+    // Assemble the batch: labeled rows first, then normal candidates, then
+    // anomaly candidates.
+    nn::Matrix batch(0, 0);
+    if (nl > 0) batch.AppendRows(labeled_x.SelectRows(lab_idx));
+    if (nn_count > 0) batch.AppendRows(normal_x.SelectRows(norm_idx));
+    if (na > 0) batch.AppendRows(anomaly_x.SelectRows(anom_idx));
+
+    nn::Matrix logits = mlp_->Forward(batch);
+    nn::Matrix grad(batch_rows, total_cols, 0.0);
+    double step_ce = 0.0, step_oe = 0.0, step_re = 0.0;
+    const double batch_norm = static_cast<double>(batch_rows);
+
+    auto scatter = [&](const nn::Matrix& part, size_t row_offset) {
+      for (size_t i = 0; i < part.rows(); ++i) {
+        double* dst = grad.RowPtr(row_offset + i);
+        const double* src = part.RowPtr(i);
+        for (size_t j = 0; j < total_cols; ++j) dst[j] += src[j];
+      }
+    };
+
+    // L_CE on labeled target anomalies.
+    if (nl > 0) {
+      std::vector<size_t> rows(nl);
+      for (size_t i = 0; i < nl; ++i) rows[i] = i;
+      nn::Matrix sub = logits.SelectRows(rows);
+      std::vector<int> classes(nl);
+      for (size_t i = 0; i < nl; ++i) classes[i] = labeled_class[lab_idx[i]];
+      nn::Matrix targets = TargetPseudoLabelRows(classes, m_, k_);
+      nn::LossResult ce = nn::WeightedSoftCrossEntropy(
+          sub, targets, {},
+          config_.per_set_normalization ? static_cast<double>(nl) : batch_norm);
+      step_ce += ce.loss;
+      scatter(ce.grad, 0);
+    }
+
+    // L_CE on normal candidates.
+    if (nn_count > 0) {
+      std::vector<size_t> rows(nn_count);
+      for (size_t i = 0; i < nn_count; ++i) rows[i] = nl + i;
+      nn::Matrix sub = logits.SelectRows(rows);
+      std::vector<int> clusters(nn_count);
+      for (size_t i = 0; i < nn_count; ++i) clusters[i] = normal_cluster[norm_idx[i]];
+      nn::Matrix targets = NormalPseudoLabelRows(clusters, m_, k_);
+      nn::LossResult ce = nn::WeightedSoftCrossEntropy(
+          sub, targets, {},
+          config_.per_set_normalization ? static_cast<double>(nn_count)
+                                        : batch_norm);
+      step_ce += ce.loss;
+      scatter(ce.grad, nl);
+    }
+
+    // L_OE on non-target anomaly candidates, scaled by lambda1 and the
+    // Eq. (4)/(5) instance weights.
+    if (na > 0 && config_.use_oe) {
+      std::vector<size_t> rows(na);
+      for (size_t i = 0; i < na; ++i) rows[i] = nl + nn_count + i;
+      nn::Matrix sub = logits.SelectRows(rows);
+      nn::Matrix targets = NonTargetPseudoLabelRows(na, m_, k_);
+      std::vector<double> w(na);
+      for (size_t i = 0; i < na; ++i) w[i] = anomaly_weights[anom_idx[i]];
+      nn::LossResult oe = nn::WeightedSoftCrossEntropy(
+          sub, targets, w,
+          config_.per_set_normalization ? static_cast<double>(na) : batch_norm);
+      step_oe = oe.loss;
+      oe.grad.MulInPlace(config_.lambda1);
+      scatter(oe.grad, nl + nn_count);
+    }
+
+    // L_RE on D_L ∪ D_U^N rows, scaled by lambda2.
+    if ((nl + nn_count) > 0 && config_.use_re) {
+      std::vector<size_t> rows(nl + nn_count);
+      for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+      nn::Matrix sub = logits.SelectRows(rows);
+      nn::LossResult re = nn::SoftmaxEntropy(
+          sub, config_.per_set_normalization ? static_cast<double>(nl + nn_count)
+                                             : batch_norm);
+      step_re = re.loss;
+      re.grad.MulInPlace(config_.lambda2);
+      scatter(re.grad, 0);
+    }
+
+    mlp_->StepOnGrad(grad);
+
+    epoch.ce += step_ce;
+    epoch.oe += step_oe;
+    epoch.re += step_re;
+    epoch.total +=
+        step_ce + config_.lambda1 * step_oe + config_.lambda2 * step_re;
+    ++steps;
+  }
+
+  if (steps > 0) {
+    const double inv = 1.0 / static_cast<double>(steps);
+    epoch.total *= inv;
+    epoch.ce *= inv;
+    epoch.oe *= inv;
+    epoch.re *= inv;
+  }
+  return epoch;
+}
+
+}  // namespace core
+}  // namespace targad

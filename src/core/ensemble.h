@@ -1,0 +1,60 @@
+// TargAdEnsemble: E independently seeded TargAD models whose S^tar scores
+// are averaged. An extension beyond the paper: the classifier's epoch-wise
+// variance on small pools is the dominant noise source (see DESIGN.md
+// §2.0), and seed averaging is the standard remedy. The members train on a
+// shared thread pool.
+
+#ifndef TARGAD_CORE_ENSEMBLE_H_
+#define TARGAD_CORE_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/targad.h"
+
+namespace targad {
+namespace core {
+
+struct EnsembleConfig {
+  /// Member configuration; each member gets `base.seed + i`.
+  TargADConfig base;
+  /// Number of members (>= 1).
+  int size = 3;
+  /// Train members concurrently on a thread pool.
+  bool parallel = true;
+};
+
+/// Seed ensemble of TargAD models.
+class TargAdEnsemble {
+ public:
+  /// Validates the configuration.
+  static Result<TargAdEnsemble> Make(const EnsembleConfig& config);
+
+  /// Trains every member (optionally with validation-based best-epoch
+  /// selection per member when `validation` is non-null).
+  Status Fit(const data::TrainingSet& train,
+             const data::EvalSet* validation = nullptr);
+
+  /// Mean S^tar across members. Requires Fit.
+  std::vector<double> Score(const nn::Matrix& x);
+
+  /// Mean logits across members (for the three-way rule).
+  nn::Matrix Logits(const nn::Matrix& x);
+
+  bool fitted() const { return fitted_; }
+  size_t size() const { return members_.size(); }
+  TargAD& member(size_t i) { return *members_[i]; }
+
+ private:
+  TargAdEnsemble() = default;
+
+  EnsembleConfig config_;
+  std::vector<std::unique_ptr<TargAD>> members_;
+  bool fitted_ = false;
+};
+
+}  // namespace core
+}  // namespace targad
+
+#endif  // TARGAD_CORE_ENSEMBLE_H_

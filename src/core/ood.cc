@@ -1,0 +1,150 @@
+#include "core/ood.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/scores.h"
+#include "eval/confusion.h"
+#include "nn/losses.h"
+
+namespace targad {
+namespace core {
+
+const char* OodStrategyName(OodStrategy strategy) {
+  switch (strategy) {
+    case OodStrategy::kMsp: return "MSP";
+    case OodStrategy::kEnergy: return "ES";
+    case OodStrategy::kEnergyDiscrepancy: return "ED";
+  }
+  return "?";
+}
+
+std::vector<double> OodScores(const nn::Matrix& logits, OodStrategy strategy,
+                              int m) {
+  TARGAD_CHECK(m > 0 && static_cast<size_t>(m) <= logits.cols())
+      << "OodScores: bad m=" << m;
+  const size_t n = logits.rows();
+  std::vector<double> scores(n, 0.0);
+  switch (strategy) {
+    case OodStrategy::kMsp: {
+      const std::vector<double> msp = nn::MaxSoftmaxProb(logits, 0, logits.cols());
+      for (size_t i = 0; i < n; ++i) scores[i] = 1.0 - msp[i];
+      break;
+    }
+    case OodStrategy::kEnergy: {
+      const std::vector<double> lse = nn::LogSumExpRows(logits, 0, logits.cols());
+      for (size_t i = 0; i < n; ++i) scores[i] = -lse[i];
+      break;
+    }
+    case OodStrategy::kEnergyDiscrepancy: {
+      // Flatness of the TARGET block: lse over the first m logits minus
+      // their max. 0 = one target class dominates; log(m) = the uniform
+      // y^o signature of non-target anomalies.
+      const auto mm = static_cast<size_t>(m);
+      const std::vector<double> lse = nn::LogSumExpRows(logits, 0, mm);
+      for (size_t i = 0; i < n; ++i) {
+        const double* z = logits.RowPtr(i);
+        double zmax = z[0];
+        for (size_t j = 1; j < mm; ++j) zmax = std::max(zmax, z[j]);
+        scores[i] = lse[i] - zmax;
+      }
+      break;
+    }
+  }
+  return scores;
+}
+
+int KindToThreeWay(data::InstanceKind kind) {
+  switch (kind) {
+    case data::InstanceKind::kNormal: return kPredNormal;
+    case data::InstanceKind::kTarget: return kPredTarget;
+    case data::InstanceKind::kNonTarget: return kPredNonTarget;
+  }
+  return kPredNormal;
+}
+
+namespace {
+
+std::vector<int> PredictWithThreshold(const nn::Matrix& logits, int m, int k,
+                                      OodStrategy strategy, double threshold) {
+  const std::vector<bool> is_normal = IsNormalPrediction(logits, m, k);
+  const std::vector<double> oodness = OodScores(logits, strategy, m);
+  std::vector<int> pred(logits.rows(), kPredNormal);
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    if (is_normal[i]) {
+      pred[i] = kPredNormal;
+    } else {
+      pred[i] = oodness[i] >= threshold ? kPredNonTarget : kPredTarget;
+    }
+  }
+  return pred;
+}
+
+}  // namespace
+
+Result<ThreeWayClassifier> ThreeWayClassifier::Fit(
+    const nn::Matrix& val_logits, const std::vector<data::InstanceKind>& val_kind,
+    int m, int k, OodStrategy strategy) {
+  if (val_logits.rows() == 0 || val_logits.rows() != val_kind.size()) {
+    return Status::InvalidArgument("ThreeWayClassifier::Fit: bad validation inputs");
+  }
+  if (m <= 0 || k <= 0 || static_cast<size_t>(m + k) != val_logits.cols()) {
+    return Status::InvalidArgument("ThreeWayClassifier::Fit: m/k mismatch with logits");
+  }
+
+  std::vector<int> truth(val_kind.size());
+  for (size_t i = 0; i < val_kind.size(); ++i) truth[i] = KindToThreeWay(val_kind[i]);
+
+  // Candidate thresholds: unique oodness values (midpoints) over the
+  // validation set, plus the extremes.
+  std::vector<double> oodness = OodScores(val_logits, strategy, m);
+  std::vector<double> sorted = oodness;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<double> candidates;
+  candidates.push_back(sorted.front() - 1.0);
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    candidates.push_back(0.5 * (sorted[i] + sorted[i + 1]));
+  }
+  candidates.push_back(sorted.back() + 1.0);
+  // Cap the sweep for very large validation sets.
+  constexpr size_t kMaxCandidates = 512;
+  if (candidates.size() > kMaxCandidates) {
+    std::vector<double> thinned;
+    const double step = static_cast<double>(candidates.size()) /
+                        static_cast<double>(kMaxCandidates);
+    for (size_t i = 0; i < kMaxCandidates; ++i) {
+      thinned.push_back(candidates[static_cast<size_t>(
+          static_cast<double>(i) * step)]);
+    }
+    candidates = std::move(thinned);
+  }
+
+  ThreeWayClassifier clf;
+  clf.m_ = m;
+  clf.k_ = k;
+  clf.strategy_ = strategy;
+  double best_f1 = -1.0;
+  for (double threshold : candidates) {
+    const std::vector<int> pred =
+        PredictWithThreshold(val_logits, m, k, strategy, threshold);
+    auto cm = eval::ConfusionMatrix::Make(truth, pred, 3);
+    if (!cm.ok()) return cm.status();
+    const double f1 = cm->MacroAverage().f1;
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      clf.threshold_ = threshold;
+    }
+  }
+  return clf;
+}
+
+std::vector<int> ThreeWayClassifier::Predict(const nn::Matrix& logits) const {
+  TARGAD_CHECK(static_cast<size_t>(m_ + k_) == logits.cols())
+      << "ThreeWayClassifier: logit width mismatch";
+  return PredictWithThreshold(logits, m_, k_, strategy_, threshold_);
+}
+
+}  // namespace core
+}  // namespace targad

@@ -1,0 +1,89 @@
+// Three-way identification (Section III-C, Table IV): separating normal
+// instances, target anomalies, and non-target anomalies.
+//
+// The normal/anomalous split uses the probability-mass rule of Section
+// III-C; anomalous instances are then split into target vs non-target by an
+// OOD score:
+//   * MSP  — maximum softmax probability (Hendrycks & Gimpel): low
+//            confidence = OOD, so oodness = 1 - max_j p_j.
+//   * ES   — energy score (Liu et al.): oodness = -logsumexp(z), low free
+//            energy mass = OOD.
+//   * ED   — energy discrepancy (after SAFE-Student): oodness =
+//            logsumexp_{j<m}(z) - max_{j<m} z_j, the gap between the free
+//            energy of the TARGET block and its dominant logit. Zero when
+//            one target logit dominates (a confident target prediction),
+//            log(m) when the target block is flat — exactly the
+//            calibrated-uniform y^o signature TargAD imprints on
+//            non-target anomalies. Unlike MSP (a monotone function of the
+//            all-dims flatness) it reads the shape of the target block
+//            specifically, and unlike ES it is invariant to logit scale.
+// The split threshold is selected on validation data (the paper does not
+// specify its operating-point procedure; we maximize 3-way macro-F1).
+
+#ifndef TARGAD_CORE_OOD_H_
+#define TARGAD_CORE_OOD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace core {
+
+/// OOD scoring strategy for separating non-target anomalies.
+enum class OodStrategy {
+  kMsp,                // Maximum Softmax Probability
+  kEnergy,             // Energy Score
+  kEnergyDiscrepancy,  // Energy Discrepancy
+};
+
+const char* OodStrategyName(OodStrategy strategy);
+
+/// "Oodness" of each row under `strategy`; higher = more likely a
+/// non-target anomaly. `m` is the number of target classes (used by the
+/// ED strategy; MSP and ES ignore it).
+std::vector<double> OodScores(const nn::Matrix& logits, OodStrategy strategy,
+                              int m);
+
+/// Three-way prediction labels.
+enum ThreeWayLabel : int {
+  kPredNormal = 0,
+  kPredTarget = 1,
+  kPredNonTarget = 2,
+};
+
+/// Converts an InstanceKind ground truth to the 3-way label space.
+int KindToThreeWay(data::InstanceKind kind);
+
+/// The fitted three-way decision rule.
+class ThreeWayClassifier {
+ public:
+  /// Fits the target/non-target oodness threshold on validation logits and
+  /// ground-truth kinds by maximizing macro-F1 of the 3-way confusion.
+  static Result<ThreeWayClassifier> Fit(const nn::Matrix& val_logits,
+                                        const std::vector<data::InstanceKind>& val_kind,
+                                        int m, int k, OodStrategy strategy);
+
+  /// Predicts 0/1/2 labels for each row of `logits`.
+  std::vector<int> Predict(const nn::Matrix& logits) const;
+
+  OodStrategy strategy() const { return strategy_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  ThreeWayClassifier() = default;
+
+  int m_ = 0;
+  int k_ = 0;
+  OodStrategy strategy_ = OodStrategy::kMsp;
+  /// oodness >= threshold_  ->  non-target.
+  double threshold_ = 0.0;
+};
+
+}  // namespace core
+}  // namespace targad
+
+#endif  // TARGAD_CORE_OOD_H_

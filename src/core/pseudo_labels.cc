@@ -1,0 +1,57 @@
+#include "core/pseudo_labels.h"
+
+#include "common/logging.h"
+
+namespace targad {
+namespace core {
+
+std::vector<double> TargetPseudoLabel(int cls, int m, int k) {
+  TARGAD_CHECK(m > 0 && k > 0) << "pseudo-labels need m > 0 and k > 0";
+  TARGAD_CHECK(cls >= 0 && cls < m) << "target class " << cls << " outside [0, " << m << ")";
+  std::vector<double> row(static_cast<size_t>(m + k), 0.0);
+  row[static_cast<size_t>(cls)] = 1.0;
+  return row;
+}
+
+std::vector<double> NormalPseudoLabel(int cluster, int m, int k) {
+  TARGAD_CHECK(m > 0 && k > 0) << "pseudo-labels need m > 0 and k > 0";
+  TARGAD_CHECK(cluster >= 0 && cluster < k)
+      << "normal cluster " << cluster << " outside [0, " << k << ")";
+  std::vector<double> row(static_cast<size_t>(m + k), 0.0);
+  row[static_cast<size_t>(m + cluster)] = 1.0;
+  return row;
+}
+
+std::vector<double> NonTargetPseudoLabel(int m, int k) {
+  TARGAD_CHECK(m > 0 && k > 0) << "pseudo-labels need m > 0 and k > 0";
+  std::vector<double> row(static_cast<size_t>(m + k), 0.0);
+  const double mass = 1.0 / static_cast<double>(m);
+  for (int j = 0; j < m; ++j) row[static_cast<size_t>(j)] = mass;
+  return row;
+}
+
+nn::Matrix TargetPseudoLabelRows(const std::vector<int>& classes, int m, int k) {
+  nn::Matrix out(classes.size(), static_cast<size_t>(m + k));
+  for (size_t i = 0; i < classes.size(); ++i) {
+    out.SetRow(i, TargetPseudoLabel(classes[i], m, k));
+  }
+  return out;
+}
+
+nn::Matrix NormalPseudoLabelRows(const std::vector<int>& clusters, int m, int k) {
+  nn::Matrix out(clusters.size(), static_cast<size_t>(m + k));
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    out.SetRow(i, NormalPseudoLabel(clusters[i], m, k));
+  }
+  return out;
+}
+
+nn::Matrix NonTargetPseudoLabelRows(size_t n, int m, int k) {
+  const std::vector<double> row = NonTargetPseudoLabel(m, k);
+  nn::Matrix out(n, static_cast<size_t>(m + k));
+  for (size_t i = 0; i < n; ++i) out.SetRow(i, row);
+  return out;
+}
+
+}  // namespace core
+}  // namespace targad

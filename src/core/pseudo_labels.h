@@ -1,0 +1,46 @@
+// Pseudo-label construction (Section III-B2).
+//
+// The classifier emits m + k logits: the first m dimensions are target
+// anomaly classes, the last k are normal groups (clustering indices).
+//  * labeled target anomaly of class j  -> one-hot at dimension j
+//  * normal candidate from cluster i    -> one-hot at dimension m + i
+//  * non-target anomaly candidate       -> [1/m, ..., 1/m, 0, ..., 0]
+// The non-target design deliberately spreads mass uniformly over the target
+// dimensions only: it tells the classifier that these instances are NOT
+// normal and belong to no specific known target class.
+
+#ifndef TARGAD_CORE_PSEUDO_LABELS_H_
+#define TARGAD_CORE_PSEUDO_LABELS_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace targad {
+namespace core {
+
+/// One-hot pseudo-label for a labeled target anomaly of class `cls` in
+/// [0, m): row of length m + k.
+std::vector<double> TargetPseudoLabel(int cls, int m, int k);
+
+/// One-hot pseudo-label for a normal candidate from cluster `cluster` in
+/// [0, k): row of length m + k.
+std::vector<double> NormalPseudoLabel(int cluster, int m, int k);
+
+/// The out-of-distribution pseudo-label y^o for non-target candidates:
+/// uniform 1/m over the first m dimensions, zero elsewhere.
+std::vector<double> NonTargetPseudoLabel(int m, int k);
+
+/// Stacks target pseudo-labels for a batch of labeled anomalies.
+nn::Matrix TargetPseudoLabelRows(const std::vector<int>& classes, int m, int k);
+
+/// Stacks normal pseudo-labels for a batch of normal candidates.
+nn::Matrix NormalPseudoLabelRows(const std::vector<int>& clusters, int m, int k);
+
+/// Stacks `n` copies of the non-target pseudo-label.
+nn::Matrix NonTargetPseudoLabelRows(size_t n, int m, int k);
+
+}  // namespace core
+}  // namespace targad
+
+#endif  // TARGAD_CORE_PSEUDO_LABELS_H_

@@ -1,0 +1,38 @@
+#include "core/scores.h"
+
+#include "common/logging.h"
+#include "nn/losses.h"
+
+namespace targad {
+namespace core {
+
+std::vector<double> TargetAnomalyScores(const nn::Matrix& logits, int m) {
+  TARGAD_CHECK(m > 0 && static_cast<size_t>(m) <= logits.cols());
+  return nn::MaxSoftmaxProb(logits, 0, static_cast<size_t>(m));
+}
+
+std::vector<double> NormalProbabilityMass(const nn::Matrix& logits, int m, int k) {
+  TARGAD_CHECK(m > 0 && k > 0);
+  TARGAD_CHECK(static_cast<size_t>(m + k) == logits.cols())
+      << "logits have " << logits.cols() << " columns, expected " << (m + k);
+  const nn::Matrix p = nn::SoftmaxRows(logits);
+  std::vector<double> mass(logits.rows(), 0.0);
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    const double* row = p.RowPtr(i);
+    double acc = 0.0;
+    for (int j = m; j < m + k; ++j) acc += row[j];
+    mass[i] = acc;
+  }
+  return mass;
+}
+
+std::vector<bool> IsNormalPrediction(const nn::Matrix& logits, int m, int k) {
+  const std::vector<double> mass = NormalProbabilityMass(logits, m, k);
+  const double threshold = static_cast<double>(k) / static_cast<double>(m + k);
+  std::vector<bool> normal(mass.size());
+  for (size_t i = 0; i < mass.size(); ++i) normal[i] = mass[i] > threshold;
+  return normal;
+}
+
+}  // namespace core
+}  // namespace targad

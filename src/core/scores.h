@@ -1,0 +1,27 @@
+// Score functions derived from the classifier's m + k logits.
+
+#ifndef TARGAD_CORE_SCORES_H_
+#define TARGAD_CORE_SCORES_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace targad {
+namespace core {
+
+/// S^tar (Eq. 9): the maximum softmax probability among the first m
+/// dimensions. Higher = more likely a target anomaly.
+std::vector<double> TargetAnomalyScores(const nn::Matrix& logits, int m);
+
+/// Sum of the softmax probabilities of the last k (normal-group) dimensions.
+std::vector<double> NormalProbabilityMass(const nn::Matrix& logits, int m, int k);
+
+/// Section III-C's normal/anomalous rule: an instance is normal iff
+/// sum_{j=m+1..m+k} p_j > k / (m + k). Returns true for normal.
+std::vector<bool> IsNormalPrediction(const nn::Matrix& logits, int m, int k);
+
+}  // namespace core
+}  // namespace targad
+
+#endif  // TARGAD_CORE_SCORES_H_

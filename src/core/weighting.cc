@@ -1,0 +1,38 @@
+#include "core/weighting.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/losses.h"
+
+namespace targad {
+namespace core {
+
+std::vector<double> MinMaxFlipWeights(const std::vector<double>& values) {
+  TARGAD_CHECK(!values.empty()) << "MinMaxFlipWeights on empty input";
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it, hi = *hi_it;
+  std::vector<double> weights(values.size(), 1.0);
+  if (hi > lo) {
+    const double inv_range = 1.0 / (hi - lo);
+    for (size_t i = 0; i < values.size(); ++i) {
+      weights[i] = (hi - values[i]) * inv_range;
+    }
+  }
+  return weights;
+}
+
+std::vector<double> InitialWeightsFromReconError(
+    const std::vector<double>& recon_errors) {
+  return MinMaxFlipWeights(recon_errors);
+}
+
+std::vector<double> UpdatedWeightsFromLogits(const nn::Matrix& logits) {
+  TARGAD_CHECK(logits.rows() > 0) << "UpdatedWeightsFromLogits on empty logits";
+  const std::vector<double> eps =
+      nn::MaxSoftmaxProb(logits, 0, logits.cols());
+  return MinMaxFlipWeights(eps);
+}
+
+}  // namespace core
+}  // namespace targad

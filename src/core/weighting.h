@@ -1,0 +1,41 @@
+// The weight-updating mechanism for non-target anomaly candidates
+// (Eq. 4 and Eq. 5).
+//
+// Both equations share one form: given a per-instance statistic v(x), the
+// weight is the min-max-flipped value
+//     w(x) = (max v - v(x)) / (max v - min v),
+// so instances with SMALL statistics get LARGE weights.
+//  * Epoch 1 (Eq. 5): v = reconstruction error. Normal instances that leaked
+//    into the candidate set reconstruct well -> start with high weight.
+//  * Later epochs (Eq. 4): v = epsilon(x) = max_j p_j(x). The pseudo-label
+//    design makes the classifier confident on normals and target anomalies
+//    but uniform on true non-targets, so non-targets' low epsilon turns
+//    into high weight — exactly the instances L_OE should emphasize.
+
+#ifndef TARGAD_CORE_WEIGHTING_H_
+#define TARGAD_CORE_WEIGHTING_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace targad {
+namespace core {
+
+/// Min-max flipped weights: w_i = (max v - v_i) / (max v - min v).
+/// If all values are equal the weights are all 1 (the paper leaves this
+/// degenerate case undefined; 1 keeps every candidate fully active).
+std::vector<double> MinMaxFlipWeights(const std::vector<double>& values);
+
+/// Eq. (5): initial weights from reconstruction errors.
+std::vector<double> InitialWeightsFromReconError(
+    const std::vector<double>& recon_errors);
+
+/// Eq. (4): updated weights from classifier logits of the candidates;
+/// epsilon(x) = max_j softmax(z)_j over all m + k dimensions.
+std::vector<double> UpdatedWeightsFromLogits(const nn::Matrix& logits);
+
+}  // namespace core
+}  // namespace targad
+
+#endif  // TARGAD_CORE_WEIGHTING_H_

@@ -1,0 +1,136 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace targad {
+namespace data {
+
+namespace {
+
+// Splits one logical CSV record, honouring quotes. `text` must contain the
+// full record (caller handles multi-line quoted fields).
+std::vector<std::string> SplitRecord(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+Result<RawTable> ParseCsv(const std::string& text, char delim, bool has_header) {
+  RawTable table;
+  std::istringstream in(text);
+  std::string line;
+  bool header_done = !has_header;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = SplitRecord(line, delim);
+    if (!header_done) {
+      table.column_names = std::move(fields);
+      header_done = true;
+      continue;
+    }
+    if (table.column_names.empty()) {
+      table.column_names.reserve(fields.size());
+      for (size_t i = 0; i < fields.size(); ++i) {
+        table.column_names.push_back("c" + std::to_string(i));
+      }
+    }
+    if (fields.size() != table.column_names.size()) {
+      return Status::InvalidArgument("CSV line ", line_no, " has ", fields.size(),
+                                     " fields, expected ",
+                                     table.column_names.size());
+    }
+    table.rows.push_back(std::move(fields));
+  }
+  return table;
+}
+
+Result<RawTable> ReadCsv(const std::string& path, char delim, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open ", path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), delim, has_header);
+}
+
+Result<nn::Matrix> TableToMatrix(const RawTable& table) {
+  nn::Matrix m(table.num_rows(), table.num_cols());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (size_t j = 0; j < table.num_cols(); ++j) {
+      double v = 0.0;
+      if (!ParseDouble(table.rows[i][j], &v)) {
+        return Status::InvalidArgument("non-numeric cell at row ", i, " col ", j,
+                                       ": '", table.rows[i][j], "'");
+      }
+      m.At(i, j) = v;
+    }
+  }
+  return m;
+}
+
+Status WriteCsv(const std::string& path, const nn::Matrix& m,
+                const std::vector<std::string>& header) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open ", path, " for writing");
+  if (!header.empty()) {
+    if (header.size() != m.cols()) {
+      return Status::InvalidArgument("header size ", header.size(),
+                                     " != cols ", m.cols());
+    }
+    out << Join(header, ",") << "\n";
+  }
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      if (j > 0) out << ',';
+      out << m.At(i, j);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed for ", path);
+  return Status::OK();
+}
+
+Status WriteCsvRows(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open ", path, " for writing");
+  if (!header.empty()) out << Join(header, ",") << "\n";
+  for (const auto& row : rows) out << Join(row, ",") << "\n";
+  if (!out) return Status::IOError("write failed for ", path);
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace targad

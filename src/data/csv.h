@@ -1,0 +1,51 @@
+// CSV input/output. Real deployments load UNSW-NB15-style exports through
+// this reader and run them through data/preprocess.h; the bench harness uses
+// the writer to emit reproduction results.
+
+#ifndef TARGAD_DATA_CSV_H_
+#define TARGAD_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace data {
+
+/// A parsed CSV: column names plus string cells (rows x columns).
+struct RawTable {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<std::string>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_cols() const { return column_names.size(); }
+};
+
+/// Parses a CSV file. Supports quoted fields with embedded delimiters and
+/// doubled quotes. If `has_header` is false, columns are named "c0", "c1"...
+Result<RawTable> ReadCsv(const std::string& path, char delim = ',',
+                         bool has_header = true);
+
+/// Parses CSV text from a string (same dialect as ReadCsv).
+Result<RawTable> ParseCsv(const std::string& text, char delim = ',',
+                          bool has_header = true);
+
+/// Interprets every cell of `table` as a double.
+Result<nn::Matrix> TableToMatrix(const RawTable& table);
+
+/// Writes a matrix as CSV with the given header (empty header = none).
+Status WriteCsv(const std::string& path, const nn::Matrix& m,
+                const std::vector<std::string>& header = {});
+
+/// Writes pre-formatted rows (the bench harness's result files).
+Status WriteCsvRows(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace data
+}  // namespace targad
+
+#endif  // TARGAD_DATA_CSV_H_

@@ -1,0 +1,89 @@
+#include "data/dataset.h"
+
+namespace targad {
+namespace data {
+
+const char* InstanceKindName(InstanceKind kind) {
+  switch (kind) {
+    case InstanceKind::kNormal: return "normal";
+    case InstanceKind::kTarget: return "target";
+    case InstanceKind::kNonTarget: return "non-target";
+  }
+  return "?";
+}
+
+Status TrainingSet::Validate() const {
+  if (num_target_classes <= 0) {
+    return Status::InvalidArgument("num_target_classes must be positive, got ",
+                                   num_target_classes);
+  }
+  if (labeled_x.rows() != labeled_class.size()) {
+    return Status::InvalidArgument("labeled_x rows (", labeled_x.rows(),
+                                   ") != labeled_class size (",
+                                   labeled_class.size(), ")");
+  }
+  if (labeled_x.rows() == 0) {
+    return Status::InvalidArgument("training set has no labeled target anomalies");
+  }
+  if (unlabeled_x.rows() == 0) {
+    return Status::InvalidArgument("training set has no unlabeled data");
+  }
+  if (labeled_x.cols() != unlabeled_x.cols()) {
+    return Status::InvalidArgument("labeled dim ", labeled_x.cols(),
+                                   " != unlabeled dim ", unlabeled_x.cols());
+  }
+  for (int c : labeled_class) {
+    if (c < 0 || c >= num_target_classes) {
+      return Status::InvalidArgument("labeled class ", c, " outside [0, ",
+                                     num_target_classes, ")");
+    }
+  }
+  if (!unlabeled_truth.empty() && unlabeled_truth.size() != unlabeled_x.rows()) {
+    return Status::InvalidArgument("unlabeled_truth size mismatch");
+  }
+  return Status::OK();
+}
+
+std::vector<int> EvalSet::BinaryTargetLabels() const {
+  std::vector<int> labels(kind.size());
+  for (size_t i = 0; i < kind.size(); ++i) {
+    labels[i] = (kind[i] == InstanceKind::kTarget) ? 1 : 0;
+  }
+  return labels;
+}
+
+std::vector<size_t> EvalSet::CountsByKind() const {
+  std::vector<size_t> counts(3, 0);
+  for (InstanceKind k : kind) counts[static_cast<int>(k)]++;
+  return counts;
+}
+
+Status EvalSet::Validate() const {
+  if (x.rows() != kind.size()) {
+    return Status::InvalidArgument("eval x rows (", x.rows(), ") != kind size (",
+                                   kind.size(), ")");
+  }
+  if (!target_class.empty() && target_class.size() != kind.size()) {
+    return Status::InvalidArgument("target_class size mismatch");
+  }
+  if (!nontarget_class.empty() && nontarget_class.size() != kind.size()) {
+    return Status::InvalidArgument("nontarget_class size mismatch");
+  }
+  return Status::OK();
+}
+
+Status DatasetBundle::Validate() const {
+  TARGAD_RETURN_NOT_OK(train.Validate());
+  TARGAD_RETURN_NOT_OK(validation.Validate());
+  TARGAD_RETURN_NOT_OK(test.Validate());
+  if (validation.x.rows() > 0 && validation.x.cols() != train.dim()) {
+    return Status::InvalidArgument("validation dim mismatch");
+  }
+  if (test.x.rows() > 0 && test.x.cols() != train.dim()) {
+    return Status::InvalidArgument("test dim mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace targad

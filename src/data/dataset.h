@@ -1,0 +1,90 @@
+// Dataset containers for the target-class anomaly detection problem
+// (Section III-A of the paper).
+//
+// A training set is D = D_L ∪ D_U: a few labeled target anomalies (with
+// their class in [0, m)) plus a large unlabeled pool that mixes normal
+// instances, some target anomalies, and non-target anomalies. Evaluation
+// sets carry full ground truth (normal / target / non-target).
+
+#ifndef TARGAD_DATA_DATASET_H_
+#define TARGAD_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace data {
+
+/// Ground-truth role of an instance.
+enum class InstanceKind : int {
+  kNormal = 0,
+  kTarget = 1,
+  kNonTarget = 2,
+};
+
+/// Short name ("normal" / "target" / "non-target").
+const char* InstanceKindName(InstanceKind kind);
+
+/// The training data visible to a detector.
+struct TrainingSet {
+  /// D_L: labeled target anomalies, one row each.
+  nn::Matrix labeled_x;
+  /// Target-anomaly class of each labeled row, in [0, num_target_classes).
+  std::vector<int> labeled_class;
+  /// m: number of target anomaly classes.
+  int num_target_classes = 0;
+
+  /// D_U: the unlabeled pool.
+  nn::Matrix unlabeled_x;
+
+  /// Ground truth for each unlabeled row. NOT visible to detectors — used
+  /// only by diagnostics (e.g. the Fig. 5 weight traces) and tests.
+  std::vector<InstanceKind> unlabeled_truth;
+
+  size_t dim() const { return unlabeled_x.cols(); }
+  size_t num_labeled() const { return labeled_x.rows(); }
+  size_t num_unlabeled() const { return unlabeled_x.rows(); }
+
+  /// Validates internal consistency (shapes, label ranges).
+  Status Validate() const;
+};
+
+/// A labeled evaluation split (validation or testing).
+struct EvalSet {
+  nn::Matrix x;
+  std::vector<InstanceKind> kind;
+  /// For target anomalies, their class in [0, m); -1 otherwise.
+  std::vector<int> target_class;
+  /// For non-target anomalies, their class id; -1 otherwise.
+  std::vector<int> nontarget_class;
+
+  size_t size() const { return x.rows(); }
+
+  /// Binary ground truth for target detection: 1 = target anomaly,
+  /// 0 = normal or non-target (the paper's +1 / -1 convention).
+  std::vector<int> BinaryTargetLabels() const;
+
+  /// Counts per kind: {normal, target, non-target}.
+  std::vector<size_t> CountsByKind() const;
+
+  Status Validate() const;
+};
+
+/// A complete experiment dataset: train + validation + test.
+struct DatasetBundle {
+  std::string name;
+  TrainingSet train;
+  EvalSet validation;
+  EvalSet test;
+
+  size_t dim() const { return train.dim(); }
+  Status Validate() const;
+};
+
+}  // namespace data
+}  // namespace targad
+
+#endif  // TARGAD_DATA_DATASET_H_

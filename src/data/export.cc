@@ -1,0 +1,88 @@
+#include "data/export.h"
+
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+
+namespace targad {
+namespace data {
+
+namespace {
+
+std::vector<std::string> FeatureHeader(size_t dim, const std::string& label_col) {
+  std::vector<std::string> header;
+  header.reserve(dim + 1);
+  for (size_t j = 0; j < dim; ++j) header.push_back("f" + std::to_string(j));
+  header.push_back(label_col);
+  return header;
+}
+
+std::vector<std::string> RowCells(const nn::Matrix& x, size_t row,
+                                  const std::string& label) {
+  std::vector<std::string> cells;
+  cells.reserve(x.cols() + 1);
+  for (size_t j = 0; j < x.cols(); ++j) {
+    cells.push_back(std::to_string(x.At(row, j)));
+  }
+  cells.push_back(label);
+  return cells;
+}
+
+std::string KindLabel(const EvalSet& set, size_t row,
+                      const ExportOptions& options) {
+  switch (set.kind[row]) {
+    case InstanceKind::kNormal:
+      return "normal";
+    case InstanceKind::kTarget:
+      return options.target_class_prefix +
+             std::to_string(set.target_class.empty() ? 0 : set.target_class[row]);
+    case InstanceKind::kNonTarget:
+      return "nontarget_" + std::to_string(set.nontarget_class.empty()
+                                               ? 0
+                                               : set.nontarget_class[row]);
+  }
+  return "?";
+}
+
+Status ExportEvalSet(const EvalSet& set, const std::string& path,
+                     const ExportOptions& options) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(set.size());
+  for (size_t i = 0; i < set.size(); ++i) {
+    rows.push_back(RowCells(set.x, i, KindLabel(set, i, options)));
+  }
+  return WriteCsvRows(path, FeatureHeader(set.x.cols(), options.label_column),
+                      rows);
+}
+
+}  // namespace
+
+Status ExportBundleCsv(const DatasetBundle& bundle, const std::string& prefix,
+                       const ExportOptions& options) {
+  TARGAD_RETURN_NOT_OK(bundle.Validate());
+
+  // Training file: labeled target anomalies followed by the unlabeled pool.
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(bundle.train.num_labeled() + bundle.train.num_unlabeled());
+  for (size_t i = 0; i < bundle.train.num_labeled(); ++i) {
+    rows.push_back(RowCells(
+        bundle.train.labeled_x, i,
+        options.target_class_prefix +
+            std::to_string(bundle.train.labeled_class[i])));
+  }
+  for (size_t i = 0; i < bundle.train.num_unlabeled(); ++i) {
+    rows.push_back(
+        RowCells(bundle.train.unlabeled_x, i, options.unlabeled_value));
+  }
+  TARGAD_RETURN_NOT_OK(WriteCsvRows(
+      prefix + "_train.csv",
+      FeatureHeader(bundle.dim(), options.label_column), rows));
+
+  TARGAD_RETURN_NOT_OK(
+      ExportEvalSet(bundle.validation, prefix + "_validation.csv", options));
+  return ExportEvalSet(bundle.test, prefix + "_test.csv", options);
+}
+
+}  // namespace data
+}  // namespace targad

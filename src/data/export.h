@@ -1,0 +1,35 @@
+// Exports DatasetBundles to CSV files, so the synthetic stand-ins can be
+// inspected, versioned, or consumed by external tooling, and so pipelines
+// can be demonstrated end-to-end from files.
+
+#ifndef TARGAD_DATA_EXPORT_H_
+#define TARGAD_DATA_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace targad {
+namespace data {
+
+struct ExportOptions {
+  /// Name of the label column appended to the feature columns.
+  std::string label_column = "label";
+  /// Label value for unlabeled rows of the training file.
+  std::string unlabeled_value = "";
+  /// Target-class label prefix; class c becomes "<prefix><c>".
+  std::string target_class_prefix = "target_";
+};
+
+/// Writes `<prefix>_train.csv` (labeled + unlabeled rows, labels per
+/// ExportOptions), `<prefix>_validation.csv`, and `<prefix>_test.csv`
+/// (ground-truth kinds as labels: "normal", "target_<c>",
+/// "nontarget_<c>"). Feature columns are named f0..f{D-1}.
+Status ExportBundleCsv(const DatasetBundle& bundle, const std::string& prefix,
+                       const ExportOptions& options = {});
+
+}  // namespace data
+}  // namespace targad
+
+#endif  // TARGAD_DATA_EXPORT_H_

@@ -1,0 +1,179 @@
+#include "data/loaders.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "data/preprocess.h"
+
+namespace targad {
+namespace data {
+
+namespace {
+
+// Strips the trailing '.' of KDD's raw labels and lower-cases, so "Smurf."
+// matches "smurf".
+std::string CanonicalLabel(std::string_view raw) {
+  std::string label(Trim(raw));
+  if (!label.empty() && label.back() == '.') label.pop_back();
+  return ToLower(label);
+}
+
+int IndexOf(const std::vector<std::string>& values, const std::string& needle) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (ToLower(values[i]) == needle) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+Result<LabeledPool> LoadLabeledPool(const RawTable& table, const LabelMap& map) {
+  if (table.num_rows() == 0) return Status::InvalidArgument("loader: empty table");
+  if (map.target_classes.empty()) {
+    return Status::InvalidArgument("loader: no target classes configured");
+  }
+
+  // Resolve the label column.
+  size_t label_col = table.num_cols() - 1;
+  if (!map.label_column.empty()) {
+    bool found = false;
+    for (size_t j = 0; j < table.num_cols(); ++j) {
+      if (table.column_names[j] == map.label_column) {
+        label_col = j;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("loader: label column '", map.label_column,
+                                     "' not found");
+    }
+  }
+
+  // Raw label -> group name.
+  std::map<std::string, std::string> group_of;
+  for (const auto& [raw, group] : map.groups) {
+    group_of[ToLower(raw)] = ToLower(group);
+  }
+  std::vector<std::string> normal_lower;
+  for (const auto& v : map.normal_values) normal_lower.push_back(ToLower(v));
+
+  // Classify every row; collect kept row indices.
+  std::vector<size_t> kept;
+  std::vector<InstanceKind> kinds;
+  std::vector<int> target_class, nontarget_class;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    std::string label = CanonicalLabel(table.rows[i][label_col]);
+    auto grouped = group_of.find(label);
+    if (grouped != group_of.end()) label = grouped->second;
+
+    if (std::find(normal_lower.begin(), normal_lower.end(), label) !=
+        normal_lower.end()) {
+      kept.push_back(i);
+      kinds.push_back(InstanceKind::kNormal);
+      target_class.push_back(-1);
+      nontarget_class.push_back(-1);
+      continue;
+    }
+    const int t = IndexOf(map.target_classes, label);
+    if (t >= 0) {
+      kept.push_back(i);
+      kinds.push_back(InstanceKind::kTarget);
+      target_class.push_back(t);
+      nontarget_class.push_back(-1);
+      continue;
+    }
+    const int o = IndexOf(map.nontarget_classes, label);
+    if (o >= 0) {
+      kept.push_back(i);
+      kinds.push_back(InstanceKind::kNonTarget);
+      target_class.push_back(-1);
+      nontarget_class.push_back(o);
+      continue;
+    }
+    if (map.strict) {
+      return Status::InvalidArgument("loader: unmapped label '", label,
+                                     "' at row ", i, " (set strict=false to drop)");
+    }
+  }
+  if (kept.empty()) return Status::InvalidArgument("loader: no mappable rows");
+
+  // Feature table: everything except the label column, kept rows only.
+  RawTable features;
+  for (size_t j = 0; j < table.num_cols(); ++j) {
+    if (j != label_col) features.column_names.push_back(table.column_names[j]);
+  }
+  for (size_t i : kept) {
+    std::vector<std::string> cells;
+    cells.reserve(features.num_cols());
+    for (size_t j = 0; j < table.num_cols(); ++j) {
+      if (j != label_col) cells.push_back(table.rows[i][j]);
+    }
+    features.rows.push_back(std::move(cells));
+  }
+
+  OneHotEncoder encoder;
+  TARGAD_ASSIGN_OR_RETURN(nn::Matrix encoded, encoder.FitTransform(features));
+  MinMaxNormalizer normalizer;
+  TARGAD_ASSIGN_OR_RETURN(nn::Matrix normalized,
+                          normalizer.FitTransform(encoded));
+
+  LabeledPool pool;
+  pool.x = std::move(normalized);
+  pool.kind = std::move(kinds);
+  pool.target_class = std::move(target_class);
+  pool.nontarget_class = std::move(nontarget_class);
+  return pool;
+}
+
+Result<LabeledPool> LoadLabeledPoolCsv(const std::string& path,
+                                       const LabelMap& map, bool has_header) {
+  TARGAD_ASSIGN_OR_RETURN(RawTable table, ReadCsv(path, ',', has_header));
+  return LoadLabeledPool(table, map);
+}
+
+LabelMap KddCup99LabelMap() {
+  LabelMap map;
+  map.normal_values = {"normal"};
+  // The paper: target classes R2L and DoS, non-target class Probe (U2R's
+  // handful of instances are dropped in its preprocessing; strict=false).
+  map.target_classes = {"r2l", "dos"};
+  map.nontarget_classes = {"probe"};
+  map.strict = false;
+  // The standard KDDCUP99 attack taxonomy.
+  const std::pair<const char*, const char*> groups[] = {
+      // DoS.
+      {"back", "dos"}, {"land", "dos"}, {"neptune", "dos"}, {"pod", "dos"},
+      {"smurf", "dos"}, {"teardrop", "dos"}, {"apache2", "dos"},
+      {"udpstorm", "dos"}, {"processtable", "dos"}, {"mailbomb", "dos"},
+      // R2L.
+      {"ftp_write", "r2l"}, {"guess_passwd", "r2l"}, {"imap", "r2l"},
+      {"multihop", "r2l"}, {"phf", "r2l"}, {"spy", "r2l"},
+      {"warezclient", "r2l"}, {"warezmaster", "r2l"}, {"sendmail", "r2l"},
+      {"named", "r2l"}, {"snmpgetattack", "r2l"}, {"snmpguess", "r2l"},
+      {"xlock", "r2l"}, {"xsnoop", "r2l"}, {"worm", "r2l"},
+      // Probe.
+      {"ipsweep", "probe"}, {"nmap", "probe"}, {"portsweep", "probe"},
+      {"satan", "probe"}, {"mscan", "probe"}, {"saint", "probe"},
+  };
+  for (const auto& [raw, group] : groups) map.groups.emplace_back(raw, group);
+  return map;
+}
+
+LabelMap UnswNb15LabelMap() {
+  LabelMap map;
+  map.label_column = "attack_cat";
+  map.normal_values = {"normal", ""};
+  map.target_classes = {"generic", "backdoor", "dos"};
+  map.nontarget_classes = {"fuzzers", "analysis", "exploits", "reconnaissance"};
+  map.strict = false;  // Shellcode/Worms rows are dropped.
+  // Spelling variants present in the published CSVs.
+  map.groups.emplace_back("backdoors", "backdoor");
+  map.groups.emplace_back(" fuzzers", "fuzzers");
+  map.groups.emplace_back(" reconnaissance", "reconnaissance");
+  return map;
+}
+
+}  // namespace data
+}  // namespace targad

@@ -1,0 +1,91 @@
+// Preprocessing, matching Section IV-A: one-hot encoding of categorical
+// features followed by min-max normalization of every feature to [0, 1].
+// Statistics are fit on training data and reused for validation/test.
+
+#ifndef TARGAD_DATA_PREPROCESS_H_
+#define TARGAD_DATA_PREPROCESS_H_
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/csv.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace data {
+
+/// Min-max scaler: maps each column to [0, 1] using training-set min/max.
+/// Columns that are constant in training map to 0. Transform clamps to
+/// [0, 1] so unseen out-of-range values cannot escape the training range.
+class MinMaxNormalizer {
+ public:
+  /// Learns per-column min and max. Requires at least one row.
+  Status Fit(const nn::Matrix& x);
+
+  /// Applies the learned scaling. Column count must match Fit's.
+  Result<nn::Matrix> Transform(const nn::Matrix& x) const;
+
+  /// Fit followed by Transform on the same data.
+  Result<nn::Matrix> FitTransform(const nn::Matrix& x);
+
+  bool fitted() const { return !mins_.empty(); }
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
+
+  /// Persists the fitted statistics as versioned text.
+  Status Save(std::ostream& out) const;
+  /// Restores a normalizer written by Save.
+  static Result<MinMaxNormalizer> Load(std::istream& in);
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+/// One-hot encoder over a RawTable. Columns whose every training cell parses
+/// as a number stay numeric (one output column); all other columns are
+/// treated as categorical and expand to one output column per distinct
+/// training value. Unseen categories at transform time encode as all-zeros.
+class OneHotEncoder {
+ public:
+  Status Fit(const RawTable& table);
+
+  Result<nn::Matrix> Transform(const RawTable& table) const;
+
+  Result<nn::Matrix> FitTransform(const RawTable& table);
+
+  bool fitted() const { return !columns_.empty(); }
+  size_t output_dim() const { return output_dim_; }
+
+  /// Output feature names ("amount", "proto=tcp", "proto=udp", ...).
+  std::vector<std::string> FeatureNames() const;
+
+  /// Persists the fitted schema (column kinds + category tables).
+  Status Save(std::ostream& out) const;
+  /// Restores an encoder written by Save.
+  static Result<OneHotEncoder> Load(std::istream& in);
+
+ private:
+  struct ColumnSpec {
+    std::string name;
+    bool is_categorical = false;
+    /// Category -> one-hot slot, insertion ordered by first appearance.
+    std::map<std::string, size_t> categories;
+    std::vector<std::string> ordered_categories;
+  };
+  std::vector<ColumnSpec> columns_;
+  size_t output_dim_ = 0;
+};
+
+/// Drops exactly-duplicated columns (the paper reduces KDDCUP99 from its
+/// redundant raw features to 32). Returns the kept column indices.
+std::vector<size_t> DeduplicateColumns(const nn::Matrix& x, nn::Matrix* out);
+
+}  // namespace data
+}  // namespace targad
+
+#endif  // TARGAD_DATA_PREPROCESS_H_

@@ -1,0 +1,271 @@
+#include "data/splits.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace targad {
+namespace data {
+
+void TwoWaySplit(size_t n, double first_fraction, Rng* rng,
+                 std::vector<size_t>* first, std::vector<size_t>* second) {
+  TARGAD_CHECK(first_fraction >= 0.0 && first_fraction <= 1.0);
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  rng->Shuffle(&idx);
+  const size_t n_first =
+      static_cast<size_t>(std::llround(static_cast<double>(n) * first_fraction));
+  first->assign(idx.begin(), idx.begin() + n_first);
+  second->assign(idx.begin() + n_first, idx.end());
+}
+
+void StratifiedSplit(const std::vector<int>& labels, double first_fraction,
+                     Rng* rng, std::vector<size_t>* first,
+                     std::vector<size_t>* second) {
+  first->clear();
+  second->clear();
+  std::map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+  for (auto& [label, idx] : by_class) {
+    (void)label;
+    rng->Shuffle(&idx);
+    const size_t n_first = static_cast<size_t>(
+        std::llround(static_cast<double>(idx.size()) * first_fraction));
+    first->insert(first->end(), idx.begin(), idx.begin() + n_first);
+    second->insert(second->end(), idx.begin() + n_first, idx.end());
+  }
+}
+
+namespace {
+
+// A consumable, shuffled pool of indices per category.
+class IndexWell {
+ public:
+  IndexWell(std::vector<size_t> indices, Rng* rng) : indices_(std::move(indices)) {
+    rng->Shuffle(&indices_);
+  }
+
+  size_t remaining() const { return indices_.size(); }
+
+  // Removes and returns `n` indices; fails (returns false) if short.
+  bool Draw(size_t n, std::vector<size_t>* out) {
+    if (n > indices_.size()) return false;
+    out->insert(out->end(), indices_.end() - static_cast<long>(n), indices_.end());
+    indices_.resize(indices_.size() - n);
+    return true;
+  }
+
+ private:
+  std::vector<size_t> indices_;
+};
+
+EvalSet BuildEvalSet(const LabeledPool& pool, const std::vector<size_t>& indices) {
+  EvalSet set;
+  set.x = pool.x.SelectRows(indices);
+  set.kind.reserve(indices.size());
+  set.target_class.reserve(indices.size());
+  set.nontarget_class.reserve(indices.size());
+  for (size_t i : indices) {
+    set.kind.push_back(pool.kind[i]);
+    set.target_class.push_back(pool.target_class[i]);
+    set.nontarget_class.push_back(pool.nontarget_class[i]);
+  }
+  return set;
+}
+
+}  // namespace
+
+Result<DatasetBundle> AssembleBundle(const LabeledPool& pool,
+                                     const AssemblyConfig& config) {
+  if (config.num_target_classes <= 0) {
+    return Status::InvalidArgument("num_target_classes must be positive");
+  }
+  if (config.contamination < 0.0 || config.contamination >= 1.0) {
+    return Status::InvalidArgument("contamination must be in [0, 1), got ",
+                                   config.contamination);
+  }
+  const size_t n = pool.x.rows();
+  if (pool.kind.size() != n || pool.target_class.size() != n ||
+      pool.nontarget_class.size() != n) {
+    return Status::InvalidArgument("labeled pool: parallel array size mismatch");
+  }
+
+  Rng rng(config.seed);
+
+  std::vector<size_t> normal_idx, nontarget_idx;
+  std::vector<std::vector<size_t>> target_idx(config.num_target_classes);
+  std::vector<size_t> all_target_idx;
+  for (size_t i = 0; i < n; ++i) {
+    switch (pool.kind[i]) {
+      case InstanceKind::kNormal:
+        normal_idx.push_back(i);
+        break;
+      case InstanceKind::kTarget: {
+        const int c = pool.target_class[i];
+        if (c < 0 || c >= config.num_target_classes) {
+          return Status::InvalidArgument("target instance with class ", c,
+                                         " outside [0, ",
+                                         config.num_target_classes, ")");
+        }
+        target_idx[c].push_back(i);
+        all_target_idx.push_back(i);
+        break;
+      }
+      case InstanceKind::kNonTarget:
+        nontarget_idx.push_back(i);
+        break;
+    }
+  }
+
+  // Labeled target anomalies come out of the per-class pools first.
+  std::vector<size_t> labeled;
+  std::vector<int> labeled_class;
+  std::vector<std::vector<size_t>> target_remaining(config.num_target_classes);
+  for (int c = 0; c < config.num_target_classes; ++c) {
+    Rng fork = rng.Fork();
+    IndexWell well(target_idx[c], &fork);
+    std::vector<size_t> drawn;
+    if (!well.Draw(config.labeled_per_class, &drawn)) {
+      return Status::InvalidArgument("target class ", c, " has only ",
+                                     target_idx[c].size(),
+                                     " instances; need ",
+                                     config.labeled_per_class, " labeled");
+    }
+    for (size_t i : drawn) {
+      labeled.push_back(i);
+      labeled_class.push_back(c);
+    }
+    // Whatever remains of the class feeds the unlabeled/eval splits.
+    std::vector<size_t> rest;
+    well.Draw(well.remaining(), &rest);
+    target_remaining[c] = std::move(rest);
+  }
+  std::vector<size_t> target_pool;
+  for (auto& rest : target_remaining) {
+    target_pool.insert(target_pool.end(), rest.begin(), rest.end());
+  }
+
+  // Non-target classes may be restricted in the training pool (Fig. 4(a)):
+  // train-eligible indices feed the unlabeled pool first; whatever remains,
+  // plus train-ineligible classes, feeds validation/test.
+  std::vector<size_t> nt_train_eligible;
+  std::vector<size_t> nt_eval_only;
+  if (config.train_nontarget_classes.empty()) {
+    nt_train_eligible = nontarget_idx;
+  } else {
+    for (size_t i : nontarget_idx) {
+      const int c = pool.nontarget_class[i];
+      const bool allowed =
+          std::find(config.train_nontarget_classes.begin(),
+                    config.train_nontarget_classes.end(),
+                    c) != config.train_nontarget_classes.end();
+      (allowed ? nt_train_eligible : nt_eval_only).push_back(i);
+    }
+  }
+
+  Rng fork_n = rng.Fork();
+  Rng fork_t = rng.Fork();
+  Rng fork_o = rng.Fork();
+  IndexWell normals(normal_idx, &fork_n);
+  IndexWell targets(target_pool, &fork_t);
+  IndexWell nontargets_train(nt_train_eligible, &fork_o);
+
+  // Unlabeled training pool composition.
+  const size_t n_anom = static_cast<size_t>(std::llround(
+      static_cast<double>(config.unlabeled_size) * config.contamination));
+  const size_t n_target_anom = static_cast<size_t>(std::llround(
+      static_cast<double>(n_anom) * config.target_share_of_contamination));
+  const size_t n_nontarget_anom = n_anom - n_target_anom;
+  if (n_anom > config.unlabeled_size) {
+    return Status::Internal("contamination produced more anomalies than pool");
+  }
+  const size_t n_unlabeled_normal = config.unlabeled_size - n_anom;
+
+  std::vector<size_t> u_normal, u_target, u_nontarget;
+  if (!normals.Draw(n_unlabeled_normal, &u_normal)) {
+    return Status::InvalidArgument("not enough normal instances: need ",
+                                   n_unlabeled_normal, " for unlabeled pool");
+  }
+  if (!targets.Draw(n_target_anom, &u_target)) {
+    return Status::InvalidArgument("not enough target anomalies for unlabeled pool");
+  }
+  if (!nontargets_train.Draw(n_nontarget_anom, &u_nontarget)) {
+    return Status::InvalidArgument("not enough non-target anomalies for unlabeled pool");
+  }
+
+  // Evaluation draws from every non-target class: the leftovers of the
+  // train-eligible classes plus the train-ineligible ("new type") classes.
+  std::vector<size_t> nt_eval_pool = nt_eval_only;
+  {
+    std::vector<size_t> leftover;
+    nontargets_train.Draw(nontargets_train.remaining(), &leftover);
+    nt_eval_pool.insert(nt_eval_pool.end(), leftover.begin(), leftover.end());
+  }
+  Rng fork_e = rng.Fork();
+  IndexWell nontargets_eval(nt_eval_pool, &fork_e);
+
+  // Validation and test sets.
+  std::vector<size_t> val_n, val_t, val_o, test_n, test_t, test_o;
+  if (!normals.Draw(config.val_normal, &val_n) ||
+      !targets.Draw(config.val_target, &val_t) ||
+      !nontargets_eval.Draw(config.val_nontarget, &val_o)) {
+    return Status::InvalidArgument("pool too small for validation set");
+  }
+  if (!normals.Draw(config.test_normal, &test_n) ||
+      !targets.Draw(config.test_target, &test_t) ||
+      !nontargets_eval.Draw(config.test_nontarget, &test_o)) {
+    return Status::InvalidArgument("pool too small for testing set");
+  }
+
+  DatasetBundle bundle;
+  bundle.train.num_target_classes = config.num_target_classes;
+  bundle.train.labeled_x = pool.x.SelectRows(labeled);
+  bundle.train.labeled_class = std::move(labeled_class);
+
+  std::vector<size_t> unlabeled_all;
+  std::vector<InstanceKind> unlabeled_truth;
+  for (size_t i : u_normal) {
+    unlabeled_all.push_back(i);
+    unlabeled_truth.push_back(InstanceKind::kNormal);
+  }
+  for (size_t i : u_target) {
+    unlabeled_all.push_back(i);
+    unlabeled_truth.push_back(InstanceKind::kTarget);
+  }
+  for (size_t i : u_nontarget) {
+    unlabeled_all.push_back(i);
+    unlabeled_truth.push_back(InstanceKind::kNonTarget);
+  }
+  // Shuffle jointly so truth ordering leaks nothing positional.
+  std::vector<size_t> perm(unlabeled_all.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.Shuffle(&perm);
+  std::vector<size_t> shuffled_idx(perm.size());
+  std::vector<InstanceKind> shuffled_truth(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    shuffled_idx[i] = unlabeled_all[perm[i]];
+    shuffled_truth[i] = unlabeled_truth[perm[i]];
+  }
+  bundle.train.unlabeled_x = pool.x.SelectRows(shuffled_idx);
+  bundle.train.unlabeled_truth = std::move(shuffled_truth);
+
+  std::vector<size_t> val_idx = val_n;
+  val_idx.insert(val_idx.end(), val_t.begin(), val_t.end());
+  val_idx.insert(val_idx.end(), val_o.begin(), val_o.end());
+  rng.Shuffle(&val_idx);
+  bundle.validation = BuildEvalSet(pool, val_idx);
+
+  std::vector<size_t> test_idx = test_n;
+  test_idx.insert(test_idx.end(), test_t.begin(), test_t.end());
+  test_idx.insert(test_idx.end(), test_o.begin(), test_o.end());
+  rng.Shuffle(&test_idx);
+  bundle.test = BuildEvalSet(pool, test_idx);
+
+  TARGAD_RETURN_NOT_OK(bundle.Validate());
+  return bundle;
+}
+
+}  // namespace data
+}  // namespace targad

@@ -1,0 +1,65 @@
+// Split utilities for assembling target-class AD experiments from labeled
+// pools (used by the synthetic generators and by CSV-based pipelines).
+
+#ifndef TARGAD_DATA_SPLITS_H_
+#define TARGAD_DATA_SPLITS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace targad {
+namespace data {
+
+/// Randomly partitions [0, n) into two index sets of sizes
+/// round(n * first_fraction) and the remainder.
+void TwoWaySplit(size_t n, double first_fraction, Rng* rng,
+                 std::vector<size_t>* first, std::vector<size_t>* second);
+
+/// Splits indices per class so each class contributes `first_fraction` of
+/// its members to the first set (stratified split).
+void StratifiedSplit(const std::vector<int>& labels, double first_fraction,
+                     Rng* rng, std::vector<size_t>* first,
+                     std::vector<size_t>* second);
+
+/// A fully labeled pool from which target-class AD experiments are built.
+struct LabeledPool {
+  nn::Matrix x;
+  std::vector<InstanceKind> kind;
+  std::vector<int> target_class;     // -1 unless kind == kTarget
+  std::vector<int> nontarget_class;  // -1 unless kind == kNonTarget
+};
+
+/// Assembly parameters mirroring Section IV-A: a few labeled target
+/// anomalies per class, an unlabeled pool with the given anomaly
+/// contamination, and labeled eval sets.
+struct AssemblyConfig {
+  int num_target_classes = 0;
+  size_t labeled_per_class = 100;
+  size_t unlabeled_size = 0;
+  /// Fraction of the unlabeled pool that is anomalous (default 5%).
+  double contamination = 0.05;
+  /// Among contaminating anomalies, fraction that is target-class.
+  double target_share_of_contamination = 0.3;
+  size_t val_normal = 0, val_target = 0, val_nontarget = 0;
+  size_t test_normal = 0, test_target = 0, test_nontarget = 0;
+  /// Non-target classes allowed in the unlabeled TRAINING pool. Empty means
+  /// all classes. Evaluation sets always draw from every class, so leaving
+  /// classes out here creates the "new types of non-target anomalies at
+  /// test time" scenario of Fig. 4(a).
+  std::vector<int> train_nontarget_classes;
+  uint64_t seed = 0;
+};
+
+/// Draws a DatasetBundle out of a labeled pool according to `config`.
+/// Instances are sampled without replacement across all splits; fails if
+/// the pool is too small for the requested sizes.
+Result<DatasetBundle> AssembleBundle(const LabeledPool& pool,
+                                     const AssemblyConfig& config);
+
+}  // namespace data
+}  // namespace targad
+
+#endif  // TARGAD_DATA_SPLITS_H_

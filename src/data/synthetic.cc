@@ -1,0 +1,375 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace targad {
+namespace data {
+
+namespace {
+
+double Logistic(double v) {
+  // Soft squash: the /4 slope keeps the latent offsets used by the
+  // profiles inside the near-linear region, so latent distance ordering
+  // (normal < target < non-target) survives into ambient space instead of
+  // saturating at the [0, 1] rails.
+  return 1.0 / (1.0 + std::exp(-v / 4.0));
+}
+
+std::vector<double> RandomUnitVector(size_t dim, Rng* rng) {
+  std::vector<double> v(dim);
+  double norm = 0.0;
+  do {
+    norm = 0.0;
+    for (double& x : v) {
+      x = rng->Normal();
+      norm += x * x;
+    }
+  } while (norm < 1e-12);
+  norm = std::sqrt(norm);
+  for (double& x : v) x /= norm;
+  return v;
+}
+
+}  // namespace
+
+Result<SyntheticWorld> SyntheticWorld::Make(const SyntheticWorldConfig& config) {
+  if (config.latent_dim == 0 || config.ambient_dim == 0) {
+    return Status::InvalidArgument("latent_dim and ambient_dim must be positive");
+  }
+  if (config.num_normal_groups <= 0) {
+    return Status::InvalidArgument("num_normal_groups must be positive");
+  }
+  if (config.num_target_classes <= 0) {
+    return Status::InvalidArgument("num_target_classes must be positive");
+  }
+  if (config.num_nontarget_classes < 0) {
+    return Status::InvalidArgument("num_nontarget_classes must be non-negative");
+  }
+  if (config.informative_fraction <= 0.0 || config.informative_fraction > 1.0) {
+    return Status::InvalidArgument("informative_fraction must be in (0, 1]");
+  }
+  if (config.num_categorical > 0 && config.categories_per_col < 2) {
+    return Status::InvalidArgument("categories_per_col must be >= 2");
+  }
+  if (config.variants_per_class < 1) {
+    return Status::InvalidArgument("variants_per_class must be >= 1");
+  }
+
+  SyntheticWorld world;
+  world.config_ = config;
+  Rng rng(config.seed);
+  const size_t q = config.latent_dim;
+
+  // Normal groups: means in a moderate box, per-dimension spreads varied so
+  // groups differ in scale as well as location (cf. the low-/high-
+  // consumption merchant example in Section III-B1).
+  world.group_priors_.resize(config.num_normal_groups);
+  double prior_total = 0.0;
+  for (int g = 0; g < config.num_normal_groups; ++g) {
+    std::vector<double> mean(q), spread(q);
+    for (size_t d = 0; d < q; ++d) {
+      mean[d] = rng.Uniform(-2.0, 2.0);
+      spread[d] = config.normal_spread * rng.Uniform(0.5, 1.5);
+    }
+    world.normal_means_.push_back(std::move(mean));
+    world.normal_spreads_.push_back(std::move(spread));
+    world.group_priors_[g] = rng.Uniform(0.5, 1.5);
+    prior_total += world.group_priors_[g];
+  }
+  for (double& p : world.group_priors_) p /= prior_total;
+
+  // Anomaly classes: each anchored to a normal group and pushed out along
+  // a direction that mixes "radially away from the normal population" with
+  // a class-specific random component. The radial part guarantees that a
+  // larger separation actually lands farther from every normal mode (a
+  // purely random direction can point back through the manifold, which
+  // would break the designed normal < target < non-target geometry).
+  // Non-target classes are pushed farther than target classes.
+  std::vector<double> global_mean(q, 0.0);
+  for (int g = 0; g < config.num_normal_groups; ++g) {
+    for (size_t d = 0; d < q; ++d) global_mean[d] += world.normal_means_[g][d];
+  }
+  for (double& v : global_mean) v /= static_cast<double>(config.num_normal_groups);
+
+  // Class-specific direction components, orthogonalized (Gram-Schmidt over
+  // random draws) so every anomaly class — target or not — occupies its own
+  // latent subspace. Without this, two classes can land on nearly collinear
+  // rays and become separable only by radius, which no classifier
+  // (including the paper's) could distinguish reliably.
+  const int num_anomaly_classes =
+      config.num_target_classes + config.num_nontarget_classes;
+  std::vector<std::vector<double>> class_dirs;
+  for (int c = 0; c < num_anomaly_classes; ++c) {
+    std::vector<double> v = RandomUnitVector(q, &rng);
+    for (const auto& prev : class_dirs) {
+      double dot = 0.0;
+      for (size_t d = 0; d < q; ++d) dot += v[d] * prev[d];
+      for (size_t d = 0; d < q; ++d) v[d] -= dot * prev[d];
+    }
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-6) {
+      // More classes than dimensions (or a degenerate draw): fall back to a
+      // fresh random direction for the overflow classes.
+      v = RandomUnitVector(q, &rng);
+    } else {
+      for (double& x : v) x /= norm;
+    }
+    class_dirs.push_back(std::move(v));
+  }
+
+  // The common anomaly direction shared by all classes (see
+  // class_direction_overlap).
+  const std::vector<double> common_dir = RandomUnitVector(q, &rng);
+
+  int next_class_dir = 0;
+  auto anomaly_mean = [&](double separation) {
+    const int anchor = static_cast<int>(rng.UniformInt(config.num_normal_groups));
+    const std::vector<double>& class_dir =
+        class_dirs[static_cast<size_t>(next_class_dir++)];
+    // Radial UNIT vector away from the normal population's center of mass.
+    std::vector<double> radial(q);
+    double radial_norm = 0.0;
+    for (size_t d = 0; d < q; ++d) {
+      radial[d] = world.normal_means_[anchor][d] - global_mean[d];
+      radial_norm += radial[d] * radial[d];
+    }
+    radial_norm = std::sqrt(radial_norm);
+    // Mix: shared component (generic detectors conflate the classes),
+    // radial component (larger separation = farther from every normal
+    // mode), class-specific orthogonal component (a class-aware model can
+    // still tell the classes apart).
+    const double w_common = config.class_direction_overlap;
+    const double w_radial = 0.35;
+    const double w_specific =
+        std::sqrt(std::max(0.1, 1.0 - w_common * w_common - w_radial * w_radial));
+    std::vector<double> dir(q);
+    double norm = 0.0;
+    for (size_t d = 0; d < q; ++d) {
+      const double radial_unit = radial_norm > 1e-9 ? radial[d] / radial_norm : 0.0;
+      dir[d] = w_common * common_dir[d] + w_radial * radial_unit +
+               w_specific * class_dir[d];
+      norm += dir[d] * dir[d];
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    std::vector<double> mean(q);
+    for (size_t d = 0; d < q; ++d) {
+      mean[d] = world.normal_means_[anchor][d] + dir[d] / norm * separation;
+    }
+    return mean;
+  };
+  // Each class stores variants_per_class variant centers, scattered around
+  // the class mean (flat layout: class * V + variant).
+  const int V = config.variants_per_class;
+  auto expand_variants = [&](const std::vector<double>& class_mean) {
+    std::vector<std::vector<double>> variants;
+    for (int v = 0; v < V; ++v) {
+      std::vector<double> mean = class_mean;
+      if (V > 1) {
+        for (size_t d = 0; d < q; ++d) {
+          mean[d] += rng.Normal(0.0, config.variant_scatter);
+        }
+      }
+      variants.push_back(std::move(mean));
+    }
+    return variants;
+  };
+  // Target classes: anchored rays as constructed by anomaly_mean.
+  std::vector<std::vector<double>> target_dirs;  // Unit dirs from anchor info.
+  std::vector<std::vector<double>> target_class_means;
+  for (int c = 0; c < config.num_target_classes; ++c) {
+    target_class_means.push_back(anomaly_mean(config.target_separation));
+    for (auto& m : expand_variants(target_class_means.back())) {
+      world.target_means_.push_back(std::move(m));
+    }
+  }
+  // Non-target classes: each pairs with a target class and deviates along
+  // that class's direction (scaled to nontarget_separation, i.e. BEYOND the
+  // target shell), blended with its own orthogonal component (see
+  // nontarget_target_affinity).
+  for (int c = 0; c < config.num_nontarget_classes; ++c) {
+    const auto paired =
+        static_cast<size_t>(c % config.num_target_classes);
+    const std::vector<double>& t_mean = target_class_means[paired];
+    const std::vector<double>& own_dir = class_dirs[static_cast<size_t>(
+        config.num_target_classes + c)];
+    // Direction of the paired target class relative to the population mean.
+    std::vector<double> t_dir(q);
+    double t_norm = 0.0;
+    for (size_t d = 0; d < q; ++d) {
+      t_dir[d] = t_mean[d] - global_mean[d];
+      t_norm += t_dir[d] * t_dir[d];
+    }
+    t_norm = std::sqrt(std::max(t_norm, 1e-12));
+    const double aff = config.nontarget_target_affinity;
+    const double w_own = std::sqrt(std::max(0.0, 1.0 - aff * aff));
+    std::vector<double> dir(q);
+    double norm = 0.0;
+    for (size_t d = 0; d < q; ++d) {
+      dir[d] = aff * t_dir[d] / t_norm + w_own * own_dir[d];
+      norm += dir[d] * dir[d];
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    std::vector<double> nt_mean(q);
+    for (size_t d = 0; d < q; ++d) {
+      nt_mean[d] = global_mean[d] + dir[d] / norm * config.nontarget_separation;
+    }
+    for (auto& m : expand_variants(nt_mean)) {
+      world.nontarget_means_.push_back(std::move(m));
+    }
+  }
+
+  // Ambient map: informative columns get dense latent weights; the rest are
+  // pure-noise distractors (zero weights).
+  const size_t n_informative = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(config.informative_fraction *
+                                          static_cast<double>(config.ambient_dim))));
+  world.informative_.assign(config.ambient_dim, false);
+  for (size_t j = 0; j < config.ambient_dim; ++j) {
+    world.informative_[j] = j < n_informative;
+  }
+  // Shuffle which columns are informative.
+  {
+    std::vector<bool>& inf = world.informative_;
+    for (size_t i = inf.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(rng.UniformInt(i + 1));
+      const bool tmp = inf[i];
+      inf[i] = inf[j];
+      inf[j] = tmp;
+    }
+  }
+  const double wscale = 1.0 / std::sqrt(static_cast<double>(q));
+  world.ambient_weights_.resize(config.ambient_dim);
+  world.ambient_bias_.resize(config.ambient_dim);
+  for (size_t j = 0; j < config.ambient_dim; ++j) {
+    world.ambient_weights_[j].assign(q, 0.0);
+    if (world.informative_[j]) {
+      for (size_t d = 0; d < q; ++d) {
+        world.ambient_weights_[j][d] = rng.Normal() * wscale;
+      }
+    }
+    world.ambient_bias_[j] = rng.Normal(0.0, 0.3);
+  }
+  return world;
+}
+
+size_t SyntheticWorld::dim() const {
+  return config_.ambient_dim + config_.num_categorical * config_.categories_per_col;
+}
+
+void SyntheticWorld::LatentToAmbient(const std::vector<double>& z,
+                                     int cat_affinity_group, Rng* rng,
+                                     double* out) const {
+  for (size_t j = 0; j < config_.ambient_dim; ++j) {
+    double v;
+    if (informative_[j]) {
+      double acc = ambient_bias_[j];
+      const std::vector<double>& w = ambient_weights_[j];
+      for (size_t d = 0; d < z.size(); ++d) acc += w[d] * z[d];
+      v = Logistic(acc);
+    } else {
+      v = rng->Uniform();  // Distractor column.
+    }
+    v += rng->Normal(0.0, config_.feature_noise);
+    out[j] = std::clamp(v, 0.0, 1.0);
+  }
+  // Categorical columns: one-hot, group-correlated for normal instances.
+  size_t base = config_.ambient_dim;
+  for (size_t c = 0; c < config_.num_categorical; ++c) {
+    for (size_t s = 0; s < config_.categories_per_col; ++s) out[base + s] = 0.0;
+    size_t value;
+    if (cat_affinity_group >= 0 &&
+        rng->Bernoulli(config_.categorical_group_affinity)) {
+      value = (static_cast<size_t>(cat_affinity_group) + c) %
+              config_.categories_per_col;
+    } else {
+      value = static_cast<size_t>(rng->UniformInt(config_.categories_per_col));
+    }
+    out[base + value] = 1.0;
+    base += config_.categories_per_col;
+  }
+}
+
+void SyntheticWorld::SampleNormal(int group, Rng* rng, double* out) const {
+  TARGAD_CHECK(group >= 0 && group < config_.num_normal_groups)
+      << "bad normal group " << group;
+  std::vector<double> z(config_.latent_dim);
+  for (size_t d = 0; d < z.size(); ++d) {
+    z[d] = rng->Normal(normal_means_[group][d], normal_spreads_[group][d]);
+  }
+  LatentToAmbient(z, group, rng, out);
+}
+
+void SyntheticWorld::SampleTarget(int cls, Rng* rng, double* out) const {
+  TARGAD_CHECK(cls >= 0 && cls < config_.num_target_classes)
+      << "bad target class " << cls;
+  const auto v = static_cast<size_t>(
+      rng->UniformInt(static_cast<uint64_t>(config_.variants_per_class)));
+  const auto base = static_cast<size_t>(cls) *
+                    static_cast<size_t>(config_.variants_per_class);
+  std::vector<double> z(config_.latent_dim);
+  for (size_t d = 0; d < z.size(); ++d) {
+    z[d] = rng->Normal(target_means_[base + v][d], config_.target_spread);
+  }
+  LatentToAmbient(z, /*cat_affinity_group=*/-1, rng, out);
+}
+
+void SyntheticWorld::SampleNonTarget(int cls, Rng* rng, double* out) const {
+  TARGAD_CHECK(cls >= 0 && cls < config_.num_nontarget_classes)
+      << "bad non-target class " << cls;
+  const auto v = static_cast<size_t>(
+      rng->UniformInt(static_cast<uint64_t>(config_.variants_per_class)));
+  const auto base = static_cast<size_t>(cls) *
+                    static_cast<size_t>(config_.variants_per_class);
+  std::vector<double> z(config_.latent_dim);
+  for (size_t d = 0; d < z.size(); ++d) {
+    z[d] = rng->Normal(nontarget_means_[base + v][d], config_.nontarget_spread);
+  }
+  LatentToAmbient(z, /*cat_affinity_group=*/-1, rng, out);
+}
+
+LabeledPool SyntheticWorld::GeneratePool(size_t n_normal, size_t per_target_class,
+                                         size_t per_nontarget_class,
+                                         Rng* rng) const {
+  const size_t n_target =
+      per_target_class * static_cast<size_t>(config_.num_target_classes);
+  const size_t n_nontarget =
+      per_nontarget_class * static_cast<size_t>(config_.num_nontarget_classes);
+  const size_t total = n_normal + n_target + n_nontarget;
+
+  LabeledPool pool;
+  pool.x = nn::Matrix(total, dim());
+  pool.kind.resize(total);
+  pool.target_class.assign(total, -1);
+  pool.nontarget_class.assign(total, -1);
+
+  size_t row = 0;
+  for (size_t i = 0; i < n_normal; ++i, ++row) {
+    const int group = static_cast<int>(rng->Categorical(group_priors_));
+    SampleNormal(group, rng, pool.x.RowPtr(row));
+    pool.kind[row] = InstanceKind::kNormal;
+  }
+  for (int c = 0; c < config_.num_target_classes; ++c) {
+    for (size_t i = 0; i < per_target_class; ++i, ++row) {
+      SampleTarget(c, rng, pool.x.RowPtr(row));
+      pool.kind[row] = InstanceKind::kTarget;
+      pool.target_class[row] = c;
+    }
+  }
+  for (int c = 0; c < config_.num_nontarget_classes; ++c) {
+    for (size_t i = 0; i < per_nontarget_class; ++i, ++row) {
+      SampleNonTarget(c, rng, pool.x.RowPtr(row));
+      pool.kind[row] = InstanceKind::kNonTarget;
+      pool.nontarget_class[row] = c;
+    }
+  }
+  TARGAD_CHECK(row == total);
+  return pool;
+}
+
+}  // namespace data
+}  // namespace targad

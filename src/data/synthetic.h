@@ -1,0 +1,150 @@
+// Synthetic data worlds standing in for the paper's datasets (UNSW-NB15,
+// KDDCUP99, NSL-KDD, SQB), none of which can be downloaded in this
+// environment. See DESIGN.md §3 for the substitution argument.
+//
+// A SyntheticWorld is a latent Gaussian-mixture population:
+//   * k normal groups (the paper's "hidden groups" of normal instances),
+//   * m target anomaly classes — each a compact cluster offset from a
+//     normal anchor group by `target_separation` along its own direction,
+//   * c non-target anomaly classes — offset farther (by
+//     `nontarget_separation`), making them conspicuously "abnormal" to any
+//     generic detector, which is precisely what inflates false positives in
+//     target-class detection.
+// Latent points map to ambient feature space through a random linear map, a
+// softening logistic squash into [0, 1], additive noise, pure-noise
+// distractor columns, and optionally group-correlated categorical columns
+// (emitted one-hot).
+
+#ifndef TARGAD_DATA_SYNTHETIC_H_
+#define TARGAD_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/splits.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace data {
+
+/// Shape of a synthetic population.
+struct SyntheticWorldConfig {
+  /// Latent dimensionality q of the generative mixture.
+  size_t latent_dim = 8;
+  /// Numeric ambient feature count (before categorical one-hot columns).
+  size_t ambient_dim = 32;
+  /// Fraction of ambient columns actually driven by the latent signal; the
+  /// rest are pure-noise distractors.
+  double informative_fraction = 0.65;
+  /// k: hidden normal groups.
+  int num_normal_groups = 3;
+  /// m: target anomaly classes.
+  int num_target_classes = 3;
+  /// Number of non-target anomaly classes.
+  int num_nontarget_classes = 4;
+  /// Scale of normal-group standard deviations (latent units).
+  double normal_spread = 1.0;
+  /// Latent offset of each target class from its anchor normal group.
+  double target_separation = 2.8;
+  /// Latent offset of each non-target class; larger than target_separation
+  /// so non-targets look *more* anomalous than targets to generic methods.
+  double nontarget_separation = 4.5;
+  /// Standard deviation of TARGET anomaly clusters (latent units). Kept
+  /// deliberately large: real target classes are diffuse, so a few hundred
+  /// labels cover them imperfectly — if they were compact blobs, any
+  /// deviation-based method with labels would solve the task outright and
+  /// the paper's comparison would be meaningless.
+  double target_spread = 1.3;
+  /// Standard deviation of NON-TARGET anomaly clusters (latent units).
+  double nontarget_spread = 0.8;
+  /// Sub-clusters ("variants") per anomaly class. Real attack and fraud
+  /// families are multimodal — DoS floods, fraud schemes, probe sweeps all
+  /// come in flavours. With V variants scattered `variant_scatter` latent
+  /// units around the class mean, ~100 labels per class cover each variant
+  /// only thinly, which is what keeps discriminative use of the labels
+  /// (DevNet-style scorers) from trivially solving the task.
+  int variants_per_class = 1;
+  /// Latent scatter of variant centers around their class mean.
+  double variant_scatter = 2.0;
+  /// How strongly each non-target class deviates ALONG a target class's
+  /// own direction (0 = independent directions, 1 = exactly the target
+  /// ray). High affinity makes non-targets look like "more extreme
+  /// targets" to any detector that scores target-likeness monotonically —
+  /// the paper's false-positive mechanism — while the residual orthogonal
+  /// component plus the radius gap keeps them identifiable for a model
+  /// that represents non-targets explicitly.
+  double nontarget_target_affinity = 0.75;
+  /// Weight of the COMMON anomaly direction shared by every anomaly class
+  /// (target and non-target alike). Real attack/fraud families express
+  /// through overlapping feature groups; this shared component is what
+  /// makes generic detectors (distance/deviation-based) conflate
+  /// non-target anomalies with target anomalies — the paper's central
+  /// failure mode — while the per-class orthogonal components keep the
+  /// classes separable for a class-aware model. 0 = fully disjoint
+  /// subspaces (generic methods can cheat), 1 = fully collinear (nobody
+  /// can separate).
+  double class_direction_overlap = 0.55;
+  /// Additive ambient noise after the logistic squash.
+  double feature_noise = 0.03;
+  /// Categorical columns (each expands one-hot to `categories_per_col`).
+  size_t num_categorical = 0;
+  size_t categories_per_col = 4;
+  /// Probability that a normal instance's categorical value reflects its
+  /// group (vs uniform noise); anomalies always draw uniformly.
+  double categorical_group_affinity = 0.8;
+  uint64_t seed = 0;
+};
+
+/// A frozen synthetic population; sampling is deterministic given an Rng.
+class SyntheticWorld {
+ public:
+  /// Builds the mixture (means, spreads, ambient map) from `config`.
+  /// Fails on inconsistent configs (e.g. zero classes or dims).
+  static Result<SyntheticWorld> Make(const SyntheticWorldConfig& config);
+
+  /// Final feature dimensionality (ambient + one-hot categorical columns).
+  size_t dim() const;
+
+  /// Samples one normal instance from group `group` into `out` (length
+  /// dim()).
+  void SampleNormal(int group, Rng* rng, double* out) const;
+
+  /// Samples one target anomaly of class `cls`.
+  void SampleTarget(int cls, Rng* rng, double* out) const;
+
+  /// Samples one non-target anomaly of class `cls`.
+  void SampleNonTarget(int cls, Rng* rng, double* out) const;
+
+  /// Draws a fully labeled pool: `n_normal` normals spread over the groups
+  /// (proportional to random group priors), plus `per_target_class` /
+  /// `per_nontarget_class` anomalies of each class.
+  LabeledPool GeneratePool(size_t n_normal, size_t per_target_class,
+                           size_t per_nontarget_class, Rng* rng) const;
+
+  const SyntheticWorldConfig& config() const { return config_; }
+
+ private:
+  SyntheticWorld() = default;
+
+  void LatentToAmbient(const std::vector<double>& z, int cat_affinity_group,
+                       Rng* rng, double* out) const;
+
+  SyntheticWorldConfig config_;
+  // Latent means/spreads, one row per component.
+  std::vector<std::vector<double>> normal_means_;
+  std::vector<std::vector<double>> normal_spreads_;
+  std::vector<std::vector<double>> target_means_;
+  std::vector<std::vector<double>> nontarget_means_;
+  std::vector<double> group_priors_;
+  // Ambient map: per informative column, a latent weight vector + bias.
+  std::vector<std::vector<double>> ambient_weights_;  // ambient_dim x q (zeros for noise cols)
+  std::vector<double> ambient_bias_;
+  std::vector<bool> informative_;
+};
+
+}  // namespace data
+}  // namespace targad
+
+#endif  // TARGAD_DATA_SYNTHETIC_H_

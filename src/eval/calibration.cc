@@ -1,0 +1,90 @@
+#include "eval/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace targad {
+namespace eval {
+
+namespace {
+
+Status CheckCalibrationInputs(const std::vector<double>& probabilities,
+                              const std::vector<int>& labels) {
+  if (probabilities.size() != labels.size() || probabilities.empty()) {
+    return Status::InvalidArgument("calibration: bad inputs");
+  }
+  for (double p : probabilities) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument("calibration: probability outside [0, 1]");
+    }
+  }
+  for (int y : labels) {
+    if (y != 0 && y != 1) {
+      return Status::InvalidArgument("calibration: labels must be 0/1");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<ReliabilityBin>> ReliabilityCurve(
+    const std::vector<double>& probabilities, const std::vector<int>& labels,
+    size_t num_bins) {
+  TARGAD_RETURN_NOT_OK(CheckCalibrationInputs(probabilities, labels));
+  if (num_bins == 0) return Status::InvalidArgument("calibration: 0 bins");
+
+  std::vector<ReliabilityBin> bins(num_bins);
+  std::vector<double> conf_sum(num_bins, 0.0);
+  std::vector<double> pos_sum(num_bins, 0.0);
+  for (size_t b = 0; b < num_bins; ++b) {
+    bins[b].bin_low = static_cast<double>(b) / static_cast<double>(num_bins);
+    bins[b].bin_high =
+        static_cast<double>(b + 1) / static_cast<double>(num_bins);
+  }
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    size_t b = static_cast<size_t>(probabilities[i] *
+                                   static_cast<double>(num_bins));
+    b = std::min(b, num_bins - 1);  // p == 1.0 lands in the last bin.
+    conf_sum[b] += probabilities[i];
+    pos_sum[b] += labels[i];
+    bins[b].count++;
+  }
+  for (size_t b = 0; b < num_bins; ++b) {
+    if (bins[b].count > 0) {
+      const double n = static_cast<double>(bins[b].count);
+      bins[b].mean_confidence = conf_sum[b] / n;
+      bins[b].empirical_rate = pos_sum[b] / n;
+    }
+  }
+  return bins;
+}
+
+Result<double> ExpectedCalibrationError(const std::vector<double>& probabilities,
+                                        const std::vector<int>& labels,
+                                        size_t num_bins) {
+  TARGAD_ASSIGN_OR_RETURN(std::vector<ReliabilityBin> bins,
+                          ReliabilityCurve(probabilities, labels, num_bins));
+  double ece = 0.0;
+  const double total = static_cast<double>(probabilities.size());
+  for (const ReliabilityBin& bin : bins) {
+    if (bin.count == 0) continue;
+    ece += static_cast<double>(bin.count) / total *
+           std::fabs(bin.mean_confidence - bin.empirical_rate);
+  }
+  return ece;
+}
+
+Result<double> BrierScore(const std::vector<double>& probabilities,
+                          const std::vector<int>& labels) {
+  TARGAD_RETURN_NOT_OK(CheckCalibrationInputs(probabilities, labels));
+  double total = 0.0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    const double d = probabilities[i] - static_cast<double>(labels[i]);
+    total += d * d;
+  }
+  return total / static_cast<double>(probabilities.size());
+}
+
+}  // namespace eval
+}  // namespace targad

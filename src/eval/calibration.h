@@ -1,0 +1,48 @@
+// Probability-calibration diagnostics for S^tar. TargAD's mechanism is a
+// calibration argument — non-target anomalies' predictive distributions are
+// pushed toward uniform — so it is natural to measure how well S^tar
+// behaves as a probability: reliability curves, expected calibration error,
+// and the Brier score.
+
+#ifndef TARGAD_EVAL_CALIBRATION_H_
+#define TARGAD_EVAL_CALIBRATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace targad {
+namespace eval {
+
+/// One bin of a reliability curve.
+struct ReliabilityBin {
+  double bin_low = 0.0;
+  double bin_high = 0.0;
+  /// Mean predicted probability of the instances in the bin.
+  double mean_confidence = 0.0;
+  /// Empirical positive rate of the instances in the bin.
+  double empirical_rate = 0.0;
+  size_t count = 0;
+};
+
+/// Bins predictions (probabilities in [0, 1]) into `num_bins` equal-width
+/// bins and reports confidence vs empirical rate per bin. Bins with no
+/// instances carry count 0 and zeroed statistics.
+Result<std::vector<ReliabilityBin>> ReliabilityCurve(
+    const std::vector<double>& probabilities, const std::vector<int>& labels,
+    size_t num_bins = 10);
+
+/// Expected calibration error: count-weighted mean |confidence - rate|.
+Result<double> ExpectedCalibrationError(const std::vector<double>& probabilities,
+                                        const std::vector<int>& labels,
+                                        size_t num_bins = 10);
+
+/// Brier score: mean squared error of probabilities against 0/1 labels.
+Result<double> BrierScore(const std::vector<double>& probabilities,
+                          const std::vector<int>& labels);
+
+}  // namespace eval
+}  // namespace targad
+
+#endif  // TARGAD_EVAL_CALIBRATION_H_

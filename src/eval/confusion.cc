@@ -1,0 +1,87 @@
+#include "eval/confusion.h"
+
+namespace targad {
+namespace eval {
+
+Result<ConfusionMatrix> ConfusionMatrix::Make(const std::vector<int>& truth,
+                                              const std::vector<int>& predicted,
+                                              int num_classes) {
+  if (truth.size() != predicted.size()) {
+    return Status::InvalidArgument("truth/predicted size mismatch");
+  }
+  if (num_classes <= 0) return Status::InvalidArgument("num_classes must be positive");
+  ConfusionMatrix cm;
+  cm.counts_.assign(static_cast<size_t>(num_classes),
+                    std::vector<size_t>(static_cast<size_t>(num_classes), 0));
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0 || truth[i] >= num_classes || predicted[i] < 0 ||
+        predicted[i] >= num_classes) {
+      return Status::InvalidArgument("label outside [0, ", num_classes, ") at row ", i);
+    }
+    cm.counts_[static_cast<size_t>(truth[i])][static_cast<size_t>(predicted[i])]++;
+    cm.total_++;
+  }
+  return cm;
+}
+
+ClassReport ConfusionMatrix::Report(int cls) const {
+  const auto c = static_cast<size_t>(cls);
+  ClassReport report;
+  size_t tp = counts_[c][c];
+  size_t predicted_c = 0, actual_c = 0;
+  for (size_t t = 0; t < counts_.size(); ++t) {
+    predicted_c += counts_[t][c];
+    actual_c += counts_[c][t];
+  }
+  report.support = actual_c;
+  report.precision = predicted_c > 0
+                         ? static_cast<double>(tp) / static_cast<double>(predicted_c)
+                         : 0.0;
+  report.recall = actual_c > 0
+                      ? static_cast<double>(tp) / static_cast<double>(actual_c)
+                      : 0.0;
+  const double denom = report.precision + report.recall;
+  report.f1 = denom > 0.0 ? 2.0 * report.precision * report.recall / denom : 0.0;
+  return report;
+}
+
+ClassReport ConfusionMatrix::MacroAverage() const {
+  ClassReport avg;
+  const size_t k = counts_.size();
+  for (size_t c = 0; c < k; ++c) {
+    const ClassReport r = Report(static_cast<int>(c));
+    avg.precision += r.precision;
+    avg.recall += r.recall;
+    avg.f1 += r.f1;
+    avg.support += r.support;
+  }
+  const double inv_k = 1.0 / static_cast<double>(k);
+  avg.precision *= inv_k;
+  avg.recall *= inv_k;
+  avg.f1 *= inv_k;
+  return avg;
+}
+
+ClassReport ConfusionMatrix::WeightedAverage() const {
+  ClassReport avg;
+  if (total_ == 0) return avg;
+  for (size_t c = 0; c < counts_.size(); ++c) {
+    const ClassReport r = Report(static_cast<int>(c));
+    const double w = static_cast<double>(r.support) / static_cast<double>(total_);
+    avg.precision += w * r.precision;
+    avg.recall += w * r.recall;
+    avg.f1 += w * r.f1;
+    avg.support += r.support;
+  }
+  return avg;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t c = 0; c < counts_.size(); ++c) correct += counts_[c][c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+}  // namespace eval
+}  // namespace targad

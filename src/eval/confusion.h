@@ -1,0 +1,60 @@
+// Multi-class confusion matrix and derived precision/recall/F1 summaries,
+// used for the Table IV three-way identification experiment (normal /
+// target / non-target) including macro and weighted averages.
+
+#ifndef TARGAD_EVAL_CONFUSION_H_
+#define TARGAD_EVAL_CONFUSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace targad {
+namespace eval {
+
+/// Per-class precision/recall/F1.
+struct ClassReport {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t support = 0;
+};
+
+/// Confusion matrix over `num_classes` classes plus the summaries the paper
+/// reports in Table IV.
+class ConfusionMatrix {
+ public:
+  /// Builds from parallel truth/prediction vectors with labels in
+  /// [0, num_classes).
+  static Result<ConfusionMatrix> Make(const std::vector<int>& truth,
+                                      const std::vector<int>& predicted,
+                                      int num_classes);
+
+  /// counts()[t][p]: instances of true class t predicted as p.
+  const std::vector<std::vector<size_t>>& counts() const { return counts_; }
+
+  size_t num_classes() const { return counts_.size(); }
+  size_t total() const { return total_; }
+
+  /// Per-class report; precision/recall define 0/0 as 0.
+  ClassReport Report(int cls) const;
+
+  /// Unweighted mean over classes.
+  ClassReport MacroAverage() const;
+
+  /// Support-weighted mean over classes.
+  ClassReport WeightedAverage() const;
+
+  /// Overall accuracy.
+  double Accuracy() const;
+
+ private:
+  std::vector<std::vector<size_t>> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace eval
+}  // namespace targad
+
+#endif  // TARGAD_EVAL_CONFUSION_H_

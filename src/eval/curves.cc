@@ -1,0 +1,111 @@
+#include "eval/curves.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace targad {
+namespace eval {
+
+namespace {
+
+struct SortedCounts {
+  std::vector<size_t> order;
+  size_t n_pos = 0;
+  size_t n_neg = 0;
+};
+
+Result<SortedCounts> SortByScoreDesc(const std::vector<double>& scores,
+                                     const std::vector<int>& labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    return Status::InvalidArgument("bad curve inputs");
+  }
+  SortedCounts sc;
+  sc.order.resize(scores.size());
+  std::iota(sc.order.begin(), sc.order.end(), 0);
+  std::sort(sc.order.begin(), sc.order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  for (int y : labels) {
+    if (y != 0 && y != 1) return Status::InvalidArgument("labels must be 0/1");
+    if (y == 1) {
+      ++sc.n_pos;
+    } else {
+      ++sc.n_neg;
+    }
+  }
+  return sc;
+}
+
+}  // namespace
+
+Result<std::vector<RocPoint>> RocCurve(const std::vector<double>& scores,
+                                       const std::vector<int>& labels) {
+  TARGAD_ASSIGN_OR_RETURN(SortedCounts sc, SortByScoreDesc(scores, labels));
+  if (sc.n_pos == 0 || sc.n_neg == 0) {
+    return Status::InvalidArgument("ROC needs both classes");
+  }
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0, std::numeric_limits<double>::infinity()});
+  size_t tp = 0, fp = 0, i = 0;
+  const size_t n = scores.size();
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[sc.order[j]] == scores[sc.order[i]]) {
+      if (labels[sc.order[j]] == 1) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++j;
+    }
+    curve.push_back({static_cast<double>(fp) / static_cast<double>(sc.n_neg),
+                     static_cast<double>(tp) / static_cast<double>(sc.n_pos),
+                     scores[sc.order[i]]});
+    i = j;
+  }
+  return curve;
+}
+
+Result<std::vector<PrPoint>> PrCurve(const std::vector<double>& scores,
+                                     const std::vector<int>& labels) {
+  TARGAD_ASSIGN_OR_RETURN(SortedCounts sc, SortByScoreDesc(scores, labels));
+  if (sc.n_pos == 0) return Status::InvalidArgument("PR curve needs a positive");
+  std::vector<PrPoint> curve;
+  size_t tp = 0, fp = 0, i = 0;
+  const size_t n = scores.size();
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[sc.order[j]] == scores[sc.order[i]]) {
+      if (labels[sc.order[j]] == 1) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++j;
+    }
+    curve.push_back({static_cast<double>(tp) / static_cast<double>(sc.n_pos),
+                     static_cast<double>(tp) / static_cast<double>(tp + fp),
+                     scores[sc.order[i]]});
+    i = j;
+  }
+  return curve;
+}
+
+Result<double> BestF1Threshold(const std::vector<double>& scores,
+                               const std::vector<int>& labels) {
+  TARGAD_ASSIGN_OR_RETURN(std::vector<PrPoint> curve, PrCurve(scores, labels));
+  double best_f1 = -1.0;
+  double best_threshold = curve.front().threshold;
+  for (const PrPoint& p : curve) {
+    const double denom = p.precision + p.recall;
+    const double f1 = denom > 0.0 ? 2.0 * p.precision * p.recall / denom : 0.0;
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = p.threshold;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace eval
+}  // namespace targad

@@ -1,0 +1,47 @@
+// Full ROC and precision-recall curves (Figures in the paper plot AUPRC
+// series; the curves themselves back the metrics and are exported by the
+// bench harness for plotting).
+
+#ifndef TARGAD_EVAL_CURVES_H_
+#define TARGAD_EVAL_CURVES_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace targad {
+namespace eval {
+
+/// One point of an ROC curve.
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+/// One point of a precision-recall curve.
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+  double threshold = 0.0;
+};
+
+/// ROC curve points ordered by decreasing threshold, tie groups collapsed.
+/// Both classes must be present.
+Result<std::vector<RocPoint>> RocCurve(const std::vector<double>& scores,
+                                       const std::vector<int>& labels);
+
+/// PR curve points ordered by decreasing threshold, tie groups collapsed.
+/// At least one positive required.
+Result<std::vector<PrPoint>> PrCurve(const std::vector<double>& scores,
+                                     const std::vector<int>& labels);
+
+/// The threshold among curve candidates that maximizes F1 on (scores,
+/// labels); used to pick operating points on validation data.
+Result<double> BestF1Threshold(const std::vector<double>& scores,
+                               const std::vector<int>& labels);
+
+}  // namespace eval
+}  // namespace targad
+
+#endif  // TARGAD_EVAL_CURVES_H_

@@ -1,0 +1,136 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace targad {
+namespace eval {
+
+namespace {
+
+Status CheckInputs(const std::vector<double>& scores, const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores size ", scores.size(),
+                                   " != labels size ", labels.size());
+  }
+  if (scores.empty()) return Status::InvalidArgument("empty inputs");
+  for (int y : labels) {
+    if (y != 0 && y != 1) return Status::InvalidArgument("labels must be 0/1");
+  }
+  for (double s : scores) {
+    if (std::isnan(s)) return Status::InvalidArgument("NaN score");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> Auroc(const std::vector<double>& scores,
+                     const std::vector<int>& labels) {
+  TARGAD_RETURN_NOT_OK(CheckInputs(scores, labels));
+  const size_t n = scores.size();
+  size_t n_pos = 0;
+  for (int y : labels) n_pos += static_cast<size_t>(y);
+  const size_t n_neg = n - n_pos;
+  if (n_pos == 0 || n_neg == 0) {
+    return Status::InvalidArgument("AUROC needs both classes (", n_pos,
+                                   " positives, ", n_neg, " negatives)");
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Midranks over tie groups.
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t) {
+      if (labels[order[t]] == 1) rank_sum_pos += midrank;
+    }
+    i = j + 1;
+  }
+  const double u = rank_sum_pos -
+                   static_cast<double>(n_pos) * (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+Result<double> Auprc(const std::vector<double>& scores,
+                     const std::vector<int>& labels) {
+  TARGAD_RETURN_NOT_OK(CheckInputs(scores, labels));
+  const size_t n = scores.size();
+  size_t n_pos = 0;
+  for (int y : labels) n_pos += static_cast<size_t>(y);
+  if (n_pos == 0) return Status::InvalidArgument("AUPRC needs at least one positive");
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+
+  // Average precision: sum over thresholds of (delta recall) * precision,
+  // collapsing equal scores into a single threshold.
+  double ap = 0.0;
+  size_t tp = 0, fp = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    size_t tp_group = 0, fp_group = 0;
+    while (j < n && scores[order[j]] == scores[order[i]]) {
+      if (labels[order[j]] == 1) {
+        ++tp_group;
+      } else {
+        ++fp_group;
+      }
+      ++j;
+    }
+    tp += tp_group;
+    fp += fp_group;
+    if (tp_group > 0) {
+      const double precision =
+          static_cast<double>(tp) / static_cast<double>(tp + fp);
+      const double delta_recall =
+          static_cast<double>(tp_group) / static_cast<double>(n_pos);
+      ap += precision * delta_recall;
+    }
+    i = j;
+  }
+  return ap;
+}
+
+Result<double> PrecisionAtN(const std::vector<double>& scores,
+                            const std::vector<int>& labels, size_t n) {
+  TARGAD_RETURN_NOT_OK(CheckInputs(scores, labels));
+  if (n == 0 || n > scores.size()) {
+    return Status::InvalidArgument("PrecisionAtN: bad n=", n);
+  }
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(n), order.end(),
+                    [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  size_t tp = 0;
+  for (size_t i = 0; i < n; ++i) tp += static_cast<size_t>(labels[order[i]]);
+  return static_cast<double>(tp) / static_cast<double>(n);
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - out.mean) * (v - out.mean);
+    out.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace targad

@@ -1,0 +1,41 @@
+// Ranking metrics: AUROC and AUPRC (average precision), the paper's two
+// headline measures (Section IV-C), with exact tie handling.
+
+#ifndef TARGAD_EVAL_METRICS_H_
+#define TARGAD_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace targad {
+namespace eval {
+
+/// Area under the ROC curve via the Mann-Whitney U statistic with midrank
+/// tie correction. `labels` are 0/1 (1 = positive); both classes must be
+/// present.
+Result<double> Auroc(const std::vector<double>& scores,
+                     const std::vector<int>& labels);
+
+/// Area under the precision-recall curve computed as average precision
+/// (step-wise interpolation, equal scores collapsed into one threshold).
+/// Requires at least one positive.
+Result<double> Auprc(const std::vector<double>& scores,
+                     const std::vector<int>& labels);
+
+/// Precision of the top-n ranked instances.
+Result<double> PrecisionAtN(const std::vector<double>& scores,
+                            const std::vector<int>& labels, size_t n);
+
+/// Mean and sample standard deviation of a series (n-1 denominator; 0 for
+/// singleton series).
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+}  // namespace eval
+}  // namespace targad
+
+#endif  // TARGAD_EVAL_METRICS_H_

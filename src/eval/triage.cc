@@ -1,0 +1,100 @@
+#include "eval/triage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace targad {
+namespace eval {
+
+namespace {
+
+Status CheckTriageInputs(const std::vector<double>& scores,
+                         const std::vector<int>& labels, int target_label) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    return Status::InvalidArgument("triage: bad scores/labels");
+  }
+  for (int y : labels) {
+    if (y < 0) return Status::InvalidArgument("triage: negative label");
+  }
+  if (target_label < 0) {
+    return Status::InvalidArgument("triage: negative target label");
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> RankDescending(const std::vector<double>& scores) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  return order;
+}
+
+}  // namespace
+
+Result<QueueComposition> AnalyzeQueue(const std::vector<double>& scores,
+                                      const std::vector<int>& labels,
+                                      size_t capacity, int target_label) {
+  TARGAD_RETURN_NOT_OK(CheckTriageInputs(scores, labels, target_label));
+  if (capacity == 0 || capacity > scores.size()) {
+    return Status::InvalidArgument("triage: capacity must be in [1, N]");
+  }
+  const std::vector<size_t> order = RankDescending(scores);
+  const int max_label = *std::max_element(labels.begin(), labels.end());
+  QueueComposition queue;
+  queue.capacity = capacity;
+  queue.counts.assign(static_cast<size_t>(std::max(max_label, target_label)) + 1,
+                      0);
+  size_t positives_total = 0;
+  for (int y : labels) positives_total += (y == target_label) ? 1 : 0;
+  size_t positives_in_queue = 0;
+  for (size_t i = 0; i < capacity; ++i) {
+    const int y = labels[order[i]];
+    queue.counts[static_cast<size_t>(y)]++;
+    if (y == target_label) ++positives_in_queue;
+  }
+  queue.queue_precision =
+      static_cast<double>(positives_in_queue) / static_cast<double>(capacity);
+  queue.target_recall =
+      positives_total > 0 ? static_cast<double>(positives_in_queue) /
+                                static_cast<double>(positives_total)
+                          : 0.0;
+  return queue;
+}
+
+Result<size_t> CapacityForRecall(const std::vector<double>& scores,
+                                 const std::vector<int>& labels, double recall,
+                                 int target_label) {
+  TARGAD_RETURN_NOT_OK(CheckTriageInputs(scores, labels, target_label));
+  if (recall <= 0.0 || recall > 1.0) {
+    return Status::InvalidArgument("triage: recall must be in (0, 1]");
+  }
+  size_t positives_total = 0;
+  for (int y : labels) positives_total += (y == target_label) ? 1 : 0;
+  if (positives_total == 0) {
+    return Status::InvalidArgument("triage: no instances of the target label");
+  }
+  const auto needed = static_cast<size_t>(std::ceil(
+      recall * static_cast<double>(positives_total) - 1e-9));
+  const std::vector<size_t> order = RankDescending(scores);
+  size_t found = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]] == target_label) {
+      if (++found >= needed) return i + 1;
+    }
+  }
+  return order.size();  // Unreachable given needed <= positives_total.
+}
+
+Result<double> EffortRatio(const std::vector<double>& scores,
+                           const std::vector<int>& labels, double recall,
+                           int target_label) {
+  TARGAD_ASSIGN_OR_RETURN(size_t capacity,
+                          CapacityForRecall(scores, labels, recall, target_label));
+  const double random_checks = recall * static_cast<double>(scores.size());
+  return static_cast<double>(capacity) / std::max(1.0, random_checks);
+}
+
+}  // namespace eval
+}  // namespace targad

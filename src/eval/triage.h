@@ -1,0 +1,53 @@
+// Review-queue (triage) analysis: the operational metrics behind the
+// paper's motivation — a platform can verify only the top-K ranked
+// instances per day, so what matters is the composition of that queue and
+// how much analyst effort the ranking saves.
+
+#ifndef TARGAD_EVAL_TRIAGE_H_
+#define TARGAD_EVAL_TRIAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace targad {
+namespace eval {
+
+/// Composition of a top-K review queue.
+struct QueueComposition {
+  size_t capacity = 0;
+  /// Instances of each class (indexed by the caller's label values) inside
+  /// the queue.
+  std::vector<size_t> counts;
+  /// Fraction of all positives (label `target_label`) captured in the queue.
+  double target_recall = 0.0;
+  /// Fraction of the queue that is positives.
+  double queue_precision = 0.0;
+};
+
+/// Ranks by descending score and reports the top-`capacity` composition.
+/// `labels` are small non-negative ints (e.g. 0 normal / 1 target / 2
+/// non-target); `target_label` selects the class counted as positive.
+Result<QueueComposition> AnalyzeQueue(const std::vector<double>& scores,
+                                      const std::vector<int>& labels,
+                                      size_t capacity, int target_label = 1);
+
+/// The smallest queue capacity whose queue recall of `target_label`
+/// reaches `recall` (0 < recall <= 1) — "how many cases must analysts
+/// review to catch X% of the target anomalies".
+Result<size_t> CapacityForRecall(const std::vector<double>& scores,
+                                 const std::vector<int>& labels, double recall,
+                                 int target_label = 1);
+
+/// Effort ratio against a ranking-free process: capacity needed for
+/// `recall` divided by the expected number of random checks for the same
+/// recall (recall * N). < 1 means the ranking saves analyst work.
+Result<double> EffortRatio(const std::vector<double>& scores,
+                           const std::vector<int>& labels, double recall,
+                           int target_label = 1);
+
+}  // namespace eval
+}  // namespace targad
+
+#endif  // TARGAD_EVAL_TRIAGE_H_

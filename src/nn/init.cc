@@ -1,0 +1,23 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace targad {
+namespace nn {
+
+void XavierUniform(Matrix* w, size_t fan_in, size_t fan_out, Rng* rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (double& v : w->data()) v = rng->Uniform(-limit, limit);
+}
+
+void HeUniform(Matrix* w, size_t fan_in, Rng* rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in));
+  for (double& v : w->data()) v = rng->Uniform(-limit, limit);
+}
+
+void GaussianInit(Matrix* w, double stddev, Rng* rng) {
+  for (double& v : w->data()) v = rng->Normal(0.0, stddev);
+}
+
+}  // namespace nn
+}  // namespace targad

@@ -1,0 +1,25 @@
+// Weight initialization schemes.
+
+#ifndef TARGAD_NN_INIT_H_
+#define TARGAD_NN_INIT_H_
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace nn {
+
+/// Glorot/Xavier uniform: U(-sqrt(6/(fan_in+fan_out)), +sqrt(...)).
+/// Suited to tanh/sigmoid layers.
+void XavierUniform(Matrix* w, size_t fan_in, size_t fan_out, Rng* rng);
+
+/// He/Kaiming uniform: U(-sqrt(6/fan_in), +sqrt(6/fan_in)). Suited to ReLU.
+void HeUniform(Matrix* w, size_t fan_in, Rng* rng);
+
+/// N(0, stddev) entries.
+void GaussianInit(Matrix* w, double stddev, Rng* rng);
+
+}  // namespace nn
+}  // namespace targad
+
+#endif  // TARGAD_NN_INIT_H_

@@ -1,0 +1,132 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/init.h"
+
+namespace targad {
+namespace nn {
+
+Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
+    : w_(in_features, out_features),
+      b_(1, out_features, 0.0),
+      gw_(in_features, out_features, 0.0),
+      gb_(1, out_features, 0.0) {
+  HeUniform(&w_, in_features, rng);
+}
+
+Matrix Linear::Forward(const Matrix& x) {
+  TARGAD_CHECK(x.cols() == w_.rows())
+      << "Linear: input has " << x.cols() << " features, expected " << w_.rows();
+  input_ = x;
+  Matrix y = x.MatMul(w_);
+  y.AddRowVectorInPlace(b_.Row(0));
+  return y;
+}
+
+Matrix Linear::Backward(const Matrix& grad_out) {
+  // dW += x^T g ; db += colsum(g) ; dx = g W^T.
+  gw_.AddInPlace(input_.TransposeMatMul(grad_out));
+  const std::vector<double> col_sums = grad_out.ColSums();
+  for (size_t j = 0; j < col_sums.size(); ++j) gb_.At(0, j) += col_sums[j];
+  return grad_out.MatMulTranspose(w_);
+}
+
+Matrix ReLU::Forward(const Matrix& x) {
+  mask_ = Matrix(x.rows(), x.cols());
+  Matrix y = x;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const bool pos = x.data()[i] > 0.0;
+    mask_.data()[i] = pos ? 1.0 : 0.0;
+    if (!pos) y.data()[i] = 0.0;
+  }
+  return y;
+}
+
+Matrix ReLU::Backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  g.HadamardInPlace(mask_);
+  return g;
+}
+
+Matrix LeakyReLU::Forward(const Matrix& x) {
+  input_ = x;
+  Matrix y = x;
+  for (double& v : y.data()) {
+    if (v < 0.0) v *= slope_;
+  }
+  return y;
+}
+
+Matrix LeakyReLU::Backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (input_.data()[i] < 0.0) g.data()[i] *= slope_;
+  }
+  return g;
+}
+
+Matrix Sigmoid::Forward(const Matrix& x) {
+  output_ = x.Map([](double v) {
+    // Numerically stable split.
+    if (v >= 0.0) return 1.0 / (1.0 + std::exp(-v));
+    const double e = std::exp(v);
+    return e / (1.0 + e);
+  });
+  return output_;
+}
+
+Matrix Sigmoid::Backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (size_t i = 0; i < g.size(); ++i) {
+    const double s = output_.data()[i];
+    g.data()[i] *= s * (1.0 - s);
+  }
+  return g;
+}
+
+Dropout::Dropout(double rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  TARGAD_CHECK(rate >= 0.0 && rate < 1.0) << "Dropout rate must be in [0, 1)";
+}
+
+Matrix Dropout::Forward(const Matrix& x) {
+  if (!training_ || rate_ == 0.0) {
+    mask_ = Matrix();
+    return x;
+  }
+  const double keep = 1.0 - rate_;
+  const double scale = 1.0 / keep;
+  mask_ = Matrix(x.rows(), x.cols());
+  Matrix y = x;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double m = rng_.Bernoulli(keep) ? scale : 0.0;
+    mask_.data()[i] = m;
+    y.data()[i] *= m;
+  }
+  return y;
+}
+
+Matrix Dropout::Backward(const Matrix& grad_out) {
+  if (mask_.empty()) return grad_out;  // Eval mode / zero rate.
+  Matrix g = grad_out;
+  g.HadamardInPlace(mask_);
+  return g;
+}
+
+Matrix Tanh::Forward(const Matrix& x) {
+  output_ = x.Map([](double v) { return std::tanh(v); });
+  return output_;
+}
+
+Matrix Tanh::Backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (size_t i = 0; i < g.size(); ++i) {
+    const double t = output_.data()[i];
+    g.data()[i] *= 1.0 - t * t;
+  }
+  return g;
+}
+
+}  // namespace nn
+}  // namespace targad

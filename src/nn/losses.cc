@@ -1,0 +1,210 @@
+#include "nn/losses.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace targad {
+namespace nn {
+
+namespace {
+constexpr double kLogFloor = 1e-12;
+}  // namespace
+
+Matrix SoftmaxRows(const Matrix& logits) {
+  Matrix p(logits.rows(), logits.cols());
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    const double* z = logits.RowPtr(i);
+    double* out = p.RowPtr(i);
+    double zmax = z[0];
+    for (size_t j = 1; j < logits.cols(); ++j) zmax = std::max(zmax, z[j]);
+    double denom = 0.0;
+    for (size_t j = 0; j < logits.cols(); ++j) {
+      out[j] = std::exp(z[j] - zmax);
+      denom += out[j];
+    }
+    for (size_t j = 0; j < logits.cols(); ++j) out[j] /= denom;
+  }
+  return p;
+}
+
+std::vector<double> LogSumExpRows(const Matrix& logits, size_t begin, size_t end) {
+  TARGAD_CHECK(begin < end && end <= logits.cols())
+      << "LogSumExpRows: bad column range [" << begin << ", " << end << ")";
+  std::vector<double> out(logits.rows());
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    const double* z = logits.RowPtr(i);
+    double zmax = z[begin];
+    for (size_t j = begin + 1; j < end; ++j) zmax = std::max(zmax, z[j]);
+    double acc = 0.0;
+    for (size_t j = begin; j < end; ++j) acc += std::exp(z[j] - zmax);
+    out[i] = zmax + std::log(acc);
+  }
+  return out;
+}
+
+std::vector<double> RowSquaredErrors(const Matrix& pred, const Matrix& target) {
+  TARGAD_CHECK(pred.SameShape(target)) << "RowSquaredErrors shape mismatch";
+  std::vector<double> errs(pred.rows(), 0.0);
+  for (size_t i = 0; i < pred.rows(); ++i) {
+    const double* a = pred.RowPtr(i);
+    const double* b = target.RowPtr(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < pred.cols(); ++j) {
+      const double d = a[j] - b[j];
+      acc += d * d;
+    }
+    errs[i] = acc;
+  }
+  return errs;
+}
+
+LossResult MseLoss(const Matrix& pred, const Matrix& target) {
+  TARGAD_CHECK(pred.SameShape(target)) << "MseLoss shape mismatch";
+  TARGAD_CHECK(pred.rows() > 0) << "MseLoss on empty batch";
+  LossResult result;
+  result.grad = Matrix(pred.rows(), pred.cols());
+  const double inv_n = 1.0 / static_cast<double>(pred.rows());
+  double total = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.data()[i] - target.data()[i];
+    total += d * d;
+    result.grad.data()[i] = 2.0 * d * inv_n;
+  }
+  result.loss = total * inv_n;
+  return result;
+}
+
+LossResult InverseErrorLoss(const Matrix& pred, const Matrix& target, double eps) {
+  TARGAD_CHECK(pred.SameShape(target)) << "InverseErrorLoss shape mismatch";
+  TARGAD_CHECK(pred.rows() > 0) << "InverseErrorLoss on empty batch";
+  LossResult result;
+  result.grad = Matrix(pred.rows(), pred.cols());
+  const double inv_n = 1.0 / static_cast<double>(pred.rows());
+  const std::vector<double> errs = RowSquaredErrors(pred, target);
+  double total = 0.0;
+  for (size_t i = 0; i < pred.rows(); ++i) {
+    const double e = errs[i] + eps;
+    total += 1.0 / e;
+    // d/dpred (e^{-1}) = -e^{-2} * 2(pred - target)
+    const double coef = -2.0 / (e * e) * inv_n;
+    const double* a = pred.RowPtr(i);
+    const double* b = target.RowPtr(i);
+    double* g = result.grad.RowPtr(i);
+    for (size_t j = 0; j < pred.cols(); ++j) g[j] = coef * (a[j] - b[j]);
+  }
+  result.loss = total * inv_n;
+  return result;
+}
+
+LossResult WeightedSoftCrossEntropy(const Matrix& logits, const Matrix& targets,
+                                    const std::vector<double>& weights,
+                                    double normalizer) {
+  TARGAD_CHECK(logits.SameShape(targets)) << "CrossEntropy shape mismatch";
+  TARGAD_CHECK(weights.empty() || weights.size() == logits.rows())
+      << "CrossEntropy weights size mismatch";
+  TARGAD_CHECK(normalizer > 0.0) << "CrossEntropy normalizer must be positive";
+  const Matrix p = SoftmaxRows(logits);
+  LossResult result;
+  result.grad = Matrix(logits.rows(), logits.cols());
+  const double inv_norm = 1.0 / normalizer;
+  double total = 0.0;
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    const double* pi = p.RowPtr(i);
+    const double* ti = targets.RowPtr(i);
+    double* gi = result.grad.RowPtr(i);
+    double row_ce = 0.0;
+    for (size_t j = 0; j < logits.cols(); ++j) {
+      if (ti[j] > 0.0) row_ce -= ti[j] * std::log(std::max(pi[j], kLogFloor));
+      gi[j] = w * (pi[j] - ti[j]) * inv_norm;
+    }
+    total += w * row_ce;
+  }
+  result.loss = total * inv_norm;
+  return result;
+}
+
+LossResult SoftmaxEntropy(const Matrix& logits, double normalizer) {
+  TARGAD_CHECK(normalizer > 0.0) << "SoftmaxEntropy normalizer must be positive";
+  const Matrix p = SoftmaxRows(logits);
+  LossResult result;
+  result.grad = Matrix(logits.rows(), logits.cols());
+  const double inv_norm = 1.0 / normalizer;
+  double total = 0.0;
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    const double* pi = p.RowPtr(i);
+    double* gi = result.grad.RowPtr(i);
+    // H = -sum_j p_j log p_j ; sum_plogp = sum_j p_j log p_j = -H.
+    double sum_plogp = 0.0;
+    for (size_t j = 0; j < logits.cols(); ++j) {
+      sum_plogp += pi[j] * std::log(std::max(pi[j], kLogFloor));
+    }
+    total += -sum_plogp;
+    // dH/dz_j = -p_j (log p_j - sum_k p_k log p_k).
+    for (size_t j = 0; j < logits.cols(); ++j) {
+      const double logp = std::log(std::max(pi[j], kLogFloor));
+      gi[j] = -pi[j] * (logp - sum_plogp) * inv_norm;
+    }
+  }
+  result.loss = total * inv_norm;
+  return result;
+}
+
+std::vector<double> MaxSoftmaxProb(const Matrix& logits, size_t begin, size_t end) {
+  TARGAD_CHECK(begin < end && end <= logits.cols())
+      << "MaxSoftmaxProb: bad column range";
+  const Matrix p = SoftmaxRows(logits);
+  std::vector<double> out(logits.rows());
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    const double* pi = p.RowPtr(i);
+    double m = pi[begin];
+    for (size_t j = begin + 1; j < end; ++j) m = std::max(m, pi[j]);
+    out[i] = m;
+  }
+  return out;
+}
+
+LossResult BinaryCrossEntropyWithLogits(const Matrix& logits,
+                                        const std::vector<double>& targets,
+                                        const std::vector<double>& weights,
+                                        double normalizer) {
+  TARGAD_CHECK(logits.cols() == 1) << "BCE expects a single logit column";
+  TARGAD_CHECK(logits.rows() == targets.size()) << "BCE targets size mismatch";
+  TARGAD_CHECK(weights.empty() || weights.size() == logits.rows())
+      << "BCE weights size mismatch";
+  TARGAD_CHECK(normalizer > 0.0) << "BCE normalizer must be positive";
+  LossResult result;
+  result.grad = Matrix(logits.rows(), 1);
+  const double inv_norm = 1.0 / normalizer;
+  double total = 0.0;
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    const double z = logits.At(i, 0);
+    const double y = targets[i];
+    const double w = weights.empty() ? 1.0 : weights[i];
+    // Numerically stable: BCE(z, y) = max(z,0) - z*y + log(1 + exp(-|z|)).
+    const double bce =
+        std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::fabs(z)));
+    total += w * bce;
+    const double s = z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                              : std::exp(z) / (1.0 + std::exp(z));
+    result.grad.At(i, 0) = w * (s - y) * inv_norm;
+  }
+  result.loss = total * inv_norm;
+  return result;
+}
+
+std::vector<double> SigmoidColumn(const Matrix& logits) {
+  TARGAD_CHECK(logits.cols() == 1) << "SigmoidColumn expects one column";
+  std::vector<double> out(logits.rows());
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    const double z = logits.At(i, 0);
+    out[i] = z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                      : std::exp(z) / (1.0 + std::exp(z));
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace targad

@@ -1,0 +1,86 @@
+// Loss functions with analytic gradients w.r.t. network outputs.
+//
+// These building blocks cover every objective in the paper:
+//  * RowSquaredErrors / MSE            -> autoencoder reconstruction (Eq. 1, 2)
+//  * InverseErrorLoss                  -> the SAD penalty on labeled anomalies
+//                                         (second term of Eq. 1)
+//  * WeightedSoftCrossEntropy          -> L_CE (Eq. 3, one-hot targets) and
+//                                         L_OE (Eq. 6, soft targets + weights)
+//  * SoftmaxEntropy                    -> L_RE (Eq. 7; see DESIGN.md §2 on
+//                                         the sign of the paper's Eq. 7)
+//  * Softmax / LogSumExp utilities     -> anomaly score (Eq. 9) and the
+//                                         energy-based OOD strategies (§III-C)
+
+#ifndef TARGAD_NN_LOSSES_H_
+#define TARGAD_NN_LOSSES_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace targad {
+namespace nn {
+
+/// A scalar loss plus its gradient with respect to the network output that
+/// produced it.
+struct LossResult {
+  double loss = 0.0;
+  Matrix grad;
+};
+
+/// Row-wise softmax, numerically stabilized by max subtraction.
+Matrix SoftmaxRows(const Matrix& logits);
+
+/// log(sum_j exp(z_j)) for each row, over columns [begin, end).
+std::vector<double> LogSumExpRows(const Matrix& logits, size_t begin, size_t end);
+
+/// Per-row squared reconstruction error ||x_i - xhat_i||^2 (Eq. 2).
+std::vector<double> RowSquaredErrors(const Matrix& pred, const Matrix& target);
+
+/// Mean-over-rows squared error: (1/n) sum_i ||pred_i - target_i||^2,
+/// with gradient w.r.t. pred. First term of Eq. (1).
+LossResult MseLoss(const Matrix& pred, const Matrix& target);
+
+/// Mean-over-rows inverse squared error: (1/n) sum_i (||pred_i-target_i||^2
+/// + eps)^{-1}, with gradient w.r.t. pred. Second term of Eq. (1): pushes
+/// labeled anomalies to reconstruct POORLY.
+LossResult InverseErrorLoss(const Matrix& pred, const Matrix& target,
+                            double eps = 1e-6);
+
+/// Cross-entropy between softmax(logits) and arbitrary soft target rows,
+/// each row scaled by weights[i], the total divided by `normalizer`:
+///   loss = (1/normalizer) * sum_i w_i * sum_j -t_ij log p_ij
+///   dloss/dz_i = (w_i/normalizer) * (p_i - t_i)
+/// Covers Eq. (3) (one-hot targets, unit weights) and Eq. (6) (uniform-over-
+/// first-m targets, instance weights). Pass empty weights for all-ones.
+LossResult WeightedSoftCrossEntropy(const Matrix& logits, const Matrix& targets,
+                                    const std::vector<double>& weights,
+                                    double normalizer);
+
+/// Mean Shannon entropy of softmax(logits):
+///   loss = (1/normalizer) * sum_i H(p_i),  H(p) = -sum_j p_j log p_j.
+/// Minimizing drives predictions toward confidence — the stated intent of
+/// Eq. (7) (see DESIGN.md §2 for the sign discussion).
+LossResult SoftmaxEntropy(const Matrix& logits, double normalizer);
+
+/// Per-row maximum softmax probability over columns [begin, end).
+/// With begin=0, end=m this is the paper's anomaly score S^tar (Eq. 9).
+std::vector<double> MaxSoftmaxProb(const Matrix& logits, size_t begin, size_t end);
+
+/// Binary cross-entropy on a single-column logit matrix:
+///   loss = (1/normalizer) * sum_i w_i * BCE(sigmoid(z_i), y_i)
+///   dloss/dz_i = (w_i/normalizer) * (sigmoid(z_i) - y_i)
+/// Used by the GAN-based baselines (PIA-WAL, Dual-MGAN). Pass empty
+/// weights for all-ones.
+LossResult BinaryCrossEntropyWithLogits(const Matrix& logits,
+                                        const std::vector<double>& targets,
+                                        const std::vector<double>& weights,
+                                        double normalizer);
+
+/// sigmoid(z) for each row of a single-column logit matrix.
+std::vector<double> SigmoidColumn(const Matrix& logits);
+
+}  // namespace nn
+}  // namespace targad
+
+#endif  // TARGAD_NN_LOSSES_H_

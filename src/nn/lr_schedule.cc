@@ -1,0 +1,55 @@
+#include "nn/lr_schedule.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace targad {
+namespace nn {
+
+Result<StepDecayLr> StepDecayLr::Make(double base, size_t step_size,
+                                      double gamma) {
+  if (base <= 0.0) return Status::InvalidArgument("StepDecayLr: base must be > 0");
+  if (step_size == 0) return Status::InvalidArgument("StepDecayLr: step_size is 0");
+  if (gamma <= 0.0 || gamma > 1.0) {
+    return Status::InvalidArgument("StepDecayLr: gamma must be in (0, 1]");
+  }
+  return StepDecayLr(base, step_size, gamma);
+}
+
+double StepDecayLr::Rate(size_t step) const {
+  return base_ * std::pow(gamma_, static_cast<double>(step / step_size_));
+}
+
+Result<CosineLr> CosineLr::Make(double base, double floor, size_t total_steps) {
+  if (base <= 0.0) return Status::InvalidArgument("CosineLr: base must be > 0");
+  if (floor < 0.0 || floor > base) {
+    return Status::InvalidArgument("CosineLr: floor must be in [0, base]");
+  }
+  if (total_steps == 0) return Status::InvalidArgument("CosineLr: total_steps is 0");
+  return CosineLr(base, floor, total_steps);
+}
+
+double CosineLr::Rate(size_t step) const {
+  if (step >= total_steps_) return floor_;
+  const double progress =
+      static_cast<double>(step) / static_cast<double>(total_steps_);
+  return floor_ + 0.5 * (base_ - floor_) *
+                      (1.0 + std::cos(std::numbers::pi * progress));
+}
+
+Result<WarmupLr> WarmupLr::Make(double base, size_t warmup_steps) {
+  if (base <= 0.0) return Status::InvalidArgument("WarmupLr: base must be > 0");
+  if (warmup_steps == 0) {
+    return Status::InvalidArgument("WarmupLr: warmup_steps is 0");
+  }
+  return WarmupLr(base, warmup_steps);
+}
+
+double WarmupLr::Rate(size_t step) const {
+  if (step >= warmup_steps_) return base_;
+  return base_ * static_cast<double>(step + 1) /
+         static_cast<double>(warmup_steps_);
+}
+
+}  // namespace nn
+}  // namespace targad

@@ -1,0 +1,87 @@
+// Learning-rate schedules for the optimizers. The paper trains with a
+// fixed rate; schedules are provided as standard library equipment (several
+// of the baseline papers decay their rates).
+
+#ifndef TARGAD_NN_LR_SCHEDULE_H_
+#define TARGAD_NN_LR_SCHEDULE_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+
+namespace targad {
+namespace nn {
+
+/// A learning-rate schedule: maps a 0-based step index to a rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Rate to use at `step` (0-based).
+  virtual double Rate(size_t step) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double rate) : rate_(rate) {}
+  double Rate(size_t) const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Multiplies the base rate by `gamma` every `step_size` steps.
+class StepDecayLr : public LrSchedule {
+ public:
+  /// Requires step_size > 0 and gamma in (0, 1].
+  static Result<StepDecayLr> Make(double base, size_t step_size, double gamma);
+
+  double Rate(size_t step) const override;
+
+ private:
+  StepDecayLr(double base, size_t step_size, double gamma)
+      : base_(base), step_size_(step_size), gamma_(gamma) {}
+
+  double base_;
+  size_t step_size_;
+  double gamma_;
+};
+
+/// Cosine annealing from `base` to `floor` over `total_steps`; clamps to
+/// `floor` afterwards.
+class CosineLr : public LrSchedule {
+ public:
+  /// Requires total_steps > 0 and 0 <= floor <= base.
+  static Result<CosineLr> Make(double base, double floor, size_t total_steps);
+
+  double Rate(size_t step) const override;
+
+ private:
+  CosineLr(double base, double floor, size_t total_steps)
+      : base_(base), floor_(floor), total_steps_(total_steps) {}
+
+  double base_;
+  double floor_;
+  size_t total_steps_;
+};
+
+/// Linear warmup over `warmup_steps` from 0 to `base`, then constant.
+class WarmupLr : public LrSchedule {
+ public:
+  /// Requires warmup_steps > 0.
+  static Result<WarmupLr> Make(double base, size_t warmup_steps);
+
+  double Rate(size_t step) const override;
+
+ private:
+  WarmupLr(double base, size_t warmup_steps)
+      : base_(base), warmup_steps_(warmup_steps) {}
+
+  double base_;
+  size_t warmup_steps_;
+};
+
+}  // namespace nn
+}  // namespace targad
+
+#endif  // TARGAD_NN_LR_SCHEDULE_H_

@@ -1,0 +1,124 @@
+// Dense row-major matrix of doubles — the numeric workhorse for the NN
+// library, k-means, and the detectors. Deliberately minimal: only the
+// operations the library needs, each with a straightforward cache-friendly
+// implementation.
+
+#ifndef TARGAD_NN_MATRIX_H_
+#define TARGAD_NN_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace targad {
+namespace nn {
+
+/// Dense row-major matrix. Rows are instances, columns are features, by
+/// convention throughout the library.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  /// Takes ownership of `data` (size must equal rows*cols).
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Copies row r into a vector.
+  std::vector<double> Row(size_t r) const;
+
+  /// Overwrites row r with `values` (size must equal cols()).
+  void SetRow(size_t r, const std::vector<double>& values);
+
+  /// A new matrix holding the rows at `indices`, in order.
+  Matrix SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Appends all rows of `other` (same cols; appending to empty is allowed).
+  void AppendRows(const Matrix& other);
+
+  // ---- Arithmetic -------------------------------------------------------
+
+  /// this * other (inner dimensions must agree).
+  Matrix MatMul(const Matrix& other) const;
+
+  /// this^T * other. Equivalent to Transpose().MatMul(other), fused.
+  Matrix TransposeMatMul(const Matrix& other) const;
+
+  /// this * other^T. Equivalent to MatMul(other.Transpose()), fused.
+  Matrix MatMulTranspose(const Matrix& other) const;
+
+  Matrix Transpose() const;
+
+  Matrix& AddInPlace(const Matrix& other);
+  Matrix& SubInPlace(const Matrix& other);
+  Matrix& MulInPlace(double s);
+  /// Hadamard (element-wise) product.
+  Matrix& HadamardInPlace(const Matrix& other);
+
+  Matrix Add(const Matrix& other) const;
+  Matrix Sub(const Matrix& other) const;
+  Matrix Mul(double s) const;
+
+  /// Adds `bias` (length cols()) to every row.
+  Matrix& AddRowVectorInPlace(const std::vector<double>& bias);
+
+  /// Applies fn element-wise, returning a new matrix.
+  Matrix Map(const std::function<double(double)>& fn) const;
+
+  /// Applies fn element-wise in place.
+  void MapInPlace(const std::function<double(double)>& fn);
+
+  // ---- Reductions -------------------------------------------------------
+
+  /// Column sums (length cols()).
+  std::vector<double> ColSums() const;
+
+  /// Per-row sums (length rows()).
+  std::vector<double> RowSums() const;
+
+  /// Squared L2 norm of each row.
+  std::vector<double> RowSquaredNorms() const;
+
+  /// Sum of all elements.
+  double Sum() const;
+
+  /// Frobenius norm squared.
+  double SquaredNorm() const;
+
+  /// Squared Euclidean distance between row r of this and row s of other.
+  double RowSquaredDistance(size_t r, const Matrix& other, size_t s) const;
+
+  void Fill(double v);
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace nn
+}  // namespace targad
+
+#endif  // TARGAD_NN_MATRIX_H_

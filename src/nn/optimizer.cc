@@ -1,0 +1,81 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace targad {
+namespace nn {
+
+Optimizer::Optimizer(std::vector<Matrix*> params, std::vector<Matrix*> grads)
+    : params_(std::move(params)), grads_(std::move(grads)) {
+  TARGAD_CHECK(params_.size() == grads_.size())
+      << "Optimizer: params/grads size mismatch";
+  for (size_t i = 0; i < params_.size(); ++i) {
+    TARGAD_CHECK(params_[i]->SameShape(*grads_[i]))
+        << "Optimizer: param/grad shape mismatch at index " << i;
+  }
+}
+
+Sgd::Sgd(std::vector<Matrix*> params, std::vector<Matrix*> grads, double lr,
+         double momentum)
+    : Optimizer(std::move(params), std::move(grads)), momentum_(momentum) {
+  lr_ = lr;
+  if (momentum_ != 0.0) {
+    velocity_.reserve(params_.size());
+    for (Matrix* p : params_) velocity_.emplace_back(p->rows(), p->cols(), 0.0);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i]->data();
+    const auto& g = grads_[i]->data();
+    if (momentum_ == 0.0) {
+      for (size_t j = 0; j < p.size(); ++j) p[j] -= lr_ * g[j];
+    } else {
+      auto& v = velocity_[i].data();
+      for (size_t j = 0; j < p.size(); ++j) {
+        v[j] = momentum_ * v[j] + g[j];
+        p[j] -= lr_ * v[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads, double lr,
+           double beta1, double beta2, double eps)
+    : Optimizer(std::move(params), std::move(grads)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Matrix* p : params_) {
+    m_.emplace_back(p->rows(), p->cols(), 0.0);
+    v_.emplace_back(p->rows(), p->cols(), 0.0);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i]->data();
+    const auto& g = grads_[i]->data();
+    auto& m = m_[i].data();
+    auto& v = v_[i].data();
+    for (size_t j = 0; j < p.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      p[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace targad

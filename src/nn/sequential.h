@@ -1,0 +1,77 @@
+// Sequential: an ordered stack of layers trained by explicit
+// forward/backward calls.
+
+#ifndef TARGAD_NN_SEQUENTIAL_H_
+#define TARGAD_NN_SEQUENTIAL_H_
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace nn {
+
+/// Supported hidden-layer activations for the MLP builders.
+enum class Activation { kReLU, kLeakyReLU, kSigmoid, kTanh, kNone };
+
+/// An ordered stack of layers. Forward runs left to right, Backward right to
+/// left. Owns its layers.
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& Add(std::unique_ptr<Layer> layer);
+
+  /// Builds Linear(+activation) stacks from `sizes` = {in, h1, ..., out}.
+  /// `hidden` is applied after every Linear except the last; `output` (often
+  /// kNone for logits) is applied after the last Linear.
+  static Sequential MakeMlp(const std::vector<size_t>& sizes, Activation hidden,
+                            Activation output, Rng* rng);
+
+  /// Runs the batch through all layers.
+  Matrix Forward(const Matrix& x);
+
+  /// Backpropagates dLoss/dOutput; returns dLoss/dInput and accumulates
+  /// parameter gradients in each layer.
+  Matrix Backward(const Matrix& grad_out);
+
+  /// All trainable parameters, in layer order.
+  std::vector<Matrix*> Params();
+
+  /// All parameter gradients, parallel to Params().
+  std::vector<Matrix*> Grads();
+
+  void ZeroGrads();
+
+  /// Puts every layer in train or eval mode (Dropout reacts; others no-op).
+  void SetTraining(bool training);
+
+  /// Copies parameter values from an identically shaped network (used for
+  /// DQN target networks in the DPLAN baseline).
+  void CopyParamsFrom(Sequential& other);
+
+  size_t num_layers() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_[i].get(); }
+
+  /// Total number of scalar parameters.
+  size_t NumParameters();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Instantiates one activation layer (kNone yields nullptr).
+std::unique_ptr<Layer> MakeActivation(Activation act);
+
+}  // namespace nn
+}  // namespace targad
+
+#endif  // TARGAD_NN_SEQUENTIAL_H_

@@ -1,0 +1,75 @@
+#include "nn/serialize.h"
+
+#include <cmath>
+#include <iomanip>
+#include <string>
+
+namespace targad {
+namespace nn {
+
+Status WriteMatrix(std::ostream& out, const Matrix& m) {
+  out << "matrix " << m.rows() << ' ' << m.cols() << '\n';
+  out << std::setprecision(17);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.RowPtr(i);
+    for (size_t j = 0; j < m.cols(); ++j) {
+      if (j > 0) out << ' ';
+      out << row[j];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("matrix write failed");
+  return Status::OK();
+}
+
+Result<Matrix> ReadMatrix(std::istream& in) {
+  std::string tag;
+  size_t rows = 0, cols = 0;
+  if (!(in >> tag >> rows >> cols) || tag != "matrix") {
+    return Status::InvalidArgument("expected 'matrix <rows> <cols>' header");
+  }
+  if (rows * cols > (1ULL << 28)) {
+    return Status::InvalidArgument("matrix implausibly large: ", rows, "x", cols);
+  }
+  Matrix m(rows, cols);
+  for (double& v : m.data()) {
+    if (!(in >> v)) return Status::InvalidArgument("truncated matrix payload");
+    if (!std::isfinite(v)) return Status::InvalidArgument("non-finite value");
+  }
+  return m;
+}
+
+Status WriteParams(std::ostream& out, Sequential& net) {
+  const auto params = net.Params();
+  out << "params " << params.size() << '\n';
+  for (Matrix* p : params) {
+    TARGAD_RETURN_NOT_OK(WriteMatrix(out, *p));
+  }
+  return Status::OK();
+}
+
+Status ReadParams(std::istream& in, Sequential* net) {
+  std::string tag;
+  size_t count = 0;
+  if (!(in >> tag >> count) || tag != "params") {
+    return Status::InvalidArgument("expected 'params <count>' header");
+  }
+  const auto params = net->Params();
+  if (count != params.size()) {
+    return Status::InvalidArgument("parameter count mismatch: stream has ", count,
+                                   ", network has ", params.size());
+  }
+  for (Matrix* p : params) {
+    TARGAD_ASSIGN_OR_RETURN(Matrix loaded, ReadMatrix(in));
+    if (!loaded.SameShape(*p)) {
+      return Status::InvalidArgument("parameter shape mismatch: stream ",
+                                     loaded.rows(), "x", loaded.cols(),
+                                     ", network ", p->rows(), "x", p->cols());
+    }
+    *p = std::move(loaded);
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace targad

@@ -1,0 +1,38 @@
+// Plain-text serialization for matrices and network parameters — enough to
+// train a model once and deploy it for scoring (see core::TargAD::Save).
+// The format is line-oriented and versioned:
+//   matrix <rows> <cols>
+//   <row 0 values...>
+//   ...
+
+#ifndef TARGAD_NN_SERIALIZE_H_
+#define TARGAD_NN_SERIALIZE_H_
+
+#include <istream>
+#include <ostream>
+
+#include "common/result.h"
+#include "nn/matrix.h"
+#include "nn/sequential.h"
+
+namespace targad {
+namespace nn {
+
+/// Writes one matrix (full double precision).
+Status WriteMatrix(std::ostream& out, const Matrix& m);
+
+/// Reads one matrix written by WriteMatrix.
+Result<Matrix> ReadMatrix(std::istream& in);
+
+/// Writes every parameter of `net` in layer order.
+Status WriteParams(std::ostream& out, Sequential& net);
+
+/// Restores parameters into an identically-architected network; fails on
+/// any shape mismatch (the architecture itself is NOT serialized here —
+/// callers persist their config and rebuild the net first).
+Status ReadParams(std::istream& in, Sequential* net);
+
+}  // namespace nn
+}  // namespace targad
+
+#endif  // TARGAD_NN_SERIALIZE_H_

@@ -1,0 +1,28 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "targad.h"
+//
+// brings in the TargAD model (core/targad.h), the CSV pipeline, the dataset
+// substrates and profiles, the evaluation metrics, and the detector
+// registry with all baselines.
+
+#ifndef TARGAD_TARGAD_H_
+#define TARGAD_TARGAD_H_
+
+#include "baselines/registry.h"     // IWYU pragma: export
+#include "common/result.h"          // IWYU pragma: export
+#include "common/status.h"          // IWYU pragma: export
+#include "core/ensemble.h"          // IWYU pragma: export
+#include "core/ood.h"               // IWYU pragma: export
+#include "core/pipeline.h"          // IWYU pragma: export
+#include "core/targad.h"            // IWYU pragma: export
+#include "data/export.h"            // IWYU pragma: export
+#include "data/loaders.h"           // IWYU pragma: export
+#include "data/profiles.h"          // IWYU pragma: export
+#include "eval/calibration.h"       // IWYU pragma: export
+#include "eval/confusion.h"         // IWYU pragma: export
+#include "eval/curves.h"            // IWYU pragma: export
+#include "eval/metrics.h"           // IWYU pragma: export
+#include "eval/triage.h"            // IWYU pragma: export
+
+#endif  // TARGAD_TARGAD_H_

@@ -1,0 +1,105 @@
+#include "nn/autoencoder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace targad {
+namespace nn {
+namespace {
+
+// Data on a 2-D manifold embedded in 8 dims (plus small noise).
+Matrix ManifoldData(size_t n, uint64_t seed, double noise = 0.01) {
+  Rng rng(seed);
+  Matrix x(n, 8);
+  for (size_t i = 0; i < n; ++i) {
+    const double a = rng.Uniform();
+    const double b = rng.Uniform();
+    double* row = x.RowPtr(i);
+    row[0] = a;
+    row[1] = b;
+    row[2] = 0.5 * (a + b);
+    row[3] = a * 0.8 + 0.1;
+    row[4] = b * 0.6 + 0.2;
+    row[5] = 0.3 * a + 0.4 * b;
+    row[6] = 0.9 - 0.5 * a;
+    row[7] = 0.1 + 0.7 * b;
+    for (size_t j = 0; j < 8; ++j) row[j] += rng.Normal(0.0, noise);
+  }
+  return x;
+}
+
+TEST(AutoencoderTest, ReconstructionImprovesWithTraining) {
+  AutoencoderConfig config;
+  config.input_dim = 8;
+  config.encoder_dims = {6, 2};
+  config.learning_rate = 1e-2;
+  config.seed = 1;
+  Autoencoder ae(config);
+  Matrix x = ManifoldData(256, 2);
+  const double initial = MseLoss(ae.Reconstruct(x), x).loss;
+  for (int epoch = 0; epoch < 300; ++epoch) ae.TrainStepMse(x);
+  const double trained = MseLoss(ae.Reconstruct(x), x).loss;
+  EXPECT_LT(trained, initial * 0.05);
+}
+
+TEST(AutoencoderTest, CodeDimMatchesBottleneck) {
+  AutoencoderConfig config;
+  config.input_dim = 8;
+  config.encoder_dims = {6, 3};
+  Autoencoder ae(config);
+  EXPECT_EQ(ae.code_dim(), 3u);
+  Matrix x = ManifoldData(4, 3);
+  EXPECT_EQ(ae.Encode(x).cols(), 3u);
+  EXPECT_EQ(ae.Reconstruct(x).cols(), 8u);
+}
+
+TEST(AutoencoderTest, OffManifoldPointsReconstructWorse) {
+  AutoencoderConfig config;
+  config.input_dim = 8;
+  config.encoder_dims = {6, 2};
+  config.learning_rate = 1e-2;
+  config.seed = 1;
+  Autoencoder ae(config);
+  Matrix x = ManifoldData(512, 5);
+  for (int epoch = 0; epoch < 300; ++epoch) ae.TrainStepMse(x);
+
+  // In-manifold test points vs uniformly random off-manifold points.
+  Matrix inliers = ManifoldData(64, 6);
+  Rng rng(7);
+  Matrix outliers(64, 8);
+  for (double& v : outliers.data()) v = rng.Uniform();
+
+  const auto in_errs = ae.ReconstructionErrors(inliers);
+  const auto out_errs = ae.ReconstructionErrors(outliers);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (double e : in_errs) {
+    scores.push_back(e);
+    labels.push_back(0);
+  }
+  for (double e : out_errs) {
+    scores.push_back(e);
+    labels.push_back(1);
+  }
+  // Reconstruction error must rank outliers above inliers almost always.
+  EXPECT_GT(eval::Auroc(scores, labels).ValueOrDie(), 0.9);
+}
+
+TEST(AutoencoderTest, SigmoidOutputStaysInUnitRange) {
+  AutoencoderConfig config;
+  config.input_dim = 8;
+  config.encoder_dims = {4, 2};
+  Autoencoder ae(config);
+  Matrix x = ManifoldData(16, 8);
+  Matrix recon = ae.Reconstruct(x);
+  for (double v : recon.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace targad

@@ -1,0 +1,135 @@
+#include "baselines/registry.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace targad {
+namespace baselines {
+namespace {
+
+// One shared tiny bundle for every detector test (fitting is the expensive
+// part, the bundle build is cheap but deterministic anyway).
+const data::DatasetBundle& SharedBundle() {
+  static const data::DatasetBundle* bundle =
+      new data::DatasetBundle(targad::testing::TinyBundle(31));
+  return *bundle;
+}
+
+TEST(RegistryTest, AllNamesResolve) {
+  for (const std::string& name : AllDetectorNames()) {
+    auto detector = MakeDetector(name, /*seed=*/1);
+    ASSERT_TRUE(detector.ok()) << name;
+    EXPECT_EQ((*detector)->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  auto result = MakeDetector("NoSuchModel", 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, TwelveDetectorsInPaperOrder) {
+  const auto names = AllDetectorNames();
+  ASSERT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.front(), "iForest");
+  EXPECT_EQ(names.back(), "TargAD");
+}
+
+TEST(RegistryTest, SemiSupervisedSubsetExcludesUnsupervised) {
+  const auto names = SemiSupervisedDetectorNames();
+  for (const auto& name : names) {
+    EXPECT_NE(name, "iForest");
+    EXPECT_NE(name, "REPEN");
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+class DetectorContractTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DetectorContractTest, FitsAndScoresFinite) {
+  const data::DatasetBundle& bundle = SharedBundle();
+  auto detector = MakeDetector(GetParam(), /*seed=*/3).ValueOrDie();
+  ASSERT_TRUE(detector->Fit(bundle.train).ok()) << GetParam();
+  const auto scores = detector->Score(bundle.test.x);
+  ASSERT_EQ(scores.size(), bundle.test.size()) << GetParam();
+  for (double s : scores) {
+    EXPECT_TRUE(std::isfinite(s)) << GetParam();
+  }
+}
+
+TEST_P(DetectorContractTest, RanksTargetAnomaliesAboveChance) {
+  const data::DatasetBundle& bundle = SharedBundle();
+  auto detector = MakeDetector(GetParam(), /*seed=*/4).ValueOrDie();
+  ASSERT_TRUE(detector->Fit(bundle.train).ok());
+  const auto scores = detector->Score(bundle.test.x);
+  const auto labels = bundle.test.BinaryTargetLabels();
+  const double auroc = eval::Auroc(scores, labels).ValueOrDie();
+  // Every method must at least rank target anomalies above random. (The
+  // paper's point is that generic methods are far from perfect here, not
+  // that they are useless.)
+  EXPECT_GT(auroc, 0.55) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDetectors, DetectorContractTest,
+    ::testing::ValuesIn(AllDetectorNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(TargAdDetectorTest, ExposesModelAfterFit) {
+  const data::DatasetBundle& bundle = SharedBundle();
+  core::TargADConfig config;
+  config.seed = 5;
+  config.selection.k = 2;
+  config.selection.autoencoder.epochs = 10;
+  config.epochs = 10;
+  TargAdDetector detector(config);
+  EXPECT_EQ(detector.model(), nullptr);
+  ASSERT_TRUE(detector.Fit(bundle.train).ok());
+  ASSERT_NE(detector.model(), nullptr);
+  EXPECT_TRUE(detector.model()->fitted());
+  EXPECT_EQ(detector.model()->m(), 2);
+}
+
+TEST(TargAdVsGenericTest, TargAdSuppressesNonTargetsBetterThanDevNet) {
+  // The paper's headline phenomenon on a miniature scale: a generic
+  // semi-supervised detector scores non-target anomalies high (they ARE
+  // anomalous), while TargAD pushes them down.
+  const data::DatasetBundle& bundle = SharedBundle();
+
+  auto targad = MakeDetector("TargAD", 6).ValueOrDie();
+  auto devnet = MakeDetector("DevNet", 6).ValueOrDie();
+  ASSERT_TRUE(targad->Fit(bundle.train).ok());
+  ASSERT_TRUE(devnet->Fit(bundle.train).ok());
+
+  // Rank non-targets against targets: AUROC of "is target" among anomalies.
+  std::vector<size_t> anomalous;
+  for (size_t i = 0; i < bundle.test.size(); ++i) {
+    if (bundle.test.kind[i] != data::InstanceKind::kNormal) anomalous.push_back(i);
+  }
+  const nn::Matrix anomalous_x = bundle.test.x.SelectRows(anomalous);
+  std::vector<int> is_target;
+  for (size_t i : anomalous) {
+    is_target.push_back(bundle.test.kind[i] == data::InstanceKind::kTarget ? 1 : 0);
+  }
+  const double targad_sep =
+      eval::Auroc(targad->Score(anomalous_x), is_target).ValueOrDie();
+  const double devnet_sep =
+      eval::Auroc(devnet->Score(anomalous_x), is_target).ValueOrDie();
+  EXPECT_GT(targad_sep, devnet_sep);
+  EXPECT_GT(targad_sep, 0.8);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace targad

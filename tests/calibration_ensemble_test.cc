@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "core/ensemble.h"
+#include "eval/calibration.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace targad {
+namespace {
+
+TEST(ReliabilityCurveTest, PerfectlyCalibratedPredictions) {
+  // Probabilities equal to empirical rates within each bin.
+  std::vector<double> probs;
+  std::vector<int> labels;
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const double p = rng.Uniform();
+    probs.push_back(p);
+    labels.push_back(rng.Bernoulli(p) ? 1 : 0);
+  }
+  const double ece =
+      eval::ExpectedCalibrationError(probs, labels).ValueOrDie();
+  EXPECT_LT(ece, 0.03);
+}
+
+TEST(ReliabilityCurveTest, OverconfidentPredictionsHaveHighEce) {
+  // Always predicting 0.95 on a 50/50 population is badly calibrated.
+  std::vector<double> probs(1000, 0.95);
+  std::vector<int> labels(1000, 0);
+  for (size_t i = 0; i < 500; ++i) labels[i] = 1;
+  const double ece =
+      eval::ExpectedCalibrationError(probs, labels).ValueOrDie();
+  EXPECT_NEAR(ece, 0.45, 0.01);
+}
+
+TEST(ReliabilityCurveTest, BinBookkeeping) {
+  const std::vector<double> probs = {0.05, 0.15, 0.95, 1.0};
+  const std::vector<int> labels = {0, 1, 1, 1};
+  auto bins = eval::ReliabilityCurve(probs, labels, 10).ValueOrDie();
+  ASSERT_EQ(bins.size(), 10u);
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_EQ(bins[1].count, 1u);
+  EXPECT_EQ(bins[9].count, 2u);  // 0.95 and the boundary 1.0.
+  EXPECT_DOUBLE_EQ(bins[9].empirical_rate, 1.0);
+  EXPECT_EQ(bins[5].count, 0u);
+}
+
+TEST(ReliabilityCurveTest, RejectsBadInputs) {
+  EXPECT_FALSE(eval::ReliabilityCurve({1.5}, {1}).ok());
+  EXPECT_FALSE(eval::ReliabilityCurve({0.5}, {2}).ok());
+  EXPECT_FALSE(eval::ReliabilityCurve({}, {}).ok());
+  EXPECT_FALSE(eval::ReliabilityCurve({0.5}, {1}, 0).ok());
+}
+
+TEST(BrierScoreTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(eval::BrierScore({1.0, 0.0}, {1, 0}).ValueOrDie(), 0.0);
+  EXPECT_DOUBLE_EQ(eval::BrierScore({0.0, 1.0}, {1, 0}).ValueOrDie(), 1.0);
+  EXPECT_DOUBLE_EQ(eval::BrierScore({0.5, 0.5}, {1, 0}).ValueOrDie(), 0.25);
+}
+
+class EnsembleTest : public ::testing::Test {
+ protected:
+  static core::EnsembleConfig FastConfig() {
+    core::EnsembleConfig config;
+    config.base.seed = 31;
+    config.base.selection.k = 2;
+    config.base.selection.autoencoder.epochs = 10;
+    config.base.epochs = 12;
+    config.size = 3;
+    return config;
+  }
+};
+
+TEST_F(EnsembleTest, MakeValidates) {
+  core::EnsembleConfig config = FastConfig();
+  config.size = 0;
+  EXPECT_FALSE(core::TargAdEnsemble::Make(config).ok());
+  config = FastConfig();
+  config.base.epochs = 0;
+  EXPECT_FALSE(core::TargAdEnsemble::Make(config).ok());
+}
+
+TEST_F(EnsembleTest, FitsAndScores) {
+  const data::DatasetBundle bundle = targad::testing::TinyBundle(81);
+  auto ensemble = core::TargAdEnsemble::Make(FastConfig()).ValueOrDie();
+  TARGAD_CHECK_OK(ensemble.Fit(bundle.train, &bundle.validation));
+  EXPECT_EQ(ensemble.size(), 3u);
+  const auto scores = ensemble.Score(bundle.test.x);
+  ASSERT_EQ(scores.size(), bundle.test.size());
+  const auto labels = bundle.test.BinaryTargetLabels();
+  EXPECT_GT(eval::Auprc(scores, labels).ValueOrDie(), 0.4);
+  // Logit averaging produces the right width.
+  EXPECT_EQ(ensemble.Logits(bundle.test.x).cols(), 4u);  // m=2 + k=2.
+}
+
+TEST_F(EnsembleTest, MeanOfMemberScores) {
+  const data::DatasetBundle bundle = targad::testing::TinyBundle(82);
+  core::EnsembleConfig config = FastConfig();
+  config.size = 2;
+  config.parallel = false;
+  auto ensemble = core::TargAdEnsemble::Make(config).ValueOrDie();
+  TARGAD_CHECK_OK(ensemble.Fit(bundle.train));
+  const auto combined = ensemble.Score(bundle.test.x);
+  const auto s0 = ensemble.member(0).Score(bundle.test.x);
+  const auto s1 = ensemble.member(1).Score(bundle.test.x);
+  for (size_t i = 0; i < combined.size(); ++i) {
+    EXPECT_NEAR(combined[i], 0.5 * (s0[i] + s1[i]), 1e-12);
+  }
+}
+
+TEST_F(EnsembleTest, ParallelMatchesSequential) {
+  const data::DatasetBundle bundle = targad::testing::TinyBundle(83);
+  core::EnsembleConfig config = FastConfig();
+  config.parallel = true;
+  auto par = core::TargAdEnsemble::Make(config).ValueOrDie();
+  TARGAD_CHECK_OK(par.Fit(bundle.train));
+  config.parallel = false;
+  // Sequential fit must disable nested AE parallelism the same way for
+  // determinism parity.
+  config.base.selection.parallel = false;
+  auto seq = core::TargAdEnsemble::Make(config).ValueOrDie();
+  TARGAD_CHECK_OK(seq.Fit(bundle.train));
+  const auto a = par.Score(bundle.test.x);
+  const auto b = seq.Score(bundle.test.x);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace targad

@@ -1,0 +1,163 @@
+#include "core/classifier.h"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/pseudo_labels.h"
+#include "nn/losses.h"
+#include "test_util.h"
+
+namespace targad {
+namespace core {
+namespace {
+
+// Synthetic three-role training data in 6 dims: two target classes around
+// distinct corners, normals in two clusters, non-targets far away.
+struct RoleData {
+  nn::Matrix labeled_x;
+  std::vector<int> labeled_class;
+  nn::Matrix normal_x;
+  std::vector<int> normal_cluster;
+  nn::Matrix anomaly_x;
+  std::vector<double> anomaly_weights;
+};
+
+RoleData MakeRoleData(uint64_t seed, size_t per_group = 60) {
+  Rng rng(seed);
+  RoleData d;
+  auto fill = [&](nn::Matrix* m, size_t rows, const std::vector<double>& center) {
+    *m = nn::Matrix(rows, 6);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < 6; ++j) {
+        m->At(i, j) = center[j] + rng.Normal(0.0, 0.08);
+      }
+    }
+  };
+  nn::Matrix t0, t1, n0, n1, o;
+  fill(&t0, per_group / 2, {0.9, 0.1, 0.1, 0.1, 0.1, 0.1});
+  fill(&t1, per_group / 2, {0.1, 0.9, 0.1, 0.1, 0.1, 0.1});
+  fill(&n0, per_group, {0.3, 0.3, 0.7, 0.3, 0.3, 0.3});
+  fill(&n1, per_group, {0.3, 0.3, 0.3, 0.7, 0.3, 0.3});
+  fill(&o, per_group, {0.9, 0.9, 0.9, 0.9, 0.9, 0.9});
+  d.labeled_x = t0;
+  d.labeled_x.AppendRows(t1);
+  d.labeled_class.assign(per_group / 2, 0);
+  d.labeled_class.insert(d.labeled_class.end(), per_group / 2, 1);
+  d.normal_x = n0;
+  d.normal_x.AppendRows(n1);
+  d.normal_cluster.assign(per_group, 0);
+  d.normal_cluster.insert(d.normal_cluster.end(), per_group, 1);
+  d.anomaly_x = o;
+  d.anomaly_weights.assign(per_group, 1.0);
+  return d;
+}
+
+ClassifierConfig FastConfig() {
+  ClassifierConfig config;
+  config.hidden = {16};
+  config.learning_rate = 3e-3;
+  config.seed = 3;
+  return config;
+}
+
+TEST(ClassifierTest, MakeValidatesInputs) {
+  EXPECT_FALSE(TargAdClassifier::Make(FastConfig(), 0, 2, 2).ok());
+  EXPECT_FALSE(TargAdClassifier::Make(FastConfig(), 6, 0, 2).ok());
+  EXPECT_FALSE(TargAdClassifier::Make(FastConfig(), 6, 2, 0).ok());
+  ClassifierConfig bad = FastConfig();
+  bad.lambda1 = -0.1;
+  EXPECT_FALSE(TargAdClassifier::Make(bad, 6, 2, 2).ok());
+  bad = FastConfig();
+  bad.batch_size = 0;
+  EXPECT_FALSE(TargAdClassifier::Make(bad, 6, 2, 2).ok());
+}
+
+TEST(ClassifierTest, LogitWidthIsMPlusK) {
+  auto clf = TargAdClassifier::Make(FastConfig(), 6, 2, 3).ValueOrDie();
+  nn::Matrix x(4, 6, 0.5);
+  EXPECT_EQ(clf.Logits(x).cols(), 5u);
+}
+
+TEST(ClassifierTest, TrainingReducesLoss) {
+  RoleData d = MakeRoleData(1);
+  auto clf = TargAdClassifier::Make(FastConfig(), 6, 2, 2).ValueOrDie();
+  Rng rng(2);
+  EpochLoss first = clf.TrainEpoch(d.labeled_x, d.labeled_class, d.normal_x,
+                                   d.normal_cluster, d.anomaly_x,
+                                   d.anomaly_weights, &rng);
+  EpochLoss last = first;
+  for (int epoch = 0; epoch < 25; ++epoch) {
+    last = clf.TrainEpoch(d.labeled_x, d.labeled_class, d.normal_x,
+                          d.normal_cluster, d.anomaly_x, d.anomaly_weights, &rng);
+  }
+  EXPECT_LT(last.total, first.total);
+  EXPECT_LT(last.ce, first.ce);
+}
+
+TEST(ClassifierTest, LearnsRoleSeparation) {
+  RoleData d = MakeRoleData(3);
+  auto clf = TargAdClassifier::Make(FastConfig(), 6, 2, 2).ValueOrDie();
+  Rng rng(4);
+  for (int epoch = 0; epoch < 120; ++epoch) {
+    clf.TrainEpoch(d.labeled_x, d.labeled_class, d.normal_x, d.normal_cluster,
+                   d.anomaly_x, d.anomaly_weights, &rng);
+  }
+  // Target anomalies: their class logit dominates.
+  nn::Matrix pt = clf.PredictProba(d.labeled_x);
+  size_t correct = 0;
+  for (size_t i = 0; i < pt.rows(); ++i) {
+    const auto cls = static_cast<size_t>(d.labeled_class[i]);
+    if (pt.At(i, cls) > 0.5) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(pt.rows()), 0.9);
+
+  // Normal candidates: mass concentrates on the last k dims.
+  nn::Matrix pn = clf.PredictProba(d.normal_x);
+  double normal_mass = 0.0;
+  for (size_t i = 0; i < pn.rows(); ++i) {
+    normal_mass += pn.At(i, 2) + pn.At(i, 3);
+  }
+  EXPECT_GT(normal_mass / static_cast<double>(pn.rows()), 0.8);
+
+  // Non-target candidates: roughly uniform over the FIRST m dims, near-zero
+  // on the normal dims (the y^o calibration).
+  nn::Matrix po = clf.PredictProba(d.anomaly_x);
+  double target_mass = 0.0, balance = 0.0;
+  for (size_t i = 0; i < po.rows(); ++i) {
+    target_mass += po.At(i, 0) + po.At(i, 1);
+    balance += std::fabs(po.At(i, 0) - po.At(i, 1));
+  }
+  EXPECT_GT(target_mass / static_cast<double>(po.rows()), 0.7);
+  EXPECT_LT(balance / static_cast<double>(po.rows()), 0.35);
+}
+
+TEST(ClassifierTest, AblationFlagsZeroOutTerms) {
+  RoleData d = MakeRoleData(5);
+  ClassifierConfig config = FastConfig();
+  config.use_oe = false;
+  config.use_re = false;
+  auto clf = TargAdClassifier::Make(config, 6, 2, 2).ValueOrDie();
+  Rng rng(6);
+  EpochLoss loss = clf.TrainEpoch(d.labeled_x, d.labeled_class, d.normal_x,
+                                  d.normal_cluster, d.anomaly_x,
+                                  d.anomaly_weights, &rng);
+  EXPECT_DOUBLE_EQ(loss.oe, 0.0);
+  EXPECT_DOUBLE_EQ(loss.re, 0.0);
+  EXPECT_GT(loss.ce, 0.0);
+}
+
+TEST(ClassifierTest, ZeroWeightsSilenceOeGradient) {
+  RoleData d = MakeRoleData(7);
+  // With all-zero candidate weights, the OE term contributes no loss.
+  d.anomaly_weights.assign(d.anomaly_weights.size(), 0.0);
+  auto clf = TargAdClassifier::Make(FastConfig(), 6, 2, 2).ValueOrDie();
+  Rng rng(8);
+  EpochLoss loss = clf.TrainEpoch(d.labeled_x, d.labeled_class, d.normal_x,
+                                  d.normal_cluster, d.anomaly_x,
+                                  d.anomaly_weights, &rng);
+  EXPECT_DOUBLE_EQ(loss.oe, 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace targad

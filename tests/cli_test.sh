@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the targad CLI: generate -> train -> score ->
+# evaluate, plus failure-path checks. Usage: cli_test.sh <path-to-targad>.
+set -u
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+fail() { echo "FAIL: $1"; exit 1; }
+
+# Happy path.
+"$CLI" generate --profile kdd --scale 0.03 --seed 3 --out data \
+  || fail "generate"
+[ -f data_train.csv ] || fail "train csv missing"
+[ -f data_test.csv ] || fail "test csv missing"
+
+"$CLI" train --train data_train.csv --model m.model --epochs 30 --seed 3 \
+  || fail "train"
+[ -s m.model ] || fail "model file empty"
+
+"$CLI" score --model m.model --in data_test.csv --out scores.csv \
+  || fail "score"
+rows=$(($(wc -l < scores.csv) - 1))
+expected=$(($(wc -l < data_test.csv) - 1))
+[ "$rows" -eq "$expected" ] || fail "score row count $rows != $expected"
+
+out=$("$CLI" evaluate --scores scores.csv --truth data_test.csv) \
+  || fail "evaluate"
+echo "$out"
+case "$out" in
+  AUPRC=*AUROC=*) ;;
+  *) fail "unexpected evaluate output" ;;
+esac
+
+# Failure paths must exit non-zero with a clean message.
+"$CLI" bogus-subcommand >/dev/null 2>&1 && fail "bogus subcommand accepted"
+"$CLI" train --train missing.csv --model x >/dev/null 2>&1 \
+  && fail "missing csv accepted"
+"$CLI" score --model missing.model --in data_test.csv --out s.csv \
+  >/dev/null 2>&1 && fail "missing model accepted"
+"$CLI" generate --profile nonsense >/dev/null 2>&1 \
+  && fail "bad profile accepted"
+
+echo "cli_test PASSED"
+exit 0

@@ -1,0 +1,77 @@
+#include "eval/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace targad {
+namespace eval {
+namespace {
+
+// Truth:     0 0 0 1 1 2
+// Predicted: 0 0 1 1 1 0
+ConfusionMatrix SmallMatrix() {
+  return ConfusionMatrix::Make({0, 0, 0, 1, 1, 2}, {0, 0, 1, 1, 1, 0}, 3)
+      .ValueOrDie();
+}
+
+TEST(ConfusionTest, CountsAreCorrect) {
+  const ConfusionMatrix cm = SmallMatrix();
+  EXPECT_EQ(cm.counts()[0][0], 2u);
+  EXPECT_EQ(cm.counts()[0][1], 1u);
+  EXPECT_EQ(cm.counts()[1][1], 2u);
+  EXPECT_EQ(cm.counts()[2][0], 1u);
+  EXPECT_EQ(cm.total(), 6u);
+}
+
+TEST(ConfusionTest, PerClassReports) {
+  const ConfusionMatrix cm = SmallMatrix();
+  const ClassReport c0 = cm.Report(0);
+  EXPECT_DOUBLE_EQ(c0.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c0.recall, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c0.f1, 2.0 / 3.0);
+  EXPECT_EQ(c0.support, 3u);
+
+  const ClassReport c1 = cm.Report(1);
+  EXPECT_DOUBLE_EQ(c1.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c1.recall, 1.0);
+
+  const ClassReport c2 = cm.Report(2);
+  EXPECT_DOUBLE_EQ(c2.precision, 0.0);  // Never predicted.
+  EXPECT_DOUBLE_EQ(c2.recall, 0.0);
+  EXPECT_DOUBLE_EQ(c2.f1, 0.0);
+}
+
+TEST(ConfusionTest, MacroAverageIsUnweightedMean) {
+  const ConfusionMatrix cm = SmallMatrix();
+  const ClassReport macro = cm.MacroAverage();
+  EXPECT_NEAR(macro.precision, (2.0 / 3.0 + 2.0 / 3.0 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(ConfusionTest, WeightedAverageUsesSupport) {
+  const ConfusionMatrix cm = SmallMatrix();
+  const ClassReport weighted = cm.WeightedAverage();
+  const double expect_recall =
+      (3.0 * (2.0 / 3.0) + 2.0 * 1.0 + 1.0 * 0.0) / 6.0;
+  EXPECT_NEAR(weighted.recall, expect_recall, 1e-12);
+}
+
+TEST(ConfusionTest, Accuracy) {
+  EXPECT_NEAR(SmallMatrix().Accuracy(), 4.0 / 6.0, 1e-12);
+}
+
+TEST(ConfusionTest, PerfectClassifier) {
+  auto cm = ConfusionMatrix::Make({0, 1, 2}, {0, 1, 2}, 3).ValueOrDie();
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.MacroAverage().f1, 1.0);
+  EXPECT_DOUBLE_EQ(cm.WeightedAverage().f1, 1.0);
+}
+
+TEST(ConfusionTest, RejectsBadInputs) {
+  EXPECT_FALSE(ConfusionMatrix::Make({0}, {0, 1}, 2).ok());
+  EXPECT_FALSE(ConfusionMatrix::Make({0, 3}, {0, 1}, 2).ok());
+  EXPECT_FALSE(ConfusionMatrix::Make({0, -1}, {0, 1}, 2).ok());
+  EXPECT_FALSE(ConfusionMatrix::Make({0}, {0}, 0).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace targad

@@ -1,0 +1,99 @@
+#include "eval/curves.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace targad {
+namespace eval {
+namespace {
+
+TEST(RocCurveTest, StartsAtOriginEndsAtUnity) {
+  auto curve = RocCurve({0.9, 0.8, 0.3, 0.1}, {1, 0, 1, 0}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+}
+
+TEST(RocCurveTest, MonotoneNonDecreasing) {
+  auto curve =
+      RocCurve({0.9, 0.7, 0.7, 0.5, 0.2, 0.1}, {1, 0, 1, 0, 1, 0}).ValueOrDie();
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+  }
+}
+
+TEST(RocCurveTest, TrapezoidalAreaMatchesAuroc) {
+  const std::vector<double> scores = {0.95, 0.85, 0.7, 0.6, 0.5, 0.3, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 0, 1, 0, 0, 1, 0};
+  auto curve = RocCurve(scores, labels).ValueOrDie();
+  double area = 0.0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    area += (curve[i].fpr - curve[i - 1].fpr) * 0.5 *
+            (curve[i].tpr + curve[i - 1].tpr);
+  }
+  EXPECT_NEAR(area, Auroc(scores, labels).ValueOrDie(), 1e-12);
+}
+
+TEST(RocCurveTest, CollapsesTies) {
+  auto curve = RocCurve({0.5, 0.5, 0.5}, {1, 0, 1}).ValueOrDie();
+  // Origin plus one collapsed threshold point.
+  EXPECT_EQ(curve.size(), 2u);
+}
+
+TEST(PrCurveTest, StepAreaMatchesAuprc) {
+  const std::vector<double> scores = {0.95, 0.85, 0.7, 0.6, 0.5, 0.3, 0.2, 0.1};
+  const std::vector<int> labels = {1, 0, 1, 1, 0, 1, 0, 0};
+  auto curve = PrCurve(scores, labels).ValueOrDie();
+  double area = 0.0;
+  double prev_recall = 0.0;
+  for (const PrPoint& p : curve) {
+    area += (p.recall - prev_recall) * p.precision;
+    prev_recall = p.recall;
+  }
+  EXPECT_NEAR(area, Auprc(scores, labels).ValueOrDie(), 1e-12);
+}
+
+TEST(PrCurveTest, EndsAtFullRecall) {
+  auto curve = PrCurve({0.9, 0.5, 0.1}, {0, 1, 1}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+}
+
+TEST(PrCurveTest, PerfectSeparationHasUnitPrecisionUntilFullRecall) {
+  auto curve = PrCurve({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}).ValueOrDie();
+  for (const PrPoint& p : curve) {
+    if (p.recall <= 1.0 && p.threshold > 0.5) {
+      EXPECT_DOUBLE_EQ(p.precision, 1.0);
+    }
+  }
+}
+
+TEST(BestF1ThresholdTest, PicksSeparatingThreshold) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const double threshold = BestF1Threshold(scores, labels).ValueOrDie();
+  // Predicting positive for score >= threshold must yield F1 = 1.
+  int tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool pred = scores[i] >= threshold;
+    if (pred && labels[i] == 1) ++tp;
+    if (pred && labels[i] == 0) ++fp;
+    if (!pred && labels[i] == 1) ++fn;
+  }
+  EXPECT_EQ(tp, 2);
+  EXPECT_EQ(fp, 0);
+  EXPECT_EQ(fn, 0);
+}
+
+TEST(CurvesTest, DegenerateInputsRejected) {
+  EXPECT_FALSE(RocCurve({0.5}, {1}).ok());          // Single class.
+  EXPECT_FALSE(PrCurve({0.5, 0.4}, {0, 0}).ok());   // No positives.
+  EXPECT_FALSE(RocCurve({}, {}).ok());
+  EXPECT_FALSE(RocCurve({0.5}, {1, 0}).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace targad

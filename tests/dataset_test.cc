@@ -1,0 +1,102 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace targad {
+namespace data {
+namespace {
+
+TrainingSet ValidTrainingSet() {
+  TrainingSet train;
+  train.num_target_classes = 2;
+  train.labeled_x = nn::Matrix(4, 3, 0.5);
+  train.labeled_class = {0, 1, 0, 1};
+  train.unlabeled_x = nn::Matrix(10, 3, 0.5);
+  return train;
+}
+
+TEST(TrainingSetTest, ValidSetPasses) {
+  EXPECT_TRUE(ValidTrainingSet().Validate().ok());
+}
+
+TEST(TrainingSetTest, RejectsBadClassRange) {
+  TrainingSet train = ValidTrainingSet();
+  train.labeled_class[2] = 2;  // m = 2, so valid classes are {0, 1}.
+  EXPECT_FALSE(train.Validate().ok());
+  train.labeled_class[2] = -1;
+  EXPECT_FALSE(train.Validate().ok());
+}
+
+TEST(TrainingSetTest, RejectsEmptySets) {
+  TrainingSet train = ValidTrainingSet();
+  train.labeled_x = nn::Matrix(0, 3);
+  train.labeled_class.clear();
+  EXPECT_FALSE(train.Validate().ok());
+
+  train = ValidTrainingSet();
+  train.unlabeled_x = nn::Matrix(0, 3);
+  EXPECT_FALSE(train.Validate().ok());
+}
+
+TEST(TrainingSetTest, RejectsDimMismatch) {
+  TrainingSet train = ValidTrainingSet();
+  train.unlabeled_x = nn::Matrix(10, 4, 0.5);
+  EXPECT_FALSE(train.Validate().ok());
+}
+
+TEST(TrainingSetTest, RejectsTruthSizeMismatch) {
+  TrainingSet train = ValidTrainingSet();
+  train.unlabeled_truth.assign(3, InstanceKind::kNormal);
+  EXPECT_FALSE(train.Validate().ok());
+  train.unlabeled_truth.assign(10, InstanceKind::kNormal);
+  EXPECT_TRUE(train.Validate().ok());
+}
+
+TEST(TrainingSetTest, RejectsNonPositiveM) {
+  TrainingSet train = ValidTrainingSet();
+  train.num_target_classes = 0;
+  EXPECT_FALSE(train.Validate().ok());
+}
+
+EvalSet SmallEvalSet() {
+  EvalSet set;
+  set.x = nn::Matrix(4, 2, 0.1);
+  set.kind = {InstanceKind::kNormal, InstanceKind::kTarget,
+              InstanceKind::kNonTarget, InstanceKind::kTarget};
+  set.target_class = {-1, 0, -1, 1};
+  set.nontarget_class = {-1, -1, 0, -1};
+  return set;
+}
+
+TEST(EvalSetTest, BinaryTargetLabels) {
+  EXPECT_EQ(SmallEvalSet().BinaryTargetLabels(), (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(EvalSetTest, CountsByKind) {
+  EXPECT_EQ(SmallEvalSet().CountsByKind(), (std::vector<size_t>{1, 2, 1}));
+}
+
+TEST(EvalSetTest, ValidationCatchesSizeMismatch) {
+  EvalSet set = SmallEvalSet();
+  EXPECT_TRUE(set.Validate().ok());
+  set.kind.pop_back();
+  EXPECT_FALSE(set.Validate().ok());
+}
+
+TEST(InstanceKindTest, Names) {
+  EXPECT_STREQ(InstanceKindName(InstanceKind::kNormal), "normal");
+  EXPECT_STREQ(InstanceKindName(InstanceKind::kTarget), "target");
+  EXPECT_STREQ(InstanceKindName(InstanceKind::kNonTarget), "non-target");
+}
+
+TEST(DatasetBundleTest, ValidatesDimsAcrossSplits) {
+  DatasetBundle bundle;
+  bundle.train = ValidTrainingSet();
+  bundle.validation = SmallEvalSet();  // 2 dims vs train's 3.
+  bundle.test = SmallEvalSet();
+  EXPECT_FALSE(bundle.Validate().ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace targad

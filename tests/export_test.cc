@@ -1,0 +1,98 @@
+#include "data/export.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "data/csv.h"
+#include "test_util.h"
+
+namespace targad {
+namespace data {
+namespace {
+
+std::string Prefix() {
+  return (std::filesystem::temp_directory_path() / "targad_export").string();
+}
+
+void Cleanup(const std::string& prefix) {
+  for (const char* suffix : {"_train.csv", "_validation.csv", "_test.csv"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(ExportTest, WritesThreeConsistentFiles) {
+  const DatasetBundle bundle = targad::testing::TinyBundle(61);
+  const std::string prefix = Prefix();
+  ASSERT_TRUE(ExportBundleCsv(bundle, prefix).ok());
+
+  auto train = ReadCsv(prefix + "_train.csv").ValueOrDie();
+  EXPECT_EQ(train.num_rows(),
+            bundle.train.num_labeled() + bundle.train.num_unlabeled());
+  EXPECT_EQ(train.num_cols(), bundle.dim() + 1);
+  EXPECT_EQ(train.column_names.back(), "label");
+
+  auto test = ReadCsv(prefix + "_test.csv").ValueOrDie();
+  EXPECT_EQ(test.num_rows(), bundle.test.size());
+
+  // Label composition of the test file matches the bundle's ground truth.
+  size_t normals = 0, targets = 0, nontargets = 0;
+  for (const auto& row : test.rows) {
+    const std::string& label = row.back();
+    if (label == "normal") {
+      ++normals;
+    } else if (label.rfind("target_", 0) == 0) {
+      ++targets;
+    } else if (label.rfind("nontarget_", 0) == 0) {
+      ++nontargets;
+    } else {
+      FAIL() << "unexpected label " << label;
+    }
+  }
+  const auto counts = bundle.test.CountsByKind();
+  EXPECT_EQ(normals, counts[0]);
+  EXPECT_EQ(targets, counts[1]);
+  EXPECT_EQ(nontargets, counts[2]);
+  Cleanup(prefix);
+}
+
+TEST(ExportTest, TrainLabelsCoverAllTargetClasses) {
+  const DatasetBundle bundle = targad::testing::TinyBundle(62);
+  const std::string prefix = Prefix() + "_b";
+  ASSERT_TRUE(ExportBundleCsv(bundle, prefix).ok());
+  auto train = ReadCsv(prefix + "_train.csv").ValueOrDie();
+  std::set<std::string> labels;
+  for (const auto& row : train.rows) {
+    if (!row.back().empty()) labels.insert(row.back());
+  }
+  EXPECT_EQ(labels, (std::set<std::string>{"target_0", "target_1"}));
+  Cleanup(prefix + "_b");
+}
+
+TEST(ExportTest, ExportedTrainFileFeedsThePipeline) {
+  // The export/pipeline pair must round-trip: generate -> export -> train a
+  // pipeline from the CSV -> score the exported test file.
+  const DatasetBundle bundle = targad::testing::TinyBundle(63);
+  const std::string prefix = Prefix() + "_c";
+  ExportOptions options;
+  ASSERT_TRUE(ExportBundleCsv(bundle, prefix, options).ok());
+
+  core::PipelineConfig config;
+  config.model.seed = 3;
+  config.model.selection.k = 2;
+  config.model.selection.autoencoder.epochs = 10;
+  config.model.epochs = 10;
+  auto pipeline =
+      core::TargAdPipeline::TrainFromCsv(prefix + "_train.csv", config)
+          .ValueOrDie();
+  EXPECT_EQ(pipeline.class_names().size(), 2u);
+  const auto scores = pipeline.ScoreCsv(prefix + "_test.csv").ValueOrDie();
+  EXPECT_EQ(scores.size(), bundle.test.size());
+  Cleanup(prefix + "_c");
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace targad

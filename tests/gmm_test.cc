@@ -1,0 +1,135 @@
+#include "cluster/gmm.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/candidate_selection.h"
+#include "test_util.h"
+
+namespace targad {
+namespace cluster {
+namespace {
+
+// Two blobs with very different scales — the case hard k-means models
+// poorly and a mixture handles naturally.
+nn::Matrix TwoScaleBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  nn::Matrix x(2 * per_blob, 2);
+  for (size_t i = 0; i < per_blob; ++i) {
+    x.At(i, 0) = rng.Normal(0.0, 0.1);   // Tight blob at the origin.
+    x.At(i, 1) = rng.Normal(0.0, 0.1);
+    x.At(per_blob + i, 0) = rng.Normal(6.0, 1.5);  // Wide blob.
+    x.At(per_blob + i, 1) = rng.Normal(0.0, 1.5);
+  }
+  return x;
+}
+
+TEST(GmmTest, RecoversTwoScaleBlobs) {
+  nn::Matrix x = TwoScaleBlobs(150, 1);
+  GmmConfig config;
+  config.k = 2;
+  config.seed = 2;
+  auto model = FitGmm(x, config).ValueOrDie();
+  // Each blob must be internally consistent.
+  std::set<int> blob1, blob2;
+  for (size_t i = 0; i < 150; ++i) blob1.insert(model.assignments[i]);
+  for (size_t i = 150; i < 300; ++i) blob2.insert(model.assignments[i]);
+  EXPECT_EQ(blob1.size(), 1u);
+  EXPECT_EQ(blob2.size(), 1u);
+  EXPECT_NE(*blob1.begin(), *blob2.begin());
+  // The learned variances must reflect the scale difference.
+  const auto tight = static_cast<size_t>(*blob1.begin());
+  const auto wide = static_cast<size_t>(*blob2.begin());
+  EXPECT_LT(model.variances.At(tight, 0) * 10.0, model.variances.At(wide, 0));
+}
+
+TEST(GmmTest, WeightsSumToOne) {
+  nn::Matrix x = TwoScaleBlobs(100, 3);
+  GmmConfig config;
+  config.k = 3;
+  auto model = FitGmm(x, config).ValueOrDie();
+  double total = 0.0;
+  for (double w : model.weights) {
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GmmTest, ResponsibilitiesSumToOnePerRow) {
+  nn::Matrix x = TwoScaleBlobs(80, 4);
+  GmmConfig config;
+  config.k = 2;
+  auto model = FitGmm(x, config).ValueOrDie();
+  nn::Matrix resp = GmmResponsibilities(x, model);
+  ASSERT_EQ(resp.cols(), 2u);
+  for (size_t i = 0; i < resp.rows(); ++i) {
+    EXPECT_NEAR(resp.At(i, 0) + resp.At(i, 1), 1.0, 1e-9);
+  }
+}
+
+TEST(GmmTest, LogLikelihoodImprovesOverKMeansInit) {
+  nn::Matrix x = TwoScaleBlobs(120, 5);
+  GmmConfig one_iter;
+  one_iter.k = 2;
+  one_iter.max_iterations = 1;
+  GmmConfig many_iters = one_iter;
+  many_iters.max_iterations = 50;
+  const double ll_start = FitGmm(x, one_iter).ValueOrDie().log_likelihood;
+  const double ll_end = FitGmm(x, many_iters).ValueOrDie().log_likelihood;
+  EXPECT_GE(ll_end, ll_start - 1e-9);
+}
+
+TEST(GmmTest, RejectsBadInputs) {
+  nn::Matrix x(3, 2, 0.5);
+  GmmConfig config;
+  config.k = 5;
+  EXPECT_FALSE(FitGmm(x, config).ok());
+  config.k = 0;
+  EXPECT_FALSE(FitGmm(x, config).ok());
+  config.k = 2;
+  EXPECT_FALSE(FitGmm(nn::Matrix(3, 0), config).ok());
+}
+
+TEST(GmmTest, DeterministicForSeed) {
+  nn::Matrix x = TwoScaleBlobs(60, 6);
+  GmmConfig config;
+  config.k = 2;
+  config.seed = 9;
+  auto a = FitGmm(x, config).ValueOrDie();
+  auto b = FitGmm(x, config).ValueOrDie();
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.log_likelihood, b.log_likelihood);
+}
+
+TEST(GmmCandidateSelectionTest, GmmClustererWorksEndToEnd) {
+  const data::DatasetBundle bundle = targad::testing::TinyBundle(91);
+  core::CandidateSelectionConfig config;
+  config.k = 2;
+  config.clusterer = core::Clusterer::kGmm;
+  config.autoencoder.epochs = 10;
+  config.seed = 7;
+  auto selection = core::SelectCandidates(bundle.train.unlabeled_x,
+                                          bundle.train.labeled_x, config)
+                       .ValueOrDie();
+  EXPECT_EQ(selection.k, 2);
+  EXPECT_EQ(selection.anomaly_candidates.size() +
+                selection.normal_candidates.size(),
+            bundle.train.num_unlabeled());
+  // Enrichment must still hold under the GMM grouping.
+  size_t anomalies = 0;
+  for (size_t i : selection.anomaly_candidates) {
+    if (bundle.train.unlabeled_truth[i] != data::InstanceKind::kNormal) {
+      ++anomalies;
+    }
+  }
+  EXPECT_GT(static_cast<double>(anomalies) /
+                static_cast<double>(selection.anomaly_candidates.size()),
+            0.3);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace targad

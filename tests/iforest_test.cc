@@ -1,0 +1,108 @@
+#include "baselines/iforest.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace targad {
+namespace baselines {
+namespace {
+
+TEST(AveragePathLengthTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(AveragePathLength(0), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePathLength(1), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePathLength(2), 1.0);
+  // c(n) grows logarithmically and monotonically.
+  EXPECT_GT(AveragePathLength(256), AveragePathLength(64));
+  EXPECT_NEAR(AveragePathLength(256),
+              2.0 * (std::log(255.0) + 0.5772156649) - 2.0 * 255.0 / 256.0,
+              1e-6);
+}
+
+TEST(IForestTest, MakeValidatesConfig) {
+  IForestConfig config;
+  config.num_trees = 0;
+  EXPECT_FALSE(IsolationForest::Make(config).ok());
+  config = IForestConfig{};
+  config.subsample_size = 1;
+  EXPECT_FALSE(IsolationForest::Make(config).ok());
+}
+
+TEST(IForestTest, ScoresInUnitInterval) {
+  Rng rng(1);
+  nn::Matrix x(300, 4);
+  for (double& v : x.data()) v = rng.Uniform();
+  auto forest = IsolationForest::Make({}).ValueOrDie();
+  ASSERT_TRUE(forest->FitMatrix(x).ok());
+  for (double s : forest->Score(x)) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IForestTest, IsolatesObviousOutliers) {
+  Rng rng(2);
+  nn::Matrix x(512, 3);
+  std::vector<int> labels(512, 0);
+  for (size_t i = 0; i < 512; ++i) {
+    const bool outlier = i < 20;
+    labels[i] = outlier ? 1 : 0;
+    for (size_t j = 0; j < 3; ++j) {
+      x.At(i, j) = outlier ? rng.Uniform(0.85, 1.0) : rng.Normal(0.3, 0.05);
+    }
+  }
+  IForestConfig config;
+  config.seed = 3;
+  auto forest = IsolationForest::Make(config).ValueOrDie();
+  ASSERT_TRUE(forest->FitMatrix(x).ok());
+  const auto scores = forest->Score(x);
+  EXPECT_GT(eval::Auroc(scores, labels).ValueOrDie(), 0.97);
+}
+
+TEST(IForestTest, DeterministicForSeed) {
+  Rng rng(4);
+  nn::Matrix x(128, 2);
+  for (double& v : x.data()) v = rng.Uniform();
+  IForestConfig config;
+  config.seed = 5;
+  auto f1 = IsolationForest::Make(config).ValueOrDie();
+  auto f2 = IsolationForest::Make(config).ValueOrDie();
+  ASSERT_TRUE(f1->FitMatrix(x).ok());
+  ASSERT_TRUE(f2->FitMatrix(x).ok());
+  const auto s1 = f1->Score(x);
+  const auto s2 = f2->Score(x);
+  for (size_t i = 0; i < s1.size(); ++i) EXPECT_DOUBLE_EQ(s1[i], s2[i]);
+}
+
+TEST(IForestTest, ConstantDataDoesNotCrash) {
+  nn::Matrix x(64, 3, 0.5);
+  auto forest = IsolationForest::Make({}).ValueOrDie();
+  ASSERT_TRUE(forest->FitMatrix(x).ok());
+  const auto scores = forest->Score(x);
+  // All identical points are equally (un)isolatable.
+  for (double s : scores) EXPECT_NEAR(s, scores[0], 1e-12);
+}
+
+TEST(IForestTest, RejectsDegenerateFit) {
+  auto forest = IsolationForest::Make({}).ValueOrDie();
+  EXPECT_FALSE(forest->FitMatrix(nn::Matrix(1, 2, 0.0)).ok());
+}
+
+TEST(IForestTest, SmallSubsampleStillWorks) {
+  Rng rng(6);
+  nn::Matrix x(100, 2);
+  for (double& v : x.data()) v = rng.Uniform();
+  IForestConfig config;
+  config.subsample_size = 8;
+  config.num_trees = 25;
+  auto forest = IsolationForest::Make(config).ValueOrDie();
+  ASSERT_TRUE(forest->FitMatrix(x).ok());
+  EXPECT_EQ(forest->Score(x).size(), 100u);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace targad

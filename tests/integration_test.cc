@@ -1,0 +1,117 @@
+// End-to-end integration tests across the whole stack: dataset profiles ->
+// TargAD -> evaluation, plus the robustness scenarios of Fig. 4.
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "core/targad.h"
+#include "data/profiles.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace targad {
+namespace {
+
+core::TargADConfig FastTargAd(uint64_t seed) {
+  core::TargADConfig config;
+  config.seed = seed;
+  // Paper-default hyperparameters with elbow-selected k over a small range.
+  config.selection.k = 0;
+  config.selection.elbow_k_min = 2;
+  config.selection.elbow_k_max = 5;
+  return config;
+}
+
+TEST(IntegrationTest, TargAdBeatsIForestOnKddLikeProfile) {
+  auto bundle = data::MakeBundle(data::KddLikeProfile(0.03), 1).ValueOrDie();
+  const auto labels = bundle.test.BinaryTargetLabels();
+
+  auto model = core::TargAD::Make(FastTargAd(1)).ValueOrDie();
+  TARGAD_CHECK_OK(model.Fit(bundle.train));
+  const double targad_auprc =
+      eval::Auprc(model.Score(bundle.test.x), labels).ValueOrDie();
+
+  auto iforest = baselines::MakeDetector("iForest", 1).ValueOrDie();
+  TARGAD_CHECK_OK(iforest->Fit(bundle.train));
+  const double iforest_auprc =
+      eval::Auprc(iforest->Score(bundle.test.x), labels).ValueOrDie();
+
+  EXPECT_GT(targad_auprc, iforest_auprc);
+  EXPECT_GT(targad_auprc, 0.5);
+}
+
+TEST(IntegrationTest, RobustToUnseenNonTargetTypes) {
+  // Fig. 4(a): hold non-target classes out of training; they appear only
+  // at test time. TargAD must keep detecting target anomalies.
+  data::DatasetProfile profile = data::UnswLikeProfile(0.03);
+  profile.assembly.train_nontarget_classes = {0};  // 3 of 4 classes unseen.
+  auto bundle = data::MakeBundle(profile, 2).ValueOrDie();
+
+  auto model = core::TargAD::Make(FastTargAd(2)).ValueOrDie();
+  TARGAD_CHECK_OK(model.Fit(bundle.train));
+  const auto labels = bundle.test.BinaryTargetLabels();
+  const double auprc =
+      eval::Auprc(model.Score(bundle.test.x), labels).ValueOrDie();
+  EXPECT_GT(auprc, 0.45);
+}
+
+TEST(IntegrationTest, HandlesSingleTargetClass) {
+  // Fig. 4(b) endpoint: m = 1.
+  data::SyntheticWorldConfig world = targad::testing::TinyWorldConfig(33);
+  world.num_target_classes = 1;
+  world.num_nontarget_classes = 3;
+  auto w = data::SyntheticWorld::Make(world).ValueOrDie();
+  Rng rng(33);
+  data::LabeledPool pool = w.GeneratePool(1200, 250, 100, &rng);
+  data::AssemblyConfig assembly;
+  assembly.num_target_classes = 1;
+  assembly.labeled_per_class = 40;
+  assembly.unlabeled_size = 700;
+  assembly.contamination = 0.05;
+  assembly.val_normal = 150;
+  assembly.val_target = 30;
+  assembly.val_nontarget = 40;
+  assembly.test_normal = 250;
+  assembly.test_target = 50;
+  assembly.test_nontarget = 60;
+  assembly.seed = 33;
+  auto bundle = data::AssembleBundle(pool, assembly).ValueOrDie();
+
+  auto model = core::TargAD::Make(FastTargAd(3)).ValueOrDie();
+  TARGAD_CHECK_OK(model.Fit(bundle.train));
+  const auto labels = bundle.test.BinaryTargetLabels();
+  EXPECT_GT(eval::Auprc(model.Score(bundle.test.x), labels).ValueOrDie(), 0.5);
+}
+
+TEST(IntegrationTest, SurvivesHighContamination) {
+  // Fig. 4(d) upper end: 9% contamination.
+  data::DatasetBundle bundle = targad::testing::TinyBundle(34, 0.09);
+  auto model = core::TargAD::Make(FastTargAd(4)).ValueOrDie();
+  TARGAD_CHECK_OK(model.Fit(bundle.train));
+  const auto labels = bundle.test.BinaryTargetLabels();
+  EXPECT_GT(eval::Auprc(model.Score(bundle.test.x), labels).ValueOrDie(), 0.4);
+}
+
+TEST(IntegrationTest, AlphaAboveContaminationDegradesGracefully) {
+  // Fig. 6's diagonal structure: alpha far above the true contamination
+  // pollutes D_U^A with real normals but must not break training.
+  data::DatasetBundle bundle = targad::testing::TinyBundle(35, 0.03);
+  core::TargADConfig config = FastTargAd(5);
+  config.selection.alpha = 0.20;
+  auto model = core::TargAD::Make(config).ValueOrDie();
+  TARGAD_CHECK_OK(model.Fit(bundle.train));
+  const auto labels = bundle.test.BinaryTargetLabels();
+  EXPECT_GT(eval::Auroc(model.Score(bundle.test.x), labels).ValueOrDie(), 0.7);
+}
+
+TEST(IntegrationTest, ValidationAndTestDimensionsAgreeAcrossProfiles) {
+  for (const auto& profile : data::AllProfiles(0.03)) {
+    auto bundle = data::MakeBundle(profile, 0).ValueOrDie();
+    EXPECT_EQ(bundle.validation.x.cols(), bundle.dim());
+    EXPECT_EQ(bundle.test.x.cols(), bundle.dim());
+    EXPECT_TRUE(bundle.Validate().ok());
+  }
+}
+
+}  // namespace
+}  // namespace targad

@@ -1,0 +1,140 @@
+#include "data/loaders.h"
+
+#include <gtest/gtest.h>
+
+namespace targad {
+namespace data {
+namespace {
+
+// A miniature table in KDDCUP99's raw shape: numeric columns, categorical
+// protocol column, and the trailing attack label (with KDD's trailing dot).
+RawTable KddMiniTable() {
+  RawTable t;
+  t.column_names = {"duration", "protocol", "src_bytes", "label"};
+  t.rows = {
+      {"0", "tcp", "181", "normal."},   {"2", "udp", "239", "normal."},
+      {"0", "tcp", "235", "normal."},   {"0", "icmp", "1032", "smurf."},
+      {"0", "tcp", "0", "neptune."},    {"0", "tcp", "42", "guess_passwd."},
+      {"1", "tcp", "14", "warezclient."}, {"0", "tcp", "8", "portsweep."},
+      {"0", "udp", "10", "satan."},
+  };
+  return t;
+}
+
+TEST(LoadersTest, KddMapGroupsRawAttackNames) {
+  auto pool = LoadLabeledPool(KddMiniTable(), KddCup99LabelMap()).ValueOrDie();
+  ASSERT_EQ(pool.x.rows(), 9u);
+  // 3 normals, smurf/neptune -> DoS (target 1), guess_passwd/warezclient ->
+  // R2L (target 0), portsweep/satan -> probe (non-target 0).
+  EXPECT_EQ(pool.kind[0], InstanceKind::kNormal);
+  EXPECT_EQ(pool.kind[3], InstanceKind::kTarget);
+  EXPECT_EQ(pool.target_class[3], 1);  // DoS.
+  EXPECT_EQ(pool.kind[5], InstanceKind::kTarget);
+  EXPECT_EQ(pool.target_class[5], 0);  // R2L.
+  EXPECT_EQ(pool.kind[7], InstanceKind::kNonTarget);
+  EXPECT_EQ(pool.nontarget_class[7], 0);  // Probe.
+}
+
+TEST(LoadersTest, FeaturesAreOneHotEncodedAndNormalized) {
+  auto pool = LoadLabeledPool(KddMiniTable(), KddCup99LabelMap()).ValueOrDie();
+  // duration + 3 protocol one-hots + src_bytes = 5 columns.
+  EXPECT_EQ(pool.x.cols(), 5u);
+  for (double v : pool.x.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // src_bytes max (1032, the smurf row) must normalize to exactly 1.
+  EXPECT_DOUBLE_EQ(pool.x.At(3, 4), 1.0);
+}
+
+TEST(LoadersTest, NonStrictDropsUnknownLabels) {
+  RawTable t = KddMiniTable();
+  t.rows.push_back({"0", "tcp", "1", "buffer_overflow."});  // U2R: unmapped.
+  auto pool = LoadLabeledPool(t, KddCup99LabelMap()).ValueOrDie();
+  EXPECT_EQ(pool.x.rows(), 9u);  // The U2R row is dropped.
+}
+
+TEST(LoadersTest, StrictModeRejectsUnknownLabels) {
+  RawTable t = KddMiniTable();
+  t.rows.push_back({"0", "tcp", "1", "buffer_overflow."});
+  LabelMap map = KddCup99LabelMap();
+  map.strict = true;
+  EXPECT_FALSE(LoadLabeledPool(t, map).ok());
+}
+
+TEST(LoadersTest, UnswMapUsesNamedColumnAndVariants) {
+  RawTable t;
+  t.column_names = {"dur", "sbytes", "attack_cat", "extra"};
+  t.rows = {
+      {"0.1", "100", "Normal", "x"},      {"0.2", "30", "Generic", "x"},
+      {"0.9", "12", "Backdoors", "x"},    {"0.4", "55", " Fuzzers", "x"},
+      {"0.3", "77", "Exploits", "x"},     {"0.5", "44", "Shellcode", "x"},
+  };
+  auto pool = LoadLabeledPool(t, UnswNb15LabelMap()).ValueOrDie();
+  ASSERT_EQ(pool.x.rows(), 5u);  // Shellcode dropped.
+  EXPECT_EQ(pool.kind[0], InstanceKind::kNormal);
+  EXPECT_EQ(pool.kind[1], InstanceKind::kTarget);
+  EXPECT_EQ(pool.target_class[1], 0);  // Generic.
+  EXPECT_EQ(pool.kind[2], InstanceKind::kTarget);
+  EXPECT_EQ(pool.target_class[2], 1);  // Backdoors -> Backdoor.
+  EXPECT_EQ(pool.kind[3], InstanceKind::kNonTarget);
+  EXPECT_EQ(pool.nontarget_class[3], 0);  // " Fuzzers" -> Fuzzers.
+  EXPECT_EQ(pool.kind[4], InstanceKind::kNonTarget);
+  EXPECT_EQ(pool.nontarget_class[4], 2);  // Exploits.
+}
+
+TEST(LoadersTest, MissingLabelColumnFails) {
+  RawTable t;
+  t.column_names = {"a", "b"};
+  t.rows = {{"1", "2"}};
+  LabelMap map = UnswNb15LabelMap();  // Wants "attack_cat".
+  EXPECT_FALSE(LoadLabeledPool(t, map).ok());
+}
+
+TEST(LoadersTest, LoadedPoolAssemblesIntoBundle) {
+  // The loader output must plug straight into AssembleBundle.
+  RawTable t;
+  t.column_names = {"f0", "f1", "label"};
+  Rng rng(5);
+  auto add = [&](double base, const char* label, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      t.rows.push_back({std::to_string(base + rng.Normal(0.0, 0.1)),
+                        std::to_string(base * 0.5 + rng.Normal(0.0, 0.1)),
+                        label});
+    }
+  };
+  add(0.3, "normal.", 300);
+  add(0.9, "smurf.", 60);        // DoS target.
+  add(0.05, "guess_passwd.", 60);  // R2L target.
+  add(1.4, "satan.", 80);        // Probe non-target.
+
+  auto pool = LoadLabeledPool(t, KddCup99LabelMap()).ValueOrDie();
+  AssemblyConfig assembly;
+  assembly.num_target_classes = 2;
+  assembly.labeled_per_class = 10;
+  assembly.unlabeled_size = 200;
+  assembly.contamination = 0.1;
+  assembly.val_normal = 30;
+  assembly.val_target = 10;
+  assembly.val_nontarget = 10;
+  assembly.test_normal = 40;
+  assembly.test_target = 10;
+  assembly.test_nontarget = 10;
+  assembly.seed = 5;
+  auto bundle = AssembleBundle(pool, assembly).ValueOrDie();
+  EXPECT_TRUE(bundle.Validate().ok());
+  EXPECT_EQ(bundle.train.num_labeled(), 20u);
+}
+
+TEST(LoadersTest, CsvEntryPoint) {
+  const std::string path = ::testing::TempDir() + "/targad_kdd_mini.csv";
+  RawTable t = KddMiniTable();
+  ASSERT_TRUE(WriteCsvRows(path, t.column_names, t.rows).ok());
+  auto pool = LoadLabeledPoolCsv(path, KddCup99LabelMap()).ValueOrDie();
+  EXPECT_EQ(pool.x.rows(), 9u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace targad

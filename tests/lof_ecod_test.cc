@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "baselines/ecod.h"
+#include "baselines/lof.h"
+#include "baselines/registry.h"
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace targad {
+namespace baselines {
+namespace {
+
+// A dense blob with a handful of far-away outliers, wrapped as a training
+// set (labels unused by these unsupervised detectors).
+struct BlobData {
+  data::TrainingSet train;
+  nn::Matrix test;
+  std::vector<int> labels;  // 1 = outlier.
+};
+
+BlobData MakeBlobs(uint64_t seed) {
+  Rng rng(seed);
+  BlobData d;
+  d.train.num_target_classes = 1;
+  d.train.labeled_x = nn::Matrix(2, 3, 0.95);  // Dummy labels for Validate().
+  d.train.labeled_class = {0, 0};
+  d.train.unlabeled_x = nn::Matrix(400, 3);
+  for (size_t i = 0; i < 400; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      d.train.unlabeled_x.At(i, j) = rng.Normal(0.4, 0.05);
+    }
+  }
+  d.test = nn::Matrix(120, 3);
+  for (size_t i = 0; i < 120; ++i) {
+    const bool outlier = i < 20;
+    d.labels.push_back(outlier ? 1 : 0);
+    for (size_t j = 0; j < 3; ++j) {
+      d.test.At(i, j) =
+          outlier ? rng.Uniform(0.8, 1.0) : rng.Normal(0.4, 0.05);
+    }
+  }
+  return d;
+}
+
+TEST(LofTest, MakeValidatesConfig) {
+  LofConfig config;
+  config.k = 0;
+  EXPECT_FALSE(Lof::Make(config).ok());
+  config = LofConfig{};
+  config.max_reference = config.k;
+  EXPECT_FALSE(Lof::Make(config).ok());
+}
+
+TEST(LofTest, SeparatesDensityOutliers) {
+  BlobData d = MakeBlobs(1);
+  auto lof = Lof::Make({}).ValueOrDie();
+  ASSERT_TRUE(lof->Fit(d.train).ok());
+  const auto scores = lof->Score(d.test);
+  EXPECT_GT(eval::Auroc(scores, d.labels).ValueOrDie(), 0.95);
+}
+
+TEST(LofTest, InliersScoreNearOne) {
+  BlobData d = MakeBlobs(2);
+  auto lof = Lof::Make({}).ValueOrDie();
+  ASSERT_TRUE(lof->Fit(d.train).ok());
+  const auto scores = lof->Score(d.train.unlabeled_x);
+  double mean = 0.0;
+  for (double s : scores) mean += s;
+  mean /= static_cast<double>(scores.size());
+  EXPECT_NEAR(mean, 1.0, 0.2);
+}
+
+TEST(LofTest, RejectsTooSmallPool) {
+  data::TrainingSet train;
+  train.num_target_classes = 1;
+  train.labeled_x = nn::Matrix(1, 2, 0.5);
+  train.labeled_class = {0};
+  train.unlabeled_x = nn::Matrix(5, 2, 0.5);  // Pool <= k.
+  auto lof = Lof::Make({}).ValueOrDie();
+  EXPECT_FALSE(lof->Fit(train).ok());
+}
+
+TEST(LofTest, SubsamplesLargeReference) {
+  BlobData d = MakeBlobs(3);
+  LofConfig config;
+  config.max_reference = 128;  // Force subsampling.
+  auto lof = Lof::Make(config).ValueOrDie();
+  ASSERT_TRUE(lof->Fit(d.train).ok());
+  const auto scores = lof->Score(d.test);
+  EXPECT_GT(eval::Auroc(scores, d.labels).ValueOrDie(), 0.9);
+}
+
+TEST(EcodTest, SeparatesTailOutliers) {
+  BlobData d = MakeBlobs(4);
+  auto ecod = Ecod::Make().ValueOrDie();
+  ASSERT_TRUE(ecod->Fit(d.train).ok());
+  const auto scores = ecod->Score(d.test);
+  EXPECT_GT(eval::Auroc(scores, d.labels).ValueOrDie(), 0.95);
+}
+
+TEST(EcodTest, ExtremeValuesScoreHigherThanCentralOnes) {
+  BlobData d = MakeBlobs(5);
+  auto ecod = Ecod::Make().ValueOrDie();
+  ASSERT_TRUE(ecod->Fit(d.train).ok());
+  nn::Matrix probes(2, 3);
+  for (size_t j = 0; j < 3; ++j) {
+    probes.At(0, j) = 0.4;  // Central.
+    probes.At(1, j) = 5.0;  // Far beyond the training range.
+  }
+  const auto scores = ecod->Score(probes);
+  EXPECT_GT(scores[1], scores[0]);
+}
+
+TEST(EcodTest, DeterministicAndParameterFree) {
+  BlobData d = MakeBlobs(6);
+  auto e1 = Ecod::Make().ValueOrDie();
+  auto e2 = Ecod::Make().ValueOrDie();
+  ASSERT_TRUE(e1->Fit(d.train).ok());
+  ASSERT_TRUE(e2->Fit(d.train).ok());
+  const auto s1 = e1->Score(d.test);
+  const auto s2 = e2->Score(d.test);
+  for (size_t i = 0; i < s1.size(); ++i) EXPECT_DOUBLE_EQ(s1[i], s2[i]);
+}
+
+TEST(EcodTest, RejectsDegenerateFit) {
+  data::TrainingSet train;
+  train.num_target_classes = 1;
+  train.labeled_x = nn::Matrix(1, 2, 0.5);
+  train.labeled_class = {0};
+  train.unlabeled_x = nn::Matrix(1, 2, 0.5);
+  auto ecod = Ecod::Make().ValueOrDie();
+  EXPECT_FALSE(ecod->Fit(train).ok());
+}
+
+TEST(ExtendedRegistryTest, LofAndEcodResolve) {
+  const auto names = ExtendedDetectorNames();
+  EXPECT_EQ(names.size(), 14u);
+  for (const char* name : {"LOF", "ECOD"}) {
+    auto detector = MakeDetector(name, 1);
+    ASSERT_TRUE(detector.ok()) << name;
+    EXPECT_EQ((*detector)->name(), name);
+  }
+}
+
+TEST(ExtendedRegistryTest, ExtensionsRunOnTinyBundle) {
+  const data::DatasetBundle bundle = targad::testing::TinyBundle(41);
+  const auto labels = bundle.test.BinaryTargetLabels();
+  for (const char* name : {"LOF", "ECOD"}) {
+    auto detector = MakeDetector(name, 2).ValueOrDie();
+    ASSERT_TRUE(detector->Fit(bundle.train).ok()) << name;
+    const auto scores = detector->Score(bundle.test.x);
+    ASSERT_EQ(scores.size(), bundle.test.size());
+    // Unsupervised detectors flag ALL anomalies, so measure anomaly-vs-
+    // normal ranking rather than target ranking.
+    std::vector<int> anomaly_labels;
+    for (auto kind : bundle.test.kind) {
+      anomaly_labels.push_back(kind == data::InstanceKind::kNormal ? 0 : 1);
+    }
+    EXPECT_GT(eval::Auroc(scores, anomaly_labels).ValueOrDie(), 0.6) << name;
+  }
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace targad

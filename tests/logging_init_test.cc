@@ -1,0 +1,80 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "nn/init.h"
+
+namespace targad {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, NonFatalLevelsDoNotAbort) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // Silence the output in test logs.
+  TARGAD_LOG(Debug) << "debug message";
+  TARGAD_LOG(Info) << "info message";
+  TARGAD_LOG(Warning) << "warning message";
+  TARGAD_LOG(Error) << "error message";
+  SetLogLevel(original);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ TARGAD_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH({ TARGAD_CHECK_OK(Status::Internal("boom")); }, "boom");
+}
+
+TEST(LoggingTest, CheckOkPassesOnOk) {
+  TARGAD_CHECK_OK(Status::OK());  // Must not abort.
+}
+
+TEST(InitTest, HeUniformBoundsAndSpread) {
+  Rng rng(1);
+  nn::Matrix w(64, 32);
+  nn::HeUniform(&w, /*fan_in=*/64, &rng);
+  const double limit = std::sqrt(6.0 / 64.0);
+  double max_abs = 0.0;
+  for (double v : w.data()) {
+    EXPECT_LE(std::fabs(v), limit + 1e-12);
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  // The draw must actually use the range, not collapse near zero.
+  EXPECT_GT(max_abs, 0.8 * limit);
+}
+
+TEST(InitTest, XavierUniformBounds) {
+  Rng rng(2);
+  nn::Matrix w(48, 16);
+  nn::XavierUniform(&w, 48, 16, &rng);
+  const double limit = std::sqrt(6.0 / (48.0 + 16.0));
+  for (double v : w.data()) EXPECT_LE(std::fabs(v), limit + 1e-12);
+}
+
+TEST(InitTest, GaussianInitMoments) {
+  Rng rng(3);
+  nn::Matrix w(100, 100);
+  nn::GaussianInit(&w, 0.5, &rng);
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : w.data()) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double n = static_cast<double>(w.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace targad

@@ -1,0 +1,237 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace targad {
+namespace nn {
+namespace {
+
+Matrix RandomLogits(size_t rows, size_t cols, uint64_t seed, double scale = 2.0) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.Uniform(-scale, scale);
+  return m;
+}
+
+// Central finite difference of a scalar loss with respect to logits.
+template <typename LossFn>
+double NumericGrad(const Matrix& logits, size_t flat_index, const LossFn& fn,
+                   double h = 1e-6) {
+  Matrix plus = logits, minus = logits;
+  plus.data()[flat_index] += h;
+  minus.data()[flat_index] -= h;
+  return (fn(plus).loss - fn(minus).loss) / (2.0 * h);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Matrix logits = RandomLogits(6, 5, 1, 10.0);
+  Matrix p = SoftmaxRows(logits);
+  for (size_t i = 0; i < p.rows(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < p.cols(); ++j) {
+      EXPECT_GT(p.At(i, j), 0.0);
+      sum += p.At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxTest, StableUnderLargeLogits) {
+  Matrix logits(1, 3, {1000.0, 999.0, -1000.0});
+  Matrix p = SoftmaxRows(logits);
+  EXPECT_FALSE(std::isnan(p.At(0, 0)));
+  EXPECT_GT(p.At(0, 0), p.At(0, 1));
+  EXPECT_NEAR(p.At(0, 2), 0.0, 1e-12);
+}
+
+TEST(SoftmaxTest, ShiftInvariance) {
+  Matrix a(1, 3, {1.0, 2.0, 3.0});
+  Matrix b(1, 3, {101.0, 102.0, 103.0});
+  Matrix pa = SoftmaxRows(a), pb = SoftmaxRows(b);
+  for (size_t j = 0; j < 3; ++j) EXPECT_NEAR(pa.At(0, j), pb.At(0, j), 1e-12);
+}
+
+TEST(LogSumExpTest, MatchesNaiveOnModerateValues) {
+  Matrix logits(1, 4, {0.5, -1.0, 2.0, 0.0});
+  const double lse = LogSumExpRows(logits, 0, 4)[0];
+  double naive = 0.0;
+  for (size_t j = 0; j < 4; ++j) naive += std::exp(logits.At(0, j));
+  EXPECT_NEAR(lse, std::log(naive), 1e-12);
+}
+
+TEST(LogSumExpTest, SubRangeAndStability) {
+  Matrix logits(1, 4, {800.0, 700.0, 1.0, 2.0});
+  const double lse_front = LogSumExpRows(logits, 0, 2)[0];
+  EXPECT_NEAR(lse_front, 800.0 + std::log1p(std::exp(-100.0)), 1e-9);
+  const double lse_back = LogSumExpRows(logits, 2, 4)[0];
+  EXPECT_NEAR(lse_back, std::log(std::exp(1.0) + std::exp(2.0)), 1e-12);
+}
+
+TEST(RowSquaredErrorsTest, KnownValues) {
+  Matrix pred(2, 2, {1, 2, 3, 4});
+  Matrix target(2, 2, {0, 2, 3, 1});
+  const auto errs = RowSquaredErrors(pred, target);
+  EXPECT_DOUBLE_EQ(errs[0], 1.0);
+  EXPECT_DOUBLE_EQ(errs[1], 9.0);
+}
+
+TEST(MseLossTest, ValueAndGradient) {
+  Matrix pred = RandomLogits(4, 3, 2);
+  Matrix target = RandomLogits(4, 3, 3);
+  LossResult lr = MseLoss(pred, target);
+  // Value: mean over rows of row squared errors.
+  const auto errs = RowSquaredErrors(pred, target);
+  double expect = 0.0;
+  for (double e : errs) expect += e;
+  EXPECT_NEAR(lr.loss, expect / 4.0, 1e-12);
+  // Gradient vs finite differences at a few entries.
+  auto fn = [&target](const Matrix& p) { return MseLoss(p, target); };
+  for (size_t idx : {0UL, 5UL, 11UL}) {
+    EXPECT_NEAR(lr.grad.data()[idx], NumericGrad(pred, idx, fn), 1e-5);
+  }
+}
+
+TEST(InverseErrorLossTest, PenalizesGoodReconstruction) {
+  Matrix target(1, 2, {0.5, 0.5});
+  Matrix close(1, 2, {0.51, 0.5});
+  Matrix far(1, 2, {2.0, 2.0});
+  EXPECT_GT(InverseErrorLoss(close, target).loss,
+            InverseErrorLoss(far, target).loss);
+}
+
+TEST(InverseErrorLossTest, GradientMatchesFiniteDifferences) {
+  Matrix pred = RandomLogits(3, 4, 5);
+  Matrix target = RandomLogits(3, 4, 6);
+  LossResult lr = InverseErrorLoss(pred, target);
+  auto fn = [&target](const Matrix& p) { return InverseErrorLoss(p, target); };
+  for (size_t idx : {0UL, 4UL, 11UL}) {
+    EXPECT_NEAR(lr.grad.data()[idx], NumericGrad(pred, idx, fn), 1e-4);
+  }
+}
+
+TEST(CrossEntropyTest, OneHotMatchesNegLogProb) {
+  Matrix logits(1, 3, {1.0, 2.0, 0.5});
+  Matrix target(1, 3, {0.0, 1.0, 0.0});
+  LossResult lr = WeightedSoftCrossEntropy(logits, target, {}, 1.0);
+  const Matrix p = SoftmaxRows(logits);
+  EXPECT_NEAR(lr.loss, -std::log(p.At(0, 1)), 1e-12);
+}
+
+TEST(CrossEntropyTest, SoftTargetGradientIsPMinusT) {
+  Matrix logits = RandomLogits(2, 4, 7);
+  Matrix target(2, 4, 0.25);  // Uniform soft target.
+  LossResult lr = WeightedSoftCrossEntropy(logits, target, {}, 2.0);
+  const Matrix p = SoftmaxRows(logits);
+  for (size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_NEAR(lr.grad.data()[i], (p.data()[i] - 0.25) / 2.0, 1e-12);
+  }
+}
+
+TEST(CrossEntropyTest, WeightsScaleLossAndGrad) {
+  Matrix logits = RandomLogits(2, 3, 8);
+  Matrix target(2, 3, {1, 0, 0, 0, 1, 0});
+  LossResult unweighted = WeightedSoftCrossEntropy(logits, target, {}, 2.0);
+  LossResult weighted =
+      WeightedSoftCrossEntropy(logits, target, {2.0, 2.0}, 2.0);
+  EXPECT_NEAR(weighted.loss, 2.0 * unweighted.loss, 1e-12);
+  for (size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_NEAR(weighted.grad.data()[i], 2.0 * unweighted.grad.data()[i], 1e-12);
+  }
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifferences) {
+  Matrix logits = RandomLogits(3, 5, 9);
+  Rng rng(10);
+  Matrix target(3, 5, 0.0);
+  // Random soft targets normalized per row.
+  for (size_t i = 0; i < 3; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < 5; ++j) {
+      target.At(i, j) = rng.Uniform();
+      sum += target.At(i, j);
+    }
+    for (size_t j = 0; j < 5; ++j) target.At(i, j) /= sum;
+  }
+  std::vector<double> w = {0.5, 1.5, 1.0};
+  LossResult lr = WeightedSoftCrossEntropy(logits, target, w, 3.0);
+  auto fn = [&](const Matrix& z) {
+    return WeightedSoftCrossEntropy(z, target, w, 3.0);
+  };
+  for (size_t idx : {0UL, 7UL, 14UL}) {
+    EXPECT_NEAR(lr.grad.data()[idx], NumericGrad(logits, idx, fn), 1e-5);
+  }
+}
+
+TEST(EntropyTest, UniformMaximizesConfidentMinimizes) {
+  Matrix uniform(1, 4, {1.0, 1.0, 1.0, 1.0});
+  Matrix confident(1, 4, {10.0, -10.0, -10.0, -10.0});
+  const double h_uniform = SoftmaxEntropy(uniform, 1.0).loss;
+  const double h_confident = SoftmaxEntropy(confident, 1.0).loss;
+  EXPECT_NEAR(h_uniform, std::log(4.0), 1e-9);
+  EXPECT_LT(h_confident, 1e-3);
+  EXPECT_GT(h_uniform, h_confident);
+}
+
+TEST(EntropyTest, NonNegative) {
+  Matrix logits = RandomLogits(5, 6, 11, 8.0);
+  EXPECT_GE(SoftmaxEntropy(logits, 5.0).loss, 0.0);
+}
+
+TEST(EntropyTest, GradientMatchesFiniteDifferences) {
+  Matrix logits = RandomLogits(2, 4, 12);
+  LossResult lr = SoftmaxEntropy(logits, 2.0);
+  auto fn = [](const Matrix& z) { return SoftmaxEntropy(z, 2.0); };
+  for (size_t idx = 0; idx < logits.size(); ++idx) {
+    EXPECT_NEAR(lr.grad.data()[idx], NumericGrad(logits, idx, fn), 1e-5);
+  }
+}
+
+TEST(MaxSoftmaxProbTest, SubRangeSelectsCorrectColumns) {
+  Matrix logits(1, 4, {0.0, 3.0, 5.0, 1.0});
+  const Matrix p = SoftmaxRows(logits);
+  EXPECT_NEAR(MaxSoftmaxProb(logits, 0, 2)[0], p.At(0, 1), 1e-12);
+  EXPECT_NEAR(MaxSoftmaxProb(logits, 0, 4)[0], p.At(0, 2), 1e-12);
+}
+
+TEST(BceTest, KnownValueAtZeroLogit) {
+  Matrix logits(1, 1, {0.0});
+  LossResult lr = BinaryCrossEntropyWithLogits(logits, {1.0}, {}, 1.0);
+  EXPECT_NEAR(lr.loss, std::log(2.0), 1e-12);
+  EXPECT_NEAR(lr.grad.At(0, 0), 0.5 - 1.0, 1e-12);
+}
+
+TEST(BceTest, StableAtExtremeLogits) {
+  Matrix logits(2, 1, {500.0, -500.0});
+  LossResult lr = BinaryCrossEntropyWithLogits(logits, {1.0, 0.0}, {}, 2.0);
+  EXPECT_FALSE(std::isnan(lr.loss));
+  EXPECT_NEAR(lr.loss, 0.0, 1e-9);
+}
+
+TEST(BceTest, GradientMatchesFiniteDifferences) {
+  Matrix logits = RandomLogits(4, 1, 13);
+  std::vector<double> targets = {1.0, 0.0, 1.0, 0.0};
+  std::vector<double> weights = {1.0, 0.5, 2.0, 1.0};
+  LossResult lr = BinaryCrossEntropyWithLogits(logits, targets, weights, 4.0);
+  auto fn = [&](const Matrix& z) {
+    return BinaryCrossEntropyWithLogits(z, targets, weights, 4.0);
+  };
+  for (size_t idx = 0; idx < 4; ++idx) {
+    EXPECT_NEAR(lr.grad.data()[idx], NumericGrad(logits, idx, fn), 1e-6);
+  }
+}
+
+TEST(SigmoidColumnTest, MatchesClosedForm) {
+  Matrix logits(3, 1, {0.0, 2.0, -2.0});
+  const auto p = SigmoidColumn(logits);
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_NEAR(p[2], 1.0 / (1.0 + std::exp(2.0)), 1e-12);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace targad

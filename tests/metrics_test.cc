@@ -1,0 +1,152 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace targad {
+namespace eval {
+namespace {
+
+TEST(AurocTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(
+      Auroc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}).ValueOrDie(), 1.0);
+}
+
+TEST(AurocTest, InvertedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(
+      Auroc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}).ValueOrDie(), 0.0);
+}
+
+TEST(AurocTest, AllTiedIsHalf) {
+  EXPECT_DOUBLE_EQ(Auroc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}).ValueOrDie(), 0.5);
+}
+
+TEST(AurocTest, KnownMixedCase) {
+  // Scores: pos {0.8, 0.4}, neg {0.6, 0.2}. Pairs won: (0.8 vs both) = 2,
+  // (0.4 vs 0.2) = 1 -> 3 of 4 pairs.
+  EXPECT_DOUBLE_EQ(
+      Auroc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}).ValueOrDie(), 0.75);
+}
+
+TEST(AurocTest, TieBetweenClassesCountsHalf) {
+  // pos {0.5}, neg {0.5, 0.1}: one tied pair (0.5) + one win (vs 0.1).
+  EXPECT_DOUBLE_EQ(Auroc({0.5, 0.5, 0.1}, {1, 0, 0}).ValueOrDie(), 0.75);
+}
+
+TEST(AurocTest, InvariantUnderMonotoneTransform) {
+  Rng rng(1);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const int y = rng.Bernoulli(0.3) ? 1 : 0;
+    scores.push_back(rng.Normal(y == 1 ? 1.0 : 0.0, 1.0));
+    labels.push_back(y);
+  }
+  const double base = Auroc(scores, labels).ValueOrDie();
+  std::vector<double> transformed = scores;
+  for (double& s : transformed) s = std::exp(0.5 * s) + 3.0;
+  EXPECT_NEAR(Auroc(transformed, labels).ValueOrDie(), base, 1e-12);
+}
+
+TEST(AurocTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(Auroc({0.1, 0.2}, {1, 1}).ok());   // No negatives.
+  EXPECT_FALSE(Auroc({0.1, 0.2}, {0, 0}).ok());   // No positives.
+  EXPECT_FALSE(Auroc({0.1}, {0, 1}).ok());        // Size mismatch.
+  EXPECT_FALSE(Auroc({}, {}).ok());               // Empty.
+  EXPECT_FALSE(Auroc({0.1, 0.2}, {0, 2}).ok());   // Bad label.
+  EXPECT_FALSE(Auroc({std::nan(""), 0.2}, {0, 1}).ok());
+}
+
+TEST(AuprcTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(Auprc({0.1, 0.9, 0.8, 0.2}, {0, 1, 1, 0}).ValueOrDie(), 1.0);
+}
+
+TEST(AuprcTest, WorstRankingEqualsTailPrecision) {
+  // Both positives ranked last among 4: AP = (1/3)*(1/2) + (2/4)*(1/2) = 5/12.
+  EXPECT_NEAR(Auprc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}).ValueOrDie(),
+              5.0 / 12.0, 1e-12);
+}
+
+TEST(AuprcTest, SinglePositiveAtRankOne) {
+  EXPECT_DOUBLE_EQ(Auprc({0.9, 0.1, 0.2}, {1, 0, 0}).ValueOrDie(), 1.0);
+}
+
+TEST(AuprcTest, AllTiedEqualsBaseRate) {
+  // One threshold containing everything: precision = prevalence.
+  EXPECT_DOUBLE_EQ(Auprc({0.5, 0.5, 0.5, 0.5}, {1, 0, 0, 1}).ValueOrDie(), 0.5);
+}
+
+TEST(AuprcTest, RandomScoresNearPrevalence) {
+  Rng rng(2);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 5000; ++i) {
+    scores.push_back(rng.Uniform());
+    labels.push_back(rng.Bernoulli(0.2) ? 1 : 0);
+  }
+  EXPECT_NEAR(Auprc(scores, labels).ValueOrDie(), 0.2, 0.05);
+}
+
+TEST(AuprcTest, RequiresAPositive) {
+  EXPECT_FALSE(Auprc({0.5, 0.4}, {0, 0}).ok());
+}
+
+TEST(PrecisionAtNTest, CountsTopRanked) {
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.1};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(PrecisionAtN(scores, labels, 1).ValueOrDie(), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(scores, labels, 2).ValueOrDie(), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(scores, labels, 3).ValueOrDie(), 2.0 / 3.0);
+}
+
+TEST(PrecisionAtNTest, RejectsBadN) {
+  EXPECT_FALSE(PrecisionAtN({0.5}, {1}, 0).ok());
+  EXPECT_FALSE(PrecisionAtN({0.5}, {1}, 2).ok());
+}
+
+TEST(MeanStdTest, KnownValues) {
+  const MeanStd ms = ComputeMeanStd({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_NEAR(ms.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MeanStdTest, SingletonHasZeroStd) {
+  const MeanStd ms = ComputeMeanStd({3.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 3.0);
+  EXPECT_DOUBLE_EQ(ms.stddev, 0.0);
+}
+
+TEST(MeanStdTest, EmptyIsZero) {
+  const MeanStd ms = ComputeMeanStd({});
+  EXPECT_DOUBLE_EQ(ms.mean, 0.0);
+  EXPECT_DOUBLE_EQ(ms.stddev, 0.0);
+}
+
+// Property: AUROC of scores equals 1 - AUROC of negated scores.
+class AurocSymmetryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AurocSymmetryTest, NegationFlipsAuroc) {
+  Rng rng(GetParam());
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(rng.Normal());
+    labels.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+  }
+  labels[0] = 1;  // Guarantee both classes.
+  labels[1] = 0;
+  std::vector<double> negated = scores;
+  for (double& s : negated) s = -s;
+  EXPECT_NEAR(Auroc(scores, labels).ValueOrDie(),
+              1.0 - Auroc(negated, labels).ValueOrDie(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AurocSymmetryTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace eval
+}  // namespace targad

@@ -1,0 +1,155 @@
+#include "core/ood.h"
+#include <cmath>
+
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace targad {
+namespace core {
+namespace {
+
+TEST(OodScoresTest, MspHigherForFlatLogits) {
+  nn::Matrix logits(2, 4, 0.0);
+  logits.At(0, 0) = 8.0;  // Peaked (in-distribution signature).
+  const auto scores = OodScores(logits, OodStrategy::kMsp, 2);
+  EXPECT_LT(scores[0], scores[1]);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(OodScoresTest, EnergyHigherForSmallLogits) {
+  nn::Matrix logits(2, 4, 0.0);
+  logits.At(0, 0) = 10.0;  // High free-energy mass -> low energy -> ID.
+  const auto scores = OodScores(logits, OodStrategy::kEnergy, 2);
+  EXPECT_LT(scores[0], scores[1]);
+}
+
+TEST(OodScoresTest, EnergyDiscrepancyZeroWhenOneTargetLogitDominates) {
+  // m = 2: the ED score reads only the first two (target) logits.
+  nn::Matrix logits(2, 4, 0.0);
+  logits.At(0, 0) = 50.0;
+  const auto scores = OodScores(logits, OodStrategy::kEnergyDiscrepancy, 2);
+  EXPECT_NEAR(scores[0], 0.0, 1e-9);
+  // Flat target block: lse - max = log(2).
+  EXPECT_NEAR(scores[1], std::log(2.0), 1e-9);
+  for (double s : scores) EXPECT_GE(s, -1e-12);
+}
+
+TEST(OodScoresTest, EnergyDiscrepancyIgnoresNormalDims) {
+  // Two rows with identical target blocks but very different normal
+  // logits must get identical ED scores (unlike MSP).
+  nn::Matrix a(1, 4, {2.0, 1.0, 0.0, 0.0});
+  nn::Matrix b(1, 4, {2.0, 1.0, 9.0, -3.0});
+  EXPECT_NEAR(OodScores(a, OodStrategy::kEnergyDiscrepancy, 2)[0],
+              OodScores(b, OodStrategy::kEnergyDiscrepancy, 2)[0], 1e-12);
+  EXPECT_GT(std::fabs(OodScores(a, OodStrategy::kMsp, 2)[0] -
+                      OodScores(b, OodStrategy::kMsp, 2)[0]),
+            1e-6);
+}
+
+TEST(OodScoresTest, EnergyDiscrepancyIsShiftInvariant) {
+  nn::Matrix a(1, 3, {1.0, 2.0, 0.5});
+  nn::Matrix b(1, 3, {11.0, 12.0, 10.5});
+  EXPECT_NEAR(OodScores(a, OodStrategy::kEnergyDiscrepancy, 2)[0],
+              OodScores(b, OodStrategy::kEnergyDiscrepancy, 2)[0], 1e-12);
+}
+
+TEST(OodTest, StrategyNames) {
+  EXPECT_STREQ(OodStrategyName(OodStrategy::kMsp), "MSP");
+  EXPECT_STREQ(OodStrategyName(OodStrategy::kEnergy), "ES");
+  EXPECT_STREQ(OodStrategyName(OodStrategy::kEnergyDiscrepancy), "ED");
+}
+
+TEST(OodTest, KindToThreeWayMapsAllKinds) {
+  EXPECT_EQ(KindToThreeWay(data::InstanceKind::kNormal), kPredNormal);
+  EXPECT_EQ(KindToThreeWay(data::InstanceKind::kTarget), kPredTarget);
+  EXPECT_EQ(KindToThreeWay(data::InstanceKind::kNonTarget), kPredNonTarget);
+}
+
+// Builds logits with the signatures TargAD's training imprints:
+// normal -> mass on a normal dim; target -> peaked on one target dim;
+// non-target -> flat over the target dims. m = 2, k = 2.
+struct ThreeWayData {
+  nn::Matrix logits;
+  std::vector<data::InstanceKind> kind;
+};
+
+ThreeWayData MakeThreeWayData(size_t per_class) {
+  ThreeWayData d;
+  d.logits = nn::Matrix(3 * per_class, 4, 0.0);
+  Rng rng(13);
+  for (size_t i = 0; i < per_class; ++i) {
+    // Normal: strong on dim 2 or 3.
+    d.logits.At(i, 2 + (i % 2)) = 5.0 + rng.Normal(0.0, 0.3);
+    d.kind.push_back(data::InstanceKind::kNormal);
+  }
+  for (size_t i = 0; i < per_class; ++i) {
+    // Target: one target dim dominates.
+    d.logits.At(per_class + i, i % 2) = 6.0 + rng.Normal(0.0, 0.3);
+    d.kind.push_back(data::InstanceKind::kTarget);
+  }
+  for (size_t i = 0; i < per_class; ++i) {
+    // Non-target: both target dims moderately high (flat over targets).
+    d.logits.At(2 * per_class + i, 0) = 3.0 + rng.Normal(0.0, 0.2);
+    d.logits.At(2 * per_class + i, 1) = 3.0 + rng.Normal(0.0, 0.2);
+    d.kind.push_back(data::InstanceKind::kNonTarget);
+  }
+  return d;
+}
+
+class ThreeWayStrategyTest : public ::testing::TestWithParam<OodStrategy> {};
+
+TEST_P(ThreeWayStrategyTest, SeparatesThreeGroupsOnIdealLogits) {
+  ThreeWayData d = MakeThreeWayData(60);
+  auto clf = ThreeWayClassifier::Fit(d.logits, d.kind, 2, 2, GetParam())
+                 .ValueOrDie();
+  const std::vector<int> pred = clf.Predict(d.logits);
+  std::vector<int> truth;
+  truth.reserve(d.kind.size());
+  for (auto k : d.kind) truth.push_back(KindToThreeWay(k));
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    EXPECT_GE(pred[i], 0);
+    EXPECT_LE(pred[i], 2);
+    if (pred[i] == truth[i]) ++correct;
+  }
+  // These logits are idealized, so all three strategies should do well.
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(pred.size()), 0.9)
+      << OodStrategyName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ThreeWayStrategyTest,
+                         ::testing::Values(OodStrategy::kMsp,
+                                           OodStrategy::kEnergy,
+                                           OodStrategy::kEnergyDiscrepancy));
+
+TEST(ThreeWayClassifierTest, FitRejectsBadInputs) {
+  ThreeWayData d = MakeThreeWayData(4);
+  EXPECT_FALSE(ThreeWayClassifier::Fit(nn::Matrix(0, 4), {}, 2, 2,
+                                       OodStrategy::kMsp)
+                   .ok());
+  EXPECT_FALSE(
+      ThreeWayClassifier::Fit(d.logits, d.kind, 3, 2, OodStrategy::kMsp).ok());
+  std::vector<data::InstanceKind> short_kind(d.kind.begin(), d.kind.end() - 1);
+  EXPECT_FALSE(ThreeWayClassifier::Fit(d.logits, short_kind, 2, 2,
+                                       OodStrategy::kMsp)
+                   .ok());
+}
+
+TEST(ThreeWayClassifierTest, NormalRuleAppliedBeforeOodSplit) {
+  ThreeWayData d = MakeThreeWayData(20);
+  auto clf =
+      ThreeWayClassifier::Fit(d.logits, d.kind, 2, 2, OodStrategy::kMsp)
+          .ValueOrDie();
+  // An instance with overwhelming normal mass must be predicted normal
+  // regardless of the OOD threshold.
+  nn::Matrix normal_logits(1, 4, {0.0, 0.0, 20.0, 0.0});
+  EXPECT_EQ(clf.Predict(normal_logits)[0], kPredNormal);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace targad

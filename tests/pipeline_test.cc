@@ -1,0 +1,189 @@
+#include "core/pipeline.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace targad {
+namespace core {
+namespace {
+
+// A small training table: 2-D numeric features + one categorical column,
+// normals around two modes, "fraud"/"abuse" target anomalies in a corner,
+// plus hidden anomalies left unlabeled.
+data::RawTable MakeTrainingTable(uint64_t seed, size_t n_normal = 500,
+                                 size_t n_labeled_per_class = 25) {
+  Rng rng(seed);
+  data::RawTable table;
+  table.column_names = {"amount", "rate", "channel", "label"};
+  auto add_row = [&](double amount, double rate, const char* channel,
+                     const std::string& label) {
+    table.rows.push_back({std::to_string(amount), std::to_string(rate), channel,
+                          label});
+  };
+  for (size_t i = 0; i < n_normal; ++i) {
+    const bool mode = rng.Bernoulli(0.5);
+    add_row(rng.Normal(mode ? 20.0 : 60.0, 4.0), rng.Normal(0.3, 0.05),
+            mode ? "web" : "pos", "");
+  }
+  for (size_t i = 0; i < n_labeled_per_class; ++i) {
+    add_row(rng.Normal(150.0, 5.0), rng.Normal(0.9, 0.03), "web", "fraud");
+    add_row(rng.Normal(5.0, 1.0), rng.Normal(0.95, 0.03), "app", "abuse");
+  }
+  // Hidden anomalies inside the unlabeled pool.
+  for (size_t i = 0; i < 20; ++i) {
+    add_row(rng.Normal(150.0, 5.0), rng.Normal(0.9, 0.03), "web", "unlabeled");
+  }
+  return table;
+}
+
+PipelineConfig FastConfig() {
+  PipelineConfig config;
+  config.model.seed = 3;
+  config.model.selection.k = 2;
+  config.model.selection.autoencoder.epochs = 10;
+  config.model.epochs = 15;
+  return config;
+}
+
+TEST(PipelineTest, TrainsFromRawTableAndScores) {
+  data::RawTable table = MakeTrainingTable(1);
+  auto pipeline = TargAdPipeline::Train(table, FastConfig()).ValueOrDie();
+  EXPECT_TRUE(pipeline.model().fitted());
+  const auto scores = pipeline.Score(table).ValueOrDie();
+  EXPECT_EQ(scores.size(), table.num_rows());
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(PipelineTest, ClassNamesInFirstAppearanceOrder) {
+  data::RawTable table = MakeTrainingTable(2);
+  auto pipeline = TargAdPipeline::Train(table, FastConfig()).ValueOrDie();
+  EXPECT_EQ(pipeline.class_names(),
+            (std::vector<std::string>{"fraud", "abuse"}));
+  EXPECT_EQ(pipeline.model().m(), 2);
+}
+
+TEST(PipelineTest, ScoresRankFraudAboveNormals) {
+  data::RawTable table = MakeTrainingTable(3);
+  auto pipeline = TargAdPipeline::Train(table, FastConfig()).ValueOrDie();
+
+  // Fresh test table: 50 normals + 20 fraud-like rows.
+  Rng rng(99);
+  data::RawTable test;
+  test.column_names = {"amount", "rate", "channel", "label"};
+  std::vector<int> labels;
+  for (size_t i = 0; i < 50; ++i) {
+    test.rows.push_back({std::to_string(rng.Normal(20.0, 4.0)),
+                         std::to_string(rng.Normal(0.3, 0.05)), "web", ""});
+    labels.push_back(0);
+  }
+  for (size_t i = 0; i < 20; ++i) {
+    test.rows.push_back({std::to_string(rng.Normal(150.0, 5.0)),
+                         std::to_string(rng.Normal(0.9, 0.03)), "web", ""});
+    labels.push_back(1);
+  }
+  const auto scores = pipeline.Score(test).ValueOrDie();
+  EXPECT_GT(eval::Auroc(scores, labels).ValueOrDie(), 0.9);
+}
+
+TEST(PipelineTest, ScoringWorksWithoutLabelColumn) {
+  data::RawTable table = MakeTrainingTable(4);
+  auto pipeline = TargAdPipeline::Train(table, FastConfig()).ValueOrDie();
+  data::RawTable test;
+  test.column_names = {"amount", "rate", "channel"};
+  test.rows.push_back({"25.0", "0.31", "web"});
+  const auto scores = pipeline.Score(test).ValueOrDie();
+  EXPECT_EQ(scores.size(), 1u);
+}
+
+TEST(PipelineTest, RejectsSchemaMismatchAtScoring) {
+  data::RawTable table = MakeTrainingTable(5);
+  auto pipeline = TargAdPipeline::Train(table, FastConfig()).ValueOrDie();
+  data::RawTable wrong;
+  wrong.column_names = {"amount", "channel"};  // Missing "rate".
+  wrong.rows.push_back({"25.0", "web"});
+  EXPECT_FALSE(pipeline.Score(wrong).ok());
+}
+
+TEST(PipelineTest, TrainValidation) {
+  PipelineConfig config = FastConfig();
+  data::RawTable empty;
+  empty.column_names = {"x", "label"};
+  EXPECT_FALSE(TargAdPipeline::Train(empty, config).ok());
+
+  data::RawTable no_label_col = MakeTrainingTable(6);
+  config.label_column = "nonexistent";
+  EXPECT_FALSE(TargAdPipeline::Train(no_label_col, config).ok());
+
+  // All rows labeled -> no unlabeled pool.
+  config = FastConfig();
+  data::RawTable all_labeled;
+  all_labeled.column_names = {"x", "label"};
+  all_labeled.rows = {{"1.0", "fraud"}, {"2.0", "fraud"}};
+  EXPECT_FALSE(TargAdPipeline::Train(all_labeled, config).ok());
+
+  // No labels at all.
+  data::RawTable none_labeled;
+  none_labeled.column_names = {"x", "label"};
+  none_labeled.rows = {{"1.0", ""}, {"2.0", ""}};
+  EXPECT_FALSE(TargAdPipeline::Train(none_labeled, config).ok());
+}
+
+TEST(PipelineTest, CsvRoundTrip) {
+  const std::string train_path = ::testing::TempDir() + "/targad_train.csv";
+  const std::string score_path = ::testing::TempDir() + "/targad_score.csv";
+  data::RawTable table = MakeTrainingTable(7);
+  {
+    std::vector<std::vector<std::string>> rows = table.rows;
+    ASSERT_TRUE(data::WriteCsvRows(train_path, table.column_names, rows).ok());
+    ASSERT_TRUE(
+        data::WriteCsvRows(score_path, table.column_names,
+                           {table.rows.begin(), table.rows.begin() + 10})
+            .ok());
+  }
+  auto pipeline =
+      TargAdPipeline::TrainFromCsv(train_path, FastConfig()).ValueOrDie();
+  const auto scores = pipeline.ScoreCsv(score_path).ValueOrDie();
+  EXPECT_EQ(scores.size(), 10u);
+  std::remove(train_path.c_str());
+  std::remove(score_path.c_str());
+}
+
+TEST(PipelineTest, SaveLoadReproducesScoresExactly) {
+  data::RawTable table = MakeTrainingTable(8);
+  auto pipeline = TargAdPipeline::Train(table, FastConfig()).ValueOrDie();
+  std::stringstream stream;
+  ASSERT_TRUE(pipeline.Save(stream).ok());
+
+  auto restored = TargAdPipeline::Load(stream).ValueOrDie();
+  EXPECT_EQ(restored.class_names(), pipeline.class_names());
+
+  data::RawTable probe;
+  probe.column_names = {"amount", "rate", "channel"};
+  probe.rows = {{"25.0", "0.31", "web"},
+                {"150.0", "0.9", "web"},
+                {"5.0", "0.95", "app"}};
+  const auto original = pipeline.Score(probe).ValueOrDie();
+  const auto roundtrip = restored.Score(probe).ValueOrDie();
+  ASSERT_EQ(original.size(), roundtrip.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(original[i], roundtrip[i]);
+  }
+}
+
+TEST(PipelineTest, LoadRejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_FALSE(TargAdPipeline::Load(empty).ok());
+  std::stringstream bad("some-other-format 3\n");
+  EXPECT_FALSE(TargAdPipeline::Load(bad).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace targad

@@ -1,0 +1,95 @@
+#include "data/profiles.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace targad {
+namespace data {
+namespace {
+
+TEST(ProfilesTest, DimensionalitiesMatchTableOne) {
+  // Table I: D = 196, 32, 41, 182.
+  EXPECT_EQ(SyntheticWorld::Make(UnswLikeProfile().world).ValueOrDie().dim(), 196u);
+  EXPECT_EQ(SyntheticWorld::Make(KddLikeProfile().world).ValueOrDie().dim(), 32u);
+  EXPECT_EQ(SyntheticWorld::Make(NslKddLikeProfile().world).ValueOrDie().dim(), 41u);
+  EXPECT_EQ(SyntheticWorld::Make(SqbLikeProfile().world).ValueOrDie().dim(), 182u);
+}
+
+TEST(ProfilesTest, ClassStructureMatchesPaper) {
+  const DatasetProfile unsw = UnswLikeProfile();
+  EXPECT_EQ(unsw.world.num_target_classes, 3);     // Generic, Backdoor, DoS.
+  EXPECT_EQ(unsw.world.num_nontarget_classes, 4);  // Fuzzers et al.
+  EXPECT_EQ(unsw.assembly.labeled_per_class, 100u);
+
+  const DatasetProfile kdd = KddLikeProfile();
+  EXPECT_EQ(kdd.world.num_target_classes, 2);  // R2L, DoS.
+  EXPECT_EQ(kdd.world.num_nontarget_classes, 1);  // Probe.
+
+  const DatasetProfile sqb = SqbLikeProfile();
+  EXPECT_EQ(sqb.assembly.labeled_per_class * 2, 212u);
+}
+
+TEST(ProfilesTest, DefaultContaminationIsFivePercent) {
+  for (const auto& p :
+       {UnswLikeProfile(), KddLikeProfile(), NslKddLikeProfile()}) {
+    EXPECT_DOUBLE_EQ(p.assembly.contamination, 0.05) << p.name;
+  }
+}
+
+TEST(ProfilesTest, ScaleShrinksSplitsButNotLabels) {
+  const DatasetProfile big = UnswLikeProfile(0.2);
+  const DatasetProfile small = UnswLikeProfile(0.05);
+  EXPECT_GT(big.assembly.unlabeled_size, small.assembly.unlabeled_size);
+  EXPECT_GT(big.assembly.test_normal, small.assembly.test_normal);
+  EXPECT_EQ(big.assembly.labeled_per_class, small.assembly.labeled_per_class);
+}
+
+TEST(ProfilesTest, AllProfilesReturnsFourInPaperOrder) {
+  const auto profiles = AllProfiles(0.05);
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_EQ(profiles[0].name, "UNSW-NB15-like");
+  EXPECT_EQ(profiles[1].name, "KDDCUP99-like");
+  EXPECT_EQ(profiles[2].name, "NSL-KDD-like");
+  EXPECT_EQ(profiles[3].name, "SQB-like");
+}
+
+TEST(ProfilesTest, MakeBundleProducesValidBundles) {
+  for (const auto& profile : AllProfiles(0.03)) {
+    auto bundle = MakeBundle(profile, /*run_seed=*/0);
+    ASSERT_TRUE(bundle.ok()) << profile.name << ": "
+                             << bundle.status().ToString();
+    EXPECT_TRUE(bundle->Validate().ok()) << profile.name;
+    EXPECT_EQ(bundle->name, profile.name);
+  }
+}
+
+TEST(ProfilesTest, RunSeedChangesSamplingNotStructure) {
+  const DatasetProfile profile = KddLikeProfile(0.03);
+  auto b0 = MakeBundle(profile, 0).ValueOrDie();
+  auto b1 = MakeBundle(profile, 1).ValueOrDie();
+  // Same sizes...
+  EXPECT_EQ(b0.train.num_unlabeled(), b1.train.num_unlabeled());
+  EXPECT_EQ(b0.test.size(), b1.test.size());
+  // ...different instances.
+  double diff = 0.0;
+  for (size_t i = 0; i < b0.train.unlabeled_x.size(); ++i) {
+    diff += std::fabs(b0.train.unlabeled_x.data()[i] -
+                      b1.train.unlabeled_x.data()[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(ProfilesTest, MakeBundleIsDeterministicPerSeed) {
+  const DatasetProfile profile = KddLikeProfile(0.03);
+  auto b0 = MakeBundle(profile, 5).ValueOrDie();
+  auto b1 = MakeBundle(profile, 5).ValueOrDie();
+  ASSERT_EQ(b0.test.x.size(), b1.test.x.size());
+  for (size_t i = 0; i < b0.test.x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b0.test.x.data()[i], b1.test.x.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace targad

@@ -1,0 +1,68 @@
+#include "core/pseudo_labels.h"
+
+#include <gtest/gtest.h>
+
+namespace targad {
+namespace core {
+namespace {
+
+TEST(PseudoLabelTest, TargetIsOneHotInFirstM) {
+  const auto row = TargetPseudoLabel(/*cls=*/1, /*m=*/3, /*k=*/2);
+  EXPECT_EQ(row, (std::vector<double>{0, 1, 0, 0, 0}));
+}
+
+TEST(PseudoLabelTest, NormalIsOneHotInLastK) {
+  const auto row = NormalPseudoLabel(/*cluster=*/1, /*m=*/3, /*k=*/2);
+  EXPECT_EQ(row, (std::vector<double>{0, 0, 0, 0, 1}));
+}
+
+TEST(PseudoLabelTest, NonTargetIsUniformOverFirstMOnly) {
+  const auto row = NonTargetPseudoLabel(/*m=*/4, /*k=*/3);
+  ASSERT_EQ(row.size(), 7u);
+  for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(row[static_cast<size_t>(j)], 0.25);
+  for (int j = 4; j < 7; ++j) EXPECT_DOUBLE_EQ(row[static_cast<size_t>(j)], 0.0);
+}
+
+TEST(PseudoLabelTest, AllLabelsSumToOne) {
+  for (int m = 1; m <= 4; ++m) {
+    for (int k = 1; k <= 4; ++k) {
+      auto check = [](const std::vector<double>& row) {
+        double sum = 0.0;
+        for (double v : row) sum += v;
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+      };
+      check(TargetPseudoLabel(m - 1, m, k));
+      check(NormalPseudoLabel(k - 1, m, k));
+      check(NonTargetPseudoLabel(m, k));
+    }
+  }
+}
+
+TEST(PseudoLabelTest, BatchRowsStackCorrectly) {
+  const nn::Matrix targets = TargetPseudoLabelRows({0, 2}, 3, 2);
+  ASSERT_EQ(targets.rows(), 2u);
+  EXPECT_DOUBLE_EQ(targets.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(targets.At(1, 2), 1.0);
+
+  const nn::Matrix normals = NormalPseudoLabelRows({1, 0}, 3, 2);
+  EXPECT_DOUBLE_EQ(normals.At(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(normals.At(1, 3), 1.0);
+
+  const nn::Matrix nontargets = NonTargetPseudoLabelRows(3, 2, 2);
+  ASSERT_EQ(nontargets.rows(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(nontargets.At(i, 0), 0.5);
+    EXPECT_DOUBLE_EQ(nontargets.At(i, 3), 0.0);
+  }
+}
+
+TEST(PseudoLabelDeathTest, OutOfRangeClassAborts) {
+  EXPECT_DEATH({ (void)TargetPseudoLabel(3, 3, 2); }, "target class");
+  EXPECT_DEATH({ (void)TargetPseudoLabel(-1, 3, 2); }, "target class");
+  EXPECT_DEATH({ (void)NormalPseudoLabel(2, 3, 2); }, "normal cluster");
+  EXPECT_DEATH({ (void)NonTargetPseudoLabel(0, 2); }, "m > 0");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace targad

@@ -1,0 +1,68 @@
+#include "core/scores.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/losses.h"
+
+namespace targad {
+namespace core {
+namespace {
+
+TEST(TargetScoresTest, PicksMaxOverFirstM) {
+  nn::Matrix logits(1, 5, {1.0, 3.0, 2.0, 6.0, 0.0});  // m = 3, k = 2.
+  const nn::Matrix p = nn::SoftmaxRows(logits);
+  const auto scores = TargetAnomalyScores(logits, 3);
+  EXPECT_NEAR(scores[0], p.At(0, 1), 1e-12);  // Max among first 3 columns.
+}
+
+TEST(TargetScoresTest, ScoreInUnitInterval) {
+  nn::Matrix logits(4, 5, 0.0);
+  logits.At(0, 0) = 100.0;
+  logits.At(1, 4) = 100.0;
+  for (double s : TargetAnomalyScores(logits, 3)) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(NormalMassTest, SumsLastKColumns) {
+  nn::Matrix logits(1, 4, {0.0, 0.0, 0.0, 0.0});  // m = 2, k = 2.
+  const auto mass = NormalProbabilityMass(logits, 2, 2);
+  EXPECT_NEAR(mass[0], 0.5, 1e-12);  // Uniform softmax.
+}
+
+TEST(NormalMassTest, ConfidentNormalNearOne) {
+  nn::Matrix logits(1, 4, {0.0, 0.0, 10.0, 0.0});
+  const auto mass = NormalProbabilityMass(logits, 2, 2);
+  EXPECT_GT(mass[0], 0.99);
+}
+
+TEST(IsNormalTest, ThresholdIsKOverMPlusK) {
+  // m = 2, k = 2 -> threshold 0.5. Uniform logits sit exactly at 0.5
+  // (strictly-greater rule -> anomalous).
+  nn::Matrix uniform(1, 4, 0.0);
+  EXPECT_FALSE(IsNormalPrediction(uniform, 2, 2)[0]);
+
+  nn::Matrix normalish(1, 4, {0.0, 0.0, 1.0, 1.0});
+  EXPECT_TRUE(IsNormalPrediction(normalish, 2, 2)[0]);
+
+  nn::Matrix anomalous(1, 4, {3.0, 0.0, 0.0, 0.0});
+  EXPECT_FALSE(IsNormalPrediction(anomalous, 2, 2)[0]);
+}
+
+TEST(IsNormalTest, AsymmetricMk) {
+  // m = 3, k = 1 -> threshold 1/4.
+  nn::Matrix logits(1, 4, 0.0);  // Normal mass = 0.25, not > 0.25.
+  EXPECT_FALSE(IsNormalPrediction(logits, 3, 1)[0]);
+  logits.At(0, 3) = 0.5;
+  EXPECT_TRUE(IsNormalPrediction(logits, 3, 1)[0]);
+}
+
+TEST(ScoresDeathTest, WidthMismatchAborts) {
+  nn::Matrix logits(1, 4, 0.0);
+  EXPECT_DEATH({ (void)NormalProbabilityMass(logits, 2, 3); }, "columns");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace targad

@@ -1,0 +1,108 @@
+#include "nn/serialize.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/targad.h"
+#include "test_util.h"
+
+namespace targad {
+namespace {
+
+TEST(MatrixSerializeTest, RoundTripPreservesValuesExactly) {
+  Rng rng(1);
+  nn::Matrix m(3, 4);
+  for (double& v : m.data()) v = rng.Normal() * 1e-7;
+  std::stringstream stream;
+  ASSERT_TRUE(nn::WriteMatrix(stream, m).ok());
+  auto loaded = nn::ReadMatrix(stream).ValueOrDie();
+  ASSERT_TRUE(loaded.SameShape(m));
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.data()[i], m.data()[i]);
+  }
+}
+
+TEST(MatrixSerializeTest, RejectsCorruptHeaders) {
+  std::stringstream bad1("matrx 2 2\n1 2\n3 4\n");
+  EXPECT_FALSE(nn::ReadMatrix(bad1).ok());
+  std::stringstream bad2("matrix 2\n");
+  EXPECT_FALSE(nn::ReadMatrix(bad2).ok());
+  std::stringstream truncated("matrix 2 2\n1 2 3\n");
+  EXPECT_FALSE(nn::ReadMatrix(truncated).ok());
+  std::stringstream nonfinite("matrix 1 1\nnan\n");
+  EXPECT_FALSE(nn::ReadMatrix(nonfinite).ok());
+}
+
+TEST(ParamsSerializeTest, RoundTripThroughIdenticalArchitecture) {
+  Rng r1(2), r2(3);
+  nn::Sequential a = nn::Sequential::MakeMlp({4, 8, 2}, nn::Activation::kReLU,
+                                             nn::Activation::kNone, &r1);
+  nn::Sequential b = nn::Sequential::MakeMlp({4, 8, 2}, nn::Activation::kReLU,
+                                             nn::Activation::kNone, &r2);
+  std::stringstream stream;
+  ASSERT_TRUE(nn::WriteParams(stream, a).ok());
+  ASSERT_TRUE(nn::ReadParams(stream, &b).ok());
+
+  nn::Matrix x(3, 4, 0.25);
+  nn::Matrix ya = a.Forward(x);
+  nn::Matrix yb = b.Forward(x);
+  for (size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST(ParamsSerializeTest, RejectsArchitectureMismatch) {
+  Rng r1(4), r2(5);
+  nn::Sequential a = nn::Sequential::MakeMlp({4, 8, 2}, nn::Activation::kReLU,
+                                             nn::Activation::kNone, &r1);
+  nn::Sequential narrower = nn::Sequential::MakeMlp(
+      {4, 6, 2}, nn::Activation::kReLU, nn::Activation::kNone, &r2);
+  std::stringstream stream;
+  ASSERT_TRUE(nn::WriteParams(stream, a).ok());
+  EXPECT_FALSE(nn::ReadParams(stream, &narrower).ok());
+}
+
+TEST(TargAdSerializeTest, SaveLoadReproducesScoresExactly) {
+  data::DatasetBundle bundle = targad::testing::TinyBundle(51);
+  core::TargADConfig config;
+  config.seed = 9;
+  config.selection.k = 2;
+  config.epochs = 10;
+  config.selection.autoencoder.epochs = 10;
+  auto model = core::TargAD::Make(config).ValueOrDie();
+  TARGAD_CHECK_OK(model.Fit(bundle.train));
+
+  std::stringstream stream;
+  ASSERT_TRUE(model.Save(stream).ok());
+  auto loaded = core::TargAD::Load(stream).ValueOrDie();
+  EXPECT_TRUE(loaded.fitted());
+  EXPECT_EQ(loaded.m(), model.m());
+  EXPECT_EQ(loaded.k(), model.k());
+
+  const auto original = model.Score(bundle.test.x);
+  const auto restored = loaded.Score(bundle.test.x);
+  ASSERT_EQ(original.size(), restored.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(original[i], restored[i]);
+  }
+}
+
+TEST(TargAdSerializeTest, SaveBeforeFitFails) {
+  core::TargADConfig config;
+  auto model = core::TargAD::Make(config).ValueOrDie();
+  std::stringstream stream;
+  EXPECT_EQ(model.Save(stream).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TargAdSerializeTest, LoadRejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_FALSE(core::TargAD::Load(empty).ok());
+  std::stringstream wrong_magic("not-a-model 1 2 3\n");
+  EXPECT_FALSE(core::TargAD::Load(wrong_magic).ok());
+  std::stringstream truncated("targad-v1\n2 2 10\nhidden 2 64 32\n");
+  EXPECT_FALSE(core::TargAD::Load(truncated).ok());
+}
+
+}  // namespace
+}  // namespace targad

@@ -1,0 +1,159 @@
+#include "data/splits.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "test_util.h"
+
+namespace targad {
+namespace data {
+namespace {
+
+TEST(TwoWaySplitTest, SizesAndDisjointness) {
+  Rng rng(1);
+  std::vector<size_t> first, second;
+  TwoWaySplit(100, 0.3, &rng, &first, &second);
+  EXPECT_EQ(first.size(), 30u);
+  EXPECT_EQ(second.size(), 70u);
+  std::set<size_t> all(first.begin(), first.end());
+  all.insert(second.begin(), second.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(StratifiedSplitTest, PreservesClassProportions) {
+  std::vector<int> labels;
+  for (int i = 0; i < 80; ++i) labels.push_back(0);
+  for (int i = 0; i < 20; ++i) labels.push_back(1);
+  Rng rng(2);
+  std::vector<size_t> first, second;
+  StratifiedSplit(labels, 0.5, &rng, &first, &second);
+  size_t first_class1 = 0;
+  for (size_t i : first) first_class1 += labels[i] == 1 ? 1 : 0;
+  EXPECT_EQ(first.size(), 50u);
+  EXPECT_EQ(first_class1, 10u);
+}
+
+class AssembleBundleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto world = SyntheticWorld::Make(targad::testing::TinyWorldConfig()).ValueOrDie();
+    Rng rng(3);
+    pool_ = world.GeneratePool(1200, 150, 150, &rng);
+  }
+
+  AssemblyConfig BaseConfig() {
+    AssemblyConfig config;
+    config.num_target_classes = 2;
+    config.labeled_per_class = 20;
+    config.unlabeled_size = 600;
+    config.contamination = 0.05;
+    config.target_share_of_contamination = 0.4;
+    config.val_normal = 100;
+    config.val_target = 20;
+    config.val_nontarget = 25;
+    config.test_normal = 150;
+    config.test_target = 30;
+    config.test_nontarget = 35;
+    config.seed = 7;
+    return config;
+  }
+
+  LabeledPool pool_;
+};
+
+TEST_F(AssembleBundleTest, ProducesRequestedSizes) {
+  auto bundle = AssembleBundle(pool_, BaseConfig()).ValueOrDie();
+  EXPECT_EQ(bundle.train.num_labeled(), 40u);
+  EXPECT_EQ(bundle.train.num_unlabeled(), 600u);
+  EXPECT_EQ(bundle.validation.size(), 145u);
+  EXPECT_EQ(bundle.test.size(), 215u);
+  EXPECT_EQ(bundle.test.CountsByKind(), (std::vector<size_t>{150, 30, 35}));
+}
+
+TEST_F(AssembleBundleTest, ContaminationMatchesConfig) {
+  auto bundle = AssembleBundle(pool_, BaseConfig()).ValueOrDie();
+  size_t anomalies = 0;
+  for (InstanceKind k : bundle.train.unlabeled_truth) {
+    if (k != InstanceKind::kNormal) ++anomalies;
+  }
+  EXPECT_EQ(anomalies, 30u);  // 5% of 600.
+  // Target share of contamination: 40% of 30 = 12.
+  size_t targets = 0;
+  for (InstanceKind k : bundle.train.unlabeled_truth) {
+    if (k == InstanceKind::kTarget) ++targets;
+  }
+  EXPECT_EQ(targets, 12u);
+}
+
+TEST_F(AssembleBundleTest, LabeledClassesBalanced) {
+  auto bundle = AssembleBundle(pool_, BaseConfig()).ValueOrDie();
+  std::vector<int> counts(2, 0);
+  for (int c : bundle.train.labeled_class) counts[static_cast<size_t>(c)]++;
+  EXPECT_EQ(counts[0], 20);
+  EXPECT_EQ(counts[1], 20);
+}
+
+TEST_F(AssembleBundleTest, DeterministicForSameSeed) {
+  auto b1 = AssembleBundle(pool_, BaseConfig()).ValueOrDie();
+  auto b2 = AssembleBundle(pool_, BaseConfig()).ValueOrDie();
+  ASSERT_EQ(b1.train.unlabeled_x.size(), b2.train.unlabeled_x.size());
+  for (size_t i = 0; i < b1.train.unlabeled_x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b1.train.unlabeled_x.data()[i],
+                     b2.train.unlabeled_x.data()[i]);
+  }
+}
+
+TEST_F(AssembleBundleTest, DifferentSeedsDiffer) {
+  AssemblyConfig other = BaseConfig();
+  other.seed = 8;
+  auto b1 = AssembleBundle(pool_, BaseConfig()).ValueOrDie();
+  auto b2 = AssembleBundle(pool_, other).ValueOrDie();
+  double diff = 0.0;
+  for (size_t i = 0; i < b1.train.unlabeled_x.size(); ++i) {
+    diff += std::fabs(b1.train.unlabeled_x.data()[i] -
+                      b2.train.unlabeled_x.data()[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST_F(AssembleBundleTest, NonTargetClassFilterExcludesFromTraining) {
+  AssemblyConfig config = BaseConfig();
+  config.train_nontarget_classes = {0};  // Class 1 becomes "new at test time".
+  auto bundle = AssembleBundle(pool_, config).ValueOrDie();
+  // All non-target anomalies in the unlabeled pool must be class 0. Verify
+  // via the test set having both classes while training had the filter on.
+  std::set<int> test_nt_classes;
+  for (size_t i = 0; i < bundle.test.size(); ++i) {
+    if (bundle.test.kind[i] == InstanceKind::kNonTarget) {
+      test_nt_classes.insert(bundle.test.nontarget_class[i]);
+    }
+  }
+  EXPECT_TRUE(test_nt_classes.count(1) > 0)
+      << "test set must still contain the held-out non-target class";
+}
+
+TEST_F(AssembleBundleTest, FailsWhenPoolTooSmall) {
+  AssemblyConfig config = BaseConfig();
+  config.unlabeled_size = 100000;
+  EXPECT_FALSE(AssembleBundle(pool_, config).ok());
+}
+
+TEST_F(AssembleBundleTest, FailsOnBadContamination) {
+  AssemblyConfig config = BaseConfig();
+  config.contamination = 1.5;
+  EXPECT_FALSE(AssembleBundle(pool_, config).ok());
+}
+
+TEST_F(AssembleBundleTest, ValidatesTargetClassCount) {
+  AssemblyConfig config = BaseConfig();
+  config.num_target_classes = 0;
+  EXPECT_FALSE(AssembleBundle(pool_, config).ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace targad

@@ -1,0 +1,109 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace targad {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("k must be positive, got ", -3);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "k must be positive, got -3");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: k must be positive, got -3");
+}
+
+TEST(StatusTest, ConcatenatesMixedArgumentTypes) {
+  Status st = Status::IOError("file ", std::string("x.csv"), " line ", 12UL,
+                              " char ", 'c');
+  EXPECT_EQ(st.message(), "file x.csv line 12 char c");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotImplemented), "NotImplemented");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IOError("x"));
+}
+
+Status FailsWhenNegative(int v) {
+  if (v < 0) return Status::OutOfRange("v = ", v);
+  return Status::OK();
+}
+
+Status Chained(int v) {
+  TARGAD_RETURN_NOT_OK(FailsWhenNegative(v));
+  return Status::Internal("should be reached only for non-negative v");
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(Chained(-1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Chained(1).code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> HalfOf(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterOf(int v) {
+  TARGAD_ASSIGN_OR_RETURN(int half, HalfOf(v));
+  return HalfOf(half);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  ASSERT_TRUE(QuarterOf(8).ok());
+  EXPECT_EQ(QuarterOf(8).ValueOrDie(), 2);
+  EXPECT_FALSE(QuarterOf(6).ok());  // 6/2 = 3 is odd.
+  EXPECT_FALSE(QuarterOf(3).ok());
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "boom");
+}
+
+}  // namespace
+}  // namespace targad

@@ -1,0 +1,181 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace targad {
+namespace data {
+namespace {
+
+TEST(SyntheticWorldTest, RejectsBadConfigs) {
+  SyntheticWorldConfig config = targad::testing::TinyWorldConfig();
+  config.num_target_classes = 0;
+  EXPECT_FALSE(SyntheticWorld::Make(config).ok());
+
+  config = targad::testing::TinyWorldConfig();
+  config.latent_dim = 0;
+  EXPECT_FALSE(SyntheticWorld::Make(config).ok());
+
+  config = targad::testing::TinyWorldConfig();
+  config.informative_fraction = 0.0;
+  EXPECT_FALSE(SyntheticWorld::Make(config).ok());
+
+  config = targad::testing::TinyWorldConfig();
+  config.num_categorical = 2;
+  config.categories_per_col = 1;
+  EXPECT_FALSE(SyntheticWorld::Make(config).ok());
+}
+
+TEST(SyntheticWorldTest, DimIncludesCategoricalOneHot) {
+  SyntheticWorldConfig config = targad::testing::TinyWorldConfig();
+  config.num_categorical = 3;
+  config.categories_per_col = 4;
+  auto world = SyntheticWorld::Make(config).ValueOrDie();
+  EXPECT_EQ(world.dim(), config.ambient_dim + 12);
+}
+
+TEST(SyntheticWorldTest, FeaturesStayInUnitRange) {
+  auto world = SyntheticWorld::Make(targad::testing::TinyWorldConfig()).ValueOrDie();
+  Rng rng(1);
+  LabeledPool pool = world.GeneratePool(200, 50, 50, &rng);
+  for (double v : pool.x.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SyntheticWorldTest, PoolCountsAndLabels) {
+  auto world = SyntheticWorld::Make(targad::testing::TinyWorldConfig()).ValueOrDie();
+  Rng rng(2);
+  LabeledPool pool = world.GeneratePool(100, 30, 40, &rng);
+  // 100 normals + 2 x 30 targets + 2 x 40 non-targets.
+  EXPECT_EQ(pool.x.rows(), 240u);
+  size_t n_normal = 0, n_target = 0, n_nontarget = 0;
+  for (size_t i = 0; i < pool.kind.size(); ++i) {
+    switch (pool.kind[i]) {
+      case InstanceKind::kNormal:
+        ++n_normal;
+        EXPECT_EQ(pool.target_class[i], -1);
+        EXPECT_EQ(pool.nontarget_class[i], -1);
+        break;
+      case InstanceKind::kTarget:
+        ++n_target;
+        EXPECT_GE(pool.target_class[i], 0);
+        EXPECT_LT(pool.target_class[i], 2);
+        break;
+      case InstanceKind::kNonTarget:
+        ++n_nontarget;
+        EXPECT_GE(pool.nontarget_class[i], 0);
+        EXPECT_LT(pool.nontarget_class[i], 2);
+        break;
+    }
+  }
+  EXPECT_EQ(n_normal, 100u);
+  EXPECT_EQ(n_target, 60u);
+  EXPECT_EQ(n_nontarget, 80u);
+}
+
+TEST(SyntheticWorldTest, DeterministicGivenSeeds) {
+  auto world1 = SyntheticWorld::Make(targad::testing::TinyWorldConfig()).ValueOrDie();
+  auto world2 = SyntheticWorld::Make(targad::testing::TinyWorldConfig()).ValueOrDie();
+  Rng rng1(3), rng2(3);
+  LabeledPool p1 = world1.GeneratePool(50, 10, 10, &rng1);
+  LabeledPool p2 = world2.GeneratePool(50, 10, 10, &rng2);
+  ASSERT_EQ(p1.x.size(), p2.x.size());
+  for (size_t i = 0; i < p1.x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1.x.data()[i], p2.x.data()[i]);
+  }
+}
+
+// Mean distance from a group of rows to the overall normal centroid.
+double MeanDistanceToCentroid(const nn::Matrix& x,
+                              const std::vector<size_t>& group,
+                              const std::vector<double>& centroid) {
+  double total = 0.0;
+  for (size_t i : group) {
+    double d2 = 0.0;
+    const double* row = x.RowPtr(i);
+    for (size_t j = 0; j < x.cols(); ++j) {
+      d2 += (row[j] - centroid[j]) * (row[j] - centroid[j]);
+    }
+    total += std::sqrt(d2);
+  }
+  return total / static_cast<double>(group.size());
+}
+
+TEST(SyntheticWorldTest, NonTargetsAreFartherFromNormalManifoldThanTargets) {
+  // The base-geometry claim is about CLASS placement, so test the
+  // single-variant world (variant scatter deliberately blurs radii).
+  SyntheticWorldConfig config = targad::testing::TinyWorldConfig();
+  config.variants_per_class = 1;
+  auto world = SyntheticWorld::Make(config).ValueOrDie();
+  Rng rng(4);
+  LabeledPool pool = world.GeneratePool(600, 150, 150, &rng);
+
+  std::vector<size_t> normals, targets, nontargets;
+  for (size_t i = 0; i < pool.kind.size(); ++i) {
+    switch (pool.kind[i]) {
+      case InstanceKind::kNormal: normals.push_back(i); break;
+      case InstanceKind::kTarget: targets.push_back(i); break;
+      case InstanceKind::kNonTarget: nontargets.push_back(i); break;
+    }
+  }
+  std::vector<double> centroid(pool.x.cols(), 0.0);
+  for (size_t i : normals) {
+    const double* row = pool.x.RowPtr(i);
+    for (size_t j = 0; j < pool.x.cols(); ++j) centroid[j] += row[j];
+  }
+  for (double& c : centroid) c /= static_cast<double>(normals.size());
+
+  const double d_normal = MeanDistanceToCentroid(pool.x, normals, centroid);
+  const double d_target = MeanDistanceToCentroid(pool.x, targets, centroid);
+  const double d_nontarget = MeanDistanceToCentroid(pool.x, nontargets, centroid);
+  // The designed geometry: normal < target < non-target.
+  EXPECT_LT(d_normal, d_target);
+  EXPECT_LT(d_target, d_nontarget);
+}
+
+TEST(SyntheticWorldTest, CategoricalColumnsAreOneHot) {
+  SyntheticWorldConfig config = targad::testing::TinyWorldConfig();
+  config.num_categorical = 2;
+  config.categories_per_col = 5;
+  auto world = SyntheticWorld::Make(config).ValueOrDie();
+  Rng rng(5);
+  LabeledPool pool = world.GeneratePool(50, 10, 10, &rng);
+  for (size_t i = 0; i < pool.x.rows(); ++i) {
+    for (size_t c = 0; c < 2; ++c) {
+      double sum = 0.0;
+      for (size_t s = 0; s < 5; ++s) {
+        const double v = pool.x.At(i, config.ambient_dim + c * 5 + s);
+        EXPECT_TRUE(v == 0.0 || v == 1.0);
+        sum += v;
+      }
+      EXPECT_DOUBLE_EQ(sum, 1.0);
+    }
+  }
+}
+
+// Property sweep over class-structure parameters.
+class SyntheticStructureTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyntheticStructureTest, HandlesVariedClassCounts) {
+  SyntheticWorldConfig config = targad::testing::TinyWorldConfig();
+  config.num_target_classes = GetParam();
+  config.num_nontarget_classes = 7 - GetParam();
+  auto world = SyntheticWorld::Make(config).ValueOrDie();
+  Rng rng(6);
+  LabeledPool pool = world.GeneratePool(100, 10, 10, &rng);
+  EXPECT_EQ(pool.x.rows(),
+            100u + 10u * static_cast<size_t>(GetParam()) +
+                10u * static_cast<size_t>(7 - GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(TargetClassCounts, SyntheticStructureTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace data
+}  // namespace targad

@@ -1,0 +1,238 @@
+#include "core/targad.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/confusion.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace targad {
+namespace core {
+namespace {
+
+TargADConfig FastConfig(uint64_t seed = 7) {
+  TargADConfig config;
+  config.seed = seed;
+  // Paper-default hyperparameters; k pinned to the tiny world's true group
+  // count to skip the elbow sweep in tests.
+  config.selection.k = 2;
+  return config;
+}
+
+class TargADTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new data::DatasetBundle(targad::testing::TinyBundle(21));
+    model_ = new TargAD(TargAD::Make(FastConfig()).ValueOrDie());
+    TARGAD_CHECK_OK(model_->Fit(bundle_->train));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete bundle_;
+    model_ = nullptr;
+    bundle_ = nullptr;
+  }
+
+  static data::DatasetBundle* bundle_;
+  static TargAD* model_;
+};
+
+data::DatasetBundle* TargADTest::bundle_ = nullptr;
+TargAD* TargADTest::model_ = nullptr;
+
+TEST_F(TargADTest, DetectsTargetAnomaliesWell) {
+  const auto labels = bundle_->test.BinaryTargetLabels();
+  const auto scores = model_->Score(bundle_->test.x);
+  const double auprc = eval::Auprc(scores, labels).ValueOrDie();
+  const double auroc = eval::Auroc(scores, labels).ValueOrDie();
+  // Base rate is ~14%; the model must rank targets far above it.
+  EXPECT_GT(auprc, 0.5);
+  EXPECT_GT(auroc, 0.85);
+}
+
+TEST_F(TargADTest, ScoresAreValidProbabilities) {
+  for (double s : model_->Score(bundle_->test.x)) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_F(TargADTest, SuppressesNonTargetAnomalies) {
+  // The paper's core claim: non-target anomalies must NOT score like
+  // target anomalies. Mean S^tar(target) must clearly exceed mean
+  // S^tar(non-target).
+  const auto scores = model_->Score(bundle_->test.x);
+  double target_mean = 0.0, nontarget_mean = 0.0;
+  size_t n_t = 0, n_o = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (bundle_->test.kind[i] == data::InstanceKind::kTarget) {
+      target_mean += scores[i];
+      ++n_t;
+    } else if (bundle_->test.kind[i] == data::InstanceKind::kNonTarget) {
+      nontarget_mean += scores[i];
+      ++n_o;
+    }
+  }
+  target_mean /= static_cast<double>(n_t);
+  nontarget_mean /= static_cast<double>(n_o);
+  EXPECT_GT(target_mean, nontarget_mean + 0.15);
+}
+
+TEST_F(TargADTest, DiagnosticsPopulated) {
+  const TargADDiagnostics& diag = model_->diagnostics();
+  EXPECT_EQ(diag.epoch_losses.size(),
+            static_cast<size_t>(model_->config().epochs));
+  EXPECT_EQ(diag.selection.k, 2);
+  EXPECT_FALSE(diag.selection.anomaly_candidates.empty());
+  EXPECT_FALSE(diag.selection.normal_candidates.empty());
+  // Loss must shrink over training.
+  EXPECT_LT(diag.epoch_losses.back().total, diag.epoch_losses.front().total);
+}
+
+TEST_F(TargADTest, LogitWidthMatchesMk) {
+  nn::Matrix logits = model_->Logits(bundle_->test.x);
+  EXPECT_EQ(logits.cols(),
+            static_cast<size_t>(model_->m() + model_->k()));
+}
+
+TEST_F(TargADTest, ThreeWayIdentificationBeatsChance) {
+  auto three_way =
+      model_->FitThreeWay(bundle_->validation, OodStrategy::kEnergyDiscrepancy)
+          .ValueOrDie();
+  const std::vector<int> pred = three_way.Predict(model_->Logits(bundle_->test.x));
+  std::vector<int> truth;
+  for (auto k : bundle_->test.kind) truth.push_back(KindToThreeWay(k));
+  auto cm = eval::ConfusionMatrix::Make(truth, pred, 3).ValueOrDie();
+  EXPECT_GT(cm.Accuracy(), 0.6);
+  EXPECT_GT(cm.Report(kPredNormal).f1, 0.7);
+}
+
+TEST(TargADUnitTest, MakeValidatesConfig) {
+  TargADConfig config = FastConfig();
+  config.epochs = 0;
+  EXPECT_FALSE(TargAD::Make(config).ok());
+  config = FastConfig();
+  config.selection.alpha = 0.0;
+  EXPECT_FALSE(TargAD::Make(config).ok());
+}
+
+TEST(TargADUnitTest, FitRejectsInvalidTrainingSet) {
+  auto model = TargAD::Make(FastConfig()).ValueOrDie();
+  data::TrainingSet bad;
+  bad.num_target_classes = 2;
+  EXPECT_FALSE(model.Fit(bad).ok());
+}
+
+TEST(TargADUnitTest, DeterministicForSameSeed) {
+  data::DatasetBundle bundle = targad::testing::TinyBundle(22);
+  auto m1 = TargAD::Make(FastConfig(9)).ValueOrDie();
+  auto m2 = TargAD::Make(FastConfig(9)).ValueOrDie();
+  TARGAD_CHECK_OK(m1.Fit(bundle.train));
+  TARGAD_CHECK_OK(m2.Fit(bundle.train));
+  const auto s1 = m1.Score(bundle.test.x);
+  const auto s2 = m2.Score(bundle.test.x);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) EXPECT_DOUBLE_EQ(s1[i], s2[i]);
+}
+
+TEST(TargADUnitTest, EpochHookFiresEveryEpoch) {
+  data::DatasetBundle bundle = targad::testing::TinyBundle(23);
+  TargADConfig config = FastConfig(10);
+  config.epochs = 5;
+  config.selection.autoencoder.epochs = 10;
+  auto model = TargAD::Make(config).ValueOrDie();
+  std::vector<int> epochs_seen;
+  TARGAD_CHECK_OK(model.Fit(bundle.train, [&](int epoch, TargAD& m) {
+    epochs_seen.push_back(epoch);
+    // The model must be scoreable mid-training.
+    EXPECT_EQ(m.Score(bundle.validation.x).size(), bundle.validation.size());
+  }));
+  EXPECT_EQ(epochs_seen, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(TargADUnitTest, WeightTraceRecordsPerEpochWeights) {
+  data::DatasetBundle bundle = targad::testing::TinyBundle(24);
+  TargADConfig config = FastConfig(11);
+  config.epochs = 4;
+  config.selection.autoencoder.epochs = 10;
+  config.trace_weights = true;
+  auto model = TargAD::Make(config).ValueOrDie();
+  TARGAD_CHECK_OK(model.Fit(bundle.train));
+  const auto& history = model.diagnostics().weight_history;
+  ASSERT_EQ(history.size(), 4u);
+  const size_t n_candidates =
+      model.diagnostics().selection.anomaly_candidates.size();
+  for (const auto& weights : history) {
+    ASSERT_EQ(weights.size(), n_candidates);
+    for (double w : weights) {
+      EXPECT_GE(w, 0.0);
+      EXPECT_LE(w, 1.0);
+    }
+  }
+}
+
+TEST(TargADUnitTest, AblationVariantsTrain) {
+  // Table III's variants must all run; full TargAD is expected to rank
+  // best on the tiny bundle, but here only trainability is asserted.
+  data::DatasetBundle bundle = targad::testing::TinyBundle(25);
+  const auto labels = bundle.test.BinaryTargetLabels();
+  for (bool use_oe : {true, false}) {
+    for (bool use_re : {true, false}) {
+      TargADConfig config = FastConfig(12);
+      config.classifier.use_oe = use_oe;
+      config.classifier.use_re = use_re;
+      auto model = TargAD::Make(config).ValueOrDie();
+      TARGAD_CHECK_OK(model.Fit(bundle.train));
+      const auto scores = model.Score(bundle.test.x);
+      EXPECT_GT(eval::Auprc(scores, labels).ValueOrDie(), 0.2)
+          << "use_oe=" << use_oe << " use_re=" << use_re;
+    }
+  }
+}
+
+TEST(TargADUnitTest, WeightModeVariantsTrain) {
+  data::DatasetBundle bundle = targad::testing::TinyBundle(26);
+  const auto labels = bundle.test.BinaryTargetLabels();
+  for (WeightMode mode :
+       {WeightMode::kDynamic, WeightMode::kFixedOnes, WeightMode::kInitialOnly}) {
+    TargADConfig config = FastConfig(13);
+    config.weight_mode = mode;
+    config.epochs = 15;
+    config.selection.autoencoder.epochs = 10;
+    auto model = TargAD::Make(config).ValueOrDie();
+    TARGAD_CHECK_OK(model.Fit(bundle.train));
+    const auto scores = model.Score(bundle.test.x);
+    EXPECT_GT(eval::Auprc(scores, labels).ValueOrDie(), 0.2)
+        << WeightModeName(mode);
+  }
+}
+
+TEST(TargADUnitTest, WeightModeNames) {
+  EXPECT_STREQ(WeightModeName(WeightMode::kDynamic), "dynamic");
+  EXPECT_STREQ(WeightModeName(WeightMode::kFixedOnes), "fixed-1");
+  EXPECT_STREQ(WeightModeName(WeightMode::kInitialOnly), "initial-only");
+}
+
+TEST(TargADUnitTest, FitWithValidationSelectsAnEpoch) {
+  data::DatasetBundle bundle = targad::testing::TinyBundle(27);
+  const auto labels = bundle.test.BinaryTargetLabels();
+  TargADConfig config = FastConfig(14);
+  config.epochs = 20;
+  config.selection.autoencoder.epochs = 10;
+  auto model = TargAD::Make(config).ValueOrDie();
+  TARGAD_CHECK_OK(model.FitWithValidation(bundle.train, bundle.validation));
+  EXPECT_TRUE(model.fitted());
+  // The selected snapshot must be a usable, better-than-chance model.
+  EXPECT_GT(eval::Auprc(model.Score(bundle.test.x), labels).ValueOrDie(), 0.3);
+}
+
+TEST(TargADUnitTest, FitWithValidationRejectsEmptyValidation) {
+  data::DatasetBundle bundle = targad::testing::TinyBundle(28);
+  auto model = TargAD::Make(FastConfig(15)).ValueOrDie();
+  data::EvalSet empty;
+  EXPECT_FALSE(model.FitWithValidation(bundle.train, empty).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace targad

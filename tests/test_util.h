@@ -1,0 +1,70 @@
+// Shared helpers for the test suite: tiny synthetic worlds and bundles that
+// keep model-training tests fast.
+
+#ifndef TARGAD_TESTS_TEST_UTIL_H_
+#define TARGAD_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+
+#include "data/profiles.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+
+namespace targad {
+namespace testing {
+
+/// A small, well-separated synthetic world: 24 ambient dims, 2 normal
+/// groups, 2 target classes, 2 non-target classes.
+inline data::SyntheticWorldConfig TinyWorldConfig(uint64_t seed = 42) {
+  data::SyntheticWorldConfig world;
+  world.latent_dim = 6;
+  world.ambient_dim = 32;
+  world.informative_fraction = 0.9;
+  world.num_normal_groups = 2;
+  world.num_target_classes = 2;
+  world.num_nontarget_classes = 2;
+  world.target_separation = 5.5;
+  world.nontarget_separation = 8.5;
+  world.variants_per_class = 3;
+  world.variant_scatter = 1.3;
+  world.target_spread = 0.7;
+  world.nontarget_spread = 0.7;
+    world.feature_noise = 0.02;
+  world.seed = seed;
+  return world;
+}
+
+/// A small DatasetBundle (~800 unlabeled, ~300-instance eval splits) for
+/// integration tests. Builds the tiny world and assembles the splits.
+inline data::DatasetBundle TinyBundle(uint64_t seed = 42,
+                                      double contamination = 0.05) {
+  data::SyntheticWorldConfig world_config = TinyWorldConfig(seed);
+  data::SyntheticWorld world =
+      data::SyntheticWorld::Make(world_config).ValueOrDie();
+  Rng rng(seed ^ 0x7E577E57ULL);
+  data::LabeledPool pool =
+      world.GeneratePool(/*n_normal=*/1400, /*per_target_class=*/120,
+                         /*per_nontarget_class=*/120, &rng);
+  data::AssemblyConfig assembly;
+  assembly.num_target_classes = 2;
+  assembly.labeled_per_class = 30;
+  assembly.unlabeled_size = 800;
+  assembly.contamination = contamination;
+  assembly.target_share_of_contamination = 0.4;
+  assembly.val_normal = 200;
+  assembly.val_target = 40;
+  assembly.val_nontarget = 50;
+  assembly.test_normal = 300;
+  assembly.test_target = 60;
+  assembly.test_nontarget = 80;
+  assembly.seed = seed;
+  data::DatasetBundle bundle =
+      data::AssembleBundle(pool, assembly).ValueOrDie();
+  bundle.name = "tiny";
+  return bundle;
+}
+
+}  // namespace testing
+}  // namespace targad
+
+#endif  // TARGAD_TESTS_TEST_UTIL_H_

@@ -1,0 +1,85 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace targad {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorksWithSingleThread) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&pool, &counter] {
+    counter.fetch_add(1);
+    pool.Submit([&counter] { counter.fetch_add(10); });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  ThreadPool::ParallelFor(64, [&hits](size_t i) { hits[i].fetch_add(1); }, 4);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoop) {
+  ThreadPool::ParallelFor(0, [](size_t) { FAIL() << "must not run"; }, 4);
+}
+
+TEST(ParallelForTest, SingleThreadFallbackPreservesOrder) {
+  std::vector<size_t> order;
+  ThreadPool::ParallelFor(5, [&order](size_t i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ComputesCorrectAggregate) {
+  std::vector<double> out(1000, 0.0);
+  ThreadPool::ParallelFor(out.size(), [&out](size_t i) {
+    out[i] = static_cast<double>(i) * 2.0;
+  });
+  double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0);
+}
+
+}  // namespace
+}  // namespace targad

@@ -1,0 +1,77 @@
+#include "eval/triage.h"
+
+#include <gtest/gtest.h>
+
+namespace targad {
+namespace eval {
+namespace {
+
+// Scores descending with labels: queue head is [target, nontarget, target,
+// normal, ...].
+const std::vector<double> kScores = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2};
+const std::vector<int> kLabels = {1, 2, 1, 0, 2, 0, 1, 0};
+
+TEST(AnalyzeQueueTest, CountsTopKComposition) {
+  auto queue = AnalyzeQueue(kScores, kLabels, 4).ValueOrDie();
+  EXPECT_EQ(queue.capacity, 4u);
+  ASSERT_EQ(queue.counts.size(), 3u);
+  EXPECT_EQ(queue.counts[0], 1u);
+  EXPECT_EQ(queue.counts[1], 2u);
+  EXPECT_EQ(queue.counts[2], 1u);
+  EXPECT_DOUBLE_EQ(queue.queue_precision, 0.5);
+  EXPECT_DOUBLE_EQ(queue.target_recall, 2.0 / 3.0);
+}
+
+TEST(AnalyzeQueueTest, FullQueueHasFullRecall) {
+  auto queue = AnalyzeQueue(kScores, kLabels, kScores.size()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(queue.target_recall, 1.0);
+}
+
+TEST(AnalyzeQueueTest, CustomTargetLabel) {
+  auto queue = AnalyzeQueue(kScores, kLabels, 2, /*target_label=*/2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(queue.queue_precision, 0.5);  // One non-target in top 2.
+}
+
+TEST(AnalyzeQueueTest, RejectsBadInputs) {
+  EXPECT_FALSE(AnalyzeQueue(kScores, kLabels, 0).ok());
+  EXPECT_FALSE(AnalyzeQueue(kScores, kLabels, 100).ok());
+  EXPECT_FALSE(AnalyzeQueue({0.5}, {0, 1}, 1).ok());
+  EXPECT_FALSE(AnalyzeQueue({0.5}, {-1}, 1).ok());
+}
+
+TEST(CapacityForRecallTest, FindsMinimalCapacity) {
+  // Targets sit at ranks 1, 3, 7.
+  EXPECT_EQ(CapacityForRecall(kScores, kLabels, 1.0 / 3.0).ValueOrDie(), 1u);
+  EXPECT_EQ(CapacityForRecall(kScores, kLabels, 0.66).ValueOrDie(), 3u);
+  EXPECT_EQ(CapacityForRecall(kScores, kLabels, 1.0).ValueOrDie(), 7u);
+}
+
+TEST(CapacityForRecallTest, RejectsBadRecall) {
+  EXPECT_FALSE(CapacityForRecall(kScores, kLabels, 0.0).ok());
+  EXPECT_FALSE(CapacityForRecall(kScores, kLabels, 1.5).ok());
+  const std::vector<int> no_targets = {0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(CapacityForRecall(kScores, no_targets, 0.5).ok());
+}
+
+TEST(EffortRatioTest, GoodRankingBeatsRandomChecking) {
+  // Perfect ranking: all 3 targets in the top 3 of 300 instances.
+  std::vector<double> scores(300);
+  std::vector<int> labels(300, 0);
+  for (size_t i = 0; i < 300; ++i) scores[i] = 1.0 - static_cast<double>(i) / 300;
+  labels[0] = labels[1] = labels[2] = 1;
+  const double ratio = EffortRatio(scores, labels, 1.0).ValueOrDie();
+  EXPECT_LT(ratio, 0.05);  // 3 checks vs 300 random checks.
+}
+
+TEST(EffortRatioTest, WorstRankingIsExpensive) {
+  std::vector<double> scores(100);
+  std::vector<int> labels(100, 0);
+  for (size_t i = 0; i < 100; ++i) scores[i] = 1.0 - static_cast<double>(i) / 100;
+  labels[99] = 1;  // The only target is ranked last.
+  const double ratio = EffortRatio(scores, labels, 1.0).ValueOrDie();
+  EXPECT_GT(ratio, 0.9);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace targad

@@ -1,0 +1,88 @@
+#include "core/weighting.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/losses.h"
+
+namespace targad {
+namespace core {
+namespace {
+
+TEST(MinMaxFlipTest, ExtremesMapToZeroAndOne) {
+  const auto w = MinMaxFlipWeights({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(w[0], 0.0);  // Max value -> weight 0.
+  EXPECT_DOUBLE_EQ(w[1], 1.0);  // Min value -> weight 1.
+  EXPECT_DOUBLE_EQ(w[2], 0.5);
+}
+
+TEST(MinMaxFlipTest, AllWeightsInUnitInterval) {
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(rng.Normal(0.0, 10.0));
+  const auto w = MinMaxFlipWeights(values);
+  for (double v : w) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MinMaxFlipTest, OrderIsReversed) {
+  Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) values.push_back(rng.Uniform());
+  const auto w = MinMaxFlipWeights(values);
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      if (values[i] < values[j]) {
+        EXPECT_GE(w[i], w[j]);
+      }
+    }
+  }
+}
+
+TEST(MinMaxFlipTest, DegenerateAllEqualGivesOnes) {
+  const auto w = MinMaxFlipWeights({2.0, 2.0, 2.0});
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(MinMaxFlipDeathTest, EmptyAborts) {
+  EXPECT_DEATH({ (void)MinMaxFlipWeights({}); }, "empty");
+}
+
+TEST(InitialWeightsTest, SmallReconErrorGetsLargeWeight) {
+  // Eq. (5): normal instances (small error) start with high weight.
+  const auto w = InitialWeightsFromReconError({0.1, 5.0, 2.0});
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_GT(w[2], 0.0);
+  EXPECT_LT(w[2], 1.0);
+}
+
+TEST(UpdatedWeightsTest, ConfidentInstancesGetLowWeight) {
+  // Eq. (4): rows with peaked softmax (high epsilon) -> low weight; rows
+  // with flat softmax (the non-target signature) -> high weight.
+  nn::Matrix logits(3, 4, 0.0);
+  logits.At(0, 0) = 10.0;                      // Very confident.
+  logits.At(1, 1) = 1.0;                       // Mildly confident.
+  /* row 2 stays flat: epsilon = 0.25. */
+  const auto w = UpdatedWeightsFromLogits(logits);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+  EXPECT_DOUBLE_EQ(w[2], 1.0);
+  EXPECT_GT(w[1], w[0]);
+  EXPECT_LT(w[1], w[2]);
+}
+
+TEST(UpdatedWeightsTest, MatchesManualEpsilonComputation) {
+  Rng rng(3);
+  nn::Matrix logits(5, 3);
+  for (double& v : logits.data()) v = rng.Normal();
+  const auto w = UpdatedWeightsFromLogits(logits);
+  const auto eps = nn::MaxSoftmaxProb(logits, 0, 3);
+  const auto expected = MinMaxFlipWeights(eps);
+  for (size_t i = 0; i < w.size(); ++i) EXPECT_DOUBLE_EQ(w[i], expected[i]);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace targad

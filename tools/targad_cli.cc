@@ -1,0 +1,232 @@
+// targad — command-line interface over the library.
+//
+//   targad generate --profile unsw|kdd|nsl|sqb --scale 0.05 --seed 1 --out P
+//       Export a synthetic dataset profile as P_{train,validation,test}.csv.
+//   targad train --train T.csv --model M [--label-column label] [--k N]
+//                [--alpha A] [--epochs E] [--seed S]
+//       Train a TargAdPipeline from a CSV and persist it to M.
+//   targad score --model M --in X.csv --out scores.csv
+//       Score a CSV with a persisted pipeline (S^tar per row).
+//   targad evaluate --scores scores.csv --truth T.csv
+//                   [--label-column label] [--target-prefix target_]
+//       AUPRC/AUROC of a score file against a labeled CSV.
+//
+// Exit status 0 on success; errors print to stderr.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/pipeline.h"
+#include "data/export.h"
+#include "data/profiles.h"
+#include "eval/metrics.h"
+
+using namespace targad;  // NOLINT(build/namespaces)
+
+namespace {
+
+// --flag value parser; flags may appear in any order.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        ok_ = false;
+        error_ = "expected --flag, got '" + key + "'";
+        return;
+      }
+      values_[key.substr(2)] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      ok_ = false;
+      error_ = "dangling flag without a value";
+    }
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    double v = fallback;
+    auto it = values_.find(key);
+    if (it != values_.end() && !ParseDouble(it->second, &v)) return fallback;
+    return v;
+  }
+
+  int GetInt(const std::string& key, int fallback) const {
+    long v = fallback;  // NOLINT(runtime/int)
+    auto it = values_.find(key);
+    if (it != values_.end() && !ParseInt(it->second, &v)) return fallback;
+    return static_cast<int>(v);
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+  std::string error_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: targad <generate|train|score|evaluate> [--flag value]...\n"
+               "run with a subcommand and no flags for its options\n");
+  return 2;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string which = ToLower(flags.Get("profile", "kdd"));
+  const double scale = flags.GetDouble("scale", 0.05);
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+  const std::string out = flags.Get("out", "targad_data");
+
+  data::DatasetProfile profile;
+  if (which == "unsw") {
+    profile = data::UnswLikeProfile(scale);
+  } else if (which == "kdd") {
+    profile = data::KddLikeProfile(scale);
+  } else if (which == "nsl") {
+    profile = data::NslKddLikeProfile(scale);
+  } else if (which == "sqb") {
+    profile = data::SqbLikeProfile(scale);
+  } else {
+    return Fail("unknown profile '" + which + "' (unsw|kdd|nsl|sqb)");
+  }
+  auto bundle = data::MakeBundle(profile, seed);
+  if (!bundle.ok()) return Fail(bundle.status().ToString());
+  Status st = data::ExportBundleCsv(*bundle, out);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %s_{train,validation,test}.csv (%s, scale %.2f)\n",
+              out.c_str(), bundle->name.c_str(), scale);
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  const std::string train_path = flags.Get("train");
+  const std::string model_path = flags.Get("model");
+  if (train_path.empty() || model_path.empty()) {
+    return Fail("train requires --train <csv> and --model <path>");
+  }
+  core::PipelineConfig config;
+  config.label_column = flags.Get("label-column", "label");
+  config.model.seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+  if (flags.Has("k")) config.model.selection.k = flags.GetInt("k", 0);
+  if (flags.Has("alpha")) {
+    config.model.selection.alpha = flags.GetDouble("alpha", 0.05);
+  }
+  if (flags.Has("epochs")) config.model.epochs = flags.GetInt("epochs", 100);
+
+  auto pipeline = core::TargAdPipeline::TrainFromCsv(train_path, config);
+  if (!pipeline.ok()) return Fail(pipeline.status().ToString());
+
+  std::ofstream out(model_path);
+  if (!out) return Fail("cannot open " + model_path + " for writing");
+  Status st = pipeline->Save(out);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("trained on %zu target classes, model written to %s\n",
+              pipeline->class_names().size(), model_path.c_str());
+  return 0;
+}
+
+int CmdScore(const Flags& flags) {
+  const std::string model_path = flags.Get("model");
+  const std::string in_path = flags.Get("in");
+  const std::string out_path = flags.Get("out");
+  if (model_path.empty() || in_path.empty() || out_path.empty()) {
+    return Fail("score requires --model, --in, and --out");
+  }
+  std::ifstream model_in(model_path);
+  if (!model_in) return Fail("cannot open " + model_path);
+  auto pipeline = core::TargAdPipeline::Load(model_in);
+  if (!pipeline.ok()) return Fail(pipeline.status().ToString());
+
+  auto scores = pipeline->ScoreCsv(in_path);
+  if (!scores.ok()) return Fail(scores.status().ToString());
+
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(scores->size());
+  for (double s : *scores) rows.push_back({FormatDouble(s, 6)});
+  Status st = data::WriteCsvRows(out_path, {"s_tar"}, rows);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("scored %zu rows -> %s\n", scores->size(), out_path.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  const std::string scores_path = flags.Get("scores");
+  const std::string truth_path = flags.Get("truth");
+  if (scores_path.empty() || truth_path.empty()) {
+    return Fail("evaluate requires --scores and --truth");
+  }
+  const std::string label_column = flags.Get("label-column", "label");
+  const std::string target_prefix = flags.Get("target-prefix", "target_");
+
+  auto scores_table = data::ReadCsv(scores_path);
+  if (!scores_table.ok()) return Fail(scores_table.status().ToString());
+  std::vector<double> scores;
+  for (const auto& row : scores_table->rows) {
+    double v = 0.0;
+    if (row.empty() || !ParseDouble(row[0], &v)) {
+      return Fail("non-numeric score row in " + scores_path);
+    }
+    scores.push_back(v);
+  }
+
+  auto truth_table = data::ReadCsv(truth_path);
+  if (!truth_table.ok()) return Fail(truth_table.status().ToString());
+  int label_col = -1;
+  for (size_t j = 0; j < truth_table->num_cols(); ++j) {
+    if (truth_table->column_names[j] == label_column) {
+      label_col = static_cast<int>(j);
+    }
+  }
+  if (label_col < 0) return Fail("label column '" + label_column + "' not found");
+  std::vector<int> labels;
+  for (const auto& row : truth_table->rows) {
+    const std::string& label = row[static_cast<size_t>(label_col)];
+    labels.push_back(label.rfind(target_prefix, 0) == 0 ? 1 : 0);
+  }
+  if (labels.size() != scores.size()) {
+    return Fail("score/truth row count mismatch");
+  }
+  auto auprc = eval::Auprc(scores, labels);
+  auto auroc = eval::Auroc(scores, labels);
+  if (!auprc.ok()) return Fail(auprc.status().ToString());
+  if (!auroc.ok()) return Fail(auroc.status().ToString());
+  std::printf("AUPRC=%.4f AUROC=%.4f (%zu rows, %d positives)\n",
+              auprc.ValueOrDie(), auroc.ValueOrDie(), scores.size(),
+              static_cast<int>(std::count(labels.begin(), labels.end(), 1)));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) return Fail(flags.error());
+
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "score") return CmdScore(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  return Usage();
+}
