@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_detectors.dir/bench_extended_detectors.cc.o"
+  "CMakeFiles/bench_extended_detectors.dir/bench_extended_detectors.cc.o.d"
+  "bench_extended_detectors"
+  "bench_extended_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_complexity.dir/bench_micro_complexity.cc.o"
+  "CMakeFiles/bench_micro_complexity.dir/bench_micro_complexity.cc.o.d"
+  "bench_micro_complexity"
+  "bench_micro_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

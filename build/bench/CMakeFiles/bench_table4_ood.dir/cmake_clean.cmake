@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ood.dir/bench_table4_ood.cc.o"
+  "CMakeFiles/bench_table4_ood.dir/bench_table4_ood.cc.o.d"
+  "bench_table4_ood"
+  "bench_table4_ood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

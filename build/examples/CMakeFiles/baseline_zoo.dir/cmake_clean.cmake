@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_zoo.dir/baseline_zoo.cpp.o"
+  "CMakeFiles/baseline_zoo.dir/baseline_zoo.cpp.o.d"
+  "baseline_zoo"
+  "baseline_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

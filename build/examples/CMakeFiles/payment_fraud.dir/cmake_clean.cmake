@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payment_fraud.dir/payment_fraud.cpp.o"
+  "CMakeFiles/payment_fraud.dir/payment_fraud.cpp.o.d"
+  "payment_fraud"
+  "payment_fraud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payment_fraud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/adoa.cc" "src/CMakeFiles/targad_baselines.dir/baselines/adoa.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/adoa.cc.o.d"
+  "/root/repo/src/baselines/deepsad.cc" "src/CMakeFiles/targad_baselines.dir/baselines/deepsad.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/deepsad.cc.o.d"
+  "/root/repo/src/baselines/devnet.cc" "src/CMakeFiles/targad_baselines.dir/baselines/devnet.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/devnet.cc.o.d"
+  "/root/repo/src/baselines/dplan.cc" "src/CMakeFiles/targad_baselines.dir/baselines/dplan.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/dplan.cc.o.d"
+  "/root/repo/src/baselines/dual_mgan.cc" "src/CMakeFiles/targad_baselines.dir/baselines/dual_mgan.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/dual_mgan.cc.o.d"
+  "/root/repo/src/baselines/ecod.cc" "src/CMakeFiles/targad_baselines.dir/baselines/ecod.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/ecod.cc.o.d"
+  "/root/repo/src/baselines/feawad.cc" "src/CMakeFiles/targad_baselines.dir/baselines/feawad.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/feawad.cc.o.d"
+  "/root/repo/src/baselines/iforest.cc" "src/CMakeFiles/targad_baselines.dir/baselines/iforest.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/iforest.cc.o.d"
+  "/root/repo/src/baselines/lof.cc" "src/CMakeFiles/targad_baselines.dir/baselines/lof.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/lof.cc.o.d"
+  "/root/repo/src/baselines/piawal.cc" "src/CMakeFiles/targad_baselines.dir/baselines/piawal.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/piawal.cc.o.d"
+  "/root/repo/src/baselines/prenet.cc" "src/CMakeFiles/targad_baselines.dir/baselines/prenet.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/prenet.cc.o.d"
+  "/root/repo/src/baselines/pumad.cc" "src/CMakeFiles/targad_baselines.dir/baselines/pumad.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/pumad.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/targad_baselines.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/repen.cc" "src/CMakeFiles/targad_baselines.dir/baselines/repen.cc.o" "gcc" "src/CMakeFiles/targad_baselines.dir/baselines/repen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/targad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/targad_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/targad_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/targad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/targad_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/targad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

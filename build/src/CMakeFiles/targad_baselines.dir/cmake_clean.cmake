@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targad_baselines.dir/baselines/adoa.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/adoa.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/deepsad.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/deepsad.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/devnet.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/devnet.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/dplan.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/dplan.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/dual_mgan.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/dual_mgan.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/ecod.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/ecod.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/feawad.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/feawad.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/iforest.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/iforest.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/lof.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/lof.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/piawal.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/piawal.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/prenet.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/prenet.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/pumad.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/pumad.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/registry.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/registry.cc.o.d"
+  "CMakeFiles/targad_baselines.dir/baselines/repen.cc.o"
+  "CMakeFiles/targad_baselines.dir/baselines/repen.cc.o.d"
+  "libtargad_baselines.a"
+  "libtargad_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targad_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

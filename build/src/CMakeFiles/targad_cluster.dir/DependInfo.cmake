@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/elbow.cc" "src/CMakeFiles/targad_cluster.dir/cluster/elbow.cc.o" "gcc" "src/CMakeFiles/targad_cluster.dir/cluster/elbow.cc.o.d"
+  "/root/repo/src/cluster/gmm.cc" "src/CMakeFiles/targad_cluster.dir/cluster/gmm.cc.o" "gcc" "src/CMakeFiles/targad_cluster.dir/cluster/gmm.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/targad_cluster.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/targad_cluster.dir/cluster/kmeans.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/targad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/targad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

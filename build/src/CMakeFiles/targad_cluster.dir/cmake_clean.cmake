@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targad_cluster.dir/cluster/elbow.cc.o"
+  "CMakeFiles/targad_cluster.dir/cluster/elbow.cc.o.d"
+  "CMakeFiles/targad_cluster.dir/cluster/gmm.cc.o"
+  "CMakeFiles/targad_cluster.dir/cluster/gmm.cc.o.d"
+  "CMakeFiles/targad_cluster.dir/cluster/kmeans.cc.o"
+  "CMakeFiles/targad_cluster.dir/cluster/kmeans.cc.o.d"
+  "libtargad_cluster.a"
+  "libtargad_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targad_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

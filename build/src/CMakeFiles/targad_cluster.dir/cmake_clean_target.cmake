@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtargad_cluster.a"
+)

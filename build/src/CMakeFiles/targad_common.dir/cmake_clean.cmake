@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targad_common.dir/common/env.cc.o"
+  "CMakeFiles/targad_common.dir/common/env.cc.o.d"
+  "CMakeFiles/targad_common.dir/common/logging.cc.o"
+  "CMakeFiles/targad_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/targad_common.dir/common/rng.cc.o"
+  "CMakeFiles/targad_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/targad_common.dir/common/string_util.cc.o"
+  "CMakeFiles/targad_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/targad_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/targad_common.dir/common/thread_pool.cc.o.d"
+  "libtargad_common.a"
+  "libtargad_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targad_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

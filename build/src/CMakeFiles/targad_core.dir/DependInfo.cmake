@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidate_selection.cc" "src/CMakeFiles/targad_core.dir/core/candidate_selection.cc.o" "gcc" "src/CMakeFiles/targad_core.dir/core/candidate_selection.cc.o.d"
+  "/root/repo/src/core/classifier.cc" "src/CMakeFiles/targad_core.dir/core/classifier.cc.o" "gcc" "src/CMakeFiles/targad_core.dir/core/classifier.cc.o.d"
+  "/root/repo/src/core/ensemble.cc" "src/CMakeFiles/targad_core.dir/core/ensemble.cc.o" "gcc" "src/CMakeFiles/targad_core.dir/core/ensemble.cc.o.d"
+  "/root/repo/src/core/ood.cc" "src/CMakeFiles/targad_core.dir/core/ood.cc.o" "gcc" "src/CMakeFiles/targad_core.dir/core/ood.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/targad_core.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/targad_core.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/pseudo_labels.cc" "src/CMakeFiles/targad_core.dir/core/pseudo_labels.cc.o" "gcc" "src/CMakeFiles/targad_core.dir/core/pseudo_labels.cc.o.d"
+  "/root/repo/src/core/sad_autoencoder.cc" "src/CMakeFiles/targad_core.dir/core/sad_autoencoder.cc.o" "gcc" "src/CMakeFiles/targad_core.dir/core/sad_autoencoder.cc.o.d"
+  "/root/repo/src/core/scores.cc" "src/CMakeFiles/targad_core.dir/core/scores.cc.o" "gcc" "src/CMakeFiles/targad_core.dir/core/scores.cc.o.d"
+  "/root/repo/src/core/targad.cc" "src/CMakeFiles/targad_core.dir/core/targad.cc.o" "gcc" "src/CMakeFiles/targad_core.dir/core/targad.cc.o.d"
+  "/root/repo/src/core/weighting.cc" "src/CMakeFiles/targad_core.dir/core/weighting.cc.o" "gcc" "src/CMakeFiles/targad_core.dir/core/weighting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/targad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/targad_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/targad_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/targad_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/targad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targad_core.dir/core/candidate_selection.cc.o"
+  "CMakeFiles/targad_core.dir/core/candidate_selection.cc.o.d"
+  "CMakeFiles/targad_core.dir/core/classifier.cc.o"
+  "CMakeFiles/targad_core.dir/core/classifier.cc.o.d"
+  "CMakeFiles/targad_core.dir/core/ensemble.cc.o"
+  "CMakeFiles/targad_core.dir/core/ensemble.cc.o.d"
+  "CMakeFiles/targad_core.dir/core/ood.cc.o"
+  "CMakeFiles/targad_core.dir/core/ood.cc.o.d"
+  "CMakeFiles/targad_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/targad_core.dir/core/pipeline.cc.o.d"
+  "CMakeFiles/targad_core.dir/core/pseudo_labels.cc.o"
+  "CMakeFiles/targad_core.dir/core/pseudo_labels.cc.o.d"
+  "CMakeFiles/targad_core.dir/core/sad_autoencoder.cc.o"
+  "CMakeFiles/targad_core.dir/core/sad_autoencoder.cc.o.d"
+  "CMakeFiles/targad_core.dir/core/scores.cc.o"
+  "CMakeFiles/targad_core.dir/core/scores.cc.o.d"
+  "CMakeFiles/targad_core.dir/core/targad.cc.o"
+  "CMakeFiles/targad_core.dir/core/targad.cc.o.d"
+  "CMakeFiles/targad_core.dir/core/weighting.cc.o"
+  "CMakeFiles/targad_core.dir/core/weighting.cc.o.d"
+  "libtargad_core.a"
+  "libtargad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/targad_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/targad_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/targad_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/targad_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/export.cc" "src/CMakeFiles/targad_data.dir/data/export.cc.o" "gcc" "src/CMakeFiles/targad_data.dir/data/export.cc.o.d"
+  "/root/repo/src/data/loaders.cc" "src/CMakeFiles/targad_data.dir/data/loaders.cc.o" "gcc" "src/CMakeFiles/targad_data.dir/data/loaders.cc.o.d"
+  "/root/repo/src/data/preprocess.cc" "src/CMakeFiles/targad_data.dir/data/preprocess.cc.o" "gcc" "src/CMakeFiles/targad_data.dir/data/preprocess.cc.o.d"
+  "/root/repo/src/data/profiles.cc" "src/CMakeFiles/targad_data.dir/data/profiles.cc.o" "gcc" "src/CMakeFiles/targad_data.dir/data/profiles.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/CMakeFiles/targad_data.dir/data/splits.cc.o" "gcc" "src/CMakeFiles/targad_data.dir/data/splits.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/targad_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/targad_data.dir/data/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/targad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/targad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targad_data.dir/data/csv.cc.o"
+  "CMakeFiles/targad_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/targad_data.dir/data/dataset.cc.o"
+  "CMakeFiles/targad_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/targad_data.dir/data/export.cc.o"
+  "CMakeFiles/targad_data.dir/data/export.cc.o.d"
+  "CMakeFiles/targad_data.dir/data/loaders.cc.o"
+  "CMakeFiles/targad_data.dir/data/loaders.cc.o.d"
+  "CMakeFiles/targad_data.dir/data/preprocess.cc.o"
+  "CMakeFiles/targad_data.dir/data/preprocess.cc.o.d"
+  "CMakeFiles/targad_data.dir/data/profiles.cc.o"
+  "CMakeFiles/targad_data.dir/data/profiles.cc.o.d"
+  "CMakeFiles/targad_data.dir/data/splits.cc.o"
+  "CMakeFiles/targad_data.dir/data/splits.cc.o.d"
+  "CMakeFiles/targad_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/targad_data.dir/data/synthetic.cc.o.d"
+  "libtargad_data.a"
+  "libtargad_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targad_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/calibration.cc" "src/CMakeFiles/targad_eval.dir/eval/calibration.cc.o" "gcc" "src/CMakeFiles/targad_eval.dir/eval/calibration.cc.o.d"
+  "/root/repo/src/eval/confusion.cc" "src/CMakeFiles/targad_eval.dir/eval/confusion.cc.o" "gcc" "src/CMakeFiles/targad_eval.dir/eval/confusion.cc.o.d"
+  "/root/repo/src/eval/curves.cc" "src/CMakeFiles/targad_eval.dir/eval/curves.cc.o" "gcc" "src/CMakeFiles/targad_eval.dir/eval/curves.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/targad_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/targad_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/triage.cc" "src/CMakeFiles/targad_eval.dir/eval/triage.cc.o" "gcc" "src/CMakeFiles/targad_eval.dir/eval/triage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/targad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

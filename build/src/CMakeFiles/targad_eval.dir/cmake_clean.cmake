@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targad_eval.dir/eval/calibration.cc.o"
+  "CMakeFiles/targad_eval.dir/eval/calibration.cc.o.d"
+  "CMakeFiles/targad_eval.dir/eval/confusion.cc.o"
+  "CMakeFiles/targad_eval.dir/eval/confusion.cc.o.d"
+  "CMakeFiles/targad_eval.dir/eval/curves.cc.o"
+  "CMakeFiles/targad_eval.dir/eval/curves.cc.o.d"
+  "CMakeFiles/targad_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/targad_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/targad_eval.dir/eval/triage.cc.o"
+  "CMakeFiles/targad_eval.dir/eval/triage.cc.o.d"
+  "libtargad_eval.a"
+  "libtargad_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targad_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

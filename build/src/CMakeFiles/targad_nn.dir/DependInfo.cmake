@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/autoencoder.cc" "src/CMakeFiles/targad_nn.dir/nn/autoencoder.cc.o" "gcc" "src/CMakeFiles/targad_nn.dir/nn/autoencoder.cc.o.d"
+  "/root/repo/src/nn/gradcheck.cc" "src/CMakeFiles/targad_nn.dir/nn/gradcheck.cc.o" "gcc" "src/CMakeFiles/targad_nn.dir/nn/gradcheck.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/targad_nn.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/targad_nn.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/targad_nn.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/targad_nn.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/CMakeFiles/targad_nn.dir/nn/losses.cc.o" "gcc" "src/CMakeFiles/targad_nn.dir/nn/losses.cc.o.d"
+  "/root/repo/src/nn/lr_schedule.cc" "src/CMakeFiles/targad_nn.dir/nn/lr_schedule.cc.o" "gcc" "src/CMakeFiles/targad_nn.dir/nn/lr_schedule.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/CMakeFiles/targad_nn.dir/nn/matrix.cc.o" "gcc" "src/CMakeFiles/targad_nn.dir/nn/matrix.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/targad_nn.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/targad_nn.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/targad_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/targad_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/CMakeFiles/targad_nn.dir/nn/sequential.cc.o" "gcc" "src/CMakeFiles/targad_nn.dir/nn/sequential.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/targad_nn.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/targad_nn.dir/nn/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/targad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targad_nn.dir/nn/autoencoder.cc.o"
+  "CMakeFiles/targad_nn.dir/nn/autoencoder.cc.o.d"
+  "CMakeFiles/targad_nn.dir/nn/gradcheck.cc.o"
+  "CMakeFiles/targad_nn.dir/nn/gradcheck.cc.o.d"
+  "CMakeFiles/targad_nn.dir/nn/init.cc.o"
+  "CMakeFiles/targad_nn.dir/nn/init.cc.o.d"
+  "CMakeFiles/targad_nn.dir/nn/layers.cc.o"
+  "CMakeFiles/targad_nn.dir/nn/layers.cc.o.d"
+  "CMakeFiles/targad_nn.dir/nn/losses.cc.o"
+  "CMakeFiles/targad_nn.dir/nn/losses.cc.o.d"
+  "CMakeFiles/targad_nn.dir/nn/lr_schedule.cc.o"
+  "CMakeFiles/targad_nn.dir/nn/lr_schedule.cc.o.d"
+  "CMakeFiles/targad_nn.dir/nn/matrix.cc.o"
+  "CMakeFiles/targad_nn.dir/nn/matrix.cc.o.d"
+  "CMakeFiles/targad_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/targad_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/targad_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/targad_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/targad_nn.dir/nn/sequential.cc.o"
+  "CMakeFiles/targad_nn.dir/nn/sequential.cc.o.d"
+  "CMakeFiles/targad_nn.dir/nn/serialize.cc.o"
+  "CMakeFiles/targad_nn.dir/nn/serialize.cc.o.d"
+  "libtargad_nn.a"
+  "libtargad_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targad_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

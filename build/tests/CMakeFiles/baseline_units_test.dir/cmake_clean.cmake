@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_units_test.dir/baseline_units_test.cc.o"
+  "CMakeFiles/baseline_units_test.dir/baseline_units_test.cc.o.d"
+  "baseline_units_test"
+  "baseline_units_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_ensemble_test.dir/calibration_ensemble_test.cc.o"
+  "CMakeFiles/calibration_ensemble_test.dir/calibration_ensemble_test.cc.o.d"
+  "calibration_ensemble_test"
+  "calibration_ensemble_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_ensemble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_selection_test.dir/candidate_selection_test.cc.o"
+  "CMakeFiles/candidate_selection_test.dir/candidate_selection_test.cc.o.d"
+  "candidate_selection_test"
+  "candidate_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dropout_lr_test.dir/dropout_lr_test.cc.o"
+  "CMakeFiles/dropout_lr_test.dir/dropout_lr_test.cc.o.d"
+  "dropout_lr_test"
+  "dropout_lr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dropout_lr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iforest_test.dir/iforest_test.cc.o"
+  "CMakeFiles/iforest_test.dir/iforest_test.cc.o.d"
+  "iforest_test"
+  "iforest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iforest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

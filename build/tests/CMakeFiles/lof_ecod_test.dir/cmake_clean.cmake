@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lof_ecod_test.dir/lof_ecod_test.cc.o"
+  "CMakeFiles/lof_ecod_test.dir/lof_ecod_test.cc.o.d"
+  "lof_ecod_test"
+  "lof_ecod_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lof_ecod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

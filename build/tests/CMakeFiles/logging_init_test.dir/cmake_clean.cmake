@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logging_init_test.dir/logging_init_test.cc.o"
+  "CMakeFiles/logging_init_test.dir/logging_init_test.cc.o.d"
+  "logging_init_test"
+  "logging_init_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logging_init_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

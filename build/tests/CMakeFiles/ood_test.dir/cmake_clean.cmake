@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ood_test.dir/ood_test.cc.o"
+  "CMakeFiles/ood_test.dir/ood_test.cc.o.d"
+  "ood_test"
+  "ood_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ood_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

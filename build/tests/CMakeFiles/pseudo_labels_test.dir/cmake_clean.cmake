@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudo_labels_test.dir/pseudo_labels_test.cc.o"
+  "CMakeFiles/pseudo_labels_test.dir/pseudo_labels_test.cc.o.d"
+  "pseudo_labels_test"
+  "pseudo_labels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudo_labels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sad_autoencoder_test.dir/sad_autoencoder_test.cc.o"
+  "CMakeFiles/sad_autoencoder_test.dir/sad_autoencoder_test.cc.o.d"
+  "sad_autoencoder_test"
+  "sad_autoencoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sad_autoencoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

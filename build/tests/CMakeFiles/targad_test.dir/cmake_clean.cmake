@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targad_test.dir/targad_test.cc.o"
+  "CMakeFiles/targad_test.dir/targad_test.cc.o.d"
+  "targad_test"
+  "targad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triage_test.dir/triage_test.cc.o"
+  "CMakeFiles/triage_test.dir/triage_test.cc.o.d"
+  "triage_test"
+  "triage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighting_test.dir/weighting_test.cc.o"
+  "CMakeFiles/weighting_test.dir/weighting_test.cc.o.d"
+  "weighting_test"
+  "weighting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

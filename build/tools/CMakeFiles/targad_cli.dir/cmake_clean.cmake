@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targad_cli.dir/targad_cli.cc.o"
+  "CMakeFiles/targad_cli.dir/targad_cli.cc.o.d"
+  "targad"
+  "targad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targad_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
