@@ -23,6 +23,7 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kNotImplemented,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a StatusCode ("InvalidArgument", ...).
@@ -36,6 +37,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -81,6 +83,11 @@ class Status {
   template <typename... Args>
   static Status NotImplemented(Args&&... args) {
     return Status(StatusCode::kNotImplemented, Concat(std::forward<Args>(args)...));
+  }
+  template <typename... Args>
+  static Status ResourceExhausted(Args&&... args) {
+    return Status(StatusCode::kResourceExhausted,
+                  Concat(std::forward<Args>(args)...));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

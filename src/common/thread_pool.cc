@@ -4,7 +4,8 @@
 
 namespace targad {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
@@ -20,16 +21,36 @@ ThreadPool::~ThreadPool() {
     shutting_down_ = true;
   }
   task_available_.notify_all();
+  space_available_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    space_available_.wait(lock, [this] {
+      return max_queue_ == 0 || queue_.size() < max_queue_ || shutting_down_;
+    });
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
   task_available_.notify_one();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (max_queue_ != 0 && queue_.size() >= max_queue_) return false;
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void ThreadPool::Wait() {
@@ -50,6 +71,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    space_available_.notify_one();
     task();
     {
       std::unique_lock<std::mutex> lock(mu_);

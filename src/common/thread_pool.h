@@ -20,7 +20,10 @@ namespace targad {
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>=1; 0 means hardware_concurrency).
-  explicit ThreadPool(size_t num_threads = 0);
+  /// `max_queue` bounds the number of tasks waiting to run (0 = unbounded):
+  /// when full, Submit blocks for space (backpressure) and TrySubmit
+  /// rejects. Tasks already running do not count against the bound.
+  explicit ThreadPool(size_t num_threads = 0, size_t max_queue = 0);
 
   /// Drains outstanding tasks, then joins the workers.
   ~ThreadPool();
@@ -28,13 +31,24 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution; blocks while the queue is
+  /// at max_queue. Unsafe to call from inside a pool task when bounded (a
+  /// full queue would deadlock the worker) — use TrySubmit there.
   void Submit(std::function<void()> task);
+
+  /// Enqueues unless the queue is at max_queue; returns false on rejection.
+  bool TrySubmit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
+
+  /// Queue bound (0 = unbounded).
+  size_t max_queue() const { return max_queue_; }
+
+  /// Tasks currently waiting to run (racy snapshot, for monitoring).
+  size_t queue_depth() const;
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// fn must be safe to invoke concurrently for distinct i.
@@ -44,11 +58,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
+  std::condition_variable space_available_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  size_t max_queue_ = 0;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
 };

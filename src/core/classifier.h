@@ -58,7 +58,8 @@ struct EpochLoss {
   double re = 0.0;
 };
 
-/// The classifier f. One instance per TargAD model; not thread-safe.
+/// The classifier f. One instance per TargAD model; training is not
+/// thread-safe, but Logits/PredictProba on a fitted classifier are.
 class TargAdClassifier {
  public:
   /// Builds the MLP with input_dim inputs and m + k logits.
@@ -75,11 +76,12 @@ class TargAdClassifier {
                        const nn::Matrix& anomaly_x,
                        const std::vector<double>& anomaly_weights, Rng* rng);
 
-  /// Raw logits (m + k columns).
-  nn::Matrix Logits(const nn::Matrix& x) { return mlp_->Forward(x); }
+  /// Raw logits (m + k columns). Uses the cache-free inference path, so a
+  /// fitted classifier can be shared across scoring threads.
+  nn::Matrix Logits(const nn::Matrix& x) const { return mlp_->Infer(x); }
 
   /// softmax(logits).
-  nn::Matrix PredictProba(const nn::Matrix& x) { return mlp_->PredictProba(x); }
+  nn::Matrix PredictProba(const nn::Matrix& x) const { return mlp_->InferProba(x); }
 
   int m() const { return m_; }
   int k() const { return k_; }

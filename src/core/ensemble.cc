@@ -63,10 +63,10 @@ Status TargAdEnsemble::Fit(const data::TrainingSet& train,
   return Status::OK();
 }
 
-std::vector<double> TargAdEnsemble::Score(const nn::Matrix& x) {
+std::vector<double> TargAdEnsemble::Score(const nn::Matrix& x) const {
   TARGAD_CHECK(fitted_) << "TargAdEnsemble::Score before Fit";
   std::vector<double> mean(x.rows(), 0.0);
-  for (auto& member : members_) {
+  for (const auto& member : members_) {
     const std::vector<double> scores = member->Score(x);
     for (size_t i = 0; i < scores.size(); ++i) mean[i] += scores[i];
   }
@@ -75,7 +75,7 @@ std::vector<double> TargAdEnsemble::Score(const nn::Matrix& x) {
   return mean;
 }
 
-nn::Matrix TargAdEnsemble::Logits(const nn::Matrix& x) {
+nn::Matrix TargAdEnsemble::Logits(const nn::Matrix& x) const {
   TARGAD_CHECK(fitted_) << "TargAdEnsemble::Logits before Fit";
   nn::Matrix mean = members_[0]->Logits(x);
   for (size_t i = 1; i < members_.size(); ++i) {

@@ -37,10 +37,10 @@ class TargAdEnsemble {
              const data::EvalSet* validation = nullptr);
 
   /// Mean S^tar across members. Requires Fit.
-  std::vector<double> Score(const nn::Matrix& x);
+  std::vector<double> Score(const nn::Matrix& x) const;
 
   /// Mean logits across members (for the three-way rule).
-  nn::Matrix Logits(const nn::Matrix& x);
+  nn::Matrix Logits(const nn::Matrix& x) const;
 
   bool fitted() const { return fitted_; }
   size_t size() const { return members_.size(); }

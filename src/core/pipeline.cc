@@ -108,7 +108,7 @@ Result<TargAdPipeline> TargAdPipeline::TrainFromCsv(const std::string& path,
   return Train(table, config);
 }
 
-Result<nn::Matrix> TargAdPipeline::Featurize(const data::RawTable& table) {
+Result<nn::Matrix> TargAdPipeline::Featurize(const data::RawTable& table) const {
   const int label_col = FindColumn(table, config_.label_column);
   const data::RawTable features = DropColumn(table, label_col);
   if (features.column_names != feature_columns_) {
@@ -119,7 +119,8 @@ Result<nn::Matrix> TargAdPipeline::Featurize(const data::RawTable& table) {
   return normalizer_.Transform(encoded);
 }
 
-Result<std::vector<double>> TargAdPipeline::Score(const data::RawTable& table) {
+Result<std::vector<double>> TargAdPipeline::Score(
+    const data::RawTable& table) const {
   if (model_ == nullptr || !model_->fitted()) {
     return Status::FailedPrecondition("pipeline: model not trained");
   }
@@ -127,7 +128,8 @@ Result<std::vector<double>> TargAdPipeline::Score(const data::RawTable& table) {
   return model_->Score(x);
 }
 
-Result<std::vector<double>> TargAdPipeline::ScoreCsv(const std::string& path) {
+Result<std::vector<double>> TargAdPipeline::ScoreCsv(
+    const std::string& path) const {
   TARGAD_ASSIGN_OR_RETURN(data::RawTable table, data::ReadCsv(path));
   return Score(table);
 }

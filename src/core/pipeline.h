@@ -46,16 +46,27 @@ class TargAdPipeline {
                                              const PipelineConfig& config);
 
   /// Scores a table with the same feature columns as training (the label
-  /// column, if present, is dropped). Returns S^tar per row.
-  Result<std::vector<double>> Score(const data::RawTable& table);
+  /// column, if present, is dropped). Returns S^tar per row. Const and
+  /// thread-safe on a fitted pipeline: the serving layer shares one
+  /// immutable pipeline snapshot across concurrent scorers.
+  Result<std::vector<double>> Score(const data::RawTable& table) const;
 
   /// Convenience: ReadCsv + Score.
-  Result<std::vector<double>> ScoreCsv(const std::string& path);
+  Result<std::vector<double>> ScoreCsv(const std::string& path) const;
 
   /// Target class names in class-id order.
   const std::vector<std::string>& class_names() const { return class_names_; }
 
+  /// Feature columns a scoring table must carry, in training order.
+  const std::vector<std::string>& feature_columns() const {
+    return feature_columns_;
+  }
+
+  /// Name of the (optional, ignored at scoring time) label column.
+  const std::string& label_column() const { return config_.label_column; }
+
   TargAD& model() { return *model_; }
+  const TargAD& model() const { return *model_; }
 
   /// Persists the whole pipeline (preprocessing schema + statistics, class
   /// names, fitted model) so a separate process can Load and Score.
@@ -68,7 +79,7 @@ class TargAdPipeline {
   TargAdPipeline() = default;
 
   /// Drops the label column (if present) and applies encoder + normalizer.
-  Result<nn::Matrix> Featurize(const data::RawTable& table);
+  Result<nn::Matrix> Featurize(const data::RawTable& table) const;
 
   PipelineConfig config_;
   data::OneHotEncoder encoder_;

@@ -136,12 +136,12 @@ Status TargAD::FitImpl(const data::TrainingSet& train,
   return Status::OK();
 }
 
-std::vector<double> TargAD::Score(const nn::Matrix& x) {
+std::vector<double> TargAD::Score(const nn::Matrix& x) const {
   TARGAD_CHECK(fitted_) << "TargAD::Score before Fit";
   return TargetAnomalyScores(classifier_->Logits(x), m_);
 }
 
-nn::Matrix TargAD::Logits(const nn::Matrix& x) {
+nn::Matrix TargAD::Logits(const nn::Matrix& x) const {
   TARGAD_CHECK(fitted_) << "TargAD::Logits before Fit";
   return classifier_->Logits(x);
 }

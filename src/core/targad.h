@@ -98,11 +98,13 @@ class TargAD {
                            const data::EvalSet& validation,
                            const EpochHook& hook = nullptr);
 
-  /// S^tar anomaly scores (Eq. 9). Requires Fit.
-  std::vector<double> Score(const nn::Matrix& x);
+  /// S^tar anomaly scores (Eq. 9). Requires Fit. Const and thread-safe on a
+  /// fitted model — serving shares one immutable model across threads.
+  std::vector<double> Score(const nn::Matrix& x) const;
 
-  /// Raw classifier logits (m + k columns). Requires Fit.
-  nn::Matrix Logits(const nn::Matrix& x);
+  /// Raw classifier logits (m + k columns). Requires Fit. Const and
+  /// thread-safe on a fitted model.
+  nn::Matrix Logits(const nn::Matrix& x) const;
 
   /// Fits the Section III-C three-way rule on validation data.
   Result<ThreeWayClassifier> FitThreeWay(const data::EvalSet& validation,

@@ -25,6 +25,14 @@ Matrix Linear::Forward(const Matrix& x) {
   return y;
 }
 
+Matrix Linear::Infer(const Matrix& x) const {
+  TARGAD_CHECK(x.cols() == w_.rows())
+      << "Linear: input has " << x.cols() << " features, expected " << w_.rows();
+  Matrix y = x.MatMul(w_);
+  y.AddRowVectorInPlace(b_.Row(0));
+  return y;
+}
+
 Matrix Linear::Backward(const Matrix& grad_out) {
   // dW += x^T g ; db += colsum(g) ; dx = g W^T.
   gw_.AddInPlace(input_.TransposeMatMul(grad_out));
@@ -44,6 +52,14 @@ Matrix ReLU::Forward(const Matrix& x) {
   return y;
 }
 
+Matrix ReLU::Infer(const Matrix& x) const {
+  Matrix y = x;
+  for (double& v : y.data()) {
+    if (v <= 0.0) v = 0.0;
+  }
+  return y;
+}
+
 Matrix ReLU::Backward(const Matrix& grad_out) {
   Matrix g = grad_out;
   g.HadamardInPlace(mask_);
@@ -52,6 +68,14 @@ Matrix ReLU::Backward(const Matrix& grad_out) {
 
 Matrix LeakyReLU::Forward(const Matrix& x) {
   input_ = x;
+  Matrix y = x;
+  for (double& v : y.data()) {
+    if (v < 0.0) v *= slope_;
+  }
+  return y;
+}
+
+Matrix LeakyReLU::Infer(const Matrix& x) const {
   Matrix y = x;
   for (double& v : y.data()) {
     if (v < 0.0) v *= slope_;
@@ -75,6 +99,14 @@ Matrix Sigmoid::Forward(const Matrix& x) {
     return e / (1.0 + e);
   });
   return output_;
+}
+
+Matrix Sigmoid::Infer(const Matrix& x) const {
+  return x.Map([](double v) {
+    if (v >= 0.0) return 1.0 / (1.0 + std::exp(-v));
+    const double e = std::exp(v);
+    return e / (1.0 + e);
+  });
 }
 
 Matrix Sigmoid::Backward(const Matrix& grad_out) {
@@ -117,6 +149,10 @@ Matrix Dropout::Backward(const Matrix& grad_out) {
 Matrix Tanh::Forward(const Matrix& x) {
   output_ = x.Map([](double v) { return std::tanh(v); });
   return output_;
+}
+
+Matrix Tanh::Infer(const Matrix& x) const {
+  return x.Map([](double v) { return std::tanh(v); });
 }
 
 Matrix Tanh::Backward(const Matrix& grad_out) {

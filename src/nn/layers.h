@@ -28,6 +28,12 @@ class Layer {
   /// Maps a batch to its output; caches whatever backward needs.
   virtual Matrix Forward(const Matrix& x) = 0;
 
+  /// Inference-only forward pass: same arithmetic as an eval-mode Forward
+  /// but const and cache-free, so one fitted network can be scored from
+  /// many threads concurrently (the serving path relies on this).
+  /// Stochastic layers (Dropout) behave as in eval mode.
+  virtual Matrix Infer(const Matrix& x) const = 0;
+
   /// Maps dLoss/dOutput to dLoss/dInput; accumulates parameter grads.
   virtual Matrix Backward(const Matrix& grad_out) = 0;
 
@@ -55,6 +61,7 @@ class Linear : public Layer {
   Linear(size_t in_features, size_t out_features, Rng* rng);
 
   Matrix Forward(const Matrix& x) override;
+  Matrix Infer(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::vector<Matrix*> Params() override { return {&w_, &b_}; }
   std::vector<Matrix*> Grads() override { return {&gw_, &gb_}; }
@@ -78,6 +85,7 @@ class Linear : public Layer {
 class ReLU : public Layer {
  public:
   Matrix Forward(const Matrix& x) override;
+  Matrix Infer(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::string name() const override { return "ReLU"; }
 
@@ -90,6 +98,7 @@ class LeakyReLU : public Layer {
  public:
   explicit LeakyReLU(double slope = 0.01) : slope_(slope) {}
   Matrix Forward(const Matrix& x) override;
+  Matrix Infer(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::string name() const override { return "LeakyReLU"; }
 
@@ -102,6 +111,7 @@ class LeakyReLU : public Layer {
 class Sigmoid : public Layer {
  public:
   Matrix Forward(const Matrix& x) override;
+  Matrix Infer(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::string name() const override { return "Sigmoid"; }
 
@@ -118,6 +128,8 @@ class Dropout : public Layer {
   Dropout(double rate, uint64_t seed);
 
   Matrix Forward(const Matrix& x) override;
+  /// Identity: inference always behaves as eval mode.
+  Matrix Infer(const Matrix& x) const override { return x; }
   Matrix Backward(const Matrix& grad_out) override;
   void set_training(bool training) override { training_ = training; }
   std::string name() const override { return "Dropout"; }
@@ -136,6 +148,7 @@ class Dropout : public Layer {
 class Tanh : public Layer {
  public:
   Matrix Forward(const Matrix& x) override;
+  Matrix Infer(const Matrix& x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::string name() const override { return "Tanh"; }
 

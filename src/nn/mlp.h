@@ -35,8 +35,15 @@ class Mlp {
   /// Forward pass returning raw outputs (logits if output == kNone).
   Matrix Forward(const Matrix& x) { return net_.Forward(x); }
 
+  /// Inference-only forward pass: const, cache-free, and safe to call
+  /// concurrently on a shared fitted network (Sequential::Infer).
+  Matrix Infer(const Matrix& x) const { return net_.Infer(x); }
+
   /// Softmax of the forward pass.
   Matrix PredictProba(const Matrix& x) { return SoftmaxRows(net_.Forward(x)); }
+
+  /// Softmax of the inference-only pass.
+  Matrix InferProba(const Matrix& x) const { return SoftmaxRows(net_.Infer(x)); }
 
   /// One optimizer step on an externally computed output gradient. The
   /// caller must have just run Forward on the same batch.

@@ -41,6 +41,12 @@ Matrix Sequential::Forward(const Matrix& x) {
   return h;
 }
 
+Matrix Sequential::Infer(const Matrix& x) const {
+  Matrix h = x;
+  for (const auto& layer : layers_) h = layer->Infer(h);
+  return h;
+}
+
 Matrix Sequential::Backward(const Matrix& grad_out) {
   Matrix g = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

@@ -39,6 +39,10 @@ class Sequential {
   /// Runs the batch through all layers.
   Matrix Forward(const Matrix& x);
 
+  /// Inference-only pass: eval-mode arithmetic, const and cache-free, safe
+  /// to call concurrently on a shared fitted network (see Layer::Infer).
+  Matrix Infer(const Matrix& x) const;
+
   /// Backpropagates dLoss/dOutput; returns dLoss/dInput and accumulates
   /// parameter gradients in each layer.
   Matrix Backward(const Matrix& grad_out);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <iomanip>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace targad {
 namespace nn {
@@ -59,15 +61,20 @@ Status ReadParams(std::istream& in, Sequential* net) {
     return Status::InvalidArgument("parameter count mismatch: stream has ", count,
                                    ", network has ", params.size());
   }
+  // Two-phase: read and validate every matrix before touching the network,
+  // so a truncated or mismatched stream cannot leave it half-overwritten.
+  std::vector<Matrix> loaded;
+  loaded.reserve(params.size());
   for (Matrix* p : params) {
-    TARGAD_ASSIGN_OR_RETURN(Matrix loaded, ReadMatrix(in));
-    if (!loaded.SameShape(*p)) {
+    TARGAD_ASSIGN_OR_RETURN(Matrix m, ReadMatrix(in));
+    if (!m.SameShape(*p)) {
       return Status::InvalidArgument("parameter shape mismatch: stream ",
-                                     loaded.rows(), "x", loaded.cols(),
-                                     ", network ", p->rows(), "x", p->cols());
+                                     m.rows(), "x", m.cols(), ", network ",
+                                     p->rows(), "x", p->cols());
     }
-    *p = std::move(loaded);
+    loaded.push_back(std::move(m));
   }
+  for (size_t i = 0; i < params.size(); ++i) *params[i] = std::move(loaded[i]);
   return Status::OK();
 }
 

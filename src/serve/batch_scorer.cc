@@ -1,0 +1,211 @@
+#include "serve/batch_scorer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace targad {
+namespace serve {
+
+namespace {
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  const auto d = std::chrono::steady_clock::now() - since;
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(d);
+  return us.count() < 0 ? 0 : static_cast<uint64_t>(us.count());
+}
+
+}  // namespace
+
+BatchScorer::BatchScorer(SnapshotProvider provider, BatchScorerOptions options,
+                         ServeMetrics* metrics)
+    : provider_(std::move(provider)), options_(options), metrics_(metrics) {
+  if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  if (options_.max_queue_rows == 0) options_.max_queue_rows = 1;
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    pool_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+BatchScorer::BatchScorer(std::shared_ptr<const core::TargAdPipeline> pipeline,
+                         BatchScorerOptions options, ServeMetrics* metrics)
+    : BatchScorer(
+          [pipeline = std::move(pipeline)] { return pipeline; },
+          options, metrics) {}
+
+BatchScorer::~BatchScorer() { Shutdown(); }
+
+std::future<Result<double>> BatchScorer::Submit(
+    std::vector<std::string> cells) {
+  Pending request;
+  request.cells = std::move(cells);
+  request.enqueued = std::chrono::steady_clock::now();
+  std::future<Result<double>> future = request.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      lock.unlock();
+      request.promise.set_value(
+          Status::FailedPrecondition("batch scorer: shut down"));
+      return future;
+    }
+    if (queue_.size() >= options_.max_queue_rows) {
+      lock.unlock();
+      if (metrics_ != nullptr) metrics_->RecordRejected();
+      request.promise.set_value(Status::ResourceExhausted(
+          "batch scorer: admission queue full (", options_.max_queue_rows,
+          " pending rows)"));
+      return future;
+    }
+    queue_.push_back(std::move(request));
+    ++outstanding_;
+  }
+  if (metrics_ != nullptr) metrics_->RecordSubmitted();
+  queue_cv_.notify_one();
+  return future;
+}
+
+void BatchScorer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void BatchScorer::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      // Already shut down (or shutting down); just wait for the drain.
+      drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
+      return;
+    }
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  Drain();
+  pool_.reset();  // Joins the workers.
+}
+
+void BatchScorer::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Micro-batch coalescing: give the queue until the oldest request's
+    // deadline to fill up to max_batch_size. Skipped when stopping — a
+    // shutdown drains as fast as possible.
+    if (!stop_ && queue_.size() < options_.max_batch_size) {
+      const auto deadline =
+          queue_.front().enqueued +
+          std::chrono::microseconds(options_.max_queue_delay_us);
+      queue_cv_.wait_until(lock, deadline, [this] {
+        return stop_ || queue_.size() >= options_.max_batch_size;
+      });
+    }
+    if (queue_.empty()) continue;  // Another worker took the rows.
+
+    const size_t n = std::min(queue_.size(), options_.max_batch_size);
+    std::vector<Pending> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    ScoreBatch(&batch);
+    lock.lock();
+    outstanding_ -= batch.size();
+    if (outstanding_ == 0) drained_cv_.notify_all();
+  }
+}
+
+void BatchScorer::Fulfill(Pending* request, Result<double> result) {
+  if (metrics_ != nullptr) {
+    const uint64_t latency_us = ElapsedUs(request->enqueued);
+    if (result.ok()) {
+      metrics_->RecordCompleted(latency_us);
+    } else {
+      metrics_->RecordFailed(latency_us);
+    }
+  }
+  request->promise.set_value(std::move(result));
+}
+
+void BatchScorer::ScoreBatch(std::vector<Pending>* batch) {
+  std::shared_ptr<const core::TargAdPipeline> snapshot = provider_();
+  if (metrics_ != nullptr) {
+    const void* raw = snapshot.get();
+    const void* previous =
+        last_snapshot_.exchange(raw, std::memory_order_relaxed);
+    if (previous != nullptr && previous != raw) metrics_->RecordModelSwap();
+  }
+  if (snapshot == nullptr) {
+    for (Pending& request : *batch) {
+      Fulfill(&request,
+              Status::FailedPrecondition("batch scorer: no model available"));
+    }
+    return;
+  }
+
+  // Rows with the wrong arity fail individually up front — the vectorized
+  // table requires every row to carry the training feature columns.
+  const std::vector<std::string>& columns = snapshot->feature_columns();
+  std::vector<Pending*> scorable;
+  scorable.reserve(batch->size());
+  for (Pending& request : *batch) {
+    if (request.cells.size() != columns.size()) {
+      Fulfill(&request,
+              Status::InvalidArgument("batch scorer: row has ",
+                                      request.cells.size(),
+                                      " cells, model expects ",
+                                      columns.size()));
+    } else {
+      scorable.push_back(&request);
+    }
+  }
+  if (scorable.empty()) return;
+
+  data::RawTable table;
+  table.column_names = columns;
+  table.rows.reserve(scorable.size());
+  for (Pending* request : scorable) table.rows.push_back(request->cells);
+
+  if (metrics_ != nullptr) metrics_->RecordBatch(scorable.size());
+  Result<std::vector<double>> scores = snapshot->Score(table);
+  if (scores.ok() && scores->size() == scorable.size()) {
+    for (size_t i = 0; i < scorable.size(); ++i) {
+      Fulfill(scorable[i], (*scores)[i]);
+    }
+    return;
+  }
+  if (scorable.size() == 1) {
+    Fulfill(scorable[0], scores.ok()
+                             ? Status::Internal("batch scorer: score count "
+                                                "mismatch")
+                             : scores.status());
+    return;
+  }
+  // The vectorized call failed (e.g. one non-numeric cell poisons the whole
+  // encoder transform). Re-score row by row so only the offending rows
+  // fail; per-row results are bit-identical to the batched ones.
+  for (Pending* request : scorable) {
+    data::RawTable row_table;
+    row_table.column_names = columns;
+    row_table.rows.push_back(request->cells);
+    Result<std::vector<double>> row_score = snapshot->Score(row_table);
+    if (row_score.ok() && row_score->size() == 1) {
+      Fulfill(request, (*row_score)[0]);
+    } else {
+      Fulfill(request, row_score.ok()
+                           ? Status::Internal("batch scorer: score count "
+                                              "mismatch")
+                           : row_score.status());
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace targad

@@ -1,0 +1,125 @@
+// BatchScorer: the micro-batching engine of the scoring service. Callers
+// submit single feature rows and get a std::future<Result<double>> back;
+// background workers (on a dedicated targad::ThreadPool) coalesce queued
+// requests up to max_batch_size / max_queue_delay_us and run ONE vectorized
+// TargAdPipeline::Score call per batch, so per-request overhead is amortized
+// while tail latency stays bounded by the coalescing delay.
+//
+// Guarantees:
+//  - Scores are bit-identical to a serial TargAdPipeline::Score of the same
+//    row: every pipeline stage (one-hot, min-max, MLP inference) is
+//    row-independent with identical per-row arithmetic at any batch size.
+//  - Admission is bounded: past max_queue_rows pending requests, Submit
+//    fails fast with Status::ResourceExhausted instead of queueing.
+//  - Hot-swap safe: each batch fetches the current registry snapshot; a
+//    concurrent Publish affects only later batches, and the old snapshot
+//    stays valid until its last batch completes.
+//  - One malformed row fails only its own future, not its batch neighbors.
+
+#ifndef TARGAD_SERVE_BATCH_SCORER_H_
+#define TARGAD_SERVE_BATCH_SCORER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "serve/metrics.h"
+
+namespace targad {
+namespace serve {
+
+struct BatchScorerOptions {
+  /// Rows coalesced into one vectorized Score call.
+  size_t max_batch_size = 64;
+  /// How long a queued request may wait for its batch to fill before the
+  /// batch is dispatched anyway.
+  int64_t max_queue_delay_us = 200;
+  /// Admission bound: pending (unscored) rows past this are rejected with
+  /// ResourceExhausted.
+  size_t max_queue_rows = 4096;
+  /// Concurrent scoring workers; each scores whole batches independently
+  /// (the inference path is const and thread-safe).
+  size_t num_workers = 1;
+};
+
+/// Micro-batched concurrent scoring over immutable pipeline snapshots.
+class BatchScorer {
+ public:
+  /// Fetches the pipeline snapshot to score the next batch with; called
+  /// once per batch. Returning nullptr fails the batch (no model).
+  /// Typically ModelRegistry::Get wrapped in a lambda.
+  using SnapshotProvider =
+      std::function<std::shared_ptr<const core::TargAdPipeline>()>;
+
+  BatchScorer(SnapshotProvider provider, BatchScorerOptions options,
+              ServeMetrics* metrics = nullptr);
+
+  /// Convenience: scores every batch with one fixed pipeline.
+  BatchScorer(std::shared_ptr<const core::TargAdPipeline> pipeline,
+              BatchScorerOptions options, ServeMetrics* metrics = nullptr);
+
+  /// Shuts down (drains pending requests, joins workers).
+  ~BatchScorer();
+
+  BatchScorer(const BatchScorer&) = delete;
+  BatchScorer& operator=(const BatchScorer&) = delete;
+
+  /// Submits one feature row (cells in pipeline feature_columns() order).
+  /// The future resolves to the row's S^tar score, or to a failing Status:
+  /// ResourceExhausted when the admission queue is full, FailedPrecondition
+  /// after Shutdown or when no model is available, InvalidArgument for a
+  /// malformed row.
+  std::future<Result<double>> Submit(std::vector<std::string> cells);
+
+  /// Blocks until every admitted request has been fulfilled.
+  void Drain();
+
+  /// Stops admission, drains, and joins the workers. Idempotent.
+  void Shutdown();
+
+  const BatchScorerOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    std::vector<std::string> cells;
+    std::promise<Result<double>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+  void ScoreBatch(std::vector<Pending>* batch);
+  void Fulfill(Pending* request, Result<double> result);
+
+  SnapshotProvider provider_;
+  BatchScorerOptions options_;
+  ServeMetrics* metrics_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;    // Work available / batch filling.
+  std::condition_variable drained_cv_;  // outstanding_ hit zero.
+  std::deque<Pending> queue_;
+  size_t outstanding_ = 0;  // Admitted but not yet fulfilled.
+  bool stop_ = false;
+
+  /// Raw pointer of the previously scored snapshot, for swap detection.
+  std::atomic<const void*> last_snapshot_{nullptr};
+
+  /// Declared last so workers join before the state above is destroyed.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace serve
+}  // namespace targad
+
+#endif  // TARGAD_SERVE_BATCH_SCORER_H_

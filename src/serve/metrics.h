@@ -1,0 +1,103 @@
+// ServeMetrics: lock-cheap counters and fixed-bucket histograms for the
+// scoring service. Writers touch only relaxed atomics, so recording from
+// the request and batch paths costs a handful of nanoseconds; readers take
+// a consistent-enough snapshot (each counter is individually atomic) and
+// derive percentiles from the histograms.
+
+#ifndef TARGAD_SERVE_METRICS_H_
+#define TARGAD_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace targad {
+namespace serve {
+
+/// Power-of-two-bucket histogram of non-negative integer samples: bucket i
+/// counts samples in [2^(i-1), 2^i) (bucket 0 counts {0}), saturating in
+/// the last bucket. With kNumBuckets = 32 the covered range is [0, 2^31),
+/// enough for latencies in microseconds (~36 minutes) and batch sizes.
+class Pow2Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 32;
+
+  void Record(uint64_t value);
+
+  /// Total recorded samples.
+  uint64_t Count() const;
+
+  /// Upper bound (exclusive) of the bucket holding the p-quantile sample,
+  /// i.e. a value such that >= p of samples are below it. p in [0, 1].
+  /// Returns 0 when empty.
+  uint64_t PercentileUpperBound(double p) const;
+
+  /// Bucket counts, for dumps and tests.
+  std::array<uint64_t, kNumBuckets> Buckets() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Point-in-time copy of every metric, with derived percentiles.
+struct MetricsSnapshot {
+  uint64_t requests_submitted = 0;   ///< Accepted into the queue.
+  uint64_t requests_rejected = 0;    ///< Bounced with ResourceExhausted.
+  uint64_t requests_completed = 0;   ///< Promise fulfilled with a score.
+  uint64_t requests_failed = 0;      ///< Promise fulfilled with an error.
+  uint64_t batches = 0;              ///< Vectorized Score calls.
+  uint64_t rows_scored = 0;          ///< Rows across all batches.
+  uint64_t model_swaps = 0;          ///< Registry publishes observed.
+  double mean_batch_size = 0.0;
+  uint64_t latency_p50_us = 0;
+  uint64_t latency_p95_us = 0;
+  uint64_t latency_p99_us = 0;
+  std::array<uint64_t, Pow2Histogram::kNumBuckets> batch_size_buckets{};
+  std::array<uint64_t, Pow2Histogram::kNumBuckets> latency_buckets{};
+
+  /// Multi-line human-readable report (the CLI prints this on exit).
+  std::string ToText() const;
+};
+
+/// Shared metrics sink for one scoring service. All methods are thread-safe;
+/// recording never blocks.
+class ServeMetrics {
+ public:
+  void RecordSubmitted() { Add(&requests_submitted_); }
+  void RecordRejected() { Add(&requests_rejected_); }
+  void RecordModelSwap() { Add(&model_swaps_); }
+
+  /// One vectorized Score call over `rows` rows.
+  void RecordBatch(uint64_t rows);
+
+  /// End-to-end latency (submit -> promise fulfilled) of one request.
+  void RecordCompleted(uint64_t latency_us);
+  void RecordFailed(uint64_t latency_us);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Snapshot().ToText().
+  std::string Report() const { return Snapshot().ToText(); }
+
+ private:
+  static void Add(std::atomic<uint64_t>* c) {
+    c->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> requests_submitted_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> requests_completed_{0};
+  std::atomic<uint64_t> requests_failed_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> rows_scored_{0};
+  std::atomic<uint64_t> model_swaps_{0};
+  Pow2Histogram batch_sizes_;
+  Pow2Histogram latencies_us_;
+};
+
+}  // namespace serve
+}  // namespace targad
+
+#endif  // TARGAD_SERVE_METRICS_H_

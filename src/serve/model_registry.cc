@@ -1,0 +1,111 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace targad {
+namespace serve {
+
+namespace fs = std::filesystem;
+
+Status ModelRegistry::LoadDirectory(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("model registry: not a directory: ", dir);
+  }
+  // Deterministic registration order for reproducible version counters.
+  std::vector<fs::path> artifacts;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".targad" || ext == ".model") artifacts.push_back(entry.path());
+  }
+  if (ec) {
+    return Status::IOError("model registry: cannot scan ", dir, ": ",
+                           ec.message());
+  }
+  std::sort(artifacts.begin(), artifacts.end());
+  for (const fs::path& path : artifacts) {
+    TARGAD_RETURN_NOT_OK(PublishFile(path.stem().string(), path.string()));
+  }
+  return Status::OK();
+}
+
+Status ModelRegistry::PublishFile(const std::string& name,
+                                  const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model registry: empty model name");
+  }
+  std::ifstream in(path);
+  if (!in) return Status::IOError("model registry: cannot open ", path);
+  auto pipeline = core::TargAdPipeline::Load(in);
+  if (!pipeline.ok()) {
+    return Status(pipeline.status().code(),
+                  "model registry: loading " + path + ": " +
+                      pipeline.status().message());
+  }
+  Publish(name,
+          std::make_shared<const core::TargAdPipeline>(
+              std::move(pipeline).ValueOrDie()),
+          path);
+  return Status::OK();
+}
+
+uint64_t ModelRegistry::Publish(
+    const std::string& name,
+    std::shared_ptr<const core::TargAdPipeline> pipeline,
+    const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = models_[name];
+  entry.pipeline = std::move(pipeline);
+  entry.version += 1;
+  entry.source = source;
+  return entry.version;
+}
+
+Result<std::shared_ptr<const core::TargAdPipeline>> ModelRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model registry: no model named '", name, "'");
+  }
+  return it->second.pipeline;
+}
+
+Result<ModelInfo> ModelRegistry::Info(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model registry: no model named '", name, "'");
+  }
+  return ModelInfo{name, it->second.version, it->second.source};
+}
+
+std::vector<ModelInfo> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ModelInfo> out;
+  out.reserve(models_.size());
+  for (const auto& [name, entry] : models_) {
+    out.push_back(ModelInfo{name, entry.version, entry.source});
+  }
+  return out;
+}
+
+Status ModelRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.erase(name) == 0) {
+    return Status::NotFound("model registry: no model named '", name, "'");
+  }
+  return Status::OK();
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+}  // namespace serve
+}  // namespace targad

@@ -1,0 +1,82 @@
+// ModelRegistry: named, versioned TargAdPipeline artifacts behind atomic
+// hot-swap. A published pipeline is held as an immutable
+// shared_ptr<const TargAdPipeline> snapshot; Get hands that snapshot out
+// under a mutex, so scorers keep a consistent model for the whole batch
+// they are working on while a retrained replacement is published
+// concurrently — the old snapshot stays alive until its last user drops it.
+
+#ifndef TARGAD_SERVE_MODEL_REGISTRY_H_
+#define TARGAD_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/pipeline.h"
+
+namespace targad {
+namespace serve {
+
+/// Metadata of one registered model.
+struct ModelInfo {
+  std::string name;
+  /// Publish counter, starting at 1; each hot-swap increments it.
+  uint64_t version = 0;
+  /// Where the artifact came from ("<path>" or "(in-memory)").
+  std::string source;
+};
+
+/// Thread-safe name -> pipeline-snapshot map.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  /// Loads every "*.targad" / "*.model" file in `dir` (model name = file
+  /// stem). Fails on an unreadable directory or an unloadable artifact;
+  /// models registered before the failure stay registered.
+  Status LoadDirectory(const std::string& dir);
+
+  /// Loads one artifact file and publishes it under `name`.
+  Status PublishFile(const std::string& name, const std::string& path);
+
+  /// Publishes an in-memory pipeline (atomic hot-swap if `name` exists).
+  /// Returns the new version number.
+  uint64_t Publish(const std::string& name,
+                   std::shared_ptr<const core::TargAdPipeline> pipeline,
+                   const std::string& source = "(in-memory)");
+
+  /// Current snapshot for `name`, or NotFound. The snapshot is immutable
+  /// and remains valid after any subsequent Publish of the same name.
+  Result<std::shared_ptr<const core::TargAdPipeline>> Get(
+      const std::string& name) const;
+
+  /// Metadata for `name`, or NotFound.
+  Result<ModelInfo> Info(const std::string& name) const;
+
+  /// Registered models, sorted by name.
+  std::vector<ModelInfo> List() const;
+
+  /// Removes `name`; outstanding snapshots stay valid. NotFound if absent.
+  Status Remove(const std::string& name);
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::TargAdPipeline> pipeline;
+    uint64_t version = 0;
+    std::string source;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> models_;
+};
+
+}  // namespace serve
+}  // namespace targad
+
+#endif  // TARGAD_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,112 @@
+#include "serve/stream.h"
+
+#include <chrono>
+#include <deque>
+#include <iterator>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "data/csv.h"
+
+namespace targad {
+namespace serve {
+
+namespace {
+
+/// One submitted row awaiting its score. Keeps the cells so an admission
+/// rejection can be retried.
+struct InFlight {
+  std::vector<std::string> cells;
+  std::future<Result<double>> future;
+};
+
+}  // namespace
+
+Result<StreamStats> ScoreCsvStream(const core::TargAdPipeline& pipeline,
+                                   BatchScorer* scorer, std::istream& in,
+                                   std::ostream& out,
+                                   const StreamOptions& options) {
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  TARGAD_ASSIGN_OR_RETURN(data::RawTable table, data::ParseCsv(text));
+
+  // Drop the label column (if present) and check the remaining schema.
+  int label_col = -1;
+  for (size_t j = 0; j < table.column_names.size(); ++j) {
+    if (table.column_names[j] == pipeline.label_column()) {
+      label_col = static_cast<int>(j);
+    }
+  }
+  std::vector<std::string> names;
+  names.reserve(table.column_names.size());
+  for (size_t j = 0; j < table.column_names.size(); ++j) {
+    if (static_cast<int>(j) != label_col) names.push_back(table.column_names[j]);
+  }
+  if (names != pipeline.feature_columns()) {
+    return Status::InvalidArgument(
+        "serve stream: input columns differ from the model's training schema");
+  }
+
+  if (options.write_header) out << "s_tar\n";
+
+  StreamStats stats;
+  stats.rows_in = table.num_rows();
+
+  // Resolves the oldest in-flight row: writes its score (or error cell),
+  // retrying admission rejections with a short backoff.
+  auto resolve = [&](InFlight* entry) -> Status {
+    for (int attempt = 0;; ++attempt) {
+      Result<double> result = entry->future.get();
+      if (result.ok()) {
+        out << FormatDouble(*result, 6) << '\n';
+        ++stats.rows_scored;
+        return Status::OK();
+      }
+      if (result.status().code() == StatusCode::kResourceExhausted &&
+          attempt < options.admission_retries) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options.retry_delay_us));
+        entry->future = scorer->Submit(entry->cells);
+        continue;
+      }
+      if (options.keep_going) {
+        out << "error:" << StatusCodeName(result.status().code()) << '\n';
+        ++stats.rows_failed;
+        return Status::OK();
+      }
+      return result.status();
+    }
+  };
+
+  // Windowed pipelining: keep at most one scorer queue's worth of rows in
+  // flight, resolving the oldest before admitting the next; output order is
+  // input order by construction.
+  const size_t window_rows = scorer->options().max_queue_rows;
+  std::deque<InFlight> window;
+  for (auto& row : table.rows) {
+    if (window.size() >= window_rows) {
+      TARGAD_RETURN_NOT_OK(resolve(&window.front()));
+      window.pop_front();
+    }
+    InFlight entry;
+    entry.cells.reserve(names.size());
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (static_cast<int>(j) != label_col) {
+        entry.cells.push_back(std::move(row[j]));
+      }
+    }
+    entry.future = scorer->Submit(entry.cells);
+    window.push_back(std::move(entry));
+  }
+  while (!window.empty()) {
+    TARGAD_RETURN_NOT_OK(resolve(&window.front()));
+    window.pop_front();
+  }
+  if (!out) return Status::IOError("serve stream: write failed");
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace targad

@@ -1,0 +1,56 @@
+// Stream scoring: pump a feature CSV through a BatchScorer and emit one
+// score per input row, preserving input order. This is the glue between a
+// byte stream (file, stdin, a future TCP front-end) and the micro-batching
+// engine; the CLI `serve` subcommand is a thin wrapper around it.
+
+#ifndef TARGAD_SERVE_STREAM_H_
+#define TARGAD_SERVE_STREAM_H_
+
+#include <cstddef>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/result.h"
+#include "core/pipeline.h"
+#include "serve/batch_scorer.h"
+
+namespace targad {
+namespace serve {
+
+/// Outcome of one streaming session.
+struct StreamStats {
+  size_t rows_in = 0;      ///< Data rows read from the input.
+  size_t rows_scored = 0;  ///< Futures that resolved to a score.
+  size_t rows_failed = 0;  ///< Futures that resolved to an error.
+};
+
+struct StreamOptions {
+  /// Retry a ResourceExhausted rejection this many times, re-submitting
+  /// after a short backoff (the stream driver is a cooperative client; a
+  /// front-end under overload would instead propagate the rejection).
+  int admission_retries = 100;
+  /// Backoff between admission retries.
+  int64_t retry_delay_us = 500;
+  /// Write "s_tar" header before the scores.
+  bool write_header = true;
+  /// Per-row error behaviour: emit "error:<Code>" cells and continue
+  /// (true), or stop at the first failed row (false).
+  bool keep_going = false;
+};
+
+/// Reads a CSV (header + feature rows, label column optional — it is
+/// dropped) from `in`, submits every row to `scorer`, and writes one score
+/// per row to `out` in input order. `pipeline` supplies the expected
+/// schema; it must be the same artifact the scorer's snapshots come from.
+/// Fails on malformed input, schema mismatch, or (when !keep_going) the
+/// first row whose future resolves to an error.
+Result<StreamStats> ScoreCsvStream(const core::TargAdPipeline& pipeline,
+                                   BatchScorer* scorer, std::istream& in,
+                                   std::ostream& out,
+                                   const StreamOptions& options = {});
+
+}  // namespace serve
+}  // namespace targad
+
+#endif  // TARGAD_SERVE_STREAM_H_

@@ -3,8 +3,8 @@
 //   #include "targad.h"
 //
 // brings in the TargAD model (core/targad.h), the CSV pipeline, the dataset
-// substrates and profiles, the evaluation metrics, and the detector
-// registry with all baselines.
+// substrates and profiles, the evaluation metrics, the detector registry
+// with all baselines, and the serving layer (registry + batch scorer).
 
 #ifndef TARGAD_TARGAD_H_
 #define TARGAD_TARGAD_H_
@@ -24,5 +24,9 @@
 #include "eval/curves.h"            // IWYU pragma: export
 #include "eval/metrics.h"           // IWYU pragma: export
 #include "eval/triage.h"            // IWYU pragma: export
+#include "serve/batch_scorer.h"     // IWYU pragma: export
+#include "serve/metrics.h"          // IWYU pragma: export
+#include "serve/model_registry.h"   // IWYU pragma: export
+#include "serve/stream.h"           // IWYU pragma: export
 
 #endif  // TARGAD_TARGAD_H_

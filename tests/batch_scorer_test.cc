@@ -1,0 +1,272 @@
+#include "serve/batch_scorer.h"
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+
+namespace targad {
+namespace serve {
+namespace {
+
+// Small mixed numeric/categorical training table (mirrors pipeline_test).
+data::RawTable MakeTrainingTable(uint64_t seed) {
+  Rng rng(seed);
+  data::RawTable table;
+  table.column_names = {"amount", "rate", "channel", "label"};
+  auto add_row = [&](double amount, double rate, const char* channel,
+                     const std::string& label) {
+    table.rows.push_back(
+        {std::to_string(amount), std::to_string(rate), channel, label});
+  };
+  for (size_t i = 0; i < 400; ++i) {
+    const bool mode = rng.Bernoulli(0.5);
+    add_row(rng.Normal(mode ? 20.0 : 60.0, 4.0), rng.Normal(0.3, 0.05),
+            mode ? "web" : "pos", "");
+  }
+  for (size_t i = 0; i < 25; ++i) {
+    add_row(rng.Normal(150.0, 5.0), rng.Normal(0.9, 0.03), "web", "fraud");
+  }
+  return table;
+}
+
+std::shared_ptr<const core::TargAdPipeline> TrainPipeline(uint64_t seed) {
+  core::PipelineConfig config;
+  config.model.seed = seed;
+  config.model.selection.k = 2;
+  config.model.selection.autoencoder.epochs = 5;
+  config.model.epochs = 8;
+  auto pipeline = core::TargAdPipeline::Train(MakeTrainingTable(seed), config);
+  return std::make_shared<const core::TargAdPipeline>(
+      std::move(pipeline).ValueOrDie());
+}
+
+// Feature rows (no label column) plus the pipeline's serial scores.
+struct ScoringFixture {
+  std::shared_ptr<const core::TargAdPipeline> pipeline;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<double> serial_scores;
+};
+
+ScoringFixture MakeFixture(uint64_t seed, size_t n_rows) {
+  ScoringFixture fx;
+  fx.pipeline = TrainPipeline(seed);
+  Rng rng(seed + 1000);
+  data::RawTable table;
+  table.column_names = fx.pipeline->feature_columns();
+  for (size_t i = 0; i < n_rows; ++i) {
+    const char* channel = i % 3 == 0 ? "web" : (i % 3 == 1 ? "pos" : "app");
+    fx.rows.push_back({std::to_string(rng.Normal(50.0, 30.0)),
+                       std::to_string(rng.Normal(0.5, 0.2)), channel});
+    table.rows.push_back(fx.rows.back());
+  }
+  fx.serial_scores = fx.pipeline->Score(table).ValueOrDie();
+  return fx;
+}
+
+TEST(BatchScorerTest, SingleThreadMatchesSerialBitExact) {
+  ScoringFixture fx = MakeFixture(7, 64);
+  BatchScorerOptions options;
+  options.max_batch_size = 16;
+  BatchScorer scorer(fx.pipeline, options);
+  std::vector<std::future<Result<double>>> futures;
+  for (const auto& row : fx.rows) futures.push_back(scorer.Submit(row));
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<double> result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Bit-identical, not approximately equal: the whole pipeline is
+    // row-independent, so batching must not change a single ULP.
+    EXPECT_EQ(*result, fx.serial_scores[i]) << "row " << i;
+  }
+}
+
+TEST(BatchScorerTest, ConcurrentSubmittersMatchSerialBitExact) {
+  ScoringFixture fx = MakeFixture(11, 96);
+  BatchScorerOptions options;
+  options.max_batch_size = 8;
+  options.num_workers = 4;
+  ServeMetrics metrics;
+  BatchScorer scorer(fx.pipeline, options, &metrics);
+
+  constexpr size_t kThreads = 8;
+  constexpr int kRounds = 5;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = t; i < fx.rows.size(); i += kThreads) {
+          Result<double> result = scorer.Submit(fx.rows[i]).get();
+          if (!result.ok()) {
+            failures.fetch_add(1);
+          } else if (*result != fx.serial_scores[i]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.requests_completed, kThreads * kRounds * (96 / kThreads));
+  EXPECT_EQ(snapshot.rows_scored, snapshot.requests_completed);
+  EXPECT_GT(snapshot.batches, 0u);
+}
+
+TEST(BatchScorerTest, ScoresStayCorrectAcrossHotSwap) {
+  // Two models over the same schema; swap while 4 submitter threads hammer
+  // the scorer. Every score must match one of the two serial references —
+  // no torn reads, no scores from a half-swapped model.
+  ScoringFixture fx_a = MakeFixture(21, 48);
+  std::shared_ptr<const core::TargAdPipeline> pipeline_b = TrainPipeline(22);
+  data::RawTable table;
+  table.column_names = pipeline_b->feature_columns();
+  for (const auto& row : fx_a.rows) table.rows.push_back(row);
+  const std::vector<double> serial_b = pipeline_b->Score(table).ValueOrDie();
+
+  ModelRegistry registry;
+  registry.Publish("m", fx_a.pipeline);
+  BatchScorerOptions options;
+  options.max_batch_size = 8;
+  options.num_workers = 2;
+  ServeMetrics metrics;
+  BatchScorer scorer(
+      [&registry] {
+        auto snapshot = registry.Get("m");
+        return snapshot.ok() ? *snapshot
+                             : std::shared_ptr<const core::TargAdPipeline>();
+      },
+      options, &metrics);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      while (!stop.load()) {
+        for (size_t i = 0; i < fx_a.rows.size() && !stop.load(); ++i) {
+          Result<double> result = scorer.Submit(fx_a.rows[i]).get();
+          if (!result.ok()) {
+            failures.fetch_add(1);
+          } else if (*result != fx_a.serial_scores[i] &&
+                     *result != serial_b[i]) {
+            bad.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  // Swap back and forth while traffic flows.
+  for (int swap = 0; swap < 6; ++swap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    registry.Publish("m", swap % 2 == 0 ? pipeline_b : fx_a.pipeline);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GE(metrics.Snapshot().model_swaps, 1u);
+}
+
+TEST(BatchScorerTest, OverloadRejectsWithResourceExhausted) {
+  ScoringFixture fx = MakeFixture(31, 8);
+  BatchScorerOptions options;
+  // The batch can never fill (64 > queue bound 4) and the coalescing delay
+  // is huge, so the worker parks and the queue backs up deterministically.
+  options.max_batch_size = 64;
+  options.max_queue_rows = 4;
+  options.max_queue_delay_us = 30'000'000;
+  ServeMetrics metrics;
+  BatchScorer scorer(fx.pipeline, options, &metrics);
+
+  std::vector<std::future<Result<double>>> futures;
+  bool saw_rejection = false;
+  for (int i = 0; i < 64; ++i) {
+    std::future<Result<double>> future = scorer.Submit(fx.rows[i % 8]);
+    // Rejections resolve immediately; admitted rows stay pending.
+    if (future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      Result<double> result = future.get();
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+      saw_rejection = true;
+    } else {
+      futures.push_back(std::move(future));
+    }
+  }
+  EXPECT_TRUE(saw_rejection);
+  EXPECT_GT(metrics.Snapshot().requests_rejected, 0u);
+  // Shutdown drains the admitted rows (ignoring the coalescing delay);
+  // every admitted future must still resolve to a real score.
+  scorer.Shutdown();
+  for (auto& future : futures) {
+    Result<double> result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+}
+
+TEST(BatchScorerTest, MalformedRowFailsAloneInItsBatch) {
+  ScoringFixture fx = MakeFixture(41, 8);
+  BatchScorerOptions options;
+  options.max_batch_size = 8;
+  options.max_queue_delay_us = 50'000;  // Force one batch.
+  BatchScorer scorer(fx.pipeline, options);
+
+  std::vector<std::future<Result<double>>> futures;
+  futures.push_back(scorer.Submit(fx.rows[0]));
+  futures.push_back(scorer.Submit({"not-a-number", "0.5", "web"}));
+  futures.push_back(scorer.Submit({"1.0"}));  // Wrong arity.
+  futures.push_back(scorer.Submit(fx.rows[1]));
+
+  Result<double> good0 = futures[0].get();
+  ASSERT_TRUE(good0.ok()) << good0.status().ToString();
+  EXPECT_EQ(*good0, fx.serial_scores[0]);
+
+  Result<double> bad_cell = futures[1].get();
+  ASSERT_FALSE(bad_cell.ok());
+  EXPECT_EQ(bad_cell.status().code(), StatusCode::kInvalidArgument);
+
+  Result<double> bad_arity = futures[2].get();
+  ASSERT_FALSE(bad_arity.ok());
+  EXPECT_EQ(bad_arity.status().code(), StatusCode::kInvalidArgument);
+
+  Result<double> good1 = futures[3].get();
+  ASSERT_TRUE(good1.ok()) << good1.status().ToString();
+  EXPECT_EQ(*good1, fx.serial_scores[1]);
+}
+
+TEST(BatchScorerTest, NoModelFailsWithFailedPrecondition) {
+  BatchScorerOptions options;
+  BatchScorer scorer(
+      [] { return std::shared_ptr<const core::TargAdPipeline>(); }, options);
+  Result<double> result = scorer.Submit({"1", "2", "web"}).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BatchScorerTest, SubmitAfterShutdownFails) {
+  ScoringFixture fx = MakeFixture(51, 4);
+  BatchScorer scorer(fx.pipeline, BatchScorerOptions{});
+  scorer.Shutdown();
+  Result<double> result = scorer.Submit(fx.rows[0]).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace targad

@@ -34,6 +34,29 @@ case "$out" in
   *) fail "unexpected evaluate output" ;;
 esac
 
+# Serving path: micro-batched concurrent scoring must be bit-identical to
+# the serial score output above.
+"$CLI" serve --model m.model --in data_test.csv --out serve_scores.csv \
+  --workers 4 --batch 16 2>serve_metrics.txt || fail "serve"
+diff -q scores.csv serve_scores.csv \
+  || fail "serve scores differ from serial score output"
+grep -q "requests:" serve_metrics.txt || fail "serve metrics report missing"
+
+# Serving from stdin to stdout.
+"$CLI" serve --model m.model < data_test.csv > serve_stdout.csv \
+  2>/dev/null || fail "serve stdin"
+diff -q scores.csv serve_stdout.csv || fail "serve stdin scores differ"
+
+# Unknown flags are rejected, and the error names the valid ones.
+err=$("$CLI" serve --model m.model --bogus-flag 1 2>&1) \
+  && fail "unknown flag accepted"
+case "$err" in
+  *"unknown flag --bogus-flag"*"--model"*) ;;
+  *) fail "unknown-flag error unhelpful: $err" ;;
+esac
+"$CLI" train --train data_train.csv --model x --scale 0.5 >/dev/null 2>&1 \
+  && fail "flag from wrong subcommand accepted"
+
 # Failure paths must exit non-zero with a clean message.
 "$CLI" bogus-subcommand >/dev/null 2>&1 && fail "bogus subcommand accepted"
 "$CLI" train --train missing.csv --model x >/dev/null 2>&1 \

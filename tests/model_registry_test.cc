@@ -1,0 +1,185 @@
+#include "serve/model_registry.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace targad {
+namespace serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+data::RawTable MakeTrainingTable(uint64_t seed) {
+  Rng rng(seed);
+  data::RawTable table;
+  table.column_names = {"x", "y", "label"};
+  for (size_t i = 0; i < 300; ++i) {
+    table.rows.push_back({std::to_string(rng.Normal(0.0, 1.0)),
+                          std::to_string(rng.Normal(0.0, 1.0)), ""});
+  }
+  for (size_t i = 0; i < 20; ++i) {
+    table.rows.push_back({std::to_string(rng.Normal(5.0, 0.3)),
+                          std::to_string(rng.Normal(5.0, 0.3)), "attack"});
+  }
+  return table;
+}
+
+core::PipelineConfig FastConfig(uint64_t seed) {
+  core::PipelineConfig config;
+  config.model.seed = seed;
+  config.model.selection.k = 2;
+  config.model.selection.autoencoder.epochs = 5;
+  config.model.epochs = 5;
+  return config;
+}
+
+std::shared_ptr<const core::TargAdPipeline> TrainPipeline(uint64_t seed) {
+  auto pipeline =
+      core::TargAdPipeline::Train(MakeTrainingTable(seed), FastConfig(seed));
+  return std::make_shared<const core::TargAdPipeline>(
+      std::move(pipeline).ValueOrDie());
+}
+
+// A serialized pipeline artifact, as `targad train` would write it.
+std::string SavedArtifact(uint64_t seed) {
+  auto pipeline =
+      core::TargAdPipeline::Train(MakeTrainingTable(seed), FastConfig(seed))
+          .ValueOrDie();
+  std::stringstream buffer;
+  TARGAD_CHECK_OK(pipeline.Save(buffer));
+  return buffer.str();
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("targad_registry_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  static int counter_;
+  fs::path path_;
+};
+
+int TempDir::counter_ = 0;
+
+TEST(ModelRegistryTest, PublishGetAndVersioning) {
+  ModelRegistry registry;
+  auto pipeline_v1 = TrainPipeline(1);
+  EXPECT_EQ(registry.Publish("fraud", pipeline_v1), 1u);
+  EXPECT_EQ(registry.size(), 1u);
+
+  auto snapshot = registry.Get("fraud");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->get(), pipeline_v1.get());
+
+  auto pipeline_v2 = TrainPipeline(2);
+  EXPECT_EQ(registry.Publish("fraud", pipeline_v2), 2u);
+  auto info = registry.Info("fraud");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->version, 2u);
+
+  // The old snapshot handed out before the swap stays fully usable.
+  data::RawTable row;
+  row.column_names = {"x", "y"};
+  row.rows.push_back({"0.5", "0.5"});
+  auto scores = (*snapshot)->Score(row);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  EXPECT_EQ(scores->size(), 1u);
+}
+
+TEST(ModelRegistryTest, GetUnknownIsNotFound) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Get("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Info("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Remove("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, LoadDirectoryRegistersArtifactsByStem) {
+  TempDir dir;
+  {
+    const std::string artifact = SavedArtifact(3);
+    std::ofstream out(dir.path() / "alpha.targad");
+    out << artifact;
+    std::ofstream out2(dir.path() / "beta.model");
+    out2 << artifact;
+    std::ofstream ignored(dir.path() / "notes.txt");
+    ignored << "not a model\n";
+  }
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadDirectory(dir.path().string()).ok());
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_TRUE(registry.Get("alpha").ok());
+  EXPECT_TRUE(registry.Get("beta").ok());
+  EXPECT_EQ(registry.Get("notes").status().code(), StatusCode::kNotFound);
+
+  const std::vector<ModelInfo> models = registry.List();
+  ASSERT_EQ(models.size(), 2u);
+  EXPECT_EQ(models[0].name, "alpha");
+  EXPECT_EQ(models[1].name, "beta");
+}
+
+TEST(ModelRegistryTest, LoadDirectoryFailsOnCorruptArtifact) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.path() / "broken.targad");
+    out << "this is not a pipeline\n";
+  }
+  ModelRegistry registry;
+  EXPECT_FALSE(registry.LoadDirectory(dir.path().string()).ok());
+}
+
+TEST(ModelRegistryTest, LoadDirectoryOnMissingDirIsNotFound) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.LoadDirectory("/nonexistent/registry/dir").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, ConcurrentPublishAndGetKeepSnapshotsIntact) {
+  ModelRegistry registry;
+  auto pipeline_a = TrainPipeline(4);
+  auto pipeline_b = TrainPipeline(5);
+  registry.Publish("m", pipeline_a);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        auto snapshot = registry.Get("m");
+        ASSERT_TRUE(snapshot.ok());
+        const core::TargAdPipeline* raw = snapshot->get();
+        // Every observed snapshot is one of the two published pipelines.
+        ASSERT_TRUE(raw == pipeline_a.get() || raw == pipeline_b.get());
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    registry.Publish("m", i % 2 == 0 ? pipeline_b : pipeline_a);
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.Info("m")->version, 51u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace targad

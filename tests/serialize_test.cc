@@ -52,6 +52,13 @@ TEST(ParamsSerializeTest, RoundTripThroughIdenticalArchitecture) {
   }
 }
 
+TEST(MatrixSerializeTest, RejectsNonNumericCell) {
+  std::stringstream garbage("matrix 2 2\n1 2\nbogus 4\n");
+  auto result = nn::ReadMatrix(garbage);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ParamsSerializeTest, RejectsArchitectureMismatch) {
   Rng r1(4), r2(5);
   nn::Sequential a = nn::Sequential::MakeMlp({4, 8, 2}, nn::Activation::kReLU,
@@ -61,6 +68,60 @@ TEST(ParamsSerializeTest, RejectsArchitectureMismatch) {
   std::stringstream stream;
   ASSERT_TRUE(nn::WriteParams(stream, a).ok());
   EXPECT_FALSE(nn::ReadParams(stream, &narrower).ok());
+}
+
+// Failure-atomicity: a ReadParams that fails partway must not leave the
+// target network half-overwritten. Exercises the two-phase (read-validate,
+// then commit) implementation.
+TEST(ParamsSerializeTest, FailedReadLeavesNetworkUntouched) {
+  Rng r1(6), r2(7);
+  nn::Sequential a = nn::Sequential::MakeMlp({4, 8, 2}, nn::Activation::kReLU,
+                                             nn::Activation::kNone, &r1);
+  nn::Sequential b = nn::Sequential::MakeMlp({4, 8, 2}, nn::Activation::kReLU,
+                                             nn::Activation::kNone, &r2);
+  nn::Matrix x(3, 4, 0.25);
+  const nn::Matrix before = b.Forward(x);
+
+  std::stringstream full;
+  ASSERT_TRUE(nn::WriteParams(full, a).ok());
+  const std::string serialized = full.str();
+
+  // Truncated mid-stream: the header and first matrix parse fine, later
+  // matrices are cut off.
+  std::stringstream truncated(serialized.substr(0, serialized.size() / 2));
+  EXPECT_FALSE(nn::ReadParams(truncated, &b).ok());
+
+  // Corrupt payload cell in the LAST matrix: everything before it reads
+  // cleanly, so a non-atomic implementation would have already overwritten
+  // the earlier parameters. The token must start with the junk character —
+  // trailing junk after a parsed double would not fail operator>>.
+  std::string corrupted = serialized;
+  const size_t last_digit = corrupted.find_last_of("0123456789");
+  ASSERT_NE(last_digit, std::string::npos);
+  const size_t sep = corrupted.find_last_of(" \n", last_digit);
+  ASSERT_NE(sep, std::string::npos);
+  corrupted[sep + 1] = 'x';
+  std::stringstream bad_cell(corrupted);
+  EXPECT_FALSE(nn::ReadParams(bad_cell, &b).ok());
+
+  const nn::Matrix after = b.Forward(x);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after.data()[i], before.data()[i]) << "param state corrupted";
+  }
+}
+
+TEST(ParamsSerializeTest, RejectsParameterCountMismatch) {
+  Rng r1(8), r2(9);
+  nn::Sequential a = nn::Sequential::MakeMlp({4, 8, 2}, nn::Activation::kReLU,
+                                             nn::Activation::kNone, &r1);
+  nn::Sequential deeper = nn::Sequential::MakeMlp(
+      {4, 8, 8, 2}, nn::Activation::kReLU, nn::Activation::kNone, &r2);
+  std::stringstream stream;
+  ASSERT_TRUE(nn::WriteParams(stream, a).ok());
+  auto status = nn::ReadParams(stream, &deeper);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(TargAdSerializeTest, SaveLoadReproducesScoresExactly) {

@@ -1,7 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -54,6 +58,100 @@ TEST(ThreadPoolTest, TasksCanSubmitMoreTasks) {
   });
   pool.Wait();
   EXPECT_EQ(counter.load(), 11);
+}
+
+// Parks the pool's single worker until Release() is called, so tests can
+// fill the queue deterministically.
+class WorkerGate {
+ public:
+  void Block() {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_ = true;
+    entered_cv_.notify_all();
+    release_cv_.wait(lock, [this] { return released_; });
+  }
+  void WaitUntilBlocked() {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [this] { return entered_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable entered_cv_;
+  std::condition_variable release_cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+TEST(BoundedThreadPoolTest, TrySubmitRejectsWhenQueueFull) {
+  ThreadPool pool(1, /*max_queue=*/2);
+  EXPECT_EQ(pool.max_queue(), 2u);
+  WorkerGate gate;
+  std::atomic<int> counter{0};
+  pool.Submit([&gate, &counter] {
+    gate.Block();
+    counter.fetch_add(1);
+  });
+  gate.WaitUntilBlocked();  // Worker parked; queue now empty.
+
+  EXPECT_TRUE(pool.TrySubmit([&counter] { counter.fetch_add(1); }));
+  EXPECT_TRUE(pool.TrySubmit([&counter] { counter.fetch_add(1); }));
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  // Queue is at its bound: further TrySubmits are rejected without running.
+  EXPECT_FALSE(pool.TrySubmit([&counter] { counter.fetch_add(100); }));
+  EXPECT_FALSE(pool.TrySubmit([&counter] { counter.fetch_add(100); }));
+
+  gate.Release();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+  // Space freed up: admission works again.
+  EXPECT_TRUE(pool.TrySubmit([&counter] { counter.fetch_add(1); }));
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(BoundedThreadPoolTest, SubmitAppliesBackpressureInsteadOfRejecting) {
+  ThreadPool pool(1, /*max_queue=*/1);
+  WorkerGate gate;
+  std::atomic<int> counter{0};
+  pool.Submit([&gate, &counter] {
+    gate.Block();
+    counter.fetch_add(1);
+  });
+  gate.WaitUntilBlocked();
+  pool.Submit([&counter] { counter.fetch_add(1); });  // Fills the queue.
+
+  // This Submit must block until the worker frees a slot — it may not drop
+  // the task or return before the queue has space.
+  std::atomic<bool> third_admitted{false};
+  std::thread blocked_submitter([&] {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+    third_admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_admitted.load());  // Still held back.
+
+  gate.Release();
+  blocked_submitter.join();
+  EXPECT_TRUE(third_admitted.load());
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(BoundedThreadPoolTest, UnboundedPoolNeverRejects) {
+  ThreadPool pool(2);  // Default max_queue = 0 = unbounded.
+  EXPECT_EQ(pool.max_queue(), 0u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 500);
 }
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {

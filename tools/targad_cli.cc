@@ -10,13 +10,21 @@
 //   targad evaluate --scores scores.csv --truth T.csv
 //                   [--label-column label] [--target-prefix target_]
 //       AUPRC/AUROC of a score file against a labeled CSV.
+//   targad serve --model M [--in X.csv] [--out scores.csv] [--batch 64]
+//                [--delay-us 200] [--workers 2] [--queue 4096]
+//       Stream rows (stdin or --in) through the micro-batched scoring
+//       service; scores go to stdout or --out, a metrics report to stderr.
 //
+// Unknown flags are rejected with the subcommand's valid flag list.
 // Exit status 0 on success; errors print to stderr.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +33,10 @@
 #include "data/export.h"
 #include "data/profiles.h"
 #include "eval/metrics.h"
+#include "serve/batch_scorer.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/stream.h"
 
 using namespace targad;  // NOLINT(build/namespaces)
 
@@ -73,6 +85,18 @@ class Flags {
 
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
+  /// Flags present but not in `allowed` (sorted, "--"-prefixed).
+  std::vector<std::string> Unknown(const std::vector<std::string>& allowed) const {
+    std::vector<std::string> out;
+    for (const auto& [key, value] : values_) {
+      (void)value;
+      if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+        out.push_back("--" + key);
+      }
+    }
+    return out;
+  }
+
  private:
   std::map<std::string, std::string> values_;
   bool ok_ = true;
@@ -85,10 +109,25 @@ int Fail(const std::string& message) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: targad <generate|train|score|evaluate> [--flag value]...\n"
-               "run with a subcommand and no flags for its options\n");
+  std::fprintf(
+      stderr,
+      "usage: targad <generate|train|score|evaluate|serve> [--flag value]...\n"
+      "run with a subcommand and no flags for its options\n");
   return 2;
+}
+
+// Valid flags per subcommand; anything else is rejected up front.
+const std::map<std::string, std::vector<std::string>>& CommandFlags() {
+  static const std::map<std::string, std::vector<std::string>> kFlags = {
+      {"generate", {"profile", "scale", "seed", "out"}},
+      {"train", {"train", "model", "label-column", "k", "alpha", "epochs",
+                 "seed"}},
+      {"score", {"model", "in", "out"}},
+      {"evaluate", {"scores", "truth", "label-column", "target-prefix"}},
+      {"serve", {"model", "in", "out", "batch", "delay-us", "workers",
+                 "queue"}},
+  };
+  return kFlags;
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -216,6 +255,62 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  const std::string model_path = flags.Get("model");
+  if (model_path.empty()) return Fail("serve requires --model <path>");
+  const std::string in_path = flags.Get("in");
+  const std::string out_path = flags.Get("out");
+
+  std::ifstream model_in(model_path);
+  if (!model_in) return Fail("cannot open " + model_path);
+  auto loaded = core::TargAdPipeline::Load(model_in);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  auto pipeline = std::make_shared<const core::TargAdPipeline>(
+      std::move(loaded).ValueOrDie());
+
+  // The registry is the hot-swap point: a future front-end republishes a
+  // retrained artifact under the same name while scoring continues.
+  serve::ModelRegistry registry;
+  registry.Publish("default", pipeline, model_path);
+
+  serve::BatchScorerOptions options;
+  options.max_batch_size = static_cast<size_t>(flags.GetInt("batch", 64));
+  options.max_queue_delay_us = flags.GetInt("delay-us", 200);
+  options.num_workers = static_cast<size_t>(flags.GetInt("workers", 2));
+  options.max_queue_rows = static_cast<size_t>(flags.GetInt("queue", 4096));
+
+  serve::ServeMetrics metrics;
+  serve::BatchScorer scorer(
+      [&registry] {
+        auto snapshot = registry.Get("default");
+        return snapshot.ok()
+                   ? *snapshot
+                   : std::shared_ptr<const core::TargAdPipeline>();
+      },
+      options, &metrics);
+
+  std::ifstream file_in;
+  if (!in_path.empty()) {
+    file_in.open(in_path);
+    if (!file_in) return Fail("cannot open " + in_path);
+  }
+  std::ofstream file_out;
+  if (!out_path.empty()) {
+    file_out.open(out_path);
+    if (!file_out) return Fail("cannot open " + out_path + " for writing");
+  }
+  std::istream& in = in_path.empty() ? std::cin : file_in;
+  std::ostream& out = out_path.empty() ? std::cout : file_out;
+
+  auto stats = serve::ScoreCsvStream(*pipeline, &scorer, in, out);
+  scorer.Shutdown();
+  if (!stats.ok()) return Fail(stats.status().ToString());
+  std::fprintf(stderr, "served %zu rows (%zu scored, %zu failed)\n%s",
+               stats->rows_in, stats->rows_scored, stats->rows_failed,
+               metrics.Report().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,9 +319,21 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, 2);
   if (!flags.ok()) return Fail(flags.error());
 
+  const auto& command_flags = CommandFlags();
+  auto it = command_flags.find(command);
+  if (it == command_flags.end()) return Usage();
+  const std::vector<std::string> unknown = flags.Unknown(it->second);
+  if (!unknown.empty()) {
+    std::string valid;
+    for (const std::string& flag : it->second) valid += " --" + flag;
+    return Fail("unknown flag " + unknown.front() + " for '" + command +
+                "' (valid:" + valid + ")");
+  }
+
   if (command == "generate") return CmdGenerate(flags);
   if (command == "train") return CmdTrain(flags);
   if (command == "score") return CmdScore(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "serve") return CmdServe(flags);
   return Usage();
 }
