@@ -18,6 +18,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "nn/frozen.h"
 #include "nn/mlp.h"
 
 namespace targad {
@@ -83,10 +84,18 @@ class TargAdClassifier {
   /// softmax(logits).
   nn::Matrix PredictProba(const nn::Matrix& x) const { return mlp_->InferProba(x); }
 
+  /// Freezes the fitted MLP into a flat fused inference plan at `dtype`
+  /// (training state stripped, weights converted once). A kFloat64 plan's
+  /// outputs are bit-identical to Logits.
+  Result<nn::InferencePlan> Freeze(nn::Dtype dtype) const {
+    return nn::InferencePlan::Freeze(mlp_->net(), dtype);
+  }
+
   int m() const { return m_; }
   int k() const { return k_; }
   const ClassifierConfig& config() const { return config_; }
   nn::Mlp& mlp() { return *mlp_; }
+  const nn::Mlp& mlp() const { return *mlp_; }
 
  private:
   TargAdClassifier() = default;

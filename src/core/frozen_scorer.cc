@@ -1,0 +1,155 @@
+#include "core/frozen_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace targad {
+namespace core {
+
+namespace {
+
+// Index of `column` in `table`, or -1.
+int FindColumn(const data::RawTable& table, const std::string& column) {
+  for (size_t j = 0; j < table.column_names.size(); ++j) {
+    if (table.column_names[j] == column) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+// A copy of `table` without column `drop` (pass -1 for a plain copy).
+data::RawTable DropColumn(const data::RawTable& table, int drop) {
+  data::RawTable out;
+  for (size_t j = 0; j < table.column_names.size(); ++j) {
+    if (static_cast<int>(j) == drop) continue;
+    out.column_names.push_back(table.column_names[j]);
+  }
+  out.rows.reserve(table.num_rows());
+  for (const auto& row : table.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(out.column_names.size());
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (static_cast<int>(j) == drop) continue;
+      cells.push_back(row[j]);
+    }
+    out.rows.push_back(std::move(cells));
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> CastVector(const std::vector<double>& v) {
+  std::vector<T> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = static_cast<T>(v[i]);
+  return out;
+}
+
+}  // namespace
+
+Result<FrozenScorer> FrozenScorer::Make(Spec spec, const nn::Sequential& net,
+                                        nn::Dtype dtype) {
+  if (spec.m <= 0 || spec.k <= 0) {
+    return Status::InvalidArgument("frozen scorer: m and k must be positive");
+  }
+  if (spec.mins.size() != spec.maxs.size()) {
+    return Status::InvalidArgument(
+        "frozen scorer: normalizer min/max size mismatch");
+  }
+  // Ranges precomputed in double, exactly as MinMaxNormalizer::Transform
+  // derives them per call, then converted once to the plan dtype.
+  std::vector<double> ranges(spec.mins.size());
+  for (size_t j = 0; j < ranges.size(); ++j) {
+    ranges[j] = spec.maxs[j] - spec.mins[j];
+  }
+
+  FrozenScorer scorer;
+  scorer.dtype_ = dtype;
+  if (dtype == nn::Dtype::kFloat32) {
+    TARGAD_ASSIGN_OR_RETURN(nn::FrozenNetF frozen, nn::FrozenNetF::Freeze(net));
+    scorer.model_ = Typed<float>{std::move(frozen), CastVector<float>(spec.mins),
+                                 CastVector<float>(ranges)};
+  } else {
+    TARGAD_ASSIGN_OR_RETURN(nn::FrozenNet frozen, nn::FrozenNet::Freeze(net));
+    scorer.model_ =
+        Typed<double>{std::move(frozen), spec.mins, std::move(ranges)};
+  }
+
+  const auto typed_input_dim = std::visit(
+      [](const auto& m) { return m.net.input_dim(); }, scorer.model_);
+  if (typed_input_dim != spec.mins.size()) {
+    return Status::InvalidArgument("frozen scorer: network expects ",
+                                   typed_input_dim, " features, normalizer has ",
+                                   spec.mins.size());
+  }
+  const auto typed_output_dim = std::visit(
+      [](const auto& m) { return m.net.output_dim(); }, scorer.model_);
+  if (typed_output_dim != static_cast<size_t>(spec.m + spec.k)) {
+    return Status::InvalidArgument("frozen scorer: network emits ",
+                                   typed_output_dim, " logits, expected m+k = ",
+                                   spec.m + spec.k);
+  }
+  scorer.spec_ = std::move(spec);
+  return scorer;
+}
+
+template <typename T>
+Result<std::vector<double>> FrozenScorer::ScoreTyped(
+    const Typed<T>& model, const data::RawTable& features) const {
+  TARGAD_ASSIGN_OR_RETURN(nn::MatrixT<T> x,
+                          spec_.encoder.template TransformT<T>(features));
+  if (x.cols() != model.mins.size()) {
+    return Status::InvalidArgument("frozen scorer: ", x.cols(),
+                                   " encoded columns, fitted on ",
+                                   model.mins.size());
+  }
+  // Min-max normalization in the plan dtype — same expression shape as
+  // MinMaxNormalizer::Transform, so the double plan is bit-identical.
+  for (size_t i = 0; i < x.rows(); ++i) {
+    T* row = x.RowPtr(i);
+    for (size_t j = 0; j < x.cols(); ++j) {
+      const T range = model.ranges[j];
+      T v = range > T(0) ? (row[j] - model.mins[j]) / range : T(0);
+      row[j] = std::clamp(v, T(0), T(1));
+    }
+  }
+
+  const nn::MatrixT<T> logits = model.net.Infer(x);
+
+  // S^tar (Eq. 9): max softmax probability over the first m logits. Mirrors
+  // nn::SoftmaxRows + core::TargetAnomalyScores exactly: the softmax
+  // normalizes over ALL m+k columns, then the head maxes over the first m.
+  const size_t cols = logits.cols();
+  const size_t m = static_cast<size_t>(spec_.m);
+  std::vector<double> scores(logits.rows());
+  std::vector<T> p(cols);
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    const T* z = logits.RowPtr(i);
+    T zmax = z[0];
+    for (size_t j = 1; j < cols; ++j) zmax = std::max(zmax, z[j]);
+    T denom = T(0);
+    for (size_t j = 0; j < cols; ++j) {
+      p[j] = std::exp(z[j] - zmax);
+      denom += p[j];
+    }
+    for (size_t j = 0; j < cols; ++j) p[j] /= denom;
+    T best = p[0];
+    for (size_t j = 1; j < m; ++j) best = std::max(best, p[j]);
+    scores[i] = static_cast<double>(best);
+  }
+  return scores;
+}
+
+Result<std::vector<double>> FrozenScorer::Score(
+    const data::RawTable& table) const {
+  const int label_col = FindColumn(table, spec_.label_column);
+  const data::RawTable features = DropColumn(table, label_col);
+  if (features.column_names != spec_.feature_columns) {
+    return Status::InvalidArgument(
+        "frozen scorer: feature columns differ from the training schema");
+  }
+  return std::visit(
+      [&](const auto& model) { return ScoreTyped(model, features); }, model_);
+}
+
+}  // namespace core
+}  // namespace targad

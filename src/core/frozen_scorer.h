@@ -1,0 +1,93 @@
+// FrozenScorer: a self-contained, dtype-frozen serving representation of a
+// fitted TargAdPipeline — the whole RawTable -> S^tar path (one-hot
+// encoding, min-max normalization, fused MLP forward, softmax score head)
+// executed in the plan's dtype. Built by TargAdPipeline::Freeze(Dtype);
+// holds no training state, so a snapshot is immutable and scores from any
+// number of threads concurrently.
+//
+// Exactness contract: Freeze(kFloat64) reproduces TargAdPipeline::Score
+// bit-for-bit. Freeze(kFloat32) runs the identical arithmetic in float32;
+// frozen_calibration_test bounds the score and AUROC drift.
+
+#ifndef TARGAD_CORE_FROZEN_SCORER_H_
+#define TARGAD_CORE_FROZEN_SCORER_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "core/scorer.h"
+#include "data/preprocess.h"
+#include "nn/frozen.h"
+
+namespace targad {
+namespace core {
+
+/// Dtype-frozen RawTable scorer with the same Score contract as the
+/// training pipeline.
+class FrozenScorer : public RowScorer {
+ public:
+  /// Everything a frozen scorer needs besides the network: the fitted
+  /// preprocessing and the label/schema metadata. Assembled by
+  /// TargAdPipeline::Freeze.
+  struct Spec {
+    std::string label_column;
+    std::string unlabeled_value;
+    std::vector<std::string> feature_columns;
+    std::vector<std::string> class_names;
+    data::OneHotEncoder encoder;
+    std::vector<double> mins;  ///< MinMaxNormalizer statistics.
+    std::vector<double> maxs;
+    int m = 0;
+    int k = 0;
+  };
+
+  /// Freezes `net` (the fitted classifier MLP) at `dtype` and converts the
+  /// normalizer statistics once to the same dtype.
+  static Result<FrozenScorer> Make(Spec spec, const nn::Sequential& net,
+                                   nn::Dtype dtype);
+
+  /// S^tar per row, computed end to end in the plan's dtype.
+  Result<std::vector<double>> Score(
+      const data::RawTable& table) const override;
+
+  const std::vector<std::string>& feature_columns() const override {
+    return spec_.feature_columns;
+  }
+  const std::string& label_column() const override {
+    return spec_.label_column;
+  }
+
+  nn::Dtype dtype() const { return dtype_; }
+  int m() const { return spec_.m; }
+  int k() const { return spec_.k; }
+  const std::vector<std::string>& class_names() const {
+    return spec_.class_names;
+  }
+
+ private:
+  /// The dtype-specific half: frozen net plus normalizer statistics
+  /// converted once at freeze time.
+  template <typename T>
+  struct Typed {
+    nn::FrozenNetT<T> net;
+    std::vector<T> mins;
+    std::vector<T> ranges;  ///< maxs - mins, precomputed in double.
+  };
+
+  FrozenScorer() = default;
+
+  template <typename T>
+  Result<std::vector<double>> ScoreTyped(const Typed<T>& model,
+                                         const data::RawTable& features) const;
+
+  Spec spec_;
+  nn::Dtype dtype_ = nn::Dtype::kFloat64;
+  std::variant<Typed<double>, Typed<float>> model_;
+};
+
+}  // namespace core
+}  // namespace targad
+
+#endif  // TARGAD_CORE_FROZEN_SCORER_H_

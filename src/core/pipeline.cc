@@ -134,6 +134,24 @@ Result<std::vector<double>> TargAdPipeline::ScoreCsv(
   return Score(table);
 }
 
+Result<FrozenScorer> TargAdPipeline::Freeze(nn::Dtype dtype) const {
+  if (model_ == nullptr || !model_->fitted()) {
+    return Status::FailedPrecondition("pipeline: model not trained");
+  }
+  FrozenScorer::Spec spec;
+  spec.label_column = config_.label_column;
+  spec.unlabeled_value = config_.unlabeled_value;
+  spec.feature_columns = feature_columns_;
+  spec.class_names = class_names_;
+  spec.encoder = encoder_;
+  spec.mins = normalizer_.mins();
+  spec.maxs = normalizer_.maxs();
+  spec.m = model_->m();
+  spec.k = model_->k();
+  return FrozenScorer::Make(std::move(spec),
+                            model_->classifier().mlp().net(), dtype);
+}
+
 namespace {
 
 void WritePipelineToken(std::ostream& out, const std::string& s) {

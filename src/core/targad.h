@@ -118,6 +118,13 @@ class TargAD {
   /// Restores a model written by Save; the result is ready to Score.
   static Result<TargAD> Load(std::istream& in);
 
+  /// Freezes the fitted classifier into a dtype-specific inference plan
+  /// (see nn/frozen.h). Requires Fit.
+  Result<nn::InferencePlan> Freeze(nn::Dtype dtype) const;
+
+  /// The fitted classifier. Requires Fit.
+  const TargAdClassifier& classifier() const;
+
   bool fitted() const { return fitted_; }
   int m() const { return m_; }
   /// k actually used (after elbow selection); valid after Fit.

@@ -44,6 +44,10 @@ std::vector<std::string> SplitRecord(const std::string& line, char delim) {
 
 }  // namespace
 
+std::vector<std::string> SplitCsvRecord(const std::string& line, char delim) {
+  return SplitRecord(line, delim);
+}
+
 Result<RawTable> ParseCsv(const std::string& text, char delim, bool has_header) {
   RawTable table;
   std::istringstream in(text);

@@ -33,6 +33,13 @@ Result<RawTable> ReadCsv(const std::string& path, char delim = ',',
 Result<RawTable> ParseCsv(const std::string& text, char delim = ',',
                           bool has_header = true);
 
+/// Splits ONE logical CSV record into fields, honouring quoted fields with
+/// embedded delimiters and doubled quotes. `line` must hold the complete
+/// record (no embedded newlines); the serving stream driver uses this to
+/// parse rows one line at a time without buffering the whole input.
+std::vector<std::string> SplitCsvRecord(const std::string& line,
+                                        char delim = ',');
+
 /// Interprets every cell of `table` as a double.
 Result<nn::Matrix> TableToMatrix(const RawTable& table);
 

@@ -82,12 +82,17 @@ Status OneHotEncoder::Fit(const RawTable& table) {
 }
 
 Result<nn::Matrix> OneHotEncoder::Transform(const RawTable& table) const {
+  return TransformT<double>(table);
+}
+
+template <typename T>
+Result<nn::MatrixT<T>> OneHotEncoder::TransformT(const RawTable& table) const {
   if (!fitted()) return Status::FailedPrecondition("OneHotEncoder not fitted");
   if (table.num_cols() != columns_.size()) {
     return Status::InvalidArgument("OneHotEncoder: table has ", table.num_cols(),
                                    " columns, fitted on ", columns_.size());
   }
-  nn::Matrix out(table.num_rows(), output_dim_);
+  nn::MatrixT<T> out(table.num_rows(), output_dim_);
   for (size_t i = 0; i < table.num_rows(); ++i) {
     size_t col_out = 0;
     for (size_t j = 0; j < columns_.size(); ++j) {
@@ -96,7 +101,7 @@ Result<nn::Matrix> OneHotEncoder::Transform(const RawTable& table) const {
       if (spec.is_categorical) {
         auto it = spec.categories.find(cell);
         if (it != spec.categories.end()) {
-          out.At(i, col_out + it->second) = 1.0;
+          out.At(i, col_out + it->second) = T(1);
         }
         // Unseen categories encode as all-zeros.
         col_out += spec.ordered_categories.size();
@@ -107,13 +112,18 @@ Result<nn::Matrix> OneHotEncoder::Transform(const RawTable& table) const {
                                          "' has non-numeric cell '", cell,
                                          "' at row ", i);
         }
-        out.At(i, col_out) = v;
+        out.At(i, col_out) = static_cast<T>(v);
         col_out += 1;
       }
     }
   }
   return out;
 }
+
+template Result<nn::MatrixT<double>> OneHotEncoder::TransformT<double>(
+    const RawTable& table) const;
+template Result<nn::MatrixT<float>> OneHotEncoder::TransformT<float>(
+    const RawTable& table) const;
 
 Result<nn::Matrix> OneHotEncoder::FitTransform(const RawTable& table) {
   TARGAD_RETURN_NOT_OK(Fit(table));

@@ -56,6 +56,12 @@ class OneHotEncoder {
 
   Result<nn::Matrix> Transform(const RawTable& table) const;
 
+  /// Dtype-generic Transform: encodes straight into a MatrixT<T> so the
+  /// frozen float32 scoring path never materializes a double table.
+  /// TransformT<double> is exactly Transform. Instantiated for float/double.
+  template <typename T>
+  Result<nn::MatrixT<T>> TransformT(const RawTable& table) const;
+
   Result<nn::Matrix> FitTransform(const RawTable& table);
 
   bool fitted() const { return !columns_.empty(); }

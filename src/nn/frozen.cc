@@ -1,0 +1,167 @@
+#include "nn/frozen.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace targad {
+namespace nn {
+
+const char* DtypeName(Dtype dtype) {
+  switch (dtype) {
+    case Dtype::kFloat32: return "float32";
+    case Dtype::kFloat64: return "float64";
+  }
+  return "?";
+}
+
+Result<Dtype> ParseDtype(const std::string& text) {
+  const std::string lower = ToLower(text);
+  if (lower == "float32" || lower == "f32") return Dtype::kFloat32;
+  if (lower == "float64" || lower == "f64" || lower == "double") {
+    return Dtype::kFloat64;
+  }
+  return Status::InvalidArgument("unknown dtype '", text,
+                                 "' (float32|float64)");
+}
+
+namespace {
+
+// Element-wise activation matching the layer's Infer arithmetic exactly
+// (same comparisons, same expression shapes) so a double frozen step is
+// bit-identical to Layer::Infer.
+template <typename T>
+void ApplyActivation(Activation act, T leaky_slope, MatrixT<T>* m) {
+  switch (act) {
+    case Activation::kNone:
+      return;
+    case Activation::kReLU:
+      for (T& v : m->data()) {
+        if (v <= T(0)) v = T(0);
+      }
+      return;
+    case Activation::kLeakyReLU:
+      for (T& v : m->data()) {
+        if (v < T(0)) v *= leaky_slope;
+      }
+      return;
+    case Activation::kSigmoid:
+      for (T& v : m->data()) {
+        // Numerically stable split (matches Sigmoid::Infer).
+        if (v >= T(0)) {
+          v = T(1) / (T(1) + std::exp(-v));
+        } else {
+          const T e = std::exp(v);
+          v = e / (T(1) + e);
+        }
+      }
+      return;
+    case Activation::kTanh:
+      for (T& v : m->data()) v = std::tanh(v);
+      return;
+  }
+}
+
+template <typename T>
+std::vector<T> CastVector(const std::vector<double>& v) {
+  std::vector<T> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = static_cast<T>(v[i]);
+  return out;
+}
+
+}  // namespace
+
+template <typename T>
+Result<FrozenNetT<T>> FrozenNetT<T>::Freeze(const Sequential& net) {
+  FrozenNetT frozen;
+  for (size_t i = 0; i < net.num_layers(); ++i) {
+    const Layer* layer = net.layer(i);
+    if (const auto* linear = dynamic_cast<const Linear*>(layer)) {
+      FrozenStepT<T> step;
+      step.weight = CastMatrix<T>(linear->weight());
+      step.bias = CastVector<T>(linear->bias().Row(0));
+      frozen.steps_.push_back(std::move(step));
+      continue;
+    }
+    if (dynamic_cast<const Dropout*>(layer) != nullptr) {
+      continue;  // Identity at inference; stripped from the plan.
+    }
+    Activation act;
+    T slope = T(0);
+    if (dynamic_cast<const ReLU*>(layer) != nullptr) {
+      act = Activation::kReLU;
+    } else if (const auto* leaky = dynamic_cast<const LeakyReLU*>(layer)) {
+      act = Activation::kLeakyReLU;
+      slope = static_cast<T>(leaky->slope());
+    } else if (dynamic_cast<const Sigmoid*>(layer) != nullptr) {
+      act = Activation::kSigmoid;
+    } else if (dynamic_cast<const Tanh*>(layer) != nullptr) {
+      act = Activation::kTanh;
+    } else {
+      return Status::InvalidArgument("freeze: unsupported layer '",
+                                     layer->name(), "'");
+    }
+    if (frozen.steps_.empty() ||
+        frozen.steps_.back().act != Activation::kNone) {
+      return Status::InvalidArgument(
+          "freeze: activation '", layer->name(),
+          "' has no preceding Linear layer to fuse into");
+    }
+    frozen.steps_.back().act = act;
+    frozen.steps_.back().leaky_slope = slope;
+  }
+  if (frozen.steps_.empty()) {
+    return Status::InvalidArgument("freeze: network has no Linear layers");
+  }
+  frozen.input_dim_ = frozen.steps_.front().weight.rows();
+  frozen.output_dim_ = frozen.steps_.back().weight.cols();
+  return frozen;
+}
+
+template <typename T>
+MatrixT<T> FrozenNetT<T>::Infer(const MatrixT<T>& x) const {
+  MatrixT<T> h = x;
+  for (const FrozenStepT<T>& step : steps_) {
+    // Same arithmetic, in the same order, as Linear::Infer followed by the
+    // activation's Infer — the bit-identity contract for T = double.
+    MatrixT<T> y = h.MatMul(step.weight);
+    y.AddRowVectorInPlace(step.bias);
+    ApplyActivation(step.act, step.leaky_slope, &y);
+    h = std::move(y);
+  }
+  return h;
+}
+
+template class FrozenNetT<double>;
+template class FrozenNetT<float>;
+
+Result<InferencePlan> InferencePlan::Freeze(const Sequential& net,
+                                            Dtype dtype) {
+  if (dtype == Dtype::kFloat32) {
+    TARGAD_ASSIGN_OR_RETURN(FrozenNetF frozen, FrozenNetF::Freeze(net));
+    return InferencePlan(dtype, std::move(frozen));
+  }
+  TARGAD_ASSIGN_OR_RETURN(FrozenNet frozen, FrozenNet::Freeze(net));
+  return InferencePlan(dtype, std::move(frozen));
+}
+
+Matrix InferencePlan::Infer(const Matrix& x) const {
+  if (dtype_ == Dtype::kFloat64) return net<double>().Infer(x);
+  return CastMatrix<double>(net<float>().Infer(CastMatrix<float>(x)));
+}
+
+size_t InferencePlan::input_dim() const {
+  return std::visit([](const auto& n) { return n.input_dim(); }, net_);
+}
+
+size_t InferencePlan::output_dim() const {
+  return std::visit([](const auto& n) { return n.output_dim(); }, net_);
+}
+
+size_t InferencePlan::num_steps() const {
+  return std::visit([](const auto& n) { return n.num_steps(); }, net_);
+}
+
+}  // namespace nn
+}  // namespace targad

@@ -102,6 +102,8 @@ class LeakyReLU : public Layer {
   Matrix Backward(const Matrix& grad_out) override;
   std::string name() const override { return "LeakyReLU"; }
 
+  double slope() const { return slope_; }
+
  private:
   double slope_;
   Matrix input_;

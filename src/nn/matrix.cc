@@ -7,27 +7,32 @@
 namespace targad {
 namespace nn {
 
-Matrix::Matrix(size_t rows, size_t cols, double fill)
+template <typename T>
+MatrixT<T>::MatrixT(size_t rows, size_t cols, T fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
-Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+template <typename T>
+MatrixT<T>::MatrixT(size_t rows, size_t cols, std::vector<T> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
   TARGAD_CHECK(data_.size() == rows * cols)
       << "Matrix data size " << data_.size() << " != " << rows << "x" << cols;
 }
 
-std::vector<double> Matrix::Row(size_t r) const {
+template <typename T>
+std::vector<T> MatrixT<T>::Row(size_t r) const {
   TARGAD_CHECK(r < rows_);
-  return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+  return std::vector<T>(RowPtr(r), RowPtr(r) + cols_);
 }
 
-void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+template <typename T>
+void MatrixT<T>::SetRow(size_t r, const std::vector<T>& values) {
   TARGAD_CHECK(r < rows_ && values.size() == cols_);
   std::copy(values.begin(), values.end(), RowPtr(r));
 }
 
-Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
-  Matrix out(indices.size(), cols_);
+template <typename T>
+MatrixT<T> MatrixT<T>::SelectRows(const std::vector<size_t>& indices) const {
+  MatrixT out(indices.size(), cols_);
   for (size_t i = 0; i < indices.size(); ++i) {
     TARGAD_CHECK(indices[i] < rows_) << "SelectRows index out of range";
     std::copy(RowPtr(indices[i]), RowPtr(indices[i]) + cols_, out.RowPtr(i));
@@ -35,7 +40,8 @@ Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
   return out;
 }
 
-void Matrix::AppendRows(const Matrix& other) {
+template <typename T>
+void MatrixT<T>::AppendRows(const MatrixT& other) {
   if (other.empty() && other.rows_ == 0) return;
   if (rows_ == 0 && cols_ == 0) cols_ = other.cols_;
   TARGAD_CHECK(cols_ == other.cols_) << "AppendRows column mismatch";
@@ -43,50 +49,53 @@ void Matrix::AppendRows(const Matrix& other) {
   rows_ += other.rows_;
 }
 
-Matrix Matrix::MatMul(const Matrix& other) const {
+template <typename T>
+MatrixT<T> MatrixT<T>::MatMul(const MatrixT& other) const {
   TARGAD_CHECK(cols_ == other.rows_)
       << "MatMul shape mismatch: " << rows_ << "x" << cols_ << " * "
       << other.rows_ << "x" << other.cols_;
-  Matrix out(rows_, other.cols_);
+  MatrixT out(rows_, other.cols_);
   // i-k-j loop order: streams through both operands row-major.
   for (size_t i = 0; i < rows_; ++i) {
-    const double* a_row = RowPtr(i);
-    double* o_row = out.RowPtr(i);
+    const T* a_row = RowPtr(i);
+    T* o_row = out.RowPtr(i);
     for (size_t k = 0; k < cols_; ++k) {
-      const double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = other.RowPtr(k);
+      const T a = a_row[k];
+      if (a == T(0)) continue;
+      const T* b_row = other.RowPtr(k);
       for (size_t j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
     }
   }
   return out;
 }
 
-Matrix Matrix::TransposeMatMul(const Matrix& other) const {
+template <typename T>
+MatrixT<T> MatrixT<T>::TransposeMatMul(const MatrixT& other) const {
   TARGAD_CHECK(rows_ == other.rows_) << "TransposeMatMul shape mismatch";
-  Matrix out(cols_, other.cols_);
+  MatrixT out(cols_, other.cols_);
   for (size_t i = 0; i < rows_; ++i) {
-    const double* a_row = RowPtr(i);
-    const double* b_row = other.RowPtr(i);
+    const T* a_row = RowPtr(i);
+    const T* b_row = other.RowPtr(i);
     for (size_t k = 0; k < cols_; ++k) {
-      const double a = a_row[k];
-      if (a == 0.0) continue;
-      double* o_row = out.RowPtr(k);
+      const T a = a_row[k];
+      if (a == T(0)) continue;
+      T* o_row = out.RowPtr(k);
       for (size_t j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
     }
   }
   return out;
 }
 
-Matrix Matrix::MatMulTranspose(const Matrix& other) const {
+template <typename T>
+MatrixT<T> MatrixT<T>::MatMulTranspose(const MatrixT& other) const {
   TARGAD_CHECK(cols_ == other.cols_) << "MatMulTranspose shape mismatch";
-  Matrix out(rows_, other.rows_);
+  MatrixT out(rows_, other.rows_);
   for (size_t i = 0; i < rows_; ++i) {
-    const double* a_row = RowPtr(i);
-    double* o_row = out.RowPtr(i);
+    const T* a_row = RowPtr(i);
+    T* o_row = out.RowPtr(i);
     for (size_t j = 0; j < other.rows_; ++j) {
-      const double* b_row = other.RowPtr(j);
-      double acc = 0.0;
+      const T* b_row = other.RowPtr(j);
+      T acc = T(0);
       for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
       o_row[j] = acc;
     }
@@ -94,133 +103,157 @@ Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   return out;
 }
 
-Matrix Matrix::Transpose() const {
-  Matrix out(cols_, rows_);
+template <typename T>
+MatrixT<T> MatrixT<T>::Transpose() const {
+  MatrixT out(cols_, rows_);
   for (size_t i = 0; i < rows_; ++i) {
-    const double* row = RowPtr(i);
+    const T* row = RowPtr(i);
     for (size_t j = 0; j < cols_; ++j) out.At(j, i) = row[j];
   }
   return out;
 }
 
-Matrix& Matrix::AddInPlace(const Matrix& other) {
+template <typename T>
+MatrixT<T>& MatrixT<T>::AddInPlace(const MatrixT& other) {
   TARGAD_CHECK(SameShape(other)) << "AddInPlace shape mismatch";
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
   return *this;
 }
 
-Matrix& Matrix::SubInPlace(const Matrix& other) {
+template <typename T>
+MatrixT<T>& MatrixT<T>::SubInPlace(const MatrixT& other) {
   TARGAD_CHECK(SameShape(other)) << "SubInPlace shape mismatch";
   for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
   return *this;
 }
 
-Matrix& Matrix::MulInPlace(double s) {
-  for (double& v : data_) v *= s;
+template <typename T>
+MatrixT<T>& MatrixT<T>::MulInPlace(T s) {
+  for (T& v : data_) v *= s;
   return *this;
 }
 
-Matrix& Matrix::HadamardInPlace(const Matrix& other) {
+template <typename T>
+MatrixT<T>& MatrixT<T>::HadamardInPlace(const MatrixT& other) {
   TARGAD_CHECK(SameShape(other)) << "HadamardInPlace shape mismatch";
   for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
   return *this;
 }
 
-Matrix Matrix::Add(const Matrix& other) const {
-  Matrix out = *this;
+template <typename T>
+MatrixT<T> MatrixT<T>::Add(const MatrixT& other) const {
+  MatrixT out = *this;
   out.AddInPlace(other);
   return out;
 }
 
-Matrix Matrix::Sub(const Matrix& other) const {
-  Matrix out = *this;
+template <typename T>
+MatrixT<T> MatrixT<T>::Sub(const MatrixT& other) const {
+  MatrixT out = *this;
   out.SubInPlace(other);
   return out;
 }
 
-Matrix Matrix::Mul(double s) const {
-  Matrix out = *this;
+template <typename T>
+MatrixT<T> MatrixT<T>::Mul(T s) const {
+  MatrixT out = *this;
   out.MulInPlace(s);
   return out;
 }
 
-Matrix& Matrix::AddRowVectorInPlace(const std::vector<double>& bias) {
+template <typename T>
+MatrixT<T>& MatrixT<T>::AddRowVectorInPlace(const std::vector<T>& bias) {
   TARGAD_CHECK(bias.size() == cols_) << "AddRowVectorInPlace size mismatch";
   for (size_t i = 0; i < rows_; ++i) {
-    double* row = RowPtr(i);
+    T* row = RowPtr(i);
     for (size_t j = 0; j < cols_; ++j) row[j] += bias[j];
   }
   return *this;
 }
 
-Matrix Matrix::Map(const std::function<double(double)>& fn) const {
-  Matrix out = *this;
+template <typename T>
+MatrixT<T> MatrixT<T>::Map(const std::function<T(T)>& fn) const {
+  MatrixT out = *this;
   out.MapInPlace(fn);
   return out;
 }
 
-void Matrix::MapInPlace(const std::function<double(double)>& fn) {
-  for (double& v : data_) v = fn(v);
+template <typename T>
+void MatrixT<T>::MapInPlace(const std::function<T(T)>& fn) {
+  for (T& v : data_) v = fn(v);
 }
 
-std::vector<double> Matrix::ColSums() const {
-  std::vector<double> sums(cols_, 0.0);
+template <typename T>
+std::vector<T> MatrixT<T>::ColSums() const {
+  std::vector<T> sums(cols_, T(0));
   for (size_t i = 0; i < rows_; ++i) {
-    const double* row = RowPtr(i);
+    const T* row = RowPtr(i);
     for (size_t j = 0; j < cols_; ++j) sums[j] += row[j];
   }
   return sums;
 }
 
-std::vector<double> Matrix::RowSums() const {
-  std::vector<double> sums(rows_, 0.0);
+template <typename T>
+std::vector<T> MatrixT<T>::RowSums() const {
+  std::vector<T> sums(rows_, T(0));
   for (size_t i = 0; i < rows_; ++i) {
-    const double* row = RowPtr(i);
-    double acc = 0.0;
+    const T* row = RowPtr(i);
+    T acc = T(0);
     for (size_t j = 0; j < cols_; ++j) acc += row[j];
     sums[i] = acc;
   }
   return sums;
 }
 
-std::vector<double> Matrix::RowSquaredNorms() const {
-  std::vector<double> norms(rows_, 0.0);
+template <typename T>
+std::vector<T> MatrixT<T>::RowSquaredNorms() const {
+  std::vector<T> norms(rows_, T(0));
   for (size_t i = 0; i < rows_; ++i) {
-    const double* row = RowPtr(i);
-    double acc = 0.0;
+    const T* row = RowPtr(i);
+    T acc = T(0);
     for (size_t j = 0; j < cols_; ++j) acc += row[j] * row[j];
     norms[i] = acc;
   }
   return norms;
 }
 
-double Matrix::Sum() const {
-  double acc = 0.0;
-  for (double v : data_) acc += v;
+template <typename T>
+T MatrixT<T>::Sum() const {
+  T acc = T(0);
+  for (T v : data_) acc += v;
   return acc;
 }
 
-double Matrix::SquaredNorm() const {
-  double acc = 0.0;
-  for (double v : data_) acc += v * v;
+template <typename T>
+T MatrixT<T>::SquaredNorm() const {
+  T acc = T(0);
+  for (T v : data_) acc += v * v;
   return acc;
 }
 
-double Matrix::RowSquaredDistance(size_t r, const Matrix& other, size_t s) const {
+template <typename T>
+T MatrixT<T>::RowSquaredDistance(size_t r, const MatrixT& other,
+                                 size_t s) const {
   TARGAD_CHECK(cols_ == other.cols_ && r < rows_ && s < other.rows_);
-  const double* a = RowPtr(r);
-  const double* b = other.RowPtr(s);
-  double acc = 0.0;
+  const T* a = RowPtr(r);
+  const T* b = other.RowPtr(s);
+  T acc = T(0);
   for (size_t j = 0; j < cols_; ++j) {
-    const double d = a[j] - b[j];
+    const T d = a[j] - b[j];
     acc += d * d;
   }
   return acc;
 }
 
-void Matrix::Fill(double v) {
-  for (double& x : data_) x = v;
+template <typename T>
+void MatrixT<T>::Fill(T v) {
+  for (T& x : data_) x = v;
 }
+
+// The library only ever computes in these two dtypes: double for training,
+// float for the frozen serving path.
+template class MatrixT<double>;
+template class MatrixT<float>;
 
 }  // namespace nn
 }  // namespace targad

@@ -1,7 +1,11 @@
-// Dense row-major matrix of doubles — the numeric workhorse for the NN
-// library, k-means, and the detectors. Deliberately minimal: only the
-// operations the library needs, each with a straightforward cache-friendly
-// implementation.
+// Dense row-major matrix — the numeric workhorse for the NN library,
+// k-means, and the detectors. Deliberately minimal: only the operations the
+// library needs, each with a straightforward cache-friendly implementation.
+//
+// MatrixT<T> is templated over the element type so the inference path can
+// run in float32 while training stays double; `Matrix` (= MatrixT<double>)
+// is the alias the training code uses throughout. Only float and double are
+// instantiated (see matrix.cc).
 
 #ifndef TARGAD_NN_MATRIX_H_
 #define TARGAD_NN_MATRIX_H_
@@ -15,108 +19,127 @@ namespace nn {
 
 /// Dense row-major matrix. Rows are instances, columns are features, by
 /// convention throughout the library.
-class Matrix {
+template <typename T>
+class MatrixT {
  public:
+  using value_type = T;
+
   /// Empty 0x0 matrix.
-  Matrix() = default;
+  MatrixT() = default;
 
   /// rows x cols matrix filled with `fill`.
-  Matrix(size_t rows, size_t cols, double fill = 0.0);
+  MatrixT(size_t rows, size_t cols, T fill = T(0));
 
   /// Takes ownership of `data` (size must equal rows*cols).
-  Matrix(size_t rows, size_t cols, std::vector<double> data);
+  MatrixT(size_t rows, size_t cols, std::vector<T> data);
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
-  double& operator()(size_t r, size_t c) { return At(r, c); }
-  double operator()(size_t r, size_t c) const { return At(r, c); }
+  T& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  T At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  T& operator()(size_t r, size_t c) { return At(r, c); }
+  T operator()(size_t r, size_t c) const { return At(r, c); }
 
-  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
-  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  T* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const T* RowPtr(size_t r) const { return data_.data() + r * cols_; }
 
-  std::vector<double>& data() { return data_; }
-  const std::vector<double>& data() const { return data_; }
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
 
   /// Copies row r into a vector.
-  std::vector<double> Row(size_t r) const;
+  std::vector<T> Row(size_t r) const;
 
   /// Overwrites row r with `values` (size must equal cols()).
-  void SetRow(size_t r, const std::vector<double>& values);
+  void SetRow(size_t r, const std::vector<T>& values);
 
   /// A new matrix holding the rows at `indices`, in order.
-  Matrix SelectRows(const std::vector<size_t>& indices) const;
+  MatrixT SelectRows(const std::vector<size_t>& indices) const;
 
   /// Appends all rows of `other` (same cols; appending to empty is allowed).
-  void AppendRows(const Matrix& other);
+  void AppendRows(const MatrixT& other);
 
   // ---- Arithmetic -------------------------------------------------------
 
   /// this * other (inner dimensions must agree).
-  Matrix MatMul(const Matrix& other) const;
+  MatrixT MatMul(const MatrixT& other) const;
 
   /// this^T * other. Equivalent to Transpose().MatMul(other), fused.
-  Matrix TransposeMatMul(const Matrix& other) const;
+  MatrixT TransposeMatMul(const MatrixT& other) const;
 
   /// this * other^T. Equivalent to MatMul(other.Transpose()), fused.
-  Matrix MatMulTranspose(const Matrix& other) const;
+  MatrixT MatMulTranspose(const MatrixT& other) const;
 
-  Matrix Transpose() const;
+  MatrixT Transpose() const;
 
-  Matrix& AddInPlace(const Matrix& other);
-  Matrix& SubInPlace(const Matrix& other);
-  Matrix& MulInPlace(double s);
+  MatrixT& AddInPlace(const MatrixT& other);
+  MatrixT& SubInPlace(const MatrixT& other);
+  MatrixT& MulInPlace(T s);
   /// Hadamard (element-wise) product.
-  Matrix& HadamardInPlace(const Matrix& other);
+  MatrixT& HadamardInPlace(const MatrixT& other);
 
-  Matrix Add(const Matrix& other) const;
-  Matrix Sub(const Matrix& other) const;
-  Matrix Mul(double s) const;
+  MatrixT Add(const MatrixT& other) const;
+  MatrixT Sub(const MatrixT& other) const;
+  MatrixT Mul(T s) const;
 
   /// Adds `bias` (length cols()) to every row.
-  Matrix& AddRowVectorInPlace(const std::vector<double>& bias);
+  MatrixT& AddRowVectorInPlace(const std::vector<T>& bias);
 
   /// Applies fn element-wise, returning a new matrix.
-  Matrix Map(const std::function<double(double)>& fn) const;
+  MatrixT Map(const std::function<T(T)>& fn) const;
 
   /// Applies fn element-wise in place.
-  void MapInPlace(const std::function<double(double)>& fn);
+  void MapInPlace(const std::function<T(T)>& fn);
 
   // ---- Reductions -------------------------------------------------------
 
   /// Column sums (length cols()).
-  std::vector<double> ColSums() const;
+  std::vector<T> ColSums() const;
 
   /// Per-row sums (length rows()).
-  std::vector<double> RowSums() const;
+  std::vector<T> RowSums() const;
 
   /// Squared L2 norm of each row.
-  std::vector<double> RowSquaredNorms() const;
+  std::vector<T> RowSquaredNorms() const;
 
   /// Sum of all elements.
-  double Sum() const;
+  T Sum() const;
 
   /// Frobenius norm squared.
-  double SquaredNorm() const;
+  T SquaredNorm() const;
 
   /// Squared Euclidean distance between row r of this and row s of other.
-  double RowSquaredDistance(size_t r, const Matrix& other, size_t s) const;
+  T RowSquaredDistance(size_t r, const MatrixT& other, size_t s) const;
 
-  void Fill(double v);
+  void Fill(T v);
 
-  bool SameShape(const Matrix& other) const {
+  bool SameShape(const MatrixT& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<double> data_;
+  std::vector<T> data_;
 };
+
+/// The training-path matrix type used throughout the library.
+using Matrix = MatrixT<double>;
+/// The narrow serving-path matrix type (see nn/frozen.h).
+using MatrixF = MatrixT<float>;
+
+/// Element-wise static_cast between matrix dtypes (e.g. double -> float when
+/// freezing a trained network for float32 inference).
+template <typename To, typename From>
+MatrixT<To> CastMatrix(const MatrixT<From>& m) {
+  std::vector<To> data(m.size());
+  for (size_t i = 0; i < m.size(); ++i) {
+    data[i] = static_cast<To>(m.data()[i]);
+  }
+  return MatrixT<To>(m.rows(), m.cols(), std::move(data));
+}
 
 }  // namespace nn
 }  // namespace targad

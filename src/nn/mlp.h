@@ -57,6 +57,7 @@ class Mlp {
   double TrainStepMse(const Matrix& x, const Matrix& targets);
 
   Sequential& net() { return net_; }
+  const Sequential& net() const { return net_; }
   Optimizer& optimizer() { return *optimizer_; }
   const MlpConfig& config() const { return config_; }
 

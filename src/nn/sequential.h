@@ -64,6 +64,7 @@ class Sequential {
 
   size_t num_layers() const { return layers_.size(); }
   Layer* layer(size_t i) { return layers_[i].get(); }
+  const Layer* layer(size_t i) const { return layers_[i].get(); }
 
   /// Total number of scalar parameters.
   size_t NumParameters();

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/string_util.h"
+
 namespace targad {
 namespace nn {
 
@@ -43,7 +45,9 @@ Result<Matrix> ReadMatrix(std::istream& in) {
 
 Status WriteParams(std::ostream& out, Sequential& net) {
   const auto params = net.Params();
-  out << "params " << params.size() << '\n';
+  // The trailing dtype tag keeps float32 frozen artifacts and double
+  // training artifacts from being silently confused at load time.
+  out << "params " << params.size() << " f64\n";
   for (Matrix* p : params) {
     TARGAD_RETURN_NOT_OK(WriteMatrix(out, *p));
   }
@@ -55,6 +59,21 @@ Status ReadParams(std::istream& in, Sequential* net) {
   size_t count = 0;
   if (!(in >> tag >> count) || tag != "params") {
     return Status::InvalidArgument("expected 'params <count>' header");
+  }
+  // Optional dtype tag on the header line. Legacy artifacts carry none and
+  // are double by construction; a Sequential is always double, so anything
+  // narrower must be rejected rather than widened silently.
+  std::string rest;
+  std::getline(in, rest);
+  const std::string dtype_tag(Trim(rest));
+  if (!dtype_tag.empty() && dtype_tag != "f64") {
+    if (dtype_tag == "f32") {
+      return Status::InvalidArgument(
+          "params dtype mismatch: stream holds a float32 artifact, network "
+          "parameters are float64");
+    }
+    return Status::InvalidArgument("unknown params dtype tag '", dtype_tag,
+                                   "'");
   }
   const auto params = net->Params();
   if (count != params.size()) {

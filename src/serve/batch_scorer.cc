@@ -16,8 +16,10 @@ uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
-BatchScorer::BatchScorer(SnapshotProvider provider, BatchScorerOptions options,
-                         ServeMetrics* metrics)
+constexpr const char BatchScorer::kDefaultModel[];
+
+BatchScorer::BatchScorer(NamedSnapshotProvider provider,
+                         BatchScorerOptions options, ServeMetrics* metrics)
     : provider_(std::move(provider)), options_(options), metrics_(metrics) {
   if (options_.max_batch_size == 0) options_.max_batch_size = 1;
   if (options_.max_queue_rows == 0) options_.max_queue_rows = 1;
@@ -28,17 +30,33 @@ BatchScorer::BatchScorer(SnapshotProvider provider, BatchScorerOptions options,
   }
 }
 
+BatchScorer::BatchScorer(SnapshotProvider provider, BatchScorerOptions options,
+                         ServeMetrics* metrics)
+    : BatchScorer(
+          [provider = std::move(provider)](const std::string& model)
+              -> std::shared_ptr<const core::RowScorer> {
+            if (model != kDefaultModel) return nullptr;
+            return provider();
+          },
+          options, metrics) {}
+
 BatchScorer::BatchScorer(std::shared_ptr<const core::TargAdPipeline> pipeline,
                          BatchScorerOptions options, ServeMetrics* metrics)
     : BatchScorer(
-          [pipeline = std::move(pipeline)] { return pipeline; },
+          SnapshotProvider([pipeline = std::move(pipeline)] { return pipeline; }),
           options, metrics) {}
 
 BatchScorer::~BatchScorer() { Shutdown(); }
 
 std::future<Result<double>> BatchScorer::Submit(
     std::vector<std::string> cells) {
+  return Submit(kDefaultModel, std::move(cells));
+}
+
+std::future<Result<double>> BatchScorer::Submit(
+    std::string model, std::vector<std::string> cells) {
   Pending request;
+  request.model = std::move(model);
   request.cells = std::move(cells);
   request.enqueued = std::chrono::steady_clock::now();
   std::future<Result<double>> future = request.promise.get_future();
@@ -135,18 +153,51 @@ void BatchScorer::Fulfill(Pending* request, Result<double> result) {
 }
 
 void BatchScorer::ScoreBatch(std::vector<Pending>* batch) {
-  std::shared_ptr<const core::TargAdPipeline> snapshot = provider_();
-  if (metrics_ != nullptr) {
-    const void* raw = snapshot.get();
-    const void* previous =
-        last_snapshot_.exchange(raw, std::memory_order_relaxed);
-    if (previous != nullptr && previous != raw) metrics_->RecordModelSwap();
+  // Group by model, preserving submission order inside each group (the map
+  // keeps pointers in batch order). A single-model batch — the common case
+  // — forms exactly one group and costs one extra map node.
+  std::map<std::string, std::vector<Pending*>> groups;
+  for (Pending& request : *batch) {
+    groups[request.model].push_back(&request);
   }
+  for (auto& [model, rows] : groups) {
+    ScoreGroup(model, &rows);
+  }
+}
+
+void BatchScorer::ScoreGroup(const std::string& model,
+                             std::vector<Pending*>* rows) {
+  std::shared_ptr<const core::RowScorer> snapshot = provider_(model);
+  if (metrics_ != nullptr && snapshot != nullptr) {
+    const void* raw = snapshot.get();
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    const void*& previous = last_snapshot_[model];
+    if (previous != nullptr && previous != raw) metrics_->RecordModelSwap();
+    previous = raw;
+  }
+
+  uint64_t scored = 0, failed = 0;
+  auto fulfill = [&](Pending* request, Result<double> result) {
+    result.ok() ? ++scored : ++failed;
+    Fulfill(request, std::move(result));
+  };
+  auto record_model = [&] {
+    if (metrics_ != nullptr) metrics_->RecordModelRows(model, scored, failed);
+  };
+
   if (snapshot == nullptr) {
-    for (Pending& request : *batch) {
-      Fulfill(&request,
-              Status::FailedPrecondition("batch scorer: no model available"));
+    // No snapshot: the default model missing is a service-not-ready
+    // condition; any other name is a routing error of that row alone.
+    for (Pending* request : *rows) {
+      if (model == kDefaultModel) {
+        fulfill(request, Status::FailedPrecondition(
+                             "batch scorer: no model available"));
+      } else {
+        fulfill(request,
+                Status::NotFound("batch scorer: unknown model '", model, "'"));
+      }
     }
+    record_model();
     return;
   }
 
@@ -154,19 +205,22 @@ void BatchScorer::ScoreBatch(std::vector<Pending>* batch) {
   // table requires every row to carry the training feature columns.
   const std::vector<std::string>& columns = snapshot->feature_columns();
   std::vector<Pending*> scorable;
-  scorable.reserve(batch->size());
-  for (Pending& request : *batch) {
-    if (request.cells.size() != columns.size()) {
-      Fulfill(&request,
+  scorable.reserve(rows->size());
+  for (Pending* request : *rows) {
+    if (request->cells.size() != columns.size()) {
+      fulfill(request,
               Status::InvalidArgument("batch scorer: row has ",
-                                      request.cells.size(),
+                                      request->cells.size(),
                                       " cells, model expects ",
                                       columns.size()));
     } else {
-      scorable.push_back(&request);
+      scorable.push_back(request);
     }
   }
-  if (scorable.empty()) return;
+  if (scorable.empty()) {
+    record_model();
+    return;
+  }
 
   data::RawTable table;
   table.column_names = columns;
@@ -177,15 +231,17 @@ void BatchScorer::ScoreBatch(std::vector<Pending>* batch) {
   Result<std::vector<double>> scores = snapshot->Score(table);
   if (scores.ok() && scores->size() == scorable.size()) {
     for (size_t i = 0; i < scorable.size(); ++i) {
-      Fulfill(scorable[i], (*scores)[i]);
+      fulfill(scorable[i], (*scores)[i]);
     }
+    record_model();
     return;
   }
   if (scorable.size() == 1) {
-    Fulfill(scorable[0], scores.ok()
+    fulfill(scorable[0], scores.ok()
                              ? Status::Internal("batch scorer: score count "
                                                 "mismatch")
                              : scores.status());
+    record_model();
     return;
   }
   // The vectorized call failed (e.g. one non-numeric cell poisons the whole
@@ -197,14 +253,15 @@ void BatchScorer::ScoreBatch(std::vector<Pending>* batch) {
     row_table.rows.push_back(request->cells);
     Result<std::vector<double>> row_score = snapshot->Score(row_table);
     if (row_score.ok() && row_score->size() == 1) {
-      Fulfill(request, (*row_score)[0]);
+      fulfill(request, (*row_score)[0]);
     } else {
-      Fulfill(request, row_score.ok()
+      fulfill(request, row_score.ok()
                            ? Status::Internal("batch scorer: score count "
                                               "mismatch")
                            : row_score.status());
     }
   }
+  record_model();
 }
 
 }  // namespace serve

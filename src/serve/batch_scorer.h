@@ -2,30 +2,36 @@
 // submit single feature rows and get a std::future<Result<double>> back;
 // background workers (on a dedicated targad::ThreadPool) coalesce queued
 // requests up to max_batch_size / max_queue_delay_us and run ONE vectorized
-// TargAdPipeline::Score call per batch, so per-request overhead is amortized
-// while tail latency stays bounded by the coalescing delay.
+// RowScorer::Score call per batch group, so per-request overhead is
+// amortized while tail latency stays bounded by the coalescing delay.
+//
+// Rows are routed by model name: Submit(model, cells) tags the row, the
+// plain Submit(cells) overload targets kDefaultModel. Workers group each
+// micro-batch by model and fetch one snapshot per group, so a batch mixing
+// models still runs one vectorized Score call per model.
 //
 // Guarantees:
-//  - Scores are bit-identical to a serial TargAdPipeline::Score of the same
-//    row: every pipeline stage (one-hot, min-max, MLP inference) is
+//  - Scores are bit-identical to a serial RowScorer::Score of the same
+//    row: every pipeline stage (one-hot, min-max, inference) is
 //    row-independent with identical per-row arithmetic at any batch size.
 //  - Admission is bounded: past max_queue_rows pending requests, Submit
 //    fails fast with Status::ResourceExhausted instead of queueing.
-//  - Hot-swap safe: each batch fetches the current registry snapshot; a
-//    concurrent Publish affects only later batches, and the old snapshot
+//  - Hot-swap safe: each batch group fetches the current registry snapshot;
+//    a concurrent Publish affects only later batches, and the old snapshot
 //    stays valid until its last batch completes.
-//  - One malformed row fails only its own future, not its batch neighbors.
+//  - One malformed row fails only its own future, not its batch neighbors;
+//    a row naming an unknown model fails with NotFound, not its batch.
 
 #ifndef TARGAD_SERVE_BATCH_SCORER_H_
 #define TARGAD_SERVE_BATCH_SCORER_H_
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +40,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
+#include "core/scorer.h"
 #include "serve/metrics.h"
 
 namespace targad {
@@ -53,19 +60,32 @@ struct BatchScorerOptions {
   size_t num_workers = 1;
 };
 
-/// Micro-batched concurrent scoring over immutable pipeline snapshots.
+/// Micro-batched concurrent scoring over immutable scorer snapshots.
 class BatchScorer {
  public:
-  /// Fetches the pipeline snapshot to score the next batch with; called
-  /// once per batch. Returning nullptr fails the batch (no model).
-  /// Typically ModelRegistry::Get wrapped in a lambda.
+  /// Model name used by the Submit overload without a name.
+  static constexpr const char kDefaultModel[] = "default";
+
+  /// Fetches the scorer snapshot for one model; called once per batch
+  /// group. Returning nullptr fails that group's rows: FailedPrecondition
+  /// for kDefaultModel (no model available), NotFound for any other name
+  /// (unknown model). Typically ModelRegistry::GetScorer in a lambda.
+  using NamedSnapshotProvider =
+      std::function<std::shared_ptr<const core::RowScorer>(
+          const std::string& model)>;
+
+  /// Legacy single-model provider: serves kDefaultModel only; rows routed
+  /// to any other name fail with NotFound.
   using SnapshotProvider =
       std::function<std::shared_ptr<const core::TargAdPipeline>()>;
+
+  BatchScorer(NamedSnapshotProvider provider, BatchScorerOptions options,
+              ServeMetrics* metrics = nullptr);
 
   BatchScorer(SnapshotProvider provider, BatchScorerOptions options,
               ServeMetrics* metrics = nullptr);
 
-  /// Convenience: scores every batch with one fixed pipeline.
+  /// Convenience: scores every kDefaultModel batch with one fixed pipeline.
   BatchScorer(std::shared_ptr<const core::TargAdPipeline> pipeline,
               BatchScorerOptions options, ServeMetrics* metrics = nullptr);
 
@@ -75,11 +95,16 @@ class BatchScorer {
   BatchScorer(const BatchScorer&) = delete;
   BatchScorer& operator=(const BatchScorer&) = delete;
 
-  /// Submits one feature row (cells in pipeline feature_columns() order).
-  /// The future resolves to the row's S^tar score, or to a failing Status:
-  /// ResourceExhausted when the admission queue is full, FailedPrecondition
-  /// after Shutdown or when no model is available, InvalidArgument for a
-  /// malformed row.
+  /// Submits one feature row (cells in the model's feature_columns()
+  /// order) routed to `model`. The future resolves to the row's S^tar
+  /// score, or to a failing Status: ResourceExhausted when the admission
+  /// queue is full, FailedPrecondition after Shutdown or when no default
+  /// model is available, NotFound for an unknown model name,
+  /// InvalidArgument for a malformed row.
+  std::future<Result<double>> Submit(std::string model,
+                                     std::vector<std::string> cells);
+
+  /// Submit(kDefaultModel, cells).
   std::future<Result<double>> Submit(std::vector<std::string> cells);
 
   /// Blocks until every admitted request has been fulfilled.
@@ -92,6 +117,7 @@ class BatchScorer {
 
  private:
   struct Pending {
+    std::string model;
     std::vector<std::string> cells;
     std::promise<Result<double>> promise;
     std::chrono::steady_clock::time_point enqueued;
@@ -99,9 +125,10 @@ class BatchScorer {
 
   void WorkerLoop();
   void ScoreBatch(std::vector<Pending>* batch);
+  void ScoreGroup(const std::string& model, std::vector<Pending*>* rows);
   void Fulfill(Pending* request, Result<double> result);
 
-  SnapshotProvider provider_;
+  NamedSnapshotProvider provider_;
   BatchScorerOptions options_;
   ServeMetrics* metrics_;
 
@@ -112,8 +139,10 @@ class BatchScorer {
   size_t outstanding_ = 0;  // Admitted but not yet fulfilled.
   bool stop_ = false;
 
-  /// Raw pointer of the previously scored snapshot, for swap detection.
-  std::atomic<const void*> last_snapshot_{nullptr};
+  /// Raw pointer of the previously scored snapshot per model, for swap
+  /// detection. Touched once per batch group.
+  std::mutex swap_mu_;
+  std::map<std::string, const void*> last_snapshot_;
 
   /// Declared last so workers join before the state above is destroyed.
   std::unique_ptr<ThreadPool> pool_;

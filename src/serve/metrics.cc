@@ -65,6 +65,14 @@ void ServeMetrics::RecordBatch(uint64_t rows) {
   batch_sizes_.Record(rows);
 }
 
+void ServeMetrics::RecordModelRows(const std::string& model, uint64_t scored,
+                                   uint64_t failed) {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  ModelRowCounters& counters = model_rows_[model];
+  counters.rows_scored += scored;
+  counters.rows_failed += failed;
+}
+
 void ServeMetrics::RecordCompleted(uint64_t latency_us) {
   requests_completed_.fetch_add(1, std::memory_order_relaxed);
   latencies_us_.Record(latency_us);
@@ -93,6 +101,10 @@ MetricsSnapshot ServeMetrics::Snapshot() const {
   s.latency_p99_us = latencies_us_.PercentileUpperBound(0.99);
   s.batch_size_buckets = batch_sizes_.Buckets();
   s.latency_buckets = latencies_us_.Buckets();
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    s.per_model = model_rows_;
+  }
   return s;
 }
 
@@ -144,6 +156,13 @@ std::string MetricsSnapshot::ToText() const {
   out += line;
   out += "  batch-size histogram: " + DumpBuckets(batch_size_buckets) + "\n";
   out += "  latency histogram: " + DumpBuckets(latency_buckets) + "\n";
+  for (const auto& [model, counters] : per_model) {
+    std::snprintf(line, sizeof(line), "  model %s: %llu scored, %llu failed\n",
+                  model.c_str(),
+                  static_cast<unsigned long long>(counters.rows_scored),
+                  static_cast<unsigned long long>(counters.rows_failed));
+    out += line;
+  }
   return out;
 }
 

@@ -10,6 +10,8 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,12 @@ class Pow2Histogram {
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
 };
 
+/// Per-model row outcomes (multi-model routing).
+struct ModelRowCounters {
+  uint64_t rows_scored = 0;
+  uint64_t rows_failed = 0;
+};
+
 /// Point-in-time copy of every metric, with derived percentiles.
 struct MetricsSnapshot {
   uint64_t requests_submitted = 0;   ///< Accepted into the queue.
@@ -56,13 +64,17 @@ struct MetricsSnapshot {
   uint64_t latency_p99_us = 0;
   std::array<uint64_t, Pow2Histogram::kNumBuckets> batch_size_buckets{};
   std::array<uint64_t, Pow2Histogram::kNumBuckets> latency_buckets{};
+  /// Row outcomes per routed model name (sorted by name).
+  std::map<std::string, ModelRowCounters> per_model;
 
   /// Multi-line human-readable report (the CLI prints this on exit).
   std::string ToText() const;
 };
 
 /// Shared metrics sink for one scoring service. All methods are thread-safe;
-/// recording never blocks.
+/// recording on the per-request path never blocks. The per-model counters
+/// are the one exception: they take a mutex, so they are recorded once per
+/// batch group (amortized), never per row.
 class ServeMetrics {
  public:
   void RecordSubmitted() { Add(&requests_submitted_); }
@@ -71,6 +83,11 @@ class ServeMetrics {
 
   /// One vectorized Score call over `rows` rows.
   void RecordBatch(uint64_t rows);
+
+  /// Row outcomes of one batch group routed to `model`. Called once per
+  /// group, so the mutex cost is amortized over the batch.
+  void RecordModelRows(const std::string& model, uint64_t scored,
+                       uint64_t failed);
 
   /// End-to-end latency (submit -> promise fulfilled) of one request.
   void RecordCompleted(uint64_t latency_us);
@@ -95,6 +112,9 @@ class ServeMetrics {
   std::atomic<uint64_t> model_swaps_{0};
   Pow2Histogram batch_sizes_;
   Pow2Histogram latencies_us_;
+
+  mutable std::mutex model_mu_;
+  std::map<std::string, ModelRowCounters> model_rows_;
 };
 
 }  // namespace serve

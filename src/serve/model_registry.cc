@@ -5,6 +5,8 @@
 #include <fstream>
 #include <utility>
 
+#include "common/logging.h"
+
 namespace targad {
 namespace serve {
 
@@ -14,6 +16,13 @@ Status ModelRegistry::LoadDirectory(const std::string& dir) {
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
     return Status::NotFound("model registry: not a directory: ", dir);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::find(watched_dirs_.begin(), watched_dirs_.end(), dir) ==
+        watched_dirs_.end()) {
+      watched_dirs_.push_back(dir);
+    }
   }
   // Deterministic registration order for reproducible version counters.
   std::vector<fs::path> artifacts;
@@ -38,6 +47,10 @@ Status ModelRegistry::PublishFile(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("model registry: empty model name");
   }
+  // Stat before reading: if the file is overwritten while we load it, the
+  // next RefreshIfChanged sees a newer mtime and reloads.
+  std::error_code ec;
+  const fs::file_time_type mtime = fs::last_write_time(path, ec);
   std::ifstream in(path);
   if (!in) return Status::IOError("model registry: cannot open ", path);
   auto pipeline = core::TargAdPipeline::Load(in);
@@ -50,6 +63,12 @@ Status ModelRegistry::PublishFile(const std::string& name,
           std::make_shared<const core::TargAdPipeline>(
               std::move(pipeline).ValueOrDie()),
           path);
+  if (!ec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& entry = models_[name];
+    entry.file_backed = true;
+    entry.mtime = mtime;
+  }
   return Status::OK();
 }
 
@@ -57,12 +76,88 @@ uint64_t ModelRegistry::Publish(
     const std::string& name,
     std::shared_ptr<const core::TargAdPipeline> pipeline,
     const std::string& source) {
+  nn::Dtype dtype;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dtype = serve_dtype_;
+  }
+  // Freeze outside the lock — weight conversion is CPU work, and Get must
+  // stay responsive while a large artifact is being prepared.
+  std::shared_ptr<const core::FrozenScorer> frozen;
+  if (dtype == nn::Dtype::kFloat32 && pipeline != nullptr) {
+    auto plan = pipeline->Freeze(nn::Dtype::kFloat32);
+    if (plan.ok()) {
+      frozen = std::make_shared<const core::FrozenScorer>(
+          std::move(plan).ValueOrDie());
+    } else {
+      // Serve the double pipeline rather than drop the model.
+      TARGAD_LOG(Warning) << "model registry: cannot freeze '" << name
+                          << "' to float32 (" << plan.status().message()
+                          << "); serving float64 pipeline";
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = models_[name];
   entry.pipeline = std::move(pipeline);
+  entry.frozen = std::move(frozen);
   entry.version += 1;
   entry.source = source;
+  entry.file_backed = false;  // PublishFile restores mtime after this.
   return entry.version;
+}
+
+Result<size_t> ModelRegistry::RefreshIfChanged() {
+  // Snapshot the poll set under the lock, then stat and reload without it:
+  // loading an artifact must not stall concurrent Get/GetScorer calls.
+  struct Polled {
+    std::string name;
+    std::string path;
+    fs::file_time_type mtime;
+  };
+  std::vector<Polled> polled;
+  std::vector<std::string> dirs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, entry] : models_) {
+      if (entry.file_backed) polled.push_back({name, entry.source, entry.mtime});
+    }
+    dirs = watched_dirs_;
+  }
+
+  size_t republished = 0;
+  for (const Polled& model : polled) {
+    std::error_code ec;
+    const fs::file_time_type now = fs::last_write_time(model.path, ec);
+    // A vanished or unreadable artifact keeps its last good snapshot.
+    if (ec || now == model.mtime) continue;
+    TARGAD_RETURN_NOT_OK(PublishFile(model.name, model.path));
+    ++republished;
+  }
+
+  // New artifacts dropped into a watched directory join the registry.
+  for (const std::string& dir : dirs) {
+    std::error_code ec;
+    std::vector<fs::path> artifacts;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".targad" || ext == ".model") artifacts.push_back(entry.path());
+    }
+    if (ec) continue;  // A vanished directory is not an error on a re-poll.
+    std::sort(artifacts.begin(), artifacts.end());
+    for (const fs::path& path : artifacts) {
+      const std::string name = path.stem().string();
+      bool known = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        known = models_.count(name) > 0;
+      }
+      if (known) continue;  // Mtime poll above covers registered models.
+      TARGAD_RETURN_NOT_OK(PublishFile(name, path.string()));
+      ++republished;
+    }
+  }
+  return republished;
 }
 
 Result<std::shared_ptr<const core::TargAdPipeline>> ModelRegistry::Get(
@@ -73,6 +168,19 @@ Result<std::shared_ptr<const core::TargAdPipeline>> ModelRegistry::Get(
     return Status::NotFound("model registry: no model named '", name, "'");
   }
   return it->second.pipeline;
+}
+
+Result<std::shared_ptr<const core::RowScorer>> ModelRegistry::GetScorer(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model registry: no model named '", name, "'");
+  }
+  if (it->second.frozen != nullptr) {
+    return std::shared_ptr<const core::RowScorer>(it->second.frozen);
+  }
+  return std::shared_ptr<const core::RowScorer>(it->second.pipeline);
 }
 
 Result<ModelInfo> ModelRegistry::Info(const std::string& name) const {

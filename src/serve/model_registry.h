@@ -4,11 +4,25 @@
 // under a mutex, so scorers keep a consistent model for the whole batch
 // they are working on while a retrained replacement is published
 // concurrently — the old snapshot stays alive until its last user drops it.
+//
+// Dtype split: when the registry is configured with
+// set_serve_dtype(nn::Dtype::kFloat32), every Publish additionally freezes
+// the pipeline into a float32 core::FrozenScorer, and GetScorer hands out
+// that frozen snapshot instead of the double pipeline. The full-precision
+// pipeline stays registered (Get still returns it), so training-side
+// consumers and the float32 serving path coexist.
+//
+// Redeploys: RefreshIfChanged re-stats the source file of every file-backed
+// model (and re-scans directories registered via LoadDirectory) and
+// republishes artifacts whose mtime changed — a poll-based hot-swap hook
+// for "scp the new .targad over the old one" deployments, with no inotify
+// dependency.
 
 #ifndef TARGAD_SERVE_MODEL_REGISTRY_H_
 #define TARGAD_SERVE_MODEL_REGISTRY_H_
 
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,7 +30,10 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/frozen_scorer.h"
 #include "core/pipeline.h"
+#include "core/scorer.h"
+#include "nn/frozen.h"
 
 namespace targad {
 namespace serve {
@@ -35,9 +52,23 @@ class ModelRegistry {
  public:
   ModelRegistry() = default;
 
+  /// Dtype the serving path (GetScorer) runs in. kFloat64 (the default)
+  /// serves the pipeline itself; kFloat32 freezes every published pipeline
+  /// into a float32 FrozenScorer. Set before publishing: already-registered
+  /// models keep the scorer they were published with.
+  void set_serve_dtype(nn::Dtype dtype) {
+    std::lock_guard<std::mutex> lock(mu_);
+    serve_dtype_ = dtype;
+  }
+  nn::Dtype serve_dtype() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return serve_dtype_;
+  }
+
   /// Loads every "*.targad" / "*.model" file in `dir` (model name = file
-  /// stem). Fails on an unreadable directory or an unloadable artifact;
-  /// models registered before the failure stay registered.
+  /// stem) and remembers `dir` for RefreshIfChanged re-scans. Fails on an
+  /// unreadable directory or an unloadable artifact; models registered
+  /// before the failure stay registered.
   Status LoadDirectory(const std::string& dir);
 
   /// Loads one artifact file and publishes it under `name`.
@@ -49,9 +80,21 @@ class ModelRegistry {
                    std::shared_ptr<const core::TargAdPipeline> pipeline,
                    const std::string& source = "(in-memory)");
 
+  /// Re-stats every file-backed model and re-scans every LoadDirectory
+  /// directory; artifacts whose mtime changed (or new files in a watched
+  /// directory) are reloaded and hot-swapped. Vanished files keep their
+  /// last good snapshot registered. Returns the number of models
+  /// (re)published, or the first load error.
+  Result<size_t> RefreshIfChanged();
+
   /// Current snapshot for `name`, or NotFound. The snapshot is immutable
   /// and remains valid after any subsequent Publish of the same name.
   Result<std::shared_ptr<const core::TargAdPipeline>> Get(
+      const std::string& name) const;
+
+  /// Serving snapshot for `name`, or NotFound: the frozen scorer when the
+  /// model was published under a float32 serve dtype, else the pipeline.
+  Result<std::shared_ptr<const core::RowScorer>> GetScorer(
       const std::string& name) const;
 
   /// Metadata for `name`, or NotFound.
@@ -68,12 +111,20 @@ class ModelRegistry {
  private:
   struct Entry {
     std::shared_ptr<const core::TargAdPipeline> pipeline;
+    /// Float32 serving plan, when published under serve_dtype == kFloat32
+    /// and the pipeline froze cleanly; nullptr otherwise.
+    std::shared_ptr<const core::FrozenScorer> frozen;
     uint64_t version = 0;
     std::string source;
+    /// Source-file mtime at load time; meaningful only when file-backed.
+    bool file_backed = false;
+    std::filesystem::file_time_type mtime{};
   };
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> models_;
+  std::vector<std::string> watched_dirs_;
+  nn::Dtype serve_dtype_ = nn::Dtype::kFloat64;
 };
 
 }  // namespace serve

@@ -2,7 +2,6 @@
 
 #include <chrono>
 #include <deque>
-#include <iterator>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -15,36 +14,48 @@ namespace serve {
 
 namespace {
 
+/// Routing prefix of an optional leading cell: "model=<name>".
+constexpr const char kModelPrefix[] = "model=";
+constexpr size_t kModelPrefixLen = sizeof(kModelPrefix) - 1;
+
 /// One submitted row awaiting its score. Keeps the cells so an admission
 /// rejection can be retried.
 struct InFlight {
+  std::string model;
   std::vector<std::string> cells;
   std::future<Result<double>> future;
 };
 
 }  // namespace
 
-Result<StreamStats> ScoreCsvStream(const core::TargAdPipeline& pipeline,
+Result<StreamStats> ScoreCsvStream(const core::RowScorer& schema,
                                    BatchScorer* scorer, std::istream& in,
                                    std::ostream& out,
                                    const StreamOptions& options) {
-  const std::string text{std::istreambuf_iterator<char>(in),
-                         std::istreambuf_iterator<char>()};
-  TARGAD_ASSIGN_OR_RETURN(data::RawTable table, data::ParseCsv(text));
+  std::string line;
+  // Header: first non-empty line. The header never carries a model= cell.
+  std::vector<std::string> header;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    header = data::SplitCsvRecord(line);
+    break;
+  }
+  if (header.empty()) {
+    return Status::InvalidArgument("serve stream: empty input");
+  }
 
   // Drop the label column (if present) and check the remaining schema.
   int label_col = -1;
-  for (size_t j = 0; j < table.column_names.size(); ++j) {
-    if (table.column_names[j] == pipeline.label_column()) {
-      label_col = static_cast<int>(j);
-    }
+  for (size_t j = 0; j < header.size(); ++j) {
+    if (header[j] == schema.label_column()) label_col = static_cast<int>(j);
   }
   std::vector<std::string> names;
-  names.reserve(table.column_names.size());
-  for (size_t j = 0; j < table.column_names.size(); ++j) {
-    if (static_cast<int>(j) != label_col) names.push_back(table.column_names[j]);
+  names.reserve(header.size());
+  for (size_t j = 0; j < header.size(); ++j) {
+    if (static_cast<int>(j) != label_col) names.push_back(header[j]);
   }
-  if (names != pipeline.feature_columns()) {
+  if (names != schema.feature_columns()) {
     return Status::InvalidArgument(
         "serve stream: input columns differ from the model's training schema");
   }
@@ -52,7 +63,6 @@ Result<StreamStats> ScoreCsvStream(const core::TargAdPipeline& pipeline,
   if (options.write_header) out << "s_tar\n";
 
   StreamStats stats;
-  stats.rows_in = table.num_rows();
 
   // Resolves the oldest in-flight row: writes its score (or error cell),
   // retrying admission rejections with a short backoff.
@@ -68,7 +78,7 @@ Result<StreamStats> ScoreCsvStream(const core::TargAdPipeline& pipeline,
           attempt < options.admission_retries) {
         std::this_thread::sleep_for(
             std::chrono::microseconds(options.retry_delay_us));
-        entry->future = scorer->Submit(entry->cells);
+        entry->future = scorer->Submit(entry->model, entry->cells);
         continue;
       }
       if (options.keep_going) {
@@ -82,22 +92,36 @@ Result<StreamStats> ScoreCsvStream(const core::TargAdPipeline& pipeline,
 
   // Windowed pipelining: keep at most one scorer queue's worth of rows in
   // flight, resolving the oldest before admitting the next; output order is
-  // input order by construction.
+  // input order by construction. Rows are read as they arrive — scoring of
+  // early rows overlaps with reading later ones.
   const size_t window_rows = scorer->options().max_queue_rows;
   std::deque<InFlight> window;
-  for (auto& row : table.rows) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = data::SplitCsvRecord(line);
+    ++stats.rows_in;
+
+    InFlight entry;
+    entry.model = BatchScorer::kDefaultModel;
+    size_t first = 0;
+    if (!fields.empty() && fields[0].rfind(kModelPrefix, 0) == 0) {
+      entry.model = fields[0].substr(kModelPrefixLen);
+      first = 1;
+      ++stats.rows_routed;
+    }
+    entry.cells.reserve(names.size());
+    for (size_t j = first; j < fields.size(); ++j) {
+      if (static_cast<int>(j - first) != label_col) {
+        entry.cells.push_back(std::move(fields[j]));
+      }
+    }
+
     if (window.size() >= window_rows) {
       TARGAD_RETURN_NOT_OK(resolve(&window.front()));
       window.pop_front();
     }
-    InFlight entry;
-    entry.cells.reserve(names.size());
-    for (size_t j = 0; j < row.size(); ++j) {
-      if (static_cast<int>(j) != label_col) {
-        entry.cells.push_back(std::move(row[j]));
-      }
-    }
-    entry.future = scorer->Submit(entry.cells);
+    entry.future = scorer->Submit(entry.model, entry.cells);
     window.push_back(std::move(entry));
   }
   while (!window.empty()) {

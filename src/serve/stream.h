@@ -2,6 +2,17 @@
 // score per input row, preserving input order. This is the glue between a
 // byte stream (file, stdin, a future TCP front-end) and the micro-batching
 // engine; the CLI `serve` subcommand is a thin wrapper around it.
+//
+// Rows are read one line at a time (the input is never buffered whole), so
+// the driver starts scoring as soon as the header arrives and its memory
+// footprint is bounded by the in-flight window. One consequence: quoted
+// fields may not contain embedded newlines on the streaming path.
+//
+// Multi-model routing: a data row may carry an extra LEADING cell of the
+// form "model=<name>"; that cell is stripped and the row is routed to the
+// named registry model. Rows without the cell go to the default model. An
+// unknown model name fails only that row (NotFound), never the stream —
+// with keep_going it becomes an "error:NotFound" output cell.
 
 #ifndef TARGAD_SERVE_STREAM_H_
 #define TARGAD_SERVE_STREAM_H_
@@ -12,7 +23,7 @@
 #include <string>
 
 #include "common/result.h"
-#include "core/pipeline.h"
+#include "core/scorer.h"
 #include "serve/batch_scorer.h"
 
 namespace targad {
@@ -23,6 +34,7 @@ struct StreamStats {
   size_t rows_in = 0;      ///< Data rows read from the input.
   size_t rows_scored = 0;  ///< Futures that resolved to a score.
   size_t rows_failed = 0;  ///< Futures that resolved to an error.
+  size_t rows_routed = 0;  ///< Rows that carried a model=<name> cell.
 };
 
 struct StreamOptions {
@@ -41,11 +53,12 @@ struct StreamOptions {
 
 /// Reads a CSV (header + feature rows, label column optional — it is
 /// dropped) from `in`, submits every row to `scorer`, and writes one score
-/// per row to `out` in input order. `pipeline` supplies the expected
-/// schema; it must be the same artifact the scorer's snapshots come from.
-/// Fails on malformed input, schema mismatch, or (when !keep_going) the
-/// first row whose future resolves to an error.
-Result<StreamStats> ScoreCsvStream(const core::TargAdPipeline& pipeline,
+/// per row to `out` in input order. `schema` supplies the expected feature
+/// columns; it must be the same artifact the scorer's default-model
+/// snapshots come from (rows routed to other models must share the
+/// schema). Fails on malformed input, schema mismatch, or (when
+/// !keep_going) the first row whose future resolves to an error.
+Result<StreamStats> ScoreCsvStream(const core::RowScorer& schema,
                                    BatchScorer* scorer, std::istream& in,
                                    std::ostream& out,
                                    const StreamOptions& options = {});

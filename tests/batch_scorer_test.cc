@@ -258,6 +258,119 @@ TEST(BatchScorerTest, NoModelFailsWithFailedPrecondition) {
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(BatchScorerTest, RoutesRowsToNamedModels) {
+  // Two models with the same schema but different parameters; rows tagged
+  // with a model name must come back with THAT model's serial score even
+  // when both groups share one micro-batch.
+  ScoringFixture fx_a = MakeFixture(61, 16);
+  std::shared_ptr<const core::TargAdPipeline> pipeline_b = TrainPipeline(62);
+  data::RawTable table;
+  table.column_names = pipeline_b->feature_columns();
+  for (const auto& row : fx_a.rows) table.rows.push_back(row);
+  const std::vector<double> serial_b = pipeline_b->Score(table).ValueOrDie();
+
+  ModelRegistry registry;
+  registry.Publish("default", fx_a.pipeline);
+  registry.Publish("candidate", pipeline_b);
+
+  BatchScorerOptions options;
+  options.max_batch_size = 32;           // Both models fit one batch.
+  options.max_queue_delay_us = 50'000;   // Force coalescing.
+  ServeMetrics metrics;
+  BatchScorer scorer(
+      BatchScorer::NamedSnapshotProvider([&registry](const std::string& name) {
+        auto snapshot = registry.GetScorer(name);
+        return snapshot.ok() ? *snapshot
+                             : std::shared_ptr<const core::RowScorer>();
+      }),
+      options, &metrics);
+
+  std::vector<std::future<Result<double>>> default_futures, routed_futures;
+  for (const auto& row : fx_a.rows) {
+    default_futures.push_back(scorer.Submit(row));
+    routed_futures.push_back(scorer.Submit("candidate", row));
+  }
+  for (size_t i = 0; i < fx_a.rows.size(); ++i) {
+    Result<double> from_default = default_futures[i].get();
+    ASSERT_TRUE(from_default.ok()) << from_default.status().ToString();
+    EXPECT_EQ(*from_default, fx_a.serial_scores[i]) << "row " << i;
+    Result<double> from_candidate = routed_futures[i].get();
+    ASSERT_TRUE(from_candidate.ok()) << from_candidate.status().ToString();
+    EXPECT_EQ(*from_candidate, serial_b[i]) << "row " << i;
+  }
+
+  // Futures resolve before the worker records per-model counters; drain so
+  // the snapshot below observes the finished batch.
+  scorer.Drain();
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  ASSERT_EQ(snapshot.per_model.count("default"), 1u);
+  ASSERT_EQ(snapshot.per_model.count("candidate"), 1u);
+  EXPECT_EQ(snapshot.per_model.at("default").rows_scored, fx_a.rows.size());
+  EXPECT_EQ(snapshot.per_model.at("default").rows_failed, 0u);
+  EXPECT_EQ(snapshot.per_model.at("candidate").rows_scored, fx_a.rows.size());
+}
+
+TEST(BatchScorerTest, UnknownModelFailsItsRowsNotTheBatch) {
+  ScoringFixture fx = MakeFixture(71, 8);
+  ModelRegistry registry;
+  registry.Publish("default", fx.pipeline);
+
+  BatchScorerOptions options;
+  options.max_batch_size = 8;
+  options.max_queue_delay_us = 50'000;  // One batch mixing both groups.
+  ServeMetrics metrics;
+  BatchScorer scorer(
+      BatchScorer::NamedSnapshotProvider([&registry](const std::string& name) {
+        auto snapshot = registry.GetScorer(name);
+        return snapshot.ok() ? *snapshot
+                             : std::shared_ptr<const core::RowScorer>();
+      }),
+      options, &metrics);
+
+  std::future<Result<double>> good = scorer.Submit(fx.rows[0]);
+  std::future<Result<double>> missing = scorer.Submit("no-such", fx.rows[1]);
+  std::future<Result<double>> good2 = scorer.Submit(fx.rows[2]);
+
+  Result<double> bad = missing.get();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+
+  Result<double> ok0 = good.get();
+  ASSERT_TRUE(ok0.ok()) << ok0.status().ToString();
+  EXPECT_EQ(*ok0, fx.serial_scores[0]);
+  Result<double> ok2 = good2.get();
+  ASSERT_TRUE(ok2.ok()) << ok2.status().ToString();
+  EXPECT_EQ(*ok2, fx.serial_scores[2]);
+
+  scorer.Drain();
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  ASSERT_EQ(snapshot.per_model.count("no-such"), 1u);
+  EXPECT_EQ(snapshot.per_model.at("no-such").rows_failed, 1u);
+  EXPECT_EQ(snapshot.per_model.at("no-such").rows_scored, 0u);
+}
+
+TEST(BatchScorerTest, Float32SnapshotsServeWithinTolerance) {
+  ScoringFixture fx = MakeFixture(81, 32);
+  auto frozen = std::make_shared<const core::FrozenScorer>(
+      fx.pipeline->Freeze(nn::Dtype::kFloat32).ValueOrDie());
+
+  BatchScorerOptions options;
+  options.max_batch_size = 8;
+  options.num_workers = 2;
+  BatchScorer scorer(
+      BatchScorer::NamedSnapshotProvider(
+          [frozen](const std::string&)
+              -> std::shared_ptr<const core::RowScorer> { return frozen; }),
+      options);
+  std::vector<std::future<Result<double>>> futures;
+  for (const auto& row : fx.rows) futures.push_back(scorer.Submit(row));
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<double> result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NEAR(*result, fx.serial_scores[i], 1e-4) << "row " << i;
+  }
+}
+
 TEST(BatchScorerTest, SubmitAfterShutdownFails) {
   ScoringFixture fx = MakeFixture(51, 4);
   BatchScorer scorer(fx.pipeline, BatchScorerOptions{});

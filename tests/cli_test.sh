@@ -47,6 +47,50 @@ grep -q "requests:" serve_metrics.txt || fail "serve metrics report missing"
   2>/dev/null || fail "serve stdin"
 diff -q scores.csv serve_stdout.csv || fail "serve stdin scores differ"
 
+# --dtype float64 (explicit) serves the full-precision pipeline: still
+# bit-identical to the serial score output.
+"$CLI" serve --model m.model --dtype float64 --in data_test.csv \
+  --out serve_f64.csv 2>/dev/null || fail "serve --dtype float64"
+diff -q scores.csv serve_f64.csv || fail "float64 serve scores differ"
+
+# --dtype float32 serves the frozen plan: scores must round-trip within the
+# calibration tolerance of the float64 output (1e-4 on [0,1] scores).
+"$CLI" serve --model m.model --dtype float32 --in data_test.csv \
+  --out serve_f32.csv 2>serve_f32_metrics.txt || fail "serve --dtype float32"
+rows32=$(($(wc -l < serve_f32.csv) - 1))
+[ "$rows32" -eq "$expected" ] || fail "float32 serve row count"
+paste -d, <(tail -n +2 scores.csv) <(tail -n +2 serve_f32.csv) \
+  | awk -F, 'BEGIN{bad=0} {d=$1-$2; if (d<0) d=-d; if (d>1e-4) bad++}
+             END{exit bad}' \
+  || fail "float32 serve scores drift past 1e-4"
+grep -q "dtype float32" serve_f32_metrics.txt \
+  || fail "serve metrics missing dtype"
+
+# An unknown dtype is rejected up front.
+"$CLI" serve --model m.model --dtype float16 --in data_test.csv \
+  --out /dev/null >/dev/null 2>&1 && fail "bad dtype accepted"
+
+# Multi-model routing: register the artifact under two names via --models
+# and route every row to the second name with a leading model= cell.
+mkdir models_dir
+cp m.model models_dir/default.targad
+cp m.model models_dir/shadow.targad
+awk -F, 'NR==1 {print; next} {print "model=shadow," $0}' data_test.csv \
+  > routed_test.csv
+"$CLI" serve --models models_dir --in routed_test.csv --out serve_routed.csv \
+  2>routed_metrics.txt || fail "serve model routing"
+diff -q scores.csv serve_routed.csv || fail "routed scores differ"
+grep -q "model shadow:" routed_metrics.txt \
+  || fail "per-model metrics missing routed model"
+
+# A row routed to an unknown model fails alone; the stream aborts on it
+# (keep_going is off in the CLI), exiting non-zero.
+printf 'model=missing-model,' > bad_route.csv
+head -2 data_test.csv | tail -1 >> bad_route.csv
+head -1 data_test.csv | cat - bad_route.csv > bad_routed_test.csv
+"$CLI" serve --models models_dir --in bad_routed_test.csv \
+  --out /dev/null >/dev/null 2>&1 && fail "unknown routed model accepted"
+
 # Unknown flags are rejected, and the error names the valid ones.
 err=$("$CLI" serve --model m.model --bogus-flag 1 2>&1) \
   && fail "unknown flag accepted"

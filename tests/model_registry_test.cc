@@ -155,6 +155,126 @@ TEST(ModelRegistryTest, LoadDirectoryOnMissingDirIsNotFound) {
             StatusCode::kNotFound);
 }
 
+TEST(ModelRegistryTest, GetScorerServesPipelineUnderFloat64) {
+  ModelRegistry registry;
+  auto pipeline = TrainPipeline(6);
+  registry.Publish("m", pipeline);
+  auto scorer = registry.GetScorer("m");
+  ASSERT_TRUE(scorer.ok());
+  // Default dtype is float64: the serving snapshot IS the pipeline.
+  EXPECT_EQ(scorer->get(), static_cast<const core::RowScorer*>(pipeline.get()));
+  EXPECT_EQ(registry.GetScorer("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, Float32DtypeServesFrozenScorer) {
+  ModelRegistry registry;
+  registry.set_serve_dtype(nn::Dtype::kFloat32);
+  auto pipeline = TrainPipeline(7);
+  registry.Publish("m", pipeline);
+
+  auto scorer = registry.GetScorer("m");
+  ASSERT_TRUE(scorer.ok());
+  // The serving snapshot is the frozen plan, not the pipeline...
+  EXPECT_NE(scorer->get(), static_cast<const core::RowScorer*>(pipeline.get()));
+  // ...while Get still hands out the full-precision pipeline.
+  EXPECT_EQ(registry.Get("m")->get(), pipeline.get());
+
+  data::RawTable rows;
+  rows.column_names = {"x", "y"};
+  rows.rows.push_back({"0.5", "0.5"});
+  rows.rows.push_back({"4.8", "5.1"});
+  auto frozen_scores = (*scorer)->Score(rows);
+  auto exact_scores = pipeline->Score(rows);
+  ASSERT_TRUE(frozen_scores.ok()) << frozen_scores.status().ToString();
+  ASSERT_TRUE(exact_scores.ok());
+  ASSERT_EQ(frozen_scores->size(), exact_scores->size());
+  for (size_t i = 0; i < exact_scores->size(); ++i) {
+    EXPECT_NEAR((*frozen_scores)[i], (*exact_scores)[i], 1e-4) << "row " << i;
+  }
+}
+
+TEST(ModelRegistryTest, RefreshIfChangedReloadsOverwrittenArtifacts) {
+  TempDir dir;
+  const fs::path path = dir.path() / "live.targad";
+  {
+    std::ofstream out(path);
+    out << SavedArtifact(8);
+  }
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.PublishFile("live", path.string()).ok());
+  EXPECT_EQ(registry.Info("live")->version, 1u);
+
+  // Nothing changed: a refresh is a no-op.
+  auto refreshed = registry.RefreshIfChanged();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(*refreshed, 0u);
+
+  // Overwrite the artifact and force a newer mtime (filesystem timestamp
+  // granularity can swallow a fast rewrite).
+  auto old_snapshot = registry.Get("live").ValueOrDie();
+  {
+    std::ofstream out(path);
+    out << SavedArtifact(9);
+  }
+  fs::last_write_time(path,
+                      fs::last_write_time(path) + std::chrono::seconds(2));
+
+  refreshed = registry.RefreshIfChanged();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(*refreshed, 1u);
+  EXPECT_EQ(registry.Info("live")->version, 2u);
+  // Hot-swap semantics: the new snapshot differs, the old one stays valid.
+  auto new_snapshot = registry.Get("live").ValueOrDie();
+  EXPECT_NE(new_snapshot.get(), old_snapshot.get());
+  data::RawTable row;
+  row.column_names = {"x", "y"};
+  row.rows.push_back({"1.0", "1.0"});
+  EXPECT_TRUE(old_snapshot->Score(row).ok());
+
+  // A second refresh with no further writes is again a no-op.
+  refreshed = registry.RefreshIfChanged();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(*refreshed, 0u);
+}
+
+TEST(ModelRegistryTest, RefreshIfChangedPicksUpNewFilesInWatchedDirs) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.path() / "first.targad");
+    out << SavedArtifact(10);
+  }
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadDirectory(dir.path().string()).ok());
+  EXPECT_EQ(registry.size(), 1u);
+
+  {
+    std::ofstream out(dir.path() / "second.targad");
+    out << SavedArtifact(11);
+  }
+  auto refreshed = registry.RefreshIfChanged();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(*refreshed, 1u);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_TRUE(registry.Get("second").ok());
+}
+
+TEST(ModelRegistryTest, RefreshIfChangedKeepsVanishedArtifactsServing) {
+  TempDir dir;
+  const fs::path path = dir.path() / "gone.targad";
+  {
+    std::ofstream out(path);
+    out << SavedArtifact(12);
+  }
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.PublishFile("gone", path.string()).ok());
+  fs::remove(path);
+  auto refreshed = registry.RefreshIfChanged();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(*refreshed, 0u);
+  // The last good snapshot stays registered and scoreable.
+  EXPECT_TRUE(registry.Get("gone").ok());
+}
+
 TEST(ModelRegistryTest, ConcurrentPublishAndGetKeepSnapshotsIntact) {
   ModelRegistry registry;
   auto pipeline_a = TrainPipeline(4);

@@ -124,6 +124,81 @@ TEST(ParamsSerializeTest, RejectsParameterCountMismatch) {
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ParamsSerializeTest, HeaderCarriesF64DtypeTag) {
+  Rng rng(10);
+  nn::Sequential net = nn::Sequential::MakeMlp(
+      {3, 4, 2}, nn::Activation::kReLU, nn::Activation::kNone, &rng);
+  std::stringstream stream;
+  ASSERT_TRUE(nn::WriteParams(stream, net).ok());
+  std::string tag, dtype;
+  size_t count = 0;
+  stream >> tag >> count >> dtype;
+  EXPECT_EQ(tag, "params");
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(dtype, "f64");
+}
+
+TEST(ParamsSerializeTest, AcceptsLegacyUntaggedHeader) {
+  Rng r1(11), r2(12);
+  nn::Sequential a = nn::Sequential::MakeMlp({3, 4, 2}, nn::Activation::kReLU,
+                                             nn::Activation::kNone, &r1);
+  nn::Sequential b = nn::Sequential::MakeMlp({3, 4, 2}, nn::Activation::kReLU,
+                                             nn::Activation::kNone, &r2);
+  std::stringstream tagged;
+  ASSERT_TRUE(nn::WriteParams(tagged, a).ok());
+  // Rewrite the header the way pre-dtype-tag artifacts were written.
+  std::string text = tagged.str();
+  const std::string modern = "params 4 f64\n";
+  ASSERT_EQ(text.compare(0, modern.size(), modern), 0);
+  text.replace(0, modern.size(), "params 4\n");
+
+  std::stringstream legacy(text);
+  ASSERT_TRUE(nn::ReadParams(legacy, &b).ok());
+  nn::Matrix x(2, 3, 0.5);
+  nn::Matrix ya = a.Forward(x);
+  nn::Matrix yb = b.Forward(x);
+  for (size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST(ParamsSerializeTest, RejectsFloat32TaggedStream) {
+  Rng r1(13), r2(14);
+  nn::Sequential a = nn::Sequential::MakeMlp({3, 4, 2}, nn::Activation::kReLU,
+                                             nn::Activation::kNone, &r1);
+  nn::Sequential b = nn::Sequential::MakeMlp({3, 4, 2}, nn::Activation::kReLU,
+                                             nn::Activation::kNone, &r2);
+  std::stringstream tagged;
+  ASSERT_TRUE(nn::WriteParams(tagged, a).ok());
+  std::string text = tagged.str();
+  const size_t pos = text.find(" f64\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, " f32\n");
+
+  std::stringstream narrow(text);
+  auto status = nn::ReadParams(narrow, &b);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("dtype mismatch"), std::string::npos)
+      << status.message();
+}
+
+TEST(ParamsSerializeTest, RejectsUnknownDtypeTag) {
+  Rng r1(15), r2(16);
+  nn::Sequential a = nn::Sequential::MakeMlp({3, 4, 2}, nn::Activation::kReLU,
+                                             nn::Activation::kNone, &r1);
+  nn::Sequential b = nn::Sequential::MakeMlp({3, 4, 2}, nn::Activation::kReLU,
+                                             nn::Activation::kNone, &r2);
+  std::stringstream tagged;
+  ASSERT_TRUE(nn::WriteParams(tagged, a).ok());
+  std::string text = tagged.str();
+  const size_t pos = text.find(" f64\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, " bf16\n");
+  std::stringstream bogus(text);
+  EXPECT_FALSE(nn::ReadParams(bogus, &b).ok());
+}
+
 TEST(TargAdSerializeTest, SaveLoadReproducesScoresExactly) {
   data::DatasetBundle bundle = targad::testing::TinyBundle(51);
   core::TargADConfig config;

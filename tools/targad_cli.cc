@@ -10,10 +10,15 @@
 //   targad evaluate --scores scores.csv --truth T.csv
 //                   [--label-column label] [--target-prefix target_]
 //       AUPRC/AUROC of a score file against a labeled CSV.
-//   targad serve --model M [--in X.csv] [--out scores.csv] [--batch 64]
-//                [--delay-us 200] [--workers 2] [--queue 4096]
+//   targad serve --model M [--models DIR] [--in X.csv] [--out scores.csv]
+//                [--dtype float64|float32] [--batch 64] [--delay-us 200]
+//                [--workers 2] [--queue 4096]
 //       Stream rows (stdin or --in) through the micro-batched scoring
 //       service; scores go to stdout or --out, a metrics report to stderr.
+//       --dtype float32 freezes published models into the float32 inference
+//       plan; float64 (default) serves the full-precision pipeline. --models
+//       registers every artifact in DIR; a row may start with a
+//       "model=<name>" cell to route to one of them.
 //
 // Unknown flags are rejected with the subcommand's valid flag list.
 // Exit status 0 on success; errors print to stderr.
@@ -33,6 +38,7 @@
 #include "data/export.h"
 #include "data/profiles.h"
 #include "eval/metrics.h"
+#include "nn/frozen.h"
 #include "serve/batch_scorer.h"
 #include "serve/metrics.h"
 #include "serve/model_registry.h"
@@ -124,8 +130,8 @@ const std::map<std::string, std::vector<std::string>>& CommandFlags() {
                  "seed"}},
       {"score", {"model", "in", "out"}},
       {"evaluate", {"scores", "truth", "label-column", "target-prefix"}},
-      {"serve", {"model", "in", "out", "batch", "delay-us", "workers",
-                 "queue"}},
+      {"serve", {"model", "models", "in", "out", "dtype", "batch", "delay-us",
+                 "workers", "queue"}},
   };
   return kFlags;
 }
@@ -257,21 +263,35 @@ int CmdEvaluate(const Flags& flags) {
 
 int CmdServe(const Flags& flags) {
   const std::string model_path = flags.Get("model");
-  if (model_path.empty()) return Fail("serve requires --model <path>");
+  const std::string models_dir = flags.Get("models");
+  if (model_path.empty() && models_dir.empty()) {
+    return Fail("serve requires --model <path> and/or --models <dir>");
+  }
   const std::string in_path = flags.Get("in");
   const std::string out_path = flags.Get("out");
 
-  std::ifstream model_in(model_path);
-  if (!model_in) return Fail("cannot open " + model_path);
-  auto loaded = core::TargAdPipeline::Load(model_in);
-  if (!loaded.ok()) return Fail(loaded.status().ToString());
-  auto pipeline = std::make_shared<const core::TargAdPipeline>(
-      std::move(loaded).ValueOrDie());
+  auto dtype = nn::ParseDtype(flags.Get("dtype", "float64"));
+  if (!dtype.ok()) return Fail(dtype.status().ToString());
 
   // The registry is the hot-swap point: a future front-end republishes a
-  // retrained artifact under the same name while scoring continues.
+  // retrained artifact under the same name while scoring continues. With
+  // --dtype float32 every publish freezes the pipeline into the float32
+  // inference plan; GetScorer then serves the frozen snapshot.
   serve::ModelRegistry registry;
-  registry.Publish("default", pipeline, model_path);
+  registry.set_serve_dtype(*dtype);
+  if (!models_dir.empty()) {
+    Status st = registry.LoadDirectory(models_dir);
+    if (!st.ok()) return Fail(st.ToString());
+  }
+  if (!model_path.empty()) {
+    Status st = registry.PublishFile("default", model_path);
+    if (!st.ok()) return Fail(st.ToString());
+  }
+  auto schema = registry.GetScorer("default");
+  if (!schema.ok()) {
+    return Fail("serve: no 'default' model; pass --model or put default.targad "
+                "in --models");
+  }
 
   serve::BatchScorerOptions options;
   options.max_batch_size = static_cast<size_t>(flags.GetInt("batch", 64));
@@ -281,12 +301,12 @@ int CmdServe(const Flags& flags) {
 
   serve::ServeMetrics metrics;
   serve::BatchScorer scorer(
-      [&registry] {
-        auto snapshot = registry.Get("default");
-        return snapshot.ok()
-                   ? *snapshot
-                   : std::shared_ptr<const core::TargAdPipeline>();
-      },
+      serve::BatchScorer::NamedSnapshotProvider(
+          [&registry](const std::string& name) {
+            auto snapshot = registry.GetScorer(name);
+            return snapshot.ok() ? *snapshot
+                                 : std::shared_ptr<const core::RowScorer>();
+          }),
       options, &metrics);
 
   std::ifstream file_in;
@@ -302,11 +322,14 @@ int CmdServe(const Flags& flags) {
   std::istream& in = in_path.empty() ? std::cin : file_in;
   std::ostream& out = out_path.empty() ? std::cout : file_out;
 
-  auto stats = serve::ScoreCsvStream(*pipeline, &scorer, in, out);
+  auto stats = serve::ScoreCsvStream(**schema, &scorer, in, out);
   scorer.Shutdown();
   if (!stats.ok()) return Fail(stats.status().ToString());
-  std::fprintf(stderr, "served %zu rows (%zu scored, %zu failed)\n%s",
+  std::fprintf(stderr,
+               "served %zu rows (%zu scored, %zu failed, %zu routed, "
+               "dtype %s)\n%s",
                stats->rows_in, stats->rows_scored, stats->rows_failed,
+               stats->rows_routed, nn::DtypeName(*dtype),
                metrics.Report().c_str());
   return 0;
 }
