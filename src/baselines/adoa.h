@@ -40,9 +40,9 @@ struct AdoaConfig {
 
 class Adoa : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<Adoa>> Make(const AdoaConfig& config);
+  [[nodiscard]] static Result<std::unique_ptr<Adoa>> Make(const AdoaConfig& config);
 
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
   std::vector<double> Score(const nn::Matrix& x) override;
   std::string name() const override { return "ADOA"; }
 

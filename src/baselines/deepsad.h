@@ -32,9 +32,9 @@ struct DeepSadConfig {
 
 class DeepSad : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<DeepSad>> Make(const DeepSadConfig& config);
+  [[nodiscard]] static Result<std::unique_ptr<DeepSad>> Make(const DeepSadConfig& config);
 
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
   std::vector<double> Score(const nn::Matrix& x) override;
   std::string name() const override { return "DeepSAD"; }
 

@@ -27,13 +27,13 @@ class AnomalyDetector {
   virtual ~AnomalyDetector() = default;
 
   /// Trains the detector. Must be called before Score.
-  virtual Status Fit(const data::TrainingSet& train) = 0;
+  [[nodiscard]] virtual Status Fit(const data::TrainingSet& train) = 0;
 
   /// Trains with access to a labeled validation set for model selection
   /// (Section IV-C tunes every method on validation data). The default
   /// ignores the validation set; detectors with native validation-based
   /// selection (TargAD) override it.
-  virtual Status FitWithValidation(const data::TrainingSet& train,
+  [[nodiscard]] virtual Status FitWithValidation(const data::TrainingSet& train,
                                    const data::EvalSet& validation) {
     (void)validation;
     return Fit(train);

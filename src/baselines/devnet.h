@@ -34,9 +34,9 @@ struct DevNetConfig {
 
 class DevNet : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<DevNet>> Make(const DevNetConfig& config);
+  [[nodiscard]] static Result<std::unique_ptr<DevNet>> Make(const DevNetConfig& config);
 
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
   std::vector<double> Score(const nn::Matrix& x) override;
   std::string name() const override { return "DevNet"; }
 

@@ -47,9 +47,9 @@ struct DplanConfig {
 
 class Dplan : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<Dplan>> Make(const DplanConfig& config);
+  [[nodiscard]] static Result<std::unique_ptr<Dplan>> Make(const DplanConfig& config);
 
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
   std::vector<double> Score(const nn::Matrix& x) override;
   std::string name() const override { return "DPLAN"; }
 

@@ -39,9 +39,9 @@ struct DualMganConfig {
 
 class DualMgan : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<DualMgan>> Make(const DualMganConfig& config);
+  [[nodiscard]] static Result<std::unique_ptr<DualMgan>> Make(const DualMganConfig& config);
 
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
   std::vector<double> Score(const nn::Matrix& x) override;
   std::string name() const override { return "Dual-MGAN"; }
 

@@ -23,11 +23,11 @@ struct EcodConfig {
 
 class Ecod : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<Ecod>> Make(const EcodConfig& config = {});
+  [[nodiscard]] static Result<std::unique_ptr<Ecod>> Make(const EcodConfig& config = {});
 
   /// Stores sorted per-dimension training values (the ECDFs) and each
   /// dimension's sample skewness (used to pick the tail per dimension).
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
 
   /// O_ecod(x) = max(left-tail score, right-tail score, skew-picked score),
   /// each the sum over dimensions of -log(tail probability).

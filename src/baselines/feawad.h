@@ -35,9 +35,9 @@ struct FeawadConfig {
 
 class Feawad : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<Feawad>> Make(const FeawadConfig& config);
+  [[nodiscard]] static Result<std::unique_ptr<Feawad>> Make(const FeawadConfig& config);
 
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
   std::vector<double> Score(const nn::Matrix& x) override;
   std::string name() const override { return "FEAWAD"; }
 

@@ -29,15 +29,15 @@ double AveragePathLength(size_t n);
 
 class IsolationForest : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<IsolationForest>> Make(const IForestConfig& config);
+  [[nodiscard]] static Result<std::unique_ptr<IsolationForest>> Make(const IForestConfig& config);
 
   /// Fits on the unlabeled pool (labels are ignored — iForest is
   /// unsupervised).
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
 
   /// Fits directly on a matrix (for unsupervised sub-uses by other
   /// baselines, e.g. ADOA's isolation score and DPLAN's intrinsic reward).
-  Status FitMatrix(const nn::Matrix& x);
+  [[nodiscard]] Status FitMatrix(const nn::Matrix& x);
 
   std::vector<double> Score(const nn::Matrix& x) override;
   std::string name() const override { return "iForest"; }

@@ -26,11 +26,11 @@ struct LofConfig {
 
 class Lof : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<Lof>> Make(const LofConfig& config);
+  [[nodiscard]] static Result<std::unique_ptr<Lof>> Make(const LofConfig& config);
 
   /// Unsupervised: retains (a subsample of) the unlabeled pool as the
   /// reference set and precomputes its local reachability densities.
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
 
   /// LOF of each query against the reference set; ~1 for inliers, larger
   /// for outliers.

@@ -36,9 +36,9 @@ struct PiawalConfig {
 
 class Piawal : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<Piawal>> Make(const PiawalConfig& config);
+  [[nodiscard]] static Result<std::unique_ptr<Piawal>> Make(const PiawalConfig& config);
 
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
   std::vector<double> Score(const nn::Matrix& x) override;
   std::string name() const override { return "PIA-WAL"; }
 

@@ -39,9 +39,9 @@ struct PrenetConfig {
 
 class Prenet : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<Prenet>> Make(const PrenetConfig& config);
+  [[nodiscard]] static Result<std::unique_ptr<Prenet>> Make(const PrenetConfig& config);
 
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
   std::vector<double> Score(const nn::Matrix& x) override;
   std::string name() const override { return "PReNet"; }
 

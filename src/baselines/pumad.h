@@ -39,9 +39,9 @@ struct PumadConfig {
 
 class Pumad : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<Pumad>> Make(const PumadConfig& config);
+  [[nodiscard]] static Result<std::unique_ptr<Pumad>> Make(const PumadConfig& config);
 
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
   std::vector<double> Score(const nn::Matrix& x) override;
   std::string name() const override { return "PUMAD"; }
 

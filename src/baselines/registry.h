@@ -32,7 +32,7 @@ std::vector<std::string> ExtendedDetectorNames();
 
 /// Instantiates a detector by its Table II name with default configuration
 /// and the given seed. NotFound for unknown names.
-Result<std::unique_ptr<AnomalyDetector>> MakeDetector(const std::string& name,
+[[nodiscard]] Result<std::unique_ptr<AnomalyDetector>> MakeDetector(const std::string& name,
                                                       uint64_t seed);
 
 /// AnomalyDetector adapter over core::TargAD.
@@ -40,8 +40,8 @@ class TargAdDetector : public AnomalyDetector {
  public:
   explicit TargAdDetector(const core::TargADConfig& config) : config_(config) {}
 
-  Status Fit(const data::TrainingSet& train) override;
-  Status FitWithValidation(const data::TrainingSet& train,
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status FitWithValidation(const data::TrainingSet& train,
                            const data::EvalSet& validation) override;
   std::vector<double> Score(const nn::Matrix& x) override;
   std::string name() const override { return "TargAD"; }

@@ -41,9 +41,9 @@ struct RepenConfig {
 
 class Repen : public AnomalyDetector {
  public:
-  static Result<std::unique_ptr<Repen>> Make(const RepenConfig& config);
+  [[nodiscard]] static Result<std::unique_ptr<Repen>> Make(const RepenConfig& config);
 
-  Status Fit(const data::TrainingSet& train) override;
+  [[nodiscard]] Status Fit(const data::TrainingSet& train) override;
   std::vector<double> Score(const nn::Matrix& x) override;
   std::string name() const override { return "REPEN"; }
 

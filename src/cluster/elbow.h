@@ -25,7 +25,7 @@ struct ElbowResult {
 /// maximizing the second difference of the inertia curve (the point where
 /// adding a cluster stops paying off). With fewer than three candidates the
 /// smallest k is returned.
-Result<ElbowResult> SelectKByElbow(const nn::Matrix& x, int k_min, int k_max,
+[[nodiscard]] Result<ElbowResult> SelectKByElbow(const nn::Matrix& x, int k_min, int k_max,
                                    uint64_t seed = 0);
 
 }  // namespace cluster

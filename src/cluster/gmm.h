@@ -42,7 +42,7 @@ struct GmmResult {
 
 /// Fits the mixture with EM (k-means++-style seeding via a k-means warm
 /// start). Fails if x has fewer rows than k.
-Result<GmmResult> FitGmm(const nn::Matrix& x, const GmmConfig& config);
+[[nodiscard]] Result<GmmResult> FitGmm(const nn::Matrix& x, const GmmConfig& config);
 
 /// Responsibilities (n x k, rows sum to 1) of data under a fitted model.
 nn::Matrix GmmResponsibilities(const nn::Matrix& x, const GmmResult& model);

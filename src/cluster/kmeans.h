@@ -43,7 +43,7 @@ struct KMeansResult {
 /// from the point farthest from its center; with at least k DISTINCT points
 /// every cluster in the result is non-empty (heavily duplicated data can
 /// still leave re-seeded duplicates empty).
-Result<KMeansResult> KMeans(const nn::Matrix& x, const KMeansConfig& config);
+[[nodiscard]] Result<KMeansResult> KMeans(const nn::Matrix& x, const KMeansConfig& config);
 
 /// Index of the nearest center for each row of x.
 std::vector<int> AssignToCenters(const nn::Matrix& x, const nn::Matrix& centers);

@@ -60,7 +60,26 @@ struct NullStream {
   } else /* NOLINT */                                                  \
     TARGAD_LOG(Fatal) << "Check failed: " #expr " => " << _st.ToString()
 
+// TARGAD_DCHECK: debug-mode invariant checks for hot paths (bounds checks,
+// finiteness sweeps) that are too expensive for release builds. Enabled by
+// default in non-NDEBUG builds; sanitizer builds force it on from CMake
+// (-DTARGAD_DCHECK_ENABLED=1) so ASan/UBSan/TSan runs exercise real
+// preconditions even at RelWithDebInfo. When disabled the condition is not
+// evaluated (it must still compile).
+#ifndef TARGAD_DCHECK_ENABLED
+#ifdef NDEBUG
+#define TARGAD_DCHECK_ENABLED 0
+#else
+#define TARGAD_DCHECK_ENABLED 1
+#endif
+#endif
+
+#if TARGAD_DCHECK_ENABLED
 #define TARGAD_DCHECK(cond) TARGAD_CHECK(cond)
+#else
+#define TARGAD_DCHECK(cond)                                            \
+  while (false && static_cast<bool>(cond)) ::targad::internal::NullStream()
+#endif
 
 }  // namespace targad
 

@@ -15,8 +15,12 @@ namespace targad {
 /// Holds either a successfully computed T or the Status explaining why the
 /// computation failed. Accessing the value of a failed Result aborts (it is
 /// a programmer error; check ok() or use TARGAD_ASSIGN_OR_RETURN).
+///
+/// Like Status, the class is [[nodiscard]]: a discarded Result<T> is a
+/// compile error under -Werror (a silently dropped error or a wasted
+/// computation — both bugs). Use `(void)expr;` for deliberate discards.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -31,7 +35,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// The failure status; Status::OK() if this result holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(repr_);
   }

@@ -46,7 +46,11 @@ inline const char* StatusCodeName(StatusCode code) {
 ///
 /// Cheap to copy in the OK case (no allocation). Use the factory helpers:
 ///   return Status::InvalidArgument("k must be positive, got ", k);
-class Status {
+///
+/// The class is [[nodiscard]]: ignoring a returned Status is a compile error
+/// under the default -Werror build. A deliberately ignored status must be
+/// spelled out with `(void)expr;` (or `std::ignore = expr;`).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -54,38 +58,38 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
+  [[nodiscard]] static Status OK() { return Status(); }
 
   template <typename... Args>
-  static Status InvalidArgument(Args&&... args) {
+  [[nodiscard]] static Status InvalidArgument(Args&&... args) {
     return Status(StatusCode::kInvalidArgument, Concat(std::forward<Args>(args)...));
   }
   template <typename... Args>
-  static Status NotFound(Args&&... args) {
+  [[nodiscard]] static Status NotFound(Args&&... args) {
     return Status(StatusCode::kNotFound, Concat(std::forward<Args>(args)...));
   }
   template <typename... Args>
-  static Status IOError(Args&&... args) {
+  [[nodiscard]] static Status IOError(Args&&... args) {
     return Status(StatusCode::kIOError, Concat(std::forward<Args>(args)...));
   }
   template <typename... Args>
-  static Status FailedPrecondition(Args&&... args) {
+  [[nodiscard]] static Status FailedPrecondition(Args&&... args) {
     return Status(StatusCode::kFailedPrecondition, Concat(std::forward<Args>(args)...));
   }
   template <typename... Args>
-  static Status OutOfRange(Args&&... args) {
+  [[nodiscard]] static Status OutOfRange(Args&&... args) {
     return Status(StatusCode::kOutOfRange, Concat(std::forward<Args>(args)...));
   }
   template <typename... Args>
-  static Status Internal(Args&&... args) {
+  [[nodiscard]] static Status Internal(Args&&... args) {
     return Status(StatusCode::kInternal, Concat(std::forward<Args>(args)...));
   }
   template <typename... Args>
-  static Status NotImplemented(Args&&... args) {
+  [[nodiscard]] static Status NotImplemented(Args&&... args) {
     return Status(StatusCode::kNotImplemented, Concat(std::forward<Args>(args)...));
   }
   template <typename... Args>
-  static Status ResourceExhausted(Args&&... args) {
+  [[nodiscard]] static Status ResourceExhausted(Args&&... args) {
     return Status(StatusCode::kResourceExhausted,
                   Concat(std::forward<Args>(args)...));
   }

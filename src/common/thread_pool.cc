@@ -25,21 +25,27 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     space_available_.wait(lock, [this] {
       return max_queue_ == 0 || queue_.size() < max_queue_ || shutting_down_;
     });
+    // A task enqueued after shutdown began could outlive every worker
+    // (each exits once the queue is empty): it would wait in the queue
+    // forever and strand in_flight_ above zero. Reject instead.
+    if (shutting_down_) return false;
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
   task_available_.notify_one();
+  return true;
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (shutting_down_) return false;
     if (max_queue_ != 0 && queue_.size() >= max_queue_) return false;
     queue_.push_back(std::move(task));
     ++in_flight_;

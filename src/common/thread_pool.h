@@ -25,18 +25,25 @@ class ThreadPool {
   /// rejects. Tasks already running do not count against the bound.
   explicit ThreadPool(size_t num_threads = 0, size_t max_queue = 0);
 
-  /// Drains outstanding tasks, then joins the workers.
+  /// Drains every task already accepted, then joins the workers. A Submit
+  /// blocked on backpressure when shutdown begins is woken and REJECTED —
+  /// its task is never enqueued, so it cannot sit in a queue no worker will
+  /// ever drain (and a concurrent Wait cannot hang on its in-flight count).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for asynchronous execution; blocks while the queue is
-  /// at max_queue. Unsafe to call from inside a pool task when bounded (a
-  /// full queue would deadlock the worker) — use TrySubmit there.
-  void Submit(std::function<void()> task);
+  /// at max_queue. Returns true if the task was accepted; false only when
+  /// the pool began shutting down while this call was blocked (the task is
+  /// destroyed without running). Unsafe to call from inside a pool task
+  /// when bounded (a full queue would deadlock the worker) — use TrySubmit
+  /// there.
+  bool Submit(std::function<void()> task);
 
-  /// Enqueues unless the queue is at max_queue; returns false on rejection.
+  /// Enqueues unless the queue is at max_queue or the pool is shutting
+  /// down; returns false on rejection.
   bool TrySubmit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.

@@ -60,7 +60,7 @@ struct CandidateSelection {
 /// Runs the full candidate-selection phase. `labeled` (the target
 /// anomalies) regularizes each autoencoder via Eq. (1); it may be empty for
 /// the eta = 0 ablation.
-Result<CandidateSelection> SelectCandidates(const nn::Matrix& unlabeled,
+[[nodiscard]] Result<CandidateSelection> SelectCandidates(const nn::Matrix& unlabeled,
                                             const nn::Matrix& labeled,
                                             const CandidateSelectionConfig& config);
 

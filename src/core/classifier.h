@@ -64,7 +64,7 @@ struct EpochLoss {
 class TargAdClassifier {
  public:
   /// Builds the MLP with input_dim inputs and m + k logits.
-  static Result<TargAdClassifier> Make(const ClassifierConfig& config,
+  [[nodiscard]] static Result<TargAdClassifier> Make(const ClassifierConfig& config,
                                        size_t input_dim, int m, int k);
 
   /// One epoch of mini-batch updates over the three instance roles.
@@ -87,7 +87,7 @@ class TargAdClassifier {
   /// Freezes the fitted MLP into a flat fused inference plan at `dtype`
   /// (training state stripped, weights converted once). A kFloat64 plan's
   /// outputs are bit-identical to Logits.
-  Result<nn::InferencePlan> Freeze(nn::Dtype dtype) const {
+  [[nodiscard]] Result<nn::InferencePlan> Freeze(nn::Dtype dtype) const {
     return nn::InferencePlan::Freeze(mlp_->net(), dtype);
   }
 

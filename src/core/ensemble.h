@@ -29,11 +29,11 @@ struct EnsembleConfig {
 class TargAdEnsemble {
  public:
   /// Validates the configuration.
-  static Result<TargAdEnsemble> Make(const EnsembleConfig& config);
+  [[nodiscard]] static Result<TargAdEnsemble> Make(const EnsembleConfig& config);
 
   /// Trains every member (optionally with validation-based best-epoch
   /// selection per member when `validation` is non-null).
-  Status Fit(const data::TrainingSet& train,
+  [[nodiscard]] Status Fit(const data::TrainingSet& train,
              const data::EvalSet* validation = nullptr);
 
   /// Mean S^tar across members. Requires Fit.

@@ -45,11 +45,11 @@ class FrozenScorer : public RowScorer {
 
   /// Freezes `net` (the fitted classifier MLP) at `dtype` and converts the
   /// normalizer statistics once to the same dtype.
-  static Result<FrozenScorer> Make(Spec spec, const nn::Sequential& net,
+  [[nodiscard]] static Result<FrozenScorer> Make(Spec spec, const nn::Sequential& net,
                                    nn::Dtype dtype);
 
   /// S^tar per row, computed end to end in the plan's dtype.
-  Result<std::vector<double>> Score(
+  [[nodiscard]] Result<std::vector<double>> Score(
       const data::RawTable& table) const override;
 
   const std::vector<std::string>& feature_columns() const override {
@@ -79,7 +79,7 @@ class FrozenScorer : public RowScorer {
   FrozenScorer() = default;
 
   template <typename T>
-  Result<std::vector<double>> ScoreTyped(const Typed<T>& model,
+  [[nodiscard]] Result<std::vector<double>> ScoreTyped(const Typed<T>& model,
                                          const data::RawTable& features) const;
 
   Spec spec_;

@@ -63,7 +63,7 @@ class ThreeWayClassifier {
  public:
   /// Fits the target/non-target oodness threshold on validation logits and
   /// ground-truth kinds by maximizing macro-F1 of the 3-way confusion.
-  static Result<ThreeWayClassifier> Fit(const nn::Matrix& val_logits,
+  [[nodiscard]] static Result<ThreeWayClassifier> Fit(const nn::Matrix& val_logits,
                                         const std::vector<data::InstanceKind>& val_kind,
                                         int m, int k, OodStrategy strategy);
 

@@ -40,27 +40,27 @@ struct PipelineConfig {
 class TargAdPipeline : public RowScorer {
  public:
   /// Fits encoder, normalizer, and model from a training table.
-  static Result<TargAdPipeline> Train(const data::RawTable& table,
+  [[nodiscard]] static Result<TargAdPipeline> Train(const data::RawTable& table,
                                       const PipelineConfig& config);
 
   /// Convenience: ReadCsv + Train.
-  static Result<TargAdPipeline> TrainFromCsv(const std::string& path,
+  [[nodiscard]] static Result<TargAdPipeline> TrainFromCsv(const std::string& path,
                                              const PipelineConfig& config);
 
   /// Scores a table with the same feature columns as training (the label
   /// column, if present, is dropped). Returns S^tar per row. Const and
   /// thread-safe on a fitted pipeline: the serving layer shares one
   /// immutable pipeline snapshot across concurrent scorers.
-  Result<std::vector<double>> Score(const data::RawTable& table) const override;
+  [[nodiscard]] Result<std::vector<double>> Score(const data::RawTable& table) const override;
 
   /// Convenience: ReadCsv + Score.
-  Result<std::vector<double>> ScoreCsv(const std::string& path) const;
+  [[nodiscard]] Result<std::vector<double>> ScoreCsv(const std::string& path) const;
 
   /// Freezes the fitted pipeline into a self-contained serving scorer whose
   /// whole RawTable -> S^tar path runs in `dtype`. Freeze(kFloat64) scores
   /// bit-identically to Score; kFloat32 halves inference memory traffic at
   /// a calibrated drift (see frozen_calibration_test).
-  Result<FrozenScorer> Freeze(nn::Dtype dtype) const;
+  [[nodiscard]] Result<FrozenScorer> Freeze(nn::Dtype dtype) const;
 
   /// Target class names in class-id order.
   const std::vector<std::string>& class_names() const { return class_names_; }
@@ -80,16 +80,16 @@ class TargAdPipeline : public RowScorer {
 
   /// Persists the whole pipeline (preprocessing schema + statistics, class
   /// names, fitted model) so a separate process can Load and Score.
-  Status Save(std::ostream& out);
+  [[nodiscard]] Status Save(std::ostream& out);
 
   /// Restores a pipeline written by Save.
-  static Result<TargAdPipeline> Load(std::istream& in);
+  [[nodiscard]] static Result<TargAdPipeline> Load(std::istream& in);
 
  private:
   TargAdPipeline() = default;
 
   /// Drops the label column (if present) and applies encoder + normalizer.
-  Result<nn::Matrix> Featurize(const data::RawTable& table) const;
+  [[nodiscard]] Result<nn::Matrix> Featurize(const data::RawTable& table) const;
 
   PipelineConfig config_;
   data::OneHotEncoder encoder_;

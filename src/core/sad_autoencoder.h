@@ -40,7 +40,7 @@ struct SadAutoencoderConfig {
 class SadAutoencoder {
  public:
   /// Validates the config and builds the network.
-  static Result<SadAutoencoder> Make(const SadAutoencoderConfig& config);
+  [[nodiscard]] static Result<SadAutoencoder> Make(const SadAutoencoderConfig& config);
 
   /// Trains on `unlabeled` (this autoencoder's cluster) against the shared
   /// labeled target anomalies. `labeled` may be empty, in which case the

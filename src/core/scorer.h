@@ -24,7 +24,7 @@ class RowScorer {
 
   /// Scores a table carrying the training feature columns (the label
   /// column, if present, is dropped). Returns S^tar per row.
-  virtual Result<std::vector<double>> Score(
+  [[nodiscard]] virtual Result<std::vector<double>> Score(
       const data::RawTable& table) const = 0;
 
   /// Feature columns a scoring table must carry, in training order.

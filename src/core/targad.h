@@ -78,7 +78,7 @@ struct TargADDiagnostics {
 class TargAD {
  public:
   /// Validates the configuration.
-  static Result<TargAD> Make(const TargADConfig& config);
+  [[nodiscard]] static Result<TargAD> Make(const TargADConfig& config);
 
   /// Called after every classifier epoch (1-based); used by benches to
   /// trace test AUPRC per epoch (Fig. 3(b)). The model is usable for
@@ -87,14 +87,14 @@ class TargAD {
 
   /// Algorithm 1: candidate selection, then `epochs` classifier epochs with
   /// per-epoch weight updates.
-  Status Fit(const data::TrainingSet& train, const EpochHook& hook = nullptr);
+  [[nodiscard]] Status Fit(const data::TrainingSet& train, const EpochHook& hook = nullptr);
 
   /// Fit plus best-epoch model selection: after every epoch the validation
   /// AUPRC (target-vs-rest) is computed and the best-scoring classifier
   /// snapshot is restored at the end. This mirrors Section IV-C's use of a
   /// separate validation set for model selection and stabilizes the
   /// scaled-down training runs.
-  Status FitWithValidation(const data::TrainingSet& train,
+  [[nodiscard]] Status FitWithValidation(const data::TrainingSet& train,
                            const data::EvalSet& validation,
                            const EpochHook& hook = nullptr);
 
@@ -107,20 +107,20 @@ class TargAD {
   nn::Matrix Logits(const nn::Matrix& x) const;
 
   /// Fits the Section III-C three-way rule on validation data.
-  Result<ThreeWayClassifier> FitThreeWay(const data::EvalSet& validation,
+  [[nodiscard]] Result<ThreeWayClassifier> FitThreeWay(const data::EvalSet& validation,
                                          OodStrategy strategy);
 
   /// Serializes everything inference needs (m, k, classifier architecture
   /// and parameters) as versioned text. Requires Fit. Train once, Save,
   /// then Load in the serving process and call Score/Logits.
-  Status Save(std::ostream& out);
+  [[nodiscard]] Status Save(std::ostream& out);
 
   /// Restores a model written by Save; the result is ready to Score.
-  static Result<TargAD> Load(std::istream& in);
+  [[nodiscard]] static Result<TargAD> Load(std::istream& in);
 
   /// Freezes the fitted classifier into a dtype-specific inference plan
   /// (see nn/frozen.h). Requires Fit.
-  Result<nn::InferencePlan> Freeze(nn::Dtype dtype) const;
+  [[nodiscard]] Result<nn::InferencePlan> Freeze(nn::Dtype dtype) const;
 
   /// The fitted classifier. Requires Fit.
   const TargAdClassifier& classifier() const;
@@ -135,7 +135,7 @@ class TargAD {
  private:
   TargAD() = default;
 
-  Status FitImpl(const data::TrainingSet& train, const data::EvalSet* validation,
+  [[nodiscard]] Status FitImpl(const data::TrainingSet& train, const data::EvalSet* validation,
                  const EpochHook& hook);
 
   TargADConfig config_;

@@ -26,11 +26,11 @@ struct RawTable {
 
 /// Parses a CSV file. Supports quoted fields with embedded delimiters and
 /// doubled quotes. If `has_header` is false, columns are named "c0", "c1"...
-Result<RawTable> ReadCsv(const std::string& path, char delim = ',',
+[[nodiscard]] Result<RawTable> ReadCsv(const std::string& path, char delim = ',',
                          bool has_header = true);
 
 /// Parses CSV text from a string (same dialect as ReadCsv).
-Result<RawTable> ParseCsv(const std::string& text, char delim = ',',
+[[nodiscard]] Result<RawTable> ParseCsv(const std::string& text, char delim = ',',
                           bool has_header = true);
 
 /// Splits ONE logical CSV record into fields, honouring quoted fields with
@@ -41,14 +41,14 @@ std::vector<std::string> SplitCsvRecord(const std::string& line,
                                         char delim = ',');
 
 /// Interprets every cell of `table` as a double.
-Result<nn::Matrix> TableToMatrix(const RawTable& table);
+[[nodiscard]] Result<nn::Matrix> TableToMatrix(const RawTable& table);
 
 /// Writes a matrix as CSV with the given header (empty header = none).
-Status WriteCsv(const std::string& path, const nn::Matrix& m,
+[[nodiscard]] Status WriteCsv(const std::string& path, const nn::Matrix& m,
                 const std::vector<std::string>& header = {});
 
 /// Writes pre-formatted rows (the bench harness's result files).
-Status WriteCsvRows(const std::string& path,
+[[nodiscard]] Status WriteCsvRows(const std::string& path,
                     const std::vector<std::string>& header,
                     const std::vector<std::vector<std::string>>& rows);
 

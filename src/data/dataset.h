@@ -49,7 +49,7 @@ struct TrainingSet {
   size_t num_unlabeled() const { return unlabeled_x.rows(); }
 
   /// Validates internal consistency (shapes, label ranges).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// A labeled evaluation split (validation or testing).
@@ -70,7 +70,7 @@ struct EvalSet {
   /// Counts per kind: {normal, target, non-target}.
   std::vector<size_t> CountsByKind() const;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// A complete experiment dataset: train + validation + test.
@@ -81,7 +81,7 @@ struct DatasetBundle {
   EvalSet test;
 
   size_t dim() const { return train.dim(); }
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 }  // namespace data

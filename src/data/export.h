@@ -26,7 +26,7 @@ struct ExportOptions {
 /// ExportOptions), `<prefix>_validation.csv`, and `<prefix>_test.csv`
 /// (ground-truth kinds as labels: "normal", "target_<c>",
 /// "nontarget_<c>"). Feature columns are named f0..f{D-1}.
-Status ExportBundleCsv(const DatasetBundle& bundle, const std::string& prefix,
+[[nodiscard]] Status ExportBundleCsv(const DatasetBundle& bundle, const std::string& prefix,
                        const ExportOptions& options = {});
 
 }  // namespace data

@@ -46,10 +46,10 @@ struct LabelMap {
 /// Parses a labeled table into a LabeledPool: one-hot encodes categorical
 /// feature columns, min-max normalizes all features to [0, 1], and assigns
 /// InstanceKind / class ids per `map`.
-Result<LabeledPool> LoadLabeledPool(const RawTable& table, const LabelMap& map);
+[[nodiscard]] Result<LabeledPool> LoadLabeledPool(const RawTable& table, const LabelMap& map);
 
 /// Convenience: ReadCsv + LoadLabeledPool.
-Result<LabeledPool> LoadLabeledPoolCsv(const std::string& path,
+[[nodiscard]] Result<LabeledPool> LoadLabeledPoolCsv(const std::string& path,
                                        const LabelMap& map,
                                        bool has_header = true);
 

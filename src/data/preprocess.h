@@ -24,22 +24,22 @@ namespace data {
 class MinMaxNormalizer {
  public:
   /// Learns per-column min and max. Requires at least one row.
-  Status Fit(const nn::Matrix& x);
+  [[nodiscard]] Status Fit(const nn::Matrix& x);
 
   /// Applies the learned scaling. Column count must match Fit's.
-  Result<nn::Matrix> Transform(const nn::Matrix& x) const;
+  [[nodiscard]] Result<nn::Matrix> Transform(const nn::Matrix& x) const;
 
   /// Fit followed by Transform on the same data.
-  Result<nn::Matrix> FitTransform(const nn::Matrix& x);
+  [[nodiscard]] Result<nn::Matrix> FitTransform(const nn::Matrix& x);
 
   bool fitted() const { return !mins_.empty(); }
   const std::vector<double>& mins() const { return mins_; }
   const std::vector<double>& maxs() const { return maxs_; }
 
   /// Persists the fitted statistics as versioned text.
-  Status Save(std::ostream& out) const;
+  [[nodiscard]] Status Save(std::ostream& out) const;
   /// Restores a normalizer written by Save.
-  static Result<MinMaxNormalizer> Load(std::istream& in);
+  [[nodiscard]] static Result<MinMaxNormalizer> Load(std::istream& in);
 
  private:
   std::vector<double> mins_;
@@ -52,17 +52,17 @@ class MinMaxNormalizer {
 /// training value. Unseen categories at transform time encode as all-zeros.
 class OneHotEncoder {
  public:
-  Status Fit(const RawTable& table);
+  [[nodiscard]] Status Fit(const RawTable& table);
 
-  Result<nn::Matrix> Transform(const RawTable& table) const;
+  [[nodiscard]] Result<nn::Matrix> Transform(const RawTable& table) const;
 
   /// Dtype-generic Transform: encodes straight into a MatrixT<T> so the
   /// frozen float32 scoring path never materializes a double table.
   /// TransformT<double> is exactly Transform. Instantiated for float/double.
   template <typename T>
-  Result<nn::MatrixT<T>> TransformT(const RawTable& table) const;
+  [[nodiscard]] Result<nn::MatrixT<T>> TransformT(const RawTable& table) const;
 
-  Result<nn::Matrix> FitTransform(const RawTable& table);
+  [[nodiscard]] Result<nn::Matrix> FitTransform(const RawTable& table);
 
   bool fitted() const { return !columns_.empty(); }
   size_t output_dim() const { return output_dim_; }
@@ -71,9 +71,9 @@ class OneHotEncoder {
   std::vector<std::string> FeatureNames() const;
 
   /// Persists the fitted schema (column kinds + category tables).
-  Status Save(std::ostream& out) const;
+  [[nodiscard]] Status Save(std::ostream& out) const;
   /// Restores an encoder written by Save.
-  static Result<OneHotEncoder> Load(std::istream& in);
+  [[nodiscard]] static Result<OneHotEncoder> Load(std::istream& in);
 
  private:
   struct ColumnSpec {

@@ -50,7 +50,7 @@ std::vector<DatasetProfile> AllProfiles(double scale = 0.1);
 /// structure depends only on the profile (fixed across runs); `run_seed`
 /// drives instance sampling and split assignment, so distinct run seeds
 /// give the independent runs averaged in the paper's tables.
-Result<DatasetBundle> MakeBundle(const DatasetProfile& profile, uint64_t run_seed);
+[[nodiscard]] Result<DatasetBundle> MakeBundle(const DatasetProfile& profile, uint64_t run_seed);
 
 }  // namespace data
 }  // namespace targad

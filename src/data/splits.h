@@ -56,7 +56,7 @@ struct AssemblyConfig {
 /// Draws a DatasetBundle out of a labeled pool according to `config`.
 /// Instances are sampled without replacement across all splits; fails if
 /// the pool is too small for the requested sizes.
-Result<DatasetBundle> AssembleBundle(const LabeledPool& pool,
+[[nodiscard]] Result<DatasetBundle> AssembleBundle(const LabeledPool& pool,
                                      const AssemblyConfig& config);
 
 }  // namespace data

@@ -102,7 +102,7 @@ class SyntheticWorld {
  public:
   /// Builds the mixture (means, spreads, ambient map) from `config`.
   /// Fails on inconsistent configs (e.g. zero classes or dims).
-  static Result<SyntheticWorld> Make(const SyntheticWorldConfig& config);
+  [[nodiscard]] static Result<SyntheticWorld> Make(const SyntheticWorldConfig& config);
 
   /// Final feature dimensionality (ambient + one-hot categorical columns).
   size_t dim() const;

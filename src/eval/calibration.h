@@ -29,17 +29,17 @@ struct ReliabilityBin {
 /// Bins predictions (probabilities in [0, 1]) into `num_bins` equal-width
 /// bins and reports confidence vs empirical rate per bin. Bins with no
 /// instances carry count 0 and zeroed statistics.
-Result<std::vector<ReliabilityBin>> ReliabilityCurve(
+[[nodiscard]] Result<std::vector<ReliabilityBin>> ReliabilityCurve(
     const std::vector<double>& probabilities, const std::vector<int>& labels,
     size_t num_bins = 10);
 
 /// Expected calibration error: count-weighted mean |confidence - rate|.
-Result<double> ExpectedCalibrationError(const std::vector<double>& probabilities,
+[[nodiscard]] Result<double> ExpectedCalibrationError(const std::vector<double>& probabilities,
                                         const std::vector<int>& labels,
                                         size_t num_bins = 10);
 
 /// Brier score: mean squared error of probabilities against 0/1 labels.
-Result<double> BrierScore(const std::vector<double>& probabilities,
+[[nodiscard]] Result<double> BrierScore(const std::vector<double>& probabilities,
                           const std::vector<int>& labels);
 
 }  // namespace eval

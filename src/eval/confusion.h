@@ -27,7 +27,7 @@ class ConfusionMatrix {
  public:
   /// Builds from parallel truth/prediction vectors with labels in
   /// [0, num_classes).
-  static Result<ConfusionMatrix> Make(const std::vector<int>& truth,
+  [[nodiscard]] static Result<ConfusionMatrix> Make(const std::vector<int>& truth,
                                       const std::vector<int>& predicted,
                                       int num_classes);
 

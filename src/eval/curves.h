@@ -28,17 +28,17 @@ struct PrPoint {
 
 /// ROC curve points ordered by decreasing threshold, tie groups collapsed.
 /// Both classes must be present.
-Result<std::vector<RocPoint>> RocCurve(const std::vector<double>& scores,
+[[nodiscard]] Result<std::vector<RocPoint>> RocCurve(const std::vector<double>& scores,
                                        const std::vector<int>& labels);
 
 /// PR curve points ordered by decreasing threshold, tie groups collapsed.
 /// At least one positive required.
-Result<std::vector<PrPoint>> PrCurve(const std::vector<double>& scores,
+[[nodiscard]] Result<std::vector<PrPoint>> PrCurve(const std::vector<double>& scores,
                                      const std::vector<int>& labels);
 
 /// The threshold among curve candidates that maximizes F1 on (scores,
 /// labels); used to pick operating points on validation data.
-Result<double> BestF1Threshold(const std::vector<double>& scores,
+[[nodiscard]] Result<double> BestF1Threshold(const std::vector<double>& scores,
                                const std::vector<int>& labels);
 
 }  // namespace eval

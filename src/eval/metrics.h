@@ -14,17 +14,17 @@ namespace eval {
 /// Area under the ROC curve via the Mann-Whitney U statistic with midrank
 /// tie correction. `labels` are 0/1 (1 = positive); both classes must be
 /// present.
-Result<double> Auroc(const std::vector<double>& scores,
+[[nodiscard]] Result<double> Auroc(const std::vector<double>& scores,
                      const std::vector<int>& labels);
 
 /// Area under the precision-recall curve computed as average precision
 /// (step-wise interpolation, equal scores collapsed into one threshold).
 /// Requires at least one positive.
-Result<double> Auprc(const std::vector<double>& scores,
+[[nodiscard]] Result<double> Auprc(const std::vector<double>& scores,
                      const std::vector<int>& labels);
 
 /// Precision of the top-n ranked instances.
-Result<double> PrecisionAtN(const std::vector<double>& scores,
+[[nodiscard]] Result<double> PrecisionAtN(const std::vector<double>& scores,
                             const std::vector<int>& labels, size_t n);
 
 /// Mean and sample standard deviation of a series (n-1 denominator; 0 for

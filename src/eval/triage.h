@@ -29,21 +29,21 @@ struct QueueComposition {
 /// Ranks by descending score and reports the top-`capacity` composition.
 /// `labels` are small non-negative ints (e.g. 0 normal / 1 target / 2
 /// non-target); `target_label` selects the class counted as positive.
-Result<QueueComposition> AnalyzeQueue(const std::vector<double>& scores,
+[[nodiscard]] Result<QueueComposition> AnalyzeQueue(const std::vector<double>& scores,
                                       const std::vector<int>& labels,
                                       size_t capacity, int target_label = 1);
 
 /// The smallest queue capacity whose queue recall of `target_label`
 /// reaches `recall` (0 < recall <= 1) — "how many cases must analysts
 /// review to catch X% of the target anomalies".
-Result<size_t> CapacityForRecall(const std::vector<double>& scores,
+[[nodiscard]] Result<size_t> CapacityForRecall(const std::vector<double>& scores,
                                  const std::vector<int>& labels, double recall,
                                  int target_label = 1);
 
 /// Effort ratio against a ranking-free process: capacity needed for
 /// `recall` divided by the expected number of random checks for the same
 /// recall (recall * N). < 1 means the ranking saves analyst work.
-Result<double> EffortRatio(const std::vector<double>& scores,
+[[nodiscard]] Result<double> EffortRatio(const std::vector<double>& scores,
                            const std::vector<int>& labels, double recall,
                            int target_label = 1);
 

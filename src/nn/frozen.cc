@@ -121,6 +121,7 @@ Result<FrozenNetT<T>> FrozenNetT<T>::Freeze(const Sequential& net) {
 
 template <typename T>
 MatrixT<T> FrozenNetT<T>::Infer(const MatrixT<T>& x) const {
+  x.DebugCheckFinite("FrozenNet::Infer input");
   MatrixT<T> h = x;
   for (const FrozenStepT<T>& step : steps_) {
     // Same arithmetic, in the same order, as Linear::Infer followed by the
@@ -130,6 +131,7 @@ MatrixT<T> FrozenNetT<T>::Infer(const MatrixT<T>& x) const {
     ApplyActivation(step.act, step.leaky_slope, &y);
     h = std::move(y);
   }
+  h.DebugCheckFinite("FrozenNet::Infer output");
   return h;
 }
 

@@ -32,7 +32,7 @@ enum class Dtype { kFloat32, kFloat64 };
 const char* DtypeName(Dtype dtype);
 
 /// Parses "float32"/"f32" or "float64"/"f64"/"double" (case-insensitive).
-Result<Dtype> ParseDtype(const std::string& text);
+[[nodiscard]] Result<Dtype> ParseDtype(const std::string& text);
 
 /// One fused inference step: y = act(x W + b).
 template <typename T>
@@ -54,7 +54,7 @@ class FrozenNetT {
   /// identity at inference and is dropped); anything else — an activation
   /// with no preceding Linear, or an unknown layer type — is rejected with
   /// InvalidArgument.
-  static Result<FrozenNetT> Freeze(const Sequential& net);
+  [[nodiscard]] static Result<FrozenNetT> Freeze(const Sequential& net);
 
   /// Flat fused forward pass. Thread-safe (const, no caches).
   MatrixT<T> Infer(const MatrixT<T>& x) const;
@@ -78,7 +78,7 @@ using FrozenNetF = FrozenNetT<float>;
 class InferencePlan {
  public:
   /// Freezes `net` at the requested dtype.
-  static Result<InferencePlan> Freeze(const Sequential& net, Dtype dtype);
+  [[nodiscard]] static Result<InferencePlan> Freeze(const Sequential& net, Dtype dtype);
 
   /// Double-in / double-out convenience forward: narrows the input to the
   /// plan dtype, runs the fused loop, and widens the outputs back. A

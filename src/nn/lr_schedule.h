@@ -34,7 +34,7 @@ class ConstantLr : public LrSchedule {
 class StepDecayLr : public LrSchedule {
  public:
   /// Requires step_size > 0 and gamma in (0, 1].
-  static Result<StepDecayLr> Make(double base, size_t step_size, double gamma);
+  [[nodiscard]] static Result<StepDecayLr> Make(double base, size_t step_size, double gamma);
 
   double Rate(size_t step) const override;
 
@@ -52,7 +52,7 @@ class StepDecayLr : public LrSchedule {
 class CosineLr : public LrSchedule {
  public:
   /// Requires total_steps > 0 and 0 <= floor <= base.
-  static Result<CosineLr> Make(double base, double floor, size_t total_steps);
+  [[nodiscard]] static Result<CosineLr> Make(double base, double floor, size_t total_steps);
 
   double Rate(size_t step) const override;
 
@@ -69,7 +69,7 @@ class CosineLr : public LrSchedule {
 class WarmupLr : public LrSchedule {
  public:
   /// Requires warmup_steps > 0.
-  static Result<WarmupLr> Make(double base, size_t warmup_steps);
+  [[nodiscard]] static Result<WarmupLr> Make(double base, size_t warmup_steps);
 
   double Rate(size_t step) const override;
 

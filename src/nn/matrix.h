@@ -10,9 +10,12 @@
 #ifndef TARGAD_NN_MATRIX_H_
 #define TARGAD_NN_MATRIX_H_
 
+#include <cmath>
 #include <cstddef>
 #include <functional>
 #include <vector>
+
+#include "common/logging.h"
 
 namespace targad {
 namespace nn {
@@ -38,13 +41,33 @@ class MatrixT {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  T& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  T At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  // Element access is bounds-checked under TARGAD_DCHECK (debug and
+  // sanitizer builds); release builds compile the checks out entirely.
+  T& At(size_t r, size_t c) {
+    TARGAD_DCHECK(r < rows_ && c < cols_)
+        << "Matrix::At(" << r << ", " << c << ") out of bounds for "
+        << rows_ << "x" << cols_;
+    return data_[r * cols_ + c];
+  }
+  T At(size_t r, size_t c) const {
+    TARGAD_DCHECK(r < rows_ && c < cols_)
+        << "Matrix::At(" << r << ", " << c << ") out of bounds for "
+        << rows_ << "x" << cols_;
+    return data_[r * cols_ + c];
+  }
   T& operator()(size_t r, size_t c) { return At(r, c); }
   T operator()(size_t r, size_t c) const { return At(r, c); }
 
-  T* RowPtr(size_t r) { return data_.data() + r * cols_; }
-  const T* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  T* RowPtr(size_t r) {
+    TARGAD_DCHECK(r < rows_ || (r == 0 && rows_ == 0))
+        << "Matrix::RowPtr(" << r << ") out of bounds for " << rows_ << " rows";
+    return data_.data() + r * cols_;
+  }
+  const T* RowPtr(size_t r) const {
+    TARGAD_DCHECK(r < rows_ || (r == 0 && rows_ == 0))
+        << "Matrix::RowPtr(" << r << ") out of bounds for " << rows_ << " rows";
+    return data_.data() + r * cols_;
+  }
 
   std::vector<T>& data() { return data_; }
   const std::vector<T>& data() const { return data_; }
@@ -117,6 +140,22 @@ class MatrixT {
 
   bool SameShape(const MatrixT& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Debug-mode hook: aborts if any element is NaN or Inf. Compiled to a
+  /// no-op unless TARGAD_DCHECK is enabled, so callers may place it on hot
+  /// paths (forward passes, frozen inference) at zero release cost. `what`
+  /// names the tensor in the failure message.
+  void DebugCheckFinite(const char* what) const {
+#if TARGAD_DCHECK_ENABLED
+    for (size_t i = 0; i < data_.size(); ++i) {
+      TARGAD_DCHECK(std::isfinite(static_cast<double>(data_[i])))
+          << what << ": non-finite value " << static_cast<double>(data_[i])
+          << " at flat index " << i << " (" << rows_ << "x" << cols_ << ")";
+    }
+#else
+    (void)what;
+#endif
   }
 
  private:

@@ -42,8 +42,10 @@ Matrix Sequential::Forward(const Matrix& x) {
 }
 
 Matrix Sequential::Infer(const Matrix& x) const {
+  x.DebugCheckFinite("Sequential::Infer input");
   Matrix h = x;
   for (const auto& layer : layers_) h = layer->Infer(h);
+  h.DebugCheckFinite("Sequential::Infer output");
   return h;
 }
 

@@ -19,22 +19,22 @@ namespace targad {
 namespace nn {
 
 /// Writes one matrix (full double precision).
-Status WriteMatrix(std::ostream& out, const Matrix& m);
+[[nodiscard]] Status WriteMatrix(std::ostream& out, const Matrix& m);
 
 /// Reads one matrix written by WriteMatrix.
-Result<Matrix> ReadMatrix(std::istream& in);
+[[nodiscard]] Result<Matrix> ReadMatrix(std::istream& in);
 
 /// Writes every parameter of `net` in layer order. The header records the
 /// parameter dtype ("params <count> f64") so frozen float32 artifacts and
 /// double artifacts cannot be silently confused.
-Status WriteParams(std::ostream& out, Sequential& net);
+[[nodiscard]] Status WriteParams(std::ostream& out, Sequential& net);
 
 /// Restores parameters into an identically-architected network; fails on
 /// any shape mismatch (the architecture itself is NOT serialized here —
 /// callers persist their config and rebuild the net first). Headers with a
 /// non-f64 dtype tag are rejected with InvalidArgument; untagged legacy
 /// headers are accepted as f64.
-Status ReadParams(std::istream& in, Sequential* net);
+[[nodiscard]] Status ReadParams(std::istream& in, Sequential* net);
 
 }  // namespace nn
 }  // namespace targad

@@ -69,10 +69,10 @@ class ModelRegistry {
   /// stem) and remembers `dir` for RefreshIfChanged re-scans. Fails on an
   /// unreadable directory or an unloadable artifact; models registered
   /// before the failure stay registered.
-  Status LoadDirectory(const std::string& dir);
+  [[nodiscard]] Status LoadDirectory(const std::string& dir);
 
   /// Loads one artifact file and publishes it under `name`.
-  Status PublishFile(const std::string& name, const std::string& path);
+  [[nodiscard]] Status PublishFile(const std::string& name, const std::string& path);
 
   /// Publishes an in-memory pipeline (atomic hot-swap if `name` exists).
   /// Returns the new version number.
@@ -85,26 +85,26 @@ class ModelRegistry {
   /// directory) are reloaded and hot-swapped. Vanished files keep their
   /// last good snapshot registered. Returns the number of models
   /// (re)published, or the first load error.
-  Result<size_t> RefreshIfChanged();
+  [[nodiscard]] Result<size_t> RefreshIfChanged();
 
   /// Current snapshot for `name`, or NotFound. The snapshot is immutable
   /// and remains valid after any subsequent Publish of the same name.
-  Result<std::shared_ptr<const core::TargAdPipeline>> Get(
+  [[nodiscard]] Result<std::shared_ptr<const core::TargAdPipeline>> Get(
       const std::string& name) const;
 
   /// Serving snapshot for `name`, or NotFound: the frozen scorer when the
   /// model was published under a float32 serve dtype, else the pipeline.
-  Result<std::shared_ptr<const core::RowScorer>> GetScorer(
+  [[nodiscard]] Result<std::shared_ptr<const core::RowScorer>> GetScorer(
       const std::string& name) const;
 
   /// Metadata for `name`, or NotFound.
-  Result<ModelInfo> Info(const std::string& name) const;
+  [[nodiscard]] Result<ModelInfo> Info(const std::string& name) const;
 
   /// Registered models, sorted by name.
   std::vector<ModelInfo> List() const;
 
   /// Removes `name`; outstanding snapshots stay valid. NotFound if absent.
-  Status Remove(const std::string& name);
+  [[nodiscard]] Status Remove(const std::string& name);
 
   size_t size() const;
 

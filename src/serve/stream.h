@@ -58,7 +58,7 @@ struct StreamOptions {
 /// snapshots come from (rows routed to other models must share the
 /// schema). Fails on malformed input, schema mismatch, or (when
 /// !keep_going) the first row whose future resolves to an error.
-Result<StreamStats> ScoreCsvStream(const core::RowScorer& schema,
+[[nodiscard]] Result<StreamStats> ScoreCsvStream(const core::RowScorer& schema,
                                    BatchScorer* scorer, std::istream& in,
                                    std::ostream& out,
                                    const StreamOptions& options = {});

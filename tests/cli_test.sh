@@ -70,6 +70,32 @@ grep -q "dtype float32" serve_f32_metrics.txt \
 "$CLI" serve --model m.model --dtype float16 --in data_test.csv \
   --out /dev/null >/dev/null 2>&1 && fail "bad dtype accepted"
 
+# --refresh-ms: a background timer re-polls artifact mtimes and hot-swaps
+# changed files while the stream is live. Bumping the model's mtime
+# mid-stream must be picked up (>= 1 republish), and the scores — same
+# artifact contents — must stay bit-identical to the serial output.
+{
+  head -1 data_test.csv
+  tail -n +2 data_test.csv | head -10
+  sleep 0.3
+  touch m.model
+  sleep 0.3
+  tail -n +12 data_test.csv
+} | "$CLI" serve --model m.model --refresh-ms 20 \
+  > refresh_scores.csv 2>refresh_metrics.txt || fail "serve --refresh-ms"
+diff -q scores.csv refresh_scores.csv || fail "refresh serve scores differ"
+grep -q "refreshes:" refresh_metrics.txt \
+  || fail "refresh metrics line missing"
+awk '/refreshes:/ {polls=$2; repub=$4;
+     exit !(polls >= 1 && repub >= 1)}' refresh_metrics.txt \
+  || fail "refresh timer never republished the touched artifact"
+
+# A non-positive refresh interval is rejected up front.
+"$CLI" serve --model m.model --refresh-ms 0 --in data_test.csv \
+  --out /dev/null >/dev/null 2>&1 && fail "refresh-ms 0 accepted"
+"$CLI" serve --model m.model --refresh-ms -5 --in data_test.csv \
+  --out /dev/null >/dev/null 2>&1 && fail "negative refresh-ms accepted"
+
 # Multi-model routing: register the artifact under two names via --models
 # and route every row to the second name with a leading model= cell.
 mkdir models_dir

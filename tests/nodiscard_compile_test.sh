@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Negative-compilation guard for the [[nodiscard]] error model: a discarded
+# Status or Result<T> must be a COMPILE ERROR under -Werror=unused-result,
+# and the blessed forms (checking, propagating, (void)-discarding) must
+# compile. Usage: nodiscard_compile_test.sh <c++-compiler> <src-include-dir>.
+set -u
+
+CXX="$1"
+SRC="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $1"; exit 1; }
+
+compile() {  # compile <file>; echoes compiler exit status
+  "$CXX" -std=c++20 -Wall -Wextra -Werror=unused-result -fsyntax-only \
+    -I "$SRC" "$1" >"$WORK/out.txt" 2>&1
+  echo $?
+}
+
+# Positive control: the blessed usage patterns must compile cleanly. If this
+# fails, the negative cases below prove nothing.
+cat > "$WORK/ok.cc" <<'EOF'
+#include "common/result.h"
+#include "common/status.h"
+using targad::Result;
+using targad::Status;
+Status MkStatus();
+Result<int> MkResult();
+Status Blessed() {
+  Status checked = MkStatus();
+  if (!checked.ok()) return checked;
+  TARGAD_RETURN_NOT_OK(MkStatus());
+  TARGAD_ASSIGN_OR_RETURN(int v, MkResult());
+  (void)v;
+  (void)MkStatus();    // Deliberate discard must stay expressible.
+  (void)MkResult();
+  return Status::OK();
+}
+EOF
+[ "$(compile "$WORK/ok.cc")" -eq 0 ] \
+  || fail "blessed Status/Result usage does not compile: $(cat "$WORK/out.txt")"
+
+# A discarded Status return value must not compile.
+cat > "$WORK/drop_status.cc" <<'EOF'
+#include "common/status.h"
+targad::Status MkStatus();
+void Dropper() { MkStatus(); }
+EOF
+[ "$(compile "$WORK/drop_status.cc")" -ne 0 ] \
+  || fail "discarding a returned Status compiled"
+grep -q "nodiscard" "$WORK/out.txt" \
+  || fail "Status discard rejected for the wrong reason: $(cat "$WORK/out.txt")"
+
+# A discarded Result<T> return value must not compile.
+cat > "$WORK/drop_result.cc" <<'EOF'
+#include "common/result.h"
+targad::Result<double> Score();
+void Dropper() { Score(); }
+EOF
+[ "$(compile "$WORK/drop_result.cc")" -ne 0 ] \
+  || fail "discarding a returned Result<T> compiled"
+grep -q "nodiscard" "$WORK/out.txt" \
+  || fail "Result discard rejected for the wrong reason: $(cat "$WORK/out.txt")"
+
+# A discarded Status factory temporary must not compile either.
+cat > "$WORK/drop_factory.cc" <<'EOF'
+#include "common/status.h"
+void Dropper() { targad::Status::InvalidArgument("ignored"); }
+EOF
+[ "$(compile "$WORK/drop_factory.cc")" -ne 0 ] \
+  || fail "discarding a Status factory temporary compiled"
+
+echo "nodiscard_compile_test PASSED"
+exit 0

@@ -1,5 +1,11 @@
 #include "common/status.h"
 
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/result.h"
@@ -104,6 +110,81 @@ TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
   Result<int> r(Status::Internal("boom"));
   EXPECT_DEATH({ (void)r.ValueOrDie(); }, "boom");
 }
+
+// ---- Move semantics -------------------------------------------------------
+
+TEST(StatusTest, MoveConstructPreservesCodeAndMessage) {
+  Status src = Status::NotFound("model 'shadow' is not registered");
+  Status dst = std::move(src);
+  EXPECT_EQ(dst.code(), StatusCode::kNotFound);
+  EXPECT_EQ(dst.message(), "model 'shadow' is not registered");
+}
+
+TEST(StatusTest, MoveAssignPreservesCodeAndMessage) {
+  Status dst = Status::OK();
+  Status src = Status::IOError("disk full");
+  dst = std::move(src);
+  EXPECT_FALSE(dst.ok());
+  EXPECT_EQ(dst.code(), StatusCode::kIOError);
+  EXPECT_EQ(dst.message(), "disk full");
+}
+
+TEST(StatusTest, MovedFromStatusIsAssignable) {
+  Status src = Status::Internal("x");
+  Status dst = std::move(src);
+  (void)dst;
+  src = Status::InvalidArgument("reused");  // Valid-but-unspecified -> reuse.
+  EXPECT_EQ(src.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveConstructCarriesValue) {
+  Result<std::string> src(std::string(1000, 'x'));
+  Result<std::string> dst = std::move(src);
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(dst.ValueOrDie().size(), 1000u);
+}
+
+TEST(ResultTest, MoveConstructCarriesError) {
+  Result<std::string> src(Status::OutOfRange("row 7"));
+  Result<std::string> dst = std::move(src);
+  ASSERT_FALSE(dst.ok());
+  EXPECT_EQ(dst.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dst.status().message(), "row 7");
+}
+
+TEST(ResultTest, MoveAssignSwitchesBetweenValueAndError) {
+  Result<std::string> r(std::string("value"));
+  r = Result<std::string>(Status::Internal("swapped to error"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  r = Result<std::string>(std::string("back to value"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "back to value");
+}
+
+TEST(ResultTest, RvalueValueOrDieMovesOutTheValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+// The [[nodiscard]] surface itself is enforced by a negative-compilation
+// harness (tests/nodiscard_compile_test.sh, ctest case
+// nodiscard_enforcement): snippets discarding a returned Status/Result must
+// FAIL to compile under -Werror=unused-result. What can be checked in-process
+// is the type-trait surface the error model promises:
+static_assert(std::is_move_constructible_v<Status>);
+static_assert(std::is_move_assignable_v<Status>);
+static_assert(std::is_nothrow_move_constructible_v<Status>);
+static_assert(std::is_copy_constructible_v<Status>);
+static_assert(std::is_move_constructible_v<Result<int>>);
+static_assert(std::is_move_assignable_v<Result<int>>);
+static_assert(std::is_move_constructible_v<Result<std::unique_ptr<int>>>);
+static_assert(!std::is_copy_constructible_v<Result<std::unique_ptr<int>>>);
+static_assert(std::is_convertible_v<Status, Result<int>>,
+              "a Status must implicitly convert into any Result (error path)");
+static_assert(std::is_convertible_v<int, Result<int>>,
+              "a value must implicitly convert into its Result (ok path)");
 
 }  // namespace
 }  // namespace targad

@@ -12,25 +12,35 @@
 //       AUPRC/AUROC of a score file against a labeled CSV.
 //   targad serve --model M [--models DIR] [--in X.csv] [--out scores.csv]
 //                [--dtype float64|float32] [--batch 64] [--delay-us 200]
-//                [--workers 2] [--queue 4096]
+//                [--workers 2] [--queue 4096] [--refresh-ms 0]
 //       Stream rows (stdin or --in) through the micro-batched scoring
 //       service; scores go to stdout or --out, a metrics report to stderr.
 //       --dtype float32 freezes published models into the float32 inference
 //       plan; float64 (default) serves the full-precision pipeline. --models
 //       registers every artifact in DIR; a row may start with a
-//       "model=<name>" cell to route to one of them.
+//       "model=<name>" cell to route to one of them. --refresh-ms N > 0
+//       polls every registered artifact's mtime every N milliseconds on a
+//       background timer and hot-swaps changed files (zero-downtime
+//       redeploy: overwrite the .targad in place and the next batch scores
+//       with the new model).
 //
 // Unknown flags are rejected with the subcommand's valid flag list.
 // Exit status 0 on success; errors print to stderr.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/string_util.h"
@@ -131,7 +141,7 @@ const std::map<std::string, std::vector<std::string>>& CommandFlags() {
       {"score", {"model", "in", "out"}},
       {"evaluate", {"scores", "truth", "label-column", "target-prefix"}},
       {"serve", {"model", "models", "in", "out", "dtype", "batch", "delay-us",
-                 "workers", "queue"}},
+                 "workers", "queue", "refresh-ms"}},
   };
   return kFlags;
 }
@@ -293,6 +303,21 @@ int CmdServe(const Flags& flags) {
                 "in --models");
   }
 
+  // --refresh-ms: background mtime re-poll. Overwriting a registered
+  // artifact file while serving hot-swaps it within one interval; rows
+  // already submitted keep the snapshot they started with.
+  const int refresh_ms = flags.GetInt("refresh-ms", 0);
+  if (refresh_ms < 0 || (flags.Has("refresh-ms") && refresh_ms == 0)) {
+    return Fail("--refresh-ms must be a positive integer (milliseconds)");
+  }
+  std::atomic<uint64_t> refresh_polls{0};
+  std::atomic<uint64_t> refresh_republished{0};
+  std::atomic<uint64_t> refresh_errors{0};
+  std::mutex refresh_mu;
+  std::condition_variable refresh_cv;
+  bool refresh_stop = false;
+  std::thread refresher;
+
   serve::BatchScorerOptions options;
   options.max_batch_size = static_cast<size_t>(flags.GetInt("batch", 64));
   options.max_queue_delay_us = flags.GetInt("delay-us", 200);
@@ -322,15 +347,52 @@ int CmdServe(const Flags& flags) {
   std::istream& in = in_path.empty() ? std::cin : file_in;
   std::ostream& out = out_path.empty() ? std::cout : file_out;
 
+  // Started last — every error path above returns before this thread
+  // exists, so no early return can leak a joinable thread.
+  if (refresh_ms > 0) {
+    refresher = std::thread([&] {
+      std::unique_lock<std::mutex> lock(refresh_mu);
+      while (!refresh_cv.wait_for(lock, std::chrono::milliseconds(refresh_ms),
+                                  [&] { return refresh_stop; })) {
+        lock.unlock();
+        auto refreshed = registry.RefreshIfChanged();
+        refresh_polls.fetch_add(1);
+        if (refreshed.ok()) {
+          refresh_republished.fetch_add(*refreshed);
+        } else {
+          refresh_errors.fetch_add(1);
+          std::fprintf(stderr, "refresh: %s\n",
+                       refreshed.status().ToString().c_str());
+        }
+        lock.lock();
+      }
+    });
+  }
+
   auto stats = serve::ScoreCsvStream(**schema, &scorer, in, out);
   scorer.Shutdown();
+  if (refresher.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(refresh_mu);
+      refresh_stop = true;
+    }
+    refresh_cv.notify_all();
+    refresher.join();
+  }
   if (!stats.ok()) return Fail(stats.status().ToString());
   std::fprintf(stderr,
                "served %zu rows (%zu scored, %zu failed, %zu routed, "
-               "dtype %s)\n%s",
+               "dtype %s)\n",
                stats->rows_in, stats->rows_scored, stats->rows_failed,
-               stats->rows_routed, nn::DtypeName(*dtype),
-               metrics.Report().c_str());
+               stats->rows_routed, nn::DtypeName(*dtype));
+  if (refresh_ms > 0) {
+    std::fprintf(stderr,
+                 "refreshes: %llu polls, %llu republished, %llu errors\n",
+                 static_cast<unsigned long long>(refresh_polls.load()),
+                 static_cast<unsigned long long>(refresh_republished.load()),
+                 static_cast<unsigned long long>(refresh_errors.load()));
+  }
+  std::fprintf(stderr, "%s", metrics.Report().c_str());
   return 0;
 }
 

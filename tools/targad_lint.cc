@@ -1,0 +1,611 @@
+// targad-lint: project-rule source checker for things the compiler cannot
+// see. Scans .h/.cc files and reports violations of:
+//
+//   include-guard          .h guard must be TARGAD_<PATH>_H_ (path relative
+//                          to --root, uppercased, non-alnum -> '_'), with a
+//                          matching #define and a closing #endif.
+//   using-namespace-header no `using namespace` in headers.
+//   banned-rand            no rand()/srand() in library code — randomness
+//                          goes through common/rng.h for reproducibility.
+//   banned-io              no std::cout/std::cerr/printf/fprintf logging in
+//                          library code — use TARGAD_LOG (snprintf-style
+//                          pure formatting is fine).
+//   naked-throw            no `throw` — the library is exception-free at
+//                          its boundaries; fallible APIs return Status.
+//   return-not-ok-result   TARGAD_RETURN_NOT_OK takes a Status expression;
+//                          applying it to a Result<T>-returning call (or a
+//                          ValueOrDie() value) swallows or miscasts the
+//                          error.
+//
+// Escape hatch: a `// targad-lint: allow(<rule>[,<rule>...])` comment on
+// the offending line or the line directly above suppresses those rules for
+// that line (`allow(*)` suppresses everything).
+//
+// Usage:
+//   targad_lint --root <dir> [path...]   scan (default path: the root)
+//   targad_lint --self-test              seed violations in a temp tree and
+//                                        assert every rule fires (and that
+//                                        allow() suppresses); exits 0/1.
+//
+// Comments and string/character literals are blanked before matching, so
+// prose about rand() or a "printf(" inside a string never trips a rule.
+// Exit status: 0 clean, 1 findings (or self-test failure), 2 usage error.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Source preparation
+// ---------------------------------------------------------------------------
+
+// Replaces comments and string/char literal contents with spaces, keeping
+// line structure (and therefore line numbers) intact.
+std::string StripCommentsAndStrings(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;  // Keep the quote: tokens stay delimited.
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Finds `word` in `line` as a whole identifier (no word char on either
+// side). Returns npos if absent.
+size_t FindWord(const std::string& line, const std::string& word,
+                size_t from = 0) {
+  size_t pos = line.find(word, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !IsWordChar(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = line.find(word, pos + 1);
+  }
+  return std::string::npos;
+}
+
+// True when `word` at `pos` is followed (after spaces) by an open paren —
+// i.e. it is spelled as a call.
+bool IsCallAt(const std::string& line, size_t pos, const std::string& word) {
+  size_t i = pos + word.size();
+  while (i < line.size() && line[i] == ' ') ++i;
+  return i < line.size() && line[i] == '(';
+}
+
+// ---------------------------------------------------------------------------
+// The checker
+// ---------------------------------------------------------------------------
+
+class Linter {
+ public:
+  explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+  /// First pass over every file: collect the names of functions declared to
+  /// return Result<...> (and, separately, Status) for the
+  /// return-not-ok-result heuristic. A name declared with BOTH return types
+  /// somewhere in the tree is ambiguous (an overload set like Fit) and is
+  /// never flagged.
+  void CollectResultFunctions(const std::string& clean) {
+    const std::vector<std::string> lines = SplitLines(clean);
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const std::string& line = lines[i];
+      size_t pos = FindWord(line, "Result");
+      while (pos != std::string::npos) {
+        size_t j = pos + 6;
+        if (j < line.size() && line[j] == '<') {
+          // Skip the template argument list (angle-bracket balanced).
+          int depth = 0;
+          while (j < line.size()) {
+            if (line[j] == '<') ++depth;
+            if (line[j] == '>' && --depth == 0) { ++j; break; }
+            ++j;
+          }
+          CollectDeclaredName(lines, i, line.substr(std::min(j, line.size())),
+                              &result_functions_);
+        }
+        pos = FindWord(line, "Result", pos + 1);
+      }
+      size_t spos = FindWord(line, "Status");
+      while (spos != std::string::npos) {
+        CollectDeclaredName(lines, i, line.substr(spos + 6),
+                            &status_functions_);
+        spos = FindWord(line, "Status", spos + 1);
+      }
+    }
+  }
+
+  void CheckFile(const fs::path& path, const std::string& raw,
+                 const std::string& clean) {
+    const std::vector<std::string> raw_lines = SplitLines(raw);
+    const std::vector<std::string> clean_lines = SplitLines(clean);
+    const std::string rel = Relative(path);
+    const bool is_header = path.extension() == ".h";
+
+    if (is_header) CheckIncludeGuard(rel, clean_lines, raw_lines);
+
+    for (size_t i = 0; i < clean_lines.size(); ++i) {
+      const std::string& line = clean_lines[i];
+      const int ln = static_cast<int>(i) + 1;
+
+      if (is_header && FindWord(line, "using") != std::string::npos) {
+        const size_t u = FindWord(line, "using");
+        const size_t n = FindWord(line, "namespace", u);
+        if (n != std::string::npos &&
+            line.find_first_not_of(' ', u + 5) == n) {
+          Report(rel, ln, raw_lines, "using-namespace-header",
+                 "`using namespace` in a header leaks into every includer");
+        }
+      }
+
+      for (const char* fn : {"rand", "srand"}) {
+        const size_t pos = FindWord(line, fn);
+        if (pos != std::string::npos && IsCallAt(line, pos, fn)) {
+          Report(rel, ln, raw_lines, "banned-rand",
+                 std::string(fn) +
+                     "() is banned; use common/rng.h (seeded, reproducible)");
+        }
+      }
+
+      for (const char* io : {"printf", "fprintf"}) {
+        const size_t pos = FindWord(line, io);
+        if (pos != std::string::npos && IsCallAt(line, pos, io)) {
+          Report(rel, ln, raw_lines, "banned-io",
+                 std::string(io) + "() logging is banned; use TARGAD_LOG");
+        }
+      }
+      for (const char* stream : {"std::cout", "std::cerr"}) {
+        if (line.find(stream) != std::string::npos) {
+          Report(rel, ln, raw_lines, "banned-io",
+                 std::string(stream) + " logging is banned; use TARGAD_LOG");
+        }
+      }
+
+      if (FindWord(line, "throw") != std::string::npos) {
+        Report(rel, ln, raw_lines, "naked-throw",
+               "`throw` is banned; fallible APIs return Status/Result");
+      }
+
+      CheckReturnNotOk(rel, ln, line, raw_lines);
+    }
+  }
+
+  const std::vector<Finding>& findings() const { return findings_; }
+
+ private:
+  // Records the identifier a return type is declaring, given the text after
+  // the type on that line (or, when the type sits on its own line, the next
+  // line). The name must be an identifier immediately followed by '('.
+  static void CollectDeclaredName(const std::vector<std::string>& lines,
+                                  size_t i, std::string rest,
+                                  std::set<std::string>* out) {
+    if (rest.find_first_not_of(' ') == std::string::npos &&
+        i + 1 < lines.size()) {
+      rest = lines[i + 1];
+    }
+    const size_t k = rest.find_first_not_of(' ');
+    if (k == std::string::npos || !IsWordChar(rest[k]) ||
+        std::isdigit(static_cast<unsigned char>(rest[k]))) {
+      return;
+    }
+    size_t e = k;
+    while (e < rest.size() && IsWordChar(rest[e])) ++e;
+    size_t p = e;
+    while (p < rest.size() && rest[p] == ' ') ++p;
+    if (p < rest.size() && rest[p] == '(') out->insert(rest.substr(k, e - k));
+  }
+
+  std::string Relative(const fs::path& path) const {
+    std::error_code ec;
+    const fs::path rel = fs::relative(path, root_, ec);
+    return (ec || rel.empty()) ? path.generic_string() : rel.generic_string();
+  }
+
+  static std::string ExpectedGuard(const std::string& rel) {
+    std::string macro = "TARGAD_";
+    for (const char c : rel) {
+      macro += IsWordChar(c)
+                   ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                   : '_';
+    }
+    return macro + "_";  // common/status.h -> TARGAD_COMMON_STATUS_H_
+  }
+
+  void CheckIncludeGuard(const std::string& rel,
+                         const std::vector<std::string>& clean_lines,
+                         const std::vector<std::string>& raw_lines) {
+    const std::string expected = ExpectedGuard(rel);
+    int ifndef_line = 0;
+    std::string got;
+    for (size_t i = 0; i < clean_lines.size(); ++i) {
+      std::istringstream in(clean_lines[i]);
+      std::string tok, macro;
+      in >> tok;
+      if (tok.empty() || tok[0] != '#') continue;
+      if (tok != "#ifndef") break;  // Some other directive came first.
+      in >> macro;
+      ifndef_line = static_cast<int>(i) + 1;
+      got = macro;
+      // The next preprocessor token must be the matching #define.
+      for (size_t j = i + 1; j < clean_lines.size(); ++j) {
+        std::istringstream in2(clean_lines[j]);
+        std::string tok2, macro2;
+        in2 >> tok2;
+        if (tok2.empty() || tok2[0] != '#') continue;
+        if (tok2 != "#define") got.clear();
+        in2 >> macro2;
+        if (macro2 != got) got.clear();
+        break;
+      }
+      break;
+    }
+    if (got != expected) {
+      Report(rel, std::max(ifndef_line, 1), raw_lines, "include-guard",
+             "expected include guard " + expected +
+                 (got.empty() ? " (missing or #define mismatch)"
+                              : ", found " + got));
+    }
+  }
+
+  void CheckReturnNotOk(const std::string& rel, int ln,
+                        const std::string& line,
+                        const std::vector<std::string>& raw_lines) {
+    const size_t pos = FindWord(line, "TARGAD_RETURN_NOT_OK");
+    if (pos == std::string::npos) return;
+    // Skip the macro's own definition.
+    if (line.find("#define") != std::string::npos) return;
+    const size_t open = line.find('(', pos);
+    if (open == std::string::npos) return;
+    // The argument may run past this line; a line-bounded window is enough
+    // for the heuristics below.
+    const std::string arg = line.substr(open + 1);
+    if (arg.find("ValueOrDie") != std::string::npos) {
+      Report(rel, ln, raw_lines, "return-not-ok-result",
+             "TARGAD_RETURN_NOT_OK on a ValueOrDie() value — it takes a "
+             "Status; use TARGAD_ASSIGN_OR_RETURN");
+      return;
+    }
+    // `expr.status()` adapts a Result to its Status — always legal.
+    if (arg.find(".status()") != std::string::npos) return;
+    for (const std::string& fn : result_functions_) {
+      if (status_functions_.count(fn) > 0) continue;  // Ambiguous overload.
+      const size_t fp = FindWord(arg, fn);
+      if (fp != std::string::npos && IsCallAt(arg, fp, fn)) {
+        Report(rel, ln, raw_lines, "return-not-ok-result",
+               "TARGAD_RETURN_NOT_OK on Result-returning " + fn +
+                   "(); use TARGAD_ASSIGN_OR_RETURN");
+        return;
+      }
+    }
+  }
+
+  // Applies the allow() escape hatch, then records the finding.
+  void Report(const std::string& rel, int ln,
+              const std::vector<std::string>& raw_lines,
+              const std::string& rule, const std::string& message) {
+    for (int l : {ln, ln - 1}) {
+      if (l < 1 || l > static_cast<int>(raw_lines.size())) continue;
+      const std::string& raw = raw_lines[static_cast<size_t>(l - 1)];
+      const size_t a = raw.find("targad-lint: allow(");
+      if (a == std::string::npos) continue;
+      const size_t start = a + std::string("targad-lint: allow(").size();
+      const size_t end = raw.find(')', start);
+      if (end == std::string::npos) continue;
+      std::string list = raw.substr(start, end - start);
+      std::istringstream in(list);
+      std::string item;
+      while (std::getline(in, item, ',')) {
+        item.erase(std::remove(item.begin(), item.end(), ' '), item.end());
+        if (item == rule || item == "*") return;
+      }
+    }
+    findings_.push_back({rel, ln, rule, message});
+  }
+
+  fs::path root_;
+  std::set<std::string> result_functions_;
+  std::set<std::string> status_functions_;
+  std::vector<Finding> findings_;
+};
+
+bool IsSourceFile(const fs::path& path) {
+  return path.extension() == ".h" || path.extension() == ".cc";
+}
+
+std::vector<fs::path> GatherFiles(const std::vector<std::string>& paths) {
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "targad_lint: no such path: %s\n", p.c_str());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<Finding> RunLint(const fs::path& root,
+                             const std::vector<std::string>& paths) {
+  Linter linter(root);
+  const std::vector<fs::path> files = GatherFiles(paths);
+  std::vector<std::pair<fs::path, std::string>> cleaned;
+  cleaned.reserve(files.size());
+  for (const fs::path& f : files) {
+    cleaned.emplace_back(f, StripCommentsAndStrings(ReadFile(f)));
+  }
+  for (const auto& [f, clean] : cleaned) linter.CollectResultFunctions(clean);
+  for (const auto& [f, clean] : cleaned) {
+    linter.CheckFile(f, ReadFile(f), clean);
+  }
+  return linter.findings();
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: seed one violation per rule in a temp tree, assert each fires,
+// and assert the escape hatch and comment/string immunity hold.
+// ---------------------------------------------------------------------------
+
+struct SelfCase {
+  std::string file;
+  std::string contents;
+  // Rules this file must trip, as (rule, line) pairs; empty = must be clean.
+  std::vector<std::pair<std::string, int>> expect;
+};
+
+int RunSelfTest() {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("targad_lint_selftest_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir / "sub");
+
+  const std::vector<SelfCase> cases = {
+      {"sub/bad_guard.h",
+       "#ifndef WRONG_GUARD_H_\n#define WRONG_GUARD_H_\n#endif\n",
+       {{"include-guard", 1}}},
+      {"sub/no_define.h",
+       "#ifndef TARGAD_SUB_NO_DEFINE_H_\n#define SOMETHING_ELSE\n#endif\n",
+       {{"include-guard", 1}}},
+      {"sub/using_ns.h",
+       "#ifndef TARGAD_SUB_USING_NS_H_\n#define TARGAD_SUB_USING_NS_H_\n"
+       "using namespace std;\n#endif\n",
+       {{"using-namespace-header", 3}}},
+      {"sub/banned.cc",
+       "int f() {\n"
+       "  int x = rand();\n"
+       "  printf(\"%d\", x);\n"
+       "  std::cout << x;\n"
+       "  if (x < 0) throw 1;\n"
+       "  return x;\n}\n",
+       {{"banned-rand", 2},
+        {"banned-io", 3},
+        {"banned-io", 4},
+        {"naked-throw", 5}}},
+      {"sub/retnotok.cc",
+       "Result<int> Load(int v);\n"
+       "Status A(int v) {\n"
+       "  TARGAD_RETURN_NOT_OK(Load(v));\n"
+       "  return Status::OK();\n}\n"
+       "Status B(Result<int> r) {\n"
+       "  TARGAD_RETURN_NOT_OK(r.ValueOrDie());\n"
+       "  return Status::OK();\n}\n",
+       {{"return-not-ok-result", 3}, {"return-not-ok-result", 7}}},
+      // The escape hatch silences the named rule(s) on that line (same line
+      // or the line directly above)...
+      {"sub/allowed.cc",
+       "int g() {\n"
+       "  return rand();  // targad-lint: allow(banned-rand)\n}\n"
+       "int h() {\n"
+       "  // targad-lint: allow(banned-io,banned-rand)\n"
+       "  printf(\"%d\", rand());\n}\n",
+       {}},
+      // ...but only the named rule.
+      {"sub/allow_wrong_rule.cc",
+       "int g() {\n"
+       "  return rand();  // targad-lint: allow(banned-io)\n}\n",
+       {{"banned-rand", 2}}},
+      // Comments and strings never trip rules; snprintf is not printf; a
+      // legitimate TARGAD_RETURN_NOT_OK on a Status call is clean, as are
+      // the `.status()` adapter and an ambiguous Status/Result overload set.
+      {"sub/immune.cc",
+       "// rand() and printf() and throw, discussed in prose.\n"
+       "/* std::cout << rand(); */\n"
+       "const char* s = \"printf(rand()) throw\";\n"
+       "int n = snprintf(buf, 4, \"x\");\n"
+       "Status DoIt();\n"
+       "Status Fit(int x);\n"
+       "Result<int> Fit(double x);\n"
+       "Result<int> MakeIt();\n"
+       "Status Run() {\n"
+       "  TARGAD_RETURN_NOT_OK(DoIt());\n"
+       "  TARGAD_RETURN_NOT_OK(Fit(1));\n"
+       "  TARGAD_RETURN_NOT_OK(MakeIt().status());\n"
+       "  return Status::OK();\n}\n",
+       {}},
+  };
+
+  for (const SelfCase& c : cases) {
+    std::ofstream out(dir / c.file, std::ios::binary);
+    out << c.contents;
+  }
+
+  const std::vector<Finding> findings = RunLint(dir, {dir.string()});
+
+  std::set<std::pair<std::string, std::string>> got;  // (file:line, rule)
+  for (const Finding& f : findings) {
+    got.insert({f.file + ":" + std::to_string(f.line), f.rule});
+  }
+  int failures = 0;
+  std::set<std::pair<std::string, std::string>> expected;
+  for (const SelfCase& c : cases) {
+    for (const auto& [rule, line] : c.expect) {
+      expected.insert({c.file + ":" + std::to_string(line), rule});
+    }
+  }
+  for (const auto& e : expected) {
+    if (got.count(e) == 0) {
+      std::fprintf(stderr, "SELF-TEST FAIL: expected %s at %s, not reported\n",
+                   e.second.c_str(), e.first.c_str());
+      ++failures;
+    }
+  }
+  for (const auto& g : got) {
+    if (expected.count(g) == 0) {
+      std::fprintf(stderr, "SELF-TEST FAIL: unexpected %s at %s\n",
+                   g.second.c_str(), g.first.c_str());
+      ++failures;
+    }
+  }
+  fs::remove_all(dir);
+  if (failures == 0) {
+    std::fprintf(stderr,
+                 "targad_lint self-test PASSED (%zu seeded findings, "
+                 "suppression and immunity verified)\n",
+                 expected.size());
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") return RunSelfTest();
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "targad_lint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help") {
+      std::fprintf(stderr,
+                   "usage: targad_lint --root <dir> [path...] | --self-test\n");
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (root.empty()) {
+    std::fprintf(stderr, "targad_lint: --root <dir> is required\n");
+    return 2;
+  }
+  if (paths.empty()) paths.push_back(root);
+
+  const std::vector<Finding> findings = RunLint(root, paths);
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "targad_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
