@@ -1,0 +1,75 @@
+#include "common/lock_rank.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace targad {
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+#define TARGAD_LOCK_RANK_NAME_ENTRY(name, value) \
+  case LockRank::name:                           \
+    return #name;
+    TARGAD_LOCK_RANK_TABLE(TARGAD_LOCK_RANK_NAME_ENTRY)
+#undef TARGAD_LOCK_RANK_NAME_ENTRY
+  }
+  return "?";
+}
+
+namespace internal {
+
+namespace {
+
+// Ranks held by the calling thread, in acquisition order. A plain vector:
+// the held set is tiny (nesting depth), and this code only runs in
+// DCHECK-enabled builds.
+thread_local std::vector<LockRank> t_held_ranks;
+
+// The failure path must not touch the logger: the logging sink is itself a
+// RankedMutex, so reporting through TARGAD_LOG could re-enter the checker.
+// Raw stderr + abort, like a sanitizer report.
+[[noreturn]] void RankFailure(const char* what, LockRank rank) {
+  std::fprintf(  // targad-lint: allow(banned-io)
+      stderr, "lock rank violation: %s %s (rank %d); held:", what,
+      LockRankName(rank), static_cast<int>(rank));
+  for (const LockRank held : t_held_ranks) {
+    std::fprintf(stderr, " %s(%d)", LockRankName(held),  // targad-lint: allow(banned-io)
+                 static_cast<int>(held));
+  }
+  std::fprintf(stderr, "\n");  // targad-lint: allow(banned-io)
+  std::abort();
+}
+
+void CheckAscendingThenPush(const char* what, LockRank rank) {
+  // Validate against the MAXIMUM held rank, not the most recent: releases
+  // may happen in any order, but acquiring below anything still held is
+  // exactly the out-of-order pattern that builds deadlock cycles.
+  for (const LockRank held : t_held_ranks) {
+    if (rank <= held) RankFailure(what, rank);
+  }
+  t_held_ranks.push_back(rank);
+}
+
+}  // namespace
+
+void NoteLockAcquired(LockRank rank) {
+  CheckAscendingThenPush("acquiring", rank);
+}
+
+void NoteLockAcquiredTry(LockRank rank) {
+  CheckAscendingThenPush("try-acquiring", rank);
+}
+
+void NoteLockReleased(LockRank rank) {
+  const auto it =
+      std::find(t_held_ranks.rbegin(), t_held_ranks.rend(), rank);
+  if (it == t_held_ranks.rend()) RankFailure("releasing un-held", rank);
+  t_held_ranks.erase(std::next(it).base());
+}
+
+int HeldRankCount() { return static_cast<int>(t_held_ranks.size()); }
+
+}  // namespace internal
+}  // namespace targad

@@ -4,10 +4,19 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+
 namespace targad {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// The sink override is the logger's one piece of non-atomic shared state.
+// kLogging is the highest (innermost) rank in the table: emitting a log
+// line while holding any other library lock is always rank-legal.
+RankedMutex g_sink_mu(LockRank::kLogging);
+FILE* g_sink TARGAD_GUARDED_BY(g_sink_mu) = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,6 +32,13 @@ const char* LevelName(LogLevel level) {
 
 void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+FILE* SetLogSink(FILE* sink) {
+  MutexLock lock(&g_sink_mu);
+  FILE* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
 
 namespace internal {
 
@@ -41,9 +57,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    // The logger's own sink — the one legitimate raw-stderr write in src/.
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());  // targad-lint: allow(banned-io)
-    std::fflush(stderr);
+    // The logger's own sink — the one legitimate raw-stdio write in src/.
+    // The sink lock also serializes concurrent log lines, so two threads'
+    // messages never interleave mid-line on a shared FILE.
+    MutexLock lock(&g_sink_mu);
+    FILE* out = g_sink != nullptr ? g_sink : stderr;
+    std::fprintf(out, "%s\n", stream_.str().c_str());  // targad-lint: allow(banned-io)
+    std::fflush(out);
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

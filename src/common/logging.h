@@ -4,6 +4,7 @@
 #ifndef TARGAD_COMMON_LOGGING_H_
 #define TARGAD_COMMON_LOGGING_H_
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 /// Process-wide minimum level actually emitted (default kInfo).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Redirects the log sink (default stderr, restored by passing nullptr) and
+/// returns the previous override (nullptr when the default was active).
+/// The sink is guarded by the logging mutex — the innermost rank of the
+/// lock table, so a log line is always safe to emit while holding any
+/// other lock. The caller keeps ownership of the FILE and must outlive
+/// every log statement routed to it.
+FILE* SetLogSink(FILE* sink);
 
 namespace internal {
 

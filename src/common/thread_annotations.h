@@ -1,0 +1,75 @@
+// Clang -Wthread-safety capability annotations (no-ops elsewhere). These
+// make the lock discipline machine-checked: a field tagged
+// TARGAD_GUARDED_BY(mu_) cannot be read or written without holding mu_, a
+// method tagged TARGAD_REQUIRES(mu_) cannot be called without it, and the
+// Clang CI job compiles the tree with -Wthread-safety -Werror so a
+// violation is a build break, not a TSan report on a lucky schedule.
+//
+// The macros mirror the standard capability vocabulary (as in Abseil's
+// thread_annotations.h and the Clang ThreadSafetyAnalysis docs):
+//
+//   TARGAD_CAPABILITY(name)     class is a lockable capability (a mutex)
+//   TARGAD_SCOPED_CAPABILITY    RAII class that acquires in its constructor
+//                               and releases in its destructor
+//   TARGAD_GUARDED_BY(mu)       field requires mu held for any access
+//   TARGAD_PT_GUARDED_BY(mu)    pointee requires mu held (pointer itself free)
+//   TARGAD_REQUIRES(mu...)      caller must hold mu (method body may assume it)
+//   TARGAD_ACQUIRE(mu...)       function acquires mu and does not release it
+//   TARGAD_RELEASE(mu...)       function releases mu
+//   TARGAD_TRY_ACQUIRE(b, mu..) function acquires mu iff it returns b
+//   TARGAD_EXCLUDES(mu...)      caller must NOT hold mu (deadlock guard)
+//   TARGAD_ASSERT_CAPABILITY(mu) runtime assertion that mu is held
+//   TARGAD_RETURN_CAPABILITY(mu) function returns a reference to mu
+//   TARGAD_NO_THREAD_SAFETY_ANALYSIS  opt a function out (use sparingly,
+//                                     with a comment saying why)
+//
+// Annotate mutexes through the capability-typed wrappers in
+// common/lock_rank.h (RankedMutex / MutexLock); a raw std::mutex is not a
+// capability type and Clang rejects it as a TARGAD_GUARDED_BY argument.
+
+#ifndef TARGAD_COMMON_THREAD_ANNOTATIONS_H_
+#define TARGAD_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define TARGAD_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TARGAD_THREAD_ANNOTATION_(x)  // GCC/MSVC: no-op.
+#endif
+
+#define TARGAD_CAPABILITY(name) \
+  TARGAD_THREAD_ANNOTATION_(capability(name))
+
+#define TARGAD_SCOPED_CAPABILITY \
+  TARGAD_THREAD_ANNOTATION_(scoped_lockable)
+
+#define TARGAD_GUARDED_BY(mu) \
+  TARGAD_THREAD_ANNOTATION_(guarded_by(mu))
+
+#define TARGAD_PT_GUARDED_BY(mu) \
+  TARGAD_THREAD_ANNOTATION_(pt_guarded_by(mu))
+
+#define TARGAD_REQUIRES(...) \
+  TARGAD_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define TARGAD_ACQUIRE(...) \
+  TARGAD_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define TARGAD_RELEASE(...) \
+  TARGAD_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define TARGAD_TRY_ACQUIRE(...) \
+  TARGAD_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define TARGAD_EXCLUDES(...) \
+  TARGAD_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define TARGAD_ASSERT_CAPABILITY(...) \
+  TARGAD_THREAD_ANNOTATION_(assert_capability(__VA_ARGS__))
+
+#define TARGAD_RETURN_CAPABILITY(mu) \
+  TARGAD_THREAD_ANNOTATION_(lock_returned(mu))
+
+#define TARGAD_NO_THREAD_SAFETY_ANALYSIS \
+  TARGAD_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // TARGAD_COMMON_THREAD_ANNOTATIONS_H_

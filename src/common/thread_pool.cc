@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
   task_available_.notify_all();
@@ -27,10 +27,11 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    space_available_.wait(lock, [this] {
-      return max_queue_ == 0 || queue_.size() < max_queue_ || shutting_down_;
-    });
+    MutexLock lock(&mu_);
+    while (max_queue_ != 0 && queue_.size() >= max_queue_ &&
+           !shutting_down_) {
+      space_available_.wait(lock);
+    }
     // A task enqueued after shutdown began could outlive every worker
     // (each exits once the queue is empty): it would wait in the queue
     // forever and strand in_flight_ above zero. Reject instead.
@@ -44,7 +45,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutting_down_) return false;
     if (max_queue_ != 0 && queue_.size() >= max_queue_) return false;
     queue_.push_back(std::move(task));
@@ -55,21 +56,21 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) all_done_.wait(lock);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && queue_.empty()) task_available_.wait(lock);
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -80,7 +81,7 @@ void ThreadPool::WorkerLoop() {
     space_available_.notify_one();
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

@@ -9,9 +9,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 
 namespace targad {
 
@@ -40,14 +42,14 @@ class ThreadPool {
   /// destroyed without running). Unsafe to call from inside a pool task
   /// when bounded (a full queue would deadlock the worker) — use TrySubmit
   /// there.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) TARGAD_EXCLUDES(mu_);
 
   /// Enqueues unless the queue is at max_queue or the pool is shutting
   /// down; returns false on rejection.
-  bool TrySubmit(std::function<void()> task);
+  bool TrySubmit(std::function<void()> task) TARGAD_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() TARGAD_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -55,7 +57,7 @@ class ThreadPool {
   size_t max_queue() const { return max_queue_; }
 
   /// Tasks currently waiting to run (racy snapshot, for monitoring).
-  size_t queue_depth() const;
+  size_t queue_depth() const TARGAD_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// fn must be safe to invoke concurrently for distinct i.
@@ -63,17 +65,22 @@ class ThreadPool {
                           size_t num_threads = 0);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() TARGAD_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::condition_variable space_available_;
-  std::deque<std::function<void()>> queue_;
+  // Immutable after construction / externally serialized — declared ABOVE
+  // the mutex (the project convention: everything below a mutex is guarded
+  // by it). workers_ is written in the constructor and joined in the
+  // destructor only; the workers themselves never touch it.
+  const size_t max_queue_;
   std::vector<std::thread> workers_;
-  size_t max_queue_ = 0;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+
+  mutable RankedMutex mu_{LockRank::kThreadPool};
+  std::condition_variable_any task_available_;
+  std::condition_variable_any all_done_;
+  std::condition_variable_any space_available_;
+  std::deque<std::function<void()>> queue_ TARGAD_GUARDED_BY(mu_);
+  size_t in_flight_ TARGAD_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ TARGAD_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace targad

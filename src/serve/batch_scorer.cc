@@ -61,7 +61,7 @@ std::future<Result<double>> BatchScorer::Submit(
   request.enqueued = std::chrono::steady_clock::now();
   std::future<Result<double>> future = request.promise.get_future();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_) {
       lock.unlock();
       request.promise.set_value(
@@ -85,16 +85,20 @@ std::future<Result<double>> BatchScorer::Submit(
 }
 
 void BatchScorer::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  MutexLock lock(&mu_);
+  DrainLocked(lock);
+}
+
+void BatchScorer::DrainLocked(MutexLock& lock) {
+  while (outstanding_ != 0) drained_cv_.wait(lock);
 }
 
 void BatchScorer::Shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_) {
       // Already shut down (or shutting down); just wait for the drain.
-      drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
+      DrainLocked(lock);
       return;
     }
     stop_ = true;
@@ -105,9 +109,9 @@ void BatchScorer::Shutdown() {
 }
 
 void BatchScorer::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (;;) {
-    queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) queue_cv_.wait(lock);
     if (queue_.empty()) {
       if (stop_) return;
       continue;
@@ -119,9 +123,12 @@ void BatchScorer::WorkerLoop() {
       const auto deadline =
           queue_.front().enqueued +
           std::chrono::microseconds(options_.max_queue_delay_us);
-      queue_cv_.wait_until(lock, deadline, [this] {
-        return stop_ || queue_.size() >= options_.max_batch_size;
-      });
+      while (!stop_ && queue_.size() < options_.max_batch_size) {
+        if (queue_cv_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
     }
     if (queue_.empty()) continue;  // Another worker took the rows.
 
@@ -170,7 +177,7 @@ void BatchScorer::ScoreGroup(const std::string& model,
   std::shared_ptr<const core::RowScorer> snapshot = provider_(model);
   if (metrics_ != nullptr && snapshot != nullptr) {
     const void* raw = snapshot.get();
-    std::lock_guard<std::mutex> lock(swap_mu_);
+    MutexLock lock(&swap_mu_);
     const void*& previous = last_snapshot_[model];
     if (previous != nullptr && previous != raw) metrics_->RecordModelSwap();
     previous = raw;

@@ -33,11 +33,12 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "core/scorer.h"
@@ -102,16 +103,17 @@ class BatchScorer {
   /// model is available, NotFound for an unknown model name,
   /// InvalidArgument for a malformed row.
   std::future<Result<double>> Submit(std::string model,
-                                     std::vector<std::string> cells);
+                                     std::vector<std::string> cells)
+      TARGAD_EXCLUDES(mu_);
 
   /// Submit(kDefaultModel, cells).
   std::future<Result<double>> Submit(std::vector<std::string> cells);
 
   /// Blocks until every admitted request has been fulfilled.
-  void Drain();
+  void Drain() TARGAD_EXCLUDES(mu_);
 
   /// Stops admission, drains, and joins the workers. Idempotent.
-  void Shutdown();
+  void Shutdown() TARGAD_EXCLUDES(mu_);
 
   const BatchScorerOptions& options() const { return options_; }
 
@@ -123,29 +125,39 @@ class BatchScorer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void WorkerLoop();
-  void ScoreBatch(std::vector<Pending>* batch);
-  void ScoreGroup(const std::string& model, std::vector<Pending*>* rows);
+  void WorkerLoop() TARGAD_EXCLUDES(mu_);
+  /// Waits until outstanding_ hits zero; `lock` must hold mu_.
+  void DrainLocked(MutexLock& lock) TARGAD_REQUIRES(mu_);
+  void ScoreBatch(std::vector<Pending>* batch) TARGAD_EXCLUDES(mu_);
+  void ScoreGroup(const std::string& model, std::vector<Pending*>* rows)
+      TARGAD_EXCLUDES(mu_, swap_mu_);
   void Fulfill(Pending* request, Result<double> result);
 
   NamedSnapshotProvider provider_;
   BatchScorerOptions options_;
   ServeMetrics* metrics_;
 
-  std::mutex mu_;
-  std::condition_variable queue_cv_;    // Work available / batch filling.
-  std::condition_variable drained_cv_;  // outstanding_ hit zero.
-  std::deque<Pending> queue_;
-  size_t outstanding_ = 0;  // Admitted but not yet fulfilled.
-  bool stop_ = false;
+  /// Lock order (rank-enforced): mu_ (kBatchScorerQueue) before swap_mu_
+  /// (kBatchScorerSwap); in practice the two are never nested — workers
+  /// release mu_ before scoring, and swap detection runs lock-free of mu_.
+  RankedMutex mu_{LockRank::kBatchScorerQueue};
+  std::condition_variable_any queue_cv_;    // Work available / batch filling.
+  std::condition_variable_any drained_cv_;  // outstanding_ hit zero.
+  std::deque<Pending> queue_ TARGAD_GUARDED_BY(mu_);
+  /// Admitted but not yet fulfilled.
+  size_t outstanding_ TARGAD_GUARDED_BY(mu_) = 0;
+  bool stop_ TARGAD_GUARDED_BY(mu_) = false;
 
   /// Raw pointer of the previously scored snapshot per model, for swap
   /// detection. Touched once per batch group.
-  std::mutex swap_mu_;
-  std::map<std::string, const void*> last_snapshot_;
+  RankedMutex swap_mu_{LockRank::kBatchScorerSwap};
+  std::map<std::string, const void*> last_snapshot_
+      TARGAD_GUARDED_BY(swap_mu_);
 
-  /// Declared last so workers join before the state above is destroyed.
-  std::unique_ptr<ThreadPool> pool_;
+  /// Declared last so workers join before the state above is destroyed;
+  /// written only from the constructor and the first Shutdown to cross the
+  /// stop_ edge, which the drain serializes.
+  std::unique_ptr<ThreadPool> pool_;  // targad-lint: allow(mutex-guarded-by)
 };
 
 }  // namespace serve

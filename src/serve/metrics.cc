@@ -67,7 +67,7 @@ void ServeMetrics::RecordBatch(uint64_t rows) {
 
 void ServeMetrics::RecordModelRows(const std::string& model, uint64_t scored,
                                    uint64_t failed) {
-  std::lock_guard<std::mutex> lock(model_mu_);
+  MutexLock lock(&model_mu_);
   ModelRowCounters& counters = model_rows_[model];
   counters.rows_scored += scored;
   counters.rows_failed += failed;
@@ -102,7 +102,7 @@ MetricsSnapshot ServeMetrics::Snapshot() const {
   s.batch_size_buckets = batch_sizes_.Buckets();
   s.latency_buckets = latencies_us_.Buckets();
   {
-    std::lock_guard<std::mutex> lock(model_mu_);
+    MutexLock lock(&model_mu_);
     s.per_model = model_rows_;
   }
   return s;

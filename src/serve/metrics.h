@@ -11,9 +11,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 
 namespace targad {
 namespace serve {
@@ -87,7 +89,7 @@ class ServeMetrics {
   /// Row outcomes of one batch group routed to `model`. Called once per
   /// group, so the mutex cost is amortized over the batch.
   void RecordModelRows(const std::string& model, uint64_t scored,
-                       uint64_t failed);
+                       uint64_t failed) TARGAD_EXCLUDES(model_mu_);
 
   /// End-to-end latency (submit -> promise fulfilled) of one request.
   void RecordCompleted(uint64_t latency_us);
@@ -113,8 +115,9 @@ class ServeMetrics {
   Pow2Histogram batch_sizes_;
   Pow2Histogram latencies_us_;
 
-  mutable std::mutex model_mu_;
-  std::map<std::string, ModelRowCounters> model_rows_;
+  mutable RankedMutex model_mu_{LockRank::kServeMetrics};
+  std::map<std::string, ModelRowCounters> model_rows_
+      TARGAD_GUARDED_BY(model_mu_);
 };
 
 }  // namespace serve

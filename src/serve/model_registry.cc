@@ -18,7 +18,7 @@ Status ModelRegistry::LoadDirectory(const std::string& dir) {
     return Status::NotFound("model registry: not a directory: ", dir);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (std::find(watched_dirs_.begin(), watched_dirs_.end(), dir) ==
         watched_dirs_.end()) {
       watched_dirs_.push_back(dir);
@@ -64,7 +64,7 @@ Status ModelRegistry::PublishFile(const std::string& name,
               std::move(pipeline).ValueOrDie()),
           path);
   if (!ec) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     Entry& entry = models_[name];
     entry.file_backed = true;
     entry.mtime = mtime;
@@ -78,7 +78,7 @@ uint64_t ModelRegistry::Publish(
     const std::string& source) {
   nn::Dtype dtype;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     dtype = serve_dtype_;
   }
   // Freeze outside the lock — weight conversion is CPU work, and Get must
@@ -96,7 +96,7 @@ uint64_t ModelRegistry::Publish(
                           << "); serving float64 pipeline";
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry& entry = models_[name];
   entry.pipeline = std::move(pipeline);
   entry.frozen = std::move(frozen);
@@ -117,7 +117,7 @@ Result<size_t> ModelRegistry::RefreshIfChanged() {
   std::vector<Polled> polled;
   std::vector<std::string> dirs;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [name, entry] : models_) {
       if (entry.file_backed) polled.push_back({name, entry.source, entry.mtime});
     }
@@ -149,7 +149,7 @@ Result<size_t> ModelRegistry::RefreshIfChanged() {
       const std::string name = path.stem().string();
       bool known = false;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         known = models_.count(name) > 0;
       }
       if (known) continue;  // Mtime poll above covers registered models.
@@ -160,40 +160,46 @@ Result<size_t> ModelRegistry::RefreshIfChanged() {
   return republished;
 }
 
+const ModelRegistry::Entry* ModelRegistry::FindLocked(
+    const std::string& name) const {
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : &it->second;
+}
+
 Result<std::shared_ptr<const core::TargAdPipeline>> ModelRegistry::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = models_.find(name);
-  if (it == models_.end()) {
+  MutexLock lock(&mu_);
+  const Entry* entry = FindLocked(name);
+  if (entry == nullptr) {
     return Status::NotFound("model registry: no model named '", name, "'");
   }
-  return it->second.pipeline;
+  return entry->pipeline;
 }
 
 Result<std::shared_ptr<const core::RowScorer>> ModelRegistry::GetScorer(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = models_.find(name);
-  if (it == models_.end()) {
+  MutexLock lock(&mu_);
+  const Entry* entry = FindLocked(name);
+  if (entry == nullptr) {
     return Status::NotFound("model registry: no model named '", name, "'");
   }
-  if (it->second.frozen != nullptr) {
-    return std::shared_ptr<const core::RowScorer>(it->second.frozen);
+  if (entry->frozen != nullptr) {
+    return std::shared_ptr<const core::RowScorer>(entry->frozen);
   }
-  return std::shared_ptr<const core::RowScorer>(it->second.pipeline);
+  return std::shared_ptr<const core::RowScorer>(entry->pipeline);
 }
 
 Result<ModelInfo> ModelRegistry::Info(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = models_.find(name);
-  if (it == models_.end()) {
+  MutexLock lock(&mu_);
+  const Entry* entry = FindLocked(name);
+  if (entry == nullptr) {
     return Status::NotFound("model registry: no model named '", name, "'");
   }
-  return ModelInfo{name, it->second.version, it->second.source};
+  return ModelInfo{name, entry->version, entry->source};
 }
 
 std::vector<ModelInfo> ModelRegistry::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<ModelInfo> out;
   out.reserve(models_.size());
   for (const auto& [name, entry] : models_) {
@@ -203,7 +209,7 @@ std::vector<ModelInfo> ModelRegistry::List() const {
 }
 
 Status ModelRegistry::Remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (models_.erase(name) == 0) {
     return Status::NotFound("model registry: no model named '", name, "'");
   }
@@ -211,7 +217,7 @@ Status ModelRegistry::Remove(const std::string& name) {
 }
 
 size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return models_.size();
 }
 

@@ -25,11 +25,12 @@
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/frozen_scorer.h"
 #include "core/pipeline.h"
 #include "core/scorer.h"
@@ -56,12 +57,12 @@ class ModelRegistry {
   /// serves the pipeline itself; kFloat32 freezes every published pipeline
   /// into a float32 FrozenScorer. Set before publishing: already-registered
   /// models keep the scorer they were published with.
-  void set_serve_dtype(nn::Dtype dtype) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void set_serve_dtype(nn::Dtype dtype) TARGAD_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     serve_dtype_ = dtype;
   }
-  nn::Dtype serve_dtype() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  nn::Dtype serve_dtype() const TARGAD_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return serve_dtype_;
   }
 
@@ -106,7 +107,7 @@ class ModelRegistry {
   /// Removes `name`; outstanding snapshots stay valid. NotFound if absent.
   [[nodiscard]] Status Remove(const std::string& name);
 
-  size_t size() const;
+  size_t size() const TARGAD_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -121,10 +122,14 @@ class ModelRegistry {
     std::filesystem::file_time_type mtime{};
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> models_;
-  std::vector<std::string> watched_dirs_;
-  nn::Dtype serve_dtype_ = nn::Dtype::kFloat64;
+  /// Shared lookup behind Get/GetScorer/Info; nullptr when `name` is not
+  /// registered. The pointer is only valid while mu_ stays held.
+  const Entry* FindLocked(const std::string& name) const TARGAD_REQUIRES(mu_);
+
+  mutable RankedMutex mu_{LockRank::kModelRegistry};
+  std::map<std::string, Entry> models_ TARGAD_GUARDED_BY(mu_);
+  std::vector<std::string> watched_dirs_ TARGAD_GUARDED_BY(mu_);
+  nn::Dtype serve_dtype_ TARGAD_GUARDED_BY(mu_) = nn::Dtype::kFloat64;
 };
 
 }  // namespace serve

@@ -1,4 +1,6 @@
 #include <cmath>
+#include <cstdio>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -38,6 +40,25 @@ TEST(LoggingDeathTest, CheckOkAbortsOnError) {
 
 TEST(LoggingTest, CheckOkPassesOnOk) {
   TARGAD_CHECK_OK(Status::OK());  // Must not abort.
+}
+
+TEST(LoggingTest, SetLogSinkRedirectsAndRestores) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  FILE* capture = std::tmpfile();
+  ASSERT_NE(capture, nullptr);
+  FILE* previous = SetLogSink(capture);
+  EXPECT_EQ(previous, nullptr);  // Default sink is the stderr fallback.
+  TARGAD_LOG(Info) << "captured line";
+  EXPECT_EQ(SetLogSink(nullptr), capture);  // Restore, returning ours.
+  SetLogLevel(original);
+
+  std::rewind(capture);
+  char buf[256] = {0};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, capture);
+  std::fclose(capture);
+  EXPECT_GT(n, 0u);
+  EXPECT_NE(std::string(buf, n).find("captured line"), std::string::npos);
 }
 
 TEST(InitTest, HeUniformBoundsAndSpread) {

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Clang thread-safety enforcement check, in two halves:
+#
+#   positive — every annotated translation unit in src/common and src/serve
+#              must come through `clang++ -Wthread-safety -Werror` clean
+#              (this is what the Clang CI job enforces on the full build);
+#   negative — an unguarded access to a TARGAD_GUARDED_BY field, and a
+#              missing-lock call to a TARGAD_REQUIRES method, must each be a
+#              COMPILE ERROR. Without the negative half, a silently inert
+#              macro set (e.g. a broken __clang__ gate) would pass.
+#
+# The analysis is Clang-only; GCC compiles the annotation macros to nothing.
+# When no clang++ is on PATH (override with TARGAD_CLANG_CXX) the test
+# prints SKIPPED and exits 0 — ctest maps that to a skip, and the Clang CI
+# job is the environment where this must actually run.
+#
+# Usage: thread_safety_compile_test.sh <src-dir>
+set -u
+
+SRC="$1"
+
+CLANG="${TARGAD_CLANG_CXX:-}"
+if [ -z "$CLANG" ]; then
+  for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                   clang++-16 clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANG="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANG" ] || ! command -v "$CLANG" >/dev/null 2>&1; then
+  echo "thread_safety_compile_test SKIPPED: no clang++ found" \
+       "(set TARGAD_CLANG_CXX to override)"
+  exit 0
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $1"; exit 1; }
+
+compile() {  # compile <file>; echoes compiler exit status
+  "$CLANG" -std=c++20 -Wall -Wextra -Wthread-safety -Werror -fsyntax-only \
+    -I "$SRC" "$1" >"$WORK/out.txt" 2>&1
+  echo $?
+}
+
+# Positive: the annotated concurrency surface must be analysis-clean.
+for tu in "$SRC"/common/lock_rank.cc "$SRC"/common/logging.cc \
+          "$SRC"/common/thread_pool.cc "$SRC"/serve/metrics.cc \
+          "$SRC"/serve/model_registry.cc "$SRC"/serve/batch_scorer.cc; do
+  [ "$(compile "$tu")" -eq 0 ] \
+    || fail "$tu does not pass -Wthread-safety -Werror: $(cat "$WORK/out.txt")"
+done
+
+# Negative: reading a guarded field without the mutex must not compile.
+cat > "$WORK/unguarded_read.cc" <<'EOF'
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+class Counter {
+ public:
+  int Read() { return value_; }  // No lock held: analysis must reject.
+ private:
+  targad::RankedMutex mu_{targad::LockRank::kThreadPool};
+  int value_ TARGAD_GUARDED_BY(mu_) = 0;
+};
+int Use() { Counter c; return c.Read(); }
+EOF
+[ "$(compile "$WORK/unguarded_read.cc")" -ne 0 ] \
+  || fail "unguarded read of a TARGAD_GUARDED_BY field compiled"
+grep -q "thread-safety" "$WORK/out.txt" \
+  || fail "unguarded read rejected for the wrong reason: $(cat "$WORK/out.txt")"
+
+# Negative: writing a guarded field after MutexLock::unlock() must not
+# compile — the scoped-capability release annotation must be visible.
+cat > "$WORK/write_after_unlock.cc" <<'EOF'
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+class Counter {
+ public:
+  void Bump() {
+    targad::MutexLock lock(&mu_);
+    lock.unlock();
+    ++value_;  // Lock already released: analysis must reject.
+  }
+ private:
+  targad::RankedMutex mu_{targad::LockRank::kThreadPool};
+  int value_ TARGAD_GUARDED_BY(mu_) = 0;
+};
+EOF
+[ "$(compile "$WORK/write_after_unlock.cc")" -ne 0 ] \
+  || fail "guarded write after MutexLock::unlock() compiled"
+
+# Negative: calling a TARGAD_REQUIRES method without the mutex must not
+# compile.
+cat > "$WORK/requires_unlocked.cc" <<'EOF'
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+class Table {
+ public:
+  void Clear() { ClearLocked(); }  // Caller holds nothing: must reject.
+ private:
+  void ClearLocked() TARGAD_REQUIRES(mu_) { size_ = 0; }
+  targad::RankedMutex mu_{targad::LockRank::kModelRegistry};
+  int size_ TARGAD_GUARDED_BY(mu_) = 0;
+};
+EOF
+[ "$(compile "$WORK/requires_unlocked.cc")" -ne 0 ] \
+  || fail "TARGAD_REQUIRES method call without the mutex compiled"
+
+# Control: the same shapes WITH the lock held must compile — otherwise the
+# failures above prove nothing about the analysis (they could be any error).
+cat > "$WORK/guarded_ok.cc" <<'EOF'
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+class Counter {
+ public:
+  int Read() TARGAD_EXCLUDES(mu_) {
+    targad::MutexLock lock(&mu_);
+    return value_;
+  }
+  void Clear() TARGAD_EXCLUDES(mu_) {
+    targad::MutexLock lock(&mu_);
+    ClearLocked();
+  }
+ private:
+  void ClearLocked() TARGAD_REQUIRES(mu_) { value_ = 0; }
+  targad::RankedMutex mu_{targad::LockRank::kThreadPool};
+  int value_ TARGAD_GUARDED_BY(mu_) = 0;
+};
+EOF
+[ "$(compile "$WORK/guarded_ok.cc")" -eq 0 ] \
+  || fail "locked access under MutexLock does not compile: $(cat "$WORK/out.txt")"
+
+echo "thread_safety_compile_test PASSED (compiler: $CLANG)"
+exit 0

@@ -16,6 +16,22 @@
 //                          applying it to a Result<T>-returning call (or a
 //                          ValueOrDie() value) swallows or miscasts the
 //                          error.
+//   mutex-guarded-by       in a header, every member field declared after a
+//                          mutex member (RankedMutex / std::mutex) must
+//                          carry TARGAD_GUARDED_BY — the project convention
+//                          is mutex first, guarded fields below it, and
+//                          unguarded (ctor-immutable / externally
+//                          serialized) fields above it. Condition
+//                          variables, atomics, other mutexes, and
+//                          static/constexpr/const declarations are exempt.
+//   raw-mutex-lock         no .lock()/.unlock()/.try_lock() calls on a
+//                          mutex-named receiver (…mu_, …_mu, …mutex…) —
+//                          locking goes through RAII guards (MutexLock),
+//                          which Clang's thread-safety analysis can track.
+//   lock-rank-table        the TARGAD_LOCK_RANK_TABLE entries must have
+//                          unique names and unique integer ranks (unique
+//                          ranks are a total order, so the acquire-
+//                          ascending policy is acyclic by construction).
 //
 // Escape hatch: a `// targad-lint: allow(<rule>[,<rule>...])` comment on
 // the offending line or the line directly above suppresses those rules for
@@ -36,6 +52,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -256,7 +273,11 @@ class Linter {
       }
 
       CheckReturnNotOk(rel, ln, line, raw_lines);
+      CheckRawMutexLock(rel, ln, line, raw_lines);
     }
+
+    if (is_header) CheckMutexGuardedBy(rel, clean_lines, raw_lines);
+    CheckLockRankTable(rel, clean_lines, raw_lines);
   }
 
   const std::vector<Finding>& findings() const { return findings_; }
@@ -365,6 +386,201 @@ class Linter {
                    "(); use TARGAD_ASSIGN_OR_RETURN");
         return;
       }
+    }
+  }
+
+  // True when `name` reads as a mutex: `mu`, a `mu_`/`_mu` prefix/suffix
+  // convention, or "mutex" anywhere (case-insensitive).
+  static bool LooksLikeMutexName(const std::string& name) {
+    if (name == "mu" || name == "mu_") return true;
+    auto ends_with = [&](const char* suffix) {
+      const size_t n = std::strlen(suffix);
+      return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+    };
+    if (ends_with("mu_") || ends_with("_mu")) return true;
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+      return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    });
+    return lower.find("mutex") != std::string::npos;
+  }
+
+  // raw-mutex-lock: .lock()/.unlock()/.try_lock() spelled directly on a
+  // mutex-named receiver. RAII guards (MutexLock) are the only blessed way
+  // to lock — they are what Clang's thread-safety analysis can follow, and
+  // what the rank checker instruments. Calls on non-mutex receivers (e.g. a
+  // MutexLock named `lock`) are fine.
+  void CheckRawMutexLock(const std::string& rel, int ln,
+                         const std::string& line,
+                         const std::vector<std::string>& raw_lines) {
+    for (const char* method : {"lock", "unlock", "try_lock"}) {
+      size_t pos = FindWord(line, method);
+      while (pos != std::string::npos) {
+        if (IsCallAt(line, pos, method)) {
+          size_t recv_end = std::string::npos;
+          if (pos >= 1 && line[pos - 1] == '.') {
+            recv_end = pos - 1;
+          } else if (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>') {
+            recv_end = pos - 2;
+          }
+          if (recv_end != std::string::npos) {
+            size_t recv_begin = recv_end;
+            while (recv_begin > 0 && IsWordChar(line[recv_begin - 1])) {
+              --recv_begin;
+            }
+            const std::string recv =
+                line.substr(recv_begin, recv_end - recv_begin);
+            if (!recv.empty() && LooksLikeMutexName(recv)) {
+              Report(rel, ln, raw_lines, "raw-mutex-lock",
+                     recv + "." + method +
+                         "() bypasses RAII locking; hold mutexes via "
+                         "MutexLock (common/lock_rank.h)");
+            }
+          }
+        }
+        pos = FindWord(line, method, pos + 1);
+      }
+    }
+  }
+
+  // mutex-guarded-by: inside a class body, every member field declared
+  // BELOW a mutex member must carry TARGAD_GUARDED_BY. The project
+  // convention is: mutex first, its guarded fields directly below it;
+  // unguarded fields (ctor-immutable configuration, externally serialized
+  // state) go ABOVE the mutex. Exempt: condition variables (waiting is not
+  // guarded state), atomics (their own synchronization), other mutexes,
+  // and static/constexpr/const/using/typedef/friend declarations.
+  void CheckMutexGuardedBy(const std::string& rel,
+                           const std::vector<std::string>& clean_lines,
+                           const std::vector<std::string>& raw_lines) {
+    bool in_mutex_scope = false;
+    for (size_t i = 0; i < clean_lines.size(); ++i) {
+      const std::string& line = clean_lines[i];
+      const size_t first = line.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      if (line.compare(first, 2, "};") == 0) {
+        in_mutex_scope = false;  // End of the (possibly nested) class body.
+        continue;
+      }
+      const size_t last = line.find_last_not_of(" \t");
+      const bool is_mutex_decl =
+          (FindWord(line, "RankedMutex") != std::string::npos ||
+           line.find("std::mutex") != std::string::npos) &&
+          line.find('*') == std::string::npos &&
+          line.find('&') == std::string::npos &&
+          line.find('(') == std::string::npos &&
+          last != std::string::npos && line[last] == ';';
+      if (is_mutex_decl) {
+        in_mutex_scope = true;
+        continue;
+      }
+      if (!in_mutex_scope) continue;
+      if (line.find("TARGAD_GUARDED_BY") != std::string::npos ||
+          line.find("TARGAD_PT_GUARDED_BY") != std::string::npos ||
+          line.find("condition_variable") != std::string::npos ||
+          line.find("std::atomic") != std::string::npos ||
+          FindWord(line, "static") != std::string::npos ||
+          FindWord(line, "constexpr") != std::string::npos ||
+          FindWord(line, "using") != std::string::npos ||
+          FindWord(line, "typedef") != std::string::npos ||
+          FindWord(line, "friend") != std::string::npos ||
+          line.compare(first, 6, "const ") == 0) {
+        continue;
+      }
+      const std::string field = FieldNameIfDecl(line);
+      if (!field.empty()) {
+        Report(rel, static_cast<int>(i) + 1, raw_lines, "mutex-guarded-by",
+               "member `" + field +
+                   "` is declared below a mutex but lacks "
+                   "TARGAD_GUARDED_BY; unguarded fields go above the mutex");
+      }
+    }
+  }
+
+  // Returns the member field a line declares — an identifier ending in `_`
+  // whose next non-space character is `;`, `=`, or `{` — or "" when the
+  // line does not read as a field declaration. Method declarations never
+  // match: method names do not end in `_`, and a trailing annotation
+  // argument like EXCLUDES(mu_) leaves `mu_` followed by `)`.
+  static std::string FieldNameIfDecl(const std::string& line) {
+    for (size_t i = 0; i < line.size();) {
+      if (!IsWordChar(line[i])) {
+        ++i;
+        continue;
+      }
+      size_t end = i;
+      while (end < line.size() && IsWordChar(line[end])) ++end;
+      if (line[end - 1] == '_') {
+        size_t k = end;
+        while (k < line.size() && line[k] == ' ') ++k;
+        if (k < line.size() &&
+            (line[k] == ';' || line[k] == '=' || line[k] == '{')) {
+          return line.substr(i, end - i);
+        }
+      }
+      i = end;
+    }
+    return std::string();
+  }
+
+  // lock-rank-table: parses every `#define TARGAD_LOCK_RANK_TABLE` X-macro
+  // body and reports duplicate lock names and duplicate integer ranks.
+  // Unique integer ranks form a total order, which makes the runtime
+  // acquire-ascending policy acyclic by construction — a duplicate rank
+  // would let two locks be taken in either order without detection.
+  void CheckLockRankTable(const std::string& rel,
+                          const std::vector<std::string>& clean_lines,
+                          const std::vector<std::string>& raw_lines) {
+    for (size_t i = 0; i < clean_lines.size(); ++i) {
+      if (clean_lines[i].find("#define") == std::string::npos ||
+          clean_lines[i].find("TARGAD_LOCK_RANK_TABLE") == std::string::npos) {
+        continue;
+      }
+      std::map<std::string, int> name_line;       // entry name -> first line
+      std::map<long, std::string> rank_owner;     // rank value -> first name
+      size_t j = i;
+      bool continued = true;
+      while (j < clean_lines.size() && continued) {
+        const std::string& l = clean_lines[j];
+        const size_t last = l.find_last_not_of(" \t");
+        continued = last != std::string::npos && l[last] == '\\';
+        const int ln = static_cast<int>(j) + 1;
+        size_t p = 0;
+        while ((p = FindWord(l, "X", p)) != std::string::npos) {
+          const size_t open = p + 1;
+          ++p;
+          if (open >= l.size() || l[open] != '(') continue;
+          size_t k = l.find_first_not_of(' ', open + 1);
+          if (k == std::string::npos || !IsWordChar(l[k])) continue;
+          size_t name_end = k;
+          while (name_end < l.size() && IsWordChar(l[name_end])) ++name_end;
+          const std::string name = l.substr(k, name_end - k);
+          size_t v = l.find_first_not_of(" ,", name_end);
+          if (v == std::string::npos) continue;
+          size_t v_end = v;
+          if (v_end < l.size() && l[v_end] == '-') ++v_end;
+          while (v_end < l.size() &&
+                 std::isdigit(static_cast<unsigned char>(l[v_end]))) {
+            ++v_end;
+          }
+          if (v_end == v || v_end >= l.size() || l[v_end] != ')') continue;
+          const long value = std::stol(l.substr(v, v_end - v));
+          if (!name_line.emplace(name, ln).second) {
+            Report(rel, ln, raw_lines, "lock-rank-table",
+                   "duplicate lock-rank entry `" + name + "`");
+          }
+          const auto [owner, inserted] = rank_owner.emplace(value, name);
+          if (!inserted && owner->second != name) {
+            Report(rel, ln, raw_lines, "lock-rank-table",
+                   "rank " + std::to_string(value) + " assigned to both `" +
+                       owner->second + "` and `" + name +
+                       "`; ranks must be unique (a total order is what "
+                       "makes acquire-ascending deadlock-free)");
+          }
+        }
+        ++j;
+      }
+      i = j - 1;
     }
   }
 
@@ -507,6 +723,52 @@ int RunSelfTest() {
        "int g() {\n"
        "  return rand();  // targad-lint: allow(banned-io)\n}\n",
        {{"banned-rand", 2}}},
+      // mutex-guarded-by: `depth_` sits below the mutex without an
+      // annotation (line 8). Everything around it is exempt: fields above
+      // the mutex, condition variables, annotated fields, statics,
+      // atomics, and an allow()ed line. The `};` closes the scope, so the
+      // trailing `after_` is clean.
+      {"sub/guarded.h",
+       "#ifndef TARGAD_SUB_GUARDED_H_\n"
+       "#define TARGAD_SUB_GUARDED_H_\n"
+       "class Pool {\n"
+       " private:\n"
+       "  const int capacity_ = 4;\n"
+       "  mutable RankedMutex mu_{LockRank::kThreadPool};\n"
+       "  std::condition_variable_any cv_;\n"
+       "  int depth_ = 0;\n"
+       "  int safe_ TARGAD_GUARDED_BY(mu_) = 0;\n"
+       "  static int counter_;\n"
+       "  std::atomic<int> hits_{0};\n"
+       "  int waived_;  // targad-lint: allow(mutex-guarded-by)\n"
+       "};\n"
+       "int after_ = 0;\n"
+       "#endif\n",
+       {{"mutex-guarded-by", 8}}},
+      // raw-mutex-lock: direct lock calls on mutex-named receivers (member
+      // access or pointer) are flagged; the same calls on a MutexLock
+      // guard named `lock` are the blessed manual-window form, and the
+      // escape hatch still works.
+      {"sub/rawlock.cc",
+       "void f() {\n"
+       "  mu_.lock();\n"
+       "  mu_.unlock();\n"
+       "  if (g_mutex->try_lock()) return;\n"
+       "  lock.unlock();\n"
+       "  swap_mu_.lock();  // targad-lint: allow(raw-mutex-lock)\n"
+       "}\n",
+       {{"raw-mutex-lock", 2},
+        {"raw-mutex-lock", 3},
+        {"raw-mutex-lock", 4}}},
+      // lock-rank-table: kB reuses rank 10 (line 3), kA is declared twice
+      // (line 4); kC is a fresh name with a fresh rank and stays clean.
+      {"sub/ranks.cc",
+       "#define TARGAD_LOCK_RANK_TABLE(X) \\\n"
+       "  X(kA, 10)                       \\\n"
+       "  X(kB, 10)                       \\\n"
+       "  X(kA, 20)                       \\\n"
+       "  X(kC, 30)\n",
+       {{"lock-rank-table", 3}, {"lock-rank-table", 4}}},
       // Comments and strings never trip rules; snprintf is not printf; a
       // legitimate TARGAD_RETURN_NOT_OK on a Status call is clean, as are
       // the `.status()` adapter and an ambiguous Status/Result overload set.
