@@ -23,6 +23,7 @@
 #include "core/frozen_scorer.h"
 #include "core/pipeline.h"
 #include "nn/frozen.h"
+#include "nn/kernels/kernels.h"
 #include "serve/batch_scorer.h"
 #include "serve/metrics.h"
 
@@ -139,8 +140,14 @@ int main() {
       std::pair<const char*, std::shared_ptr<const core::RowScorer>>>
       dtypes = {{"float64", pipeline}, {"float32", frozen32}};
 
+  const nn::kernels::TilingConfig& tiling = nn::kernels::Tiling();
   std::printf("serve throughput — %zu rows per cell, 4 client threads\n",
               n_rows);
+  std::printf(
+      "kernel backend: %s, tiling: threads=%zu min_flops=%zu "
+      "min_rows_per_tile=%zu\n",
+      nn::kernels::BackendName(), tiling.threads, tiling.min_flops,
+      tiling.min_rows_per_tile);
   std::printf("%8s %8s %6s %12s %11s %9s\n", "dtype", "workers", "batch",
               "rows/sec", "mean_batch", "p95_us");
 
@@ -169,7 +176,12 @@ int main() {
   std::ofstream json("serve_throughput.json");
   json << "{\n  \"bench\": \"serve_throughput\",\n"
        << "  \"scale\": " << FormatDouble(scale, 3) << ",\n"
-       << "  \"rows_per_cell\": " << n_rows << ",\n  \"results\": [\n";
+       << "  \"rows_per_cell\": " << n_rows << ",\n"
+       << "  \"kernel_backend\": \"" << nn::kernels::BackendName() << "\",\n"
+       << "  \"kernel_tiling\": {\"threads\": " << tiling.threads
+       << ", \"min_flops\": " << tiling.min_flops
+       << ", \"min_rows_per_tile\": " << tiling.min_rows_per_tile << "},\n"
+       << "  \"results\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const CellResult& r = results[i];
     json << "    {\"dtype\": \"" << r.dtype << "\", \"workers\": " << r.workers

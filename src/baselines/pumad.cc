@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/kernels/kernels.h"
 
 namespace targad {
 namespace baselines {
@@ -30,6 +31,8 @@ std::vector<uint64_t> Pumad::HashRows(const nn::Matrix& x) const {
     for (size_t b = 0; b < config_.hash_bits; ++b) {
       const double* h = hyperplanes_.RowPtr(b);
       double dot = h[x.cols()];  // Offset term.
+      // Seeded offset-first accumulation decides hash bits near zero; a
+      // kernel dot would reassociate. targad-lint: allow(raw-dense-loop)
       for (size_t j = 0; j < x.cols(); ++j) dot += h[j] * row[j];
       if (dot >= 0.0) code |= (1ULL << b);
     }
@@ -119,11 +122,8 @@ Status Pumad::Fit(const data::TrainingSet& train) {
         const double* za = z.RowPtr(i);
         const double* zp = z.RowPtr(rows + i);
         const double* zn = z.RowPtr(2 * rows + i);
-        double d_ap = 0.0, d_an = 0.0;
-        for (size_t j = 0; j < e_dim; ++j) {
-          d_ap += (za[j] - zp[j]) * (za[j] - zp[j]);
-          d_an += (za[j] - zn[j]) * (za[j] - zn[j]);
-        }
+        const double d_ap = nn::kernels::SquaredDistance(e_dim, za, zp);
+        const double d_an = nn::kernels::SquaredDistance(e_dim, za, zn);
         if (config_.margin + d_ap - d_an > 0.0) {
           double* ga = grad.RowPtr(i);
           double* gp = grad.RowPtr(rows + i);
@@ -166,11 +166,10 @@ std::vector<double> Pumad::Score(const nn::Matrix& x) {
   std::vector<double> scores(x.rows(), 0.0);
   for (size_t i = 0; i < x.rows(); ++i) {
     const double* zi = z.RowPtr(i);
-    double d_pos = 0.0, d_neg = 0.0;
-    for (size_t j = 0; j < z.cols(); ++j) {
-      d_pos += (zi[j] - pos_prototype_[j]) * (zi[j] - pos_prototype_[j]);
-      d_neg += (zi[j] - neg_prototype_[j]) * (zi[j] - neg_prototype_[j]);
-    }
+    const double d_pos =
+        nn::kernels::SquaredDistance(z.cols(), zi, pos_prototype_.data());
+    const double d_neg =
+        nn::kernels::SquaredDistance(z.cols(), zi, neg_prototype_.data());
     scores[i] = std::sqrt(d_neg) - std::sqrt(d_pos);
   }
   return scores;

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "nn/kernels/kernels.h"
 
 namespace targad {
 namespace baselines {
@@ -107,11 +108,8 @@ Status Repen::Fit(const data::TrainingSet& train) {
         const double* za = z.RowPtr(i);
         const double* zp = z.RowPtr(rows + i);
         const double* zo = z.RowPtr(2 * rows + i);
-        double d_ap = 0.0, d_ao = 0.0;
-        for (size_t j = 0; j < e_dim; ++j) {
-          d_ap += (za[j] - zp[j]) * (za[j] - zp[j]);
-          d_ao += (za[j] - zo[j]) * (za[j] - zo[j]);
-        }
+        const double d_ap = nn::kernels::SquaredDistance(e_dim, za, zp);
+        const double d_ao = nn::kernels::SquaredDistance(e_dim, za, zo);
         // hinge: max(0, margin + d(a,p) - d(a,o)).
         if (config_.margin + d_ap - d_ao > 0.0) {
           double* ga = grad.RowPtr(i);

@@ -6,39 +6,52 @@
 
 #include "cluster/kmeans.h"
 #include "common/logging.h"
+#include "nn/kernels/kernels.h"
 
 namespace targad {
 namespace cluster {
 
 namespace {
 
-// Log-density of row `i` of x under component `c` (diagonal Gaussian).
-double LogComponentDensity(const nn::Matrix& x, size_t i, const GmmResult& model,
-                           size_t c) {
-  const size_t d = x.cols();
-  const double* row = x.RowPtr(i);
-  const double* mean = model.means.RowPtr(c);
-  const double* var = model.variances.RowPtr(c);
-  double acc = -0.5 * static_cast<double>(d) * std::log(2.0 * std::numbers::pi);
-  for (size_t j = 0; j < d; ++j) {
-    const double diff = row[j] - mean[j];
-    acc += -0.5 * std::log(var[j]) - 0.5 * diff * diff / var[j];
-  }
-  return acc;
-}
-
 // Fills `log_resp` (n x k) with log responsibilities; returns the mean
 // log-likelihood.
+//
+// The diagonal-Gaussian log density factors as
+//   log N(x | mu_c, var_c) = log_norm_c - 0.5 * sum_j (x_j - mu_cj)^2 / var_cj
+// with log_norm_c = -d/2 log(2 pi) - 1/2 sum_j log var_cj depending only on
+// the component. Hoisting log_norm_c (plus the log-prior) out of the row loop
+// turns the per-row work into a weighted squared distance, which runs as one
+// batched kernel call shared with the k-means assignment path.
 double EStep(const nn::Matrix& x, const GmmResult& model, nn::Matrix* log_resp) {
   const size_t n = x.rows();
-  const auto k = model.means.rows();
+  const size_t d = x.cols();
+  const size_t k = model.means.rows();
+  std::vector<double> log_norm(k);
+  nn::Matrix inv_var(k, d);
+  for (size_t c = 0; c < k; ++c) {
+    const double* var = model.variances.RowPtr(c);
+    double* iv = inv_var.RowPtr(c);
+    double log_det = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      log_det += std::log(var[j]);
+      iv[j] = 1.0 / var[j];
+    }
+    log_norm[c] =
+        std::log(std::max(model.weights[c], 1e-300)) -
+        0.5 * static_cast<double>(d) * std::log(2.0 * std::numbers::pi) -
+        0.5 * log_det;
+  }
+  std::vector<double> wdist(n * k);
+  nn::kernels::SquaredDistances(n, d, k, x.data().data(),
+                                model.means.data().data(),
+                                inv_var.data().data(), wdist.data());
   double total = 0.0;
   for (size_t i = 0; i < n; ++i) {
     double* lr = log_resp->RowPtr(i);
+    const double* wd = wdist.data() + i * k;
     double row_max = -1e300;
     for (size_t c = 0; c < k; ++c) {
-      lr[c] = std::log(std::max(model.weights[c], 1e-300)) +
-              LogComponentDensity(x, i, model, c);
+      lr[c] = log_norm[c] - 0.5 * wd[c];
       row_max = std::max(row_max, lr[c]);
     }
     double denom = 0.0;
@@ -82,7 +95,8 @@ Result<GmmResult> FitGmm(const nn::Matrix& x, const GmmConfig& config) {
       double* var = model.variances.RowPtr(c);
       const double* mean = model.means.RowPtr(c);
       for (size_t j = 0; j < d; ++j) {
-        var[j] += (row[j] - mean[j]) * (row[j] - mean[j]);
+        const double diff = row[j] - mean[j];
+        var[j] += diff * diff;
       }
     }
     for (size_t c = 0; c < k; ++c) {
@@ -113,8 +127,7 @@ Result<GmmResult> FitGmm(const nn::Matrix& x, const GmmConfig& config) {
       for (size_t i = 0; i < n; ++i) {
         const double r = std::exp(log_resp.At(i, c));
         resp_sum += r;
-        const double* row = x.RowPtr(i);
-        for (size_t j = 0; j < d; ++j) mean[j] += r * row[j];
+        nn::kernels::Axpy(d, r, x.RowPtr(i), mean.data());
       }
       resp_sum = std::max(resp_sum, 1e-12);
       for (size_t j = 0; j < d; ++j) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "nn/kernels/kernels.h"
 
 namespace targad {
 namespace cluster {
@@ -14,6 +15,31 @@ namespace {
 double SquaredDistanceToRow(const nn::Matrix& x, size_t row,
                             const nn::Matrix& centers, size_t center) {
   return x.RowSquaredDistance(row, centers, center);
+}
+
+// Batch x-to-center distances through the shared kernel, then argmin per row
+// at the call site (strict less, ascending c — ties break to the lowest
+// index, as the original per-pair loop did).
+std::vector<int> NearestCenters(const nn::Matrix& x, const nn::Matrix& centers,
+                                std::vector<double>* dists) {
+  const size_t n = x.rows();
+  const size_t k = centers.rows();
+  dists->resize(n * k);
+  nn::kernels::SquaredDistances(n, x.cols(), k, x.data().data(),
+                                centers.data().data(), /*weights=*/nullptr,
+                                dists->data());
+  std::vector<int> assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = dists->data() + i * k;
+    double best = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < k; ++c) {
+      if (row[c] < best) {
+        best = row[c];
+        assign[i] = static_cast<int>(c);
+      }
+    }
+  }
+  return assign;
 }
 
 // k-means++ seeding: first center uniform, then proportional to squared
@@ -62,18 +88,8 @@ std::vector<std::vector<size_t>> KMeansResult::ClusterIndices() const {
 }
 
 std::vector<int> AssignToCenters(const nn::Matrix& x, const nn::Matrix& centers) {
-  std::vector<int> assign(x.rows(), 0);
-  for (size_t i = 0; i < x.rows(); ++i) {
-    double best = std::numeric_limits<double>::max();
-    for (size_t c = 0; c < centers.rows(); ++c) {
-      const double d = x.RowSquaredDistance(i, centers, c);
-      if (d < best) {
-        best = d;
-        assign[i] = static_cast<int>(c);
-      }
-    }
-  }
-  return assign;
+  std::vector<double> dists;
+  return NearestCenters(x, centers, &dists);
 }
 
 Result<KMeansResult> KMeans(const nn::Matrix& x, const KMeansConfig& config) {
@@ -91,22 +107,15 @@ Result<KMeansResult> KMeans(const nn::Matrix& x, const KMeansConfig& config) {
   const size_t d = x.cols();
 
   result.assignments.assign(n, -1);
+  std::vector<double> dists;
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
+    // Assignment step (batched through the kernel layer).
     bool changed = false;
+    const std::vector<int> nearest = NearestCenters(x, result.centers, &dists);
     for (size_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::max();
-      int best_c = 0;
-      for (size_t c = 0; c < k; ++c) {
-        const double dist = x.RowSquaredDistance(i, result.centers, c);
-        if (dist < best) {
-          best = dist;
-          best_c = static_cast<int>(c);
-        }
-      }
-      if (result.assignments[i] != best_c) {
-        result.assignments[i] = best_c;
+      if (result.assignments[i] != nearest[i]) {
+        result.assignments[i] = nearest[i];
         changed = true;
       }
     }
@@ -116,9 +125,7 @@ Result<KMeansResult> KMeans(const nn::Matrix& x, const KMeansConfig& config) {
     std::vector<size_t> counts(k, 0);
     for (size_t i = 0; i < n; ++i) {
       const auto c = static_cast<size_t>(result.assignments[i]);
-      const double* row = x.RowPtr(i);
-      double* ctr = new_centers.RowPtr(c);
-      for (size_t j = 0; j < d; ++j) ctr[j] += row[j];
+      nn::kernels::Axpy(d, 1.0, x.RowPtr(i), new_centers.RowPtr(c));
       counts[c]++;
     }
     for (size_t c = 0; c < k; ++c) {

@@ -142,6 +142,16 @@ Result<std::vector<double>> FrozenScorer::ScoreTyped(
 Result<std::vector<double>> FrozenScorer::Score(
     const data::RawTable& table) const {
   const int label_col = FindColumn(table, spec_.label_column);
+  if (label_col < 0) {
+    // The serving common case: no label column present, nothing to drop —
+    // score the caller's table directly instead of deep-copying every cell.
+    if (table.column_names != spec_.feature_columns) {
+      return Status::InvalidArgument(
+          "frozen scorer: feature columns differ from the training schema");
+    }
+    return std::visit(
+        [&](const auto& model) { return ScoreTyped(model, table); }, model_);
+  }
   const data::RawTable features = DropColumn(table, label_col);
   if (features.column_names != spec_.feature_columns) {
     return Status::InvalidArgument(

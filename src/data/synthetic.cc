@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/kernels/kernels.h"
 
 namespace targad {
 namespace data {
@@ -105,9 +106,8 @@ Result<SyntheticWorld> SyntheticWorld::Make(const SyntheticWorldConfig& config) 
   for (int c = 0; c < num_anomaly_classes; ++c) {
     std::vector<double> v = RandomUnitVector(q, &rng);
     for (const auto& prev : class_dirs) {
-      double dot = 0.0;
-      for (size_t d = 0; d < q; ++d) dot += v[d] * prev[d];
-      for (size_t d = 0; d < q; ++d) v[d] -= dot * prev[d];
+      const double dot = nn::kernels::Dot(q, v.data(), prev.data());
+      nn::kernels::Axpy(q, -dot, prev.data(), v.data());
     }
     double norm = 0.0;
     for (double x : v) norm += x * x;
@@ -199,20 +199,16 @@ Result<SyntheticWorld> SyntheticWorld::Make(const SyntheticWorldConfig& config) 
         config.num_target_classes + c)];
     // Direction of the paired target class relative to the population mean.
     std::vector<double> t_dir(q);
-    double t_norm = 0.0;
-    for (size_t d = 0; d < q; ++d) {
-      t_dir[d] = t_mean[d] - global_mean[d];
-      t_norm += t_dir[d] * t_dir[d];
-    }
+    for (size_t d = 0; d < q; ++d) t_dir[d] = t_mean[d] - global_mean[d];
+    double t_norm = nn::kernels::Dot(q, t_dir.data(), t_dir.data());
     t_norm = std::sqrt(std::max(t_norm, 1e-12));
     const double aff = config.nontarget_target_affinity;
     const double w_own = std::sqrt(std::max(0.0, 1.0 - aff * aff));
     std::vector<double> dir(q);
-    double norm = 0.0;
     for (size_t d = 0; d < q; ++d) {
       dir[d] = aff * t_dir[d] / t_norm + w_own * own_dir[d];
-      norm += dir[d] * dir[d];
     }
+    double norm = nn::kernels::Dot(q, dir.data(), dir.data());
     norm = std::sqrt(std::max(norm, 1e-12));
     std::vector<double> nt_mean(q);
     for (size_t d = 0; d < q; ++d) {
@@ -267,9 +263,9 @@ void SyntheticWorld::LatentToAmbient(const std::vector<double>& z,
   for (size_t j = 0; j < config_.ambient_dim; ++j) {
     double v;
     if (informative_[j]) {
-      double acc = ambient_bias_[j];
       const std::vector<double>& w = ambient_weights_[j];
-      for (size_t d = 0; d < z.size(); ++d) acc += w[d] * z[d];
+      const double acc =
+          ambient_bias_[j] + nn::kernels::Dot(z.size(), w.data(), z.data());
       v = Logistic(acc);
     } else {
       v = rng->Uniform();  // Distractor column.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "nn/kernels/kernels.h"
 
 namespace targad {
 namespace nn {
@@ -28,39 +29,17 @@ Result<Dtype> ParseDtype(const std::string& text) {
 
 namespace {
 
-// Element-wise activation matching the layer's Infer arithmetic exactly
-// (same comparisons, same expression shapes) so a double frozen step is
-// bit-identical to Layer::Infer.
-template <typename T>
-void ApplyActivation(Activation act, T leaky_slope, MatrixT<T>* m) {
+// The kernel layer keeps its Act enum free of layer-stack dependencies;
+// the two enums mirror each other member for member.
+kernels::Act ToKernelAct(Activation act) {
   switch (act) {
-    case Activation::kNone:
-      return;
-    case Activation::kReLU:
-      for (T& v : m->data()) {
-        if (v <= T(0)) v = T(0);
-      }
-      return;
-    case Activation::kLeakyReLU:
-      for (T& v : m->data()) {
-        if (v < T(0)) v *= leaky_slope;
-      }
-      return;
-    case Activation::kSigmoid:
-      for (T& v : m->data()) {
-        // Numerically stable split (matches Sigmoid::Infer).
-        if (v >= T(0)) {
-          v = T(1) / (T(1) + std::exp(-v));
-        } else {
-          const T e = std::exp(v);
-          v = e / (T(1) + e);
-        }
-      }
-      return;
-    case Activation::kTanh:
-      for (T& v : m->data()) v = std::tanh(v);
-      return;
+    case Activation::kNone: return kernels::Act::kNone;
+    case Activation::kReLU: return kernels::Act::kReLU;
+    case Activation::kLeakyReLU: return kernels::Act::kLeakyReLU;
+    case Activation::kSigmoid: return kernels::Act::kSigmoid;
+    case Activation::kTanh: return kernels::Act::kTanh;
   }
+  return kernels::Act::kNone;
 }
 
 template <typename T>
@@ -124,11 +103,15 @@ MatrixT<T> FrozenNetT<T>::Infer(const MatrixT<T>& x) const {
   x.DebugCheckFinite("FrozenNet::Infer input");
   MatrixT<T> h = x;
   for (const FrozenStepT<T>& step : steps_) {
-    // Same arithmetic, in the same order, as Linear::Infer followed by the
-    // activation's Infer — the bit-identity contract for T = double.
-    MatrixT<T> y = h.MatMul(step.weight);
-    y.AddRowVectorInPlace(step.bias);
-    ApplyActivation(step.act, step.leaky_slope, &y);
+    // One fused pass per step: matmul + bias + activation while the output
+    // row is still in cache. The scalar kernel keeps the same arithmetic, in
+    // the same order, as Linear::Infer followed by the activation's Infer —
+    // the bit-identity contract for T = double.
+    MatrixT<T> y(h.rows(), step.weight.cols());
+    kernels::FusedAffineActivation(
+        h.rows(), step.weight.cols(), h.cols(), h.data().data(),
+        step.weight.data().data(), step.bias.data(), ToKernelAct(step.act),
+        step.leaky_slope, y.data().data());
     h = std::move(y);
   }
   h.DebugCheckFinite("FrozenNet::Infer output");

@@ -1,0 +1,511 @@
+#include "nn/kernels/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <latch>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "nn/kernels/kernels_internal.h"
+
+namespace targad {
+namespace nn {
+namespace kernels {
+
+namespace {
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+struct DispatchState {
+  Backend backend = Backend::kScalar;
+  const internal::FloatKernels* f32 = nullptr;  // Null in scalar mode.
+  TilingConfig tiling;
+};
+
+DispatchState MakeState() {
+  DispatchState state;
+  const internal::FloatKernels* avx2 = internal::Avx2FloatKernels();
+  const bool avx2_usable = avx2 != nullptr && CpuHasAvx2Fma();
+  const std::string choice = GetEnvString("TARGAD_KERNEL_BACKEND", "auto");
+  if (choice == "scalar") {
+    state.backend = Backend::kScalar;
+  } else if (choice == "avx2" || choice == "auto") {
+    if (choice == "avx2" && !avx2_usable) {
+      TARGAD_LOG(Warning)
+          << "TARGAD_KERNEL_BACKEND=avx2 requested but AVX2/FMA is "
+          << (avx2 == nullptr ? "not compiled into this build"
+                              : "not supported by this CPU")
+          << "; using the scalar backend";
+    }
+    state.backend = avx2_usable ? Backend::kAvx2 : Backend::kScalar;
+  } else {
+    TARGAD_LOG(Warning) << "unknown TARGAD_KERNEL_BACKEND '" << choice
+                         << "' (scalar|avx2); using auto selection";
+    state.backend = avx2_usable ? Backend::kAvx2 : Backend::kScalar;
+  }
+  if (state.backend == Backend::kAvx2) state.f32 = avx2;
+
+  const int threads = GetEnvInt("TARGAD_KERNEL_THREADS", 0);
+  state.tiling.threads =
+      threads > 0 ? static_cast<size_t>(threads)
+                  : std::max<size_t>(1, std::thread::hardware_concurrency());
+  const int min_flops = GetEnvInt("TARGAD_KERNEL_MIN_TILE_FLOPS", 0);
+  if (min_flops > 0) state.tiling.min_flops = static_cast<size_t>(min_flops);
+  return state;
+}
+
+// Selected once on first kernel use; the test hooks below mutate it from a
+// single thread before concurrent use (documented in kernels.h).
+DispatchState& State() {
+  static DispatchState state = MakeState();
+  return state;
+}
+
+// The tiling pool is created at the first call that actually tiles, sized
+// from the tiling config in force at that moment. Intentionally leaked:
+// destroying it from a static destructor would lock its mutex after the
+// main thread's thread_local lock-rank bookkeeping is already gone, and the
+// pool must outlive any late kernel call anyway. Still reachable from this
+// static, so leak checkers stay quiet.
+ThreadPool& Pool() {
+  static ThreadPool* pool = new ThreadPool(State().tiling.threads);
+  return *pool;
+}
+
+// Runs fn(begin, end) over [0, rows), fanning contiguous row chunks across
+// the pool when the call is large enough to pay for it. Each output row is
+// touched by exactly one thread, so accumulation order per element is the
+// same as the single-threaded run.
+void ParallelRows(size_t rows, size_t flops,
+                  const std::function<void(size_t, size_t)>& fn) {
+  const TilingConfig& tiling = State().tiling;
+  if (tiling.threads <= 1 || flops < tiling.min_flops ||
+      rows < 2 * tiling.min_rows_per_tile) {
+    fn(0, rows);
+    return;
+  }
+  const size_t chunks =
+      std::min(tiling.threads, rows / tiling.min_rows_per_tile);
+  const size_t base = rows / chunks;
+  const size_t extra = rows % chunks;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.reserve(chunks);
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t len = base + (c < extra ? 1 : 0);
+    ranges.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  std::latch done(static_cast<std::ptrdiff_t>(chunks - 1));
+  for (size_t c = 1; c < chunks; ++c) {
+    const auto [b, e] = ranges[c];
+    if (!Pool().TrySubmit([&fn, b, e, &done] {
+          fn(b, e);
+          done.count_down();
+        })) {
+      // Pool saturated or shutting down: run the chunk inline.
+      fn(b, e);
+      done.count_down();
+    }
+  }
+  fn(ranges[0].first, ranges[0].second);
+  done.wait();
+}
+
+// ---- Scalar baselines -----------------------------------------------------
+// These reproduce the pre-kernel-layer MatrixT loops exactly: same loop
+// order, same zero-skips, same expression shapes. They are the double
+// backend unconditionally (bit-determinism) and the float fallback.
+
+// C = A * B, rows [r0, r1). i-k-j order streams both operands row-major;
+// the zero-skip keeps ReLU-sparse activations cheap and matches the old
+// MatrixT::MatMul bit behaviour.
+// targad-lint: allow(raw-dense-loop) — this file IS the kernel layer.
+template <typename T>
+void GemmNnRange(size_t r0, size_t r1, size_t n, size_t k, const T* a,
+                 const T* b, T* c) {
+  for (size_t i = r0; i < r1; ++i) {
+    const T* a_row = a + i * k;
+    T* c_row = c + i * n;
+    std::fill(c_row, c_row + n, T(0));
+    for (size_t kk = 0; kk < k; ++kk) {
+      const T av = a_row[kk];
+      if (av == T(0)) continue;
+      const T* b_row = b + kk * n;
+      for (size_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// C(m x n) = A^T * B with A stored k x m and B stored k x n (k is the
+// shared dimension). Mirrors MatrixT::TransposeMatMul: shared dimension
+// outer (so per element, contributions accumulate in ascending shared
+// order), zero-skip on A.
+template <typename T>
+void GemmTaFull(size_t m, size_t n, size_t k, const T* a, const T* b, T* c) {
+  std::fill(c, c + m * n, T(0));
+  for (size_t i = 0; i < k; ++i) {
+    const T* a_row = a + i * m;
+    const T* b_row = b + i * n;
+    for (size_t kk = 0; kk < m; ++kk) {
+      const T av = a_row[kk];
+      if (av == T(0)) continue;
+      T* c_row = c + kk * n;
+      for (size_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// C = A * B^T. B is stored n x k, C is m x n; a straight dot product per
+// element, k ascending — MatrixT::MatMulTranspose.
+template <typename T>
+void GemmTbRange(size_t r0, size_t r1, size_t n, size_t k, const T* a,
+                 const T* b, T* c) {
+  for (size_t i = r0; i < r1; ++i) {
+    const T* a_row = a + i * k;
+    T* c_row = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const T* b_row = b + j * k;
+      T acc = T(0);
+      for (size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+      c_row[j] = acc;
+    }
+  }
+}
+
+// C = A^T * B^T (no in-tree call site; kept for API completeness).
+template <typename T>
+void GemmTtFull(size_t m, size_t n, size_t k, const T* a, const T* b, T* c) {
+  for (size_t i = 0; i < m; ++i) {
+    T* c_row = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const T* b_row = b + j * k;
+      T acc = T(0);
+      for (size_t kk = 0; kk < k; ++kk) acc += a[kk * m + i] * b_row[kk];
+      c_row[j] = acc;
+    }
+  }
+}
+
+template <typename T>
+void ApplyActivationRow(Act act, T leaky_slope, size_t n, T* row) {
+  switch (act) {
+    case Act::kNone:
+      return;
+    case Act::kReLU:
+      for (size_t j = 0; j < n; ++j) {
+        if (row[j] <= T(0)) row[j] = T(0);
+      }
+      return;
+    case Act::kLeakyReLU:
+      for (size_t j = 0; j < n; ++j) {
+        if (row[j] < T(0)) row[j] *= leaky_slope;
+      }
+      return;
+    case Act::kSigmoid:
+      for (size_t j = 0; j < n; ++j) {
+        // Numerically stable split (matches Sigmoid::Infer).
+        const T v = row[j];
+        if (v >= T(0)) {
+          row[j] = T(1) / (T(1) + std::exp(-v));
+        } else {
+          const T e = std::exp(v);
+          row[j] = e / (T(1) + e);
+        }
+      }
+      return;
+    case Act::kTanh:
+      for (size_t j = 0; j < n; ++j) row[j] = std::tanh(row[j]);
+      return;
+  }
+}
+
+template <typename T>
+void AffineRange(size_t r0, size_t r1, size_t n, size_t k, const T* x,
+                 const T* w, const T* bias, Act act, T leaky_slope, T* y) {
+  for (size_t i = r0; i < r1; ++i) {
+    const T* x_row = x + i * k;
+    T* y_row = y + i * n;
+    std::fill(y_row, y_row + n, T(0));
+    for (size_t kk = 0; kk < k; ++kk) {
+      const T xv = x_row[kk];
+      if (xv == T(0)) continue;
+      const T* w_row = w + kk * n;
+      for (size_t j = 0; j < n; ++j) y_row[j] += xv * w_row[j];
+    }
+    if (bias != nullptr) {
+      for (size_t j = 0; j < n; ++j) y_row[j] += bias[j];
+    }
+    ApplyActivationRow(act, leaky_slope, n, y_row);
+  }
+}
+
+template <typename T>
+T SquaredDistancePair(size_t d, const T* a, const T* b, const T* weights) {
+  T acc = T(0);
+  if (weights == nullptr) {
+    for (size_t j = 0; j < d; ++j) {
+      const T diff = a[j] - b[j];
+      acc += diff * diff;
+    }
+  } else {
+    for (size_t j = 0; j < d; ++j) {
+      const T diff = a[j] - b[j];
+      acc += diff * diff * weights[j];
+    }
+  }
+  return acc;
+}
+
+template <typename T>
+void SquaredDistancesRange(size_t r0, size_t r1, size_t d, size_t k,
+                           const T* x, const T* centers, const T* weights,
+                           T* out) {
+  for (size_t i = r0; i < r1; ++i) {
+    const T* x_row = x + i * d;
+    T* out_row = out + i * k;
+    for (size_t c = 0; c < k; ++c) {
+      out_row[c] =
+          SquaredDistancePair(d, x_row, centers + c * d,
+                              weights == nullptr ? nullptr : weights + c * d);
+    }
+  }
+}
+
+// Resolves the float table once per call site; null for double.
+template <typename T>
+const internal::FloatKernels* FloatTable() {
+  if constexpr (std::is_same_v<T, float>) {
+    return State().f32;
+  } else {
+    return nullptr;
+  }
+}
+
+}  // namespace
+
+Backend ActiveBackend() { return State().backend; }
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+const char* BackendName() { return BackendName(ActiveBackend()); }
+
+const TilingConfig& Tiling() { return State().tiling; }
+
+bool SetBackendForTest(Backend backend) {
+  const internal::FloatKernels* avx2 = internal::Avx2FloatKernels();
+  if (backend == Backend::kAvx2 && (avx2 == nullptr || !CpuHasAvx2Fma())) {
+    return false;
+  }
+  State().backend = backend;
+  State().f32 = backend == Backend::kAvx2 ? avx2 : nullptr;
+  return true;
+}
+
+void SetTilingForTest(const TilingConfig& config) { State().tiling = config; }
+
+template <typename T>
+void Gemm(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
+          const T* a, const T* b, T* c) {
+  if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
+    const internal::FloatKernels* f = FloatTable<T>();
+    ParallelRows(m, 2 * m * n * k, [&](size_t r0, size_t r1) {
+      if (f != nullptr && f->gemm_nn != nullptr) {
+        if constexpr (std::is_same_v<T, float>) {
+          f->gemm_nn(r1 - r0, n, k, a + r0 * k, b, c + r0 * n);
+          return;
+        }
+      }
+      GemmNnRange(r0, r1, n, k, a, b, c);
+    });
+    return;
+  }
+  if (trans_a == Trans::kYes && trans_b == Trans::kNo) {
+    // Output rows interleave across the shared dimension; runs untiled.
+    GemmTaFull(m, n, k, a, b, c);
+    return;
+  }
+  if (trans_a == Trans::kNo && trans_b == Trans::kYes) {
+    ParallelRows(m, 2 * m * n * k, [&](size_t r0, size_t r1) {
+      GemmTbRange(r0, r1, n, k, a, b, c);
+    });
+    return;
+  }
+  GemmTtFull(m, n, k, a, b, c);
+}
+
+template <typename T>
+void FusedAffineActivation(size_t m, size_t n, size_t k, const T* x,
+                           const T* w, const T* bias, Act act, T leaky_slope,
+                           T* y) {
+  const internal::FloatKernels* f = FloatTable<T>();
+  ParallelRows(m, 2 * m * n * k, [&](size_t r0, size_t r1) {
+    if (f != nullptr && f->affine != nullptr) {
+      if constexpr (std::is_same_v<T, float>) {
+        f->affine(r1 - r0, n, k, x + r0 * k, w, bias, act, leaky_slope,
+                  y + r0 * n);
+        return;
+      }
+    }
+    AffineRange(r0, r1, n, k, x, w, bias, act, leaky_slope, y);
+  });
+}
+
+template <typename T>
+void Axpy(size_t n, T alpha, const T* x, T* y) {
+  if constexpr (std::is_same_v<T, float>) {
+    const internal::FloatKernels* f = FloatTable<T>();
+    if (f != nullptr && f->axpy != nullptr) {
+      f->axpy(n, alpha, x, y);
+      return;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+template <typename T>
+void Scale(size_t n, T alpha, T* x) {
+  if constexpr (std::is_same_v<T, float>) {
+    const internal::FloatKernels* f = FloatTable<T>();
+    if (f != nullptr && f->scale != nullptr) {
+      f->scale(n, alpha, x);
+      return;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+template <typename T>
+void Hadamard(size_t n, const T* x, T* y) {
+  for (size_t i = 0; i < n; ++i) y[i] *= x[i];
+}
+
+template <typename T>
+void AddRowVector(size_t m, size_t n, const T* v, T* a) {
+  for (size_t i = 0; i < m; ++i) {
+    T* row = a + i * n;
+    for (size_t j = 0; j < n; ++j) row[j] += v[j];
+  }
+}
+
+template <typename T>
+void ApplyActivation(Act act, T leaky_slope, size_t n, T* x) {
+  ApplyActivationRow(act, leaky_slope, n, x);
+}
+
+template <typename T>
+void RowReduce(RowReduceOp op, size_t m, size_t n, const T* a, T* out) {
+  for (size_t i = 0; i < m; ++i) {
+    const T* row = a + i * n;
+    T acc = T(0);
+    switch (op) {
+      case RowReduceOp::kSum:
+        for (size_t j = 0; j < n; ++j) acc += row[j];
+        break;
+      case RowReduceOp::kSquaredNorm:
+        for (size_t j = 0; j < n; ++j) acc += row[j] * row[j];
+        break;
+      case RowReduceOp::kMax:
+        TARGAD_DCHECK(n > 0) << "RowReduce kMax over an empty row";
+        acc = row[0];
+        for (size_t j = 1; j < n; ++j) acc = std::max(acc, row[j]);
+        break;
+    }
+    out[i] = acc;
+  }
+}
+
+template <typename T>
+void ColReduceSum(size_t m, size_t n, const T* a, T* out) {
+  std::fill(out, out + n, T(0));
+  for (size_t i = 0; i < m; ++i) {
+    const T* row = a + i * n;
+    for (size_t j = 0; j < n; ++j) out[j] += row[j];
+  }
+}
+
+template <typename T>
+T ReduceSum(size_t n, const T* x) {
+  T acc = T(0);
+  for (size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+template <typename T>
+T Dot(size_t n, const T* a, const T* b) {
+  if constexpr (std::is_same_v<T, float>) {
+    const internal::FloatKernels* f = FloatTable<T>();
+    if (f != nullptr && f->dot != nullptr) return f->dot(n, a, b);
+  }
+  T acc = T(0);
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+template <typename T>
+T SquaredDistance(size_t d, const T* a, const T* b,
+                  const std::type_identity_t<T>* weights) {
+  return SquaredDistancePair(d, a, b, weights);
+}
+
+template <typename T>
+void SquaredDistances(size_t n, size_t d, size_t k, const T* x,
+                      const T* centers, const std::type_identity_t<T>* weights,
+                      T* out) {
+  const internal::FloatKernels* f = FloatTable<T>();
+  ParallelRows(n, 3 * n * d * k, [&](size_t r0, size_t r1) {
+    if (f != nullptr && f->sqdists != nullptr) {
+      if constexpr (std::is_same_v<T, float>) {
+        f->sqdists(r1 - r0, d, k, x + r0 * d, centers, weights, out + r0 * k);
+        return;
+      }
+    }
+    SquaredDistancesRange(r0, r1, d, k, x, centers, weights, out);
+  });
+}
+
+// The library computes in exactly these two dtypes (see nn/matrix.h).
+#define TARGAD_INSTANTIATE_KERNELS(T)                                         \
+  template void Gemm<T>(Trans, Trans, size_t, size_t, size_t, const T*,       \
+                        const T*, T*);                                        \
+  template void FusedAffineActivation<T>(size_t, size_t, size_t, const T*,    \
+                                         const T*, const T*, Act, T, T*);     \
+  template void Axpy<T>(size_t, T, const T*, T*);                             \
+  template void Scale<T>(size_t, T, T*);                                      \
+  template void Hadamard<T>(size_t, const T*, T*);                            \
+  template void AddRowVector<T>(size_t, size_t, const T*, T*);                \
+  template void ApplyActivation<T>(Act, T, size_t, T*);                       \
+  template void RowReduce<T>(RowReduceOp, size_t, size_t, const T*, T*);      \
+  template void ColReduceSum<T>(size_t, size_t, const T*, T*);                \
+  template T ReduceSum<T>(size_t, const T*);                                  \
+  template T Dot<T>(size_t, const T*, const T*);                              \
+  template T SquaredDistance<T>(size_t, const T*, const T*, const T*);        \
+  template void SquaredDistances<T>(size_t, size_t, size_t, const T*,         \
+                                    const T*, const T*, T*)
+
+TARGAD_INSTANTIATE_KERNELS(float);
+TARGAD_INSTANTIATE_KERNELS(double);
+
+#undef TARGAD_INSTANTIATE_KERNELS
+
+}  // namespace kernels
+}  // namespace nn
+}  // namespace targad

@@ -1,0 +1,164 @@
+// Unified dense-math kernel layer. Every hot loop in the library — the
+// MatrixT operator paths, Linear forward/backward, the frozen serving
+// forward, and the cluster distance computations — routes through the
+// primitives declared here instead of hand-rolling its own nested loops
+// (targad-lint's raw-dense-loop rule enforces this outside this directory).
+//
+// Backends. Each primitive has a scalar baseline plus, for float, an
+// AVX2/FMA implementation compiled in a separate translation unit with
+// target-specific flags (kernels_avx2.cc). The backend is selected ONCE, on
+// first kernel use: TARGAD_KERNEL_BACKEND=scalar|avx2 overrides the default
+// of "AVX2 when the CPU supports it". BackendName() reports the selection
+// (the serve benchmark records it in serve_throughput.json).
+//
+// Determinism contract. double kernels ALWAYS run the scalar baseline,
+// whose per-element accumulation order and expression shapes reproduce the
+// pre-kernel-layer loops exactly — the double training path is bit-identical
+// regardless of backend (tests/training_bitexact_test.cc pins this against
+// golden bit patterns). The AVX2 backend applies to float only: FMA
+// contraction and vector lane order change low-order float bits, which the
+// serving calibration bounds (<1e-4 score drift) absorb.
+//
+// Thread tiling. Calls whose flop count crosses Tiling().min_flops fan
+// their output rows across a lazily created common::ThreadPool. Row tiling
+// assigns each output row to exactly one thread, so per-element accumulation
+// order — and therefore the double bit-identity contract — is unchanged.
+
+#ifndef TARGAD_NN_KERNELS_KERNELS_H_
+#define TARGAD_NN_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <type_traits>
+
+namespace targad {
+namespace nn {
+namespace kernels {
+
+/// Kernel implementation families.
+enum class Backend { kScalar, kAvx2 };
+
+/// The backend selected at first kernel use (see file comment).
+Backend ActiveBackend();
+
+/// Human-readable backend names ("scalar", "avx2").
+const char* BackendName(Backend backend);
+/// BackendName(ActiveBackend()).
+const char* BackendName();
+
+/// Transpose disposition of a Gemm operand.
+enum class Trans { kNo, kYes };
+
+/// Activations the fused affine kernel can apply in-register/in-pass.
+/// Mirrors nn::Activation (sequential.h); the nn layers map between them so
+/// this header stays free of layer-stack dependencies.
+enum class Act { kNone, kReLU, kLeakyReLU, kSigmoid, kTanh };
+
+/// Row-tiling policy. threads == 1 disables the pool entirely; a call is
+/// tiled only when its flop estimate reaches min_flops AND it has at least
+/// 2 * min_rows_per_tile output rows.
+struct TilingConfig {
+  size_t threads = 1;
+  size_t min_flops = size_t{1} << 22;
+  size_t min_rows_per_tile = 16;
+};
+
+/// The active tiling policy (TARGAD_KERNEL_THREADS env override; default
+/// hardware concurrency).
+const TilingConfig& Tiling();
+
+/// Test hooks — NOT thread-safe; call before any concurrent kernel use.
+/// SetBackendForTest returns false (and changes nothing) when the requested
+/// backend is not available on this machine/build.
+bool SetBackendForTest(Backend backend);
+void SetTilingForTest(const TilingConfig& config);
+
+// ---- Matrix multiply ------------------------------------------------------
+
+/// C(m x n) = op(A) * op(B), all row-major, C fully overwritten.
+/// op(A) is m x k and op(B) is k x n; A is stored m x k when trans_a is kNo
+/// and k x m when kYes (similarly B: k x n vs n x k).
+///
+/// Scalar accumulation orders (the bit-identity contract):
+///   kNo/kNo:  per element, k ascending, zero-skip on the A element
+///   kYes/kNo: per element, the shared dimension ascending, zero-skip on A
+///   kNo/kYes: per element, a straight dot product, k ascending
+/// matching MatrixT::MatMul / TransposeMatMul / MatMulTranspose exactly.
+template <typename T>
+void Gemm(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
+          const T* a, const T* b, T* c);
+
+/// Y(m x n) = act( X(m x k) * W(k x n) + bias ), one pass per output row:
+/// the affine row never leaves cache before the activation is applied.
+/// bias may be nullptr (no bias add). This is the frozen serving hot loop.
+template <typename T>
+void FusedAffineActivation(size_t m, size_t n, size_t k, const T* x,
+                           const T* w, const T* bias, Act act, T leaky_slope,
+                           T* y);
+
+// ---- Element-wise / BLAS-1 ------------------------------------------------
+
+/// y[i] += alpha * x[i].
+template <typename T>
+void Axpy(size_t n, T alpha, const T* x, T* y);
+
+/// x[i] *= alpha.
+template <typename T>
+void Scale(size_t n, T alpha, T* x);
+
+/// y[i] *= x[i] (Hadamard product accumulator).
+template <typename T>
+void Hadamard(size_t n, const T* x, T* y);
+
+/// Adds v (length n) to every row of the m x n matrix a.
+template <typename T>
+void AddRowVector(size_t m, size_t n, const T* v, T* a);
+
+/// In-place element-wise activation over a flat buffer (same expression
+/// shapes as the fused kernel / the layer Infer paths).
+template <typename T>
+void ApplyActivation(Act act, T leaky_slope, size_t n, T* x);
+
+// ---- Reductions -----------------------------------------------------------
+
+enum class RowReduceOp { kSum, kSquaredNorm, kMax };
+
+/// out[i] = reduce(row i) for an m x n row-major matrix.
+template <typename T>
+void RowReduce(RowReduceOp op, size_t m, size_t n, const T* a, T* out);
+
+/// out[j] = sum over rows of column j (row-major streaming order).
+template <typename T>
+void ColReduceSum(size_t m, size_t n, const T* a, T* out);
+
+/// Sum of a flat buffer.
+template <typename T>
+T ReduceSum(size_t n, const T* x);
+
+/// Inner product of two length-n vectors, accumulated in index order.
+template <typename T>
+T Dot(size_t n, const T* a, const T* b);
+
+// ---- Distances ------------------------------------------------------------
+
+/// Squared Euclidean distance between two length-d vectors; when weights is
+/// non-null each squared difference is scaled by weights[j] (the GMM
+/// diagonal-covariance form with weights = 1/variance).
+template <typename T>
+T SquaredDistance(size_t d, const T* a, const T* b,
+                  const std::type_identity_t<T>* weights = nullptr);
+
+/// out(n x k): out[i*k + c] = (weighted) squared distance between row i of
+/// x (n x d) and row c of centers (k x d). weights is nullptr (plain
+/// Euclidean, the k-means form) or k x d row-major per-center scales (the
+/// GMM form). Shared by k-means assignment and the GMM E-step so the two
+/// distance loops cannot drift apart again.
+template <typename T>
+void SquaredDistances(size_t n, size_t d, size_t k, const T* x,
+                      const T* centers, const std::type_identity_t<T>* weights,
+                      T* out);
+
+}  // namespace kernels
+}  // namespace nn
+}  // namespace targad
+
+#endif  // TARGAD_NN_KERNELS_KERNELS_H_

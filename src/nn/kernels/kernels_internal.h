@@ -1,0 +1,44 @@
+// Private contract between the dispatcher (kernels.cc) and the AVX2
+// translation unit (kernels_avx2.cc, compiled with -mavx2 -mfma). Only the
+// float hot kernels are dispatched — double always runs the scalar baseline
+// to keep the training path bit-deterministic (see kernels.h).
+
+#ifndef TARGAD_NN_KERNELS_KERNELS_INTERNAL_H_
+#define TARGAD_NN_KERNELS_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+
+#include "nn/kernels/kernels.h"
+
+namespace targad {
+namespace nn {
+namespace kernels {
+namespace internal {
+
+/// Function table for the float32 serving-dtype kernels. Any null entry
+/// falls back to the scalar implementation for that primitive.
+struct FloatKernels {
+  void (*gemm_nn)(size_t m, size_t n, size_t k, const float* a, const float* b,
+                  float* c) = nullptr;
+  void (*affine)(size_t m, size_t n, size_t k, const float* x, const float* w,
+                 const float* bias, Act act, float leaky_slope,
+                 float* y) = nullptr;
+  void (*axpy)(size_t n, float alpha, const float* x, float* y) = nullptr;
+  void (*scale)(size_t n, float alpha, float* x) = nullptr;
+  float (*dot)(size_t n, const float* a, const float* b) = nullptr;
+  void (*sqdists)(size_t n, size_t d, size_t k, const float* x,
+                  const float* centers, const float* weights,
+                  float* out) = nullptr;
+};
+
+/// The AVX2/FMA table, or nullptr when this build carries no AVX2 code
+/// (non-x86 target or TARGAD_ENABLE_AVX2=OFF). Runtime CPU support is the
+/// dispatcher's job; this only reports what was compiled in.
+const FloatKernels* Avx2FloatKernels();
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace nn
+}  // namespace targad
+
+#endif  // TARGAD_NN_KERNELS_KERNELS_INTERNAL_H_

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "nn/init.h"
+#include "nn/kernels/kernels.h"
 
 namespace targad {
 namespace nn {
@@ -20,16 +21,20 @@ Matrix Linear::Forward(const Matrix& x) {
   TARGAD_CHECK(x.cols() == w_.rows())
       << "Linear: input has " << x.cols() << " features, expected " << w_.rows();
   input_ = x;
-  Matrix y = x.MatMul(w_);
-  y.AddRowVectorInPlace(b_.Row(0));
+  Matrix y(x.rows(), w_.cols());
+  kernels::FusedAffineActivation(x.rows(), w_.cols(), x.cols(), x.data().data(),
+                                 w_.data().data(), b_.data().data(),
+                                 kernels::Act::kNone, 0.0, y.data().data());
   return y;
 }
 
 Matrix Linear::Infer(const Matrix& x) const {
   TARGAD_CHECK(x.cols() == w_.rows())
       << "Linear: input has " << x.cols() << " features, expected " << w_.rows();
-  Matrix y = x.MatMul(w_);
-  y.AddRowVectorInPlace(b_.Row(0));
+  Matrix y(x.rows(), w_.cols());
+  kernels::FusedAffineActivation(x.rows(), w_.cols(), x.cols(), x.data().data(),
+                                 w_.data().data(), b_.data().data(),
+                                 kernels::Act::kNone, 0.0, y.data().data());
   return y;
 }
 

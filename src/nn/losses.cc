@@ -139,6 +139,8 @@ LossResult SoftmaxEntropy(const Matrix& logits, double normalizer) {
     // H = -sum_j p_j log p_j ; sum_plogp = sum_j p_j log p_j = -H.
     double sum_plogp = 0.0;
     for (size_t j = 0; j < logits.cols(); ++j) {
+      // Entropy reduction, not dense linear algebra; accumulation order is
+      // pinned by the bit-exactness tests. targad-lint: allow(raw-dense-loop)
       sum_plogp += pi[j] * std::log(std::max(pi[j], kLogFloor));
     }
     total += -sum_plogp;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/kernels/kernels.h"
 
 namespace targad {
 namespace nn {
@@ -55,17 +56,8 @@ MatrixT<T> MatrixT<T>::MatMul(const MatrixT& other) const {
       << "MatMul shape mismatch: " << rows_ << "x" << cols_ << " * "
       << other.rows_ << "x" << other.cols_;
   MatrixT out(rows_, other.cols_);
-  // i-k-j loop order: streams through both operands row-major.
-  for (size_t i = 0; i < rows_; ++i) {
-    const T* a_row = RowPtr(i);
-    T* o_row = out.RowPtr(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      const T a = a_row[k];
-      if (a == T(0)) continue;
-      const T* b_row = other.RowPtr(k);
-      for (size_t j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
-    }
-  }
+  kernels::Gemm(kernels::Trans::kNo, kernels::Trans::kNo, rows_, other.cols_,
+                cols_, data_.data(), other.data_.data(), out.data_.data());
   return out;
 }
 
@@ -73,16 +65,8 @@ template <typename T>
 MatrixT<T> MatrixT<T>::TransposeMatMul(const MatrixT& other) const {
   TARGAD_CHECK(rows_ == other.rows_) << "TransposeMatMul shape mismatch";
   MatrixT out(cols_, other.cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const T* a_row = RowPtr(i);
-    const T* b_row = other.RowPtr(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      const T a = a_row[k];
-      if (a == T(0)) continue;
-      T* o_row = out.RowPtr(k);
-      for (size_t j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
-    }
-  }
+  kernels::Gemm(kernels::Trans::kYes, kernels::Trans::kNo, cols_, other.cols_,
+                rows_, data_.data(), other.data_.data(), out.data_.data());
   return out;
 }
 
@@ -90,16 +74,8 @@ template <typename T>
 MatrixT<T> MatrixT<T>::MatMulTranspose(const MatrixT& other) const {
   TARGAD_CHECK(cols_ == other.cols_) << "MatMulTranspose shape mismatch";
   MatrixT out(rows_, other.rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const T* a_row = RowPtr(i);
-    T* o_row = out.RowPtr(i);
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const T* b_row = other.RowPtr(j);
-      T acc = T(0);
-      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      o_row[j] = acc;
-    }
-  }
+  kernels::Gemm(kernels::Trans::kNo, kernels::Trans::kYes, rows_, other.rows_,
+                cols_, data_.data(), other.data_.data(), out.data_.data());
   return out;
 }
 
@@ -116,27 +92,29 @@ MatrixT<T> MatrixT<T>::Transpose() const {
 template <typename T>
 MatrixT<T>& MatrixT<T>::AddInPlace(const MatrixT& other) {
   TARGAD_CHECK(SameShape(other)) << "AddInPlace shape mismatch";
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  // alpha = 1: y += 1 * x is IEEE-identical to y += x.
+  kernels::Axpy(data_.size(), T(1), other.data_.data(), data_.data());
   return *this;
 }
 
 template <typename T>
 MatrixT<T>& MatrixT<T>::SubInPlace(const MatrixT& other) {
   TARGAD_CHECK(SameShape(other)) << "SubInPlace shape mismatch";
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  // alpha = -1: y += (-1) * x is IEEE-identical to y -= x.
+  kernels::Axpy(data_.size(), T(-1), other.data_.data(), data_.data());
   return *this;
 }
 
 template <typename T>
 MatrixT<T>& MatrixT<T>::MulInPlace(T s) {
-  for (T& v : data_) v *= s;
+  kernels::Scale(data_.size(), s, data_.data());
   return *this;
 }
 
 template <typename T>
 MatrixT<T>& MatrixT<T>::HadamardInPlace(const MatrixT& other) {
   TARGAD_CHECK(SameShape(other)) << "HadamardInPlace shape mismatch";
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  kernels::Hadamard(data_.size(), other.data_.data(), data_.data());
   return *this;
 }
 
@@ -164,10 +142,7 @@ MatrixT<T> MatrixT<T>::Mul(T s) const {
 template <typename T>
 MatrixT<T>& MatrixT<T>::AddRowVectorInPlace(const std::vector<T>& bias) {
   TARGAD_CHECK(bias.size() == cols_) << "AddRowVectorInPlace size mismatch";
-  for (size_t i = 0; i < rows_; ++i) {
-    T* row = RowPtr(i);
-    for (size_t j = 0; j < cols_; ++j) row[j] += bias[j];
-  }
+  kernels::AddRowVector(rows_, cols_, bias.data(), data_.data());
   return *this;
 }
 
@@ -186,63 +161,44 @@ void MatrixT<T>::MapInPlace(const std::function<T(T)>& fn) {
 template <typename T>
 std::vector<T> MatrixT<T>::ColSums() const {
   std::vector<T> sums(cols_, T(0));
-  for (size_t i = 0; i < rows_; ++i) {
-    const T* row = RowPtr(i);
-    for (size_t j = 0; j < cols_; ++j) sums[j] += row[j];
-  }
+  kernels::ColReduceSum(rows_, cols_, data_.data(), sums.data());
   return sums;
 }
 
 template <typename T>
 std::vector<T> MatrixT<T>::RowSums() const {
   std::vector<T> sums(rows_, T(0));
-  for (size_t i = 0; i < rows_; ++i) {
-    const T* row = RowPtr(i);
-    T acc = T(0);
-    for (size_t j = 0; j < cols_; ++j) acc += row[j];
-    sums[i] = acc;
-  }
+  kernels::RowReduce(kernels::RowReduceOp::kSum, rows_, cols_, data_.data(),
+                     sums.data());
   return sums;
 }
 
 template <typename T>
 std::vector<T> MatrixT<T>::RowSquaredNorms() const {
   std::vector<T> norms(rows_, T(0));
-  for (size_t i = 0; i < rows_; ++i) {
-    const T* row = RowPtr(i);
-    T acc = T(0);
-    for (size_t j = 0; j < cols_; ++j) acc += row[j] * row[j];
-    norms[i] = acc;
-  }
+  kernels::RowReduce(kernels::RowReduceOp::kSquaredNorm, rows_, cols_,
+                     data_.data(), norms.data());
   return norms;
 }
 
 template <typename T>
 T MatrixT<T>::Sum() const {
-  T acc = T(0);
-  for (T v : data_) acc += v;
-  return acc;
+  return kernels::ReduceSum(data_.size(), data_.data());
 }
 
 template <typename T>
 T MatrixT<T>::SquaredNorm() const {
-  T acc = T(0);
-  for (T v : data_) acc += v * v;
-  return acc;
+  T norm = T(0);
+  kernels::RowReduce(kernels::RowReduceOp::kSquaredNorm, 1, data_.size(),
+                     data_.data(), &norm);
+  return norm;
 }
 
 template <typename T>
 T MatrixT<T>::RowSquaredDistance(size_t r, const MatrixT& other,
                                  size_t s) const {
   TARGAD_CHECK(cols_ == other.cols_ && r < rows_ && s < other.rows_);
-  const T* a = RowPtr(r);
-  const T* b = other.RowPtr(s);
-  T acc = T(0);
-  for (size_t j = 0; j < cols_; ++j) {
-    const T d = a[j] - b[j];
-    acc += d * d;
-  }
-  return acc;
+  return kernels::SquaredDistance(cols_, RowPtr(r), other.RowPtr(s));
 }
 
 template <typename T>

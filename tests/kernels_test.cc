@@ -1,0 +1,373 @@
+// Golden-parity suite for the dense kernel layer: every primitive is checked
+// against a naive reference over a shape sweep (empty, 1xN, non-multiples of
+// the SIMD tile), on every backend available in this build, and with thread
+// tiling forced on. Runs under check-asan/check-ubsan (full suite) and, via
+// the "serve" label, under check-tsan, which exercises the pool tiling path.
+
+#include "nn/kernels/kernels.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace targad {
+namespace nn {
+namespace kernels {
+namespace {
+
+// Naive references with the same accumulation orders as the scalar kernels,
+// so scalar results (and double on any backend) must match EXACTLY; the
+// AVX2 float results are held to a relative tolerance.
+
+template <typename T>
+std::vector<T> RefGemm(Trans ta, Trans tb, size_t m, size_t n, size_t k,
+                       const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> c(m * n, T(0));
+  auto a_at = [&](size_t i, size_t kk) {
+    return ta == Trans::kNo ? a[i * k + kk] : a[kk * m + i];
+  };
+  auto b_at = [&](size_t kk, size_t j) {
+    return tb == Trans::kNo ? b[kk * n + j] : b[j * k + kk];
+  };
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      T acc = T(0);
+      for (size_t kk = 0; kk < k; ++kk) acc += a_at(i, kk) * b_at(kk, j);
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+template <typename T>
+T RefAct(Act act, T slope, T v) {
+  switch (act) {
+    case Act::kNone: return v;
+    case Act::kReLU: return v <= T(0) ? T(0) : v;
+    case Act::kLeakyReLU: return v < T(0) ? v * slope : v;
+    case Act::kSigmoid: {
+      if (v >= T(0)) return T(1) / (T(1) + std::exp(-v));
+      const T e = std::exp(v);
+      return e / (T(1) + e);
+    }
+    case Act::kTanh: return std::tanh(v);
+  }
+  return v;
+}
+
+template <typename T>
+std::vector<T> FillRandom(size_t count, Rng* rng, double sparsity = 0.0) {
+  std::vector<T> out(count);
+  for (T& v : out) {
+    v = (sparsity > 0.0 && rng->Bernoulli(sparsity))
+            ? T(0)
+            : static_cast<T>(rng->Normal(0.0, 1.0));
+  }
+  return out;
+}
+
+// Shapes chosen to straddle the AVX2 register blocking (4 rows x 16 cols,
+// then 8-wide and scalar tails) and the empty/degenerate edges.
+struct Shape {
+  size_t m, n, k;
+};
+const Shape kShapes[] = {{0, 0, 0}, {0, 5, 3},  {1, 1, 1},   {1, 16, 8},
+                         {1, 17, 3}, {3, 7, 5},  {4, 16, 16}, {5, 8, 2},
+                         {7, 19, 11}, {8, 32, 4}, {13, 33, 17}, {16, 64, 24}};
+
+// Value-parameterized over the backends available in this build; restores
+// the dispatch state after each test.
+class KernelsBackendTest : public ::testing::TestWithParam<Backend> {
+ public:
+  void SetUp() override {
+    saved_backend_ = ActiveBackend();
+    saved_tiling_ = Tiling();
+    if (!SetBackendForTest(GetParam())) {
+      GTEST_SKIP() << "backend " << BackendName(GetParam())
+                   << " not available in this build/CPU";
+    }
+  }
+  void TearDown() override {
+    SetBackendForTest(saved_backend_);
+    SetTilingForTest(saved_tiling_);
+  }
+  // Exact for scalar (same accumulation order as the reference); relative
+  // tolerance for AVX2 float whose FMA/lane order differs.
+  template <typename T>
+  void ExpectClose(const std::vector<T>& expected,
+                   const std::vector<T>& actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    const bool exact =
+        GetParam() == Backend::kScalar || std::is_same_v<T, double>;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (exact) {
+        EXPECT_EQ(expected[i], actual[i]) << "index " << i;
+      } else {
+        const double tol =
+            1e-5 * std::max(1.0, std::abs(static_cast<double>(expected[i])));
+        EXPECT_NEAR(expected[i], actual[i], tol) << "index " << i;
+      }
+    }
+  }
+
+ private:
+  Backend saved_backend_ = Backend::kScalar;
+  TilingConfig saved_tiling_;
+};
+
+template <typename T>
+void RunGemmSweep(KernelsBackendTest* fixture) {
+  Rng rng(17);
+  for (const Shape& s : kShapes) {
+    for (Trans ta : {Trans::kNo, Trans::kYes}) {
+      for (Trans tb : {Trans::kNo, Trans::kYes}) {
+        const auto a = FillRandom<T>(s.m * s.k, &rng, /*sparsity=*/0.3);
+        const auto b = FillRandom<T>(s.k * s.n, &rng);
+        std::vector<T> c(s.m * s.n, T(-1));
+        Gemm<T>(ta, tb, s.m, s.n, s.k, a.data(), b.data(), c.data());
+        const auto expected = RefGemm<T>(ta, tb, s.m, s.n, s.k, a, b);
+        SCOPED_TRACE(::testing::Message()
+                     << "m=" << s.m << " n=" << s.n << " k=" << s.k << " ta="
+                     << (ta == Trans::kYes) << " tb=" << (tb == Trans::kYes));
+        fixture->ExpectClose(expected, c);
+      }
+    }
+  }
+}
+
+using KernelsSweepTest = KernelsBackendTest;
+
+TEST_P(KernelsSweepTest, GemmMatchesReferenceAcrossShapes) {
+  RunGemmSweep<float>(this);
+  RunGemmSweep<double>(this);
+}
+
+TEST_P(KernelsSweepTest, GemmMatchesReferenceWithForcedTiling) {
+  TilingConfig tiling;
+  tiling.threads = 4;
+  tiling.min_flops = 1;  // Tile everything with >= 2 rows.
+  tiling.min_rows_per_tile = 1;
+  SetTilingForTest(tiling);
+  RunGemmSweep<float>(this);
+  RunGemmSweep<double>(this);
+}
+
+template <typename T>
+void RunAffineSweep(KernelsSweepTest* fixture) {
+  Rng rng(23);
+  const Act kActs[] = {Act::kNone, Act::kReLU, Act::kLeakyReLU, Act::kSigmoid,
+                       Act::kTanh};
+  for (const Shape& s : kShapes) {
+    for (Act act : kActs) {
+      for (bool with_bias : {false, true}) {
+        const auto x = FillRandom<T>(s.m * s.k, &rng);
+        const auto w = FillRandom<T>(s.k * s.n, &rng);
+        const auto bias = FillRandom<T>(s.n, &rng);
+        const T slope = T(0.01);
+        std::vector<T> y(s.m * s.n, T(-1));
+        FusedAffineActivation<T>(s.m, s.n, s.k, x.data(), w.data(),
+                                 with_bias ? bias.data() : nullptr, act, slope,
+                                 y.data());
+        auto expected = RefGemm<T>(Trans::kNo, Trans::kNo, s.m, s.n, s.k, x, w);
+        for (size_t i = 0; i < s.m; ++i) {
+          for (size_t j = 0; j < s.n; ++j) {
+            T v = expected[i * s.n + j];
+            if (with_bias) v += bias[j];
+            expected[i * s.n + j] = RefAct(act, slope, v);
+          }
+        }
+        SCOPED_TRACE(::testing::Message()
+                     << "m=" << s.m << " n=" << s.n << " k=" << s.k
+                     << " act=" << static_cast<int>(act)
+                     << " bias=" << with_bias);
+        fixture->ExpectClose(expected, y);
+      }
+    }
+  }
+}
+
+TEST_P(KernelsSweepTest, FusedAffineActivationMatchesReference) {
+  RunAffineSweep<float>(this);
+  RunAffineSweep<double>(this);
+}
+
+TEST_P(KernelsSweepTest, FusedAffineActivationMatchesReferenceTiled) {
+  TilingConfig tiling;
+  tiling.threads = 4;
+  tiling.min_flops = 1;
+  tiling.min_rows_per_tile = 1;
+  SetTilingForTest(tiling);
+  RunAffineSweep<float>(this);
+  RunAffineSweep<double>(this);
+}
+
+template <typename T>
+void RunVectorOps(KernelsSweepTest* fixture) {
+  Rng rng(31);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                   size_t{64}, size_t{100}}) {
+    const auto x = FillRandom<T>(n, &rng);
+    auto y = FillRandom<T>(n, &rng);
+    const T alpha = static_cast<T>(rng.Normal(0.0, 1.0));
+
+    auto expected = y;
+    for (size_t i = 0; i < n; ++i) expected[i] += alpha * x[i];
+    auto actual = y;
+    Axpy<T>(n, alpha, x.data(), actual.data());
+    fixture->ExpectClose(expected, actual);
+
+    expected = y;
+    for (size_t i = 0; i < n; ++i) expected[i] *= alpha;
+    actual = y;
+    Scale<T>(n, alpha, actual.data());
+    fixture->ExpectClose(expected, actual);
+
+    expected = y;
+    for (size_t i = 0; i < n; ++i) expected[i] *= x[i];
+    actual = y;
+    Hadamard<T>(n, x.data(), actual.data());
+    fixture->ExpectClose(expected, actual);
+
+    T dot_ref = T(0);
+    for (size_t i = 0; i < n; ++i) dot_ref += x[i] * y[i];
+    fixture->ExpectClose(std::vector<T>{dot_ref},
+                         std::vector<T>{Dot<T>(n, x.data(), y.data())});
+  }
+}
+
+TEST_P(KernelsSweepTest, VectorOpsMatchReference) {
+  RunVectorOps<float>(this);
+  RunVectorOps<double>(this);
+}
+
+template <typename T>
+void RunSquaredDistances(KernelsSweepTest* fixture) {
+  Rng rng(41);
+  for (const Shape& s : kShapes) {
+    const size_t n = s.m, d = s.k, k = s.n;
+    const auto x = FillRandom<T>(n * d, &rng);
+    const auto centers = FillRandom<T>(k * d, &rng);
+    auto weights = FillRandom<T>(k * d, &rng);
+    for (T& w : weights) w = std::abs(w) + T(0.5);
+
+    for (bool weighted : {false, true}) {
+      std::vector<T> expected(n * k, T(0));
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < k; ++c) {
+          T acc = T(0);
+          for (size_t j = 0; j < d; ++j) {
+            const T diff = x[i * d + j] - centers[c * d + j];
+            acc += weighted ? diff * diff * weights[c * d + j] : diff * diff;
+          }
+          expected[i * k + c] = acc;
+        }
+      }
+      std::vector<T> actual(n * k, T(-1));
+      SquaredDistances<T>(n, d, k, x.data(), centers.data(),
+                          weighted ? weights.data() : nullptr, actual.data());
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " d=" << d << " k=" << k
+                                        << " weighted=" << weighted);
+      fixture->ExpectClose(expected, actual);
+
+      // The pairwise entry point must agree with the batched one exactly.
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < k; ++c) {
+          const T pair = SquaredDistance<T>(
+              d, x.data() + i * d, centers.data() + c * d,
+              weighted ? weights.data() + c * d : nullptr);
+          if (fixture->GetParam() == Backend::kScalar ||
+              std::is_same_v<T, double>) {
+            EXPECT_EQ(pair, actual[i * k + c]);
+          } else {
+            EXPECT_NEAR(pair, actual[i * k + c],
+                        1e-5 * std::max(1.0, std::abs(double(pair))));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KernelsSweepTest, SquaredDistancesMatchReference) {
+  RunSquaredDistances<float>(this);
+  RunSquaredDistances<double>(this);
+}
+
+TEST_P(KernelsSweepTest, ReductionsMatchReference) {
+  Rng rng(53);
+  for (const Shape& s : kShapes) {
+    const auto a = FillRandom<double>(s.m * s.n, &rng);
+    std::vector<double> row_sum(s.m), row_sq(s.m), row_max(s.m);
+    RowReduce<double>(RowReduceOp::kSum, s.m, s.n, a.data(), row_sum.data());
+    RowReduce<double>(RowReduceOp::kSquaredNorm, s.m, s.n, a.data(),
+                      row_sq.data());
+    if (s.n > 0) {
+      RowReduce<double>(RowReduceOp::kMax, s.m, s.n, a.data(), row_max.data());
+    }
+    std::vector<double> col_sum(s.n);
+    ColReduceSum<double>(s.m, s.n, a.data(), col_sum.data());
+
+    std::vector<double> want_col(s.n, 0.0);
+    for (size_t i = 0; i < s.m; ++i) {
+      double sum = 0.0, sq = 0.0, mx = s.n > 0 ? a[i * s.n] : 0.0;
+      for (size_t j = 0; j < s.n; ++j) {
+        const double v = a[i * s.n + j];
+        sum += v;
+        sq += v * v;
+        mx = std::max(mx, v);
+        want_col[j] += v;
+      }
+      EXPECT_EQ(sum, row_sum[i]);
+      EXPECT_EQ(sq, row_sq[i]);
+      if (s.n > 0) {
+        EXPECT_EQ(mx, row_max[i]);
+      }
+    }
+    for (size_t j = 0; j < s.n; ++j) EXPECT_EQ(want_col[j], col_sum[j]);
+
+    double total = 0.0;
+    for (const double v : a) total += v;
+    EXPECT_EQ(total, ReduceSum<double>(a.size(), a.data()));
+  }
+}
+
+// Double must take the scalar path on EVERY backend — that is the training
+// bit-determinism contract.
+TEST_P(KernelsSweepTest, DoubleIsBackendInvariant) {
+  Rng rng(61);
+  const size_t m = 9, n = 21, k = 13;
+  const auto a = FillRandom<double>(m * k, &rng, 0.3);
+  const auto b = FillRandom<double>(k * n, &rng);
+  std::vector<double> c(m * n);
+  Gemm<double>(Trans::kNo, Trans::kNo, m, n, k, a.data(), b.data(), c.data());
+
+  TilingConfig save = Tiling();
+  ASSERT_TRUE(SetBackendForTest(Backend::kScalar));
+  SetTilingForTest(TilingConfig{});  // Single-threaded.
+  std::vector<double> c_scalar(m * n);
+  Gemm<double>(Trans::kNo, Trans::kNo, m, n, k, a.data(), b.data(),
+               c_scalar.data());
+  SetTilingForTest(save);
+  EXPECT_EQ(c, c_scalar);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, KernelsSweepTest,
+                         ::testing::Values(Backend::kScalar, Backend::kAvx2),
+                         [](const auto& info) {
+                           return std::string(BackendName(info.param));
+                         });
+
+TEST(KernelsDispatchTest, BackendNameIsConsistent) {
+  const Backend b = ActiveBackend();
+  EXPECT_TRUE(b == Backend::kScalar || b == Backend::kAvx2);
+  EXPECT_STREQ(BackendName(), BackendName(b));
+  EXPECT_GE(Tiling().threads, size_t{1});
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace nn
+}  // namespace targad

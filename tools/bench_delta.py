@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Render per-dtype serve-throughput deltas as a markdown table.
+
+Reads the committed bench trajectory (BENCH_serve_throughput.json) and,
+optionally, a fresh serve_throughput.json produced by bench_serve_throughput
+on this checkout. For every dtype it reports the best rows/sec across the
+worker x batch grid and the delta against the baseline (the last trajectory
+entry when a fresh run is given, otherwise the previous entry).
+
+Only the standard library is used; CI pipes the output into a PR comment.
+
+Usage:
+  bench_delta.py --trajectory BENCH_serve_throughput.json \
+      [--run serve_throughput.json] [--output bench_delta.md]
+"""
+
+import argparse
+import json
+import sys
+
+COMMENT_MARKER = "<!-- targad-bench-deltas -->"
+
+
+def best_by_dtype(results):
+    best = {}
+    for cell in results:
+        dtype = cell["dtype"]
+        best[dtype] = max(best.get(dtype, 0.0), float(cell["rows_per_sec"]))
+    return best
+
+
+def entry_label(entry):
+    pr = entry.get("pr")
+    return f"PR {pr}" if pr is not None else entry.get("date", "baseline")
+
+
+def format_rows(rows_per_sec):
+    return f"{rows_per_sec:,.1f}"
+
+
+def format_delta(base, new):
+    if base <= 0.0:
+        return "n/a"
+    pct = (new / base - 1.0) * 100.0
+    return f"{pct:+.1f}%"
+
+
+def render(trajectory, run):
+    entries = trajectory["trajectory"]
+    if run is not None:
+        baseline, candidate = entries[-1], run
+        candidate_label = "this run"
+    elif len(entries) >= 2:
+        baseline, candidate = entries[-2], entries[-1]
+        candidate_label = entry_label(candidate)
+    else:
+        return f"{COMMENT_MARKER}\nNot enough bench entries to diff.\n"
+    base_label = f"{entry_label(baseline)} (baseline)"
+
+    base_best = best_by_dtype(baseline["results"])
+    cand_best = best_by_dtype(candidate["results"])
+
+    lines = [
+        COMMENT_MARKER,
+        "### Serve throughput — best rows/sec by dtype",
+        "",
+        f"| dtype | {base_label} | {candidate_label} | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    for dtype in sorted(set(base_best) | set(cand_best)):
+        base = base_best.get(dtype, 0.0)
+        cand = cand_best.get(dtype, 0.0)
+        lines.append(
+            f"| {dtype} | {format_rows(base)} | {format_rows(cand)} "
+            f"| {format_delta(base, cand)} |"
+        )
+    lines.append("")
+
+    backend = candidate.get("kernel_backend")
+    tiling = candidate.get("kernel_tiling")
+    if backend is not None:
+        detail = f"kernel backend: `{backend}`"
+        if tiling is not None:
+            detail += (
+                f" · tiling: threads={tiling['threads']},"
+                f" min_flops={tiling['min_flops']},"
+                f" min_rows_per_tile={tiling['min_rows_per_tile']}"
+            )
+        lines.append(detail)
+        lines.append("")
+    lines.append(
+        f"_Grid: {candidate.get('rows_per_cell', '?')} rows/cell at "
+        f"scale {candidate.get('scale', '?')}; numbers are the best cell "
+        "across workers × max_batch._"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trajectory", required=True,
+                        help="committed BENCH_serve_throughput.json")
+    parser.add_argument("--run", default=None,
+                        help="fresh serve_throughput.json from this checkout")
+    parser.add_argument("--output", default=None,
+                        help="write markdown here as well as stdout")
+    args = parser.parse_args()
+
+    with open(args.trajectory) as f:
+        trajectory = json.load(f)
+    run = None
+    if args.run is not None:
+        with open(args.run) as f:
+            run = json.load(f)
+
+    markdown = render(trajectory, run)
+    sys.stdout.write(markdown)
+    if args.output is not None:
+        with open(args.output, "w") as f:
+            f.write(markdown)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,15 @@
 //                          unique names and unique integer ranks (unique
 //                          ranks are a total order, so the acquire-
 //                          ascending policy is acyclic by construction).
+//   raw-dense-loop         no hand-rolled dense math: a multiply-accumulate
+//                          line (`+=` with a `*` on the right) that indexes
+//                          two or more subscripted operands inside >= 2
+//                          nested `for` loops is a matmul/distance kernel
+//                          written by hand — route it through the
+//                          nn/kernels primitives (Gemm,
+//                          FusedAffineActivation, SquaredDistances, Axpy).
+//                          Files under nn/kernels/ are exempt (they ARE the
+//                          kernel layer).
 //
 // Escape hatch: a `// targad-lint: allow(<rule>[,<rule>...])` comment on
 // the offending line or the line directly above suppresses those rules for
@@ -278,6 +287,7 @@ class Linter {
 
     if (is_header) CheckMutexGuardedBy(rel, clean_lines, raw_lines);
     CheckLockRankTable(rel, clean_lines, raw_lines);
+    CheckRawDenseLoop(rel, clean_lines, raw_lines);
   }
 
   const std::vector<Finding>& findings() const { return findings_; }
@@ -584,6 +594,131 @@ class Linter {
     }
   }
 
+  // raw-dense-loop: flags multiply-accumulate lines over subscripted
+  // operands inside >= 2 nested `for` loops — the signature of a matmul /
+  // distance computation written by hand instead of through nn/kernels.
+  //
+  // The nesting tracker is character-level: it follows brace depth and a
+  // stack of for-scopes, handling both braced bodies (popped when their
+  // closing brace arrives) and braceless bodies (popped at the next `;` at
+  // parenthesis depth zero — a chain of braceless `for`s collapses at one
+  // statement). A line fires when, at any point on it, the for-stack is at
+  // least two deep AND it contains `+=` whose right-hand side multiplies
+  // (`*`) AND it references two or more subscripted operands (`x[...]` or
+  // `At(...)`). Single-subscript accumulations over a hoisted scalar
+  // (`var[j] += r * diff * diff`) stay legal: one indexed operand is a
+  // weighted reduction, not a dense kernel.
+  void CheckRawDenseLoop(const std::string& rel,
+                         const std::vector<std::string>& clean_lines,
+                         const std::vector<std::string>& raw_lines) {
+    if (rel.find("nn/kernels/") != std::string::npos) return;
+    struct ForScope {
+      bool braced = false;
+      int body_brace_depth = 0;
+    };
+    std::vector<ForScope> stack;
+    int brace_depth = 0;
+    int paren_depth = 0;
+    int header_depth = -1;  // Paren depth inside a pending for-header, or -1.
+    bool awaiting_body = false;
+    for (size_t i = 0; i < clean_lines.size(); ++i) {
+      const std::string& line = clean_lines[i];
+      size_t max_for_depth = stack.size();
+      for (size_t p = 0; p < line.size(); ++p) {
+        const char c = line[p];
+        if (awaiting_body && c != ' ' && c != '\t') {
+          awaiting_body = false;
+          if (c == '{') {
+            stack.back().braced = true;
+            stack.back().body_brace_depth = ++brace_depth;
+            continue;
+          }
+          // Braceless body: the scope pops at the statement-ending `;`.
+        }
+        if (IsWordChar(c)) {
+          size_t e = p;
+          while (e < line.size() && IsWordChar(line[e])) ++e;
+          if (e - p == 3 && line.compare(p, 3, "for") == 0 &&
+              header_depth == -1) {
+            const size_t q = line.find_first_not_of(' ', e);
+            if (q != std::string::npos && line[q] == '(') {
+              header_depth = paren_depth + 1;  // Depth once '(' is consumed.
+            }
+          }
+          p = e - 1;
+          continue;
+        }
+        if (c == '(') {
+          ++paren_depth;
+          continue;
+        }
+        if (c == ')') {
+          --paren_depth;
+          if (header_depth != -1 && paren_depth < header_depth) {
+            header_depth = -1;
+            awaiting_body = true;
+            stack.push_back(ForScope{});
+            max_for_depth = std::max(max_for_depth, stack.size());
+          }
+          continue;
+        }
+        if (c == '{') {
+          ++brace_depth;
+          continue;
+        }
+        if (c == '}') {
+          --brace_depth;
+          while (!stack.empty() && stack.back().braced &&
+                 stack.back().body_brace_depth > brace_depth) {
+            stack.pop_back();
+            // A braceless parent's body was that braced statement.
+            while (!stack.empty() && !stack.back().braced) stack.pop_back();
+          }
+          continue;
+        }
+        if (c == ';' && paren_depth == 0 && header_depth == -1) {
+          while (!stack.empty() && !stack.back().braced) stack.pop_back();
+          continue;
+        }
+      }
+      if (max_for_depth < 2) continue;
+      const size_t plus_eq = line.find("+=");
+      if (plus_eq == std::string::npos) continue;
+      // A `*` at subscript/argument depth is index arithmetic
+      // (`a[i * n + j]`), not a value multiply; only a top-level `*` on the
+      // right-hand side makes this a multiply-accumulate.
+      bool multiplies = false;
+      int rhs_depth = 0;
+      for (size_t p = plus_eq + 2; p < line.size(); ++p) {
+        if (line[p] == '[' || line[p] == '(') ++rhs_depth;
+        if (line[p] == ']' || line[p] == ')') --rhs_depth;
+        if (line[p] == '*' && rhs_depth == 0) {
+          multiplies = true;
+          break;
+        }
+      }
+      if (!multiplies) continue;
+      size_t subscripts = 0;
+      for (size_t p = 1; p < line.size(); ++p) {
+        if (line[p] == '[' &&
+            (IsWordChar(line[p - 1]) || line[p - 1] == ']' ||
+             line[p - 1] == ')')) {
+          ++subscripts;
+        }
+      }
+      size_t at_pos = FindWord(line, "At");
+      while (at_pos != std::string::npos) {
+        if (IsCallAt(line, at_pos, "At")) ++subscripts;
+        at_pos = FindWord(line, "At", at_pos + 1);
+      }
+      if (subscripts < 2) continue;
+      Report(rel, static_cast<int>(i) + 1, raw_lines, "raw-dense-loop",
+             "multiply-accumulate over subscripted operands inside nested "
+             "loops — use the nn/kernels primitives (Gemm, "
+             "FusedAffineActivation, SquaredDistances, Axpy)");
+    }
+  }
+
   // Applies the allow() escape hatch, then records the finding.
   void Report(const std::string& rel, int ln,
               const std::vector<std::string>& raw_lines,
@@ -677,6 +812,7 @@ int RunSelfTest() {
       ("targad_lint_selftest_" + std::to_string(::getpid()));
   fs::remove_all(dir);
   fs::create_directories(dir / "sub");
+  fs::create_directories(dir / "nn" / "kernels");
 
   const std::vector<SelfCase> cases = {
       {"sub/bad_guard.h",
@@ -769,6 +905,55 @@ int RunSelfTest() {
        "  X(kA, 20)                       \\\n"
        "  X(kC, 30)\n",
        {{"lock-rank-table", 3}, {"lock-rank-table", 4}}},
+      // raw-dense-loop: a hand-written triple-loop matmul fires (line 5, on
+      // the accumulate line), as does a braceless nested accumulation over
+      // At() (line 10); the escape hatch still works (line 13).
+      {"sub/dense.cc",
+       "void MatMul(double* c, const double* a, const double* b, int n) {\n"
+       "  for (int i = 0; i < n; ++i) {\n"
+       "    for (int j = 0; j < n; ++j) {\n"
+       "      for (int k = 0; k < n; ++k) {\n"
+       "        c[i * n + j] += a[i * n + k] * b[k * n + j];\n"
+       "      }\n"
+       "    }\n"
+       "  }\n"
+       "  for (int i = 0; i < n; ++i)\n"
+       "    for (int j = 0; j < n; ++j) out.At(i, j) += x.At(i, j) * w[j];\n"
+       "  for (int i = 0; i < n; ++i) {\n"
+       "    for (int j = 0; j < n; ++j) {\n"
+       "      c[i] += a[i * n + j] * b[j];  // targad-lint: allow(raw-dense-loop)\n"
+       "    }\n"
+       "  }\n"
+       "}\n",
+       {{"raw-dense-loop", 5}, {"raw-dense-loop", 10}}},
+      // ...the kernel layer itself is exempt by path...
+      {"nn/kernels/fast.cc",
+       "void Gemm(double* c, const double* a, const double* b, int n) {\n"
+       "  for (int i = 0; i < n; ++i) {\n"
+       "    for (int j = 0; j < n; ++j) {\n"
+       "      c[i * n + j] += a[i * n + j] * b[j * n + i];\n"
+       "    }\n"
+       "  }\n"
+       "}\n",
+       {}},
+      // ...and legitimate shapes stay clean: a depth-1 dot product, a
+      // nested sum without multiplication, and a single-subscript weighted
+      // reduction over a hoisted scalar.
+      {"sub/dense_ok.cc",
+       "double f(const double* a, const double* b, double* s, int n) {\n"
+       "  double dot = 0.0;\n"
+       "  for (int i = 0; i < n; ++i) dot += a[i] * b[i];\n"
+       "  for (int i = 0; i < n; ++i) {\n"
+       "    for (int j = 0; j < n; ++j) s[j] += a[i * n + j];\n"
+       "    const double r = b[i];\n"
+       "    for (int j = 0; j < n; ++j) {\n"
+       "      const double diff = a[i * n + j];\n"
+       "      s[j] += r * diff * diff;\n"
+       "    }\n"
+       "  }\n"
+       "  return dot;\n"
+       "}\n",
+       {}},
       // Comments and strings never trip rules; snprintf is not printf; a
       // legitimate TARGAD_RETURN_NOT_OK on a Status call is clean, as are
       // the `.status()` adapter and an ambiguous Status/Result overload set.
