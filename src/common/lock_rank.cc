@@ -1,5 +1,7 @@
 #include "common/lock_rank.h"
 
+#include <execinfo.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +41,12 @@ thread_local std::vector<LockRank> t_held_ranks;
                  static_cast<int>(held));
   }
   std::fprintf(stderr, "\n");  // targad-lint: allow(banned-io)
+  // Raw glibc backtrace, async-signal-safe-ish like the report above;
+  // symbolize offline with addr2line. Without it a rank abort inside a
+  // callback chain (worker thread, destructor) is nearly unfindable.
+  void* frames[32];
+  const int depth = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, depth, /*fd=*/2);
   std::abort();
 }
 

@@ -38,6 +38,13 @@ namespace targad {
 //   rank | lock                           | held while calling
 //   -----+--------------------------------+-----------------------------
 //    10  | ThreadPool::mu_                | nothing (leaf of the pool)
+//    14  | net::Session::mu_              | logging at most. NEVER held
+//         |                                | across BatchScorer::Submit — a
+//         |                                | shed row's completion callback
+//         |                                | runs synchronously and re-locks
+//         |                                | the session.
+//    16  | net::TcpServer::ready_mu_      | logging at most (push/swap of
+//         |                                | the completion ready-list)
 //    20  | serve::BatchScorer::mu_        | nothing today; may precede any
 //         |                                | row below (snapshot/swap/metrics)
 //    30  | serve::ModelRegistry::mu_      | nothing (snapshot fetch is leaf)
@@ -46,6 +53,8 @@ namespace targad {
 //    60  | logging sink                   | nothing (innermost of all)
 #define TARGAD_LOCK_RANK_TABLE(X) \
   X(kThreadPool, 10)              \
+  X(kNetSession, 14)              \
+  X(kNetReady, 16)                \
   X(kBatchScorerQueue, 20)        \
   X(kModelRegistry, 30)           \
   X(kBatchScorerSwap, 40)         \

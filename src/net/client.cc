@@ -1,0 +1,106 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace targad {
+namespace net {
+
+Status LineClient::Connect(const std::string& host, uint16_t port,
+                           int timeout_ms) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IOError("socket(): ", std::string(strerror(errno)));
+  }
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host '", host, "'");
+  }
+
+  // Blocking connect with a coarse deadline via SO_SNDTIMEO.
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status =
+        Status::IOError("connect(): ", std::string(strerror(errno)));
+    Close();
+    return status;
+  }
+  int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status LineClient::SendLine(const std::string& line) {
+  return SendRaw(line + "\n");
+}
+
+Status LineClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("send(): ", std::string(strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> LineClient::RecvLine(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string line;
+  for (;;) {
+    const FrameDecoder::Outcome outcome = decoder_.ReadLine(&line);
+    if (outcome == FrameDecoder::Outcome::kLine) return line;
+    if (outcome == FrameDecoder::Outcome::kOversized) {
+      return Status::IOError("reply line exceeds limit");
+    }
+    pollfd p{fd_, POLLIN, 0};
+    const int ready = ::poll(&p, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("poll(): ", std::string(strerror(errno)));
+    }
+    if (ready == 0) return Status::IOError("recv timed out");
+    char buf[4096];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IOError("connection closed");
+    // EAGAIN covers callers that put the socket into nonblocking mode
+    // (the load generator); the next poll round settles it.
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::IOError("read(): ", std::string(strerror(errno)));
+  }
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_.Reset();
+}
+
+}  // namespace net
+}  // namespace targad

@@ -1,0 +1,67 @@
+// LineClient: a small blocking client for the TCP line protocol, used by
+// the protocol tests and as the connection primitive of the open-loop load
+// generator. Deliberately simple: one socket, SendLine/RecvLine with a
+// deadline, no internal threading. The load generator puts the socket into
+// nonblocking mode itself via fd().
+
+#ifndef TARGAD_NET_CLIENT_H_
+#define TARGAD_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace targad {
+namespace net {
+
+class LineClient {
+ public:
+  LineClient() : decoder_(kRecvLineLimit) {}
+  ~LineClient() { Close(); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  LineClient(LineClient&& other) noexcept
+      : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+    other.fd_ = -1;
+  }
+
+  /// Connects to host:port (IPv4 dotted quad, e.g. "127.0.0.1").
+  [[nodiscard]] Status Connect(const std::string& host, uint16_t port,
+                               int timeout_ms = 5000);
+
+  /// Writes `line` plus a terminating "\n" (blocking until accepted).
+  [[nodiscard]] Status SendLine(const std::string& line);
+
+  /// Sends raw bytes verbatim — for tests that split a request across
+  /// arbitrary write boundaries.
+  [[nodiscard]] Status SendRaw(const std::string& bytes);
+
+  /// Reads the next reply line (terminator stripped). IOError "connection
+  /// closed" on EOF, IOError "timed out" after timeout_ms.
+  [[nodiscard]] Result<std::string> RecvLine(int timeout_ms = 5000);
+
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// The raw socket (the load generator drives it nonblocking).
+  int fd() const { return fd_; }
+
+ private:
+  /// Replies are short ("OK <score>", stats lines); 1 MiB is paranoia.
+  static constexpr size_t kRecvLineLimit = 1 << 20;
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace targad
+
+#endif  // TARGAD_NET_CLIENT_H_

@@ -1,0 +1,126 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace targad {
+namespace net {
+
+Result<Request> ParseRequest(const std::string& line) {
+  if (line.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+  const size_t first_space = line.find(' ');
+  const std::string command = line.substr(0, first_space);
+  if (command == "PING" || command == "STATS" || command == "QUIT") {
+    if (first_space != std::string::npos) {
+      return Status::InvalidArgument(command, " takes no arguments");
+    }
+    Request request;
+    request.kind = command == "PING"    ? Request::Kind::kPing
+                   : command == "STATS" ? Request::Kind::kStats
+                                        : Request::Kind::kQuit;
+    return request;
+  }
+  if (command == "SCORE") {
+    if (first_space == std::string::npos) {
+      return Status::InvalidArgument("SCORE requires a model and a CSV row");
+    }
+    const size_t model_begin = first_space + 1;
+    const size_t second_space = line.find(' ', model_begin);
+    if (second_space == std::string::npos || second_space == model_begin) {
+      return Status::InvalidArgument(
+          "SCORE requires two arguments: SCORE <model> <csv-cells>");
+    }
+    Request request;
+    request.kind = Request::Kind::kScore;
+    request.model = line.substr(model_begin, second_space - model_begin);
+    request.cells_csv = line.substr(second_space + 1);
+    if (request.cells_csv.empty()) {
+      return Status::InvalidArgument("SCORE row has no cells");
+    }
+    return request;
+  }
+  return Status::InvalidArgument("unknown command '", command,
+                                 "' (SCORE|PING|STATS|QUIT)");
+}
+
+std::string FormatOkScore(double score) {
+  return "OK " + FormatDouble(score, 6) + "\n";
+}
+
+std::string FormatOk(const std::string& payload) {
+  return "OK " + payload + "\n";
+}
+
+std::string FormatPong() { return "PONG\n"; }
+
+std::string FormatErr(const char* code, const std::string& message) {
+  std::string reply = "ERR ";
+  reply += code;
+  reply += ' ';
+  for (char c : message) reply += (c == '\n' || c == '\r') ? ' ' : c;
+  reply += '\n';
+  return reply;
+}
+
+const char* WireCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kResourceExhausted:
+      return kErrOverloaded;
+    case StatusCode::kNotFound:
+      return kErrNotFound;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return kErrBadRequest;
+    case StatusCode::kFailedPrecondition:
+      return kErrUnavailable;
+    default:
+      return kErrInternal;
+  }
+}
+
+std::string FormatErrStatus(const Status& status) {
+  return FormatErr(WireCode(status.code()), status.message());
+}
+
+void FrameDecoder::Append(const char* data, size_t n) {
+  // Compact lazily: once the consumed prefix dominates, drop it so the
+  // buffer stays proportional to the unread tail, not the session history.
+  if (consumed_ > 4096 && consumed_ > buf_.size() / 2) {
+    buf_.erase(0, consumed_);
+    scan_ -= consumed_;
+    consumed_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecoder::Outcome FrameDecoder::ReadLine(std::string* line) {
+  if (poisoned_) return Outcome::kOversized;
+  // scan_ remembers how far the newline search got, so a slow-trickling
+  // long line costs O(bytes), not O(bytes^2).
+  const size_t newline = buf_.find('\n', std::max(consumed_, scan_));
+  if (newline == std::string::npos) {
+    scan_ = buf_.size();
+    if (buf_.size() - consumed_ > max_line_bytes_) {
+      poisoned_ = true;
+      return Outcome::kOversized;
+    }
+    return Outcome::kNeedMore;
+  }
+  if (newline - consumed_ > max_line_bytes_) {
+    poisoned_ = true;
+    return Outcome::kOversized;
+  }
+  size_t end = newline;
+  if (end > consumed_ && buf_[end - 1] == '\r') --end;
+  line->assign(buf_, consumed_, end - consumed_);
+  consumed_ = newline + 1;
+  scan_ = consumed_;
+  return Outcome::kLine;
+}
+
+}  // namespace net
+}  // namespace targad

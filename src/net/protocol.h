@@ -1,0 +1,132 @@
+// Wire protocol of the TCP serving front-end: a line-delimited text
+// protocol, one request per line, one reply line per request, replies per
+// connection in request order.
+//
+// Request grammar (lines end "\n", an optional preceding "\r" is stripped):
+//
+//   SCORE <model> <csv-cells>     score one feature row with <model>
+//   PING                          liveness probe
+//   STATS                         one-line k=v server counters
+//   QUIT                          flush pending replies, then close
+//
+// <csv-cells> is everything after the second space: a CSV record in the
+// model's feature_columns() order (quoted cells supported, same dialect as
+// the stdio stream). The record may itself start with a "model=<name>"
+// routing cell — shared with the stdio path via serve/row_parse.h — which
+// overrides <model>.
+//
+// Reply grammar:
+//
+//   OK <payload>                  success ("OK <score>", "OK bye", stats)
+//   PONG                          reply to PING
+//   ERR <code> <message>          failure; <code> is a stable kebab-case
+//                                 token (bad-request, too-long, not-found,
+//                                 overloaded, unavailable, internal,
+//                                 draining), <message> is human-readable.
+//
+// FrameDecoder turns a TCP byte stream into complete lines, enforcing the
+// per-connection max line length (the first defence against a client
+// streaming an unbounded "line").
+
+#ifndef TARGAD_NET_PROTOCOL_H_
+#define TARGAD_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace targad {
+namespace net {
+
+/// Stable wire error codes (the `<code>` token of an ERR reply).
+inline constexpr const char kErrBadRequest[] = "bad-request";
+inline constexpr const char kErrTooLong[] = "too-long";
+inline constexpr const char kErrNotFound[] = "not-found";
+inline constexpr const char kErrOverloaded[] = "overloaded";
+inline constexpr const char kErrUnavailable[] = "unavailable";
+inline constexpr const char kErrInternal[] = "internal";
+inline constexpr const char kErrDraining[] = "draining";
+
+/// One parsed request line.
+struct Request {
+  enum class Kind { kScore, kPing, kStats, kQuit };
+  Kind kind = Kind::kPing;
+  /// SCORE only: the <model> token (possibly overridden by a model= cell).
+  std::string model;
+  /// SCORE only: the raw CSV record after the model token.
+  std::string cells_csv;
+};
+
+/// Parses one complete request line (terminator already stripped).
+/// InvalidArgument on an empty line, unknown command, or malformed SCORE.
+[[nodiscard]] Result<Request> ParseRequest(const std::string& line);
+
+/// "OK <score>\n" with the stream driver's 6-digit score formatting, so a
+/// TCP client and the stdio path print bit-identical scores.
+std::string FormatOkScore(double score);
+
+/// "OK <payload>\n".
+std::string FormatOk(const std::string& payload);
+
+/// "PONG\n".
+std::string FormatPong();
+
+/// "ERR <code> <message>\n"; newlines in `message` are flattened to spaces
+/// so a reply can never span frames.
+std::string FormatErr(const char* code, const std::string& message);
+
+/// Maps a scoring Status onto the wire code an ERR reply carries.
+const char* WireCode(StatusCode code);
+
+/// FormatErr(WireCode(status.code()), status.message()).
+std::string FormatErrStatus(const Status& status);
+
+/// Incremental line framer over a TCP byte stream. Feed raw reads with
+/// Append; pull complete lines with Next. Bounded: once more than
+/// `max_line_bytes` accumulate without a newline the decoder reports
+/// kOversized and the connection must be closed (there is no way to resync
+/// reliably mid-"line").
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  enum class Outcome { kLine, kNeedMore, kOversized };
+
+  /// Appends `n` raw bytes from the socket.
+  void Append(const char* data, size_t n);
+
+  /// Extracts the next complete line into `*line` (terminator stripped,
+  /// trailing "\r" dropped). kNeedMore when no full line is buffered;
+  /// kOversized when the buffered prefix exceeds max_line_bytes (the
+  /// decoder is then poisoned: every later call reports kOversized).
+  Outcome ReadLine(std::string* line);
+
+  /// Bytes currently buffered (for tests and drain accounting).
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+  /// Drops all buffered bytes and clears the poisoned state (for reusing a
+  /// decoder across reconnects).
+  void Reset() {
+    buf_.clear();
+    consumed_ = 0;
+    scan_ = 0;
+    poisoned_ = false;
+  }
+
+ private:
+  const size_t max_line_bytes_;
+  std::string buf_;
+  /// Prefix of buf_ already handed out as lines (compacted lazily).
+  size_t consumed_ = 0;
+  /// High-water mark of the newline search (see ReadLine).
+  size_t scan_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace net
+}  // namespace targad
+
+#endif  // TARGAD_NET_PROTOCOL_H_

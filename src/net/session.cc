@@ -1,0 +1,60 @@
+#include "net/session.h"
+
+#include <unistd.h>
+
+namespace targad {
+namespace net {
+
+void Session::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  MutexLock lock(&mu_);
+  closed_ = true;
+  completed_.clear();
+}
+
+uint64_t Session::BeginRequest() {
+  const uint64_t seq = next_seq_++;
+  MutexLock lock(&mu_);
+  ++inflight_;
+  return seq;
+}
+
+void Session::Complete(uint64_t seq, std::string reply) {
+  MutexLock lock(&mu_);
+  --inflight_;
+  if (closed_) return;
+  Reply& slot = completed_[seq];
+  slot.text = std::move(reply);
+  slot.done_at = std::chrono::steady_clock::now();
+}
+
+size_t Session::inflight() const {
+  MutexLock lock(&mu_);
+  return inflight_;
+}
+
+bool Session::ReplyQueueEmpty() const {
+  MutexLock lock(&mu_);
+  return inflight_ == 0 && completed_.empty();
+}
+
+size_t Session::CollectReady(std::string* sink, NetMetrics* metrics) {
+  MutexLock lock(&mu_);
+  size_t released = 0;
+  while (!completed_.empty() &&
+         completed_.begin()->first == next_flush_seq_) {
+    Reply& reply = completed_.begin()->second;
+    if (metrics != nullptr) metrics->RecordRespondUs(ElapsedUs(reply.done_at));
+    sink->append(reply.text);
+    completed_.erase(completed_.begin());
+    ++next_flush_seq_;
+    ++released;
+  }
+  return released;
+}
+
+}  // namespace net
+}  // namespace targad

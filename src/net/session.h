@@ -1,0 +1,131 @@
+// Session: per-connection state of the TCP front-end. One Session is owned
+// by the server's poll (ingest) thread, which runs the read/parse/write
+// stages; scoring-completion callbacks running on BatchScorer workers hand
+// their replies back through Complete(). The contract that makes replies
+// come out in request order on every connection:
+//
+//  - the poll thread assigns each request a monotonically increasing
+//    sequence number at parse time (BeginRequest),
+//  - callbacks complete sequence numbers in ANY order (batches for
+//    different models finish whenever they finish),
+//  - CollectReady only releases the longest contiguous completed prefix,
+//    so the write stage emits reply seq 0, 1, 2, ... regardless of
+//    completion order.
+//
+// Thread ownership: fields above mu_ are poll-thread-only (the read buffer,
+// the socket, flush backlog, lifecycle flags). Fields below mu_ are the
+// cross-thread reply handoff, guarded by the kNetSession rank.
+
+#ifndef TARGAD_NET_SESSION_H_
+#define TARGAD_NET_SESSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+#include "net/metrics.h"
+#include "net/protocol.h"
+
+namespace targad {
+namespace net {
+
+/// Microseconds elapsed since `since` (clamped at 0).
+inline uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  const auto d = std::chrono::steady_clock::now() - since;
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(d);
+  return us.count() < 0 ? 0 : static_cast<uint64_t>(us.count());
+}
+
+class Session {
+ public:
+  /// Takes ownership of the connected socket `fd` (nonblocking).
+  Session(int fd, size_t max_line_bytes)
+      : fd_(fd),
+        decoder_(max_line_bytes),
+        last_active_(std::chrono::steady_clock::now()) {}
+
+  ~Session() { Close(); }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // ---- Poll-thread-only surface -----------------------------------------
+
+  int fd() const { return fd_; }
+
+  FrameDecoder& decoder() { return decoder_; }
+
+  /// Write backlog: bytes collected from completed replies but not yet
+  /// accepted by the kernel.
+  std::string& out() { return out_; }
+
+  bool quitting() const { return quitting_; }
+  void set_quitting() { quitting_ = true; }
+
+  bool peer_eof() const { return peer_eof_; }
+  void set_peer_eof() { peer_eof_ = true; }
+
+  std::chrono::steady_clock::time_point last_active() const {
+    return last_active_;
+  }
+  void Touch() { last_active_ = std::chrono::steady_clock::now(); }
+
+  /// Closes the socket (idempotent) and stops Complete() from buffering
+  /// further reply bytes for it.
+  void Close() TARGAD_EXCLUDES(mu_);
+
+  // ---- Cross-thread surface ---------------------------------------------
+
+  /// Registers the next request: returns its sequence number and counts it
+  /// in flight until the matching Complete.
+  uint64_t BeginRequest() TARGAD_EXCLUDES(mu_);
+
+  /// Hands back the reply for `seq`. Any thread; replies may complete out
+  /// of order.
+  void Complete(uint64_t seq, std::string reply) TARGAD_EXCLUDES(mu_);
+
+  /// Requests begun but not yet completed.
+  size_t inflight() const TARGAD_EXCLUDES(mu_);
+
+  /// True when no request is in flight and every completed reply has been
+  /// collected (the session can be closed without losing replies).
+  bool ReplyQueueEmpty() const TARGAD_EXCLUDES(mu_);
+
+  /// Appends the longest contiguous run of completed replies to *sink (in
+  /// sequence order) and returns how many replies were released. Records
+  /// the respond-stage wait of each released reply in `metrics` (nullable).
+  size_t CollectReady(std::string* sink, NetMetrics* metrics)
+      TARGAD_EXCLUDES(mu_);
+
+ private:
+  struct Reply {
+    std::string text;
+    std::chrono::steady_clock::time_point done_at;
+  };
+
+  // Poll-thread-owned (unguarded by convention: declared above the mutex).
+  int fd_;
+  FrameDecoder decoder_;
+  std::string out_;
+  bool quitting_ = false;
+  bool peer_eof_ = false;
+  std::chrono::steady_clock::time_point last_active_;
+  uint64_t next_seq_ = 0;
+
+  mutable RankedMutex mu_{LockRank::kNetSession};
+  std::map<uint64_t, Reply> completed_ TARGAD_GUARDED_BY(mu_);
+  uint64_t next_flush_seq_ TARGAD_GUARDED_BY(mu_) = 0;
+  size_t inflight_ TARGAD_GUARDED_BY(mu_) = 0;
+  /// Set by Close: late completions still settle the in-flight count but
+  /// their reply text is discarded (nobody will read it).
+  bool closed_ TARGAD_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace net
+}  // namespace targad
+
+#endif  // TARGAD_NET_SESSION_H_

@@ -58,30 +58,51 @@ std::future<Result<double>> BatchScorer::Submit(
   Pending request;
   request.model = std::move(model);
   request.cells = std::move(cells);
-  request.enqueued = std::chrono::steady_clock::now();
   std::future<Result<double>> future = request.promise.get_future();
+  SubmitPending(std::move(request));
+  return future;
+}
+
+void BatchScorer::Submit(std::string model, std::vector<std::string> cells,
+                         RowCallback done) {
+  Pending request;
+  request.model = std::move(model);
+  request.cells = std::move(cells);
+  request.callback = std::move(done);
+  SubmitPending(std::move(request));
+}
+
+void BatchScorer::SubmitPending(Pending request) {
+  request.enqueued = std::chrono::steady_clock::now();
+  // Rejections deliver the status directly (promise or callback) without
+  // the completed/failed latency metrics — the row never entered a batch.
+  auto deliver = [](Pending* rejected, Status status) {
+    if (rejected->callback) {
+      rejected->callback(std::move(status));
+    } else {
+      rejected->promise.set_value(std::move(status));
+    }
+  };
   {
     MutexLock lock(&mu_);
     if (stop_) {
       lock.unlock();
-      request.promise.set_value(
-          Status::FailedPrecondition("batch scorer: shut down"));
-      return future;
+      deliver(&request, Status::FailedPrecondition("batch scorer: shut down"));
+      return;
     }
     if (queue_.size() >= options_.max_queue_rows) {
       lock.unlock();
       if (metrics_ != nullptr) metrics_->RecordRejected();
-      request.promise.set_value(Status::ResourceExhausted(
-          "batch scorer: admission queue full (", options_.max_queue_rows,
-          " pending rows)"));
-      return future;
+      deliver(&request, Status::ResourceExhausted(
+                            "batch scorer: admission queue full (",
+                            options_.max_queue_rows, " pending rows)"));
+      return;
     }
     queue_.push_back(std::move(request));
     ++outstanding_;
   }
   if (metrics_ != nullptr) metrics_->RecordSubmitted();
   queue_cv_.notify_one();
-  return future;
 }
 
 void BatchScorer::Drain() {
@@ -141,8 +162,13 @@ void BatchScorer::WorkerLoop() {
     }
     lock.unlock();
     ScoreBatch(&batch);
+    // Destroy the fulfilled rows before relocking: a callback's captures
+    // (e.g. a net::Session shared_ptr whose last reference dies here) may
+    // take their own locks, which must not nest under the queue mutex.
+    const size_t batch_size = batch.size();
+    batch.clear();
     lock.lock();
-    outstanding_ -= batch.size();
+    outstanding_ -= batch_size;
     if (outstanding_ == 0) drained_cv_.notify_all();
   }
 }
@@ -156,7 +182,11 @@ void BatchScorer::Fulfill(Pending* request, Result<double> result) {
       metrics_->RecordFailed(latency_us);
     }
   }
-  request->promise.set_value(std::move(result));
+  if (request->callback) {
+    request->callback(std::move(result));
+  } else {
+    request->promise.set_value(std::move(result));
+  }
 }
 
 void BatchScorer::ScoreBatch(std::vector<Pending>* batch) {

@@ -96,6 +96,15 @@ class BatchScorer {
   BatchScorer(const BatchScorer&) = delete;
   BatchScorer& operator=(const BatchScorer&) = delete;
 
+  /// Completion hook of the callback Submit overload. Invoked exactly once
+  /// per submitted row with the row's score or failing Status — from a
+  /// scoring worker on the normal path, or synchronously on the submitting
+  /// thread when admission rejects the row (ResourceExhausted /
+  /// FailedPrecondition-after-shutdown). The callback runs with no scorer
+  /// locks held; it must not block for long (it stalls a whole batch) and
+  /// must not re-enter Submit recursively on the rejection path.
+  using RowCallback = std::function<void(Result<double>)>;
+
   /// Submits one feature row (cells in the model's feature_columns()
   /// order) routed to `model`. The future resolves to the row's S^tar
   /// score, or to a failing Status: ResourceExhausted when the admission
@@ -109,6 +118,13 @@ class BatchScorer {
   /// Submit(kDefaultModel, cells).
   std::future<Result<double>> Submit(std::vector<std::string> cells);
 
+  /// Callback flavour of Submit, for event-driven front-ends (the TCP
+  /// responder stage): instead of parking a thread on a future, `done` is
+  /// invoked with the row's result. Same admission/ordering semantics as
+  /// the future overload; rejections invoke `done` before returning.
+  void Submit(std::string model, std::vector<std::string> cells,
+              RowCallback done) TARGAD_EXCLUDES(mu_);
+
   /// Blocks until every admitted request has been fulfilled.
   void Drain() TARGAD_EXCLUDES(mu_);
 
@@ -121,9 +137,16 @@ class BatchScorer {
   struct Pending {
     std::string model;
     std::vector<std::string> cells;
+    /// Exactly one of the two delivery channels is armed: the promise for
+    /// the future overloads, `callback` for the callback overload.
     std::promise<Result<double>> promise;
+    RowCallback callback;
     std::chrono::steady_clock::time_point enqueued;
   };
+
+  /// Shared admission path: enqueues `request` or fulfils it inline with
+  /// the rejection status (queue full / shut down).
+  void SubmitPending(Pending request) TARGAD_EXCLUDES(mu_);
 
   void WorkerLoop() TARGAD_EXCLUDES(mu_);
   /// Waits until outstanding_ hits zero; `lock` must hold mu_.

@@ -1,0 +1,56 @@
+#include "serve/row_parse.h"
+
+#include <cstddef>
+#include <utility>
+
+#include "data/csv.h"
+
+namespace targad {
+namespace serve {
+
+namespace {
+
+/// Routing prefix of an optional leading cell: "model=<name>".
+constexpr const char kModelPrefix[] = "model=";
+constexpr size_t kModelPrefixLen = sizeof(kModelPrefix) - 1;
+
+}  // namespace
+
+DataRecord SplitDataRecord(const std::string& line, int label_col) {
+  std::vector<std::string> fields = data::SplitCsvRecord(line);
+  DataRecord record;
+  size_t first = 0;
+  if (!fields.empty() && fields[0].rfind(kModelPrefix, 0) == 0) {
+    record.model = fields[0].substr(kModelPrefixLen);
+    record.routed = true;
+    first = 1;
+  }
+  record.cells.reserve(fields.size() - first);
+  for (size_t j = first; j < fields.size(); ++j) {
+    if (static_cast<int>(j - first) != label_col) {
+      record.cells.push_back(std::move(fields[j]));
+    }
+  }
+  return record;
+}
+
+Result<int> MatchSchemaHeader(const std::vector<std::string>& header,
+                              const core::RowScorer& schema) {
+  int label_col = -1;
+  for (size_t j = 0; j < header.size(); ++j) {
+    if (header[j] == schema.label_column()) label_col = static_cast<int>(j);
+  }
+  std::vector<std::string> names;
+  names.reserve(header.size());
+  for (size_t j = 0; j < header.size(); ++j) {
+    if (static_cast<int>(j) != label_col) names.push_back(header[j]);
+  }
+  if (names != schema.feature_columns()) {
+    return Status::InvalidArgument(
+        "serve: input columns differ from the model's training schema");
+  }
+  return label_col;
+}
+
+}  // namespace serve
+}  // namespace targad

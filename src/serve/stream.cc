@@ -8,15 +8,12 @@
 
 #include "common/string_util.h"
 #include "data/csv.h"
+#include "serve/row_parse.h"
 
 namespace targad {
 namespace serve {
 
 namespace {
-
-/// Routing prefix of an optional leading cell: "model=<name>".
-constexpr const char kModelPrefix[] = "model=";
-constexpr size_t kModelPrefixLen = sizeof(kModelPrefix) - 1;
 
 /// One submitted row awaiting its score. Keeps the cells so an admission
 /// rejection can be retried.
@@ -45,20 +42,10 @@ Result<StreamStats> ScoreCsvStream(const core::RowScorer& schema,
     return Status::InvalidArgument("serve stream: empty input");
   }
 
-  // Drop the label column (if present) and check the remaining schema.
+  // Drop the label column (if present) and check the remaining schema —
+  // shared with the TCP parse stage via row_parse.h.
   int label_col = -1;
-  for (size_t j = 0; j < header.size(); ++j) {
-    if (header[j] == schema.label_column()) label_col = static_cast<int>(j);
-  }
-  std::vector<std::string> names;
-  names.reserve(header.size());
-  for (size_t j = 0; j < header.size(); ++j) {
-    if (static_cast<int>(j) != label_col) names.push_back(header[j]);
-  }
-  if (names != schema.feature_columns()) {
-    return Status::InvalidArgument(
-        "serve stream: input columns differ from the model's training schema");
-  }
+  TARGAD_ASSIGN_OR_RETURN(label_col, MatchSchemaHeader(header, schema));
 
   if (options.write_header) out << "s_tar\n";
 
@@ -96,26 +83,22 @@ Result<StreamStats> ScoreCsvStream(const core::RowScorer& schema,
   // early rows overlaps with reading later ones.
   const size_t window_rows = scorer->options().max_queue_rows;
   std::deque<InFlight> window;
-  while (std::getline(in, line)) {
+  while (!stats.stopped_early && std::getline(in, line)) {
+    if (options.should_stop && options.should_stop()) {
+      // Drain request raced the read: the line was consumed from the input,
+      // so it is still scored — only subsequent reads stop.
+      stats.stopped_early = true;
+    }
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (Trim(line).empty()) continue;
-    std::vector<std::string> fields = data::SplitCsvRecord(line);
     ++stats.rows_in;
 
+    DataRecord record = SplitDataRecord(line, label_col);
     InFlight entry;
-    entry.model = BatchScorer::kDefaultModel;
-    size_t first = 0;
-    if (!fields.empty() && fields[0].rfind(kModelPrefix, 0) == 0) {
-      entry.model = fields[0].substr(kModelPrefixLen);
-      first = 1;
-      ++stats.rows_routed;
-    }
-    entry.cells.reserve(names.size());
-    for (size_t j = first; j < fields.size(); ++j) {
-      if (static_cast<int>(j - first) != label_col) {
-        entry.cells.push_back(std::move(fields[j]));
-      }
-    }
+    entry.model =
+        record.routed ? std::move(record.model) : BatchScorer::kDefaultModel;
+    if (record.routed) ++stats.rows_routed;
+    entry.cells = std::move(record.cells);
 
     if (window.size() >= window_rows) {
       TARGAD_RETURN_NOT_OK(resolve(&window.front()));
@@ -123,6 +106,11 @@ Result<StreamStats> ScoreCsvStream(const core::RowScorer& schema,
     }
     entry.future = scorer->Submit(entry.model, entry.cells);
     window.push_back(std::move(entry));
+  }
+  // A signal can interrupt a blocked read (EINTR fails the stream); treat a
+  // pending stop request as a drain, not an I/O error.
+  if (!stats.stopped_early && options.should_stop && options.should_stop()) {
+    stats.stopped_early = true;
   }
   while (!window.empty()) {
     TARGAD_RETURN_NOT_OK(resolve(&window.front()));

@@ -18,6 +18,7 @@
 #define TARGAD_SERVE_STREAM_H_
 
 #include <cstddef>
+#include <functional>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -35,6 +36,10 @@ struct StreamStats {
   size_t rows_scored = 0;  ///< Futures that resolved to a score.
   size_t rows_failed = 0;  ///< Futures that resolved to an error.
   size_t rows_routed = 0;  ///< Rows that carried a model=<name> cell.
+  /// True when should_stop ended the session early (graceful drain): input
+  /// reading stopped, but every already-submitted row was still resolved
+  /// and written before returning.
+  bool stopped_early = false;
 };
 
 struct StreamOptions {
@@ -49,6 +54,12 @@ struct StreamOptions {
   /// Per-row error behaviour: emit "error:<Code>" cells and continue
   /// (true), or stop at the first failed row (false).
   bool keep_going = false;
+  /// Graceful-drain hook, polled between input lines (and consulted after a
+  /// signal-interrupted read). When it returns true the driver stops
+  /// reading, resolves every in-flight row in order, and returns with
+  /// stopped_early set — the same drain semantics as the TCP listener's
+  /// SIGTERM path. Empty = never stop early.
+  std::function<bool()> should_stop;
 };
 
 /// Reads a CSV (header + feature rows, label column optional — it is

@@ -117,6 +117,74 @@ head -1 data_test.csv | cat - bad_route.csv > bad_routed_test.csv
 "$CLI" serve --models models_dir --in bad_routed_test.csv \
   --out /dev/null >/dev/null 2>&1 && fail "unknown routed model accepted"
 
+# Graceful stdio drain: SIGTERM while the input pipe is still open must
+# stop reading, resolve every in-flight row, write its score, and exit 0.
+mkfifo drain_fifo
+"$CLI" serve --model m.model < drain_fifo > drain_scores.csv \
+  2>drain_metrics.txt &
+SERVE_PID=$!
+exec 9>drain_fifo
+head -4 data_test.csv >&9   # header + 3 rows, pipe stays open
+sleep 1
+kill -TERM "$SERVE_PID"
+drained=1
+for _ in $(seq 1 100); do
+  kill -0 "$SERVE_PID" 2>/dev/null || { drained=0; break; }
+  sleep 0.1
+done
+exec 9>&-
+rm -f drain_fifo
+[ "$drained" -eq 0 ] || fail "stdio serve did not exit after SIGTERM"
+wait "$SERVE_PID"; [ $? -eq 0 ] || fail "stdio drain exited non-zero"
+drain_rows=$(($(wc -l < drain_scores.csv) - 1))
+[ "$drain_rows" -eq 3 ] || fail "stdio drain lost rows: got $drain_rows of 3"
+diff <(head -4 scores.csv) drain_scores.csv \
+  || fail "stdio drain scores differ from serial output"
+grep -q "drain: stopped early" drain_metrics.txt \
+  || fail "stdio drain marker missing"
+
+# TCP front-end smoke: ephemeral port, PING/SCORE/STATS/QUIT over
+# /dev/tcp, score bit-identical to the serial path, SIGTERM drain.
+"$CLI" serve --model m.model --tcp 0 2>tcp_metrics.txt &
+TCP_PID=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+         tcp_metrics.txt)
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+[ -n "$port" ] || fail "tcp serve never reported its port"
+feature_row=$(awk 'BEGIN{FS=",";OFS=","} NR==2 {NF=NF-1; print}' \
+              data_test.csv)
+serial_score=$(sed -n '2p' scores.csv)
+exec 8<>/dev/tcp/127.0.0.1/"$port" || fail "tcp connect"
+printf 'PING\nSCORE default %s\nSTATS\nQUIT\n' "$feature_row" >&8
+{ read -r pong; read -r score_reply; read -r stats_reply; read -r bye; } <&8
+exec 8>&- 8<&-
+[ "$pong" = "PONG" ] || fail "tcp PING reply: $pong"
+[ "$score_reply" = "OK $serial_score" ] \
+  || fail "tcp score '$score_reply' != 'OK $serial_score'"
+case "$stats_reply" in
+  "OK accepted="*rows_in=*) ;;
+  *) fail "tcp STATS reply unexpected: $stats_reply" ;;
+esac
+[ "$bye" = "OK bye" ] || fail "tcp QUIT reply: $bye"
+kill -TERM "$TCP_PID"
+tcp_down=1
+for _ in $(seq 1 100); do
+  kill -0 "$TCP_PID" 2>/dev/null || { tcp_down=0; break; }
+  sleep 0.1
+done
+[ "$tcp_down" -eq 0 ] || fail "tcp serve did not drain on SIGTERM"
+wait "$TCP_PID"; [ $? -eq 0 ] || fail "tcp serve exited non-zero"
+grep -q "targad: drained" tcp_metrics.txt || fail "tcp drain marker missing"
+grep -q "net rows: 1 in" tcp_metrics.txt || fail "tcp net metrics missing"
+
+# --tcp excludes the stdio flags.
+"$CLI" serve --model m.model --tcp 0 --in data_test.csv >/dev/null 2>&1 \
+  && fail "tcp with --in accepted"
+
 # Unknown flags are rejected, and the error names the valid ones.
 err=$("$CLI" serve --model m.model --bogus-flag 1 2>&1) \
   && fail "unknown flag accepted"

@@ -7,11 +7,17 @@ on this checkout. For every dtype it reports the best rows/sec across the
 worker x batch grid and the delta against the baseline (the last trajectory
 entry when a fresh run is given, otherwise the previous entry).
 
+When trajectory entries carry a "net" object (the bench_net_loadgen
+record), or a fresh net_loadgen.json is passed via --run-net, a second
+table diffs the TCP front-end's open-loop latency ladder (p50/p99/p999,
+lower is better) the same way.
+
 Only the standard library is used; CI pipes the output into a PR comment.
 
 Usage:
   bench_delta.py --trajectory BENCH_serve_throughput.json \
-      [--run serve_throughput.json] [--output bench_delta.md]
+      [--run serve_throughput.json] [--run-net net_loadgen.json] \
+      [--output bench_delta.md]
 """
 
 import argparse
@@ -45,7 +51,62 @@ def format_delta(base, new):
     return f"{pct:+.1f}%"
 
 
-def render(trajectory, run):
+def format_latency_delta(base, new):
+    """Latency delta where lower is better: negative percentages are wins."""
+    if base <= 0.0:
+        return "n/a"
+    pct = (new / base - 1.0) * 100.0
+    return f"{pct:+.1f}%"
+
+
+def render_net(baseline, candidate, candidate_label, run_net):
+    """Markdown lines for the TCP loadgen section, or [] when absent."""
+    base_net = baseline.get("net")
+    cand_net = run_net if run_net is not None else candidate.get("net")
+    if cand_net is None:
+        return []
+    lines = [
+        "### TCP front-end — open-loop loadgen latency",
+        "",
+    ]
+    if base_net is None:
+        base_label = "(no baseline)"
+        base_net = {}
+    else:
+        base_label = f"{entry_label(baseline)} (baseline)"
+    lines += [
+        f"| metric | {base_label} | {candidate_label} | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    for key in ("p50_us", "p99_us", "p999_us"):
+        base = float(base_net.get(key, 0.0))
+        cand = float(cand_net.get(key, 0.0))
+        base_text = f"{base:,.0f} us" if base > 0.0 else "n/a"
+        lines.append(
+            f"| {key} | {base_text} | {cand:,.0f} us "
+            f"| {format_latency_delta(base, cand)} |"
+        )
+    base_rps = float(base_net.get("rows_per_sec", 0.0))
+    cand_rps = float(cand_net.get("rows_per_sec", 0.0))
+    base_text = format_rows(base_rps) if base_rps > 0.0 else "n/a"
+    lines.append(
+        f"| rows/sec | {base_text} | {format_rows(cand_rps)} "
+        f"| {format_delta(base_rps, cand_rps)} |"
+    )
+    lines += [
+        "",
+        f"_Open-loop {cand_net.get('dist', '?')} replay at "
+        f"{cand_net.get('rate_target', '?')} req/s over "
+        f"{cand_net.get('connections', '?')} connections; "
+        f"sent={cand_net.get('sent', '?')} shed={cand_net.get('shed', '?')} "
+        f"errors={cand_net.get('errors', '?')}. Latency deltas: lower is "
+        "better._",
+        "",
+    ]
+    return lines
+
+
+def render(trajectory, run, run_net=None):
     entries = trajectory["trajectory"]
     if run is not None:
         baseline, candidate = entries[-1], run
@@ -88,6 +149,7 @@ def render(trajectory, run):
             )
         lines.append(detail)
         lines.append("")
+    lines.extend(render_net(baseline, candidate, candidate_label, run_net))
     lines.append(
         f"_Grid: {candidate.get('rows_per_cell', '?')} rows/cell at "
         f"scale {candidate.get('scale', '?')}; numbers are the best cell "
@@ -102,6 +164,8 @@ def main():
                         help="committed BENCH_serve_throughput.json")
     parser.add_argument("--run", default=None,
                         help="fresh serve_throughput.json from this checkout")
+    parser.add_argument("--run-net", default=None,
+                        help="fresh net_loadgen.json from this checkout")
     parser.add_argument("--output", default=None,
                         help="write markdown here as well as stdout")
     args = parser.parse_args()
@@ -112,8 +176,12 @@ def main():
     if args.run is not None:
         with open(args.run) as f:
             run = json.load(f)
+    run_net = None
+    if args.run_net is not None:
+        with open(args.run_net) as f:
+            run_net = json.load(f)
 
-    markdown = render(trajectory, run)
+    markdown = render(trajectory, run, run_net)
     sys.stdout.write(markdown)
     if args.output is not None:
         with open(args.output, "w") as f:

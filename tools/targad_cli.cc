@@ -13,6 +13,9 @@
 //   targad serve --model M [--models DIR] [--in X.csv] [--out scores.csv]
 //                [--dtype float64|float32] [--batch 64] [--delay-us 200]
 //                [--workers 2] [--queue 4096] [--refresh-ms 0]
+//                [--tcp PORT] [--bind 127.0.0.1] [--max-conns 1024]
+//                [--max-inflight 256] [--max-line 65536] [--idle-ms 0]
+//                [--drain-grace-ms 5000]
 //       Stream rows (stdin or --in) through the micro-batched scoring
 //       service; scores go to stdout or --out, a metrics report to stderr.
 //       --dtype float32 freezes published models into the float32 inference
@@ -22,18 +25,29 @@
 //       polls every registered artifact's mtime every N milliseconds on a
 //       background timer and hot-swaps changed files (zero-downtime
 //       redeploy: overwrite the .targad in place and the next batch scores
-//       with the new model).
+//       with the new model). --tcp PORT serves the line protocol
+//       ("SCORE <model> <csv>" -> "OK <score>", see src/net/protocol.h)
+//       on a TCP listener instead of stdio; PORT 0 picks an ephemeral port,
+//       reported on stderr as "targad: listening on <addr>:<port>".
+//       Either mode drains gracefully on SIGTERM/SIGINT: input stops,
+//       every in-flight row is scored and written, then the process exits.
 //
 // Unknown flags are rejected with the subcommand's valid flag list.
 // Exit status 0 on success; errors print to stderr.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -48,6 +62,8 @@
 #include "data/export.h"
 #include "data/profiles.h"
 #include "eval/metrics.h"
+#include "net/metrics.h"
+#include "net/server.h"
 #include "nn/frozen.h"
 #include "serve/batch_scorer.h"
 #include "serve/metrics.h"
@@ -141,7 +157,8 @@ const std::map<std::string, std::vector<std::string>>& CommandFlags() {
       {"score", {"model", "in", "out"}},
       {"evaluate", {"scores", "truth", "label-column", "target-prefix"}},
       {"serve", {"model", "models", "in", "out", "dtype", "batch", "delay-us",
-                 "workers", "queue", "refresh-ms"}},
+                 "workers", "queue", "refresh-ms", "tcp", "bind", "max-conns",
+                 "max-inflight", "max-line", "idle-ms", "drain-grace-ms"}},
   };
   return kFlags;
 }
@@ -271,17 +288,71 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+// SIGTERM/SIGINT drain plumbing. The flag serves the stdio path (polled
+// between lines by StreamOptions::should_stop); the self-pipe serves the
+// TCP path (the listener polls the read end as Options::drain_fd). Both are
+// async-signal-safe: a sig_atomic_t store and a write(2).
+volatile std::sig_atomic_t g_stop_requested = 0;
+int g_signal_pipe_w = -1;
+
+extern "C" void HandleStopSignal(int /*signo*/) {
+  g_stop_requested = 1;
+  if (g_signal_pipe_w >= 0) {
+    const char byte = 1;
+    // The pipe is nonblocking; a full pipe already woke the listener.
+    (void)!write(g_signal_pipe_w, &byte, 1);
+  }
+}
+
+// Blocks SIGTERM/SIGINT on the calling thread. Called in main before any
+// worker thread is spawned, so every child inherits the blocked mask and
+// delivery is funnelled to the one thread that later unblocks (main). That
+// guarantee is what makes the stdio drain reliable: the signal interrupts
+// main's blocked getline (EINTR — the handler is installed without
+// SA_RESTART) instead of being swallowed by a scorer worker.
+void BlockStopSignals() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
+  (void)pthread_sigmask(SIG_BLOCK, &set, nullptr);
+}
+
+void InstallStopHandlerAndUnblock() {
+  struct sigaction action;
+  memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART: reads must EINTR
+  (void)sigaction(SIGTERM, &action, nullptr);
+  (void)sigaction(SIGINT, &action, nullptr);
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
+  (void)pthread_sigmask(SIG_UNBLOCK, &set, nullptr);
+}
+
 int CmdServe(const Flags& flags) {
   const std::string model_path = flags.Get("model");
   const std::string models_dir = flags.Get("models");
   if (model_path.empty() && models_dir.empty()) {
     return Fail("serve requires --model <path> and/or --models <dir>");
   }
+  const bool tcp_mode = flags.Has("tcp");
   const std::string in_path = flags.Get("in");
   const std::string out_path = flags.Get("out");
+  if (tcp_mode && (!in_path.empty() || !out_path.empty())) {
+    return Fail("--tcp serves sockets; --in/--out apply to the stdio mode");
+  }
 
   auto dtype = nn::ParseDtype(flags.Get("dtype", "float64"));
   if (!dtype.ok()) return Fail(dtype.status().ToString());
+
+  // From here on threads get spawned (scorer workers, refresher, listener);
+  // keep stop signals blocked everywhere until the serving thread of the
+  // chosen mode is ready to own them.
+  BlockStopSignals();
 
   // The registry is the hot-swap point: a future front-end republishes a
   // retrained artifact under the same name while scoring continues. With
@@ -368,30 +439,100 @@ int CmdServe(const Flags& flags) {
       }
     });
   }
-
-  auto stats = serve::ScoreCsvStream(**schema, &scorer, in, out);
-  scorer.Shutdown();
-  if (refresher.joinable()) {
+  auto stop_refresher = [&] {
+    if (!refresher.joinable()) return;
     {
       std::lock_guard<std::mutex> lock(refresh_mu);
       refresh_stop = true;
     }
     refresh_cv.notify_all();
     refresher.join();
+  };
+  auto report_refreshes = [&] {
+    if (refresh_ms <= 0) return;
+    std::fprintf(stderr,
+                 "refreshes: %llu polls, %llu republished, %llu errors\n",
+                 static_cast<unsigned long long>(refresh_polls.load()),
+                 static_cast<unsigned long long>(refresh_republished.load()),
+                 static_cast<unsigned long long>(refresh_errors.load()));
+  };
+
+  if (tcp_mode) {
+    // SIGTERM/SIGINT reach the listener through a self-pipe: the handler
+    // writes one byte, the event loop polls the read end as drain_fd.
+    int signal_pipe[2] = {-1, -1};
+    if (::pipe2(signal_pipe, O_NONBLOCK | O_CLOEXEC) != 0) {
+      scorer.Shutdown();
+      stop_refresher();
+      return Fail("serve: pipe2 failed");
+    }
+    g_signal_pipe_w = signal_pipe[1];
+
+    net::TcpServerOptions net_options;
+    net_options.bind_address = flags.Get("bind", "127.0.0.1");
+    net_options.port = static_cast<uint16_t>(flags.GetInt("tcp", 0));
+    net_options.max_connections =
+        static_cast<size_t>(flags.GetInt("max-conns", 1024));
+    net_options.max_line_bytes =
+        static_cast<size_t>(flags.GetInt("max-line", 64 * 1024));
+    net_options.max_inflight_rows =
+        static_cast<size_t>(flags.GetInt("max-inflight", 256));
+    net_options.idle_timeout_ms = flags.GetInt("idle-ms", 0);
+    net_options.drain_grace_ms = flags.GetInt("drain-grace-ms", 5000);
+    net_options.drain_fd = signal_pipe[0];
+
+    net::NetMetrics net_metrics;
+    net::TcpServer server(&scorer, &net_metrics, net_options);
+    Status st = server.Start();
+    if (!st.ok()) {
+      g_signal_pipe_w = -1;
+      ::close(signal_pipe[0]);
+      ::close(signal_pipe[1]);
+      scorer.Shutdown();
+      stop_refresher();
+      return Fail(st.ToString());
+    }
+    // The port line is the startup handshake scripts wait for (and the only
+    // way to learn an ephemeral --tcp 0 port).
+    std::fprintf(stderr, "targad: listening on %s:%u\n",
+                 net_options.bind_address.c_str(),
+                 static_cast<unsigned>(server.port()));
+    InstallStopHandlerAndUnblock();
+    server.Wait();
+    std::fprintf(stderr, "targad: drained, shutting down\n");
+    scorer.Shutdown();
+    stop_refresher();
+    g_signal_pipe_w = -1;
+    ::close(signal_pipe[0]);
+    ::close(signal_pipe[1]);
+    report_refreshes();
+    std::fprintf(stderr, "%s", net_metrics.Report().c_str());
+    std::fprintf(stderr, "%s", metrics.Report().c_str());
+    return 0;
   }
+
+  // stdio mode: signals drain through StreamOptions::should_stop — the
+  // handler's flag store is observed either at the next between-lines poll
+  // or when the signal EINTRs the blocked read.
+  InstallStopHandlerAndUnblock();
+  serve::StreamOptions stream_options;
+  stream_options.should_stop = [] { return g_stop_requested != 0; };
+  auto stats =
+      serve::ScoreCsvStream(**schema, &scorer, in, out, stream_options);
+  scorer.Shutdown();
+  stop_refresher();
   if (!stats.ok()) return Fail(stats.status().ToString());
   std::fprintf(stderr,
                "served %zu rows (%zu scored, %zu failed, %zu routed, "
                "dtype %s)\n",
                stats->rows_in, stats->rows_scored, stats->rows_failed,
                stats->rows_routed, nn::DtypeName(*dtype));
-  if (refresh_ms > 0) {
+  if (stats->stopped_early) {
     std::fprintf(stderr,
-                 "refreshes: %llu polls, %llu republished, %llu errors\n",
-                 static_cast<unsigned long long>(refresh_polls.load()),
-                 static_cast<unsigned long long>(refresh_republished.load()),
-                 static_cast<unsigned long long>(refresh_errors.load()));
+                 "drain: stopped early on signal, all in-flight rows "
+                 "resolved\n");
   }
+  report_refreshes();
   std::fprintf(stderr, "%s", metrics.Report().c_str());
   return 0;
 }
