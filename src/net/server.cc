@@ -126,10 +126,17 @@ void TcpServer::WakeLoop() {
 }
 
 void TcpServer::DrainWakePipe() {
-  wake_pending_.store(false, std::memory_order_release);
   char buf[64];
   while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
   }
+  // Clear the flag only AFTER the pipe is dry. A WakeLoop that lands
+  // between the last read and this store loses its CAS and writes no byte,
+  // but its work was already queued and this iteration's respond stage
+  // picks it up. The reverse order can consume a byte written after the
+  // clear, stranding wake_pending_==true with an empty pipe — after which
+  // no WakeLoop ever writes again and every completion waits out the poll
+  // tick. (The release fence keeps the reads ordered before the store.)
+  wake_pending_.store(false, std::memory_order_release);
 }
 
 void TcpServer::Loop() {
@@ -181,7 +188,9 @@ void TcpServer::Loop() {
       TARGAD_LOG(Error) << "net: poll(): " << strerror(errno);
     }
 
-    if (fds[0].revents & POLLIN) DrainWakePipe();
+    // Unconditionally, not only on POLLIN: one spare read() per tick buys
+    // independence from revents, so a wake can never be missed outright.
+    DrainWakePipe();
     if (options_.drain_fd >= 0 && !draining) {
       // fds[1] is the drain fd exactly when it was registered above.
       if (fds[1].revents & (POLLIN | POLLERR | POLLHUP)) BeginDrain();
@@ -215,6 +224,31 @@ void TcpServer::Loop() {
       if (p.revents & (POLLIN | POLLHUP)) HandleReadable(session);
       if (session->fd() >= 0 && (p.revents & POLLOUT)) {
         (void)FlushSession(session);
+      }
+    }
+
+    // Parse re-entry: a pipelining client can buffer more complete lines
+    // than max_inflight_rows admits in one HandleReadable pass, and
+    // completions reopen the gate without producing a readable event.
+    // Re-dispatch here so those lines are answered (and the session never
+    // looks settled/idle while requests are still parked). During drain
+    // undispatched lines are intentionally abandoned ("stop reading").
+    if (!draining) {
+      std::vector<std::shared_ptr<Session>> parked;
+      for (auto& [fd, session] : sessions_) {
+        if (session->quitting() || session->decoder().buffered() == 0) {
+          continue;
+        }
+        if (session->inflight() >= options_.max_inflight_rows) continue;
+        parked.push_back(session);
+      }
+      // Two passes: FlushSession may CloseSession, which erases from
+      // sessions_ and would invalidate the iterator above.
+      const auto reentry_start = std::chrono::steady_clock::now();
+      for (const auto& session : parked) {
+        if (session->fd() < 0) continue;
+        ParseAndDispatch(session, reentry_start);
+        if (session->fd() >= 0) (void)FlushSession(session);
       }
     }
 
@@ -293,9 +327,18 @@ void TcpServer::HandleReadable(const std::shared_ptr<Session>& s) {
     return;
   }
 
-  // Parse stage: dispatch every complete line, re-checking the in-flight
-  // gate so a burst that was already buffered cannot blow past the cap by
-  // more than one read's worth of lines.
+  ParseAndDispatch(s, ingest_start);
+  if (s->fd() >= 0) (void)FlushSession(s);
+}
+
+void TcpServer::ParseAndDispatch(const std::shared_ptr<Session>& s,
+                                 std::chrono::steady_clock::time_point
+                                     ingest_start) {
+  // Dispatch every complete line, re-checking the in-flight gate so a
+  // burst that was already buffered cannot blow past the cap by more than
+  // one read's worth of lines. Lines left behind by a closed gate are
+  // re-dispatched by the loop's parse re-entry pass once completions
+  // reopen it — no readable event will ever revisit them.
   std::string line;
   while (!s->quitting() &&
          s->inflight() < options_.max_inflight_rows) {
@@ -310,8 +353,6 @@ void TcpServer::HandleReadable(const std::shared_ptr<Session>& s) {
     }
     DispatchLine(s, line, ingest_start);
   }
-
-  if (s->fd() >= 0) (void)FlushSession(s);
 }
 
 void TcpServer::DispatchLine(const std::shared_ptr<Session>& s,
@@ -397,13 +438,22 @@ void TcpServer::DispatchLine(const std::shared_ptr<Session>& s,
 
 bool TcpServer::FlushSession(const std::shared_ptr<Session>& s) {
   std::string& out = s->out();
+  size_t& flushed = s->out_flushed();
+  // Compact lazily, like FrameDecoder::Append on the read side: only once
+  // the sent prefix dominates. Erasing it per send() would memmove the
+  // whole backlog on every partial write — O(backlog^2) against a slow
+  // reader sitting at the in-flight cap.
+  if (flushed > 4096 && flushed > out.size() / 2) {
+    out.erase(0, flushed);
+    flushed = 0;
+  }
   const size_t released = s->CollectReady(&out, metrics_);
   if (released > 0) metrics_->RecordRowsOut(released);
-  while (!out.empty()) {
-    const ssize_t n =
-        ::send(s->fd(), out.data(), out.size(), MSG_NOSIGNAL);
+  while (flushed < out.size()) {
+    const ssize_t n = ::send(s->fd(), out.data() + flushed,
+                             out.size() - flushed, MSG_NOSIGNAL);
     if (n > 0) {
-      out.erase(0, static_cast<size_t>(n));
+      flushed += static_cast<size_t>(n);
       s->Touch();
       continue;
     }
@@ -411,6 +461,8 @@ bool TcpServer::FlushSession(const std::shared_ptr<Session>& s) {
     CloseSession(s->fd(), /*idle=*/false);
     return false;
   }
+  out.clear();
+  flushed = 0;
   return true;
 }
 

@@ -109,6 +109,13 @@ class TcpServer {
   void AcceptAll();
   /// Reads, frames, parses, and dispatches everything available on `s`.
   void HandleReadable(const std::shared_ptr<Session>& s);
+  /// Parse stage: dispatches buffered complete lines while the in-flight
+  /// gate admits them. Called from HandleReadable after a read, and again
+  /// from the loop whenever completions reopen a session's gate (a client
+  /// that pipelines past max_inflight_rows produces lines no readable
+  /// event will ever revisit).
+  void ParseAndDispatch(const std::shared_ptr<Session>& s,
+                        std::chrono::steady_clock::time_point ingest_start);
   /// Executes one request line (immediate replies or a scorer submit).
   void DispatchLine(const std::shared_ptr<Session>& s,
                     const std::string& line,

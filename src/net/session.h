@@ -59,9 +59,13 @@ class Session {
 
   FrameDecoder& decoder() { return decoder_; }
 
-  /// Write backlog: bytes collected from completed replies but not yet
-  /// accepted by the kernel.
+  /// Write backlog: bytes collected from completed replies. The prefix
+  /// [0, out_flushed()) has already been accepted by the kernel; the flush
+  /// path compacts it lazily (erasing eagerly per send() would be
+  /// O(backlog^2) against a slow reader). Empty iff nothing is pending:
+  /// the flush path clears both together once fully sent.
   std::string& out() { return out_; }
+  size_t& out_flushed() { return out_flushed_; }
 
   bool quitting() const { return quitting_; }
   void set_quitting() { quitting_ = true; }
@@ -111,6 +115,7 @@ class Session {
   int fd_;
   FrameDecoder decoder_;
   std::string out_;
+  size_t out_flushed_ = 0;
   bool quitting_ = false;
   bool peer_eof_ = false;
   std::chrono::steady_clock::time_point last_active_;

@@ -491,6 +491,39 @@ TEST(TcpServerTest, ManyRowsKeepPerConnectionOrder) {
   }
 }
 
+TEST(TcpServerTest, PipelineBurstBeyondInflightCapAnswersEveryRequest) {
+  // Regression: the whole burst lands in the server's decoder at once and
+  // the client then only reads. Lines beyond max_inflight_rows are parked
+  // with no further readable event coming, so only the loop's parse
+  // re-entry pass can dispatch them once completions reopen the gate. The
+  // tight idle timeout guards the old failure mode, where the parked
+  // session looked settled and was idle-closed with requests still queued.
+  TcpServerOptions options;
+  options.max_inflight_rows = 4;
+  options.idle_timeout_ms = 200;
+  serve::BatchScorerOptions scorer_options;
+  scorer_options.num_workers = 2;
+  scorer_options.max_batch_size = 2;
+  TestServer fixture(options, scorer_options);
+  LineClient client = fixture.Connect();
+
+  constexpr int kRows = 64;
+  std::string burst;
+  for (int i = 0; i < kRows; ++i) {
+    burst += "SCORE default " + std::to_string(i) + ",0\n";
+  }
+  burst += "QUIT\n";  // also parked beyond the cap; must still be reached
+  ASSERT_TRUE(client.SendRaw(burst).ok());
+  for (int i = 0; i < kRows; ++i) {
+    ASSERT_EQ(client.RecvLine().ValueOrDie(), OkScore(2.0 * i))
+        << "row " << i;
+  }
+  EXPECT_EQ(client.RecvLine().ValueOrDie(), "OK bye");
+  EXPECT_FALSE(client.RecvLine().ok());  // server closes after QUIT
+  EXPECT_EQ(fixture.metrics().Snapshot().rows_in,
+            static_cast<uint64_t>(kRows));
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace targad
