@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "core/pseudo_labels.h"
+#include "nn/kernels/kernels.h"
 #include "nn/losses.h"
 
 namespace targad {
@@ -76,53 +77,76 @@ EpochLoss TargAdClassifier::TrainEpoch(const nn::Matrix& labeled_x,
   EpochLoss epoch;
   size_t steps = 0;
   const size_t total_cols = static_cast<size_t>(m_ + k_);
+  if (pool.empty()) return epoch;
+
+  // Sort each mini-batch segment by role. stable_sort preserves within-role
+  // order, so each segment holds exactly the rows the historical three-way
+  // partition produced — labeled first, then normal, then anomaly candidates
+  // — and every per-role loss input becomes a CONTIGUOUS range of the batch.
+  for (size_t start = 0; start < pool.size(); start += config_.batch_size) {
+    const size_t end = std::min(pool.size(), start + config_.batch_size);
+    std::stable_sort(pool.begin() + static_cast<long>(start),
+                     pool.begin() + static_cast<long>(end),
+                     [](const PooledIndex& a, const PooledIndex& b) {
+                       return static_cast<int>(a.role) < static_cast<int>(b.role);
+                     });
+  }
+
+  // Gather the whole epoch's rows once; batches and logits sub-ranges are
+  // then zero-copy views instead of per-batch SelectRows/AppendRows copies.
+  const size_t dim = labeled_x.rows() > 0   ? labeled_x.cols()
+                     : normal_x.rows() > 0 ? normal_x.cols()
+                                           : anomaly_x.cols();
+  TARGAD_CHECK(labeled_x.rows() == 0 || labeled_x.cols() == dim);
+  TARGAD_CHECK(normal_x.rows() == 0 || normal_x.cols() == dim);
+  TARGAD_CHECK(!config_.use_oe || anomaly_x.rows() == 0 ||
+               anomaly_x.cols() == dim);
+  nn::Matrix epoch_x(pool.size(), dim);
+  for (size_t p = 0; p < pool.size(); ++p) {
+    const nn::Matrix* src = nullptr;
+    switch (pool[p].role) {
+      case Role::kLabeled: src = &labeled_x; break;
+      case Role::kNormalCand: src = &normal_x; break;
+      case Role::kAnomalyCand: src = &anomaly_x; break;
+    }
+    std::copy_n(src->RowPtr(pool[p].index), dim, epoch_x.RowPtr(p));
+  }
 
   for (size_t start = 0; start < pool.size(); start += config_.batch_size) {
     const size_t end = std::min(pool.size(), start + config_.batch_size);
 
-    std::vector<size_t> lab_idx, norm_idx, anom_idx;
+    size_t nl = 0, nn_count = 0, na = 0;
     for (size_t p = start; p < end; ++p) {
       switch (pool[p].role) {
-        case Role::kLabeled: lab_idx.push_back(pool[p].index); break;
-        case Role::kNormalCand: norm_idx.push_back(pool[p].index); break;
-        case Role::kAnomalyCand: anom_idx.push_back(pool[p].index); break;
+        case Role::kLabeled: ++nl; break;
+        case Role::kNormalCand: ++nn_count; break;
+        case Role::kAnomalyCand: ++na; break;
       }
     }
-    const size_t nl = lab_idx.size(), nn_count = norm_idx.size(),
-                 na = anom_idx.size();
-    const size_t batch_rows = nl + nn_count + na;
-    if (batch_rows == 0) continue;
+    const size_t batch_rows = end - start;
 
-    // Assemble the batch: labeled rows first, then normal candidates, then
-    // anomaly candidates.
-    nn::Matrix batch(0, 0);
-    if (nl > 0) batch.AppendRows(labeled_x.SelectRows(lab_idx));
-    if (nn_count > 0) batch.AppendRows(normal_x.SelectRows(norm_idx));
-    if (na > 0) batch.AppendRows(anomaly_x.SelectRows(anom_idx));
-
+    const nn::RowBlock batch = epoch_x.RowBlock(start, batch_rows);
     nn::Matrix logits = mlp_->Forward(batch);
     nn::Matrix grad(batch_rows, total_cols, 0.0);
     double step_ce = 0.0, step_oe = 0.0, step_re = 0.0;
     const double batch_norm = static_cast<double>(batch_rows);
 
+    // Accumulates a per-role gradient block into its contiguous slot of the
+    // batch gradient. += 1.0*x is bit-identical to the historical += x.
     auto scatter = [&](const nn::Matrix& part, size_t row_offset) {
-      for (size_t i = 0; i < part.rows(); ++i) {
-        double* dst = grad.RowPtr(row_offset + i);
-        const double* src = part.RowPtr(i);
-        for (size_t j = 0; j < total_cols; ++j) dst[j] += src[j];
-      }
+      nn::kernels::Axpy(part.size(), 1.0, part.data().data(),
+                        grad.RowPtr(row_offset));
     };
 
     // L_CE on labeled target anomalies.
     if (nl > 0) {
-      std::vector<size_t> rows(nl);
-      for (size_t i = 0; i < nl; ++i) rows[i] = i;
-      nn::Matrix sub = logits.SelectRows(rows);
       std::vector<int> classes(nl);
-      for (size_t i = 0; i < nl; ++i) classes[i] = labeled_class[lab_idx[i]];
+      for (size_t i = 0; i < nl; ++i) {
+        classes[i] = labeled_class[pool[start + i].index];
+      }
       nn::Matrix targets = TargetPseudoLabelRows(classes, m_, k_);
       nn::LossResult ce = nn::WeightedSoftCrossEntropy(
-          sub, targets, {},
+          logits.RowBlock(0, nl), targets, {},
           config_.per_set_normalization ? static_cast<double>(nl) : batch_norm);
       step_ce += ce.loss;
       scatter(ce.grad, 0);
@@ -130,14 +154,13 @@ EpochLoss TargAdClassifier::TrainEpoch(const nn::Matrix& labeled_x,
 
     // L_CE on normal candidates.
     if (nn_count > 0) {
-      std::vector<size_t> rows(nn_count);
-      for (size_t i = 0; i < nn_count; ++i) rows[i] = nl + i;
-      nn::Matrix sub = logits.SelectRows(rows);
       std::vector<int> clusters(nn_count);
-      for (size_t i = 0; i < nn_count; ++i) clusters[i] = normal_cluster[norm_idx[i]];
+      for (size_t i = 0; i < nn_count; ++i) {
+        clusters[i] = normal_cluster[pool[start + nl + i].index];
+      }
       nn::Matrix targets = NormalPseudoLabelRows(clusters, m_, k_);
       nn::LossResult ce = nn::WeightedSoftCrossEntropy(
-          sub, targets, {},
+          logits.RowBlock(nl, nn_count), targets, {},
           config_.per_set_normalization ? static_cast<double>(nn_count)
                                         : batch_norm);
       step_ce += ce.loss;
@@ -147,14 +170,13 @@ EpochLoss TargAdClassifier::TrainEpoch(const nn::Matrix& labeled_x,
     // L_OE on non-target anomaly candidates, scaled by lambda1 and the
     // Eq. (4)/(5) instance weights.
     if (na > 0 && config_.use_oe) {
-      std::vector<size_t> rows(na);
-      for (size_t i = 0; i < na; ++i) rows[i] = nl + nn_count + i;
-      nn::Matrix sub = logits.SelectRows(rows);
       nn::Matrix targets = NonTargetPseudoLabelRows(na, m_, k_);
       std::vector<double> w(na);
-      for (size_t i = 0; i < na; ++i) w[i] = anomaly_weights[anom_idx[i]];
+      for (size_t i = 0; i < na; ++i) {
+        w[i] = anomaly_weights[pool[start + nl + nn_count + i].index];
+      }
       nn::LossResult oe = nn::WeightedSoftCrossEntropy(
-          sub, targets, w,
+          logits.RowBlock(nl + nn_count, na), targets, w,
           config_.per_set_normalization ? static_cast<double>(na) : batch_norm);
       step_oe = oe.loss;
       oe.grad.MulInPlace(config_.lambda1);
@@ -163,12 +185,10 @@ EpochLoss TargAdClassifier::TrainEpoch(const nn::Matrix& labeled_x,
 
     // L_RE on D_L ∪ D_U^N rows, scaled by lambda2.
     if ((nl + nn_count) > 0 && config_.use_re) {
-      std::vector<size_t> rows(nl + nn_count);
-      for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
-      nn::Matrix sub = logits.SelectRows(rows);
       nn::LossResult re = nn::SoftmaxEntropy(
-          sub, config_.per_set_normalization ? static_cast<double>(nl + nn_count)
-                                             : batch_norm);
+          logits.RowBlock(0, nl + nn_count),
+          config_.per_set_normalization ? static_cast<double>(nl + nn_count)
+                                        : batch_norm);
       step_re = re.loss;
       re.grad.MulInPlace(config_.lambda2);
       scatter(re.grad, 0);

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "nn/losses.h"
+#include "nn/minibatch.h"
 
 namespace targad {
 namespace core {
@@ -40,22 +41,21 @@ std::vector<double> SadAutoencoder::Fit(const nn::Matrix& unlabeled,
 
   Rng rng(config_.seed ^ 0xAEAEAEAEULL);
   const size_t n = unlabeled.rows();
-  std::vector<size_t> order(n);
-  for (size_t i = 0; i < n; ++i) order[i] = i;
+  // One shuffle + one gather per epoch; batches are zero-copy views. The
+  // scheduler's RNG call sequence matches the historical per-batch
+  // SelectRows loop exactly, so batch contents are bit-identical.
+  nn::MinibatchScheduler sched(n, config_.batch_size);
 
   const bool use_sad = labeled.rows() > 0 && config_.eta > 0.0;
   std::vector<double> epoch_losses;
   epoch_losses.reserve(static_cast<size_t>(config_.epochs));
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    rng.Shuffle(&order);
+    sched.BeginEpoch(unlabeled, &rng);
     double epoch_loss = 0.0;
     size_t steps = 0;
-    for (size_t start = 0; start < n; start += config_.batch_size) {
-      const size_t end = std::min(n, start + config_.batch_size);
-      std::vector<size_t> batch_idx(order.begin() + static_cast<long>(start),
-                                    order.begin() + static_cast<long>(end));
-      const nn::Matrix batch = unlabeled.SelectRows(batch_idx);
+    for (size_t b = 0; b < sched.num_batches(); ++b) {
+      const nn::RowBlock batch = sched.Batch(b);
 
       double step_loss;
       if (use_sad) {

@@ -85,6 +85,10 @@ Status TargAD::FitImpl(const data::TrainingSet& train,
   std::vector<double> weights;
   double best_val_auprc = -1.0;
   std::vector<nn::Matrix> best_params;
+  // The validation labels never change across epochs; derive them once.
+  const std::vector<int> val_labels =
+      validation != nullptr ? validation->BinaryTargetLabels()
+                            : std::vector<int>{};
   fitted_ = true;  // Scoring inside the hook is allowed from epoch 1 on.
   for (int epoch = 1; epoch <= config_.epochs; ++epoch) {
     switch (config_.weight_mode) {
@@ -114,7 +118,6 @@ Status TargAD::FitImpl(const data::TrainingSet& train,
     diagnostics_.epoch_losses.push_back(loss);
 
     if (validation != nullptr) {
-      const std::vector<int> val_labels = validation->BinaryTargetLabels();
       auto auprc = eval::Auprc(Score(validation->x), val_labels);
       if (auprc.ok() && auprc.ValueOrDie() > best_val_auprc) {
         best_val_auprc = auprc.ValueOrDie();

@@ -27,11 +27,11 @@ Autoencoder::Autoencoder(const AutoencoderConfig& config) : config_(config) {
                                       config.learning_rate);
 }
 
-std::vector<double> Autoencoder::ReconstructionErrors(const Matrix& x) {
+std::vector<double> Autoencoder::ReconstructionErrors(RowBlock x) {
   return RowSquaredErrors(Reconstruct(x), x);
 }
 
-double Autoencoder::TrainStepMse(const Matrix& x) {
+double Autoencoder::TrainStepMse(RowBlock x) {
   Matrix recon = Reconstruct(x);
   LossResult lr = MseLoss(recon, x);
   StepOnReconstructionGrad(lr.grad);

@@ -37,19 +37,20 @@ class Autoencoder {
  public:
   explicit Autoencoder(const AutoencoderConfig& config);
 
-  /// phi^E(x): bottleneck codes, one row per instance.
-  Matrix Encode(const Matrix& x) { return encoder_.Forward(x); }
+  /// phi^E(x): bottleneck codes, one row per instance. Accepts zero-copy
+  /// minibatch views as well as whole matrices.
+  Matrix Encode(RowBlock x) { return encoder_.Forward(x); }
 
   /// phi^D(phi^E(x)).
-  Matrix Reconstruct(const Matrix& x) {
+  Matrix Reconstruct(RowBlock x) {
     return decoder_.Forward(encoder_.Forward(x));
   }
 
   /// Per-row reconstruction error S^Rec (Eq. 2).
-  std::vector<double> ReconstructionErrors(const Matrix& x);
+  std::vector<double> ReconstructionErrors(RowBlock x);
 
   /// One plain reconstruction (MSE) step; returns the batch loss.
-  double TrainStepMse(const Matrix& x);
+  double TrainStepMse(RowBlock x);
 
   /// Runs a forward pass and applies `grad_recon` (dLoss/dReconstruction)
   /// through decoder and encoder, then steps the optimizer. For custom

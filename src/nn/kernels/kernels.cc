@@ -150,19 +150,23 @@ void GemmNnRange(size_t r0, size_t r1, size_t n, size_t k, const T* a,
 }
 
 // C(m x n) = A^T * B with A stored k x m and B stored k x n (k is the
-// shared dimension). Mirrors MatrixT::TransposeMatMul: shared dimension
-// outer (so per element, contributions accumulate in ascending shared
-// order), zero-skip on A.
+// shared dimension), rows [r0, r1) of C. The historical full-matrix form
+// walked the shared dimension outermost; here each output row kk walks the
+// shared dimension itself, which visits the exact same per-element
+// contributions (a[i*m + kk] * b_row[j], i ascending, zero-skip on the A
+// element) in the exact same order — so tiling output rows across threads
+// leaves every element's accumulation order, and therefore its bits,
+// unchanged. This is the dW = x^T g GEMM of Linear::Backward.
 template <typename T>
-void GemmTaFull(size_t m, size_t n, size_t k, const T* a, const T* b, T* c) {
-  std::fill(c, c + m * n, T(0));
-  for (size_t i = 0; i < k; ++i) {
-    const T* a_row = a + i * m;
-    const T* b_row = b + i * n;
-    for (size_t kk = 0; kk < m; ++kk) {
-      const T av = a_row[kk];
+void GemmTaRange(size_t r0, size_t r1, size_t n, size_t k, size_t m,
+                 const T* a, const T* b, T* c) {
+  for (size_t kk = r0; kk < r1; ++kk) {
+    T* c_row = c + kk * n;
+    std::fill(c_row, c_row + n, T(0));
+    for (size_t i = 0; i < k; ++i) {
+      const T av = a[i * m + kk];
       if (av == T(0)) continue;
-      T* c_row = c + kk * n;
+      const T* b_row = b + i * n;
       for (size_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
     }
   }
@@ -339,8 +343,9 @@ void Gemm(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
     return;
   }
   if (trans_a == Trans::kYes && trans_b == Trans::kNo) {
-    // Output rows interleave across the shared dimension; runs untiled.
-    GemmTaFull(m, n, k, a, b, c);
+    ParallelRows(m, 2 * m * n * k, [&](size_t r0, size_t r1) {
+      GemmTaRange(r0, r1, n, k, m, a, b, c);
+    });
     return;
   }
   if (trans_a == Trans::kNo && trans_b == Trans::kYes) {
@@ -412,6 +417,64 @@ void ApplyActivation(Act act, T leaky_slope, size_t n, T* x) {
 }
 
 template <typename T>
+void ActivationBackward(Act act, T leaky_slope, size_t n, const T* ref,
+                        T* g) {
+  switch (act) {
+    case Act::kNone:
+      return;
+    case Act::kReLU:
+      // The multiply-by-{0,1} form (not an assignment to zero) preserves
+      // the legacy mask-Hadamard bits: 0.0 * g keeps g's sign on the zero.
+      for (size_t i = 0; i < n; ++i) g[i] *= ref[i] > T(0) ? T(1) : T(0);
+      return;
+    case Act::kLeakyReLU:
+      for (size_t i = 0; i < n; ++i) {
+        if (ref[i] < T(0)) g[i] *= leaky_slope;
+      }
+      return;
+    case Act::kSigmoid:
+      for (size_t i = 0; i < n; ++i) {
+        const T s = ref[i];
+        g[i] *= s * (T(1) - s);
+      }
+      return;
+    case Act::kTanh:
+      for (size_t i = 0; i < n; ++i) {
+        const T t = ref[i];
+        g[i] *= T(1) - t * t;
+      }
+      return;
+  }
+}
+
+template <typename T>
+void ScaledDiff(size_t n, T alpha, const T* a, const T* b, T* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = alpha * (a[i] - b[i]);
+}
+
+template <typename T>
+void AdamUpdate(size_t n, T lr, T beta1, T beta2, T eps, T bias_c1, T bias_c2,
+                const T* g, T* m, T* v, T* p) {
+  // Expression shapes match the historical optimizer loop exactly (see the
+  // header comment on why this cannot be decomposed into Scale/Axpy).
+  for (size_t j = 0; j < n; ++j) {
+    m[j] = beta1 * m[j] + (T(1) - beta1) * g[j];
+    v[j] = beta2 * v[j] + (T(1) - beta2) * g[j] * g[j];
+    const T m_hat = m[j] / bias_c1;
+    const T v_hat = v[j] / bias_c2;
+    p[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+template <typename T>
+void SgdMomentumUpdate(size_t n, T lr, T momentum, const T* g, T* v, T* p) {
+  for (size_t j = 0; j < n; ++j) {
+    v[j] = momentum * v[j] + g[j];
+    p[j] -= lr * v[j];
+  }
+}
+
+template <typename T>
 void RowReduce(RowReduceOp op, size_t m, size_t n, const T* a, T* out) {
   for (size_t i = 0; i < m; ++i) {
     const T* row = a + i * n;
@@ -467,6 +530,29 @@ T SquaredDistance(size_t d, const T* a, const T* b,
 }
 
 template <typename T>
+void RowwiseSquaredDistances(size_t m, size_t n, const T* a, const T* b,
+                             T* out) {
+  ParallelRows(m, 3 * m * n, [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      out[i] = SquaredDistancePair(n, a + i * n, b + i * n,
+                                   static_cast<const T*>(nullptr));
+    }
+  });
+}
+
+template <typename T>
+T MseLossGrad(size_t n, const T* pred, const T* target, T inv_n, T* grad) {
+  // Flat-order total reduction; must stay serial (see header).
+  T total = T(0);
+  for (size_t i = 0; i < n; ++i) {
+    const T d = pred[i] - target[i];
+    total += d * d;
+    grad[i] = T(2) * d * inv_n;
+  }
+  return total;
+}
+
+template <typename T>
 void SquaredDistances(size_t n, size_t d, size_t k, const T* x,
                       const T* centers, const std::type_identity_t<T>* weights,
                       T* out) {
@@ -493,6 +579,14 @@ void SquaredDistances(size_t n, size_t d, size_t k, const T* x,
   template void Hadamard<T>(size_t, const T*, T*);                            \
   template void AddRowVector<T>(size_t, size_t, const T*, T*);                \
   template void ApplyActivation<T>(Act, T, size_t, T*);                       \
+  template void ActivationBackward<T>(Act, T, size_t, const T*, T*);          \
+  template void ScaledDiff<T>(size_t, T, const T*, const T*, T*);             \
+  template void AdamUpdate<T>(size_t, T, T, T, T, T, T, const T*, T*, T*,     \
+                              T*);                                            \
+  template void SgdMomentumUpdate<T>(size_t, T, T, const T*, T*, T*);         \
+  template void RowwiseSquaredDistances<T>(size_t, size_t, const T*,          \
+                                           const T*, T*);                     \
+  template T MseLossGrad<T>(size_t, const T*, const T*, T, T*);               \
   template void RowReduce<T>(RowReduceOp, size_t, size_t, const T*, T*);      \
   template void ColReduceSum<T>(size_t, size_t, const T*, T*);                \
   template T ReduceSum<T>(size_t, const T*);                                  \

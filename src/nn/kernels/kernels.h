@@ -118,6 +118,42 @@ void AddRowVector(size_t m, size_t n, const T* v, T* a);
 template <typename T>
 void ApplyActivation(Act act, T leaky_slope, size_t n, T* x);
 
+/// In-place activation derivative: g[i] *= act'(ref[i]), with the exact
+/// expression shapes of the layer backward passes. `ref` is the forward
+/// INPUT for kReLU/kLeakyReLU and the forward OUTPUT for kSigmoid/kTanh
+/// (whose derivatives are cheapest in terms of the output). kNone is the
+/// identity. Element-wise, so row tiling cannot reorder any accumulation.
+template <typename T>
+void ActivationBackward(Act act, T leaky_slope, size_t n, const T* ref, T* g);
+
+/// out[i] = alpha * (a[i] - b[i]) — the scaled-difference gradient form
+/// shared by the MSE-family losses.
+template <typename T>
+void ScaledDiff(size_t n, T alpha, const T* a, const T* b, T* out);
+
+// ---- Optimizer updates ----------------------------------------------------
+//
+// The moment updates are fused single-pass kernels rather than Scale/Axpy
+// chains: Adam's second moment rounds as beta2*v + ((1-beta2)*g)*g, and a
+// decomposed Hadamard-then-Axpy form would instead round (1-beta2)*(g*g) —
+// a different IEEE result. The fused kernels reproduce the original
+// optimizer loop expressions bit-for-bit (training_bitexact_test pins them).
+
+/// One Adam update over a flat parameter block:
+///   m = beta1*m + (1-beta1)*g
+///   v = beta2*v + (1-beta2)*g*g
+///   p -= lr * (m/bias_c1) / (sqrt(v/bias_c2) + eps)
+/// bias_c1/bias_c2 are the step-t bias corrections 1 - beta^t.
+template <typename T>
+void AdamUpdate(size_t n, T lr, T beta1, T beta2, T eps, T bias_c1, T bias_c2,
+                const T* g, T* m, T* v, T* p);
+
+/// One SGD-with-momentum update: v = momentum*v + g ; p -= lr*v.
+/// (Plain SGD is Axpy(n, -lr, g, p): (-lr)*g is IEEE-identical to
+/// -(lr*g), so no dedicated kernel is needed.)
+template <typename T>
+void SgdMomentumUpdate(size_t n, T lr, T momentum, const T* g, T* v, T* p);
+
 // ---- Reductions -----------------------------------------------------------
 
 enum class RowReduceOp { kSum, kSquaredNorm, kMax };
@@ -156,6 +192,20 @@ template <typename T>
 void SquaredDistances(size_t n, size_t d, size_t k, const T* x,
                       const T* centers, const std::type_identity_t<T>* weights,
                       T* out);
+
+/// out[i] = ||row i of a - row i of b||^2 for two m x n matrices (the
+/// per-row reconstruction errors of Eq. 2). Per-row accumulation in
+/// ascending column order; rows tile independently.
+template <typename T>
+void RowwiseSquaredDistances(size_t m, size_t n, const T* a, const T* b,
+                             T* out);
+
+/// Fused MSE loss + gradient: grad[i] = 2*(pred[i]-target[i])*inv_n and the
+/// return value is sum_i (pred[i]-target[i])^2, accumulated in FLAT element
+/// order across row boundaries — the one fixed global reduction order the
+/// bit-exactness goldens pin, so this kernel never tiles.
+template <typename T>
+T MseLossGrad(size_t n, const T* pred, const T* target, T inv_n, T* grad);
 
 }  // namespace kernels
 }  // namespace nn

@@ -6,6 +6,13 @@
 #include "nn/init.h"
 #include "nn/kernels/kernels.h"
 
+// Every dense op here — forward GEMMs, backward GEMMs, bias reductions,
+// activation derivatives, mask application — routes through nn/kernels, so
+// the row-tiled thread pool applies to the whole training path. The kernel
+// expression shapes reproduce the historical layer loops exactly; the
+// double bit-identity contract (training_bitexact_test) therefore holds at
+// any thread count and on any backend.
+
 namespace targad {
 namespace nn {
 
@@ -17,22 +24,22 @@ Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
   HeUniform(&w_, in_features, rng);
 }
 
-Matrix Linear::Forward(const Matrix& x) {
+Matrix Linear::Forward(RowBlock x) {
   TARGAD_CHECK(x.cols() == w_.rows())
       << "Linear: input has " << x.cols() << " features, expected " << w_.rows();
-  input_ = x;
+  input_ = x.ToMatrix();  // Backward needs the batch after the view dies.
   Matrix y(x.rows(), w_.cols());
-  kernels::FusedAffineActivation(x.rows(), w_.cols(), x.cols(), x.data().data(),
+  kernels::FusedAffineActivation(x.rows(), w_.cols(), x.cols(), x.data(),
                                  w_.data().data(), b_.data().data(),
                                  kernels::Act::kNone, 0.0, y.data().data());
   return y;
 }
 
-Matrix Linear::Infer(const Matrix& x) const {
+Matrix Linear::Infer(RowBlock x) const {
   TARGAD_CHECK(x.cols() == w_.rows())
       << "Linear: input has " << x.cols() << " features, expected " << w_.rows();
   Matrix y(x.rows(), w_.cols());
-  kernels::FusedAffineActivation(x.rows(), w_.cols(), x.cols(), x.data().data(),
+  kernels::FusedAffineActivation(x.rows(), w_.cols(), x.cols(), x.data(),
                                  w_.data().data(), b_.data().data(),
                                  kernels::Act::kNone, 0.0, y.data().data());
   return y;
@@ -41,85 +48,75 @@ Matrix Linear::Infer(const Matrix& x) const {
 Matrix Linear::Backward(const Matrix& grad_out) {
   // dW += x^T g ; db += colsum(g) ; dx = g W^T.
   gw_.AddInPlace(input_.TransposeMatMul(grad_out));
-  const std::vector<double> col_sums = grad_out.ColSums();
-  for (size_t j = 0; j < col_sums.size(); ++j) gb_.At(0, j) += col_sums[j];
+  std::vector<double> col_sums(grad_out.cols(), 0.0);
+  kernels::ColReduceSum(grad_out.rows(), grad_out.cols(),
+                        grad_out.data().data(), col_sums.data());
+  kernels::Axpy(col_sums.size(), 1.0, col_sums.data(), gb_.data().data());
   return grad_out.MatMulTranspose(w_);
 }
 
-Matrix ReLU::Forward(const Matrix& x) {
-  mask_ = Matrix(x.rows(), x.cols());
-  Matrix y = x;
-  for (size_t i = 0; i < x.size(); ++i) {
-    const bool pos = x.data()[i] > 0.0;
-    mask_.data()[i] = pos ? 1.0 : 0.0;
-    if (!pos) y.data()[i] = 0.0;
-  }
+Matrix ReLU::Forward(RowBlock x) {
+  input_ = x.ToMatrix();
+  Matrix y = input_;
+  kernels::ApplyActivation(kernels::Act::kReLU, 0.0, y.size(),
+                           y.data().data());
   return y;
 }
 
-Matrix ReLU::Infer(const Matrix& x) const {
-  Matrix y = x;
-  for (double& v : y.data()) {
-    if (v <= 0.0) v = 0.0;
-  }
+Matrix ReLU::Infer(RowBlock x) const {
+  Matrix y = x.ToMatrix();
+  kernels::ApplyActivation(kernels::Act::kReLU, 0.0, y.size(),
+                           y.data().data());
   return y;
 }
 
 Matrix ReLU::Backward(const Matrix& grad_out) {
   Matrix g = grad_out;
-  g.HadamardInPlace(mask_);
+  kernels::ActivationBackward(kernels::Act::kReLU, 0.0, g.size(),
+                              input_.data().data(), g.data().data());
   return g;
 }
 
-Matrix LeakyReLU::Forward(const Matrix& x) {
-  input_ = x;
-  Matrix y = x;
-  for (double& v : y.data()) {
-    if (v < 0.0) v *= slope_;
-  }
+Matrix LeakyReLU::Forward(RowBlock x) {
+  input_ = x.ToMatrix();
+  Matrix y = input_;
+  kernels::ApplyActivation(kernels::Act::kLeakyReLU, slope_, y.size(),
+                           y.data().data());
   return y;
 }
 
-Matrix LeakyReLU::Infer(const Matrix& x) const {
-  Matrix y = x;
-  for (double& v : y.data()) {
-    if (v < 0.0) v *= slope_;
-  }
+Matrix LeakyReLU::Infer(RowBlock x) const {
+  Matrix y = x.ToMatrix();
+  kernels::ApplyActivation(kernels::Act::kLeakyReLU, slope_, y.size(),
+                           y.data().data());
   return y;
 }
 
 Matrix LeakyReLU::Backward(const Matrix& grad_out) {
   Matrix g = grad_out;
-  for (size_t i = 0; i < g.size(); ++i) {
-    if (input_.data()[i] < 0.0) g.data()[i] *= slope_;
-  }
+  kernels::ActivationBackward(kernels::Act::kLeakyReLU, slope_, g.size(),
+                              input_.data().data(), g.data().data());
   return g;
 }
 
-Matrix Sigmoid::Forward(const Matrix& x) {
-  output_ = x.Map([](double v) {
-    // Numerically stable split.
-    if (v >= 0.0) return 1.0 / (1.0 + std::exp(-v));
-    const double e = std::exp(v);
-    return e / (1.0 + e);
-  });
+Matrix Sigmoid::Forward(RowBlock x) {
+  output_ = x.ToMatrix();
+  kernels::ApplyActivation(kernels::Act::kSigmoid, 0.0, output_.size(),
+                           output_.data().data());
   return output_;
 }
 
-Matrix Sigmoid::Infer(const Matrix& x) const {
-  return x.Map([](double v) {
-    if (v >= 0.0) return 1.0 / (1.0 + std::exp(-v));
-    const double e = std::exp(v);
-    return e / (1.0 + e);
-  });
+Matrix Sigmoid::Infer(RowBlock x) const {
+  Matrix y = x.ToMatrix();
+  kernels::ApplyActivation(kernels::Act::kSigmoid, 0.0, y.size(),
+                           y.data().data());
+  return y;
 }
 
 Matrix Sigmoid::Backward(const Matrix& grad_out) {
   Matrix g = grad_out;
-  for (size_t i = 0; i < g.size(); ++i) {
-    const double s = output_.data()[i];
-    g.data()[i] *= s * (1.0 - s);
-  }
+  kernels::ActivationBackward(kernels::Act::kSigmoid, 0.0, g.size(),
+                              output_.data().data(), g.data().data());
   return g;
 }
 
@@ -127,20 +124,22 @@ Dropout::Dropout(double rate, uint64_t seed) : rate_(rate), rng_(seed) {
   TARGAD_CHECK(rate >= 0.0 && rate < 1.0) << "Dropout rate must be in [0, 1)";
 }
 
-Matrix Dropout::Forward(const Matrix& x) {
+Matrix Dropout::Forward(RowBlock x) {
   if (!training_ || rate_ == 0.0) {
     mask_ = Matrix();
-    return x;
+    return x.ToMatrix();
   }
   const double keep = 1.0 - rate_;
   const double scale = 1.0 / keep;
+  // Single serial pre-pass: the whole mask is drawn in flat index order
+  // BEFORE any (potentially tiled) arithmetic touches the batch, so the RNG
+  // stream — and with it the golden bits — cannot depend on tiling.
   mask_ = Matrix(x.rows(), x.cols());
-  Matrix y = x;
-  for (size_t i = 0; i < x.size(); ++i) {
-    const double m = rng_.Bernoulli(keep) ? scale : 0.0;
-    mask_.data()[i] = m;
-    y.data()[i] *= m;
+  for (size_t i = 0; i < mask_.size(); ++i) {
+    mask_.data()[i] = rng_.Bernoulli(keep) ? scale : 0.0;
   }
+  Matrix y = x.ToMatrix();
+  kernels::Hadamard(y.size(), mask_.data().data(), y.data().data());
   return y;
 }
 
@@ -151,21 +150,24 @@ Matrix Dropout::Backward(const Matrix& grad_out) {
   return g;
 }
 
-Matrix Tanh::Forward(const Matrix& x) {
-  output_ = x.Map([](double v) { return std::tanh(v); });
+Matrix Tanh::Forward(RowBlock x) {
+  output_ = x.ToMatrix();
+  kernels::ApplyActivation(kernels::Act::kTanh, 0.0, output_.size(),
+                           output_.data().data());
   return output_;
 }
 
-Matrix Tanh::Infer(const Matrix& x) const {
-  return x.Map([](double v) { return std::tanh(v); });
+Matrix Tanh::Infer(RowBlock x) const {
+  Matrix y = x.ToMatrix();
+  kernels::ApplyActivation(kernels::Act::kTanh, 0.0, y.size(),
+                           y.data().data());
+  return y;
 }
 
 Matrix Tanh::Backward(const Matrix& grad_out) {
   Matrix g = grad_out;
-  for (size_t i = 0; i < g.size(); ++i) {
-    const double t = output_.data()[i];
-    g.data()[i] *= 1.0 - t * t;
-  }
+  kernels::ActivationBackward(kernels::Act::kTanh, 0.0, g.size(),
+                              output_.data().data(), g.data().data());
   return g;
 }
 

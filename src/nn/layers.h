@@ -21,18 +21,24 @@ namespace nn {
 /// Contract: Backward must be called with the upstream gradient of the most
 /// recent Forward's output, and accumulates parameter gradients (call
 /// ZeroGrads between optimizer steps).
+///
+/// Forward/Infer take RowBlock views so minibatch training can feed
+/// zero-copy slices of a per-epoch matrix straight into the first layer's
+/// kernel; passing a whole Matrix still works via the implicit view
+/// conversion. A layer that needs the input past the call copies it (the
+/// view's lifetime is the call).
 class Layer {
  public:
   virtual ~Layer() = default;
 
   /// Maps a batch to its output; caches whatever backward needs.
-  virtual Matrix Forward(const Matrix& x) = 0;
+  virtual Matrix Forward(RowBlock x) = 0;
 
   /// Inference-only forward pass: same arithmetic as an eval-mode Forward
   /// but const and cache-free, so one fitted network can be scored from
   /// many threads concurrently (the serving path relies on this).
   /// Stochastic layers (Dropout) behave as in eval mode.
-  virtual Matrix Infer(const Matrix& x) const = 0;
+  virtual Matrix Infer(RowBlock x) const = 0;
 
   /// Maps dLoss/dOutput to dLoss/dInput; accumulates parameter grads.
   virtual Matrix Backward(const Matrix& grad_out) = 0;
@@ -60,8 +66,8 @@ class Linear : public Layer {
   /// throughout) and b with zeros.
   Linear(size_t in_features, size_t out_features, Rng* rng);
 
-  Matrix Forward(const Matrix& x) override;
-  Matrix Infer(const Matrix& x) const override;
+  Matrix Forward(RowBlock x) override;
+  Matrix Infer(RowBlock x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::vector<Matrix*> Params() override { return {&w_, &b_}; }
   std::vector<Matrix*> Grads() override { return {&gw_, &gb_}; }
@@ -84,21 +90,21 @@ class Linear : public Layer {
 /// Rectified linear unit.
 class ReLU : public Layer {
  public:
-  Matrix Forward(const Matrix& x) override;
-  Matrix Infer(const Matrix& x) const override;
+  Matrix Forward(RowBlock x) override;
+  Matrix Infer(RowBlock x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::string name() const override { return "ReLU"; }
 
  private:
-  Matrix mask_;
+  Matrix input_;  // Pre-activation input, the backward-mask reference.
 };
 
 /// Leaky ReLU with configurable negative slope (default 0.01).
 class LeakyReLU : public Layer {
  public:
   explicit LeakyReLU(double slope = 0.01) : slope_(slope) {}
-  Matrix Forward(const Matrix& x) override;
-  Matrix Infer(const Matrix& x) const override;
+  Matrix Forward(RowBlock x) override;
+  Matrix Infer(RowBlock x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::string name() const override { return "LeakyReLU"; }
 
@@ -112,8 +118,8 @@ class LeakyReLU : public Layer {
 /// Logistic sigmoid.
 class Sigmoid : public Layer {
  public:
-  Matrix Forward(const Matrix& x) override;
-  Matrix Infer(const Matrix& x) const override;
+  Matrix Forward(RowBlock x) override;
+  Matrix Infer(RowBlock x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::string name() const override { return "Sigmoid"; }
 
@@ -129,9 +135,12 @@ class Dropout : public Layer {
   /// rate in [0, 1).
   Dropout(double rate, uint64_t seed);
 
-  Matrix Forward(const Matrix& x) override;
+  /// Training mode draws the whole Bernoulli mask in one serial pre-pass
+  /// (fixed RNG order, independent of kernel tiling), then applies it
+  /// through the Hadamard kernel.
+  Matrix Forward(RowBlock x) override;
   /// Identity: inference always behaves as eval mode.
-  Matrix Infer(const Matrix& x) const override { return x; }
+  Matrix Infer(RowBlock x) const override { return x.ToMatrix(); }
   Matrix Backward(const Matrix& grad_out) override;
   void set_training(bool training) override { training_ = training; }
   std::string name() const override { return "Dropout"; }
@@ -149,8 +158,8 @@ class Dropout : public Layer {
 /// Hyperbolic tangent.
 class Tanh : public Layer {
  public:
-  Matrix Forward(const Matrix& x) override;
-  Matrix Infer(const Matrix& x) const override;
+  Matrix Forward(RowBlock x) override;
+  Matrix Infer(RowBlock x) const override;
   Matrix Backward(const Matrix& grad_out) override;
   std::string name() const override { return "Tanh"; }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/kernels/kernels.h"
 
 namespace targad {
 namespace nn {
@@ -12,7 +13,7 @@ namespace {
 constexpr double kLogFloor = 1e-12;
 }  // namespace
 
-Matrix SoftmaxRows(const Matrix& logits) {
+Matrix SoftmaxRows(RowBlock logits) {
   Matrix p(logits.rows(), logits.cols());
   for (size_t i = 0; i < logits.rows(); ++i) {
     const double* z = logits.RowPtr(i);
@@ -44,39 +45,28 @@ std::vector<double> LogSumExpRows(const Matrix& logits, size_t begin, size_t end
   return out;
 }
 
-std::vector<double> RowSquaredErrors(const Matrix& pred, const Matrix& target) {
+std::vector<double> RowSquaredErrors(RowBlock pred, RowBlock target) {
   TARGAD_CHECK(pred.SameShape(target)) << "RowSquaredErrors shape mismatch";
   std::vector<double> errs(pred.rows(), 0.0);
-  for (size_t i = 0; i < pred.rows(); ++i) {
-    const double* a = pred.RowPtr(i);
-    const double* b = target.RowPtr(i);
-    double acc = 0.0;
-    for (size_t j = 0; j < pred.cols(); ++j) {
-      const double d = a[j] - b[j];
-      acc += d * d;
-    }
-    errs[i] = acc;
-  }
+  kernels::RowwiseSquaredDistances(pred.rows(), pred.cols(), pred.data(),
+                                   target.data(), errs.data());
   return errs;
 }
 
-LossResult MseLoss(const Matrix& pred, const Matrix& target) {
+LossResult MseLoss(RowBlock pred, RowBlock target) {
   TARGAD_CHECK(pred.SameShape(target)) << "MseLoss shape mismatch";
   TARGAD_CHECK(pred.rows() > 0) << "MseLoss on empty batch";
   LossResult result;
   result.grad = Matrix(pred.rows(), pred.cols());
   const double inv_n = 1.0 / static_cast<double>(pred.rows());
-  double total = 0.0;
-  for (size_t i = 0; i < pred.size(); ++i) {
-    const double d = pred.data()[i] - target.data()[i];
-    total += d * d;
-    result.grad.data()[i] = 2.0 * d * inv_n;
-  }
+  const double total = kernels::MseLossGrad(pred.size(), pred.data(),
+                                            target.data(), inv_n,
+                                            result.grad.data().data());
   result.loss = total * inv_n;
   return result;
 }
 
-LossResult InverseErrorLoss(const Matrix& pred, const Matrix& target, double eps) {
+LossResult InverseErrorLoss(RowBlock pred, RowBlock target, double eps) {
   TARGAD_CHECK(pred.SameShape(target)) << "InverseErrorLoss shape mismatch";
   TARGAD_CHECK(pred.rows() > 0) << "InverseErrorLoss on empty batch";
   LossResult result;
@@ -89,16 +79,14 @@ LossResult InverseErrorLoss(const Matrix& pred, const Matrix& target, double eps
     total += 1.0 / e;
     // d/dpred (e^{-1}) = -e^{-2} * 2(pred - target)
     const double coef = -2.0 / (e * e) * inv_n;
-    const double* a = pred.RowPtr(i);
-    const double* b = target.RowPtr(i);
-    double* g = result.grad.RowPtr(i);
-    for (size_t j = 0; j < pred.cols(); ++j) g[j] = coef * (a[j] - b[j]);
+    kernels::ScaledDiff(pred.cols(), coef, pred.RowPtr(i), target.RowPtr(i),
+                        result.grad.RowPtr(i));
   }
   result.loss = total * inv_n;
   return result;
 }
 
-LossResult WeightedSoftCrossEntropy(const Matrix& logits, const Matrix& targets,
+LossResult WeightedSoftCrossEntropy(RowBlock logits, RowBlock targets,
                                     const std::vector<double>& weights,
                                     double normalizer) {
   TARGAD_CHECK(logits.SameShape(targets)) << "CrossEntropy shape mismatch";
@@ -126,7 +114,7 @@ LossResult WeightedSoftCrossEntropy(const Matrix& logits, const Matrix& targets,
   return result;
 }
 
-LossResult SoftmaxEntropy(const Matrix& logits, double normalizer) {
+LossResult SoftmaxEntropy(RowBlock logits, double normalizer) {
   TARGAD_CHECK(normalizer > 0.0) << "SoftmaxEntropy normalizer must be positive";
   const Matrix p = SoftmaxRows(logits);
   LossResult result;
@@ -139,9 +127,8 @@ LossResult SoftmaxEntropy(const Matrix& logits, double normalizer) {
     // H = -sum_j p_j log p_j ; sum_plogp = sum_j p_j log p_j = -H.
     double sum_plogp = 0.0;
     for (size_t j = 0; j < logits.cols(); ++j) {
-      // Entropy reduction, not dense linear algebra; accumulation order is
-      // pinned by the bit-exactness tests. targad-lint: allow(raw-dense-loop)
-      sum_plogp += pi[j] * std::log(std::max(pi[j], kLogFloor));
+      const double pj = pi[j];
+      sum_plogp += pj * std::log(std::max(pj, kLogFloor));
     }
     total += -sum_plogp;
     // dH/dz_j = -p_j (log p_j - sum_k p_k log p_k).

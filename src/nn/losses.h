@@ -28,24 +28,31 @@ struct LossResult {
   Matrix grad;
 };
 
+// The batch-shaped inputs below take RowBlock views so callers can pass
+// zero-copy minibatch slices (nn/minibatch.h) as well as whole matrices —
+// MatrixT converts to RowBlockT implicitly. Dense inner loops route through
+// nn/kernels/; per-row reductions keep their accumulation order, and the
+// whole-batch MSE total stays a single serial flat-order sum (see
+// kernels::MseLossGrad), so loss and gradient bits match the historical
+// hand-rolled loops exactly.
+
 /// Row-wise softmax, numerically stabilized by max subtraction.
-Matrix SoftmaxRows(const Matrix& logits);
+Matrix SoftmaxRows(RowBlock logits);
 
 /// log(sum_j exp(z_j)) for each row, over columns [begin, end).
 std::vector<double> LogSumExpRows(const Matrix& logits, size_t begin, size_t end);
 
 /// Per-row squared reconstruction error ||x_i - xhat_i||^2 (Eq. 2).
-std::vector<double> RowSquaredErrors(const Matrix& pred, const Matrix& target);
+std::vector<double> RowSquaredErrors(RowBlock pred, RowBlock target);
 
 /// Mean-over-rows squared error: (1/n) sum_i ||pred_i - target_i||^2,
 /// with gradient w.r.t. pred. First term of Eq. (1).
-LossResult MseLoss(const Matrix& pred, const Matrix& target);
+LossResult MseLoss(RowBlock pred, RowBlock target);
 
 /// Mean-over-rows inverse squared error: (1/n) sum_i (||pred_i-target_i||^2
 /// + eps)^{-1}, with gradient w.r.t. pred. Second term of Eq. (1): pushes
 /// labeled anomalies to reconstruct POORLY.
-LossResult InverseErrorLoss(const Matrix& pred, const Matrix& target,
-                            double eps = 1e-6);
+LossResult InverseErrorLoss(RowBlock pred, RowBlock target, double eps = 1e-6);
 
 /// Cross-entropy between softmax(logits) and arbitrary soft target rows,
 /// each row scaled by weights[i], the total divided by `normalizer`:
@@ -53,7 +60,7 @@ LossResult InverseErrorLoss(const Matrix& pred, const Matrix& target,
 ///   dloss/dz_i = (w_i/normalizer) * (p_i - t_i)
 /// Covers Eq. (3) (one-hot targets, unit weights) and Eq. (6) (uniform-over-
 /// first-m targets, instance weights). Pass empty weights for all-ones.
-LossResult WeightedSoftCrossEntropy(const Matrix& logits, const Matrix& targets,
+LossResult WeightedSoftCrossEntropy(RowBlock logits, RowBlock targets,
                                     const std::vector<double>& weights,
                                     double normalizer);
 
@@ -61,7 +68,7 @@ LossResult WeightedSoftCrossEntropy(const Matrix& logits, const Matrix& targets,
 ///   loss = (1/normalizer) * sum_i H(p_i),  H(p) = -sum_j p_j log p_j.
 /// Minimizing drives predictions toward confidence — the stated intent of
 /// Eq. (7) (see DESIGN.md §2 for the sign discussion).
-LossResult SoftmaxEntropy(const Matrix& logits, double normalizer);
+LossResult SoftmaxEntropy(RowBlock logits, double normalizer);
 
 /// Per-row maximum softmax probability over columns [begin, end).
 /// With begin=0, end=m this is the paper's anomaly score S^tar (Eq. 9).

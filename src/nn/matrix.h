@@ -20,6 +20,9 @@
 namespace targad {
 namespace nn {
 
+template <typename T>
+class RowBlockT;
+
 /// Dense row-major matrix. Rows are instances, columns are features, by
 /// convention throughout the library.
 template <typename T>
@@ -80,6 +83,11 @@ class MatrixT {
 
   /// A new matrix holding the rows at `indices`, in order.
   MatrixT SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Zero-copy const view of `count` contiguous rows starting at `begin`.
+  /// The view borrows this matrix's storage: it is invalidated by any
+  /// mutation that reallocates (AppendRows, assignment, destruction).
+  RowBlockT<T> RowBlock(size_t begin, size_t count) const;
 
   /// Appends all rows of `other` (same cols; appending to empty is allowed).
   void AppendRows(const MatrixT& other);
@@ -164,10 +172,90 @@ class MatrixT {
   std::vector<T> data_;
 };
 
+/// Non-owning const view of a contiguous row range of a row-major matrix —
+/// the zero-copy minibatch currency of the training path. Implicitly
+/// constructible from a whole MatrixT, so every view-taking API (layer
+/// forward passes, loss functions) also accepts a plain matrix; the
+/// conversion is O(1) and copies nothing. A view never outlives its backing
+/// matrix by contract; ToMatrix() materializes an owning copy when one is
+/// genuinely needed (e.g. a layer's backward cache).
+template <typename T>
+class RowBlockT {
+ public:
+  using value_type = T;
+
+  RowBlockT() = default;
+
+  /// View of the whole matrix (implicit by design; see class comment).
+  RowBlockT(const MatrixT<T>& m)  // NOLINT(runtime/explicit)
+      : rows_(m.rows()), cols_(m.cols()), data_(m.data().data()) {}
+
+  /// View of `rows` x `cols` row-major elements at `data`.
+  RowBlockT(size_t rows, size_t cols, const T* data)
+      : rows_(rows), cols_(cols), data_(data) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ * cols_ == 0; }
+
+  const T* data() const { return data_; }
+  const T* RowPtr(size_t r) const {
+    TARGAD_DCHECK(r < rows_ || (r == 0 && rows_ == 0))
+        << "RowBlock::RowPtr(" << r << ") out of bounds for " << rows_
+        << " rows";
+    return data_ + r * cols_;
+  }
+  T At(size_t r, size_t c) const {
+    TARGAD_DCHECK(r < rows_ && c < cols_)
+        << "RowBlock::At(" << r << ", " << c << ") out of bounds for "
+        << rows_ << "x" << cols_;
+    return data_[r * cols_ + c];
+  }
+
+  bool SameShape(const RowBlockT& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// An owning copy of the viewed rows.
+  MatrixT<T> ToMatrix() const {
+    return MatrixT<T>(rows_, cols_, std::vector<T>(data_, data_ + size()));
+  }
+
+  /// Same debug-only finiteness sweep as MatrixT::DebugCheckFinite.
+  void DebugCheckFinite(const char* what) const {
+#if TARGAD_DCHECK_ENABLED
+    for (size_t i = 0; i < size(); ++i) {
+      TARGAD_DCHECK(std::isfinite(static_cast<double>(data_[i])))
+          << what << ": non-finite value " << static_cast<double>(data_[i])
+          << " at flat index " << i << " (" << rows_ << "x" << cols_ << ")";
+    }
+#else
+    (void)what;
+#endif
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  const T* data_ = nullptr;
+};
+
+template <typename T>
+RowBlockT<T> MatrixT<T>::RowBlock(size_t begin, size_t count) const {
+  TARGAD_DCHECK(begin + count <= rows_)
+      << "Matrix::RowBlock(" << begin << ", " << count << ") out of bounds "
+      << "for " << rows_ << " rows";
+  return RowBlockT<T>(count, cols_, data_.data() + begin * cols_);
+}
+
 /// The training-path matrix type used throughout the library.
 using Matrix = MatrixT<double>;
 /// The narrow serving-path matrix type (see nn/frozen.h).
 using MatrixF = MatrixT<float>;
+/// Row-block views over the two matrix dtypes.
+using RowBlock = RowBlockT<double>;
+using RowBlockF = RowBlockT<float>;
 
 /// Element-wise static_cast between matrix dtypes (e.g. double -> float when
 /// freezing a trained network for float32 inference).

@@ -1,0 +1,35 @@
+#include "nn/minibatch.h"
+
+#include "common/logging.h"
+
+namespace targad {
+namespace nn {
+
+std::vector<RowRange> EpochSlices(size_t n, size_t batch_size) {
+  TARGAD_CHECK(batch_size > 0) << "EpochSlices: batch_size must be positive";
+  std::vector<RowRange> slices;
+  slices.reserve((n + batch_size - 1) / batch_size);
+  for (size_t begin = 0; begin < n; begin += batch_size) {
+    slices.push_back({begin, std::min(batch_size, n - begin)});
+  }
+  return slices;
+}
+
+MinibatchScheduler::MinibatchScheduler(size_t n, size_t batch_size)
+    : slices_(EpochSlices(n, batch_size)) {
+  order_.resize(n);
+  for (size_t i = 0; i < n; ++i) order_[i] = i;
+}
+
+void MinibatchScheduler::BeginEpoch(const Matrix& x, Rng* rng) {
+  TARGAD_CHECK(x.rows() == order_.size())
+      << "MinibatchScheduler: epoch matrix has " << x.rows()
+      << " rows, scheduler was built for " << order_.size();
+  // One shuffle of the SAME vector every epoch: epoch e's permutation is
+  // the composition of e shuffles, exactly as the legacy loops drew it.
+  rng->Shuffle(&order_);
+  permuted_ = x.SelectRows(order_);
+}
+
+}  // namespace nn
+}  // namespace targad

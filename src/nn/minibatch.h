@@ -1,0 +1,68 @@
+// Deterministic minibatch-sliced epoch scheduling over zero-copy row-block
+// views. The historical epoch loops re-gathered every minibatch with
+// SelectRows (one deep row copy per instance PER BATCH, every epoch); the
+// scheduler instead permutes the epoch's rows ONCE and serves contiguous
+// RowBlock slices, which the kernel-backed forward passes consume without
+// copying. The RNG call sequence is identical to the legacy loops — one
+// Shuffle of a persistent order vector per epoch, shuffles compounding
+// across epochs — so batch contents, and therefore the training golden
+// bits, are unchanged.
+
+#ifndef TARGAD_NN_MINIBATCH_H_
+#define TARGAD_NN_MINIBATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace nn {
+
+/// A half-open contiguous row range [begin, begin + count).
+struct RowRange {
+  size_t begin = 0;
+  size_t count = 0;
+};
+
+/// Splits [0, n) into batch_size-sized contiguous ranges; the last range
+/// holds the remainder. batch_size must be positive.
+std::vector<RowRange> EpochSlices(size_t n, size_t batch_size);
+
+/// Reshuffle-and-gather scheduler for epochs over one fixed matrix.
+///
+/// BeginEpoch shuffles the persistent order vector in place (matching the
+/// legacy cumulative-shuffle RNG sequence exactly), gathers the permuted
+/// matrix once, and Batch(b) then returns zero-copy views into it. Views
+/// are invalidated by the next BeginEpoch and by the scheduler's death.
+class MinibatchScheduler {
+ public:
+  MinibatchScheduler(size_t n, size_t batch_size);
+
+  /// Starts a new epoch over x (n rows): one rng->Shuffle draw, one gather.
+  void BeginEpoch(const Matrix& x, Rng* rng);
+
+  size_t num_batches() const { return slices_.size(); }
+
+  /// Zero-copy view of batch b of the current epoch.
+  RowBlock Batch(size_t b) const {
+    TARGAD_DCHECK(b < slices_.size())
+        << "MinibatchScheduler::Batch(" << b << ") out of range";
+    return permuted_.RowBlock(slices_[b].begin, slices_[b].count);
+  }
+
+  /// The current permutation (row i of the epoch matrix is source row
+  /// order()[i]).
+  const std::vector<size_t>& order() const { return order_; }
+
+ private:
+  std::vector<size_t> order_;
+  std::vector<RowRange> slices_;
+  Matrix permuted_;
+};
+
+}  // namespace nn
+}  // namespace targad
+
+#endif  // TARGAD_NN_MINIBATCH_H_

@@ -18,7 +18,7 @@ void Mlp::StepOnGrad(const Matrix& grad_out) {
   optimizer_->Step();
 }
 
-double Mlp::TrainStepCrossEntropy(const Matrix& x, const Matrix& targets,
+double Mlp::TrainStepCrossEntropy(RowBlock x, RowBlock targets,
                                   const std::vector<double>& weights) {
   TARGAD_CHECK(x.rows() > 0) << "TrainStepCrossEntropy on empty batch";
   Matrix logits = net_.Forward(x);
@@ -28,7 +28,7 @@ double Mlp::TrainStepCrossEntropy(const Matrix& x, const Matrix& targets,
   return lr.loss;
 }
 
-double Mlp::TrainStepMse(const Matrix& x, const Matrix& targets) {
+double Mlp::TrainStepMse(RowBlock x, RowBlock targets) {
   TARGAD_CHECK(x.rows() > 0) << "TrainStepMse on empty batch";
   Matrix out = net_.Forward(x);
   LossResult lr = MseLoss(out, targets);

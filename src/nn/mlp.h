@@ -33,28 +33,29 @@ class Mlp {
   explicit Mlp(const MlpConfig& config);
 
   /// Forward pass returning raw outputs (logits if output == kNone).
-  Matrix Forward(const Matrix& x) { return net_.Forward(x); }
+  /// Accepts zero-copy minibatch views as well as whole matrices.
+  Matrix Forward(RowBlock x) { return net_.Forward(x); }
 
   /// Inference-only forward pass: const, cache-free, and safe to call
   /// concurrently on a shared fitted network (Sequential::Infer).
-  Matrix Infer(const Matrix& x) const { return net_.Infer(x); }
+  Matrix Infer(RowBlock x) const { return net_.Infer(x); }
 
   /// Softmax of the forward pass.
-  Matrix PredictProba(const Matrix& x) { return SoftmaxRows(net_.Forward(x)); }
+  Matrix PredictProba(RowBlock x) { return SoftmaxRows(net_.Forward(x)); }
 
   /// Softmax of the inference-only pass.
-  Matrix InferProba(const Matrix& x) const { return SoftmaxRows(net_.Infer(x)); }
+  Matrix InferProba(RowBlock x) const { return SoftmaxRows(net_.Infer(x)); }
 
   /// One optimizer step on an externally computed output gradient. The
   /// caller must have just run Forward on the same batch.
   void StepOnGrad(const Matrix& grad_out);
 
   /// One weighted soft-target cross-entropy step; returns the batch loss.
-  double TrainStepCrossEntropy(const Matrix& x, const Matrix& targets,
+  double TrainStepCrossEntropy(RowBlock x, RowBlock targets,
                                const std::vector<double>& weights = {});
 
   /// One MSE regression step; returns the batch loss.
-  double TrainStepMse(const Matrix& x, const Matrix& targets);
+  double TrainStepMse(RowBlock x, RowBlock targets);
 
   Sequential& net() { return net_; }
   const Sequential& net() const { return net_; }

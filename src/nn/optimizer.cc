@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/kernels/kernels.h"
 
 namespace targad {
 namespace nn {
@@ -32,13 +33,11 @@ void Sgd::Step() {
     auto& p = params_[i]->data();
     const auto& g = grads_[i]->data();
     if (momentum_ == 0.0) {
-      for (size_t j = 0; j < p.size(); ++j) p[j] -= lr_ * g[j];
+      // p += (-lr) * g is IEEE-identical to p -= lr * g.
+      kernels::Axpy(p.size(), -lr_, g.data(), p.data());
     } else {
-      auto& v = velocity_[i].data();
-      for (size_t j = 0; j < p.size(); ++j) {
-        v[j] = momentum_ * v[j] + g[j];
-        p[j] -= lr_ * v[j];
-      }
+      kernels::SgdMomentumUpdate(p.size(), lr_, momentum_, g.data(),
+                                 velocity_[i].data().data(), p.data());
     }
   }
 }
@@ -63,17 +62,9 @@ void Adam::Step() {
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
   for (size_t i = 0; i < params_.size(); ++i) {
-    auto& p = params_[i]->data();
-    const auto& g = grads_[i]->data();
-    auto& m = m_[i].data();
-    auto& v = v_[i].data();
-    for (size_t j = 0; j < p.size(); ++j) {
-      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
-      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
-      const double m_hat = m[j] / bc1;
-      const double v_hat = v[j] / bc2;
-      p[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
+    kernels::AdamUpdate(params_[i]->size(), lr_, beta1_, beta2_, eps_, bc1,
+                        bc2, grads_[i]->data().data(), m_[i].data().data(),
+                        v_[i].data().data(), params_[i]->data().data());
   }
 }
 

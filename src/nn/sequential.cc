@@ -35,16 +35,19 @@ Sequential Sequential::MakeMlp(const std::vector<size_t>& sizes, Activation hidd
   return net;
 }
 
-Matrix Sequential::Forward(const Matrix& x) {
-  Matrix h = x;
-  for (auto& layer : layers_) h = layer->Forward(h);
+Matrix Sequential::Forward(RowBlock x) {
+  // The view goes straight into the first layer — no up-front batch copy.
+  if (layers_.empty()) return x.ToMatrix();
+  Matrix h = layers_[0]->Forward(x);
+  for (size_t i = 1; i < layers_.size(); ++i) h = layers_[i]->Forward(h);
   return h;
 }
 
-Matrix Sequential::Infer(const Matrix& x) const {
+Matrix Sequential::Infer(RowBlock x) const {
   x.DebugCheckFinite("Sequential::Infer input");
-  Matrix h = x;
-  for (const auto& layer : layers_) h = layer->Infer(h);
+  if (layers_.empty()) return x.ToMatrix();
+  Matrix h = layers_[0]->Infer(x);
+  for (size_t i = 1; i < layers_.size(); ++i) h = layers_[i]->Infer(h);
   h.DebugCheckFinite("Sequential::Infer output");
   return h;
 }

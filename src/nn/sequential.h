@@ -36,12 +36,15 @@ class Sequential {
   static Sequential MakeMlp(const std::vector<size_t>& sizes, Activation hidden,
                             Activation output, Rng* rng);
 
-  /// Runs the batch through all layers.
-  Matrix Forward(const Matrix& x);
+  /// Runs the batch through all layers. Takes a zero-copy row-block view:
+  /// a minibatch slice of an epoch matrix flows straight into the first
+  /// layer's kernel without being materialized (whole matrices convert
+  /// implicitly).
+  Matrix Forward(RowBlock x);
 
   /// Inference-only pass: eval-mode arithmetic, const and cache-free, safe
   /// to call concurrently on a shared fitted network (see Layer::Infer).
-  Matrix Infer(const Matrix& x) const;
+  Matrix Infer(RowBlock x) const;
 
   /// Backpropagates dLoss/dOutput; returns dLoss/dInput and accumulates
   /// parameter gradients in each layer.

@@ -334,6 +334,156 @@ TEST_P(KernelsSweepTest, ReductionsMatchReference) {
   }
 }
 
+template <typename T>
+void RunActivationBackward(KernelsSweepTest* fixture) {
+  Rng rng(67);
+  const Act kActs[] = {Act::kNone, Act::kReLU, Act::kLeakyReLU, Act::kSigmoid,
+                       Act::kTanh};
+  const T slope = T(0.01);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{9}, size_t{64}}) {
+    for (Act act : kActs) {
+      const auto ref = FillRandom<T>(n, &rng);
+      const auto g0 = FillRandom<T>(n, &rng);
+      auto expected = g0;
+      for (size_t i = 0; i < n; ++i) {
+        switch (act) {
+          case Act::kNone: break;
+          case Act::kReLU: expected[i] *= ref[i] > T(0) ? T(1) : T(0); break;
+          case Act::kLeakyReLU:
+            if (ref[i] < T(0)) expected[i] *= slope;
+            break;
+          case Act::kSigmoid: expected[i] *= ref[i] * (T(1) - ref[i]); break;
+          case Act::kTanh: expected[i] *= T(1) - ref[i] * ref[i]; break;
+        }
+      }
+      auto actual = g0;
+      ActivationBackward<T>(act, slope, n, ref.data(), actual.data());
+      SCOPED_TRACE(::testing::Message()
+                   << "n=" << n << " act=" << static_cast<int>(act));
+      fixture->ExpectClose(expected, actual);
+    }
+  }
+}
+
+TEST_P(KernelsSweepTest, ActivationBackwardMatchesReference) {
+  RunActivationBackward<float>(this);
+  RunActivationBackward<double>(this);
+}
+
+TEST_P(KernelsSweepTest, ScaledDiffMatchesReference) {
+  Rng rng(71);
+  for (size_t n : {size_t{0}, size_t{5}, size_t{33}}) {
+    const auto a = FillRandom<double>(n, &rng);
+    const auto b = FillRandom<double>(n, &rng);
+    const double alpha = rng.Normal(0.0, 2.0);
+    std::vector<double> expected(n), actual(n);
+    for (size_t i = 0; i < n; ++i) expected[i] = alpha * (a[i] - b[i]);
+    ScaledDiff<double>(n, alpha, a.data(), b.data(), actual.data());
+    ExpectClose(expected, actual);
+  }
+}
+
+// The optimizer kernels must reproduce the historical update loops
+// expression-for-expression; the references below are those loops verbatim.
+TEST_P(KernelsSweepTest, AdamUpdateMatchesReferenceLoop) {
+  Rng rng(73);
+  const size_t n = 37;
+  const double lr = 0.01, beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  auto g = FillRandom<double>(n, &rng);
+  auto m = FillRandom<double>(n, &rng);
+  auto v = FillRandom<double>(n, &rng);
+  for (double& x : v) x = std::abs(x);
+  auto p = FillRandom<double>(n, &rng);
+  for (int t = 1; t <= 3; ++t) {
+    const double bc1 = 1.0 - std::pow(beta1, t);
+    const double bc2 = 1.0 - std::pow(beta2, t);
+    auto em = m, ev = v, ep = p;
+    for (size_t j = 0; j < n; ++j) {
+      em[j] = beta1 * em[j] + (1.0 - beta1) * g[j];
+      ev[j] = beta2 * ev[j] + (1.0 - beta2) * g[j] * g[j];
+      const double m_hat = em[j] / bc1;
+      const double v_hat = ev[j] / bc2;
+      ep[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+    }
+    AdamUpdate<double>(n, lr, beta1, beta2, eps, bc1, bc2, g.data(), m.data(),
+                       v.data(), p.data());
+    // Bitwise equality, not closeness: the fused kernel must round exactly
+    // as the historical loop did.
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(em[j], m[j]);
+      EXPECT_EQ(ev[j], v[j]);
+      EXPECT_EQ(ep[j], p[j]);
+    }
+  }
+}
+
+TEST_P(KernelsSweepTest, SgdMomentumUpdateMatchesReferenceLoop) {
+  Rng rng(79);
+  const size_t n = 29;
+  const double lr = 0.05, momentum = 0.9;
+  const auto g = FillRandom<double>(n, &rng);
+  auto v = FillRandom<double>(n, &rng);
+  auto p = FillRandom<double>(n, &rng);
+  auto ev = v, ep = p;
+  for (size_t j = 0; j < n; ++j) {
+    ev[j] = momentum * ev[j] + g[j];
+    ep[j] -= lr * ev[j];
+  }
+  SgdMomentumUpdate<double>(n, lr, momentum, g.data(), v.data(), p.data());
+  for (size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(ev[j], v[j]);
+    EXPECT_EQ(ep[j], p[j]);
+  }
+}
+
+TEST_P(KernelsSweepTest, RowwiseSquaredDistancesMatchesReference) {
+  Rng rng(83);
+  TilingConfig tiling;
+  tiling.threads = 4;
+  tiling.min_flops = 1;
+  tiling.min_rows_per_tile = 1;
+  SetTilingForTest(tiling);
+  for (const Shape& s : kShapes) {
+    const auto a = FillRandom<double>(s.m * s.n, &rng);
+    const auto b = FillRandom<double>(s.m * s.n, &rng);
+    std::vector<double> expected(s.m), actual(s.m, -1.0);
+    for (size_t i = 0; i < s.m; ++i) {
+      double acc = 0.0;
+      for (size_t j = 0; j < s.n; ++j) {
+        const double d = a[i * s.n + j] - b[i * s.n + j];
+        acc += d * d;
+      }
+      expected[i] = acc;
+    }
+    RowwiseSquaredDistances<double>(s.m, s.n, a.data(), b.data(),
+                                    actual.data());
+    SCOPED_TRACE(::testing::Message() << "m=" << s.m << " n=" << s.n);
+    ExpectClose(expected, actual);
+  }
+}
+
+TEST_P(KernelsSweepTest, MseLossGradMatchesReferenceLoop) {
+  Rng rng(89);
+  for (const Shape& s : kShapes) {
+    if (s.m == 0) continue;
+    const size_t n = s.m * s.n;
+    const auto pred = FillRandom<double>(n, &rng);
+    const auto target = FillRandom<double>(n, &rng);
+    const double inv_n = 1.0 / static_cast<double>(s.m);
+    std::vector<double> egrad(n), agrad(n);
+    double etotal = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = pred[i] - target[i];
+      etotal += d * d;
+      egrad[i] = 2.0 * d * inv_n;
+    }
+    const double atotal = MseLossGrad<double>(n, pred.data(), target.data(),
+                                              inv_n, agrad.data());
+    EXPECT_EQ(etotal, atotal);
+    ExpectClose(egrad, agrad);
+  }
+}
+
 // Double must take the scalar path on EVERY backend — that is the training
 // bit-determinism contract.
 TEST_P(KernelsSweepTest, DoubleIsBackendInvariant) {

@@ -170,6 +170,39 @@ TEST(MatrixTest, AppendRowsToEmpty) {
   EXPECT_EQ(a.cols(), 3u);
 }
 
+TEST(MatrixTest, RowBlockViewsShareStorage) {
+  Matrix a(4, 2, {1, 2, 3, 4, 5, 6, 7, 8});
+  RowBlock mid = a.RowBlock(1, 2);
+  EXPECT_EQ(mid.rows(), 2u);
+  EXPECT_EQ(mid.cols(), 2u);
+  EXPECT_DOUBLE_EQ(mid.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(mid.At(1, 1), 6.0);
+  // Zero-copy: the view aliases the matrix storage directly.
+  EXPECT_EQ(mid.data(), a.RowPtr(1));
+  EXPECT_EQ(mid.RowPtr(1), a.RowPtr(2));
+}
+
+TEST(MatrixTest, RowBlockToMatrixMaterializesCopy) {
+  Matrix a(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix tail = a.RowBlock(1, 2).ToMatrix();
+  ASSERT_EQ(tail.rows(), 2u);
+  EXPECT_DOUBLE_EQ(tail.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(tail.At(1, 1), 6.0);
+  a.At(1, 0) = 99.0;  // Mutating the source must not touch the copy.
+  EXPECT_DOUBLE_EQ(tail.At(0, 0), 3.0);
+}
+
+TEST(MatrixTest, RowBlockImplicitFromWholeMatrix) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  RowBlock view = a;  // Implicit whole-matrix view.
+  EXPECT_EQ(view.rows(), a.rows());
+  EXPECT_EQ(view.cols(), a.cols());
+  EXPECT_EQ(view.data(), a.data().data());
+  RowBlock empty_range = a.RowBlock(2, 0);
+  EXPECT_TRUE(empty_range.empty());
+  EXPECT_EQ(empty_range.rows(), 0u);
+}
+
 TEST(MatrixTest, MapAndRowOps) {
   Matrix a(1, 3, {-1.0, 0.0, 2.0});
   Matrix sq = a.Map([](double v) { return v * v; });

@@ -1,0 +1,103 @@
+// The scheduler's one contract: identical batch contents, in identical
+// order, to the historical shuffle-then-SelectRows-per-batch epoch loops —
+// with the same RNG call sequence — while serving zero-copy views.
+
+#include "nn/minibatch.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "nn/matrix.h"
+
+namespace targad {
+namespace nn {
+namespace {
+
+Matrix MakeMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.Normal(0.0, 1.0);
+  return m;
+}
+
+TEST(EpochSlicesTest, CoversRangeWithRemainderTail) {
+  const auto slices = EpochSlices(10, 4);
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0].begin, 0u);
+  EXPECT_EQ(slices[0].count, 4u);
+  EXPECT_EQ(slices[1].begin, 4u);
+  EXPECT_EQ(slices[1].count, 4u);
+  EXPECT_EQ(slices[2].begin, 8u);
+  EXPECT_EQ(slices[2].count, 2u);
+}
+
+TEST(EpochSlicesTest, EmptyAndOversizedBatch) {
+  EXPECT_TRUE(EpochSlices(0, 4).empty());
+  const auto one = EpochSlices(3, 100);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].count, 3u);
+}
+
+// The scheduler must replay the legacy loop exactly: one Shuffle of a
+// persistent order vector per epoch (shuffles compounding across epochs),
+// batch b holding rows order[b*bs .. b*bs+count).
+TEST(MinibatchSchedulerTest, MatchesLegacyShuffleSelectLoop) {
+  const size_t n = 23, bs = 5, cols = 3, epochs = 4;
+  const Matrix x = MakeMatrix(n, cols, 7);
+
+  Rng legacy_rng(99);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  Rng sched_rng(99);
+  MinibatchScheduler sched(n, bs);
+
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    legacy_rng.Shuffle(&order);
+    sched.BeginEpoch(x, &sched_rng);
+
+    size_t b = 0;
+    for (size_t start = 0; start < n; start += bs, ++b) {
+      const size_t end = std::min(n, start + bs);
+      std::vector<size_t> batch_idx(order.begin() + static_cast<long>(start),
+                                    order.begin() + static_cast<long>(end));
+      const Matrix legacy_batch = x.SelectRows(batch_idx);
+
+      ASSERT_LT(b, sched.num_batches());
+      const RowBlock batch = sched.Batch(b);
+      ASSERT_EQ(batch.rows(), legacy_batch.rows());
+      ASSERT_EQ(batch.cols(), legacy_batch.cols());
+      for (size_t i = 0; i < batch.rows(); ++i) {
+        for (size_t j = 0; j < batch.cols(); ++j) {
+          EXPECT_EQ(batch.At(i, j), legacy_batch.At(i, j))
+              << "epoch " << epoch << " batch " << b << " at (" << i << ", "
+              << j << ")";
+        }
+      }
+    }
+    EXPECT_EQ(b, sched.num_batches());
+  }
+}
+
+TEST(MinibatchSchedulerTest, BatchesAreViewsIntoOneGather) {
+  const size_t n = 8, bs = 3;
+  const Matrix x = MakeMatrix(n, 2, 11);
+  Rng rng(1);
+  MinibatchScheduler sched(n, bs);
+  sched.BeginEpoch(x, &rng);
+  ASSERT_EQ(sched.num_batches(), 3u);
+  // Consecutive batches are contiguous slices of the same buffer.
+  const RowBlock b0 = sched.Batch(0);
+  const RowBlock b1 = sched.Batch(1);
+  EXPECT_EQ(b0.RowPtr(0) + bs * x.cols(), b1.RowPtr(0));
+  // Every source row appears exactly once across the epoch.
+  std::vector<size_t> seen = sched.order();
+  std::sort(seen.begin(), seen.end());
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i], i);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace targad

@@ -2,12 +2,15 @@
 // architectures and loss types, optimizer convergence across seeds, and
 // serialization round-trips for random networks.
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "nn/gradcheck.h"
+#include "nn/kernels/kernels.h"
 #include "nn/losses.h"
 #include "nn/serialize.h"
 #include "nn/sequential.h"
@@ -176,6 +179,104 @@ TEST_P(LossIdentityTest, CrossEntropyGradSumsToZeroPerRow) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LossIdentityTest,
                          ::testing::Values(11, 22, 33, 44, 55));
+
+// Backend x thread-count sweep: analytic gradients stay correct AND the
+// double backward-pass bits are invariant across every (backend, threads)
+// combination — the kernel-dispatch half of the determinism contract that
+// training_bitexact_test pins end-to-end.
+struct KernelConfigParam {
+  kernels::Backend backend;
+  size_t threads;
+};
+
+class KernelConfigGradCheckTest
+    : public ::testing::TestWithParam<KernelConfigParam> {
+ public:
+  void SetUp() override {
+    saved_backend_ = kernels::ActiveBackend();
+    saved_tiling_ = kernels::Tiling();
+    if (!kernels::SetBackendForTest(GetParam().backend)) {
+      GTEST_SKIP() << "backend " << kernels::BackendName(GetParam().backend)
+                   << " not available in this build/CPU";
+    }
+    kernels::TilingConfig tiling;
+    tiling.threads = GetParam().threads;
+    tiling.min_flops = 1;  // Tile even these small probes.
+    tiling.min_rows_per_tile = 1;
+    kernels::SetTilingForTest(tiling);
+  }
+  void TearDown() override {
+    kernels::SetBackendForTest(saved_backend_);
+    kernels::SetTilingForTest(saved_tiling_);
+  }
+
+ private:
+  kernels::Backend saved_backend_ = kernels::Backend::kScalar;
+  kernels::TilingConfig saved_tiling_;
+};
+
+// One backward pass over a fixed net/batch; returns every parameter
+// gradient, flattened.
+std::vector<double> BackwardGradProbe() {
+  Rng rng(29);
+  Sequential net = Sequential::MakeMlp({6, 9, 5, 4}, Activation::kLeakyReLU,
+                                       Activation::kNone, &rng);
+  Matrix x = RandomBatch(7, 6, 30);
+  Matrix targets(7, 4, 0.25);
+  net.ZeroGrads();
+  Matrix out = net.Forward(x);
+  const LossResult ce = WeightedSoftCrossEntropy(out, targets, {}, 7.0);
+  net.Backward(ce.grad);
+  std::vector<double> flat = {ce.loss};
+  for (Matrix* g : net.Grads()) {
+    flat.insert(flat.end(), g->data().begin(), g->data().end());
+  }
+  return flat;
+}
+
+TEST_P(KernelConfigGradCheckTest, GradCheckPassesUnderConfig) {
+  Rng rng(31);
+  Sequential net = Sequential::MakeMlp({5, 8, 4}, Activation::kReLU,
+                                       Activation::kNone, &rng);
+  Matrix x = RandomBatch(6, 5, 32);
+  Matrix targets(6, 4, 0.25);
+  auto loss_fn = [&](const Matrix& out) {
+    return WeightedSoftCrossEntropy(out, targets, {}, 6.0);
+  };
+  EXPECT_LT(MaxParamGradError(&net, x, loss_fn), 1e-5);
+}
+
+TEST_P(KernelConfigGradCheckTest, DoubleBackwardBitsInvariant) {
+  const std::vector<double> probe = BackwardGradProbe();
+
+  // Reference: scalar backend, no tiling.
+  const kernels::TilingConfig active = kernels::Tiling();
+  ASSERT_TRUE(kernels::SetBackendForTest(kernels::Backend::kScalar));
+  kernels::SetTilingForTest(kernels::TilingConfig{});
+  const std::vector<double> reference = BackwardGradProbe();
+  kernels::SetBackendForTest(GetParam().backend);
+  kernels::SetTilingForTest(active);
+
+  ASSERT_EQ(probe.size(), reference.size());
+  for (size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(probe[i]),
+              std::bit_cast<uint64_t>(reference[i]))
+        << "gradient element " << i << " drifted under backend "
+        << kernels::BackendName(GetParam().backend) << ", "
+        << GetParam().threads << " threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsByThreads, KernelConfigGradCheckTest,
+    ::testing::Values(KernelConfigParam{kernels::Backend::kScalar, 1},
+                      KernelConfigParam{kernels::Backend::kScalar, 4},
+                      KernelConfigParam{kernels::Backend::kAvx2, 1},
+                      KernelConfigParam{kernels::Backend::kAvx2, 4}),
+    [](const auto& info) {
+      return std::string(kernels::BackendName(info.param.backend)) +
+             "_threads" + std::to_string(info.param.threads);
+    });
 
 }  // namespace
 }  // namespace nn

@@ -15,6 +15,7 @@
 #include "core/pipeline.h"
 #include "data/dataset.h"
 #include "gtest/gtest.h"
+#include "nn/kernels/kernels.h"
 #include "nn/losses.h"
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
@@ -69,7 +70,7 @@ void ExpectBitExact(const std::vector<double>& probe, const uint64_t* golden,
   }
 }
 
-TEST(TrainingBitExactTest, MlpTrainingLoopMatchesSeedBits) {
+std::vector<double> RunMlpProbe() {
   Rng rng(42);
   nn::Sequential net = nn::Sequential::MakeMlp(
       {5, 8, 4, 3}, nn::Activation::kReLU, nn::Activation::kSigmoid, &rng);
@@ -95,26 +96,97 @@ TEST(TrainingBitExactTest, MlpTrainingLoopMatchesSeedBits) {
     probe.push_back(p->data().back());
     probe.push_back(p->Sum());
   }
-  ExpectBitExact(probe, kNetGolden, std::size(kNetGolden));
+  return probe;
 }
 
-TEST(TrainingBitExactTest, FullPipelineTrainingMatchesSeedBits) {
+std::vector<double> RunPipelineProbe() {
   core::PipelineConfig config;
   config.model.seed = 11;
   config.model.selection.k = 2;
   config.model.selection.autoencoder.epochs = 8;
   config.model.epochs = 10;
   auto trained = core::TargAdPipeline::Train(MakeTable(3, 160), config);
-  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+  EXPECT_TRUE(trained.ok()) << trained.status().ToString();
+  if (!trained.ok()) return {};
   const data::RawTable test = MakeTable(4, 24);
   auto scores = trained.ValueOrDie().Score(test);
-  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  EXPECT_TRUE(scores.ok()) << scores.status().ToString();
+  if (!scores.ok()) return {};
   const std::vector<double>& s = scores.ValueOrDie();
-  ASSERT_GE(s.size(), std::size(kPipelineGolden));
-  ExpectBitExact(
-      std::vector<double>(s.begin(), s.begin() + std::size(kPipelineGolden)),
-      kPipelineGolden, std::size(kPipelineGolden));
+  EXPECT_GE(s.size(), std::size(kPipelineGolden));
+  if (s.size() < std::size(kPipelineGolden)) return {};
+  return std::vector<double>(s.begin(),
+                             s.begin() + std::size(kPipelineGolden));
 }
+
+TEST(TrainingBitExactTest, MlpTrainingLoopMatchesSeedBits) {
+  ExpectBitExact(RunMlpProbe(), kNetGolden, std::size(kNetGolden));
+}
+
+TEST(TrainingBitExactTest, FullPipelineTrainingMatchesSeedBits) {
+  ExpectBitExact(RunPipelineProbe(), kPipelineGolden,
+                 std::size(kPipelineGolden));
+}
+
+// The row-tiled parallel training contract: every output row is owned by
+// exactly one thread and reductions keep a fixed order, so the SAME golden
+// bits must come out at every thread count, with tiling thresholds forced
+// to zero so even these small probes actually fan out, on every backend
+// available in the build (double always takes the scalar kernels).
+struct SweepParam {
+  nn::kernels::Backend backend;
+  size_t threads;
+};
+
+class TrainingBitExactSweepTest : public ::testing::TestWithParam<SweepParam> {
+ public:
+  void SetUp() override {
+    saved_backend_ = nn::kernels::ActiveBackend();
+    saved_tiling_ = nn::kernels::Tiling();
+    if (!nn::kernels::SetBackendForTest(GetParam().backend)) {
+      GTEST_SKIP() << "backend "
+                   << nn::kernels::BackendName(GetParam().backend)
+                   << " not available in this build/CPU";
+    }
+    nn::kernels::TilingConfig tiling;
+    tiling.threads = GetParam().threads;
+    tiling.min_flops = 1;
+    tiling.min_rows_per_tile = 1;
+    nn::kernels::SetTilingForTest(tiling);
+  }
+  void TearDown() override {
+    nn::kernels::SetBackendForTest(saved_backend_);
+    nn::kernels::SetTilingForTest(saved_tiling_);
+  }
+
+ private:
+  nn::kernels::Backend saved_backend_ = nn::kernels::Backend::kScalar;
+  nn::kernels::TilingConfig saved_tiling_;
+};
+
+TEST_P(TrainingBitExactSweepTest, MlpGoldenBitsInvariant) {
+  ExpectBitExact(RunMlpProbe(), kNetGolden, std::size(kNetGolden));
+}
+
+TEST_P(TrainingBitExactSweepTest, PipelineGoldenBitsInvariant) {
+  ExpectBitExact(RunPipelineProbe(), kPipelineGolden,
+                 std::size(kPipelineGolden));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsByBackend, TrainingBitExactSweepTest,
+    ::testing::Values(SweepParam{nn::kernels::Backend::kScalar, 1},
+                      SweepParam{nn::kernels::Backend::kScalar, 2},
+                      SweepParam{nn::kernels::Backend::kScalar, 4},
+                      SweepParam{nn::kernels::Backend::kScalar, 8},
+                      SweepParam{nn::kernels::Backend::kAvx2, 1},
+                      SweepParam{nn::kernels::Backend::kAvx2, 2},
+                      SweepParam{nn::kernels::Backend::kAvx2, 4},
+                      SweepParam{nn::kernels::Backend::kAvx2, 8}),
+    [](const auto& info) {
+      return std::string(nn::kernels::BackendName(info.param.backend)) +
+             "_threads" + std::to_string(info.param.threads);
+    });
 
 }  // namespace
 }  // namespace targad

@@ -12,12 +12,17 @@ record), or a fresh net_loadgen.json is passed via --run-net, a second
 table diffs the TCP front-end's open-loop latency ladder (p50/p99/p999,
 lower is better) the same way.
 
+Likewise a "train" object (the bench_train_throughput record), or a fresh
+train_throughput.json passed via --run-train, yields a training-throughput
+table: rows/sec and epoch time per kernel thread count, plus the
+cross-thread bit-exactness flag.
+
 Only the standard library is used; CI pipes the output into a PR comment.
 
 Usage:
   bench_delta.py --trajectory BENCH_serve_throughput.json \
       [--run serve_throughput.json] [--run-net net_loadgen.json] \
-      [--output bench_delta.md]
+      [--run-train train_throughput.json] [--output bench_delta.md]
 """
 
 import argparse
@@ -106,7 +111,59 @@ def render_net(baseline, candidate, candidate_label, run_net):
     return lines
 
 
-def render(trajectory, run, run_net=None):
+def render_train(baseline, candidate, candidate_label, run_train):
+    """Markdown lines for the training-throughput section, or [] if absent."""
+    base_train = baseline.get("train")
+    cand_train = run_train if run_train is not None else candidate.get("train")
+    if cand_train is None:
+        return []
+
+    def by_threads(record):
+        return {int(r["threads"]): r for r in record.get("results", [])}
+
+    base_rows = by_threads(base_train) if base_train is not None else {}
+    cand_rows = by_threads(cand_train)
+    base_label = (
+        f"{entry_label(baseline)} (baseline)"
+        if base_train is not None
+        else "(no baseline)"
+    )
+    lines = [
+        "### Training throughput — minibatch autoencoder epochs",
+        "",
+        f"| threads | {base_label} rows/sec | {candidate_label} rows/sec "
+        "| delta | epoch_ms | speedup |",
+        "|---:|---:|---:|---:|---:|---:|",
+    ]
+    for threads in sorted(cand_rows):
+        cand = cand_rows[threads]
+        base_rps = float(base_rows.get(threads, {}).get("rows_per_sec", 0.0))
+        cand_rps = float(cand["rows_per_sec"])
+        base_text = format_rows(base_rps) if base_rps > 0.0 else "n/a"
+        lines.append(
+            f"| {threads} | {base_text} | {format_rows(cand_rps)} "
+            f"| {format_delta(base_rps, cand_rps)} "
+            f"| {float(cand['epoch_ms']):,.1f} "
+            f"| {float(cand.get('speedup', 1.0)):.2f}x |"
+        )
+    bitexact = cand_train.get("bitexact_across_threads")
+    lines += [
+        "",
+        f"_Arch {cand_train.get('arch', '?')}, batch "
+        f"{cand_train.get('batch_size', '?')}, "
+        f"{cand_train.get('rows', '?')} rows x "
+        f"{cand_train.get('epochs', '?')} epochs; final parameters "
+        + (
+            "bit-identical across all thread counts._"
+            if bitexact
+            else "**DRIFTED** across thread counts._"
+        ),
+        "",
+    ]
+    return lines
+
+
+def render(trajectory, run, run_net=None, run_train=None):
     entries = trajectory["trajectory"]
     if run is not None:
         baseline, candidate = entries[-1], run
@@ -150,6 +207,7 @@ def render(trajectory, run, run_net=None):
         lines.append(detail)
         lines.append("")
     lines.extend(render_net(baseline, candidate, candidate_label, run_net))
+    lines.extend(render_train(baseline, candidate, candidate_label, run_train))
     lines.append(
         f"_Grid: {candidate.get('rows_per_cell', '?')} rows/cell at "
         f"scale {candidate.get('scale', '?')}; numbers are the best cell "
@@ -166,6 +224,8 @@ def main():
                         help="fresh serve_throughput.json from this checkout")
     parser.add_argument("--run-net", default=None,
                         help="fresh net_loadgen.json from this checkout")
+    parser.add_argument("--run-train", default=None,
+                        help="fresh train_throughput.json from this checkout")
     parser.add_argument("--output", default=None,
                         help="write markdown here as well as stdout")
     args = parser.parse_args()
@@ -180,8 +240,12 @@ def main():
     if args.run_net is not None:
         with open(args.run_net) as f:
             run_net = json.load(f)
+    run_train = None
+    if args.run_train is not None:
+        with open(args.run_train) as f:
+            run_train = json.load(f)
 
-    markdown = render(trajectory, run, run_net)
+    markdown = render(trajectory, run, run_net, run_train)
     sys.stdout.write(markdown)
     if args.output is not None:
         with open(args.output, "w") as f:
