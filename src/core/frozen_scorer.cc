@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "common/hot_path.h"
+
 namespace targad {
 namespace core {
 
@@ -93,7 +95,7 @@ Result<FrozenScorer> FrozenScorer::Make(Spec spec, const nn::Sequential& net,
 }
 
 template <typename T>
-Result<std::vector<double>> FrozenScorer::ScoreTyped(
+TARGAD_HOT_PATH Result<std::vector<double>> FrozenScorer::ScoreTyped(
     const Typed<T>& model, const data::RawTable& features) const {
   TARGAD_ASSIGN_OR_RETURN(nn::MatrixT<T> x,
                           spec_.encoder.template TransformT<T>(features));

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/hot_path.h"
 #include "serve/metrics.h"
 
 namespace targad {
@@ -75,9 +76,9 @@ class NetMetrics {
   void RecordOversized() { Add(&oversized_lines_); }
   void RecordDrain() { Add(&drains_); }
 
-  void RecordParseUs(uint64_t us) { parse_us_.Record(us); }
-  void RecordScoreUs(uint64_t us) { score_us_.Record(us); }
-  void RecordRespondUs(uint64_t us) { respond_us_.Record(us); }
+  TARGAD_HOT_PATH void RecordParseUs(uint64_t us) { parse_us_.Record(us); }
+  TARGAD_HOT_PATH void RecordScoreUs(uint64_t us) { score_us_.Record(us); }
+  TARGAD_HOT_PATH void RecordRespondUs(uint64_t us) { respond_us_.Record(us); }
 
   NetMetricsSnapshot Snapshot() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hot_path.h"
 #include "common/string_util.h"
 
 namespace targad {
@@ -86,7 +87,7 @@ std::string FormatErrStatus(const Status& status) {
   return FormatErr(WireCode(status.code()), status.message());
 }
 
-void FrameDecoder::Append(const char* data, size_t n) {
+TARGAD_HOT_PATH void FrameDecoder::Append(const char* data, size_t n) {
   // Compact lazily: once the consumed prefix dominates, drop it so the
   // buffer stays proportional to the unread tail, not the session history.
   if (consumed_ > 4096 && consumed_ > buf_.size() / 2) {
@@ -97,7 +98,8 @@ void FrameDecoder::Append(const char* data, size_t n) {
   buf_.append(data, n);
 }
 
-FrameDecoder::Outcome FrameDecoder::ReadLine(std::string* line) {
+TARGAD_HOT_PATH FrameDecoder::Outcome FrameDecoder::ReadLine(
+    std::string* line) {
   if (poisoned_) return Outcome::kOversized;
   // scan_ remembers how far the newline search got, so a slow-trickling
   // long line costs O(bytes), not O(bytes^2).

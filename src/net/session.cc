@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include "common/hot_path.h"
+
 namespace targad {
 namespace net {
 
@@ -43,6 +45,11 @@ bool Session::ReplyQueueEmpty() const {
 
 size_t Session::CollectReady(std::string* sink, NetMetrics* metrics) {
   MutexLock lock(&mu_);
+  return CollectReadyLocked(sink, metrics);
+}
+
+TARGAD_HOT_PATH size_t Session::CollectReadyLocked(std::string* sink,
+                                                   NetMetrics* metrics) {
   size_t released = 0;
   while (!completed_.empty() &&
          completed_.begin()->first == next_flush_seq_) {

@@ -25,6 +25,7 @@
 #include <string>
 #include <utility>
 
+#include "common/hot_path.h"
 #include "common/lock_rank.h"
 #include "common/thread_annotations.h"
 #include "net/metrics.h"
@@ -34,7 +35,8 @@ namespace targad {
 namespace net {
 
 /// Microseconds elapsed since `since` (clamped at 0).
-inline uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+TARGAD_HOT_PATH inline uint64_t ElapsedUs(
+    std::chrono::steady_clock::time_point since) {
   const auto d = std::chrono::steady_clock::now() - since;
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(d);
   return us.count() < 0 ? 0 : static_cast<uint64_t>(us.count());
@@ -106,6 +108,11 @@ class Session {
       TARGAD_EXCLUDES(mu_);
 
  private:
+  /// Hot inner loop of CollectReady, factored out so the per-reply work is
+  /// purity-checked without the lock acquisition (the caller holds mu_).
+  size_t CollectReadyLocked(std::string* sink, NetMetrics* metrics)
+      TARGAD_REQUIRES(mu_);
+
   struct Reply {
     std::string text;
     std::chrono::steady_clock::time_point done_at;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/hot_path.h"
 #include "common/string_util.h"
 #include "nn/kernels/kernels.h"
 
@@ -99,7 +100,7 @@ Result<FrozenNetT<T>> FrozenNetT<T>::Freeze(const Sequential& net) {
 }
 
 template <typename T>
-MatrixT<T> FrozenNetT<T>::Infer(const MatrixT<T>& x) const {
+TARGAD_HOT_PATH MatrixT<T> FrozenNetT<T>::Infer(const MatrixT<T>& x) const {
   x.DebugCheckFinite("FrozenNet::Infer input");
   MatrixT<T> h = x;
   for (const FrozenStepT<T>& step : steps_) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/hot_path.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "nn/kernels/kernels_internal.h"
@@ -100,17 +101,16 @@ void ParallelRows(size_t rows, size_t flops,
       std::min(tiling.threads, rows / tiling.min_rows_per_tile);
   const size_t base = rows / chunks;
   const size_t extra = rows % chunks;
-  std::vector<std::pair<size_t, size_t>> ranges;
-  ranges.reserve(chunks);
-  size_t begin = 0;
-  for (size_t c = 0; c < chunks; ++c) {
-    const size_t len = base + (c < extra ? 1 : 0);
-    ranges.emplace_back(begin, begin + len);
-    begin += len;
-  }
+  // Chunk c covers [c*base + min(c, extra), ...): the first `extra` chunks
+  // take one extra row. Closed-form bounds — no range buffer to allocate,
+  // which keeps this dispatcher within the hot-path purity contract.
+  const auto chunk_begin = [base, extra](size_t c) {
+    return c * base + std::min(c, extra);
+  };
   std::latch done(static_cast<std::ptrdiff_t>(chunks - 1));
   for (size_t c = 1; c < chunks; ++c) {
-    const auto [b, e] = ranges[c];
+    const size_t b = chunk_begin(c);
+    const size_t e = chunk_begin(c + 1);
     if (!Pool().TrySubmit([&fn, b, e, &done] {
           fn(b, e);
           done.count_down();
@@ -120,7 +120,7 @@ void ParallelRows(size_t rows, size_t flops,
       done.count_down();
     }
   }
-  fn(ranges[0].first, ranges[0].second);
+  fn(0, chunk_begin(1));
   done.wait();
 }
 
@@ -327,7 +327,7 @@ bool SetBackendForTest(Backend backend) {
 void SetTilingForTest(const TilingConfig& config) { State().tiling = config; }
 
 template <typename T>
-void Gemm(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
+TARGAD_HOT_PATH void Gemm(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
           const T* a, const T* b, T* c) {
   if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
     const internal::FloatKernels* f = FloatTable<T>();
@@ -358,7 +358,7 @@ void Gemm(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
 }
 
 template <typename T>
-void FusedAffineActivation(size_t m, size_t n, size_t k, const T* x,
+TARGAD_HOT_PATH void FusedAffineActivation(size_t m, size_t n, size_t k, const T* x,
                            const T* w, const T* bias, Act act, T leaky_slope,
                            T* y) {
   const internal::FloatKernels* f = FloatTable<T>();
@@ -375,7 +375,7 @@ void FusedAffineActivation(size_t m, size_t n, size_t k, const T* x,
 }
 
 template <typename T>
-void Axpy(size_t n, T alpha, const T* x, T* y) {
+TARGAD_HOT_PATH void Axpy(size_t n, T alpha, const T* x, T* y) {
   if constexpr (std::is_same_v<T, float>) {
     const internal::FloatKernels* f = FloatTable<T>();
     if (f != nullptr && f->axpy != nullptr) {
@@ -387,7 +387,7 @@ void Axpy(size_t n, T alpha, const T* x, T* y) {
 }
 
 template <typename T>
-void Scale(size_t n, T alpha, T* x) {
+TARGAD_HOT_PATH void Scale(size_t n, T alpha, T* x) {
   if constexpr (std::is_same_v<T, float>) {
     const internal::FloatKernels* f = FloatTable<T>();
     if (f != nullptr && f->scale != nullptr) {
@@ -399,12 +399,12 @@ void Scale(size_t n, T alpha, T* x) {
 }
 
 template <typename T>
-void Hadamard(size_t n, const T* x, T* y) {
+TARGAD_HOT_PATH void Hadamard(size_t n, const T* x, T* y) {
   for (size_t i = 0; i < n; ++i) y[i] *= x[i];
 }
 
 template <typename T>
-void AddRowVector(size_t m, size_t n, const T* v, T* a) {
+TARGAD_HOT_PATH void AddRowVector(size_t m, size_t n, const T* v, T* a) {
   for (size_t i = 0; i < m; ++i) {
     T* row = a + i * n;
     for (size_t j = 0; j < n; ++j) row[j] += v[j];
@@ -412,12 +412,12 @@ void AddRowVector(size_t m, size_t n, const T* v, T* a) {
 }
 
 template <typename T>
-void ApplyActivation(Act act, T leaky_slope, size_t n, T* x) {
+TARGAD_HOT_PATH void ApplyActivation(Act act, T leaky_slope, size_t n, T* x) {
   ApplyActivationRow(act, leaky_slope, n, x);
 }
 
 template <typename T>
-void ActivationBackward(Act act, T leaky_slope, size_t n, const T* ref,
+TARGAD_HOT_PATH void ActivationBackward(Act act, T leaky_slope, size_t n, const T* ref,
                         T* g) {
   switch (act) {
     case Act::kNone:
@@ -448,12 +448,12 @@ void ActivationBackward(Act act, T leaky_slope, size_t n, const T* ref,
 }
 
 template <typename T>
-void ScaledDiff(size_t n, T alpha, const T* a, const T* b, T* out) {
+TARGAD_HOT_PATH void ScaledDiff(size_t n, T alpha, const T* a, const T* b, T* out) {
   for (size_t i = 0; i < n; ++i) out[i] = alpha * (a[i] - b[i]);
 }
 
 template <typename T>
-void AdamUpdate(size_t n, T lr, T beta1, T beta2, T eps, T bias_c1, T bias_c2,
+TARGAD_HOT_PATH void AdamUpdate(size_t n, T lr, T beta1, T beta2, T eps, T bias_c1, T bias_c2,
                 const T* g, T* m, T* v, T* p) {
   // Expression shapes match the historical optimizer loop exactly (see the
   // header comment on why this cannot be decomposed into Scale/Axpy).
@@ -467,7 +467,7 @@ void AdamUpdate(size_t n, T lr, T beta1, T beta2, T eps, T bias_c1, T bias_c2,
 }
 
 template <typename T>
-void SgdMomentumUpdate(size_t n, T lr, T momentum, const T* g, T* v, T* p) {
+TARGAD_HOT_PATH void SgdMomentumUpdate(size_t n, T lr, T momentum, const T* g, T* v, T* p) {
   for (size_t j = 0; j < n; ++j) {
     v[j] = momentum * v[j] + g[j];
     p[j] -= lr * v[j];
@@ -475,7 +475,7 @@ void SgdMomentumUpdate(size_t n, T lr, T momentum, const T* g, T* v, T* p) {
 }
 
 template <typename T>
-void RowReduce(RowReduceOp op, size_t m, size_t n, const T* a, T* out) {
+TARGAD_HOT_PATH void RowReduce(RowReduceOp op, size_t m, size_t n, const T* a, T* out) {
   for (size_t i = 0; i < m; ++i) {
     const T* row = a + i * n;
     T acc = T(0);
@@ -497,7 +497,7 @@ void RowReduce(RowReduceOp op, size_t m, size_t n, const T* a, T* out) {
 }
 
 template <typename T>
-void ColReduceSum(size_t m, size_t n, const T* a, T* out) {
+TARGAD_HOT_PATH void ColReduceSum(size_t m, size_t n, const T* a, T* out) {
   std::fill(out, out + n, T(0));
   for (size_t i = 0; i < m; ++i) {
     const T* row = a + i * n;
@@ -506,14 +506,14 @@ void ColReduceSum(size_t m, size_t n, const T* a, T* out) {
 }
 
 template <typename T>
-T ReduceSum(size_t n, const T* x) {
+TARGAD_HOT_PATH T ReduceSum(size_t n, const T* x) {
   T acc = T(0);
   for (size_t i = 0; i < n; ++i) acc += x[i];
   return acc;
 }
 
 template <typename T>
-T Dot(size_t n, const T* a, const T* b) {
+TARGAD_HOT_PATH T Dot(size_t n, const T* a, const T* b) {
   if constexpr (std::is_same_v<T, float>) {
     const internal::FloatKernels* f = FloatTable<T>();
     if (f != nullptr && f->dot != nullptr) return f->dot(n, a, b);
@@ -524,13 +524,13 @@ T Dot(size_t n, const T* a, const T* b) {
 }
 
 template <typename T>
-T SquaredDistance(size_t d, const T* a, const T* b,
+TARGAD_HOT_PATH T SquaredDistance(size_t d, const T* a, const T* b,
                   const std::type_identity_t<T>* weights) {
   return SquaredDistancePair(d, a, b, weights);
 }
 
 template <typename T>
-void RowwiseSquaredDistances(size_t m, size_t n, const T* a, const T* b,
+TARGAD_HOT_PATH void RowwiseSquaredDistances(size_t m, size_t n, const T* a, const T* b,
                              T* out) {
   ParallelRows(m, 3 * m * n, [&](size_t r0, size_t r1) {
     for (size_t i = r0; i < r1; ++i) {
@@ -541,7 +541,7 @@ void RowwiseSquaredDistances(size_t m, size_t n, const T* a, const T* b,
 }
 
 template <typename T>
-T MseLossGrad(size_t n, const T* pred, const T* target, T inv_n, T* grad) {
+TARGAD_HOT_PATH T MseLossGrad(size_t n, const T* pred, const T* target, T inv_n, T* grad) {
   // Flat-order total reduction; must stay serial (see header).
   T total = T(0);
   for (size_t i = 0; i < n; ++i) {
@@ -553,7 +553,7 @@ T MseLossGrad(size_t n, const T* pred, const T* target, T inv_n, T* grad) {
 }
 
 template <typename T>
-void SquaredDistances(size_t n, size_t d, size_t k, const T* x,
+TARGAD_HOT_PATH void SquaredDistances(size_t n, size_t d, size_t k, const T* x,
                       const T* centers, const std::type_identity_t<T>* weights,
                       T* out) {
   const internal::FloatKernels* f = FloatTable<T>();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hot_path.h"
+
 namespace targad {
 namespace serve {
 
@@ -173,7 +175,8 @@ void BatchScorer::WorkerLoop() {
   }
 }
 
-void BatchScorer::Fulfill(Pending* request, Result<double> result) {
+TARGAD_HOT_PATH void BatchScorer::Fulfill(Pending* request,
+                                          Result<double> result) {
   if (metrics_ != nullptr) {
     const uint64_t latency_us = ElapsedUs(request->enqueued);
     if (result.ok()) {

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/hot_path.h"
+
 namespace targad {
 namespace serve {
 
@@ -21,7 +23,7 @@ size_t BucketIndex(uint64_t value) {
 
 }  // namespace
 
-void Pow2Histogram::Record(uint64_t value) {
+TARGAD_HOT_PATH void Pow2Histogram::Record(uint64_t value) {
   buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -59,7 +61,7 @@ std::array<uint64_t, Pow2Histogram::kNumBuckets> Pow2Histogram::Buckets() const 
   return out;
 }
 
-void ServeMetrics::RecordBatch(uint64_t rows) {
+TARGAD_HOT_PATH void ServeMetrics::RecordBatch(uint64_t rows) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   rows_scored_.fetch_add(rows, std::memory_order_relaxed);
   batch_sizes_.Record(rows);
@@ -73,12 +75,12 @@ void ServeMetrics::RecordModelRows(const std::string& model, uint64_t scored,
   counters.rows_failed += failed;
 }
 
-void ServeMetrics::RecordCompleted(uint64_t latency_us) {
+TARGAD_HOT_PATH void ServeMetrics::RecordCompleted(uint64_t latency_us) {
   requests_completed_.fetch_add(1, std::memory_order_relaxed);
   latencies_us_.Record(latency_us);
 }
 
-void ServeMetrics::RecordFailed(uint64_t latency_us) {
+TARGAD_HOT_PATH void ServeMetrics::RecordFailed(uint64_t latency_us) {
   requests_failed_.fetch_add(1, std::memory_order_relaxed);
   latencies_us_.Record(latency_us);
 }

@@ -119,7 +119,8 @@ def render_train(baseline, candidate, candidate_label, run_train):
         return []
 
     def by_threads(record):
-        return {int(r["threads"]): r for r in record.get("results", [])}
+        rows = record.get("results", [])
+        return {int(r["threads"]): r for r in rows if "threads" in r}
 
     base_rows = by_threads(base_train) if base_train is not None else {}
     cand_rows = by_threads(cand_train)
@@ -138,12 +139,12 @@ def render_train(baseline, candidate, candidate_label, run_train):
     for threads in sorted(cand_rows):
         cand = cand_rows[threads]
         base_rps = float(base_rows.get(threads, {}).get("rows_per_sec", 0.0))
-        cand_rps = float(cand["rows_per_sec"])
+        cand_rps = float(cand.get("rows_per_sec", 0.0))
         base_text = format_rows(base_rps) if base_rps > 0.0 else "n/a"
         lines.append(
             f"| {threads} | {base_text} | {format_rows(cand_rps)} "
             f"| {format_delta(base_rps, cand_rps)} "
-            f"| {float(cand['epoch_ms']):,.1f} "
+            f"| {float(cand.get('epoch_ms', 0.0)):,.1f} "
             f"| {float(cand.get('speedup', 1.0)):.2f}x |"
         )
     bitexact = cand_train.get("bitexact_across_threads")
@@ -175,24 +176,36 @@ def render(trajectory, run, run_net=None, run_train=None):
         return f"{COMMENT_MARKER}\nNot enough bench entries to diff.\n"
     base_label = f"{entry_label(baseline)} (baseline)"
 
-    base_best = best_by_dtype(baseline["results"])
-    cand_best = best_by_dtype(candidate["results"])
-
-    lines = [
-        COMMENT_MARKER,
-        "### Serve throughput — best rows/sec by dtype",
-        "",
-        f"| dtype | {base_label} | {candidate_label} | delta |",
-        "|---|---:|---:|---:|",
-    ]
-    for dtype in sorted(set(base_best) | set(cand_best)):
-        base = base_best.get(dtype, 0.0)
-        cand = cand_best.get(dtype, 0.0)
-        lines.append(
-            f"| {dtype} | {format_rows(base)} | {format_rows(cand)} "
-            f"| {format_delta(base, cand)} |"
-        )
-    lines.append("")
+    lines = [COMMENT_MARKER]
+    # An entry may carry only a net or train record (a PR that benched just
+    # one subsystem); skip the serve-throughput table rather than die, so the
+    # sections that do have data still render.
+    base_results = baseline.get("results")
+    cand_results = candidate.get("results")
+    if base_results is None or cand_results is None:
+        missing = entry_label(candidate if cand_results is None else baseline)
+        lines += [
+            f"_Serve-throughput table skipped: {missing} has no serve "
+            "grid (`results`)._",
+            "",
+        ]
+    else:
+        base_best = best_by_dtype(base_results)
+        cand_best = best_by_dtype(cand_results)
+        lines += [
+            "### Serve throughput — best rows/sec by dtype",
+            "",
+            f"| dtype | {base_label} | {candidate_label} | delta |",
+            "|---|---:|---:|---:|",
+        ]
+        for dtype in sorted(set(base_best) | set(cand_best)):
+            base = base_best.get(dtype, 0.0)
+            cand = cand_best.get(dtype, 0.0)
+            lines.append(
+                f"| {dtype} | {format_rows(base)} | {format_rows(cand)} "
+                f"| {format_delta(base, cand)} |"
+            )
+        lines.append("")
 
     backend = candidate.get("kernel_backend")
     tiling = candidate.get("kernel_tiling")
@@ -200,9 +213,9 @@ def render(trajectory, run, run_net=None, run_train=None):
         detail = f"kernel backend: `{backend}`"
         if tiling is not None:
             detail += (
-                f" · tiling: threads={tiling['threads']},"
-                f" min_flops={tiling['min_flops']},"
-                f" min_rows_per_tile={tiling['min_rows_per_tile']}"
+                f" · tiling: threads={tiling.get('threads', '?')},"
+                f" min_flops={tiling.get('min_flops', '?')},"
+                f" min_rows_per_tile={tiling.get('min_rows_per_tile', '?')}"
             )
         lines.append(detail)
         lines.append("")

@@ -1,0 +1,40 @@
+// The lint driver: loads files, lexes them once, and runs every per-file
+// rule and tree-wide pass. tools/targad_lint.cc is the CLI shell around
+// RunLint(); tools/lint/selftest.cc seeds a scratch tree through the same
+// entry point.
+
+#ifndef TARGAD_TOOLS_LINT_DRIVER_H_
+#define TARGAD_TOOLS_LINT_DRIVER_H_
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/lint/findings.h"
+#include "tools/lint/includes.h"
+#include "tools/lint/lexer.h"
+
+namespace targad {
+namespace lint {
+
+/// One loaded-and-lexed source file.
+struct FileData {
+  std::filesystem::path path;
+  std::string rel;     // Root-relative, '../' prefixes stripped.
+  std::string module;  // First path component ("" for src-root files).
+  std::string clean;   // Token-derived comment/string-blanked text.
+  TokenFile toks;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Scans `paths` (files or directories) and returns every finding, with
+/// the allow() escape hatch already applied. `root` anchors relative paths
+/// for include-guard naming and module assignment; sibling directories of
+/// `root` (tools/, tests/, ...) resolve to their own top-level module.
+std::vector<Finding> RunLint(const std::filesystem::path& root,
+                             const std::vector<std::string>& paths);
+
+}  // namespace lint
+}  // namespace targad
+
+#endif  // TARGAD_TOOLS_LINT_DRIVER_H_

@@ -1,0 +1,31 @@
+#include "tools/lint/findings.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace targad {
+namespace lint {
+
+bool IsAllowed(const TokenFile& tf, int line, const std::string& rule) {
+  for (int l : {line, line - 1}) {
+    if (l < 1) continue;
+    for (const Token* c : tf.CommentsOnLine(l)) {
+      const std::string& text = c->text;
+      const size_t a = text.find("targad-lint: allow(");
+      if (a == std::string::npos) continue;
+      const size_t start = a + std::string("targad-lint: allow(").size();
+      const size_t end = text.find(')', start);
+      if (end == std::string::npos) continue;
+      std::istringstream in(text.substr(start, end - start));
+      std::string item;
+      while (std::getline(in, item, ',')) {
+        item.erase(std::remove(item.begin(), item.end(), ' '), item.end());
+        if (item == rule || item == "*") return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace lint
+}  // namespace targad

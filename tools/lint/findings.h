@@ -1,0 +1,29 @@
+// Finding record shared by every targad-lint pass, plus the allow() escape
+// hatch. The hatch reads real comment TOKENS (not raw line text), so an
+// "allow(...)" spelled inside a string literal can never suppress a rule.
+
+#ifndef TARGAD_TOOLS_LINT_FINDINGS_H_
+#define TARGAD_TOOLS_LINT_FINDINGS_H_
+
+#include <string>
+
+#include "tools/lint/lexer.h"
+
+namespace targad {
+namespace lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// True when a `targad-lint: allow(<rule>[,...])` comment on `line` or the
+/// line directly above names `rule` (or `*`).
+bool IsAllowed(const TokenFile& tf, int line, const std::string& rule);
+
+}  // namespace lint
+}  // namespace targad
+
+#endif  // TARGAD_TOOLS_LINT_FINDINGS_H_

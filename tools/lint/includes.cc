@@ -1,0 +1,101 @@
+#include "tools/lint/includes.h"
+
+namespace targad {
+namespace lint {
+namespace {
+
+bool IsDeclKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",     "switch",   "return", "sizeof",
+      "alignof",  "catch",    "new",       "delete",   "do",     "else",
+      "case",     "default",  "break",     "continue", "goto",   "const",
+      "constexpr", "static",  "inline",    "virtual",  "override",
+      "final",    "explicit", "namespace", "using",    "typedef",
+      "template", "typename", "class",     "struct",   "enum",   "union",
+      "public",   "private",  "protected", "friend",   "operator",
+      "noexcept", "decltype", "auto",      "void",     "bool",   "char",
+      "int",      "long",     "short",     "float",    "double", "unsigned",
+      "signed",   "true",     "false",     "nullptr",  "this",   "mutable",
+      "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
+      "try",      "throw",    "extern",    "volatile", "requires",
+      "concept",  "co_return", "co_await", "co_yield",
+  };
+  return kKeywords.count(s) > 0;
+}
+
+}  // namespace
+
+std::vector<IncludeDirective> ExtractIncludes(const TokenFile& tf) {
+  std::vector<IncludeDirective> out;
+  const std::vector<Token>& code = tf.code();
+  for (size_t i = 0; i + 2 < code.size(); ++i) {
+    if (!code[i].pp || !IsPunct(code[i], "#")) continue;
+    if (!IsIdent(code[i + 1], "include")) continue;
+    const Token& target = code[i + 2];
+    if (target.kind != Tok::kString && target.kind != Tok::kHeaderName) {
+      continue;
+    }
+    IncludeDirective inc;
+    inc.path = target.text;
+    inc.line = target.line;
+    inc.system = target.kind == Tok::kHeaderName;
+    for (const Token* c : tf.CommentsOnLine(inc.line)) {
+      if (c->text.find("IWYU pragma:") != std::string::npos) {
+        inc.exempt = true;
+      }
+    }
+    out.push_back(std::move(inc));
+  }
+  return out;
+}
+
+std::set<std::string> CollectHeaderSymbols(const std::vector<Token>& code) {
+  std::set<std::string> symbols;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind != Tok::kIdent) continue;
+    const bool has_next = i + 1 < code.size();
+    // Macro definitions.
+    if (t.pp && IsIdent(t, "define") && has_next &&
+        code[i + 1].kind == Tok::kIdent) {
+      symbols.insert(code[i + 1].text);
+      continue;
+    }
+    if (t.pp) continue;
+    // Type names.
+    if ((t.text == "class" || t.text == "struct" || t.text == "union" ||
+         t.text == "enum") &&
+        has_next && code[i + 1].kind == Tok::kIdent &&
+        !IsDeclKeyword(code[i + 1].text)) {
+      symbols.insert(code[i + 1].text);
+      continue;
+    }
+    // Using aliases: `using Name = ...`.
+    if (t.text == "using" && i + 2 < code.size() &&
+        code[i + 1].kind == Tok::kIdent && IsPunct(code[i + 2], "=")) {
+      symbols.insert(code[i + 1].text);
+      continue;
+    }
+    if (IsDeclKeyword(t.text)) continue;
+    // Call targets (functions, methods, functional casts) and declared
+    // names (constants, fields, aliases) — generous on purpose.
+    if (has_next &&
+        (IsPunct(code[i + 1], "(") || IsPunct(code[i + 1], "=") ||
+         IsPunct(code[i + 1], ";") || IsPunct(code[i + 1], "{") ||
+         IsPunct(code[i + 1], "["))) {
+      symbols.insert(t.text);
+    }
+  }
+  return symbols;
+}
+
+std::set<std::string> CollectUsedIdentifiers(const std::vector<Token>& code) {
+  std::set<std::string> used;
+  for (const Token& t : code) {
+    if (t.kind == Tok::kIdent) used.insert(t.text);
+  }
+  return used;
+}
+
+}  // namespace lint
+}  // namespace targad

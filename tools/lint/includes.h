@@ -1,0 +1,44 @@
+// Include extraction and the IWYU-lite symbol model for the tree-wide
+// include passes (layering back-edges, cycles, .cc includes, unused
+// includes). Extraction is token-based: `#include "x"` and `#include <x>`
+// are read from the preprocessor token stream, never from raw text, so a
+// string literal that happens to contain "#include" is inert.
+
+#ifndef TARGAD_TOOLS_LINT_INCLUDES_H_
+#define TARGAD_TOOLS_LINT_INCLUDES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace targad {
+namespace lint {
+
+struct IncludeDirective {
+  std::string path;     // As written, without quotes/brackets.
+  int line = 0;
+  bool system = false;  // <...> form.
+  bool exempt = false;  // `IWYU pragma:` comment on the include line.
+};
+
+/// Every #include in the file, in order.
+std::vector<IncludeDirective> ExtractIncludes(const TokenFile& tf);
+
+/// The public-symbol model of a header, for the unused-include heuristic:
+/// macro names, type names (class/struct/enum/union), using-alias names,
+/// any identifier spelled as a call target, and any identifier that reads
+/// as a declared name (followed by `=`, `;`, `{`, or `[`). The set is
+/// deliberately generous — a missed symbol causes a false "unused", so we
+/// over-collect and accept false "used".
+std::set<std::string> CollectHeaderSymbols(const std::vector<Token>& code);
+
+/// All identifiers mentioned in a file (macro uses, calls, types alike) —
+/// the usage side of the unused-include test.
+std::set<std::string> CollectUsedIdentifiers(const std::vector<Token>& code);
+
+}  // namespace lint
+}  // namespace targad
+
+#endif  // TARGAD_TOOLS_LINT_INCLUDES_H_

@@ -1,0 +1,50 @@
+#include "tools/lint/layering.h"
+
+namespace targad {
+namespace lint {
+namespace {
+
+struct ModuleEntry {
+  const char* name;
+  int layer;
+};
+
+// The table IS the architecture. Adding a module means choosing its layer
+// here; the lint then holds every include to it.
+constexpr ModuleEntry kModules[] = {
+    {"common", 0},  {"nn", 1},       {"data", 2},  {"cluster", 3},
+    {"eval", 4},    {"core", 5},     {"baselines", 6},
+    {"serve", 7},   {"net", 8},
+    // Leaf consumers: may include anything, nothing may include them.
+    {"tools", kAuxLayer},
+    {"bench", kAuxLayer},
+    {"tests", kAuxLayer},
+    {"examples", kAuxLayer},
+};
+
+}  // namespace
+
+int ModuleLayer(const std::string& module) {
+  if (module.empty()) return kAuxLayer;  // src-root umbrella header.
+  for (const ModuleEntry& m : kModules) {
+    if (module == m.name) return m.layer;
+  }
+  return -1;
+}
+
+std::string ModuleOf(const std::string& rel) {
+  const size_t slash = rel.find('/');
+  return slash == std::string::npos ? std::string() : rel.substr(0, slash);
+}
+
+bool IsSrcModule(const std::string& module) {
+  const int layer = ModuleLayer(module);
+  return layer >= 0 && layer < kAuxLayer;
+}
+
+bool IsAuxModule(const std::string& module) {
+  return !module.empty() && ModuleLayer(module) == kAuxLayer;
+}
+
+}  // namespace lint
+}  // namespace targad

@@ -1,0 +1,388 @@
+#include "tools/lint/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+namespace targad {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators we fold into one token, longest first.
+// `>>` is deliberately absent: keeping every `>` a single token makes
+// template-angle-bracket depth counting in rules trivial (C++ itself made
+// the same call for template argument lists).
+const char* const kMultiPunct[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", "<=",
+    ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  ".*",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> Run() {
+    while (pos_ < src_.size()) {
+      LexOne();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Cur() const { return src_[pos_]; }
+  char Peek(size_t ahead = 1) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      at_line_start_ = true;
+      in_pp_ = in_pp_ && pp_continues_;
+      pp_continues_ = false;
+    } else if (!std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      at_line_start_ = false;
+    }
+    ++pos_;
+  }
+
+  void Emit(Tok kind, std::string text, int line, size_t begin) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.pp = in_pp_;
+    t.begin = begin;
+    t.end = pos_;
+    out_.push_back(std::move(t));
+  }
+
+  void LexOne() {
+    const char c = Cur();
+    if (c == '\\' && Peek() == '\n' && in_pp_) {
+      // Backslash continuation keeps the directive alive past the newline.
+      pp_continues_ = true;
+      Advance();  // backslash
+      Advance();  // newline
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+      return;
+    }
+    if (c == '/' && Peek() == '/') {
+      LexLineComment();
+      return;
+    }
+    if (c == '/' && Peek() == '*') {
+      LexBlockComment();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      in_pp_ = true;
+      const int line = line_;
+      const size_t b = pos_;
+      Advance();
+      Emit(Tok::kPunct, "#", line, b);
+      LexPpDirective();
+      return;
+    }
+    if (c == '"' || IsRawStringStart() || IsEncodedStringStart()) {
+      LexString();
+      return;
+    }
+    if (c == '\'') {
+      LexCharLit();
+      return;
+    }
+    if (IsIdentStart(c)) {
+      LexIdent();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(Peek())))) {
+      LexNumber();
+      return;
+    }
+    LexPunct();
+  }
+
+  // After the `#`, lex the directive name, then — for #include — treat a
+  // following `<...>` as a header-name token (it is not an expression).
+  void LexPpDirective() {
+    SkipHorizontalSpace();
+    if (pos_ >= src_.size() || !IsIdentStart(Cur())) return;
+    const int line = line_;
+    const size_t b = pos_;
+    std::string name = ReadIdent();
+    Emit(Tok::kIdent, name, line, b);
+    if (name != "include") return;
+    SkipHorizontalSpace();
+    if (pos_ < src_.size() && Cur() == '<') {
+      const int hline = line_;
+      const size_t hb = pos_;
+      Advance();  // <
+      std::string path;
+      while (pos_ < src_.size() && Cur() != '>' && Cur() != '\n') {
+        path.push_back(Cur());
+        Advance();
+      }
+      if (pos_ < src_.size() && Cur() == '>') Advance();
+      Emit(Tok::kHeaderName, path, hline, hb);
+    }
+  }
+
+  void SkipHorizontalSpace() {
+    while (pos_ < src_.size() && (Cur() == ' ' || Cur() == '\t')) Advance();
+  }
+
+  void LexLineComment() {
+    const int line = line_;
+    const size_t b = pos_;
+    Advance();  // /
+    Advance();  // /
+    std::string body;
+    while (pos_ < src_.size() && Cur() != '\n') {
+      body.push_back(Cur());
+      Advance();
+    }
+    Emit(Tok::kComment, body, line, b);
+  }
+
+  void LexBlockComment() {
+    const int line = line_;
+    const size_t b = pos_;
+    Advance();  // /
+    Advance();  // *
+    std::string body;
+    while (pos_ < src_.size()) {
+      if (Cur() == '*' && Peek() == '/') {
+        Advance();
+        Advance();
+        break;
+      }
+      body.push_back(Cur());
+      Advance();
+    }
+    Emit(Tok::kComment, body, line, b);
+  }
+
+  // Raw string: optional encoding prefix, then R"delim( ... )delim".
+  bool IsRawStringStart() const {
+    size_t p = pos_;
+    if (src_[p] == 'u' && p + 1 < src_.size() && src_[p + 1] == '8') p += 2;
+    else if (src_[p] == 'u' || src_[p] == 'U' || src_[p] == 'L') p += 1;
+    return p + 1 < src_.size() && src_[p] == 'R' && src_[p + 1] == '"';
+  }
+
+  // Encoded (non-raw) string: u8"..." u"..." U"..." L"...".
+  bool IsEncodedStringStart() const {
+    size_t p = pos_;
+    if (src_[p] == 'u' && p + 1 < src_.size() && src_[p + 1] == '8') p += 2;
+    else if (src_[p] == 'u' || src_[p] == 'U' || src_[p] == 'L') p += 1;
+    else return false;
+    return p < src_.size() && src_[p] == '"';
+  }
+
+  void LexString() {
+    const int line = line_;
+    const size_t b = pos_;
+    bool raw = false;
+    // Consume optional encoding prefix and R.
+    while (pos_ < src_.size() && Cur() != '"') {
+      if (Cur() == 'R') raw = true;
+      Advance();
+    }
+    if (pos_ >= src_.size()) return;
+    Advance();  // opening quote
+    std::string body;
+    if (raw) {
+      std::string delim;
+      while (pos_ < src_.size() && Cur() != '(') {
+        delim.push_back(Cur());
+        Advance();
+      }
+      if (pos_ < src_.size()) Advance();  // (
+      const std::string closer = ")" + delim + "\"";
+      while (pos_ < src_.size()) {
+        if (src_.compare(pos_, closer.size(), closer) == 0) {
+          for (size_t i = 0; i < closer.size(); ++i) Advance();
+          break;
+        }
+        body.push_back(Cur());
+        Advance();
+      }
+    } else {
+      while (pos_ < src_.size() && Cur() != '"' && Cur() != '\n') {
+        if (Cur() == '\\' && pos_ + 1 < src_.size()) {
+          body.push_back(Cur());
+          Advance();
+        }
+        body.push_back(Cur());
+        Advance();
+      }
+      if (pos_ < src_.size() && Cur() == '"') Advance();
+    }
+    Emit(Tok::kString, body, line, b);
+  }
+
+  void LexCharLit() {
+    const int line = line_;
+    const size_t b = pos_;
+    Advance();  // opening quote
+    std::string body;
+    while (pos_ < src_.size() && Cur() != '\'' && Cur() != '\n') {
+      if (Cur() == '\\' && pos_ + 1 < src_.size()) {
+        body.push_back(Cur());
+        Advance();
+      }
+      body.push_back(Cur());
+      Advance();
+    }
+    if (pos_ < src_.size() && Cur() == '\'') Advance();
+    Emit(Tok::kCharLit, body, line, b);
+  }
+
+  std::string ReadIdent() {
+    std::string s;
+    while (pos_ < src_.size() && IsIdentChar(Cur())) {
+      s.push_back(Cur());
+      Advance();
+    }
+    return s;
+  }
+
+  void LexIdent() {
+    const int line = line_;
+    const size_t b = pos_;
+    Emit(Tok::kIdent, ReadIdent(), line, b);
+  }
+
+  // pp-number superset: digits, digit separators, hex/bin prefixes, dots,
+  // exponent signs, and type suffixes all fold into one token.
+  void LexNumber() {
+    const int line = line_;
+    const size_t b = pos_;
+    std::string s;
+    while (pos_ < src_.size()) {
+      const char c = Cur();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '\'') {
+        s.push_back(c);
+        Advance();
+        continue;
+      }
+      if ((c == '+' || c == '-') && !s.empty()) {
+        const char prev =
+            static_cast<char>(std::tolower(static_cast<unsigned char>(s.back())));
+        if (prev == 'e' || prev == 'p') {
+          s.push_back(c);
+          Advance();
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(Tok::kNumber, s, line, b);
+  }
+
+  void LexPunct() {
+    const int line = line_;
+    const size_t b = pos_;
+    for (const char* mp : kMultiPunct) {
+      const size_t n = std::strlen(mp);
+      if (src_.compare(pos_, n, mp) == 0) {
+        for (size_t i = 0; i < n; ++i) Advance();
+        Emit(Tok::kPunct, mp, line, b);
+        return;
+      }
+    }
+    std::string s(1, Cur());
+    Advance();
+    Emit(Tok::kPunct, s, line, b);
+  }
+
+  const std::string& src_;
+  std::vector<Token> out_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  bool in_pp_ = false;
+  bool pp_continues_ = false;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& src) { return Lexer(src).Run(); }
+
+std::string CleanText(const std::string& src,
+                      const std::vector<Token>& tokens) {
+  std::string out = src;
+  auto blank = [&out](size_t b, size_t e) {
+    for (size_t i = b; i < e && i < out.size(); ++i) {
+      if (out[i] != '\n') out[i] = ' ';
+    }
+  };
+  for (const Token& t : tokens) {
+    switch (t.kind) {
+      case Tok::kComment:
+        blank(t.begin, t.end);
+        break;
+      case Tok::kString:
+        // Keep delimiters so neighboring tokens stay separated; the raw
+        // string prefix (R"tag( ... )tag") is blanked along with contents.
+        blank(t.begin, t.end);
+        if (t.begin < out.size()) out[t.begin] = '"';
+        if (t.end >= 1 && t.end - 1 < out.size()) out[t.end - 1] = '"';
+        break;
+      case Tok::kCharLit:
+        blank(t.begin, t.end);
+        if (t.begin < out.size()) out[t.begin] = '\'';
+        if (t.end >= 1 && t.end - 1 < out.size()) out[t.end - 1] = '\'';
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+bool IsIdent(const Token& t, const char* name) {
+  return t.kind == Tok::kIdent && t.text == name;
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+TokenFile::TokenFile(std::vector<Token> tokens) {
+  for (auto& t : tokens) {
+    if (t.kind == Tok::kComment) {
+      comments_.push_back(std::move(t));
+    } else {
+      code_.push_back(std::move(t));
+    }
+  }
+}
+
+std::vector<const Token*> TokenFile::CommentsOnLine(int line) const {
+  std::vector<const Token*> hits;
+  for (const auto& c : comments_) {
+    const int span =
+        static_cast<int>(std::count(c.text.begin(), c.text.end(), '\n'));
+    if (line >= c.line && line <= c.line + span) hits.push_back(&c);
+  }
+  return hits;
+}
+
+}  // namespace lint
+}  // namespace targad

@@ -1,0 +1,98 @@
+// Shared C++ lexer for targad-lint. The v1-v3 linter matched blanked source
+// lines with string searches, which meant every rule re-solved (and
+// occasionally mis-solved) tokenization: raw strings, digit separators,
+// multi-line preprocessor bodies, and `<...>` header names all had ad-hoc
+// handling or none. This lexer tokenizes once, correctly, and every rule
+// operates on the token stream:
+//
+//  - comments are TOKENS (kind kComment), not blanks, so the
+//    `targad-lint: allow(...)` escape hatch reads real comment text;
+//  - string/char literals are single tokens whose text is the literal's
+//    CONTENTS, so prose about rand() inside a string can never trip a rule
+//    yet rules that care about literal text (none today) could look;
+//  - raw strings R"tag(...)tag" are handled, including embedded quotes,
+//    backslashes, and newlines;
+//  - preprocessor directives are ordinary tokens flagged `pp`, spanning
+//    backslash-continued lines, and `#include <...>` yields one
+//    kHeaderName token whose text is the bracketed path;
+//  - every token carries the 1-based physical line of its first character,
+//    so findings keep exact positions across multi-line constructs.
+//
+// The lexer is deliberately not a preprocessor: no macro expansion, no
+// #if evaluation. Rules see the file as written, which is what a source
+// checker wants.
+
+#ifndef TARGAD_TOOLS_LINT_LEXER_H_
+#define TARGAD_TOOLS_LINT_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace targad {
+namespace lint {
+
+enum class Tok {
+  kIdent,       // identifier or keyword
+  kNumber,      // numeric literal (hex, floats, digit separators, suffixes)
+  kString,      // "..." or R"tag(...)tag"; text = contents without quotes
+  kCharLit,     // '...'; text = contents without quotes
+  kHeaderName,  // <path> after #include; text = path without brackets
+  kPunct,       // one punctuator (maximal munch over a small operator set)
+  kComment,     // // or /* */; text = body without delimiters
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string text;
+  int line = 1;      // 1-based physical line of the token's first character.
+  bool pp = false;   // Part of a preprocessor directive (incl. continuations).
+  size_t begin = 0;  // Byte offset of the token's first character in src.
+  size_t end = 0;    // Byte offset one past the token's last character.
+};
+
+/// Tokenizes `src`. Never fails: unterminated constructs lex to the end of
+/// the file rather than erroring (the compiler will complain; the linter
+/// just needs to stay line-accurate).
+std::vector<Token> Lex(const std::string& src);
+
+/// Returns `src` with every comment blanked and every string/char literal's
+/// contents blanked (delimiters kept so tokens stay separated), newlines
+/// preserved so line numbers survive. This is the text the line-oriented
+/// rules scan; because it is derived from the token stream, raw strings and
+/// tricky literals are blanked correctly.
+std::string CleanText(const std::string& src,
+                      const std::vector<Token>& tokens);
+
+/// True when `t` is the identifier `name`.
+bool IsIdent(const Token& t, const char* name);
+
+/// True when `t` is the punctuator `text`.
+bool IsPunct(const Token& t, const char* text);
+
+/// One lexed file, split into the code stream rules scan and the comment
+/// stream the allow() escape hatch reads.
+class TokenFile {
+ public:
+  TokenFile() = default;
+  explicit TokenFile(std::vector<Token> tokens);
+
+  /// All non-comment tokens, in source order.
+  const std::vector<Token>& code() const { return code_; }
+
+  /// All comment tokens, in source order.
+  const std::vector<Token>& comments() const { return comments_; }
+
+  /// Comment texts attached to `line` (a multi-line block comment is
+  /// attached to every line it covers).
+  std::vector<const Token*> CommentsOnLine(int line) const;
+
+ private:
+  std::vector<Token> code_;
+  std::vector<Token> comments_;
+};
+
+}  // namespace lint
+}  // namespace targad
+
+#endif  // TARGAD_TOOLS_LINT_LEXER_H_

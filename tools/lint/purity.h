@@ -1,0 +1,57 @@
+// Hot-path purity pass: functions annotated TARGAD_HOT_PATH (see
+// src/common/hot_path.h for the contract) must not allocate, build strings,
+// take locks, log, or block. The check is token-based and intra-TU, with
+// one level of call-graph propagation: a helper DEFINED in the same file
+// and CALLED from a hot function is held to the same bans.
+//
+// Rule ids (one per ban family, so findings read precisely and self-tests
+// can seed each independently):
+//
+//   hot-path-alloc   new / make_unique / make_shared / malloc family /
+//                    push_back / emplace_back / resize / reserve — anything
+//                    that can grow the heap. (append on a reused buffer is
+//                    deliberately legal: capacity amortizes to zero.)
+//   hot-path-string  std::string construction, to_string, stringstreams.
+//   hot-path-lock    MutexLock / lock_guard / unique_lock / scoped_lock —
+//                    ranked-mutex acquisition is a blocking rendezvous.
+//   hot-path-log     TARGAD_LOG (TARGAD_CHECK/TARGAD_DCHECK stay legal:
+//                    they are branch-and-abort, not I/O, on the hot path).
+//   hot-path-block   sleep/poll/select/epoll_wait/accept/connect and
+//                    blocking stdio reads.
+
+#ifndef TARGAD_TOOLS_LINT_PURITY_H_
+#define TARGAD_TOOLS_LINT_PURITY_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/findings.h"
+#include "tools/lint/lexer.h"
+
+namespace targad {
+namespace lint {
+
+/// One function definition discovered in a token stream.
+struct FnDef {
+  std::string name;          // Unqualified name (Foo::Bar -> Bar).
+  int line = 0;              // Line of the definition's header.
+  bool hot = false;          // TARGAD_HOT_PATH appeared before the body.
+  size_t body_begin = 0;     // Code-token index of the body's '{'.
+  size_t body_end = 0;       // Code-token index one past the body's '}'.
+  std::vector<std::string> calls;  // Unqualified names called in the body.
+};
+
+/// Scans `code` (non-comment tokens, preprocessor tokens ignored) for
+/// function definitions at namespace/class scope.
+std::vector<FnDef> FindFunctionDefs(const std::vector<Token>& code);
+
+/// Runs the purity bans over every TARGAD_HOT_PATH function in `code` and
+/// over same-file helpers they call (one level). Findings are returned
+/// un-filtered; the caller applies the allow() hatch.
+std::vector<Finding> CheckHotPathPurity(const std::string& rel,
+                                        const std::vector<Token>& code);
+
+}  // namespace lint
+}  // namespace targad
+
+#endif  // TARGAD_TOOLS_LINT_PURITY_H_

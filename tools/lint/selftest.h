@@ -1,0 +1,17 @@
+// Self-test for targad-lint: seeds a scratch tree with one violating and
+// one clean case per rule (including the layering and hot-path-purity
+// passes), runs RunLint over it, and asserts the exact finding set.
+
+#ifndef TARGAD_TOOLS_LINT_SELFTEST_H_
+#define TARGAD_TOOLS_LINT_SELFTEST_H_
+
+namespace targad {
+namespace lint {
+
+/// Returns 0 on success, 1 on any mismatch (details on stderr).
+int RunSelfTest();
+
+}  // namespace lint
+}  // namespace targad
+
+#endif  // TARGAD_TOOLS_LINT_SELFTEST_H_

@@ -1,9 +1,15 @@
 // targad-lint: project-rule source checker for things the compiler cannot
-// see. Scans .h/.cc files and reports violations of:
+// see. v4 is built on a real C++ lexer (tools/lint/lexer.h): comments,
+// string/char literals, raw strings, and preprocessor lines are tokenized
+// once, and every rule runs over token-derived views — so prose in a
+// comment or a raw string can never trip a rule, and the allow() escape
+// hatch reads actual comment tokens.
+//
+// Per-file rules (tools/lint/driver.cc):
 //
 //   include-guard          .h guard must be TARGAD_<PATH>_H_ (path relative
-//                          to --root, uppercased, non-alnum -> '_'), with a
-//                          matching #define and a closing #endif.
+//                          to the repo layout, uppercased, non-alnum -> '_'),
+//                          with a matching #define and a closing #endif.
 //   using-namespace-header no `using namespace` in headers.
 //   banned-rand            no rand()/srand() in library code — randomness
 //                          goes through common/rng.h for reproducibility.
@@ -17,30 +23,36 @@
 //                          ValueOrDie() value) swallows or miscasts the
 //                          error.
 //   mutex-guarded-by       in a header, every member field declared after a
-//                          mutex member (RankedMutex / std::mutex) must
-//                          carry TARGAD_GUARDED_BY — the project convention
-//                          is mutex first, guarded fields below it, and
-//                          unguarded (ctor-immutable / externally
-//                          serialized) fields above it. Condition
-//                          variables, atomics, other mutexes, and
-//                          static/constexpr/const declarations are exempt.
-//   raw-mutex-lock         no .lock()/.unlock()/.try_lock() calls on a
-//                          mutex-named receiver (…mu_, …_mu, …mutex…) —
-//                          locking goes through RAII guards (MutexLock),
-//                          which Clang's thread-safety analysis can track.
-//   lock-rank-table        the TARGAD_LOCK_RANK_TABLE entries must have
-//                          unique names and unique integer ranks (unique
-//                          ranks are a total order, so the acquire-
-//                          ascending policy is acyclic by construction).
-//   raw-dense-loop         no hand-rolled dense math: a multiply-accumulate
-//                          line (`+=` with a `*` on the right) that indexes
-//                          two or more subscripted operands inside >= 2
-//                          nested `for` loops is a matmul/distance kernel
-//                          written by hand — route it through the
-//                          nn/kernels primitives (Gemm,
-//                          FusedAffineActivation, SquaredDistances, Axpy).
-//                          Files under nn/kernels/ are exempt (they ARE the
-//                          kernel layer).
+//                          mutex member must carry TARGAD_GUARDED_BY.
+//   raw-mutex-lock         no .lock()/.unlock()/.try_lock() on a mutex-
+//                          named receiver — locking goes through MutexLock.
+//   lock-rank-table        TARGAD_LOCK_RANK_TABLE entries must have unique
+//                          names and unique integer ranks.
+//   raw-dense-loop         no hand-rolled dense math outside nn/kernels/.
+//
+// Analysis passes new in v4:
+//
+//   include-layering       the module DAG (tools/lint/layering.cc): a file
+//                          may only include modules at the same or a lower
+//                          layer of common -> nn -> data -> cluster -> eval
+//                          -> core -> baselines -> serve -> net -> aux.
+//   include-cycle          no include cycles among scanned files.
+//   include-cc             no #include of .cc/.cpp files.
+//   unused-include         IWYU-lite: a project header none of whose
+//                          symbols appear in the including TU (src/ only;
+//                          `// IWYU pragma: keep|export` exempts a line).
+//   hot-path-alloc         no heap growth in TARGAD_HOT_PATH functions
+//   hot-path-string        no string building        (common/hot_path.h
+//   hot-path-lock          no mutex acquisition       documents the
+//   hot-path-log           no logging                 contract), with
+//   hot-path-block         no blocking calls          one-level intra-TU
+//                          call propagation into same-file helpers.
+//
+// Library-code rules (banned-*, naked-throw, return-not-ok-result, mutex-
+// guarded-by, raw-mutex-lock, raw-dense-loop) apply to the src/ modules;
+// tools/, bench/, tests/, and examples/ are leaf consumers where printf
+// tables and hand-rolled reference kernels are the point. Structural and
+// analysis rules apply everywhere scanned.
 //
 // Escape hatch: a `// targad-lint: allow(<rule>[,<rule>...])` comment on
 // the offending line or the line directly above suppresses those rules for
@@ -52,979 +64,21 @@
 //                                        assert every rule fires (and that
 //                                        allow() suppresses); exits 0/1.
 //
-// Comments and string/character literals are blanked before matching, so
-// prose about rand() or a "printf(" inside a string never trips a rule.
 // Exit status: 0 clean, 1 findings (or self-test failure), 2 usage error.
 
-#include <unistd.h>
-
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
-namespace fs = std::filesystem;
-
-namespace {
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-// ---------------------------------------------------------------------------
-// Source preparation
-// ---------------------------------------------------------------------------
-
-// Replaces comments and string/char literal contents with spaces, keeping
-// line structure (and therefore line numbers) intact.
-std::string StripCommentsAndStrings(const std::string& src) {
-  std::string out = src;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kString;  // Keep the quote: tokens stay delimited.
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string line;
-  std::istringstream in(text);
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
-
-bool IsWordChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Finds `word` in `line` as a whole identifier (no word char on either
-// side). Returns npos if absent.
-size_t FindWord(const std::string& line, const std::string& word,
-                size_t from = 0) {
-  size_t pos = line.find(word, from);
-  while (pos != std::string::npos) {
-    const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
-    const size_t end = pos + word.size();
-    const bool right_ok = end >= line.size() || !IsWordChar(line[end]);
-    if (left_ok && right_ok) return pos;
-    pos = line.find(word, pos + 1);
-  }
-  return std::string::npos;
-}
-
-// True when `word` at `pos` is followed (after spaces) by an open paren —
-// i.e. it is spelled as a call.
-bool IsCallAt(const std::string& line, size_t pos, const std::string& word) {
-  size_t i = pos + word.size();
-  while (i < line.size() && line[i] == ' ') ++i;
-  return i < line.size() && line[i] == '(';
-}
-
-// ---------------------------------------------------------------------------
-// The checker
-// ---------------------------------------------------------------------------
-
-class Linter {
- public:
-  explicit Linter(fs::path root) : root_(std::move(root)) {}
-
-  /// First pass over every file: collect the names of functions declared to
-  /// return Result<...> (and, separately, Status) for the
-  /// return-not-ok-result heuristic. A name declared with BOTH return types
-  /// somewhere in the tree is ambiguous (an overload set like Fit) and is
-  /// never flagged.
-  void CollectResultFunctions(const std::string& clean) {
-    const std::vector<std::string> lines = SplitLines(clean);
-    for (size_t i = 0; i < lines.size(); ++i) {
-      const std::string& line = lines[i];
-      size_t pos = FindWord(line, "Result");
-      while (pos != std::string::npos) {
-        size_t j = pos + 6;
-        if (j < line.size() && line[j] == '<') {
-          // Skip the template argument list (angle-bracket balanced).
-          int depth = 0;
-          while (j < line.size()) {
-            if (line[j] == '<') ++depth;
-            if (line[j] == '>' && --depth == 0) { ++j; break; }
-            ++j;
-          }
-          CollectDeclaredName(lines, i, line.substr(std::min(j, line.size())),
-                              &result_functions_);
-        }
-        pos = FindWord(line, "Result", pos + 1);
-      }
-      size_t spos = FindWord(line, "Status");
-      while (spos != std::string::npos) {
-        CollectDeclaredName(lines, i, line.substr(spos + 6),
-                            &status_functions_);
-        spos = FindWord(line, "Status", spos + 1);
-      }
-    }
-  }
-
-  void CheckFile(const fs::path& path, const std::string& raw,
-                 const std::string& clean) {
-    const std::vector<std::string> raw_lines = SplitLines(raw);
-    const std::vector<std::string> clean_lines = SplitLines(clean);
-    const std::string rel = Relative(path);
-    const bool is_header = path.extension() == ".h";
-
-    if (is_header) CheckIncludeGuard(rel, clean_lines, raw_lines);
-
-    for (size_t i = 0; i < clean_lines.size(); ++i) {
-      const std::string& line = clean_lines[i];
-      const int ln = static_cast<int>(i) + 1;
-
-      if (is_header && FindWord(line, "using") != std::string::npos) {
-        const size_t u = FindWord(line, "using");
-        const size_t n = FindWord(line, "namespace", u);
-        if (n != std::string::npos &&
-            line.find_first_not_of(' ', u + 5) == n) {
-          Report(rel, ln, raw_lines, "using-namespace-header",
-                 "`using namespace` in a header leaks into every includer");
-        }
-      }
-
-      for (const char* fn : {"rand", "srand"}) {
-        const size_t pos = FindWord(line, fn);
-        if (pos != std::string::npos && IsCallAt(line, pos, fn)) {
-          Report(rel, ln, raw_lines, "banned-rand",
-                 std::string(fn) +
-                     "() is banned; use common/rng.h (seeded, reproducible)");
-        }
-      }
-
-      for (const char* io : {"printf", "fprintf"}) {
-        const size_t pos = FindWord(line, io);
-        if (pos != std::string::npos && IsCallAt(line, pos, io)) {
-          Report(rel, ln, raw_lines, "banned-io",
-                 std::string(io) + "() logging is banned; use TARGAD_LOG");
-        }
-      }
-      for (const char* stream : {"std::cout", "std::cerr"}) {
-        if (line.find(stream) != std::string::npos) {
-          Report(rel, ln, raw_lines, "banned-io",
-                 std::string(stream) + " logging is banned; use TARGAD_LOG");
-        }
-      }
-
-      if (FindWord(line, "throw") != std::string::npos) {
-        Report(rel, ln, raw_lines, "naked-throw",
-               "`throw` is banned; fallible APIs return Status/Result");
-      }
-
-      CheckReturnNotOk(rel, ln, line, raw_lines);
-      CheckRawMutexLock(rel, ln, line, raw_lines);
-    }
-
-    if (is_header) CheckMutexGuardedBy(rel, clean_lines, raw_lines);
-    CheckLockRankTable(rel, clean_lines, raw_lines);
-    CheckRawDenseLoop(rel, clean_lines, raw_lines);
-  }
-
-  const std::vector<Finding>& findings() const { return findings_; }
-
- private:
-  // Records the identifier a return type is declaring, given the text after
-  // the type on that line (or, when the type sits on its own line, the next
-  // line). The name must be an identifier immediately followed by '('.
-  static void CollectDeclaredName(const std::vector<std::string>& lines,
-                                  size_t i, std::string rest,
-                                  std::set<std::string>* out) {
-    if (rest.find_first_not_of(' ') == std::string::npos &&
-        i + 1 < lines.size()) {
-      rest = lines[i + 1];
-    }
-    const size_t k = rest.find_first_not_of(' ');
-    if (k == std::string::npos || !IsWordChar(rest[k]) ||
-        std::isdigit(static_cast<unsigned char>(rest[k]))) {
-      return;
-    }
-    size_t e = k;
-    while (e < rest.size() && IsWordChar(rest[e])) ++e;
-    size_t p = e;
-    while (p < rest.size() && rest[p] == ' ') ++p;
-    if (p < rest.size() && rest[p] == '(') out->insert(rest.substr(k, e - k));
-  }
-
-  std::string Relative(const fs::path& path) const {
-    std::error_code ec;
-    const fs::path rel = fs::relative(path, root_, ec);
-    return (ec || rel.empty()) ? path.generic_string() : rel.generic_string();
-  }
-
-  static std::string ExpectedGuard(const std::string& rel) {
-    std::string macro = "TARGAD_";
-    for (const char c : rel) {
-      macro += IsWordChar(c)
-                   ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
-                   : '_';
-    }
-    return macro + "_";  // common/status.h -> TARGAD_COMMON_STATUS_H_
-  }
-
-  void CheckIncludeGuard(const std::string& rel,
-                         const std::vector<std::string>& clean_lines,
-                         const std::vector<std::string>& raw_lines) {
-    const std::string expected = ExpectedGuard(rel);
-    int ifndef_line = 0;
-    std::string got;
-    for (size_t i = 0; i < clean_lines.size(); ++i) {
-      std::istringstream in(clean_lines[i]);
-      std::string tok, macro;
-      in >> tok;
-      if (tok.empty() || tok[0] != '#') continue;
-      if (tok != "#ifndef") break;  // Some other directive came first.
-      in >> macro;
-      ifndef_line = static_cast<int>(i) + 1;
-      got = macro;
-      // The next preprocessor token must be the matching #define.
-      for (size_t j = i + 1; j < clean_lines.size(); ++j) {
-        std::istringstream in2(clean_lines[j]);
-        std::string tok2, macro2;
-        in2 >> tok2;
-        if (tok2.empty() || tok2[0] != '#') continue;
-        if (tok2 != "#define") got.clear();
-        in2 >> macro2;
-        if (macro2 != got) got.clear();
-        break;
-      }
-      break;
-    }
-    if (got != expected) {
-      Report(rel, std::max(ifndef_line, 1), raw_lines, "include-guard",
-             "expected include guard " + expected +
-                 (got.empty() ? " (missing or #define mismatch)"
-                              : ", found " + got));
-    }
-  }
-
-  void CheckReturnNotOk(const std::string& rel, int ln,
-                        const std::string& line,
-                        const std::vector<std::string>& raw_lines) {
-    const size_t pos = FindWord(line, "TARGAD_RETURN_NOT_OK");
-    if (pos == std::string::npos) return;
-    // Skip the macro's own definition.
-    if (line.find("#define") != std::string::npos) return;
-    const size_t open = line.find('(', pos);
-    if (open == std::string::npos) return;
-    // The argument may run past this line; a line-bounded window is enough
-    // for the heuristics below.
-    const std::string arg = line.substr(open + 1);
-    if (arg.find("ValueOrDie") != std::string::npos) {
-      Report(rel, ln, raw_lines, "return-not-ok-result",
-             "TARGAD_RETURN_NOT_OK on a ValueOrDie() value — it takes a "
-             "Status; use TARGAD_ASSIGN_OR_RETURN");
-      return;
-    }
-    // `expr.status()` adapts a Result to its Status — always legal.
-    if (arg.find(".status()") != std::string::npos) return;
-    for (const std::string& fn : result_functions_) {
-      if (status_functions_.count(fn) > 0) continue;  // Ambiguous overload.
-      const size_t fp = FindWord(arg, fn);
-      if (fp != std::string::npos && IsCallAt(arg, fp, fn)) {
-        Report(rel, ln, raw_lines, "return-not-ok-result",
-               "TARGAD_RETURN_NOT_OK on Result-returning " + fn +
-                   "(); use TARGAD_ASSIGN_OR_RETURN");
-        return;
-      }
-    }
-  }
-
-  // True when `name` reads as a mutex: `mu`, a `mu_`/`_mu` prefix/suffix
-  // convention, or "mutex" anywhere (case-insensitive).
-  static bool LooksLikeMutexName(const std::string& name) {
-    if (name == "mu" || name == "mu_") return true;
-    auto ends_with = [&](const char* suffix) {
-      const size_t n = std::strlen(suffix);
-      return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
-    };
-    if (ends_with("mu_") || ends_with("_mu")) return true;
-    std::string lower = name;
-    std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
-      return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    });
-    return lower.find("mutex") != std::string::npos;
-  }
-
-  // raw-mutex-lock: .lock()/.unlock()/.try_lock() spelled directly on a
-  // mutex-named receiver. RAII guards (MutexLock) are the only blessed way
-  // to lock — they are what Clang's thread-safety analysis can follow, and
-  // what the rank checker instruments. Calls on non-mutex receivers (e.g. a
-  // MutexLock named `lock`) are fine.
-  void CheckRawMutexLock(const std::string& rel, int ln,
-                         const std::string& line,
-                         const std::vector<std::string>& raw_lines) {
-    for (const char* method : {"lock", "unlock", "try_lock"}) {
-      size_t pos = FindWord(line, method);
-      while (pos != std::string::npos) {
-        if (IsCallAt(line, pos, method)) {
-          size_t recv_end = std::string::npos;
-          if (pos >= 1 && line[pos - 1] == '.') {
-            recv_end = pos - 1;
-          } else if (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>') {
-            recv_end = pos - 2;
-          }
-          if (recv_end != std::string::npos) {
-            size_t recv_begin = recv_end;
-            while (recv_begin > 0 && IsWordChar(line[recv_begin - 1])) {
-              --recv_begin;
-            }
-            const std::string recv =
-                line.substr(recv_begin, recv_end - recv_begin);
-            if (!recv.empty() && LooksLikeMutexName(recv)) {
-              Report(rel, ln, raw_lines, "raw-mutex-lock",
-                     recv + "." + method +
-                         "() bypasses RAII locking; hold mutexes via "
-                         "MutexLock (common/lock_rank.h)");
-            }
-          }
-        }
-        pos = FindWord(line, method, pos + 1);
-      }
-    }
-  }
-
-  // mutex-guarded-by: inside a class body, every member field declared
-  // BELOW a mutex member must carry TARGAD_GUARDED_BY. The project
-  // convention is: mutex first, its guarded fields directly below it;
-  // unguarded fields (ctor-immutable configuration, externally serialized
-  // state) go ABOVE the mutex. Exempt: condition variables (waiting is not
-  // guarded state), atomics (their own synchronization), other mutexes,
-  // and static/constexpr/const/using/typedef/friend declarations.
-  void CheckMutexGuardedBy(const std::string& rel,
-                           const std::vector<std::string>& clean_lines,
-                           const std::vector<std::string>& raw_lines) {
-    bool in_mutex_scope = false;
-    for (size_t i = 0; i < clean_lines.size(); ++i) {
-      const std::string& line = clean_lines[i];
-      const size_t first = line.find_first_not_of(" \t");
-      if (first == std::string::npos) continue;
-      if (line.compare(first, 2, "};") == 0) {
-        in_mutex_scope = false;  // End of the (possibly nested) class body.
-        continue;
-      }
-      const size_t last = line.find_last_not_of(" \t");
-      const bool is_mutex_decl =
-          (FindWord(line, "RankedMutex") != std::string::npos ||
-           line.find("std::mutex") != std::string::npos) &&
-          line.find('*') == std::string::npos &&
-          line.find('&') == std::string::npos &&
-          line.find('(') == std::string::npos &&
-          last != std::string::npos && line[last] == ';';
-      if (is_mutex_decl) {
-        in_mutex_scope = true;
-        continue;
-      }
-      if (!in_mutex_scope) continue;
-      if (line.find("TARGAD_GUARDED_BY") != std::string::npos ||
-          line.find("TARGAD_PT_GUARDED_BY") != std::string::npos ||
-          line.find("condition_variable") != std::string::npos ||
-          line.find("std::atomic") != std::string::npos ||
-          FindWord(line, "static") != std::string::npos ||
-          FindWord(line, "constexpr") != std::string::npos ||
-          FindWord(line, "using") != std::string::npos ||
-          FindWord(line, "typedef") != std::string::npos ||
-          FindWord(line, "friend") != std::string::npos ||
-          line.compare(first, 6, "const ") == 0) {
-        continue;
-      }
-      const std::string field = FieldNameIfDecl(line);
-      if (!field.empty()) {
-        Report(rel, static_cast<int>(i) + 1, raw_lines, "mutex-guarded-by",
-               "member `" + field +
-                   "` is declared below a mutex but lacks "
-                   "TARGAD_GUARDED_BY; unguarded fields go above the mutex");
-      }
-    }
-  }
-
-  // Returns the member field a line declares — an identifier ending in `_`
-  // whose next non-space character is `;`, `=`, or `{` — or "" when the
-  // line does not read as a field declaration. Method declarations never
-  // match: method names do not end in `_`, and a trailing annotation
-  // argument like EXCLUDES(mu_) leaves `mu_` followed by `)`.
-  static std::string FieldNameIfDecl(const std::string& line) {
-    for (size_t i = 0; i < line.size();) {
-      if (!IsWordChar(line[i])) {
-        ++i;
-        continue;
-      }
-      size_t end = i;
-      while (end < line.size() && IsWordChar(line[end])) ++end;
-      if (line[end - 1] == '_') {
-        size_t k = end;
-        while (k < line.size() && line[k] == ' ') ++k;
-        if (k < line.size() &&
-            (line[k] == ';' || line[k] == '=' || line[k] == '{')) {
-          return line.substr(i, end - i);
-        }
-      }
-      i = end;
-    }
-    return std::string();
-  }
-
-  // lock-rank-table: parses every `#define TARGAD_LOCK_RANK_TABLE` X-macro
-  // body and reports duplicate lock names and duplicate integer ranks.
-  // Unique integer ranks form a total order, which makes the runtime
-  // acquire-ascending policy acyclic by construction — a duplicate rank
-  // would let two locks be taken in either order without detection.
-  void CheckLockRankTable(const std::string& rel,
-                          const std::vector<std::string>& clean_lines,
-                          const std::vector<std::string>& raw_lines) {
-    for (size_t i = 0; i < clean_lines.size(); ++i) {
-      if (clean_lines[i].find("#define") == std::string::npos ||
-          clean_lines[i].find("TARGAD_LOCK_RANK_TABLE") == std::string::npos) {
-        continue;
-      }
-      std::map<std::string, int> name_line;       // entry name -> first line
-      std::map<long, std::string> rank_owner;     // rank value -> first name
-      size_t j = i;
-      bool continued = true;
-      while (j < clean_lines.size() && continued) {
-        const std::string& l = clean_lines[j];
-        const size_t last = l.find_last_not_of(" \t");
-        continued = last != std::string::npos && l[last] == '\\';
-        const int ln = static_cast<int>(j) + 1;
-        size_t p = 0;
-        while ((p = FindWord(l, "X", p)) != std::string::npos) {
-          const size_t open = p + 1;
-          ++p;
-          if (open >= l.size() || l[open] != '(') continue;
-          size_t k = l.find_first_not_of(' ', open + 1);
-          if (k == std::string::npos || !IsWordChar(l[k])) continue;
-          size_t name_end = k;
-          while (name_end < l.size() && IsWordChar(l[name_end])) ++name_end;
-          const std::string name = l.substr(k, name_end - k);
-          size_t v = l.find_first_not_of(" ,", name_end);
-          if (v == std::string::npos) continue;
-          size_t v_end = v;
-          if (v_end < l.size() && l[v_end] == '-') ++v_end;
-          while (v_end < l.size() &&
-                 std::isdigit(static_cast<unsigned char>(l[v_end]))) {
-            ++v_end;
-          }
-          if (v_end == v || v_end >= l.size() || l[v_end] != ')') continue;
-          const long value = std::stol(l.substr(v, v_end - v));
-          if (!name_line.emplace(name, ln).second) {
-            Report(rel, ln, raw_lines, "lock-rank-table",
-                   "duplicate lock-rank entry `" + name + "`");
-          }
-          const auto [owner, inserted] = rank_owner.emplace(value, name);
-          if (!inserted && owner->second != name) {
-            Report(rel, ln, raw_lines, "lock-rank-table",
-                   "rank " + std::to_string(value) + " assigned to both `" +
-                       owner->second + "` and `" + name +
-                       "`; ranks must be unique (a total order is what "
-                       "makes acquire-ascending deadlock-free)");
-          }
-        }
-        ++j;
-      }
-      i = j - 1;
-    }
-  }
-
-  // raw-dense-loop: flags multiply-accumulate lines over subscripted
-  // operands inside >= 2 nested `for` loops — the signature of a matmul /
-  // distance computation written by hand instead of through nn/kernels.
-  //
-  // The nesting tracker is character-level: it follows brace depth and a
-  // stack of for-scopes, handling both braced bodies (popped when their
-  // closing brace arrives) and braceless bodies (popped at the next `;` at
-  // parenthesis depth zero — a chain of braceless `for`s collapses at one
-  // statement). A line fires when, at any point on it, the for-stack is at
-  // least two deep AND it contains `+=` whose right-hand side multiplies
-  // (`*`) AND it references two or more subscripted operands (`x[...]` or
-  // `At(...)`). Single-subscript accumulations over a hoisted scalar
-  // (`var[j] += r * diff * diff`) stay legal: one indexed operand is a
-  // weighted reduction, not a dense kernel.
-  void CheckRawDenseLoop(const std::string& rel,
-                         const std::vector<std::string>& clean_lines,
-                         const std::vector<std::string>& raw_lines) {
-    if (rel.find("nn/kernels/") != std::string::npos) return;
-    struct ForScope {
-      bool braced = false;
-      int body_brace_depth = 0;
-    };
-    std::vector<ForScope> stack;
-    int brace_depth = 0;
-    int paren_depth = 0;
-    int header_depth = -1;  // Paren depth inside a pending for-header, or -1.
-    bool awaiting_body = false;
-    for (size_t i = 0; i < clean_lines.size(); ++i) {
-      const std::string& line = clean_lines[i];
-      size_t max_for_depth = stack.size();
-      for (size_t p = 0; p < line.size(); ++p) {
-        const char c = line[p];
-        if (awaiting_body && c != ' ' && c != '\t') {
-          awaiting_body = false;
-          if (c == '{') {
-            stack.back().braced = true;
-            stack.back().body_brace_depth = ++brace_depth;
-            continue;
-          }
-          // Braceless body: the scope pops at the statement-ending `;`.
-        }
-        if (IsWordChar(c)) {
-          size_t e = p;
-          while (e < line.size() && IsWordChar(line[e])) ++e;
-          if (e - p == 3 && line.compare(p, 3, "for") == 0 &&
-              header_depth == -1) {
-            const size_t q = line.find_first_not_of(' ', e);
-            if (q != std::string::npos && line[q] == '(') {
-              header_depth = paren_depth + 1;  // Depth once '(' is consumed.
-            }
-          }
-          p = e - 1;
-          continue;
-        }
-        if (c == '(') {
-          ++paren_depth;
-          continue;
-        }
-        if (c == ')') {
-          --paren_depth;
-          if (header_depth != -1 && paren_depth < header_depth) {
-            header_depth = -1;
-            awaiting_body = true;
-            stack.push_back(ForScope{});
-            max_for_depth = std::max(max_for_depth, stack.size());
-          }
-          continue;
-        }
-        if (c == '{') {
-          ++brace_depth;
-          continue;
-        }
-        if (c == '}') {
-          --brace_depth;
-          while (!stack.empty() && stack.back().braced &&
-                 stack.back().body_brace_depth > brace_depth) {
-            stack.pop_back();
-            // A braceless parent's body was that braced statement.
-            while (!stack.empty() && !stack.back().braced) stack.pop_back();
-          }
-          continue;
-        }
-        if (c == ';' && paren_depth == 0 && header_depth == -1) {
-          while (!stack.empty() && !stack.back().braced) stack.pop_back();
-          continue;
-        }
-      }
-      if (max_for_depth < 2) continue;
-      const size_t plus_eq = line.find("+=");
-      if (plus_eq == std::string::npos) continue;
-      // A `*` at subscript/argument depth is index arithmetic
-      // (`a[i * n + j]`), not a value multiply; only a top-level `*` on the
-      // right-hand side makes this a multiply-accumulate.
-      bool multiplies = false;
-      int rhs_depth = 0;
-      for (size_t p = plus_eq + 2; p < line.size(); ++p) {
-        if (line[p] == '[' || line[p] == '(') ++rhs_depth;
-        if (line[p] == ']' || line[p] == ')') --rhs_depth;
-        if (line[p] == '*' && rhs_depth == 0) {
-          multiplies = true;
-          break;
-        }
-      }
-      if (!multiplies) continue;
-      size_t subscripts = 0;
-      for (size_t p = 1; p < line.size(); ++p) {
-        if (line[p] == '[' &&
-            (IsWordChar(line[p - 1]) || line[p - 1] == ']' ||
-             line[p - 1] == ')')) {
-          ++subscripts;
-        }
-      }
-      size_t at_pos = FindWord(line, "At");
-      while (at_pos != std::string::npos) {
-        if (IsCallAt(line, at_pos, "At")) ++subscripts;
-        at_pos = FindWord(line, "At", at_pos + 1);
-      }
-      if (subscripts < 2) continue;
-      Report(rel, static_cast<int>(i) + 1, raw_lines, "raw-dense-loop",
-             "multiply-accumulate over subscripted operands inside nested "
-             "loops — use the nn/kernels primitives (Gemm, "
-             "FusedAffineActivation, SquaredDistances, Axpy)");
-    }
-  }
-
-  // Applies the allow() escape hatch, then records the finding.
-  void Report(const std::string& rel, int ln,
-              const std::vector<std::string>& raw_lines,
-              const std::string& rule, const std::string& message) {
-    for (int l : {ln, ln - 1}) {
-      if (l < 1 || l > static_cast<int>(raw_lines.size())) continue;
-      const std::string& raw = raw_lines[static_cast<size_t>(l - 1)];
-      const size_t a = raw.find("targad-lint: allow(");
-      if (a == std::string::npos) continue;
-      const size_t start = a + std::string("targad-lint: allow(").size();
-      const size_t end = raw.find(')', start);
-      if (end == std::string::npos) continue;
-      std::string list = raw.substr(start, end - start);
-      std::istringstream in(list);
-      std::string item;
-      while (std::getline(in, item, ',')) {
-        item.erase(std::remove(item.begin(), item.end(), ' '), item.end());
-        if (item == rule || item == "*") return;
-      }
-    }
-    findings_.push_back({rel, ln, rule, message});
-  }
-
-  fs::path root_;
-  std::set<std::string> result_functions_;
-  std::set<std::string> status_functions_;
-  std::vector<Finding> findings_;
-};
-
-bool IsSourceFile(const fs::path& path) {
-  return path.extension() == ".h" || path.extension() == ".cc";
-}
-
-std::vector<fs::path> GatherFiles(const std::vector<std::string>& paths) {
-  std::vector<fs::path> files;
-  for (const std::string& p : paths) {
-    if (fs::is_directory(p)) {
-      for (const auto& entry : fs::recursive_directory_iterator(p)) {
-        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
-          files.push_back(entry.path());
-        }
-      }
-    } else if (fs::is_regular_file(p)) {
-      files.push_back(p);
-    } else {
-      std::fprintf(stderr, "targad_lint: no such path: %s\n", p.c_str());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  return files;
-}
-
-std::string ReadFile(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
-
-std::vector<Finding> RunLint(const fs::path& root,
-                             const std::vector<std::string>& paths) {
-  Linter linter(root);
-  const std::vector<fs::path> files = GatherFiles(paths);
-  std::vector<std::pair<fs::path, std::string>> cleaned;
-  cleaned.reserve(files.size());
-  for (const fs::path& f : files) {
-    cleaned.emplace_back(f, StripCommentsAndStrings(ReadFile(f)));
-  }
-  for (const auto& [f, clean] : cleaned) linter.CollectResultFunctions(clean);
-  for (const auto& [f, clean] : cleaned) {
-    linter.CheckFile(f, ReadFile(f), clean);
-  }
-  return linter.findings();
-}
-
-// ---------------------------------------------------------------------------
-// Self-test: seed one violation per rule in a temp tree, assert each fires,
-// and assert the escape hatch and comment/string immunity hold.
-// ---------------------------------------------------------------------------
-
-struct SelfCase {
-  std::string file;
-  std::string contents;
-  // Rules this file must trip, as (rule, line) pairs; empty = must be clean.
-  std::vector<std::pair<std::string, int>> expect;
-};
-
-int RunSelfTest() {
-  const fs::path dir =
-      fs::temp_directory_path() /
-      ("targad_lint_selftest_" + std::to_string(::getpid()));
-  fs::remove_all(dir);
-  fs::create_directories(dir / "sub");
-  fs::create_directories(dir / "nn" / "kernels");
-
-  const std::vector<SelfCase> cases = {
-      {"sub/bad_guard.h",
-       "#ifndef WRONG_GUARD_H_\n#define WRONG_GUARD_H_\n#endif\n",
-       {{"include-guard", 1}}},
-      {"sub/no_define.h",
-       "#ifndef TARGAD_SUB_NO_DEFINE_H_\n#define SOMETHING_ELSE\n#endif\n",
-       {{"include-guard", 1}}},
-      {"sub/using_ns.h",
-       "#ifndef TARGAD_SUB_USING_NS_H_\n#define TARGAD_SUB_USING_NS_H_\n"
-       "using namespace std;\n#endif\n",
-       {{"using-namespace-header", 3}}},
-      {"sub/banned.cc",
-       "int f() {\n"
-       "  int x = rand();\n"
-       "  printf(\"%d\", x);\n"
-       "  std::cout << x;\n"
-       "  if (x < 0) throw 1;\n"
-       "  return x;\n}\n",
-       {{"banned-rand", 2},
-        {"banned-io", 3},
-        {"banned-io", 4},
-        {"naked-throw", 5}}},
-      {"sub/retnotok.cc",
-       "Result<int> Load(int v);\n"
-       "Status A(int v) {\n"
-       "  TARGAD_RETURN_NOT_OK(Load(v));\n"
-       "  return Status::OK();\n}\n"
-       "Status B(Result<int> r) {\n"
-       "  TARGAD_RETURN_NOT_OK(r.ValueOrDie());\n"
-       "  return Status::OK();\n}\n",
-       {{"return-not-ok-result", 3}, {"return-not-ok-result", 7}}},
-      // The escape hatch silences the named rule(s) on that line (same line
-      // or the line directly above)...
-      {"sub/allowed.cc",
-       "int g() {\n"
-       "  return rand();  // targad-lint: allow(banned-rand)\n}\n"
-       "int h() {\n"
-       "  // targad-lint: allow(banned-io,banned-rand)\n"
-       "  printf(\"%d\", rand());\n}\n",
-       {}},
-      // ...but only the named rule.
-      {"sub/allow_wrong_rule.cc",
-       "int g() {\n"
-       "  return rand();  // targad-lint: allow(banned-io)\n}\n",
-       {{"banned-rand", 2}}},
-      // mutex-guarded-by: `depth_` sits below the mutex without an
-      // annotation (line 8). Everything around it is exempt: fields above
-      // the mutex, condition variables, annotated fields, statics,
-      // atomics, and an allow()ed line. The `};` closes the scope, so the
-      // trailing `after_` is clean.
-      {"sub/guarded.h",
-       "#ifndef TARGAD_SUB_GUARDED_H_\n"
-       "#define TARGAD_SUB_GUARDED_H_\n"
-       "class Pool {\n"
-       " private:\n"
-       "  const int capacity_ = 4;\n"
-       "  mutable RankedMutex mu_{LockRank::kThreadPool};\n"
-       "  std::condition_variable_any cv_;\n"
-       "  int depth_ = 0;\n"
-       "  int safe_ TARGAD_GUARDED_BY(mu_) = 0;\n"
-       "  static int counter_;\n"
-       "  std::atomic<int> hits_{0};\n"
-       "  int waived_;  // targad-lint: allow(mutex-guarded-by)\n"
-       "};\n"
-       "int after_ = 0;\n"
-       "#endif\n",
-       {{"mutex-guarded-by", 8}}},
-      // raw-mutex-lock: direct lock calls on mutex-named receivers (member
-      // access or pointer) are flagged; the same calls on a MutexLock
-      // guard named `lock` are the blessed manual-window form, and the
-      // escape hatch still works.
-      {"sub/rawlock.cc",
-       "void f() {\n"
-       "  mu_.lock();\n"
-       "  mu_.unlock();\n"
-       "  if (g_mutex->try_lock()) return;\n"
-       "  lock.unlock();\n"
-       "  swap_mu_.lock();  // targad-lint: allow(raw-mutex-lock)\n"
-       "}\n",
-       {{"raw-mutex-lock", 2},
-        {"raw-mutex-lock", 3},
-        {"raw-mutex-lock", 4}}},
-      // lock-rank-table: kB reuses rank 10 (line 3), kA is declared twice
-      // (line 4); kC is a fresh name with a fresh rank and stays clean.
-      {"sub/ranks.cc",
-       "#define TARGAD_LOCK_RANK_TABLE(X) \\\n"
-       "  X(kA, 10)                       \\\n"
-       "  X(kB, 10)                       \\\n"
-       "  X(kA, 20)                       \\\n"
-       "  X(kC, 30)\n",
-       {{"lock-rank-table", 3}, {"lock-rank-table", 4}}},
-      // raw-dense-loop: a hand-written triple-loop matmul fires (line 5, on
-      // the accumulate line), as does a braceless nested accumulation over
-      // At() (line 10); the escape hatch still works (line 13).
-      {"sub/dense.cc",
-       "void MatMul(double* c, const double* a, const double* b, int n) {\n"
-       "  for (int i = 0; i < n; ++i) {\n"
-       "    for (int j = 0; j < n; ++j) {\n"
-       "      for (int k = 0; k < n; ++k) {\n"
-       "        c[i * n + j] += a[i * n + k] * b[k * n + j];\n"
-       "      }\n"
-       "    }\n"
-       "  }\n"
-       "  for (int i = 0; i < n; ++i)\n"
-       "    for (int j = 0; j < n; ++j) out.At(i, j) += x.At(i, j) * w[j];\n"
-       "  for (int i = 0; i < n; ++i) {\n"
-       "    for (int j = 0; j < n; ++j) {\n"
-       "      c[i] += a[i * n + j] * b[j];  // targad-lint: allow(raw-dense-loop)\n"
-       "    }\n"
-       "  }\n"
-       "}\n",
-       {{"raw-dense-loop", 5}, {"raw-dense-loop", 10}}},
-      // ...the kernel layer itself is exempt by path...
-      {"nn/kernels/fast.cc",
-       "void Gemm(double* c, const double* a, const double* b, int n) {\n"
-       "  for (int i = 0; i < n; ++i) {\n"
-       "    for (int j = 0; j < n; ++j) {\n"
-       "      c[i * n + j] += a[i * n + j] * b[j * n + i];\n"
-       "    }\n"
-       "  }\n"
-       "}\n",
-       {}},
-      // ...and legitimate shapes stay clean: a depth-1 dot product, a
-      // nested sum without multiplication, and a single-subscript weighted
-      // reduction over a hoisted scalar.
-      {"sub/dense_ok.cc",
-       "double f(const double* a, const double* b, double* s, int n) {\n"
-       "  double dot = 0.0;\n"
-       "  for (int i = 0; i < n; ++i) dot += a[i] * b[i];\n"
-       "  for (int i = 0; i < n; ++i) {\n"
-       "    for (int j = 0; j < n; ++j) s[j] += a[i * n + j];\n"
-       "    const double r = b[i];\n"
-       "    for (int j = 0; j < n; ++j) {\n"
-       "      const double diff = a[i * n + j];\n"
-       "      s[j] += r * diff * diff;\n"
-       "    }\n"
-       "  }\n"
-       "  return dot;\n"
-       "}\n",
-       {}},
-      // Comments and strings never trip rules; snprintf is not printf; a
-      // legitimate TARGAD_RETURN_NOT_OK on a Status call is clean, as are
-      // the `.status()` adapter and an ambiguous Status/Result overload set.
-      {"sub/immune.cc",
-       "// rand() and printf() and throw, discussed in prose.\n"
-       "/* std::cout << rand(); */\n"
-       "const char* s = \"printf(rand()) throw\";\n"
-       "int n = snprintf(buf, 4, \"x\");\n"
-       "Status DoIt();\n"
-       "Status Fit(int x);\n"
-       "Result<int> Fit(double x);\n"
-       "Result<int> MakeIt();\n"
-       "Status Run() {\n"
-       "  TARGAD_RETURN_NOT_OK(DoIt());\n"
-       "  TARGAD_RETURN_NOT_OK(Fit(1));\n"
-       "  TARGAD_RETURN_NOT_OK(MakeIt().status());\n"
-       "  return Status::OK();\n}\n",
-       {}},
-  };
-
-  for (const SelfCase& c : cases) {
-    std::ofstream out(dir / c.file, std::ios::binary);
-    out << c.contents;
-  }
-
-  const std::vector<Finding> findings = RunLint(dir, {dir.string()});
-
-  std::set<std::pair<std::string, std::string>> got;  // (file:line, rule)
-  for (const Finding& f : findings) {
-    got.insert({f.file + ":" + std::to_string(f.line), f.rule});
-  }
-  int failures = 0;
-  std::set<std::pair<std::string, std::string>> expected;
-  for (const SelfCase& c : cases) {
-    for (const auto& [rule, line] : c.expect) {
-      expected.insert({c.file + ":" + std::to_string(line), rule});
-    }
-  }
-  for (const auto& e : expected) {
-    if (got.count(e) == 0) {
-      std::fprintf(stderr, "SELF-TEST FAIL: expected %s at %s, not reported\n",
-                   e.second.c_str(), e.first.c_str());
-      ++failures;
-    }
-  }
-  for (const auto& g : got) {
-    if (expected.count(g) == 0) {
-      std::fprintf(stderr, "SELF-TEST FAIL: unexpected %s at %s\n",
-                   g.second.c_str(), g.first.c_str());
-      ++failures;
-    }
-  }
-  fs::remove_all(dir);
-  if (failures == 0) {
-    std::fprintf(stderr,
-                 "targad_lint self-test PASSED (%zu seeded findings, "
-                 "suppression and immunity verified)\n",
-                 expected.size());
-    return 0;
-  }
-  return 1;
-}
-
-}  // namespace
+#include "tools/lint/driver.h"
+#include "tools/lint/selftest.h"
 
 int main(int argc, char** argv) {
   std::string root;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--self-test") return RunSelfTest();
+    if (arg == "--self-test") return targad::lint::RunSelfTest();
     if (arg == "--root") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "targad_lint: --root needs a directory\n");
@@ -1045,8 +99,9 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) paths.push_back(root);
 
-  const std::vector<Finding> findings = RunLint(root, paths);
-  for (const Finding& f : findings) {
+  const std::vector<targad::lint::Finding> findings =
+      targad::lint::RunLint(root, paths);
+  for (const targad::lint::Finding& f : findings) {
     std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());
   }
