@@ -3,7 +3,8 @@
 // A function marked TARGAD_HOT_PATH is on the per-row serving path — it
 // runs once per scored row (or more) under open-loop load, so its latency
 // is the product's latency. The annotation is a CONTRACT enforced
-// statically by targad-lint's purity pass (tools/lint/purity.cc):
+// statically by targad-lint's purity pass (tools/lint/purity.cc, driven
+// transitively over the cross-TU call graph by tools/lint/graph.cc):
 //
 //   - no heap growth: no `new`, make_unique/make_shared, malloc family,
 //     push_back/emplace_back/resize/reserve. Writing into buffers sized
@@ -21,8 +22,9 @@
 //   - no blocking calls: no sleeps, poll/select/epoll, accept/connect,
 //     or stdio reads.
 //
-// The lint also applies the same bans one call level deep: a helper
-// defined in the same file and called from a hot function is checked too.
+// The lint applies the bans to the hot function AND to everything it can
+// reach through resolvable calls, across translation units. Reachability
+// stops at TARGAD_HOT_PATH_TRUSTED boundaries (below).
 //
 // The macro expands to the `hot` function attribute where available, so
 // the annotation also steers code layout; its real value is the lint
@@ -36,5 +38,25 @@
 #else
 #define TARGAD_HOT_PATH
 #endif
+
+// TARGAD_HOT_PATH_TRUSTED: an audited leaf of the hot path. The transitive
+// purity pass stops at functions carrying this annotation and does not scan
+// their bodies — use it for code that is hot-path-safe for reasons the
+// token-level checker cannot see (e.g. an amortized steady-state that
+// allocates only on first use, or a dispatch layer whose blocking branches
+// are unreachable from serving). Every use is a reviewed claim: the
+// annotation must sit next to a comment justifying why the body is exempt,
+// and it is NOT inherited — only this function's body is skipped; anything
+// the surrounding code calls directly is still checked.
+#define TARGAD_HOT_PATH_TRUSTED
+
+// TARGAD_POLL_THREAD: marks the event-loop root that runs on the network
+// poll thread (net/server.cc). targad-lint's poll-thread reachability pass
+// walks the call graph from each root and rejects anything that can stall
+// the loop: blocking syscalls (sleeps, connect, blocking reads — the
+// root's own poll() is the event wait and is exempt), lock acquisitions
+// outside the kNetSession/kNetReady ranks, and buffers that grow inside
+// the unbounded loop without a per-iteration reset.
+#define TARGAD_POLL_THREAD
 
 #endif  // TARGAD_COMMON_HOT_PATH_H_

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hot_path.h"
 #include "common/logging.h"
 #include "net/protocol.h"
 #include "serve/row_parse.h"
@@ -139,7 +140,10 @@ void TcpServer::DrainWakePipe() {
   wake_pending_.store(false, std::memory_order_release);
 }
 
-void TcpServer::Loop() {
+// TARGAD_POLL_THREAD: everything reachable from here runs on the poll
+// thread; targad-lint's reachability pass holds it to non-blocking calls,
+// session/ready-rank locks only, and reset-per-iteration buffers.
+TARGAD_POLL_THREAD void TcpServer::Loop() {
   std::vector<pollfd> fds;
   std::vector<std::shared_ptr<Session>> polled;
   std::chrono::steady_clock::time_point drain_started{};
@@ -286,6 +290,9 @@ void TcpServer::Loop() {
 
 void TcpServer::AcceptAll() {
   for (;;) {
+    // The listener was opened with SOCK_NONBLOCK (Start()), so accept4
+    // returns EAGAIN instead of blocking; the loop drains the backlog and
+    // exits on it.  targad-lint: allow(poll-thread-block)
     const int fd = ::accept4(listen_fd_, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {

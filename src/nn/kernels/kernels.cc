@@ -69,7 +69,14 @@ DispatchState MakeState() {
 
 // Selected once on first kernel use; the test hooks below mutate it from a
 // single thread before concurrent use (documented in kernels.h).
-DispatchState& State() {
+//
+// TARGAD_HOT_PATH_TRUSTED: MakeState() builds strings, reads the
+// environment, and may log — but only inside the function-local static's
+// one-time initialization. Every later call is a guarded load of the
+// already-built state, which is hot-path-pure; the lint's token-level
+// scanner cannot see the static-init amortization, so the boundary is
+// audited here instead.
+TARGAD_HOT_PATH_TRUSTED DispatchState& State() {
   static DispatchState state = MakeState();
   return state;
 }
@@ -80,7 +87,12 @@ DispatchState& State() {
 // main thread's thread_local lock-rank bookkeeping is already gone, and the
 // pool must outlive any late kernel call anyway. Still reachable from this
 // static, so leak checkers stay quiet.
-ThreadPool& Pool() {
+//
+// TARGAD_HOT_PATH_TRUSTED: the `new` runs exactly once, inside the
+// function-local static's initialization; steady-state calls return the
+// cached reference without allocating. Audited first-use amortization the
+// token-level purity scanner cannot prove.
+TARGAD_HOT_PATH_TRUSTED ThreadPool& Pool() {
   static ThreadPool* pool = new ThreadPool(State().tiling.threads);
   return *pool;
 }

@@ -86,6 +86,10 @@ void BatchScorer::SubmitPending(Pending request) {
     }
   };
   {
+    // Bounded admission critical section: a cap check, a push_back, and a
+    // counter bump. No blocking work runs under mu_ on this path (the
+    // scorer thread holds it only to swap batches out), so the poll thread
+    // cannot stall here.  targad-lint: allow(poll-thread-lock)
     MutexLock lock(&mu_);
     if (stop_) {
       lock.unlock();

@@ -10,8 +10,9 @@
 #include <set>
 #include <sstream>
 
+#include "tools/lint/graph.h"
 #include "tools/lint/layering.h"
-#include "tools/lint/purity.h"
+#include "tools/lint/symbols.h"
 
 namespace targad {
 namespace lint {
@@ -166,12 +167,6 @@ class Linter {
       CheckRawDenseLoop(rel, clean_lines);
     }
     CheckLockRankTable(rel, clean_lines);
-
-    // Hot-path purity applies everywhere: it only fires inside functions
-    // that opted in via TARGAD_HOT_PATH.
-    for (const Finding& f : CheckHotPathPurity(rel, fd.toks.code())) {
-      Report(f.file, f.line, f.rule, f.message);
-    }
     cur_toks_ = nullptr;
   }
 
@@ -808,6 +803,12 @@ std::string ReadFile(const fs::path& path) {
 
 std::vector<Finding> RunLint(const fs::path& root,
                              const std::vector<std::string>& paths) {
+  return RunLint(root, paths, LintOptions{});
+}
+
+std::vector<Finding> RunLint(const fs::path& root,
+                             const std::vector<std::string>& paths,
+                             const LintOptions& options) {
   Linter linter(root);
   std::vector<FileData> data;
   for (const fs::path& f : GatherFiles(paths)) {
@@ -822,10 +823,40 @@ std::vector<Finding> RunLint(const fs::path& root,
     fd.includes = ExtractIncludes(fd.toks);
     data.push_back(std::move(fd));
   }
-  for (const FileData& fd : data) linter.CollectResultFunctions(fd.clean);
-  for (const FileData& fd : data) linter.CheckFile(fd);
-  linter.CheckIncludeTree(data);
-  return linter.findings();
+  if (options.per_file) {
+    for (const FileData& fd : data) linter.CollectResultFunctions(fd.clean);
+    for (const FileData& fd : data) linter.CheckFile(fd);
+    linter.CheckIncludeTree(data);
+  }
+  std::vector<Finding> findings = linter.findings();
+
+  if (options.analyze) {
+    // Whole-program passes: extract per-file symbols, link the cross-TU
+    // model, run the three analyses, then apply the allow() hatch against
+    // each finding's OWN file (the passes cross file boundaries, so the
+    // current-file token stream the per-file rules use does not apply).
+    std::vector<FileSymbols> symbols;
+    symbols.reserve(data.size());
+    for (const FileData& fd : data) {
+      symbols.push_back(ExtractFileSymbols(fd.rel, fd.module, fd.toks.code()));
+    }
+    const ProgramModel pm = BuildProgramModel(std::move(symbols));
+    std::map<std::string, const TokenFile*> toks_by_rel;
+    for (const FileData& fd : data) toks_by_rel.emplace(fd.rel, &fd.toks);
+    auto add_filtered = [&](const std::vector<Finding>& raw_findings) {
+      for (const Finding& f : raw_findings) {
+        auto it = toks_by_rel.find(f.file);
+        if (it != toks_by_rel.end() && IsAllowed(*it->second, f.line, f.rule)) {
+          continue;
+        }
+        findings.push_back(f);
+      }
+    };
+    add_filtered(CheckLockOrder(pm));
+    add_filtered(CheckTransitivePurity(pm));
+    add_filtered(CheckPollThreadReachability(pm));
+  }
+  return findings;
 }
 
 }  // namespace lint

@@ -27,12 +27,25 @@ struct FileData {
   std::vector<IncludeDirective> includes;
 };
 
+/// Which rule families a run executes. Default: everything.
+struct LintOptions {
+  /// Per-file rules plus the include-tree passes (layering, cycles, IWYU).
+  bool per_file = true;
+  /// Whole-program passes over the cross-TU call graph (tools/lint/graph.h):
+  /// static lock-order, transitive hot-path purity, poll-thread
+  /// reachability.
+  bool analyze = true;
+};
+
 /// Scans `paths` (files or directories) and returns every finding, with
 /// the allow() escape hatch already applied. `root` anchors relative paths
 /// for include-guard naming and module assignment; sibling directories of
 /// `root` (tools/, tests/, ...) resolve to their own top-level module.
 std::vector<Finding> RunLint(const std::filesystem::path& root,
                              const std::vector<std::string>& paths);
+std::vector<Finding> RunLint(const std::filesystem::path& root,
+                             const std::vector<std::string>& paths,
+                             const LintOptions& options);
 
 }  // namespace lint
 }  // namespace targad

@@ -90,6 +90,12 @@ std::set<std::string> CollectHeaderSymbols(const std::vector<Token>& code) {
 }
 
 std::set<std::string> CollectUsedIdentifiers(const std::vector<Token>& code) {
+  // Every identifier token counts as a use — including macro INVOCATIONS
+  // (TARGAD_GUARDED_BY, TARGAD_REQUIRES, DCHECK, ...), which pair with the
+  // `#define` names CollectHeaderSymbols collects, so annotation-only
+  // includes are never flagged unused. This guarantee leans on the lexer
+  // splicing backslash-newline universally: a macro name spliced across
+  // physical lines still arrives here as one identifier token.
   std::set<std::string> used;
   for (const Token& t : code) {
     if (t.kind == Tok::kIdent) used.insert(t.text);

@@ -66,13 +66,26 @@ class Lexer {
     out_.push_back(std::move(t));
   }
 
-  void LexOne() {
-    const char c = Cur();
-    if (c == '\\' && Peek() == '\n' && in_pp_) {
-      // Backslash continuation keeps the directive alive past the newline.
-      pp_continues_ = true;
+  // Phase-2 line splicing: backslash-newline is deleted wherever it occurs
+  // — C++ splices physical lines BEFORE tokenization, not only inside
+  // preprocessor directives (the v4 lexer got this wrong, which split
+  // spliced identifiers into two tokens and broke IWYU-lite's use
+  // tracking). Inside a directive the splice also keeps it alive past the
+  // newline.
+  bool ConsumeSplice() {
+    if (Cur() == '\\' && Peek() == '\n') {
+      if (in_pp_) pp_continues_ = true;
       Advance();  // backslash
       Advance();  // newline
+      return true;
+    }
+    return false;
+  }
+
+  void LexOne() {
+    const char c = Cur();
+    if (c == '\\' && Peek() == '\n') {
+      ConsumeSplice();
       return;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -152,6 +165,12 @@ class Lexer {
     Advance();  // /
     std::string body;
     while (pos_ < src_.size() && Cur() != '\n') {
+      // A spliced line comment continues on the next physical line; keep
+      // the newline in the body so CommentsOnLine covers both lines.
+      if (ConsumeSplice()) {
+        body.push_back('\n');
+        continue;
+      }
       body.push_back(Cur());
       Advance();
     }
@@ -254,9 +273,18 @@ class Lexer {
 
   std::string ReadIdent() {
     std::string s;
-    while (pos_ < src_.size() && IsIdentChar(Cur())) {
-      s.push_back(Cur());
-      Advance();
+    while (pos_ < src_.size()) {
+      if (IsIdentChar(Cur())) {
+        s.push_back(Cur());
+        Advance();
+        continue;
+      }
+      // An identifier spliced across lines is ONE token.
+      if (Cur() == '\\' && Peek() == '\n' && IsIdentChar(Peek(2))) {
+        ConsumeSplice();
+        continue;
+      }
+      break;
     }
     return s;
   }
@@ -268,7 +296,10 @@ class Lexer {
   }
 
   // pp-number superset: digits, digit separators, hex/bin prefixes, dots,
-  // exponent signs, and type suffixes all fold into one token.
+  // exponent signs, type suffixes, and user-defined-literal suffixes
+  // (`10_kb` — pp-numbers admit identifier characters) all fold into one
+  // token. A digit separator only continues the number when a digit or
+  // letter follows, so a char literal after a number never gets swallowed.
   void LexNumber() {
     const int line = line_;
     const size_t b = pos_;
@@ -276,9 +307,17 @@ class Lexer {
     while (pos_ < src_.size()) {
       const char c = Cur();
       if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
-          c == '\'') {
+          c == '_' ||
+          (c == '\'' &&
+           std::isalnum(static_cast<unsigned char>(Peek())) != 0)) {
         s.push_back(c);
         Advance();
+        continue;
+      }
+      if (c == '\\' && Peek() == '\n' &&
+          (std::isalnum(static_cast<unsigned char>(Peek(2))) != 0 ||
+           Peek(2) == '.' || Peek(2) == '\'' || Peek(2) == '_')) {
+        ConsumeSplice();  // A number spliced across lines is ONE token.
         continue;
       }
       if ((c == '+' || c == '-') && !s.empty()) {

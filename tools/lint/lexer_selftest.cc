@@ -1,0 +1,143 @@
+// Lexer edge-case pins. Each case here is a construct the v4 lexer
+// mis-tokenized (or could regress on): digit separators, hex floats,
+// user-defined-literal suffixes, and — the important one — backslash-newline
+// line splicing OUTSIDE preprocessor directives. C++ splices physical lines
+// before tokenization (translation phase 2), so `MY_\<newline>DCHECK(v)` is
+// ONE identifier; v4 only spliced inside directives, which split the token
+// and broke IWYU-lite's macro-use tracking.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+#include "tools/lint/selftest.h"
+
+namespace targad {
+namespace lint {
+namespace {
+
+const char* KindName(Tok k) {
+  switch (k) {
+    case Tok::kIdent: return "ident";
+    case Tok::kNumber: return "number";
+    case Tok::kString: return "string";
+    case Tok::kCharLit: return "charlit";
+    case Tok::kHeaderName: return "header";
+    case Tok::kPunct: return "punct";
+    case Tok::kComment: return "comment";
+  }
+  return "?";
+}
+
+struct Checker {
+  int failures = 0;
+
+  // Asserts token `index` of `src` lexes to (kind, text) and, when `line`
+  // is >= 0, sits on that physical line.
+  void Expect(const std::string& label, const std::string& src, size_t index,
+              Tok kind, const std::string& text, int line = -1) {
+    const std::vector<Token> toks = Lex(src);
+    if (index >= toks.size()) {
+      std::fprintf(stderr,
+                   "LEXER-TEST FAIL [%s]: wanted token %zu, got only %zu\n",
+                   label.c_str(), index, toks.size());
+      ++failures;
+      return;
+    }
+    const Token& t = toks[index];
+    if (t.kind != kind || t.text != text || (line >= 0 && t.line != line)) {
+      std::fprintf(stderr,
+                   "LEXER-TEST FAIL [%s]: token %zu = %s \"%s\" line %d, "
+                   "wanted %s \"%s\" line %d\n",
+                   label.c_str(), index, KindName(t.kind), t.text.c_str(),
+                   t.line, KindName(kind), text.c_str(), line);
+      ++failures;
+    }
+  }
+
+  void ExpectCount(const std::string& label, const std::string& src,
+                   size_t count) {
+    const std::vector<Token> toks = Lex(src);
+    if (toks.size() != count) {
+      std::fprintf(stderr,
+                   "LEXER-TEST FAIL [%s]: %zu tokens, wanted %zu\n",
+                   label.c_str(), toks.size(), count);
+      ++failures;
+    }
+  }
+};
+
+}  // namespace
+
+int RunLexerSelfTest() {
+  Checker c;
+
+  // Digit separators fold into one number token.
+  c.Expect("digit-separator", "int x = 1'000'000;", 3, Tok::kNumber,
+           "1'000'000");
+  // A separator only continues on a following alnum: the char literal after
+  // the comma stays a char literal.
+  c.Expect("separator-vs-charlit", "f(1, 'a');", 2, Tok::kNumber, "1");
+  c.Expect("separator-vs-charlit", "f(1, 'a');", 4, Tok::kCharLit, "a");
+  // Hex floats, including a signed binary exponent.
+  c.Expect("hex-float", "double d = 0x1.8p-3;", 3, Tok::kNumber, "0x1.8p-3");
+  c.Expect("hex-float-upper", "x = 0X1P3;", 2, Tok::kNumber, "0X1P3");
+  // User-defined-literal suffixes are part of the pp-number.
+  c.Expect("udl-suffix", "auto s = 10_kb;", 3, Tok::kNumber, "10_kb");
+  c.Expect("float-suffix", "auto f = 1.5e-3f;", 3, Tok::kNumber, "1.5e-3f");
+
+  // Line splicing outside preprocessor directives: a spliced identifier is
+  // ONE token, carrying the line of its first character.
+  c.Expect("spliced-ident", "MY_\\\nDCHECK(v);", 0, Tok::kIdent, "MY_DCHECK",
+           1);
+  c.Expect("spliced-ident-follow", "MY_\\\nDCHECK(v);", 2, Tok::kIdent, "v",
+           2);
+  // A splice BETWEEN tokens is simply deleted.
+  c.Expect("spliced-gap", "int \\\n y;", 1, Tok::kIdent, "y", 2);
+  // A spliced number is one token.
+  c.Expect("spliced-number", "x = 1'0\\\n00;", 2, Tok::kNumber, "1'000", 1);
+  // Inside a directive, a splice in the middle of the macro NAME still
+  // yields one identifier and the directive stays alive.
+  c.Expect("spliced-define-name", "#define FO\\\nO 1\nint y;", 2, Tok::kIdent,
+           "FOO", 1);
+  c.Expect("spliced-define-alive", "#define A \\\n B(1)\nint y;", 3,
+           Tok::kIdent, "B", 2);
+  {
+    // ...and that continuation token is still flagged pp.
+    const std::vector<Token> toks = Lex("#define A \\\n B(1)\nint y;");
+    if (toks.size() < 4 || !toks[3].pp) {
+      std::fprintf(stderr,
+                   "LEXER-TEST FAIL [spliced-define-pp]: continuation token "
+                   "lost its pp flag\n");
+      ++c.failures;
+    }
+  }
+  // A spliced line comment is one comment token covering both lines (the
+  // allow() hatch reads comments by line span).
+  {
+    const std::vector<Token> toks = Lex("// first \\\nsecond\nint y;");
+    if (toks.empty() || toks[0].kind != Tok::kComment ||
+        toks[0].text.find("second") == std::string::npos) {
+      std::fprintf(stderr,
+                   "LEXER-TEST FAIL [spliced-comment]: comment did not "
+                   "continue past the splice\n");
+      ++c.failures;
+    }
+  }
+  // Splices inside string literals do not terminate the literal.
+  c.Expect("spliced-string", "const char* s = \"ab\\\ncd\";", 5, Tok::kString,
+           "ab\\\ncd");
+  // Raw strings keep a literal backslash-newline verbatim (no splicing in
+  // raw literals) and the token count stays stable.
+  c.ExpectCount("raw-string-count", "auto r = R\"(a\\\nb)\";\n", 5);
+
+  if (c.failures == 0) {
+    std::fprintf(stderr, "targad_lint lexer self-test PASSED\n");
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace lint
+}  // namespace targad

@@ -1,203 +1,24 @@
 #include "tools/lint/purity.h"
 
-#include <map>
 #include <set>
 
 namespace targad {
 namespace lint {
-namespace {
 
-bool IsControlKeyword(const std::string& s) {
-  static const std::set<std::string> kControl = {
-      "if",     "for",   "while", "switch", "do",
-      "else",   "try",   "catch", "return", "co_return",
-  };
-  return kControl.count(s) > 0;
-}
-
-bool IsTypeKeyword(const std::string& s) {
-  return s == "class" || s == "struct" || s == "union" || s == "enum";
-}
-
-bool IsCallLikeKeyword(const std::string& s) {
-  static const std::set<std::string> kNotCalls = {
-      "if",         "for",
-      "while",      "switch",
-      "return",     "sizeof",
-      "alignof",    "catch",
-      "new",        "delete",
-      "static_cast", "reinterpret_cast",
-      "const_cast", "dynamic_cast",
-      "decltype",   "noexcept",
-      "assert",     "defined",
-  };
-  return kNotCalls.count(s) > 0;
-}
-
-// A statement classified at the moment its body '{' arrives.
-enum class ScopeKind { kNamespace, kType, kFunction, kOther };
-
-struct Scope {
-  ScopeKind kind;
-  size_t fn_index;  // Valid when kind == kFunction.
-};
-
-}  // namespace
-
-std::vector<FnDef> FindFunctionDefs(const std::vector<Token>& code) {
-  // Work on the non-preprocessor view; remember each token's index in the
-  // original stream so body spans can be scanned there later.
-  std::vector<size_t> orig;
-  orig.reserve(code.size());
-  for (size_t i = 0; i < code.size(); ++i) {
-    if (!code[i].pp) orig.push_back(i);
-  }
-
-  std::vector<FnDef> defs;
-  std::vector<Scope> stack;
-  std::vector<size_t> stmt;  // Indices into `orig` since the last boundary.
-  int paren = 0;
-
-  auto classify = [&](const std::vector<size_t>& s) -> ScopeKind {
-    if (!stack.empty() && (stack.back().kind == ScopeKind::kFunction ||
-                           stack.back().kind == ScopeKind::kOther)) {
-      return ScopeKind::kOther;  // Blocks inside bodies are never defs.
-    }
-    if (s.empty()) return ScopeKind::kOther;
-    const Token& first = code[orig[s[0]]];
-    if (IsIdent(first, "namespace")) return ScopeKind::kNamespace;
-    // class/struct/enum/union before any '(' is a type body; a '(' first
-    // means the keyword is inside a signature (e.g. an elaborated return
-    // type), which stays eligible as a function.
-    for (size_t k : s) {
-      const Token& t = code[orig[k]];
-      if (IsPunct(t, "(")) break;
-      if (t.kind == Tok::kIdent && IsTypeKeyword(t.text)) {
-        return ScopeKind::kType;
-      }
-    }
-    if (first.kind == Tok::kIdent && IsControlKeyword(first.text)) {
-      return ScopeKind::kOther;
-    }
-    // Function shape: some identifier immediately followed by '(', and no
-    // '=' at statement-top-level before the body (that is an initializer —
-    // a lambda, an aggregate, a default member).
-    int depth = 0;
-    bool has_call_shape = false;
-    for (size_t j = 0; j < s.size(); ++j) {
-      const Token& t = code[orig[s[j]]];
-      if (IsPunct(t, "(")) {
-        ++depth;
-        if (!has_call_shape && j > 0 &&
-            code[orig[s[j - 1]]].kind == Tok::kIdent) {
-          has_call_shape = true;
-        }
-        continue;
-      }
-      if (IsPunct(t, ")")) {
-        --depth;
-        continue;
-      }
-      if (depth == 0 && IsPunct(t, "=")) return ScopeKind::kOther;
-    }
-    return has_call_shape ? ScopeKind::kFunction : ScopeKind::kOther;
-  };
-
-  for (size_t i = 0; i < orig.size(); ++i) {
-    const Token& t = code[orig[i]];
-    if (IsPunct(t, "(")) {
-      ++paren;
-      stmt.push_back(i);
-      continue;
-    }
-    if (IsPunct(t, ")")) {
-      --paren;
-      stmt.push_back(i);
-      continue;
-    }
-    if (paren > 0) {
-      stmt.push_back(i);
-      continue;
-    }
-    if (IsPunct(t, ";")) {
-      stmt.clear();
-      continue;
-    }
-    if (IsPunct(t, "{")) {
-      const ScopeKind kind = classify(stmt);
-      Scope scope{kind, 0};
-      if (kind == ScopeKind::kFunction) {
-        FnDef def;
-        def.line = code[orig[stmt[0]]].line;
-        def.body_begin = orig[i];
-        def.body_end = code.size();  // Patched when the scope pops.
-        for (size_t j = 0; j < stmt.size(); ++j) {
-          const Token& st = code[orig[stmt[j]]];
-          if (IsIdent(st, "TARGAD_HOT_PATH")) def.hot = true;
-          if (def.name.empty() && IsPunct(st, "(") && j > 0 &&
-              code[orig[stmt[j - 1]]].kind == Tok::kIdent) {
-            def.name = code[orig[stmt[j - 1]]].text;
-          }
-        }
-        scope.fn_index = defs.size();
-        defs.push_back(std::move(def));
-      }
-      stack.push_back(scope);
-      stmt.clear();
-      continue;
-    }
-    if (IsPunct(t, "}")) {
-      if (!stack.empty()) {
-        if (stack.back().kind == ScopeKind::kFunction) {
-          defs[stack.back().fn_index].body_end = orig[i] + 1;
-        }
-        stack.pop_back();
-      }
-      stmt.clear();
-      continue;
-    }
-    stmt.push_back(i);
-  }
-
-  // Collect called names per body (identifier immediately followed by '(',
-  // minus keywords), for the one-level propagation step.
-  for (FnDef& def : defs) {
-    std::set<std::string> seen;
-    for (size_t i = def.body_begin; i + 1 < def.body_end; ++i) {
-      if (code[i].pp || code[i].kind != Tok::kIdent) continue;
-      size_t j = i + 1;
-      while (j < def.body_end && code[j].pp) ++j;
-      if (j >= def.body_end || !IsPunct(code[j], "(")) continue;
-      if (IsCallLikeKeyword(code[i].text)) continue;
-      if (seen.insert(code[i].text).second) def.calls.push_back(code[i].text);
-    }
-  }
-  return defs;
-}
-
-namespace {
-
-// Scans one function body for ban violations. `via` names the hot caller
-// when `def` is a propagated helper (empty for the hot function itself).
-void ScanBody(const std::string& rel, const std::vector<Token>& code,
-              const FnDef& def, const std::string& via,
-              std::vector<Finding>* out) {
-  const std::string suffix =
-      via.empty()
-          ? " in TARGAD_HOT_PATH function " + def.name + "()"
-          : " in " + def.name + "(), called from TARGAD_HOT_PATH " + via +
-                "()";
+void ScanHotPathBans(const std::string& rel, const std::vector<Token>& code,
+                     size_t body_begin, size_t body_end,
+                     const std::string& suffix, std::vector<Finding>* out) {
   auto report = [&](int line, const char* rule, const std::string& what) {
     out->push_back({rel, line, rule, what + suffix});
   };
   auto next_code = [&](size_t i) -> size_t {
     size_t j = i + 1;
-    while (j < def.body_end && code[j].pp) ++j;
+    while (j < body_end && code[j].pp) ++j;
     return j;
   };
   auto followed_by_call = [&](size_t i) {
     const size_t j = next_code(i);
-    return j < def.body_end && (IsPunct(code[j], "(") || IsPunct(code[j], "<"));
+    return j < body_end && (IsPunct(code[j], "(") || IsPunct(code[j], "<"));
   };
 
   static const std::set<std::string> kAllocCalls = {
@@ -215,7 +36,7 @@ void ScanBody(const std::string& rel, const std::vector<Token>& code,
       "connect",   "getline",     "fread",   "fgets",
   };
 
-  for (size_t i = def.body_begin; i < def.body_end; ++i) {
+  for (size_t i = body_begin; i < body_end; ++i) {
     const Token& t = code[i];
     if (t.pp || t.kind != Tok::kIdent) continue;
     const std::string& s = t.text;
@@ -234,15 +55,15 @@ void ScanBody(const std::string& rel, const std::vector<Token>& code,
     }
     if (s == "std") {
       const size_t j = next_code(i);
-      if (j < def.body_end && IsPunct(code[j], "::")) {
+      if (j < body_end && IsPunct(code[j], "::")) {
         const size_t k = next_code(j);
-        if (k < def.body_end && IsIdent(code[k], "string")) {
+        if (k < body_end && IsIdent(code[k], "string")) {
           // `std::string::npos` is a scope access and `std::string&` /
           // `std::string*` name the type without constructing one; only a
           // use that can materialize a string is a violation.
           const size_t m = next_code(k);
           const bool type_only =
-              m < def.body_end &&
+              m < body_end &&
               (IsPunct(code[m], "::") || IsPunct(code[m], "&") ||
                IsPunct(code[m], "*"));
           if (!type_only) {
@@ -275,32 +96,6 @@ void ScanBody(const std::string& rel, const std::vector<Token>& code,
       continue;
     }
   }
-}
-
-}  // namespace
-
-std::vector<Finding> CheckHotPathPurity(const std::string& rel,
-                                        const std::vector<Token>& code) {
-  std::vector<Finding> findings;
-  std::vector<FnDef> defs = FindFunctionDefs(code);
-  std::map<std::string, std::vector<const FnDef*>> by_name;
-  for (const FnDef& d : defs) by_name[d.name].push_back(&d);
-
-  std::set<const FnDef*> scanned_helpers;
-  for (const FnDef& d : defs) {
-    if (!d.hot) continue;
-    ScanBody(rel, code, d, "", &findings);
-    for (const std::string& callee : d.calls) {
-      auto it = by_name.find(callee);
-      if (it == by_name.end()) continue;
-      for (const FnDef* helper : it->second) {
-        if (helper == &d || helper->hot) continue;
-        if (!scanned_helpers.insert(helper).second) continue;
-        ScanBody(rel, code, *helper, d.name, &findings);
-      }
-    }
-  }
-  return findings;
 }
 
 }  // namespace lint

@@ -1,8 +1,9 @@
-// Hot-path purity pass: functions annotated TARGAD_HOT_PATH (see
+// Hot-path purity bans: functions annotated TARGAD_HOT_PATH (see
 // src/common/hot_path.h for the contract) must not allocate, build strings,
-// take locks, log, or block. The check is token-based and intra-TU, with
-// one level of call-graph propagation: a helper DEFINED in the same file
-// and CALLED from a hot function is held to the same bans.
+// take locks, log, or block. This header owns the token-level ban scanner;
+// the whole-program transitive pass in tools/lint/graph.h decides WHICH
+// bodies to scan (every function reachable from a hot root over the
+// cross-TU call graph, stopping at TARGAD_HOT_PATH_TRUSTED boundaries).
 //
 // Rule ids (one per ban family, so findings read precisely and self-tests
 // can seed each independently):
@@ -31,25 +32,14 @@
 namespace targad {
 namespace lint {
 
-/// One function definition discovered in a token stream.
-struct FnDef {
-  std::string name;          // Unqualified name (Foo::Bar -> Bar).
-  int line = 0;              // Line of the definition's header.
-  bool hot = false;          // TARGAD_HOT_PATH appeared before the body.
-  size_t body_begin = 0;     // Code-token index of the body's '{'.
-  size_t body_end = 0;       // Code-token index one past the body's '}'.
-  std::vector<std::string> calls;  // Unqualified names called in the body.
-};
-
-/// Scans `code` (non-comment tokens, preprocessor tokens ignored) for
-/// function definitions at namespace/class scope.
-std::vector<FnDef> FindFunctionDefs(const std::vector<Token>& code);
-
-/// Runs the purity bans over every TARGAD_HOT_PATH function in `code` and
-/// over same-file helpers they call (one level). Findings are returned
-/// un-filtered; the caller applies the allow() hatch.
-std::vector<Finding> CheckHotPathPurity(const std::string& rel,
-                                        const std::vector<Token>& code);
+/// Scans the code-token span [body_begin, body_end) of one function body
+/// for hot-path ban violations (preprocessor tokens ignored). `suffix` is
+/// appended to every message — it names the scanned function and the hot
+/// root that reaches it. Findings are returned un-filtered; the caller
+/// applies the allow() hatch.
+void ScanHotPathBans(const std::string& rel, const std::vector<Token>& code,
+                     size_t body_begin, size_t body_end,
+                     const std::string& suffix, std::vector<Finding>* out);
 
 }  // namespace lint
 }  // namespace targad

@@ -299,12 +299,186 @@ std::vector<SelfCase> Cases() {
        "}\n"
        "int ColdFine(int n) { return *(new int(n)); }\n",
        {}},
+      // ---- whole-program passes (tools/lint/graph.h). The fixture rank
+      // table plays the role common/lock_rank.h plays in the real tree;
+      // kNetSession/kNetReady are spelled exactly because the poll pass's
+      // allowed-rank set is name-based.
+      {"common/ranks_fixture.h",
+       "#ifndef TARGAD_COMMON_RANKS_FIXTURE_H_\n"
+       "#define TARGAD_COMMON_RANKS_FIXTURE_H_\n"
+       "#define TARGAD_LOCK_RANK_TABLE(X) \\\n"
+       "  X(kLow, 10)                     \\\n"
+       "  X(kNetSession, 14)              \\\n"
+       "  X(kNetReady, 16)                \\\n"
+       "  X(kMid, 20)                     \\\n"
+       "  X(kHigh, 30)\n"
+       "#endif\n",
+       {}},
+      // lock-order, same-TU: a direct rank inversion under an active guard
+      // (line 11) and an inversion against a TARGAD_REQUIRES entry-held
+      // rank merged from the in-class declaration (line 14).
+      {"serve/lockorder.cc",
+       "class Inverted {\n"
+       " public:\n"
+       "  void Bad();\n"
+       "  void BadLocked() TARGAD_REQUIRES(high_);\n"
+       " private:\n"
+       "  RankedMutex low_{LockRank::kLow};\n"
+       "  RankedMutex high_{LockRank::kHigh};\n"
+       "};\n"
+       "void Inverted::Bad() {\n"
+       "  MutexLock a(&high_);\n"
+       "  MutexLock b(&low_);\n"
+       "}\n"
+       "void Inverted::BadLocked() {\n"
+       "  MutexLock c(&low_);\n"
+       "}\n",
+       {{"lock-order", 11}, {"lock-order", 14}}},
+      // lock-order, clean: ascending acquisition, a scoped guard that pops
+      // before the next acquire, and an unlock() window — re-acquiring kLow
+      // at line 15 is legal only because `lock` released it at line 14.
+      {"serve/lockorder_ok.cc",
+       "class Ordered {\n"
+       " public:\n"
+       "  void Fine();\n"
+       "  void Sweep() TARGAD_REQUIRES(low_);\n"
+       " private:\n"
+       "  RankedMutex low_{LockRank::kLow};\n"
+       "  RankedMutex high_{LockRank::kHigh};\n"
+       "};\n"
+       "void Ordered::Fine() {\n"
+       "  MutexLock lock(&low_);\n"
+       "  {\n"
+       "    MutexLock b(&high_);\n"
+       "  }\n"
+       "  lock.unlock();\n"
+       "  MutexLock c(&low_);\n"
+       "}\n"
+       "void Ordered::Sweep() {\n"
+       "  MutexLock d(&high_);\n"
+       "}\n",
+       {}},
+      // lock-order, cross-TU: callees in xtu_b.cc acquire ranks; callers in
+      // xtu_a.cc hold kMid at the call. The free-function chain (line 4)
+      // propagates a body acquire; the method call (line 5) propagates a
+      // TARGAD_ACQUIRE annotation through receiver-type resolution. The
+      // ascending call at line 9 stays clean.
+      {"net/xtu_b.cc",
+       "RankedMutex g_xtu_low{LockRank::kLow};\n"
+       "RankedMutex g_xtu_high{LockRank::kHigh};\n"
+       "void XtuAcquireLow() {\n"
+       "  MutexLock lock(&g_xtu_low);\n"
+       "}\n"
+       "void XtuAcquireHigh() {\n"
+       "  MutexLock lock(&g_xtu_high);\n"
+       "}\n"
+       "class XtuReady {\n"
+       " public:\n"
+       "  void Publish() TARGAD_ACQUIRE(ready_mu_);\n"
+       " private:\n"
+       "  RankedMutex ready_mu_{LockRank::kNetReady};\n"
+       "};\n"
+       "void XtuReady::Publish() {}\n",
+       {}},
+      {"net/xtu_a.cc",
+       "RankedMutex g_xtu_mid{LockRank::kMid};\n"
+       "void StageUnderMid(XtuReady* rs) {\n"
+       "  MutexLock lock(&g_xtu_mid);\n"
+       "  XtuAcquireLow();\n"
+       "  rs->Publish();\n"
+       "}\n"
+       "void StageClean() {\n"
+       "  MutexLock lock(&g_xtu_mid);\n"
+       "  XtuAcquireHigh();\n"
+       "}\n",
+       {{"lock-order", 4}, {"lock-order", 5}}},
+      // Transitive purity, cross-TU: the hot entry is clean itself but
+      // reaches an allocating helper DEFINED IN ANOTHER FILE; the finding
+      // lands in the helper's file.
+      {"nn/kernels/chain_a.cc",
+       "int DeepScratch(int n);\n"
+       "TARGAD_HOT_PATH int HotEntry(int n) { return DeepScratch(n); }\n",
+       {}},
+      {"nn/kernels/chain_b.cc",
+       "int DeepScratch(int n) {\n"
+       "  int* p = new int[n];\n"
+       "  return p[0];\n"
+       "}\n",
+       {{"hot-path-alloc", 2}}},
+      // TARGAD_HOT_PATH_TRUSTED is an audited boundary: traversal stops and
+      // the trusted body is not scanned, so the allocation at line 2 is
+      // deliberate and clean.
+      {"nn/kernels/trusted.cc",
+       "TARGAD_HOT_PATH_TRUSTED int AuditedScratch(int n) {\n"
+       "  int* p = new int[n];\n"
+       "  return p[0];\n"
+       "}\n"
+       "TARGAD_HOT_PATH int HotViaTrusted(int n) { return AuditedScratch(n); }\n",
+       {}},
+      // Poll-thread reachability: the TARGAD_POLL_THREAD root's own poll()
+      // is the event wait (exempt, line 6) and kNetSession is an allowed
+      // rank (line 7); but the reachable helper takes kMid (line 13) and
+      // blocks (line 14), and `backlog` grows without a per-iteration reset
+      // (line 9). The allow() hatch still applies (line 15).
+      {"net/pollroot.cc",
+       "RankedMutex g_sess_mu{LockRank::kNetSession};\n"
+       "RankedMutex g_reg_mu{LockRank::kMid};\n"
+       "TARGAD_POLL_THREAD void EventLoop(int nfds) {\n"
+       "  std::vector<int> backlog;\n"
+       "  for (;;) {\n"
+       "    poll(nullptr, 0, nfds);\n"
+       "    MutexLock lock(&g_sess_mu);\n"
+       "    PumpOne(nfds);\n"
+       "    backlog.push_back(nfds);\n"
+       "  }\n"
+       "}\n"
+       "void PumpOne(int fd) {\n"
+       "  MutexLock lock(&g_reg_mu);\n"
+       "  usleep(fd);\n"
+       "  nanosleep(0, 0);  // targad-lint: allow(poll-thread-block)\n"
+       "}\n",
+       {{"poll-thread-alloc-loop", 9},
+        {"poll-thread-lock", 13},
+        {"poll-thread-block", 14}}},
+      // ...and the clean shape: kNetReady guard, batch buffer reset every
+      // iteration before it grows.
+      {"net/pollroot_ok.cc",
+       "RankedMutex g_ready_mu{LockRank::kNetReady};\n"
+       "TARGAD_POLL_THREAD void DrainLoop(int nfds) {\n"
+       "  std::vector<int> batch;\n"
+       "  for (;;) {\n"
+       "    poll(nullptr, 0, nfds);\n"
+       "    MutexLock lock(&g_ready_mu);\n"
+       "    batch.clear();\n"
+       "    batch.push_back(nfds);\n"
+       "  }\n"
+       "}\n",
+       {}},
+      // IWYU-lite regression: the included header's only symbol is consumed
+      // via a macro invocation SPLICED across physical lines. Universal
+      // phase-2 splicing makes it one identifier token, so the include is
+      // used — the v4 lexer spliced only inside directives and flagged it.
+      {"common/splice_macro.h",
+       "#ifndef TARGAD_COMMON_SPLICE_MACRO_H_\n"
+       "#define TARGAD_COMMON_SPLICE_MACRO_H_\n"
+       "#define SPLICE_DCHECK(x) ((void)(x))\n"
+       "#endif\n",
+       {}},
+      {"serve/splice_user.cc",
+       "#include \"common/splice_macro.h\"\n"
+       "void SpliceUser(int v) {\n"
+       "  SPLICE_\\\n"
+       "DCHECK(v);\n"
+       "}\n",
+       {}},
   };
 }
 
 }  // namespace
 
 int RunSelfTest() {
+  int failures = RunLexerSelfTest();
+
   const fs::path dir =
       fs::temp_directory_path() /
       ("targad_lint_selftest_" + std::to_string(::getpid()));
@@ -327,7 +501,6 @@ int RunSelfTest() {
   for (const Finding& f : findings) {
     got.insert({f.file + ":" + std::to_string(f.line), f.rule});
   }
-  int failures = 0;
   std::set<std::pair<std::string, std::string>> expected;
   for (const SelfCase& c : cases) {
     for (const auto& [rule, line] : c.expect) {

@@ -11,6 +11,11 @@ namespace lint {
 /// Returns 0 on success, 1 on any mismatch (details on stderr).
 int RunSelfTest();
 
+/// Lexer edge-case unit test (tools/lint/lexer_selftest.cc): digit
+/// separators, hex floats, UDL suffixes, and line-spliced tokens. Run by
+/// RunSelfTest; callable standalone. Returns 0 on success.
+int RunLexerSelfTest();
+
 }  // namespace lint
 }  // namespace targad
 
