@@ -7,10 +7,18 @@
 // latency. float64 serves the TargAdPipeline itself; float32 serves the
 // frozen core::FrozenScorer built by TargAdPipeline::Freeze.
 //
+// A cold-start phase times bringing a model from disk to servable: the
+// text path (TargAdPipeline::Load parse + Freeze) against the flat-artifact
+// path (FrozenScorer::LoadArtifact — mmap + pointer fixup, no parse, no
+// tensor copies). This is the registry's cold->warm promotion cost, i.e.
+// the latency a routed row pays when it faults a model into the warm tier.
+//
 // Output: table on stdout, bench_serve_throughput.csv (CsvSink convention),
 // and serve_throughput.json for the bench trajectory.
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -116,6 +124,72 @@ CellResult RunCell(const std::shared_ptr<const core::RowScorer>& scorer_snapshot
   return result;
 }
 
+struct ColdStartResult {
+  uint64_t text_load_us = 0;      ///< Median parse-and-freeze latency.
+  uint64_t artifact_load_us = 0;  ///< Median mmap-and-fixup latency.
+  double speedup = 0.0;
+  size_t artifact_bytes = 0;
+};
+
+// Cold-start: disk -> servable scorer, text parse vs flat artifact. Both
+// loops re-load the same file kLoads times; the first (untimed) load of
+// each warms the page cache, so the medians compare parse/fixup work, not
+// disk. The loaded scorers' dims feed a checksum so no load is elided.
+ColdStartResult RunColdStart(core::TargAdPipeline& pipeline) {
+  const std::string text_path = "bench_cold_start.targad";
+  const std::string artifact_path = "bench_cold_start.tgz1";
+  {
+    std::ofstream out(text_path);
+    TARGAD_CHECK(pipeline.Save(out).ok());
+  }
+  {
+    auto frozen = pipeline.Freeze(nn::Dtype::kFloat32).ValueOrDie();
+    TARGAD_CHECK(frozen.SaveArtifact(artifact_path).ok());
+  }
+
+  constexpr int kLoads = 30;
+  size_t sink = 0;
+  auto median_us = [&](auto&& load_once) -> uint64_t {
+    sink += load_once();  // Warm the page cache, untimed.
+    std::vector<uint64_t> samples;
+    samples.reserve(kLoads);
+    for (int i = 0; i < kLoads; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      sink += load_once();
+      samples.push_back(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  };
+
+  ColdStartResult result;
+  result.text_load_us = median_us([&]() -> size_t {
+    std::ifstream in(text_path);
+    auto loaded = core::TargAdPipeline::Load(in).ValueOrDie();
+    auto frozen = loaded.Freeze(nn::Dtype::kFloat32).ValueOrDie();
+    return static_cast<size_t>(frozen.m() + frozen.k());
+  });
+  result.artifact_load_us = median_us([&]() -> size_t {
+    auto frozen = core::FrozenScorer::LoadArtifact(artifact_path).ValueOrDie();
+    return static_cast<size_t>(frozen.m() + frozen.k());
+  });
+  result.speedup = result.artifact_load_us == 0
+                       ? 0.0
+                       : static_cast<double>(result.text_load_us) /
+                             static_cast<double>(result.artifact_load_us);
+  {
+    std::ifstream artifact(artifact_path, std::ios::binary | std::ios::ate);
+    result.artifact_bytes = static_cast<size_t>(artifact.tellg());
+  }
+  TARGAD_CHECK(sink != 0);
+  std::remove(text_path.c_str());
+  std::remove(artifact_path.c_str());
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -128,7 +202,8 @@ int main() {
   config.model.selection.k = 2;
   config.model.selection.autoencoder.epochs = 10;
   config.model.epochs = 15;
-  auto pipeline = std::make_shared<const core::TargAdPipeline>(
+  // Non-const: the cold-start phase needs Save(), which is not const.
+  auto pipeline = std::make_shared<core::TargAdPipeline>(
       core::TargAdPipeline::Train(MakeTrainingTable(7, n_train), config)
           .ValueOrDie());
   auto frozen32 = std::make_shared<const core::FrozenScorer>(
@@ -172,6 +247,15 @@ int main() {
     }
   }
 
+  const ColdStartResult cold = RunColdStart(*pipeline);
+  std::printf(
+      "\ncold start (disk -> servable, median of 30 loads, float32):\n"
+      "  text parse+freeze: %llu us   artifact mmap+fixup: %llu us   "
+      "speedup: %.1fx   artifact: %zu bytes\n",
+      static_cast<unsigned long long>(cold.text_load_us),
+      static_cast<unsigned long long>(cold.artifact_load_us), cold.speedup,
+      cold.artifact_bytes);
+
   // JSON trajectory record (one object per grid cell).
   std::ofstream json("serve_throughput.json");
   json << "{\n  \"bench\": \"serve_throughput\",\n"
@@ -181,6 +265,10 @@ int main() {
        << "  \"kernel_tiling\": {\"threads\": " << tiling.threads
        << ", \"min_flops\": " << tiling.min_flops
        << ", \"min_rows_per_tile\": " << tiling.min_rows_per_tile << "},\n"
+       << "  \"cold_start\": {\"text_load_us\": " << cold.text_load_us
+       << ", \"artifact_load_us\": " << cold.artifact_load_us
+       << ", \"speedup\": " << FormatDouble(cold.speedup, 1)
+       << ", \"artifact_bytes\": " << cold.artifact_bytes << "},\n"
        << "  \"results\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const CellResult& r = results[i];

@@ -12,7 +12,9 @@
 #ifndef TARGAD_CORE_FROZEN_SCORER_H_
 #define TARGAD_CORE_FROZEN_SCORER_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -22,6 +24,10 @@
 #include "nn/frozen.h"
 
 namespace targad {
+namespace nn {
+class MappedArtifact;  // nn/artifact.h; only frozen_artifact.cc needs it.
+}  // namespace nn
+
 namespace core {
 
 /// Dtype-frozen RawTable scorer with the same Score contract as the
@@ -66,6 +72,24 @@ class FrozenScorer : public RowScorer {
     return spec_.class_names;
   }
 
+  /// Serializes this frozen scorer into a flat mmap-able ".tgz1" artifact:
+  /// the schema/preprocessing metadata as the artifact's meta blob and the
+  /// already-cast dtype parameters as aligned tensor sections, so a
+  /// LoadArtifact of the file scores bit-identically to this scorer.
+  [[nodiscard]] Status SaveArtifact(const std::string& path) const;
+
+  /// Zero-copy load: maps `path`, validates it once, and builds the scorer
+  /// by pointer fixup over the mapped bytes — weights are never copied.
+  /// The returned scorer (and every snapshot copy of it) pins the mapping
+  /// until the last reference drops, so in-flight scores stay valid across
+  /// a registry eviction or republish.
+  [[nodiscard]] static Result<FrozenScorer> LoadArtifact(
+      const std::string& path);
+
+  /// True when this scorer borrows a mapped artifact (LoadArtifact); false
+  /// for Freeze-built scorers whose nets own their arena.
+  bool mapped() const { return backing_ != nullptr; }
+
  private:
   /// The dtype-specific half: frozen net plus normalizer statistics
   /// converted once at freeze time.
@@ -82,9 +106,20 @@ class FrozenScorer : public RowScorer {
   [[nodiscard]] Result<std::vector<double>> ScoreTyped(const Typed<T>& model,
                                          const data::RawTable& features) const;
 
+  /// LoadArtifact's dtype-typed half: views over the mapped sections plus
+  /// copies of the small normalizer vectors. `step_meta` is the
+  /// (activation id, leaky slope) list parsed from the meta blob.
+  template <typename T>
+  [[nodiscard]] static Result<Typed<T>> BuildTyped(
+      const nn::MappedArtifact& artifact,
+      const std::vector<std::pair<int, double>>& step_meta);
+
   Spec spec_;
   nn::Dtype dtype_ = nn::Dtype::kFloat64;
   std::variant<Typed<double>, Typed<float>> model_;
+  /// Keeps the mmap-ed artifact alive while any copy of this scorer (or a
+  /// net view into it) exists; null for Freeze-built scorers.
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace core

@@ -388,6 +388,22 @@ void TcpServer::DispatchLine(const std::shared_ptr<Session>& s,
       stats += std::to_string(inflight_rows_.load(std::memory_order_relaxed));
       stats += " draining=";
       stats += draining() ? '1' : '0';
+      if (options_.serve_metrics != nullptr) {
+        // Model-registry tiering counters ride along when the CLI wired a
+        // serve-metrics sink into the server.
+        const serve::MetricsSnapshot serve_snapshot =
+            options_.serve_metrics->Snapshot();
+        stats += " reg_hits=";
+        stats += std::to_string(serve_snapshot.registry_hits);
+        stats += " reg_misses=";
+        stats += std::to_string(serve_snapshot.registry_misses);
+        stats += " reg_evictions=";
+        stats += std::to_string(serve_snapshot.registry_evictions);
+        stats += " reg_loads=";
+        stats += std::to_string(serve_snapshot.registry_loads);
+        stats += " reg_load_p99_us=";
+        stats += std::to_string(serve_snapshot.registry_load_p99_us);
+      }
       s->Complete(seq, FormatOk(stats));
       return;
     }

@@ -1,6 +1,7 @@
 #include "nn/frozen.h"
 
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "common/hot_path.h"
@@ -54,14 +55,22 @@ std::vector<T> CastVector(const std::vector<double>& v) {
 
 template <typename T>
 Result<FrozenNetT<T>> FrozenNetT<T>::Freeze(const Sequential& net) {
-  FrozenNetT frozen;
+  // Gather the fused steps into owning staging storage first; the packed
+  // arena is sized and filled once the architecture has validated.
+  struct Staged {
+    MatrixT<T> weight;
+    std::vector<T> bias;
+    Activation act = Activation::kNone;
+    T leaky_slope = T(0);
+  };
+  std::vector<Staged> staged;
   for (size_t i = 0; i < net.num_layers(); ++i) {
     const Layer* layer = net.layer(i);
     if (const auto* linear = dynamic_cast<const Linear*>(layer)) {
-      FrozenStepT<T> step;
+      Staged step;
       step.weight = CastMatrix<T>(linear->weight());
       step.bias = CastVector<T>(linear->bias().Row(0));
-      frozen.steps_.push_back(std::move(step));
+      staged.push_back(std::move(step));
       continue;
     }
     if (dynamic_cast<const Dropout*>(layer) != nullptr) {
@@ -82,20 +91,76 @@ Result<FrozenNetT<T>> FrozenNetT<T>::Freeze(const Sequential& net) {
       return Status::InvalidArgument("freeze: unsupported layer '",
                                      layer->name(), "'");
     }
-    if (frozen.steps_.empty() ||
-        frozen.steps_.back().act != Activation::kNone) {
+    if (staged.empty() || staged.back().act != Activation::kNone) {
       return Status::InvalidArgument(
           "freeze: activation '", layer->name(),
           "' has no preceding Linear layer to fuse into");
     }
-    frozen.steps_.back().act = act;
-    frozen.steps_.back().leaky_slope = slope;
+    staged.back().act = act;
+    staged.back().leaky_slope = slope;
   }
-  if (frozen.steps_.empty()) {
+  if (staged.empty()) {
     return Status::InvalidArgument("freeze: network has no Linear layers");
   }
-  frozen.input_dim_ = frozen.steps_.front().weight.rows();
-  frozen.output_dim_ = frozen.steps_.back().weight.cols();
+
+  // Pack weights and biases back to back into one arena; the steps become
+  // views into it, exactly like steps over a mapped artifact.
+  size_t total = 0;
+  for (const Staged& s : staged) {
+    total += s.weight.data().size() + s.bias.size();
+  }
+  // reserve() up front, so the arena never reallocates while the step
+  // pointers below are being taken.
+  auto arena = std::make_shared<std::vector<T>>();
+  arena->reserve(total);
+  FrozenNetT frozen;
+  frozen.steps_.reserve(staged.size());
+  for (const Staged& s : staged) {
+    FrozenStepT<T> step;
+    step.in = s.weight.rows();
+    step.out = s.weight.cols();
+    step.act = s.act;
+    step.leaky_slope = s.leaky_slope;
+    const size_t weight_at = arena->size();
+    arena->insert(arena->end(), s.weight.data().begin(), s.weight.data().end());
+    const size_t bias_at = arena->size();
+    arena->insert(arena->end(), s.bias.begin(), s.bias.end());
+    step.weight = arena->data() + weight_at;
+    step.bias = arena->data() + bias_at;
+    frozen.steps_.push_back(step);
+  }
+  frozen.arena_ = std::move(arena);
+  frozen.input_dim_ = frozen.steps_.front().in;
+  frozen.output_dim_ = frozen.steps_.back().out;
+  return frozen;
+}
+
+template <typename T>
+Result<FrozenNetT<T>> FrozenNetT<T>::FromSteps(
+    std::vector<FrozenStepT<T>> steps) {
+  if (steps.empty()) {
+    return Status::InvalidArgument("frozen net: no steps");
+  }
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const FrozenStepT<T>& step = steps[i];
+    if (step.weight == nullptr || step.bias == nullptr) {
+      return Status::InvalidArgument("frozen net: step ", i,
+                                     " has null parameter storage");
+    }
+    if (step.in == 0 || step.out == 0) {
+      return Status::InvalidArgument("frozen net: step ", i,
+                                     " has an empty dimension");
+    }
+    if (i > 0 && steps[i - 1].out != step.in) {
+      return Status::InvalidArgument("frozen net: step ", i, " expects ",
+                                     step.in, " inputs, step ", i - 1,
+                                     " emits ", steps[i - 1].out);
+    }
+  }
+  FrozenNetT frozen;
+  frozen.input_dim_ = steps.front().in;
+  frozen.output_dim_ = steps.back().out;
+  frozen.steps_ = std::move(steps);
   return frozen;
 }
 
@@ -107,12 +172,14 @@ TARGAD_HOT_PATH MatrixT<T> FrozenNetT<T>::Infer(const MatrixT<T>& x) const {
     // One fused pass per step: matmul + bias + activation while the output
     // row is still in cache. The scalar kernel keeps the same arithmetic, in
     // the same order, as Linear::Infer followed by the activation's Infer —
-    // the bit-identity contract for T = double.
-    MatrixT<T> y(h.rows(), step.weight.cols());
-    kernels::FusedAffineActivation(
-        h.rows(), step.weight.cols(), h.cols(), h.data().data(),
-        step.weight.data().data(), step.bias.data(), ToKernelAct(step.act),
-        step.leaky_slope, y.data().data());
+    // the bit-identity contract for T = double. The kernel reads the step's
+    // borrowed pointers directly, so the same loop serves arena-backed and
+    // mapped-artifact plans.
+    MatrixT<T> y(h.rows(), step.out);
+    kernels::FusedAffineActivation(h.rows(), step.out, h.cols(),
+                                   h.data().data(), step.weight, step.bias,
+                                   ToKernelAct(step.act), step.leaky_slope,
+                                   y.data().data());
     h = std::move(y);
   }
   h.DebugCheckFinite("FrozenNet::Infer output");

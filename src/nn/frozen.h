@@ -15,6 +15,7 @@
 #ifndef TARGAD_NN_FROZEN_H_
 #define TARGAD_NN_FROZEN_H_
 
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -34,18 +35,27 @@ const char* DtypeName(Dtype dtype);
 /// Parses "float32"/"f32" or "float64"/"f64"/"double" (case-insensitive).
 [[nodiscard]] Result<Dtype> ParseDtype(const std::string& text);
 
-/// One fused inference step: y = act(x W + b).
+/// One fused inference step: y = act(x W + b). The step itself is a view —
+/// `weight` and `bias` point into storage owned elsewhere (the net's packed
+/// arena for heap-built plans, a mapped artifact for zero-copy loads), so
+/// constructing a plan over an artifact is pointer fixup, never a copy.
 template <typename T>
 struct FrozenStepT {
-  MatrixT<T> weight;      ///< (in x out), converted from the trained Linear.
-  std::vector<T> bias;    ///< Length out.
+  const T* weight = nullptr;  ///< Row-major (in x out), borrowed.
+  const T* bias = nullptr;    ///< Length out, borrowed.
+  size_t in = 0;
+  size_t out = 0;
   Activation act = Activation::kNone;
-  T leaky_slope = T(0);   ///< Only meaningful when act == kLeakyReLU.
+  T leaky_slope = T(0);       ///< Only meaningful when act == kLeakyReLU.
 };
 
 /// A fitted network frozen to a flat list of fused steps in dtype T.
-/// Immutable after Freeze, so one frozen net can score from any number of
-/// threads concurrently.
+/// Immutable after construction, so one frozen net can score from any
+/// number of threads concurrently. Freeze packs all parameters into one
+/// shared arena (copies of the net stay cheap and safe); FromSteps wraps
+/// storage owned by the caller — e.g. an mmap-ed artifact — without
+/// copying, and whoever supplied the pointers must keep them alive for the
+/// net's lifetime (core::FrozenScorer pins the mapping via shared_ptr).
 template <typename T>
 class FrozenNetT {
  public:
@@ -53,8 +63,15 @@ class FrozenNetT {
   /// Linear / activation stacks with optional Dropout anywhere (Dropout is
   /// identity at inference and is dropped); anything else — an activation
   /// with no preceding Linear, or an unknown layer type — is rejected with
-  /// InvalidArgument.
+  /// InvalidArgument. Parameters are copied once into a packed arena the
+  /// net owns (shared across copies).
   [[nodiscard]] static Result<FrozenNetT> Freeze(const Sequential& net);
+
+  /// Non-owning view over externally owned step storage. Validates the
+  /// shape chain (steps[i].out == steps[i+1].in, no null pointers, at
+  /// least one step); the borrowed storage must outlive the net.
+  [[nodiscard]] static Result<FrozenNetT> FromSteps(
+      std::vector<FrozenStepT<T>> steps);
 
   /// Flat fused forward pass. Thread-safe (const, no caches).
   MatrixT<T> Infer(const MatrixT<T>& x) const;
@@ -63,9 +80,15 @@ class FrozenNetT {
   size_t output_dim() const { return output_dim_; }
   size_t num_steps() const { return steps_.size(); }
   const std::vector<FrozenStepT<T>>& steps() const { return steps_; }
+  /// True for Freeze-built nets (packed arena); false for FromSteps views.
+  bool owns_storage() const { return arena_ != nullptr; }
 
  private:
   std::vector<FrozenStepT<T>> steps_;
+  /// Packed parameter storage for Freeze-built nets; null for FromSteps
+  /// views, whose pointers the caller keeps alive. Shared so copying a
+  /// frozen net never invalidates step pointers.
+  std::shared_ptr<const std::vector<T>> arena_;
   size_t input_dim_ = 0;
   size_t output_dim_ = 0;
 };

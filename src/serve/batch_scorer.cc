@@ -21,8 +21,12 @@ uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
 constexpr const char BatchScorer::kDefaultModel[];
 
 BatchScorer::BatchScorer(NamedSnapshotProvider provider,
-                         BatchScorerOptions options, ServeMetrics* metrics)
-    : provider_(std::move(provider)), options_(options), metrics_(metrics) {
+                         BatchScorerOptions options, ServeMetrics* metrics,
+                         ModelLister lister)
+    : provider_(std::move(provider)),
+      options_(options),
+      metrics_(metrics),
+      lister_(std::move(lister)) {
   if (options_.max_batch_size == 0) options_.max_batch_size = 1;
   if (options_.max_queue_rows == 0) options_.max_queue_rows = 1;
   if (options_.num_workers == 0) options_.num_workers = 1;
@@ -231,16 +235,27 @@ void BatchScorer::ScoreGroup(const std::string& model,
 
   if (snapshot == nullptr) {
     // No snapshot: the default model missing is a service-not-ready
-    // condition; any other name is a routing error of that row alone.
-    for (Pending* request : *rows) {
-      if (model == kDefaultModel) {
-        fulfill(request, Status::FailedPrecondition(
-                             "batch scorer: no model available"));
-      } else {
-        fulfill(request,
-                Status::NotFound("batch scorer: unknown model '", model, "'"));
+    // condition; any other name is a routing error of that row alone. The
+    // NotFound message names the routed model and offers the registered
+    // alternatives — composed once per group, shared by every row in it.
+    Status failure = Status::OK();
+    if (model == kDefaultModel) {
+      failure = Status::FailedPrecondition("batch scorer: no model available");
+    } else if (!lister_) {
+      failure = Status::NotFound("batch scorer: unknown model '", model, "'");
+    } else {
+      std::string available;
+      for (const std::string& name : lister_()) {
+        if (!available.empty()) available += ", ";
+        available += name;
       }
+      failure = available.empty()
+                    ? Status::NotFound("batch scorer: unknown model '", model,
+                                       "' (no models registered)")
+                    : Status::NotFound("batch scorer: unknown model '", model,
+                                       "' (available: ", available, ")");
     }
+    for (Pending* request : *rows) fulfill(request, failure);
     record_model();
     return;
   }

@@ -80,8 +80,14 @@ class BatchScorer {
   using SnapshotProvider =
       std::function<std::shared_ptr<const core::TargAdPipeline>()>;
 
+  /// Names the unknown-model NotFound message can offer as alternatives
+  /// ("available: a, b, ..."). Called on the failure path only — once per
+  /// failed batch group, never per row. Typically ModelRegistry::ListNames
+  /// in a lambda; both the stdio and TCP ERR paths share the message.
+  using ModelLister = std::function<std::vector<std::string>()>;
+
   BatchScorer(NamedSnapshotProvider provider, BatchScorerOptions options,
-              ServeMetrics* metrics = nullptr);
+              ServeMetrics* metrics = nullptr, ModelLister lister = nullptr);
 
   BatchScorer(SnapshotProvider provider, BatchScorerOptions options,
               ServeMetrics* metrics = nullptr);
@@ -159,6 +165,8 @@ class BatchScorer {
   NamedSnapshotProvider provider_;
   BatchScorerOptions options_;
   ServeMetrics* metrics_;
+  /// Set at construction, before the workers start; read-only afterwards.
+  ModelLister lister_;
 
   /// Lock order (rank-enforced): mu_ (kBatchScorerQueue) before swap_mu_
   /// (kBatchScorerSwap); in practice the two are never nested — workers

@@ -85,6 +85,11 @@ TARGAD_HOT_PATH void ServeMetrics::RecordFailed(uint64_t latency_us) {
   latencies_us_.Record(latency_us);
 }
 
+void ServeMetrics::RecordRegistryLoad(uint64_t load_us) {
+  registry_loads_.fetch_add(1, std::memory_order_relaxed);
+  registry_load_us_.Record(load_us);
+}
+
 MetricsSnapshot ServeMetrics::Snapshot() const {
   MetricsSnapshot s;
   s.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
@@ -101,8 +106,15 @@ MetricsSnapshot ServeMetrics::Snapshot() const {
   s.latency_p50_us = latencies_us_.PercentileUpperBound(0.50);
   s.latency_p95_us = latencies_us_.PercentileUpperBound(0.95);
   s.latency_p99_us = latencies_us_.PercentileUpperBound(0.99);
+  s.registry_hits = registry_hits_.load(std::memory_order_relaxed);
+  s.registry_misses = registry_misses_.load(std::memory_order_relaxed);
+  s.registry_evictions = registry_evictions_.load(std::memory_order_relaxed);
+  s.registry_loads = registry_loads_.load(std::memory_order_relaxed);
+  s.registry_load_p50_us = registry_load_us_.PercentileUpperBound(0.50);
+  s.registry_load_p99_us = registry_load_us_.PercentileUpperBound(0.99);
   s.batch_size_buckets = batch_sizes_.Buckets();
   s.latency_buckets = latencies_us_.Buckets();
+  s.registry_load_buckets = registry_load_us_.Buckets();
   {
     MutexLock lock(&model_mu_);
     s.per_model = model_rows_;
@@ -158,6 +170,21 @@ std::string MetricsSnapshot::ToText() const {
   out += line;
   out += "  batch-size histogram: " + DumpBuckets(batch_size_buckets) + "\n";
   out += "  latency histogram: " + DumpBuckets(latency_buckets) + "\n";
+  if (registry_hits + registry_misses + registry_evictions + registry_loads >
+      0) {
+    std::snprintf(line, sizeof(line),
+                  "  registry: %llu hits, %llu misses, %llu evictions, "
+                  "%llu loads (load us p50<%llu p99<%llu)\n",
+                  static_cast<unsigned long long>(registry_hits),
+                  static_cast<unsigned long long>(registry_misses),
+                  static_cast<unsigned long long>(registry_evictions),
+                  static_cast<unsigned long long>(registry_loads),
+                  static_cast<unsigned long long>(registry_load_p50_us),
+                  static_cast<unsigned long long>(registry_load_p99_us));
+    out += line;
+    out += "  registry load histogram: " + DumpBuckets(registry_load_buckets) +
+           "\n";
+  }
   for (const auto& [model, counters] : per_model) {
     std::snprintf(line, sizeof(line), "  model %s: %llu scored, %llu failed\n",
                   model.c_str(),

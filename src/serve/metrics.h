@@ -64,8 +64,18 @@ struct MetricsSnapshot {
   uint64_t latency_p50_us = 0;
   uint64_t latency_p95_us = 0;
   uint64_t latency_p99_us = 0;
+  /// Model-registry tiering counters (zero when no registry is attached):
+  /// warm-tier lookups, cold-tier promotions (each one a disk load), LRU
+  /// demotions, and the latency distribution of the loads themselves.
+  uint64_t registry_hits = 0;
+  uint64_t registry_misses = 0;
+  uint64_t registry_evictions = 0;
+  uint64_t registry_loads = 0;
+  uint64_t registry_load_p50_us = 0;
+  uint64_t registry_load_p99_us = 0;
   std::array<uint64_t, Pow2Histogram::kNumBuckets> batch_size_buckets{};
   std::array<uint64_t, Pow2Histogram::kNumBuckets> latency_buckets{};
+  std::array<uint64_t, Pow2Histogram::kNumBuckets> registry_load_buckets{};
   /// Row outcomes per routed model name (sorted by name).
   std::map<std::string, ModelRowCounters> per_model;
 
@@ -95,6 +105,18 @@ class ServeMetrics {
   void RecordCompleted(uint64_t latency_us);
   void RecordFailed(uint64_t latency_us);
 
+  /// Model-registry tiering events. Hit = served from the warm tier; miss =
+  /// the model was cold and had to be promoted; eviction = an LRU demotion
+  /// to the cold tier. Atomic-only, so the registry may record them while
+  /// holding its own mutex.
+  void RecordRegistryHit() { Add(&registry_hits_); }
+  void RecordRegistryMiss() { Add(&registry_misses_); }
+  void RecordRegistryEviction() { Add(&registry_evictions_); }
+
+  /// One disk load of a model (cold promotion, publish, or refresh) and its
+  /// wall time — the cold-start cost the mmap artifact path collapses.
+  void RecordRegistryLoad(uint64_t load_us);
+
   MetricsSnapshot Snapshot() const;
 
   /// Snapshot().ToText().
@@ -112,8 +134,13 @@ class ServeMetrics {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> rows_scored_{0};
   std::atomic<uint64_t> model_swaps_{0};
+  std::atomic<uint64_t> registry_hits_{0};
+  std::atomic<uint64_t> registry_misses_{0};
+  std::atomic<uint64_t> registry_evictions_{0};
+  std::atomic<uint64_t> registry_loads_{0};
   Pow2Histogram batch_sizes_;
   Pow2Histogram latencies_us_;
+  Pow2Histogram registry_load_us_;
 
   mutable RankedMutex model_mu_{LockRank::kServeMetrics};
   std::map<std::string, ModelRowCounters> model_rows_

@@ -1,16 +1,48 @@
 #include "serve/model_registry.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <utility>
 
 #include "common/logging.h"
+#include "nn/artifact.h"
 
 namespace targad {
 namespace serve {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+bool IsArtifactPath(const std::string& path) {
+  return fs::path(path).extension().string() == nn::kArtifactExtension;
+}
+
+bool IsModelExtension(const std::string& ext) {
+  return ext == ".targad" || ext == ".model" || ext == nn::kArtifactExtension;
+}
+
+/// stat() with nanosecond mtime; false when the file cannot be statted.
+bool StatSignature(const std::string& path, FileSignature* sig) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return false;
+  sig->mtime_sec = static_cast<int64_t>(st.st_mtim.tv_sec);
+  sig->mtime_nsec = static_cast<int64_t>(st.st_mtim.tv_nsec);
+  sig->size = static_cast<uint64_t>(st.st_size);
+  return true;
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  const auto d = std::chrono::steady_clock::now() - since;
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(d);
+  return us.count() < 0 ? 0 : static_cast<uint64_t>(us.count());
+}
+
+}  // namespace
 
 Status ModelRegistry::LoadDirectory(const std::string& dir) {
   std::error_code ec;
@@ -24,12 +56,15 @@ Status ModelRegistry::LoadDirectory(const std::string& dir) {
       watched_dirs_.push_back(dir);
     }
   }
-  // Deterministic registration order for reproducible version counters.
+  // Deterministic registration order for reproducible version counters;
+  // "a.targad" sorts before "a.tgz1", so when both exist for one stem the
+  // flat artifact is published last and wins.
   std::vector<fs::path> artifacts;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext == ".targad" || ext == ".model") artifacts.push_back(entry.path());
+    if (IsModelExtension(entry.path().extension().string())) {
+      artifacts.push_back(entry.path());
+    }
   }
   if (ec) {
     return Status::IOError("model registry: cannot scan ", dir, ": ",
@@ -42,33 +77,123 @@ Status ModelRegistry::LoadDirectory(const std::string& dir) {
   return Status::OK();
 }
 
+Result<ModelRegistry::LoadedModel> ModelRegistry::LoadFromFile(
+    const std::string& name, const std::string& path, nn::Dtype serve_dtype,
+    ServeMetrics* metrics) {
+  const auto started = std::chrono::steady_clock::now();
+  LoadedModel loaded;
+  // Stat before reading: if the file is overwritten while we load it, the
+  // next RefreshIfChanged sees a newer signature and reloads.
+  loaded.stat_ok = StatSignature(path, &loaded.sig);
+
+  if (IsArtifactPath(path)) {
+    // Flat artifact: mmap + checksum + pointer fixup, no parse. The
+    // artifact carries its own dtype; serve_dtype does not apply.
+    TARGAD_ASSIGN_OR_RETURN(core::FrozenScorer scorer,
+                            core::FrozenScorer::LoadArtifact(path));
+    loaded.frozen =
+        std::make_shared<const core::FrozenScorer>(std::move(scorer));
+    loaded.artifact = true;
+  } else {
+    std::ifstream in(path);
+    if (!in) return Status::IOError("cannot open ", path);
+    TARGAD_ASSIGN_OR_RETURN(core::TargAdPipeline pipeline,
+                            core::TargAdPipeline::Load(in));
+    // Freeze outside the registry lock — weight conversion is CPU work,
+    // and lookups must stay responsive while a large model is prepared.
+    if (serve_dtype == nn::Dtype::kFloat32) {
+      auto plan = pipeline.Freeze(nn::Dtype::kFloat32);
+      if (plan.ok()) {
+        loaded.frozen = std::make_shared<const core::FrozenScorer>(
+            std::move(plan).ValueOrDie());
+      } else {
+        // Serve the double pipeline rather than drop the model.
+        TARGAD_LOG(Warning) << "model registry: cannot freeze '" << name
+                            << "' to float32 (" << plan.status().message()
+                            << "); serving float64 pipeline";
+      }
+    }
+    loaded.pipeline =
+        std::make_shared<const core::TargAdPipeline>(std::move(pipeline));
+  }
+  if (metrics != nullptr) metrics->RecordRegistryLoad(ElapsedUs(started));
+  return loaded;
+}
+
+uint64_t ModelRegistry::InstallLocked(const std::string& name,
+                                      LoadedModel loaded,
+                                      const std::string& source,
+                                      bool bump_version) {
+  Entry& entry = models_[name];
+  const bool was_in_lru = entry.warm && entry.file_backed;
+  entry.pipeline = std::move(loaded.pipeline);
+  entry.frozen = std::move(loaded.frozen);
+  if (bump_version) entry.version += 1;
+  entry.generation += 1;
+  entry.source = source;
+  entry.artifact = loaded.artifact;
+  entry.sig = loaded.sig;
+  // An unstattable source cannot be refreshed or reloaded after eviction,
+  // so the entry is pinned warm like an in-memory publish.
+  entry.file_backed = loaded.stat_ok;
+  entry.warm = true;
+  if (entry.file_backed) {
+    if (was_in_lru) {
+      TouchLocked(&entry);
+    } else {
+      lru_.push_front(name);
+      entry.lru_pos = lru_.begin();
+    }
+  } else if (was_in_lru) {
+    lru_.erase(entry.lru_pos);
+  }
+  EvictOverCapacityLocked();
+  return entry.version;
+}
+
+void ModelRegistry::TouchLocked(Entry* entry) {
+  // Splice moves the node without invalidating entry->lru_pos.
+  lru_.splice(lru_.begin(), lru_, entry->lru_pos);
+}
+
+void ModelRegistry::EvictOverCapacityLocked() {
+  while (warm_capacity_ > 0 && lru_.size() > warm_capacity_) {
+    const std::string victim = std::move(lru_.back());
+    lru_.pop_back();
+    auto it = models_.find(victim);
+    if (it == models_.end()) continue;
+    Entry& entry = it->second;
+    // Demotion drops only the registry's references: snapshots held by
+    // in-flight batches keep the plan — and a mapped artifact's mapping —
+    // alive until the last one completes.
+    entry.pipeline.reset();
+    entry.frozen.reset();
+    entry.warm = false;
+    if (metrics_ != nullptr) metrics_->RecordRegistryEviction();
+  }
+}
+
 Status ModelRegistry::PublishFile(const std::string& name,
                                   const std::string& path) {
   if (name.empty()) {
     return Status::InvalidArgument("model registry: empty model name");
   }
-  // Stat before reading: if the file is overwritten while we load it, the
-  // next RefreshIfChanged sees a newer mtime and reloads.
-  std::error_code ec;
-  const fs::file_time_type mtime = fs::last_write_time(path, ec);
-  std::ifstream in(path);
-  if (!in) return Status::IOError("model registry: cannot open ", path);
-  auto pipeline = core::TargAdPipeline::Load(in);
-  if (!pipeline.ok()) {
-    return Status(pipeline.status().code(),
-                  "model registry: loading " + path + ": " +
-                      pipeline.status().message());
-  }
-  Publish(name,
-          std::make_shared<const core::TargAdPipeline>(
-              std::move(pipeline).ValueOrDie()),
-          path);
-  if (!ec) {
+  nn::Dtype dtype;
+  ServeMetrics* metrics;
+  {
     MutexLock lock(&mu_);
-    Entry& entry = models_[name];
-    entry.file_backed = true;
-    entry.mtime = mtime;
+    dtype = serve_dtype_;
+    metrics = metrics_;
   }
+  auto loaded = LoadFromFile(name, path, dtype, metrics);
+  if (!loaded.ok()) {
+    return Status(loaded.status().code(),
+                  "model registry: loading " + path + ": " +
+                      loaded.status().message());
+  }
+  MutexLock lock(&mu_);
+  InstallLocked(name, std::move(loaded).ValueOrDie(), path,
+                /*bump_version=*/true);
   return Status::OK();
 }
 
@@ -98,38 +223,48 @@ uint64_t ModelRegistry::Publish(
   }
   MutexLock lock(&mu_);
   Entry& entry = models_[name];
+  if (entry.warm && entry.file_backed) lru_.erase(entry.lru_pos);
   entry.pipeline = std::move(pipeline);
   entry.frozen = std::move(frozen);
   entry.version += 1;
+  entry.generation += 1;
   entry.source = source;
-  entry.file_backed = false;  // PublishFile restores mtime after this.
+  entry.file_backed = false;  // Pinned warm: nothing on disk to reload.
+  entry.artifact = false;
+  entry.warm = true;
+  entry.sig = FileSignature{};
   return entry.version;
 }
 
 Result<size_t> ModelRegistry::RefreshIfChanged() {
   // Snapshot the poll set under the lock, then stat and reload without it:
   // loading an artifact must not stall concurrent Get/GetScorer calls.
+  // Cold entries are skipped — promotion re-reads the file anyway.
   struct Polled {
     std::string name;
     std::string path;
-    fs::file_time_type mtime;
+    FileSignature sig;
   };
   std::vector<Polled> polled;
   std::vector<std::string> dirs;
   {
     MutexLock lock(&mu_);
     for (const auto& [name, entry] : models_) {
-      if (entry.file_backed) polled.push_back({name, entry.source, entry.mtime});
+      if (entry.file_backed && entry.warm) {
+        polled.push_back({name, entry.source, entry.sig});
+      }
     }
     dirs = watched_dirs_;
   }
 
   size_t republished = 0;
   for (const Polled& model : polled) {
-    std::error_code ec;
-    const fs::file_time_type now = fs::last_write_time(model.path, ec);
-    // A vanished or unreadable artifact keeps its last good snapshot.
-    if (ec || now == model.mtime) continue;
+    FileSignature now;
+    // A vanished or unreadable artifact keeps its last good snapshot. The
+    // signature compares nanosecond mtime AND size, so a same-second
+    // rewrite (coarse filesystem timestamps) is still caught when the
+    // content size moved.
+    if (!StatSignature(model.path, &now) || now == model.sig) continue;
     TARGAD_RETURN_NOT_OK(PublishFile(model.name, model.path));
     ++republished;
   }
@@ -140,8 +275,9 @@ Result<size_t> ModelRegistry::RefreshIfChanged() {
     std::vector<fs::path> artifacts;
     for (const auto& entry : fs::directory_iterator(dir, ec)) {
       if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".targad" || ext == ".model") artifacts.push_back(entry.path());
+      if (IsModelExtension(entry.path().extension().string())) {
+        artifacts.push_back(entry.path());
+      }
     }
     if (ec) continue;  // A vanished directory is not an error on a re-poll.
     std::sort(artifacts.begin(), artifacts.end());
@@ -152,12 +288,17 @@ Result<size_t> ModelRegistry::RefreshIfChanged() {
         MutexLock lock(&mu_);
         known = models_.count(name) > 0;
       }
-      if (known) continue;  // Mtime poll above covers registered models.
+      if (known) continue;  // Signature poll above covers registered models.
       TARGAD_RETURN_NOT_OK(PublishFile(name, path.string()));
       ++republished;
     }
   }
   return republished;
+}
+
+ModelRegistry::Entry* ModelRegistry::FindLocked(const std::string& name) {
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : &it->second;
 }
 
 const ModelRegistry::Entry* ModelRegistry::FindLocked(
@@ -166,27 +307,89 @@ const ModelRegistry::Entry* ModelRegistry::FindLocked(
   return it == models_.end() ? nullptr : &it->second;
 }
 
-Result<std::shared_ptr<const core::TargAdPipeline>> ModelRegistry::Get(
-    const std::string& name) const {
-  MutexLock lock(&mu_);
-  const Entry* entry = FindLocked(name);
-  if (entry == nullptr) {
-    return Status::NotFound("model registry: no model named '", name, "'");
+Result<ModelRegistry::SnapshotPair> ModelRegistry::PromoteAndInstall(
+    const std::string& name, const std::string& path) {
+  nn::Dtype dtype;
+  ServeMetrics* metrics;
+  {
+    MutexLock lock(&mu_);
+    dtype = serve_dtype_;
+    metrics = metrics_;
   }
-  return entry->pipeline;
+  // Two threads racing on the same cold model both load; both installs are
+  // consistent (the second one wins and bumps the generation again) and
+  // each caller scores with the snapshot it loaded — the duplicate work is
+  // the price of never holding mu_ across disk I/O.
+  auto loaded = LoadFromFile(name, path, dtype, metrics);
+  if (!loaded.ok()) {
+    return Status(loaded.status().code(),
+                  "model registry: promoting '" + name + "' from " + path +
+                      ": " + loaded.status().message());
+  }
+  SnapshotPair out{loaded->pipeline, loaded->frozen};
+  MutexLock lock(&mu_);
+  // A concurrent Remove wins: hand the caller its snapshot, but do not
+  // resurrect the entry.
+  if (models_.count(name) > 0) {
+    InstallLocked(name, std::move(loaded).ValueOrDie(), path,
+                  /*bump_version=*/false);
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const core::TargAdPipeline>> ModelRegistry::Get(
+    const std::string& name) {
+  std::string path;
+  {
+    MutexLock lock(&mu_);
+    Entry* entry = FindLocked(name);
+    if (entry == nullptr) {
+      return Status::NotFound("model registry: no model named '", name, "'");
+    }
+    if (entry->artifact) {
+      return Status::FailedPrecondition(
+          "model registry: '", name,
+          "' is a flat artifact with no pipeline; use GetScorer");
+    }
+    if (entry->warm) {
+      if (metrics_ != nullptr) metrics_->RecordRegistryHit();
+      if (entry->file_backed) TouchLocked(entry);
+      return entry->pipeline;
+    }
+    if (metrics_ != nullptr) metrics_->RecordRegistryMiss();
+    path = entry->source;
+  }
+  TARGAD_ASSIGN_OR_RETURN(SnapshotPair promoted,
+                          PromoteAndInstall(name, path));
+  return promoted.pipeline;
 }
 
 Result<std::shared_ptr<const core::RowScorer>> ModelRegistry::GetScorer(
-    const std::string& name) const {
-  MutexLock lock(&mu_);
-  const Entry* entry = FindLocked(name);
-  if (entry == nullptr) {
-    return Status::NotFound("model registry: no model named '", name, "'");
+    const std::string& name) {
+  std::string path;
+  {
+    MutexLock lock(&mu_);
+    Entry* entry = FindLocked(name);
+    if (entry == nullptr) {
+      return Status::NotFound("model registry: no model named '", name, "'");
+    }
+    if (entry->warm) {
+      if (metrics_ != nullptr) metrics_->RecordRegistryHit();
+      if (entry->file_backed) TouchLocked(entry);
+      if (entry->frozen != nullptr) {
+        return std::shared_ptr<const core::RowScorer>(entry->frozen);
+      }
+      return std::shared_ptr<const core::RowScorer>(entry->pipeline);
+    }
+    if (metrics_ != nullptr) metrics_->RecordRegistryMiss();
+    path = entry->source;
   }
-  if (entry->frozen != nullptr) {
-    return std::shared_ptr<const core::RowScorer>(entry->frozen);
+  TARGAD_ASSIGN_OR_RETURN(SnapshotPair promoted,
+                          PromoteAndInstall(name, path));
+  if (promoted.frozen != nullptr) {
+    return std::shared_ptr<const core::RowScorer>(promoted.frozen);
   }
-  return std::shared_ptr<const core::RowScorer>(entry->pipeline);
+  return std::shared_ptr<const core::RowScorer>(promoted.pipeline);
 }
 
 Result<ModelInfo> ModelRegistry::Info(const std::string& name) const {
@@ -195,7 +398,8 @@ Result<ModelInfo> ModelRegistry::Info(const std::string& name) const {
   if (entry == nullptr) {
     return Status::NotFound("model registry: no model named '", name, "'");
   }
-  return ModelInfo{name, entry->version, entry->source};
+  return ModelInfo{name,           entry->version, entry->source,
+                   entry->generation, entry->warm, entry->artifact};
 }
 
 std::vector<ModelInfo> ModelRegistry::List() const {
@@ -203,22 +407,39 @@ std::vector<ModelInfo> ModelRegistry::List() const {
   std::vector<ModelInfo> out;
   out.reserve(models_.size());
   for (const auto& [name, entry] : models_) {
-    out.push_back(ModelInfo{name, entry.version, entry.source});
+    out.push_back(ModelInfo{name, entry.version, entry.source,
+                            entry.generation, entry.warm, entry.artifact});
   }
+  return out;
+}
+
+std::vector<std::string> ModelRegistry::ListNames() const {
+  MutexLock lock(&mu_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& kv : models_) out.push_back(kv.first);
   return out;
 }
 
 Status ModelRegistry::Remove(const std::string& name) {
   MutexLock lock(&mu_);
-  if (models_.erase(name) == 0) {
+  auto it = models_.find(name);
+  if (it == models_.end()) {
     return Status::NotFound("model registry: no model named '", name, "'");
   }
+  if (it->second.warm && it->second.file_backed) lru_.erase(it->second.lru_pos);
+  models_.erase(it);
   return Status::OK();
 }
 
 size_t ModelRegistry::size() const {
   MutexLock lock(&mu_);
   return models_.size();
+}
+
+size_t ModelRegistry::warm_size() const {
+  MutexLock lock(&mu_);
+  return lru_.size();
 }
 
 }  // namespace serve

@@ -1,28 +1,47 @@
-// ModelRegistry: named, versioned TargAdPipeline artifacts behind atomic
-// hot-swap. A published pipeline is held as an immutable
-// shared_ptr<const TargAdPipeline> snapshot; Get hands that snapshot out
-// under a mutex, so scorers keep a consistent model for the whole batch
-// they are working on while a retrained replacement is published
-// concurrently — the old snapshot stays alive until its last user drops it.
+// ModelRegistry: named, versioned model artifacts behind atomic hot-swap,
+// organized as a two-tier cache for fleet-scale serving (hundreds of
+// models behind one process).
 //
-// Dtype split: when the registry is configured with
-// set_serve_dtype(nn::Dtype::kFloat32), every Publish additionally freezes
-// the pipeline into a float32 core::FrozenScorer, and GetScorer hands out
-// that frozen snapshot instead of the double pipeline. The full-precision
-// pipeline stays registered (Get still returns it), so training-side
-// consumers and the float32 serving path coexist.
+//   warm tier  entries whose snapshot is resident: a pipeline (text
+//              artifacts), a frozen scorer (".tgz1" artifacts, built by
+//              pointer fixup over an mmap-ed file), or both. Get/GetScorer
+//              hand the snapshot out under the mutex; scorers keep a
+//              consistent model for a whole batch while a replacement is
+//              published concurrently.
+//   cold tier  file-backed entries the registry knows about — name, path,
+//              stat signature — whose snapshot has been dropped. The first
+//              lookup promotes the entry back to warm (a disk load; for
+//              ".tgz1" artifacts an mmap + fixup, not a parse).
 //
-// Redeploys: RefreshIfChanged re-stats the source file of every file-backed
-// model (and re-scans directories registered via LoadDirectory) and
-// republishes artifacts whose mtime changed — a poll-based hot-swap hook
-// for "scp the new .targad over the old one" deployments, with no inotify
-// dependency.
+// set_warm_capacity bounds how many file-backed snapshots stay resident:
+// past the cap, the least-recently-used file-backed entry is demoted to
+// cold. In-memory publishes have no file to reload from, so they are
+// pinned warm and never count against the cap. Eviction only drops the
+// registry's reference — in-flight scores hold snapshot shared_ptrs, which
+// pin the plan (and, for mapped artifacts, the mapping itself) until the
+// last batch completes. Every (re)load into the warm tier bumps the
+// entry's generation counter; `version` keeps its publish-count meaning.
+//
+// Dtype split: with set_serve_dtype(nn::Dtype::kFloat32) every published
+// pipeline is additionally frozen into a float32 core::FrozenScorer and
+// GetScorer hands out that frozen snapshot. ".tgz1" artifacts carry their
+// own dtype and are served as-is.
+//
+// Redeploys: RefreshIfChanged re-stats the source file of every warm
+// file-backed model (and re-scans LoadDirectory directories) and
+// republishes artifacts whose stat signature — nanosecond mtime AND size —
+// changed, so a same-second rewrite is still caught. Cold entries are
+// skipped: they are re-read from disk at promotion time anyway.
+//
+// Registry metrics (hits/misses/evictions and a load-latency histogram) are
+// recorded into an optional ServeMetrics sink (set_metrics) and surface in
+// its report, the TCP STATS line, and the serve exit report.
 
 #ifndef TARGAD_SERVE_MODEL_REGISTRY_H_
 #define TARGAD_SERVE_MODEL_REGISTRY_H_
 
 #include <cstdint>
-#include <filesystem>
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
@@ -35,9 +54,28 @@
 #include "core/pipeline.h"
 #include "core/scorer.h"
 #include "nn/frozen.h"
+#include "serve/metrics.h"
 
 namespace targad {
 namespace serve {
+
+/// stat()-derived identity of a file's contents: nanosecond mtime plus
+/// size. Comparing both catches same-second rewrites that coarse
+/// filesystem timestamps would hide (as long as the size moved; a
+/// same-size same-timestamp rewrite is indistinguishable by polling).
+struct FileSignature {
+  int64_t mtime_sec = 0;
+  int64_t mtime_nsec = 0;
+  uint64_t size = 0;
+
+  friend bool operator==(const FileSignature& a, const FileSignature& b) {
+    return a.mtime_sec == b.mtime_sec && a.mtime_nsec == b.mtime_nsec &&
+           a.size == b.size;
+  }
+  friend bool operator!=(const FileSignature& a, const FileSignature& b) {
+    return !(a == b);
+  }
+};
 
 /// Metadata of one registered model.
 struct ModelInfo {
@@ -46,9 +84,17 @@ struct ModelInfo {
   uint64_t version = 0;
   /// Where the artifact came from ("<path>" or "(in-memory)").
   std::string source;
+  /// Warm-load counter: bumped every time a snapshot is (re)loaded into
+  /// the warm tier, including cold-tier promotions that leave `version`
+  /// untouched.
+  uint64_t generation = 0;
+  /// True when the snapshot is resident (warm tier).
+  bool warm = false;
+  /// True when the source is a flat ".tgz1" artifact (mmap-loaded).
+  bool artifact = false;
 };
 
-/// Thread-safe name -> pipeline-snapshot map.
+/// Thread-safe name -> snapshot map with warm/cold tiering.
 class ModelRegistry {
  public:
   ModelRegistry() = default;
@@ -66,70 +112,158 @@ class ModelRegistry {
     return serve_dtype_;
   }
 
-  /// Loads every "*.targad" / "*.model" file in `dir` (model name = file
-  /// stem) and remembers `dir` for RefreshIfChanged re-scans. Fails on an
-  /// unreadable directory or an unloadable artifact; models registered
-  /// before the failure stay registered.
+  /// Warm-tier capacity: at most this many FILE-BACKED snapshots stay
+  /// resident; loading past the cap demotes the least-recently-used one to
+  /// the cold tier. 0 (the default) means unbounded. In-memory publishes
+  /// are pinned warm and do not count. Lowering the cap takes effect on
+  /// the next load, not retroactively.
+  void set_warm_capacity(size_t capacity) TARGAD_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    warm_capacity_ = capacity;
+  }
+
+  /// Optional sink for hit/miss/eviction counters and the load-latency
+  /// histogram. Not owned; must outlive the registry. Set before serving
+  /// starts.
+  void set_metrics(ServeMetrics* metrics) TARGAD_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    metrics_ = metrics;
+  }
+
+  /// Loads every "*.targad" / "*.model" (text pipeline) and "*.tgz1" (flat
+  /// frozen artifact) file in `dir` (model name = file stem) and remembers
+  /// `dir` for RefreshIfChanged re-scans. When a stem exists with both a
+  /// text and a ".tgz1" extension, the ".tgz1" wins (published last in the
+  /// sorted scan). Fails on an unreadable directory or an unloadable
+  /// artifact; models registered before the failure stay registered.
   [[nodiscard]] Status LoadDirectory(const std::string& dir);
 
-  /// Loads one artifact file and publishes it under `name`.
+  /// Loads one artifact file (text pipeline or ".tgz1" by extension) and
+  /// publishes it under `name`.
   [[nodiscard]] Status PublishFile(const std::string& name, const std::string& path);
 
   /// Publishes an in-memory pipeline (atomic hot-swap if `name` exists).
+  /// The entry is pinned warm — there is no file to reload it from.
   /// Returns the new version number.
   uint64_t Publish(const std::string& name,
                    std::shared_ptr<const core::TargAdPipeline> pipeline,
                    const std::string& source = "(in-memory)");
 
-  /// Re-stats every file-backed model and re-scans every LoadDirectory
-  /// directory; artifacts whose mtime changed (or new files in a watched
-  /// directory) are reloaded and hot-swapped. Vanished files keep their
-  /// last good snapshot registered. Returns the number of models
-  /// (re)published, or the first load error.
+  /// Re-stats every warm file-backed model and re-scans every
+  /// LoadDirectory directory; artifacts whose stat signature changed (or
+  /// new files in a watched directory) are reloaded and hot-swapped.
+  /// Vanished files keep their last good snapshot registered. Returns the
+  /// number of models (re)published, or the first load error.
   [[nodiscard]] Result<size_t> RefreshIfChanged();
 
-  /// Current snapshot for `name`, or NotFound. The snapshot is immutable
-  /// and remains valid after any subsequent Publish of the same name.
+  /// Current pipeline snapshot for `name`, or NotFound. Promotes a cold
+  /// text-backed entry; FailedPrecondition for ".tgz1" artifacts, which
+  /// carry no pipeline (use GetScorer). The snapshot is immutable and
+  /// remains valid after any subsequent Publish or eviction of the name.
   [[nodiscard]] Result<std::shared_ptr<const core::TargAdPipeline>> Get(
-      const std::string& name) const;
+      const std::string& name);
 
-  /// Serving snapshot for `name`, or NotFound: the frozen scorer when the
-  /// model was published under a float32 serve dtype, else the pipeline.
+  /// Serving snapshot for `name`, or NotFound: the frozen scorer when one
+  /// exists (".tgz1" artifact, or float32 serve dtype), else the pipeline.
+  /// A warm entry is handed out under the lock (and touched in LRU order);
+  /// a cold entry is promoted first — the disk load runs outside the lock,
+  /// so concurrent lookups of warm models never stall behind it.
   [[nodiscard]] Result<std::shared_ptr<const core::RowScorer>> GetScorer(
-      const std::string& name) const;
+      const std::string& name);
 
   /// Metadata for `name`, or NotFound.
   [[nodiscard]] Result<ModelInfo> Info(const std::string& name) const;
 
-  /// Registered models, sorted by name.
+  /// Registered models (both tiers), sorted by name.
   std::vector<ModelInfo> List() const;
+
+  /// Registered model names (both tiers), sorted — the BatchScorer
+  /// unknown-model error's "available:" list.
+  std::vector<std::string> ListNames() const;
 
   /// Removes `name`; outstanding snapshots stay valid. NotFound if absent.
   [[nodiscard]] Status Remove(const std::string& name);
 
   size_t size() const TARGAD_EXCLUDES(mu_);
 
+  /// Resident file-backed snapshots (warm tier, excluding pinned in-memory
+  /// entries). Exposed for tests and the serve exit report.
+  size_t warm_size() const TARGAD_EXCLUDES(mu_);
+
  private:
   struct Entry {
     std::shared_ptr<const core::TargAdPipeline> pipeline;
-    /// Float32 serving plan, when published under serve_dtype == kFloat32
-    /// and the pipeline froze cleanly; nullptr otherwise.
+    /// Frozen serving plan: always set for ".tgz1" artifacts, set for text
+    /// pipelines when they froze cleanly under a float32 serve dtype.
     std::shared_ptr<const core::FrozenScorer> frozen;
     uint64_t version = 0;
+    uint64_t generation = 0;
     std::string source;
-    /// Source-file mtime at load time; meaningful only when file-backed.
     bool file_backed = false;
-    std::filesystem::file_time_type mtime{};
+    bool artifact = false;  ///< Source is a flat ".tgz1" file.
+    bool warm = false;      ///< Snapshot resident. In-memory entries: always.
+    /// Source-file stat signature at load time; file-backed entries only.
+    FileSignature sig{};
+    /// Position in lru_; valid only while warm && file_backed.
+    std::list<std::string>::iterator lru_pos{};
   };
+
+  /// What one disk load produced; installed under the lock afterwards.
+  struct LoadedModel {
+    std::shared_ptr<const core::TargAdPipeline> pipeline;
+    std::shared_ptr<const core::FrozenScorer> frozen;
+    FileSignature sig{};
+    bool stat_ok = false;  ///< False -> entry pinned warm (not refreshable).
+    bool artifact = false;
+  };
+
+  /// The two snapshot halves a promotion hands back to its caller.
+  struct SnapshotPair {
+    std::shared_ptr<const core::TargAdPipeline> pipeline;
+    std::shared_ptr<const core::FrozenScorer> frozen;
+  };
+
+  /// Reads `path` (text parse or artifact mmap by extension), freezing to
+  /// `serve_dtype` when applicable. Runs without mu_; records the load
+  /// latency into `metrics` when non-null.
+  [[nodiscard]] static Result<LoadedModel> LoadFromFile(
+      const std::string& name, const std::string& path, nn::Dtype serve_dtype,
+      ServeMetrics* metrics);
+
+  /// Installs a loaded snapshot as the warm entry for `name`, bumping
+  /// generation (and version when `bump_version`), updating LRU order and
+  /// evicting over capacity. Returns the entry's version.
+  uint64_t InstallLocked(const std::string& name, LoadedModel loaded,
+                         const std::string& source, bool bump_version)
+      TARGAD_REQUIRES(mu_);
+
+  /// Moves a warm file-backed entry to the LRU front.
+  void TouchLocked(Entry* entry) TARGAD_REQUIRES(mu_);
+
+  /// Demotes least-recently-used file-backed entries while the warm tier
+  /// exceeds warm_capacity_.
+  void EvictOverCapacityLocked() TARGAD_REQUIRES(mu_);
 
   /// Shared lookup behind Get/GetScorer/Info; nullptr when `name` is not
   /// registered. The pointer is only valid while mu_ stays held.
+  Entry* FindLocked(const std::string& name) TARGAD_REQUIRES(mu_);
   const Entry* FindLocked(const std::string& name) const TARGAD_REQUIRES(mu_);
+
+  /// The cold half of Get/GetScorer: reloads `name` from `path` outside
+  /// the lock, installs it (unless the entry was removed concurrently),
+  /// and returns the freshly loaded snapshot parts.
+  [[nodiscard]] Result<SnapshotPair> PromoteAndInstall(const std::string& name,
+                                                       const std::string& path)
+      TARGAD_EXCLUDES(mu_);
 
   mutable RankedMutex mu_{LockRank::kModelRegistry};
   std::map<std::string, Entry> models_ TARGAD_GUARDED_BY(mu_);
+  /// Warm file-backed names, most recently used first.
+  std::list<std::string> lru_ TARGAD_GUARDED_BY(mu_);
   std::vector<std::string> watched_dirs_ TARGAD_GUARDED_BY(mu_);
   nn::Dtype serve_dtype_ TARGAD_GUARDED_BY(mu_) = nn::Dtype::kFloat64;
+  size_t warm_capacity_ TARGAD_GUARDED_BY(mu_) = 0;
+  ServeMetrics* metrics_ TARGAD_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace serve

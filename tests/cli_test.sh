@@ -117,6 +117,46 @@ head -1 data_test.csv | cat - bad_route.csv > bad_routed_test.csv
 "$CLI" serve --models models_dir --in bad_routed_test.csv \
   --out /dev/null >/dev/null 2>&1 && fail "unknown routed model accepted"
 
+# Flat frozen artifacts: freeze -> inspect -> serve from the .tgz1. Both
+# serves parse the same text pipeline and freeze it at float32 — one in
+# process, one through the artifact — so the mapped artifact's scores must
+# be bit-identical to the --dtype float32 output above.
+"$CLI" freeze --model m.model --out m.tgz1 --dtype float32 || fail "freeze"
+[ -s m.tgz1 ] || fail "frozen artifact empty"
+inspect_out=$("$CLI" inspect --artifact m.tgz1) || fail "inspect"
+echo "$inspect_out" | grep -q "targad flat artifact v1" \
+  || fail "inspect missing format line"
+echo "$inspect_out" | grep -q "dtype float32" || fail "inspect missing dtype"
+echo "$inspect_out" | grep -q "checksum ok" || fail "inspect missing checksum"
+
+# A truncated artifact must be rejected, not served.
+head -c 200 m.tgz1 > broken.tgz1
+"$CLI" inspect --artifact broken.tgz1 >/dev/null 2>&1 \
+  && fail "truncated artifact accepted by inspect"
+
+mkdir artifact_dir
+cp m.tgz1 artifact_dir/default.tgz1
+"$CLI" serve --models artifact_dir --in data_test.csv --out serve_tgz1.csv \
+  2>tgz1_metrics.txt || fail "serve from .tgz1"
+diff -q serve_f32.csv serve_tgz1.csv \
+  || fail ".tgz1 serve scores differ from in-process float32 freeze"
+
+# --warm 1 with two artifacts forces warm-tier evictions; the exit report
+# must carry the registry tiering counters.
+cp m.tgz1 artifact_dir/other.tgz1
+"$CLI" serve --models artifact_dir --warm 1 --in data_test.csv \
+  --out warm_scores.csv 2>warm_metrics.txt || fail "serve --warm"
+diff -q serve_f32.csv warm_scores.csv || fail "--warm serve scores differ"
+grep -q "registry:" warm_metrics.txt \
+  || fail "registry metrics missing from exit report"
+awk '/registry:/ {evictions=$6; loads=$8;
+     exit !(evictions >= 1 && loads >= 2)}' warm_metrics.txt \
+  || fail "warm-capacity serve recorded no evictions/loads"
+
+# A non-positive warm capacity is rejected up front.
+"$CLI" serve --model m.model --warm 0 --in data_test.csv \
+  --out /dev/null >/dev/null 2>&1 && fail "warm 0 accepted"
+
 # Graceful stdio drain: SIGTERM while the input pipe is still open must
 # stop reading, resolve every in-flight row, write its score, and exit 0.
 mkfifo drain_fifo
@@ -168,6 +208,12 @@ exec 8>&- 8<&-
 case "$stats_reply" in
   "OK accepted="*rows_in=*) ;;
   *) fail "tcp STATS reply unexpected: $stats_reply" ;;
+esac
+# The STATS line carries the registry tiering counters (reg_loads >= 1:
+# the default model was loaded at startup).
+case "$stats_reply" in
+  *reg_hits=*reg_misses=*reg_evictions=*reg_loads=*) ;;
+  *) fail "tcp STATS missing registry counters: $stats_reply" ;;
 esac
 [ "$bye" = "OK bye" ] || fail "tcp QUIT reply: $bye"
 kill -TERM "$TCP_PID"

@@ -237,6 +237,43 @@ TEST(ModelRegistryTest, RefreshIfChangedReloadsOverwrittenArtifacts) {
   EXPECT_EQ(*refreshed, 0u);
 }
 
+TEST(ModelRegistryTest, RefreshCatchesSameTimestampRewrite) {
+  // Regression: the refresh poll used to compare only the (coarse) mtime,
+  // so a rewrite landing within the filesystem's timestamp granularity was
+  // invisible. The stat signature now pairs nanosecond mtime with size;
+  // pinning the mtime back to its pre-rewrite value forces the poll to
+  // notice via the size alone.
+  TempDir dir;
+  const fs::path path = dir.path() / "fast.targad";
+  const std::string v1 = SavedArtifact(13);
+  {
+    std::ofstream out(path);
+    out << v1;
+  }
+  const auto original_mtime = fs::last_write_time(path);
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.PublishFile("fast", path.string()).ok());
+  auto old_snapshot = registry.Get("fast").ValueOrDie();
+
+  // Rewrite with different bytes (a second pipeline differs in size: the
+  // serialized weights are decimal text) and restore the old timestamp, as
+  // if the rewrite happened within the same clock tick.
+  const std::string v2 = SavedArtifact(14);
+  ASSERT_NE(v1.size(), v2.size());
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << v2;
+  }
+  fs::last_write_time(path, original_mtime);
+
+  auto refreshed = registry.RefreshIfChanged();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(*refreshed, 1u);
+  EXPECT_EQ(registry.Info("fast")->version, 2u);
+  EXPECT_NE(registry.Get("fast").ValueOrDie().get(), old_snapshot.get());
+}
+
 TEST(ModelRegistryTest, RefreshIfChangedPicksUpNewFilesInWatchedDirs) {
   TempDir dir;
   {

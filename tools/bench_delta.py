@@ -111,6 +111,51 @@ def render_net(baseline, candidate, candidate_label, run_net):
     return lines
 
 
+def render_cold_start(baseline, candidate, candidate_label):
+    """Markdown lines for the cold-start section, or [] when absent.
+
+    The record rides inside serve_throughput.json (and the trajectory
+    entries), so no separate --run flag is needed; entries from before the
+    flat-artifact format simply skip the section.
+    """
+    cand_cold = candidate.get("cold_start")
+    if cand_cold is None:
+        return []
+    base_cold = baseline.get("cold_start")
+    base_label = (
+        f"{entry_label(baseline)} (baseline)"
+        if base_cold is not None
+        else "(no baseline)"
+    )
+    if base_cold is None:
+        base_cold = {}
+    lines = [
+        "### Cold start — disk to servable scorer (float32)",
+        "",
+        f"| metric | {base_label} | {candidate_label} | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    for key in ("text_load_us", "artifact_load_us"):
+        base = float(base_cold.get(key, 0.0))
+        cand = float(cand_cold.get(key, 0.0))
+        base_text = f"{base:,.0f} us" if base > 0.0 else "n/a"
+        lines.append(
+            f"| {key} | {base_text} | {cand:,.0f} us "
+            f"| {format_latency_delta(base, cand)} |"
+        )
+    lines += [
+        "",
+        f"_Median of 30 page-cache-warm loads; text = parse + freeze, "
+        f"artifact = mmap + pointer fixup over a "
+        f"{int(cand_cold.get('artifact_bytes', 0)):,}-byte `.tgz1`. "
+        f"Artifact load is {float(cand_cold.get('speedup', 0.0)):.1f}x "
+        "faster — the registry's cold-to-warm promotion cost. Latency "
+        "deltas: lower is better._",
+        "",
+    ]
+    return lines
+
+
 def render_train(baseline, candidate, candidate_label, run_train):
     """Markdown lines for the training-throughput section, or [] if absent."""
     base_train = baseline.get("train")
@@ -219,6 +264,7 @@ def render(trajectory, run, run_net=None, run_train=None):
             )
         lines.append(detail)
         lines.append("")
+    lines.extend(render_cold_start(baseline, candidate, candidate_label))
     lines.extend(render_net(baseline, candidate, candidate_label, run_net))
     lines.extend(render_train(baseline, candidate, candidate_label, run_train))
     lines.append(

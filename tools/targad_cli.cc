@@ -10,12 +10,20 @@
 //   targad evaluate --scores scores.csv --truth T.csv
 //                   [--label-column label] [--target-prefix target_]
 //       AUPRC/AUROC of a score file against a labeled CSV.
+//   targad freeze --model M --out A.tgz1 [--dtype float64|float32]
+//       Freeze a text pipeline into the flat .tgz1 artifact: the serving
+//       container that mmap()s straight into an inference plan (no parse,
+//       no per-tensor copies). --dtype picks the stored element type.
+//   targad inspect --artifact A.tgz1
+//       Validate and dump a flat artifact: format version, dtype, section
+//       table, meta-blob size. Fails (exit 1) on any corruption the mapped
+//       reader would reject — bad magic, bad checksum, truncation.
 //   targad serve --model M [--models DIR] [--in X.csv] [--out scores.csv]
 //                [--dtype float64|float32] [--batch 64] [--delay-us 200]
 //                [--workers 2] [--queue 4096] [--refresh-ms 0]
 //                [--tcp PORT] [--bind 127.0.0.1] [--max-conns 1024]
 //                [--max-inflight 256] [--max-line 65536] [--idle-ms 0]
-//                [--drain-grace-ms 5000]
+//                [--drain-grace-ms 5000] [--warm N]
 //       Stream rows (stdin or --in) through the micro-batched scoring
 //       service; scores go to stdout or --out, a metrics report to stderr.
 //       --dtype float32 freezes published models into the float32 inference
@@ -25,7 +33,11 @@
 //       polls every registered artifact's mtime every N milliseconds on a
 //       background timer and hot-swaps changed files (zero-downtime
 //       redeploy: overwrite the .targad in place and the next batch scores
-//       with the new model). --tcp PORT serves the line protocol
+//       with the new model). --warm N caps the registry's warm tier at N
+//       resident models: past the cap the least-recently-served file-backed
+//       models are demoted to the cold tier (name + path only) and promoted
+//       back — instantly for mmap-ed .tgz1 artifacts — on their next
+//       routed row. --tcp PORT serves the line protocol
 //       ("SCORE <model> <csv>" -> "OK <score>", see src/net/protocol.h)
 //       on a TCP listener instead of stdio; PORT 0 picks an ephemeral port,
 //       reported on stderr as "targad: listening on <addr>:<port>".
@@ -58,12 +70,14 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "core/frozen_scorer.h"
 #include "core/pipeline.h"
 #include "data/export.h"
 #include "data/profiles.h"
 #include "eval/metrics.h"
 #include "net/metrics.h"
 #include "net/server.h"
+#include "nn/artifact.h"
 #include "nn/frozen.h"
 #include "serve/batch_scorer.h"
 #include "serve/metrics.h"
@@ -143,7 +157,8 @@ int Fail(const std::string& message) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: targad <generate|train|score|evaluate|serve> [--flag value]...\n"
+      "usage: targad <generate|train|score|evaluate|freeze|inspect|serve> "
+      "[--flag value]...\n"
       "run with a subcommand and no flags for its options\n");
   return 2;
 }
@@ -156,9 +171,12 @@ const std::map<std::string, std::vector<std::string>>& CommandFlags() {
                  "seed"}},
       {"score", {"model", "in", "out"}},
       {"evaluate", {"scores", "truth", "label-column", "target-prefix"}},
+      {"freeze", {"model", "out", "dtype"}},
+      {"inspect", {"artifact"}},
       {"serve", {"model", "models", "in", "out", "dtype", "batch", "delay-us",
                  "workers", "queue", "refresh-ms", "tcp", "bind", "max-conns",
-                 "max-inflight", "max-line", "idle-ms", "drain-grace-ms"}},
+                 "max-inflight", "max-line", "idle-ms", "drain-grace-ms",
+                 "warm"}},
   };
   return kFlags;
 }
@@ -288,6 +306,58 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+int CmdFreeze(const Flags& flags) {
+  const std::string model_path = flags.Get("model");
+  const std::string out_path = flags.Get("out");
+  if (model_path.empty() || out_path.empty()) {
+    return Fail("freeze requires --model <pipeline> and --out <artifact>");
+  }
+  auto dtype = nn::ParseDtype(flags.Get("dtype", "float64"));
+  if (!dtype.ok()) return Fail(dtype.status().ToString());
+
+  std::ifstream model_in(model_path);
+  if (!model_in) return Fail("cannot open " + model_path);
+  auto pipeline = core::TargAdPipeline::Load(model_in);
+  if (!pipeline.ok()) return Fail(pipeline.status().ToString());
+  auto frozen = pipeline->Freeze(*dtype);
+  if (!frozen.ok()) return Fail(frozen.status().ToString());
+  Status st = frozen->SaveArtifact(out_path);
+  if (!st.ok()) return Fail(st.ToString());
+
+  // Re-map what was just written: proves the artifact round-trips through
+  // the same validation serving will run, and yields the exact file size.
+  auto artifact = nn::MappedArtifact::Map(out_path);
+  if (!artifact.ok()) return Fail(artifact.status().ToString());
+  std::printf("froze %s -> %s (%s, %zu sections, %zu bytes)\n",
+              model_path.c_str(), out_path.c_str(), nn::DtypeName(*dtype),
+              (*artifact)->num_sections(), (*artifact)->file_size());
+  return 0;
+}
+
+int CmdInspect(const Flags& flags) {
+  const std::string path = flags.Get("artifact");
+  if (path.empty()) return Fail("inspect requires --artifact <file>");
+  auto artifact = nn::MappedArtifact::Map(path);
+  if (!artifact.ok()) return Fail(artifact.status().ToString());
+  const nn::MappedArtifact& a = **artifact;
+  const size_t elem = a.dtype() == nn::Dtype::kFloat32 ? 4 : 8;
+  std::printf("%s: targad flat artifact v%u\n", path.c_str(), a.version());
+  std::printf("  dtype %s, %zu bytes, checksum ok\n", nn::DtypeName(a.dtype()),
+              a.file_size());
+  std::printf("  meta blob: %zu bytes\n", a.meta().size());
+  std::printf("  sections: %zu\n", a.num_sections());
+  size_t payload = 0;
+  for (size_t i = 0; i < a.num_sections(); ++i) {
+    const nn::MappedArtifact::Section& s = a.section(i);
+    const size_t bytes = s.rows * s.cols * elem;
+    payload += bytes;
+    std::printf("    [%2zu] %4zu x %-4zu %8zu bytes\n", i, s.rows, s.cols,
+                bytes);
+  }
+  std::printf("  tensor payload: %zu bytes\n", payload);
+  return 0;
+}
+
 // SIGTERM/SIGINT drain plumbing. The flag serves the stdio path (polled
 // between lines by StreamOptions::should_stop); the self-pipe serves the
 // TCP path (the listener polls the read end as Options::drain_fd). Both are
@@ -358,8 +428,18 @@ int CmdServe(const Flags& flags) {
   // retrained artifact under the same name while scoring continues. With
   // --dtype float32 every publish freezes the pipeline into the float32
   // inference plan; GetScorer then serves the frozen snapshot.
+  // Declared before the registry so the registry (whose loads/evictions
+  // record into it) is destroyed first.
+  serve::ServeMetrics metrics;
+
   serve::ModelRegistry registry;
   registry.set_serve_dtype(*dtype);
+  registry.set_metrics(&metrics);
+  const int warm = flags.GetInt("warm", 0);
+  if (warm < 0 || (flags.Has("warm") && warm == 0)) {
+    return Fail("--warm must be a positive integer (resident models)");
+  }
+  registry.set_warm_capacity(static_cast<size_t>(warm));
   if (!models_dir.empty()) {
     Status st = registry.LoadDirectory(models_dir);
     if (!st.ok()) return Fail(st.ToString());
@@ -395,7 +475,6 @@ int CmdServe(const Flags& flags) {
   options.num_workers = static_cast<size_t>(flags.GetInt("workers", 2));
   options.max_queue_rows = static_cast<size_t>(flags.GetInt("queue", 4096));
 
-  serve::ServeMetrics metrics;
   serve::BatchScorer scorer(
       serve::BatchScorer::NamedSnapshotProvider(
           [&registry](const std::string& name) {
@@ -403,7 +482,9 @@ int CmdServe(const Flags& flags) {
             return snapshot.ok() ? *snapshot
                                  : std::shared_ptr<const core::RowScorer>();
           }),
-      options, &metrics);
+      options, &metrics,
+      serve::BatchScorer::ModelLister(
+          [&registry] { return registry.ListNames(); }));
 
   std::ifstream file_in;
   if (!in_path.empty()) {
@@ -480,6 +561,7 @@ int CmdServe(const Flags& flags) {
     net_options.idle_timeout_ms = flags.GetInt("idle-ms", 0);
     net_options.drain_grace_ms = flags.GetInt("drain-grace-ms", 5000);
     net_options.drain_fd = signal_pipe[0];
+    net_options.serve_metrics = &metrics;
 
     net::NetMetrics net_metrics;
     net::TcpServer server(&scorer, &net_metrics, net_options);
@@ -560,6 +642,8 @@ int main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags);
   if (command == "score") return CmdScore(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "freeze") return CmdFreeze(flags);
+  if (command == "inspect") return CmdInspect(flags);
   if (command == "serve") return CmdServe(flags);
   return Usage();
 }
